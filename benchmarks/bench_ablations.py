@@ -1,0 +1,54 @@
+"""Ablation benchmarks for the design choices recorded in DESIGN.md.
+
+Run with ``pytest benchmarks/bench_ablations.py --benchmark-only -s``.
+
+Covers: shot-allocation strategy, gate-cut versus wire-cut, and the
+noisy-resource extension (bias and Theorem-1 overhead under depolarising
+noise on the NME pair).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    allocation_strategy_ablation,
+    gate_vs_wire_cut,
+    noisy_resource_ablation,
+)
+
+
+def test_benchmark_allocation_strategies(benchmark):
+    """Proportional allocation (the paper's choice) is not beaten by uniform splitting."""
+    table = benchmark(allocation_strategy_ablation, num_states=20, shots=2000, overlap=0.8, seed=11)
+    print("\n" + table.to_text())
+    errors = dict(zip(table.columns["strategy"], table.columns["mean_error"]))
+    # Allow statistical slack: proportional should be at least as good as
+    # uniform up to a 25% tolerance on this workload size.
+    assert errors["proportional"] <= 1.25 * errors["uniform"]
+
+
+def test_benchmark_gate_vs_wire_cut(benchmark):
+    """Gate cutting a CZ (κ=3) and wire cutting next to it both reproduce the observable."""
+    table = benchmark(gate_vs_wire_cut, shots=4000, seed=17)
+    print("\n" + table.to_text())
+    kappas = dict(zip(table.columns["method"], table.columns["kappa"]))
+    errors = dict(zip(table.columns["method"], table.columns["error"]))
+    assert kappas["gate-cut-cz"] == pytest.approx(3.0)
+    assert kappas["wire-harada"] == pytest.approx(3.0)
+    assert kappas["wire-nme(f=0.9)"] == pytest.approx(2.0 / 0.9 - 1.0)
+    # All finite-shot errors stay small (unbiased estimators, 4000 shots).
+    assert all(error < 0.25 for error in errors.values())
+
+
+def test_benchmark_noisy_resource(benchmark):
+    """Noise on the NME pair introduces bias and raises the Theorem-1 overhead."""
+    table = benchmark(noisy_resource_ablation, k=0.5, noise_levels=(0.0, 0.05, 0.1, 0.2))
+    print("\n" + table.to_text())
+    bias = np.array(table.columns["bias_norm"])
+    overhead = np.array(table.columns["theorem1_overhead"])
+    # No noise → no bias and the pure-state overhead.
+    assert bias[0] == pytest.approx(0.0, abs=1e-9)
+    assert overhead[0] == pytest.approx(table.columns["pure_overhead"][0], abs=1e-9)
+    # Bias and optimal overhead grow monotonically with the noise level.
+    assert np.all(np.diff(bias) > -1e-12)
+    assert np.all(np.diff(overhead) > -1e-12)

@@ -1,0 +1,44 @@
+"""Benchmark regenerating Figure 6 (error vs shots per entanglement level).
+
+Run with ``pytest benchmarks/bench_figure6.py --benchmark-only -s``.
+
+The benchmark times a reduced-size sweep (so the suite stays fast) and then
+prints the resulting table plus the qualitative checks against the paper:
+errors decrease with shots, decrease with entanglement, and the f=1.0
+(teleportation) series is the floor while f=0.5 (plain wire cutting) is the
+ceiling.  Use ``examples/figure6_experiment.py --paper`` for the full-scale
+run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Figure6Config, run_figure6
+
+_CONFIG = Figure6Config(num_states=40, shot_grid=(500, 1000, 2000, 4000), seed=2024)
+
+
+@pytest.fixture(scope="module")
+def figure6_result():
+    return run_figure6(_CONFIG)
+
+
+def test_benchmark_figure6(benchmark, figure6_result):
+    """Time the Figure-6 sweep and validate the figure's qualitative shape."""
+    small = Figure6Config(num_states=10, shot_grid=(500, 2000), overlaps=(0.5, 0.8, 1.0), seed=3)
+    benchmark(run_figure6, small)
+
+    result = figure6_result
+    print("\n" + result.to_table().to_text())
+
+    errors = result.mean_errors
+    # Errors shrink with the shot budget for every entanglement level.
+    assert np.all(errors[:, 0] >= errors[:, -1])
+    # More entanglement helps: the f=0.5 series is the worst, f=1.0 the best
+    # (averaged over the shot grid).
+    averaged = errors.mean(axis=1)
+    assert averaged[0] == max(averaged)
+    assert averaged[-1] == min(averaged)
+    # The κ values match Theorem 1 exactly.
+    expected_kappa = [2.0 / f - 1.0 for f in result.overlaps]
+    assert np.allclose(result.kappas, expected_kappa, atol=1e-9)

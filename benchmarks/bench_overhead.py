@@ -1,0 +1,40 @@
+"""Benchmark regenerating the overhead-versus-entanglement relation (Theorem 1 / Corollary 1).
+
+Run with ``pytest benchmarks/bench_overhead.py --benchmark-only -s``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import overhead_vs_entanglement, protocol_comparison
+
+
+def test_benchmark_overhead_curve(benchmark):
+    """Tabulate γ(f) and check the analytic values against the constructed QPDs."""
+    table = benchmark(overhead_vs_entanglement)
+    print("\n" + table.to_text())
+
+    gamma_theorem = np.array(table.columns["gamma_theorem1"])
+    gamma_corollary = np.array(table.columns["gamma_corollary1"])
+    kappa_constructed = np.array(table.columns["kappa_constructed"])
+    overlaps = np.array(table.columns["overlap_f"])
+
+    # Theorem 1 and Corollary 1 agree, and the explicit Theorem-2 QPD attains them.
+    assert np.allclose(gamma_theorem, gamma_corollary, atol=1e-9)
+    assert np.allclose(gamma_theorem, kappa_constructed, atol=1e-9)
+    # Endpoints: 3 without entanglement, 1 with maximal entanglement.
+    assert np.isclose(gamma_theorem[overlaps.argmin()], 3.0)
+    assert np.isclose(gamma_theorem[overlaps.argmax()], 1.0)
+    # Monotonically decreasing in f.
+    assert np.all(np.diff(gamma_theorem) < 0)
+
+
+def test_benchmark_protocol_comparison(benchmark):
+    """Tabulate κ for all implemented protocols; Peng > Harada > NME > teleportation."""
+    table = benchmark(protocol_comparison)
+    print("\n" + table.to_text())
+    kappa = dict(zip(table.columns["protocol"], table.columns["kappa"]))
+    assert kappa["peng"] == pytest.approx(4.0)
+    assert kappa["harada"] == pytest.approx(3.0)
+    assert kappa["teleportation"] == pytest.approx(1.0)
+    assert kappa["peng"] > kappa["harada"] > kappa["nme(f=0.8)"] > kappa["teleportation"]

@@ -1,0 +1,70 @@
+"""Benchmark the exactness of Theorem 2's QPD (and the baselines) at the circuit level.
+
+Run with ``pytest benchmarks/bench_qpd_exactness.py --benchmark-only -s``.
+
+For every protocol the benchmark builds the per-term circuits for a random
+input state, runs the exact branching density-matrix simulation, and checks
+the recombined value equals the uncut expectation value to numerical
+precision — the operational statement of "the decomposition reproduces the
+identity channel".
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.cutting import (
+    CutLocation,
+    HaradaWireCut,
+    NMEWireCut,
+    PengWireCut,
+    TeleportationWireCut,
+    build_sampling_model,
+)
+from repro.quantum import random_statevector
+
+_PROTOCOLS = [
+    ("peng", PengWireCut()),
+    ("harada", HaradaWireCut()),
+    ("nme_k0.3", NMEWireCut(0.3)),
+    ("nme_k0.7", NMEWireCut(0.7)),
+    ("teleportation", TeleportationWireCut()),
+]
+
+
+def _exactness_errors(num_states: int = 5) -> dict[str, float]:
+    errors = {}
+    for name, protocol in _PROTOCOLS:
+        worst = 0.0
+        for index in range(num_states):
+            state = random_statevector(1, seed=100 + index)
+            circuit = QuantumCircuit(1, 0)
+            circuit.initialize(state.data, 0)
+            model = build_sampling_model(circuit, CutLocation(0, len(circuit)), protocol, "Z")
+            worst = max(worst, abs(model.exact_cut_value() - model.exact_value))
+        errors[name] = worst
+    return errors
+
+
+def test_benchmark_qpd_exactness(benchmark):
+    """Every protocol reconstructs the uncut expectation value exactly (infinite-shot limit)."""
+    errors = benchmark(_exactness_errors)
+    print("\nworst-case reconstruction error over random states:")
+    for name, error in errors.items():
+        print(f"  {name:<16} {error:.2e}")
+    assert all(error < 1e-9 for error in errors.values())
+
+
+def test_benchmark_channel_level_identity(benchmark):
+    """Channel-level verification: the summed superoperators equal the identity map."""
+
+    def verify_all() -> float:
+        worst = 0.0
+        for _, protocol in _PROTOCOLS:
+            superop = protocol.decomposition().superoperator()
+            worst = max(worst, float(np.max(np.abs(superop - np.eye(4)))))
+        return worst
+
+    worst = benchmark(verify_all)
+    print(f"\nworst-case |Σ c_i S_i − I| entry: {worst:.2e}")
+    assert worst < 1e-9

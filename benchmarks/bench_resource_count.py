@@ -1,0 +1,37 @@
+"""Benchmark regenerating the entangled-pair consumption relation (end of Section III).
+
+Run with ``pytest benchmarks/bench_resource_count.py --benchmark-only -s``.
+
+The paper states that the number of entangled pairs consumed by the
+Theorem-2 QPD is proportional to ``2(k²+1)/(k+1)² = ⟨Φ|Φ_k|Φ⟩⁻¹`` and
+decreases as the entanglement grows.  The benchmark tabulates the relation
+and cross-checks it against the protocol's own resource accounting and the
+inverse-overlap identity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cutting import NMEWireCut
+from repro.experiments import resource_consumption
+
+
+def test_benchmark_resource_consumption(benchmark):
+    """Tabulate pair consumption versus k and verify the paper's identities."""
+    table = benchmark(resource_consumption)
+    print("\n" + table.to_text())
+
+    two_a = np.array(table.columns["pairs_proportionality_2a"])
+    inverse_overlap = np.array(table.columns["inverse_overlap"])
+    k_values = np.array(table.columns["k"])
+
+    # 2(k²+1)/(k+1)² equals ⟨Φ|Φ_k|Φ⟩⁻¹.
+    assert np.allclose(two_a, inverse_overlap, atol=1e-9)
+    # It decreases monotonically towards 1 as k → 1.
+    assert np.all(np.diff(two_a) < 1e-12)
+    assert two_a[-1] == pytest.approx(1.0)
+
+    # The protocol's own accounting matches the analytic expectation.
+    for k, expected in zip(k_values, table.columns["expected_pairs_per_shot"]):
+        protocol = NMEWireCut(float(k))
+        assert protocol.expected_pairs_per_shot() == pytest.approx(expected, abs=1e-12)

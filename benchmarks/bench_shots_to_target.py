@@ -1,0 +1,34 @@
+"""Benchmark: shots needed to reach a fixed accuracy (the κ²/ε² law).
+
+Run with ``pytest benchmarks/bench_shots_to_target.py --benchmark-only -s``.
+
+The paper states that a fixed accuracy needs O(κ²/ε²) shots; this benchmark
+measures the minimal shot budget per entanglement level that reaches a 0.05
+mean error and checks that the measured budgets grow with κ (and hence that
+the entanglement-free cut needs several times more shots than teleportation).
+"""
+
+import pytest
+
+from repro.experiments import ShotsToTargetConfig, shots_to_target_error
+
+
+def test_benchmark_shots_to_target(benchmark):
+    """Measured shot requirements increase with κ, as the κ² law predicts."""
+    config = ShotsToTargetConfig(
+        target_error=0.05,
+        overlaps=(0.5, 0.8, 1.0),
+        num_states=25,
+        candidate_budgets=(100, 200, 400, 800, 1600, 3200, 6400),
+        seed=77,
+    )
+    table = benchmark(shots_to_target_error, config)
+    print("\n" + table.to_text())
+
+    shots = dict(zip(table.columns["overlap_f"], table.columns["shots_needed"]))
+    # Every level reached the target within the candidate range.
+    assert all(value > 0 for value in shots.values())
+    # More entanglement → fewer (or equal, given the coarse budget grid) shots.
+    assert shots[0.5] >= shots[0.8] >= shots[1.0]
+    # The plain cut needs a strictly larger budget than teleportation.
+    assert shots[0.5] > shots[1.0]

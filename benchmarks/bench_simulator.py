@@ -1,0 +1,55 @@
+"""Performance benchmarks of the simulator substrate.
+
+Run with ``pytest benchmarks/bench_simulator.py --benchmark-only``.
+
+These do not correspond to a table in the paper; they document the cost of
+the substrate the experiments run on (statevector evolution, branching
+density-matrix simulation of the teleportation gadget, and shot sampling),
+so performance regressions in the substrate are visible.
+"""
+
+import pytest
+
+from repro.circuits import DensityMatrixSimulator, ShotSimulator, StatevectorSimulator
+from repro.experiments import ghz_circuit, random_layered_circuit
+from repro.teleport import teleportation_circuit
+from repro.quantum import random_statevector
+
+
+def test_benchmark_statevector_random_circuit(benchmark):
+    """Statevector simulation of a random 8-qubit, depth-6 layered circuit."""
+    circuit = random_layered_circuit(8, 6, seed=1)
+    simulator = StatevectorSimulator()
+    state = benchmark(simulator.run, circuit)
+    assert abs(float((abs(state.data) ** 2).sum()) - 1.0) < 1e-9
+
+
+def test_benchmark_density_matrix_teleportation(benchmark):
+    """Exact branching simulation of the 3-qubit teleportation circuit."""
+    message = random_statevector(1, seed=2)
+    circuit = teleportation_circuit(message_state=message, resource=0.7)
+    simulator = DensityMatrixSimulator()
+    result = benchmark(simulator.run, circuit)
+    assert len(result.branches) == 4
+
+
+def test_benchmark_shot_sampling_ghz(benchmark):
+    """Exact-distribution sampling of 10k shots from a 6-qubit GHZ circuit."""
+    from repro.circuits import QuantumCircuit
+
+    circuit = QuantumCircuit(6, 6, name="ghz_measured")
+    circuit.compose(ghz_circuit(6), inplace=True)
+    circuit.measure_all()
+    simulator = ShotSimulator(method="exact")
+    counts = benchmark(simulator.run, circuit, 10_000, 7)
+    assert counts.shots == 10_000
+    assert set(counts.keys()) <= {"000000", "111111"}
+
+
+def test_benchmark_trajectory_sampling(benchmark):
+    """Per-shot trajectory sampling (500 shots) of the teleportation circuit."""
+    message = random_statevector(1, seed=3)
+    circuit = teleportation_circuit(message_state=message, resource=1.0)
+    simulator = ShotSimulator(method="trajectory")
+    counts = benchmark(simulator.run, circuit, 500, 11)
+    assert counts.shots == 500

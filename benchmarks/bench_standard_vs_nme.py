@@ -1,0 +1,25 @@
+"""Benchmark comparing the baseline wire cuts against the NME cut at a fixed shot budget.
+
+Run with ``pytest benchmarks/bench_standard_vs_nme.py --benchmark-only -s``.
+
+This regenerates the "who wins" ordering underlying Figure 6: at a fixed
+budget the error ordering should follow the κ ordering
+Peng (4) > Harada (3) > NME (1..3) > teleportation (1).
+"""
+
+import pytest
+
+from repro.experiments import protocol_error_comparison
+
+
+def test_benchmark_standard_vs_nme(benchmark):
+    """Average error per protocol at 2000 shots over a shared random-state workload."""
+    table = benchmark(protocol_error_comparison, num_states=25, shots=2000, seed=13)
+    print("\n" + table.to_text())
+    errors = dict(zip(table.columns["protocol"], table.columns["mean_error"]))
+    # The entanglement-assisted protocols beat the entanglement-free baselines.
+    assert errors["nme(f=0.9)"] < errors["harada"]
+    assert errors["nme(f=0.9)"] < errors["peng"]
+    assert errors["teleportation"] < errors["harada"]
+    # The κ=4 baseline is the worst of the bunch (allowing small statistical slack).
+    assert errors["peng"] >= 0.8 * errors["harada"]

@@ -1,0 +1,14 @@
+"""Pytest bootstrap.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. on offline machines where ``pip install -e .`` is unavailable because
+the ``wheel`` package is missing).  When the package *is* installed this is a
+no-op apart from putting the in-tree sources first on ``sys.path``.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

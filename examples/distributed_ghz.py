@@ -1,0 +1,73 @@
+"""Distribute a GHZ-state circuit across two simulated devices by cutting a wire.
+
+Run with ``python examples/distributed_ghz.py``.
+
+A 4-qubit GHZ preparation circuit is cut on the wire between qubits 1 and 2,
+so that qubits 0-1 can run on one device and qubits 2-3 on another, connected
+only by classical communication (plus, for the NME protocols, one pre-shared
+entangled pair per teleportation shot).  The example estimates the GHZ
+parity observable ⟨Z Z Z Z⟩ (exactly 1 for the ideal state) through the cut
+and reports the error and resource usage per protocol.
+"""
+
+from repro.circuits import exact_expectation
+from repro.cutting import (
+    CutLocation,
+    HaradaWireCut,
+    NMEWireCut,
+    PengWireCut,
+    TeleportationWireCut,
+    estimate_cut_expectation,
+)
+from repro.experiments import ghz_circuit
+from repro.quantum import PauliString
+
+SHOTS = 6000
+SEED = 99
+
+
+def main() -> None:
+    num_qubits = 4
+    circuit = ghz_circuit(num_qubits)
+    observable = PauliString("Z" * num_qubits)
+
+    # Cut the wire of qubit 1 right after the CX(1, 2) sender-side gate would
+    # need it — i.e. after instruction 2 (h, cx01, cx12): we cut between
+    # cx(0,1) and cx(1,2) so that the circuit splits into {q0,q1} and {q2,q3}.
+    cut_position = 2  # after h(0), cx(0,1)
+    location = CutLocation(qubit=1, position=cut_position)
+
+    exact = exact_expectation(circuit, observable.to_matrix())
+    print(f"4-qubit GHZ circuit, observable <ZZZZ>, exact value = {exact:.4f}")
+    print(f"cut: wire of qubit {location.qubit} after instruction {location.position}\n")
+    print(f"{'protocol':<22}{'kappa':>8}{'estimate':>12}{'error':>10}{'pairs/shot':>12}")
+    print("-" * 64)
+
+    protocols = [
+        ("peng (kappa=4)", PengWireCut()),
+        ("harada (kappa=3)", HaradaWireCut()),
+        ("nme f=0.8", NMEWireCut.from_overlap(0.8)),
+        ("nme f=0.95", NMEWireCut.from_overlap(0.95)),
+        ("teleportation", TeleportationWireCut()),
+    ]
+    for name, protocol in protocols:
+        result = estimate_cut_expectation(
+            circuit, location, protocol, observable=observable, shots=SHOTS, seed=SEED
+        )
+        pairs = getattr(protocol, "expected_pairs_per_shot", lambda: 0.0)()
+        if isinstance(protocol, TeleportationWireCut):
+            pairs = 1.0
+        print(
+            f"{name:<22}{result.kappa:>8.3f}{result.value:>12.4f}"
+            f"{result.error:>10.4f}{pairs:>12.3f}"
+        )
+
+    print(
+        "\nHigher entanglement in the pre-shared pair lowers both the sampling "
+        "overhead (kappa) and the observed error at a fixed shot budget, at the "
+        "price of consuming entangled pairs."
+    )
+
+
+if __name__ == "__main__":
+    main()

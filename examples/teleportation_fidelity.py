@@ -1,0 +1,70 @@
+"""Teleportation with NME resource states: fidelity versus entanglement.
+
+Run with ``python examples/teleportation_fidelity.py``.
+
+Compares three ways of using a non-maximally entangled pair |Φ_k⟩:
+
+1. *Plain teleportation* through |Φ_k⟩ — deterministic but noisy: the output
+   suffers Pauli-Z errors (Eq. 22) and the average fidelity drops below 1.
+2. *Probabilistic (Agrawal–Pati) teleportation* — exact when it succeeds,
+   but succeeds only with probability 2k²/(1+k²).
+3. *The paper's NME wire cut* — exact in expectation for any k, at the cost
+   of the sampling overhead γ = 4(k²+1)/(k+1)² − 1.
+
+The comparison shows where the wire cut sits between the two classical
+alternatives: it trades neither fidelity nor determinism, only shots.
+"""
+
+import numpy as np
+
+from repro.circuits import DensityMatrixSimulator
+from repro.cutting.overhead import nme_overhead
+from repro.quantum import overlap_from_k, random_statevector, state_fidelity
+from repro.teleport import (
+    expected_attempts,
+    phi_k_average_fidelity,
+    success_probability,
+    teleportation_circuit,
+)
+
+SEED = 5
+
+
+def simulated_fidelity(k: float, num_states: int = 25) -> float:
+    """Average fidelity of the full teleportation circuit with resource |Φ_k⟩."""
+    simulator = DensityMatrixSimulator()
+    fidelities = []
+    for index in range(num_states):
+        message = random_statevector(1, seed=SEED + index)
+        circuit = teleportation_circuit(message_state=message, resource=k)
+        result = simulator.run(circuit)
+        output = result.average_state().partial_trace([0, 1])
+        fidelities.append(state_fidelity(message, output))
+    return float(np.mean(fidelities))
+
+
+def main() -> None:
+    print(
+        f"{'k':>6}{'f(Phi_k)':>10}{'tel. fidelity':>15}{'(simulated)':>13}"
+        f"{'prob. success':>15}{'attempts/success':>18}{'wire-cut gamma':>16}"
+    )
+    print("-" * 93)
+    for k in (0.1, 0.25, 0.5, 0.75, 1.0):
+        analytic = phi_k_average_fidelity(k)
+        simulated = simulated_fidelity(k)
+        p_succ = success_probability(k)
+        attempts = expected_attempts(k)
+        print(
+            f"{k:>6.2f}{overlap_from_k(k):>10.3f}"
+            f"{analytic:>15.4f}{simulated:>13.4f}"
+            f"{p_succ:>15.3f}{attempts:>18.2f}{nme_overhead(k):>16.3f}"
+        )
+
+    print(
+        "\nPlain teleportation loses fidelity, probabilistic teleportation loses "
+        "determinism; the NME wire cut keeps both and pays only in sampling overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that environments without the ``wheel`` package (offline machines using
+the legacy editable-install path) can still run ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

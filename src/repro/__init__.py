@@ -1,0 +1,51 @@
+"""repro — reproduction of *Cutting a Wire with Non-Maximally Entangled States*.
+
+The package provides:
+
+* :mod:`repro.quantum` — quantum-information substrate (states, gates,
+  channels, entanglement measures, NME resource states),
+* :mod:`repro.circuits` — a circuit IR plus statevector, density-matrix and
+  shot-based simulators (the Qiskit Aer replacement),
+* :mod:`repro.qpd` — quasiprobability decompositions and Monte-Carlo
+  estimators,
+* :mod:`repro.teleport` — quantum teleportation with arbitrary resource states,
+* :mod:`repro.cutting` — wire-cutting protocols, including the paper's NME
+  wire cut (Theorem 2), plus baselines and extensions,
+* :mod:`repro.experiments` — the workloads and sweeps regenerating the
+  paper's evaluation (Figure 6 and the analytic overhead relations).
+
+Quickstart
+----------
+>>> from repro import cut_expectation_value, NMEWireCut
+>>> from repro.quantum import random_statevector
+>>> state = random_statevector(1, seed=7)
+>>> protocol = NMEWireCut.from_overlap(0.9)
+>>> result = cut_expectation_value(state, protocol, shots=4000, seed=11)
+>>> abs(result.value - state.expectation_value([[1, 0], [0, -1]]).real) < 0.2
+True
+"""
+
+from repro._version import __version__
+from repro.cutting import (
+    HaradaWireCut,
+    NMEWireCut,
+    PengWireCut,
+    TeleportationWireCut,
+    cut_expectation_value,
+    nme_overhead,
+    optimal_overhead,
+)
+from repro.quantum import DensityMatrix, Statevector
+
+__all__ = [
+    "__version__",
+    "Statevector",
+    "DensityMatrix",
+    "NMEWireCut",
+    "HaradaWireCut",
+    "PengWireCut",
+    "TeleportationWireCut",
+    "cut_expectation_value",
+    "optimal_overhead",
+    "nme_overhead",
+]

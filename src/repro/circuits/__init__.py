@@ -1,0 +1,53 @@
+"""Circuit model and simulators (the Qiskit / Qiskit Aer replacement).
+
+Public API
+----------
+:class:`QuantumCircuit`
+    Gate-level circuit IR with mid-circuit measurement, classical
+    conditioning, reset and state initialisation.
+:class:`StatevectorSimulator`
+    Exact statevector simulation of unitary circuits.
+:class:`DensityMatrixSimulator`
+    Exact simulation of the full instruction set with per-classical-branch
+    density matrices.
+:class:`ShotSimulator`
+    Finite-shot sampling (exact-distribution or trajectory methods).
+:class:`Counts`
+    Outcome histograms.
+"""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.counts import Counts
+from repro.circuits.drawer import draw
+from repro.circuits.density_matrix_simulator import (
+    Branch,
+    BranchedResult,
+    DensityMatrixSimulator,
+    simulate_density_matrix,
+)
+from repro.circuits.expectation import (
+    exact_expectation,
+    measurement_basis_change,
+    sampled_pauli_expectation,
+)
+from repro.circuits.instruction import Instruction
+from repro.circuits.shot_simulator import ShotSimulator, run_and_sample
+from repro.circuits.statevector_simulator import StatevectorSimulator, simulate_statevector
+
+__all__ = [
+    "QuantumCircuit",
+    "Instruction",
+    "Counts",
+    "draw",
+    "StatevectorSimulator",
+    "simulate_statevector",
+    "DensityMatrixSimulator",
+    "simulate_density_matrix",
+    "BranchedResult",
+    "Branch",
+    "ShotSimulator",
+    "run_and_sample",
+    "exact_expectation",
+    "sampled_pauli_expectation",
+    "measurement_basis_change",
+]

@@ -1,0 +1,160 @@
+"""Measurement outcome containers.
+
+:class:`Counts` stores a histogram of classical-register bitstrings, keyed in
+the library-wide convention of classical bit 0 being the *leftmost* character
+of the bitstring.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["Counts"]
+
+
+class Counts(Mapping[str, int]):
+    """A histogram of measurement outcomes.
+
+    Parameters
+    ----------
+    data:
+        Mapping of bitstrings to non-negative integer counts.
+    num_clbits:
+        Width of the classical register; inferred from the keys when omitted.
+    """
+
+    def __init__(self, data: Mapping[str, int] | None = None, num_clbits: int | None = None):
+        data = dict(data or {})
+        for key, value in data.items():
+            if value < 0:
+                raise ValueError(f"count for {key!r} must be non-negative, got {value}")
+            if set(key) - {"0", "1"}:
+                raise ValueError(f"outcome keys must be bitstrings, got {key!r}")
+        lengths = {len(key) for key in data}
+        if len(lengths) > 1:
+            raise ValueError(f"inconsistent bitstring lengths {sorted(lengths)}")
+        if num_clbits is None:
+            num_clbits = lengths.pop() if lengths else 0
+        elif lengths and lengths.pop() != num_clbits:
+            raise ValueError("bitstring length does not match num_clbits")
+        self._data = {key: int(value) for key, value in data.items() if value > 0}
+        self.num_clbits = int(num_clbits)
+
+    # -- mapping protocol ------------------------------------------------------
+
+    def __getitem__(self, key: str) -> int:
+        return self._data.get(key, 0)
+
+    def __contains__(self, key: object) -> bool:
+        # Missing keys read as zero via __getitem__, but membership reflects
+        # only outcomes that were actually observed.
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counts({self._data}, num_clbits={self.num_clbits})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Counts):
+            return self._data == other._data
+        if isinstance(other, Mapping):
+            return self._data == {k: v for k, v in other.items() if v > 0}
+        return NotImplemented
+
+    # -- aggregation ------------------------------------------------------------
+
+    @property
+    def shots(self) -> int:
+        """Total number of shots recorded."""
+        return sum(self._data.values())
+
+    def probabilities(self) -> dict[str, float]:
+        """Return the empirical outcome distribution."""
+        total = self.shots
+        if total == 0:
+            return {}
+        return {key: value / total for key, value in self._data.items()}
+
+    def most_frequent(self) -> str:
+        """Return the most frequent outcome (ties broken lexicographically)."""
+        if not self._data:
+            raise ValueError("no outcomes recorded")
+        return min(self._data, key=lambda key: (-self._data[key], key))
+
+    def marginal(self, clbits: Sequence[int]) -> "Counts":
+        """Return counts marginalised onto the given classical bits (in that order)."""
+        result: dict[str, int] = {}
+        for key, value in self._data.items():
+            reduced = "".join(key[c] for c in clbits)
+            result[reduced] = result.get(reduced, 0) + value
+        return Counts(result, num_clbits=len(clbits))
+
+    def add(self, other: "Counts | Mapping[str, int]") -> "Counts":
+        """Return the elementwise sum of two count histograms."""
+        result = dict(self._data)
+        for key, value in dict(other).items():
+            result[key] = result.get(key, 0) + value
+        width = max(self.num_clbits, getattr(other, "num_clbits", self.num_clbits))
+        return Counts(result, num_clbits=width)
+
+    def expectation_z(self, clbits: Sequence[int] | None = None) -> float:
+        """Return the empirical mean of ``(-1)^{parity of selected bits}``.
+
+        With ``clbits=None`` the parity of the whole register is used.  This
+        is the estimator for a tensor product of Z observables measured in the
+        computational basis.
+        """
+        if self.shots == 0:
+            raise ValueError("no outcomes recorded")
+        selected = list(range(self.num_clbits)) if clbits is None else list(clbits)
+        accumulator = 0
+        for key, value in self._data.items():
+            parity = sum(int(key[c]) for c in selected) % 2
+            accumulator += ((-1) ** parity) * value
+        return accumulator / self.shots
+
+    # -- constructors --------------------------------------------------------------
+
+    @classmethod
+    def from_probabilities(
+        cls,
+        probabilities: Mapping[str, float] | np.ndarray,
+        shots: int,
+        num_clbits: int | None = None,
+        seed: SeedLike = None,
+    ) -> "Counts":
+        """Sample a multinomial histogram of ``shots`` outcomes from a distribution.
+
+        ``probabilities`` can be a bitstring → probability mapping or a dense
+        vector indexed by the integer value of the bitstring.
+        """
+        if shots < 0:
+            raise ValueError(f"shots must be non-negative, got {shots}")
+        rng = as_generator(seed)
+        if isinstance(probabilities, np.ndarray):
+            vector = np.asarray(probabilities, dtype=float)
+            if num_clbits is None:
+                num_clbits = max(1, int(np.ceil(np.log2(vector.shape[0]))))
+            keys = [format(i, f"0{num_clbits}b") for i in range(vector.shape[0])]
+        else:
+            keys = list(probabilities.keys())
+            vector = np.array([probabilities[k] for k in keys], dtype=float)
+            if num_clbits is None:
+                num_clbits = len(keys[0]) if keys else 0
+        if shots == 0 or vector.size == 0:
+            return cls({}, num_clbits=num_clbits)
+        total = vector.sum()
+        if total <= 0:
+            raise ValueError("probabilities must have positive total weight")
+        sampled = rng.multinomial(shots, vector / total)
+        data = {keys[i]: int(sampled[i]) for i in np.flatnonzero(sampled)}
+        return cls(data, num_clbits=num_clbits)

@@ -1,0 +1,252 @@
+"""Exact density-matrix simulation with classical branching.
+
+This simulator executes the *full* instruction set — gates, mid-circuit
+measurement, classically conditioned gates, reset and initialise — exactly.
+It maintains one (sub-normalised) density matrix per classical-register
+value reached so far, which keeps feed-forward exact: a conditioned gate is
+applied only to the branches whose classical bits satisfy the condition.
+
+The number of branches is at most ``2^{#measurements}``, which is tiny for
+the teleportation and wire-cut circuits (≤ 3 measurements), so this is both
+exact and fast.  The exact classical-outcome distribution it produces is what
+the fast "exact sampling" mode of :class:`~repro.circuits.shot_simulator.ShotSimulator`
+draws from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import BARRIER, GATE, INITIALIZE, MEASURE, RESET
+from repro.quantum.states import DensityMatrix, Statevector
+from repro.utils.linalg import expand_operator
+
+__all__ = ["DensityMatrixSimulator", "BranchedResult", "Branch"]
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One classical branch of an executed circuit.
+
+    Attributes
+    ----------
+    clbits:
+        The classical register value of this branch (bit 0 first).
+    probability:
+        The probability of ending in this branch.
+    state:
+        The *normalised* conditional quantum state of the branch; ``None``
+        when the branch has zero probability.
+    """
+
+    clbits: tuple[int, ...]
+    probability: float
+    state: DensityMatrix | None
+
+    @property
+    def bitstring(self) -> str:
+        """The branch's classical value as a bitstring (clbit 0 leftmost)."""
+        return "".join(str(b) for b in self.clbits)
+
+
+@dataclass(frozen=True)
+class BranchedResult:
+    """Exact result of a density-matrix simulation.
+
+    Attributes
+    ----------
+    branches:
+        All classical branches with non-zero probability.
+    num_clbits:
+        Width of the classical register.
+    """
+
+    branches: tuple[Branch, ...]
+    num_clbits: int
+
+    def classical_distribution(self) -> dict[str, float]:
+        """Return the exact probability of each classical-register value."""
+        distribution: dict[str, float] = {}
+        for branch in self.branches:
+            distribution[branch.bitstring] = distribution.get(branch.bitstring, 0.0) + branch.probability
+        return distribution
+
+    def average_state(self) -> DensityMatrix:
+        """Return the ensemble-average density matrix over all branches."""
+        total = None
+        for branch in self.branches:
+            if branch.state is None:
+                continue
+            contribution = branch.probability * branch.state.data
+            total = contribution if total is None else total + contribution
+        if total is None:
+            raise SimulationError("no branch carries probability")
+        return DensityMatrix(total, validate=False)
+
+    def expectation_value(self, observable: np.ndarray) -> complex:
+        """Return ``Tr[O ρ_avg]`` over the branch-averaged state."""
+        return self.average_state().expectation_value(observable)
+
+    def conditional_state(self, bitstring: str) -> DensityMatrix:
+        """Return the normalised state conditioned on a classical outcome."""
+        matches = [b for b in self.branches if b.bitstring == bitstring and b.state is not None]
+        if not matches:
+            raise SimulationError(f"no branch with classical value {bitstring!r}")
+        weight = sum(b.probability for b in matches)
+        total = sum(b.probability * b.state.data for b in matches)
+        return DensityMatrix(total / weight, validate=False)
+
+
+class DensityMatrixSimulator:
+    """Exact simulator supporting the full instruction set."""
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_state: DensityMatrix | Statevector | np.ndarray | None = None,
+    ) -> BranchedResult:
+        """Execute ``circuit`` exactly and return all classical branches."""
+        rho = self._initial_density(circuit, initial_state)
+        num_qubits = circuit.num_qubits
+        num_clbits = circuit.num_clbits
+        # Branch table: classical value (tuple of bits) -> unnormalised density matrix.
+        branches: dict[tuple[int, ...], np.ndarray] = {tuple([0] * num_clbits): rho}
+
+        for instruction in circuit.instructions:
+            if instruction.kind == BARRIER:
+                continue
+            if instruction.kind == GATE:
+                branches = self._apply_gate(branches, instruction, num_qubits)
+            elif instruction.kind == MEASURE:
+                branches = self._apply_measure(branches, instruction, num_qubits)
+            elif instruction.kind == RESET:
+                branches = self._apply_reset(branches, instruction, num_qubits)
+            elif instruction.kind == INITIALIZE:
+                branches = self._apply_initialize(branches, instruction, num_qubits)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unsupported instruction kind {instruction.kind!r}")
+
+        result_branches = []
+        for clbits, matrix in branches.items():
+            probability = float(np.real(np.trace(matrix)))
+            if probability <= 1e-15:
+                continue
+            state = DensityMatrix(matrix / probability, validate=False)
+            result_branches.append(Branch(clbits=clbits, probability=probability, state=state))
+        result_branches.sort(key=lambda b: b.clbits)
+        return BranchedResult(branches=tuple(result_branches), num_clbits=num_clbits)
+
+    # -- instruction handlers ---------------------------------------------------
+
+    @staticmethod
+    def _initial_density(
+        circuit: QuantumCircuit,
+        initial_state: DensityMatrix | Statevector | np.ndarray | None,
+    ) -> np.ndarray:
+        if initial_state is None:
+            dim = 2**circuit.num_qubits
+            rho = np.zeros((dim, dim), dtype=complex)
+            rho[0, 0] = 1.0
+            return rho
+        if isinstance(initial_state, Statevector):
+            rho = initial_state.to_density_matrix().data
+        elif isinstance(initial_state, DensityMatrix):
+            rho = initial_state.data.copy()
+        else:
+            array = np.asarray(initial_state, dtype=complex)
+            rho = np.outer(array, array.conj()) if array.ndim == 1 else array.copy()
+        if rho.shape != (2**circuit.num_qubits,) * 2:
+            raise SimulationError(
+                f"initial state dimension {rho.shape} does not match circuit "
+                f"({circuit.num_qubits} qubits)"
+            )
+        return rho
+
+    @staticmethod
+    def _apply_gate(
+        branches: dict[tuple[int, ...], np.ndarray],
+        instruction,
+        num_qubits: int,
+    ) -> dict[tuple[int, ...], np.ndarray]:
+        unitary = expand_operator(instruction.matrix, list(instruction.qubits), num_qubits)
+        unitary_dag = unitary.conj().T
+        updated: dict[tuple[int, ...], np.ndarray] = {}
+        for clbits, matrix in branches.items():
+            if instruction.condition is not None:
+                clbit, value = instruction.condition
+                if clbits[clbit] != value:
+                    updated[clbits] = matrix
+                    continue
+            updated[clbits] = unitary @ matrix @ unitary_dag
+        return updated
+
+    @staticmethod
+    def _projectors(qubit: int, num_qubits: int) -> tuple[np.ndarray, np.ndarray]:
+        p0 = expand_operator(np.diag([1.0, 0.0]).astype(complex), [qubit], num_qubits)
+        p1 = expand_operator(np.diag([0.0, 1.0]).astype(complex), [qubit], num_qubits)
+        return p0, p1
+
+    def _apply_measure(
+        self,
+        branches: dict[tuple[int, ...], np.ndarray],
+        instruction,
+        num_qubits: int,
+    ) -> dict[tuple[int, ...], np.ndarray]:
+        qubit = instruction.qubits[0]
+        clbit = instruction.clbits[0]
+        p0, p1 = self._projectors(qubit, num_qubits)
+        updated: dict[tuple[int, ...], np.ndarray] = {}
+        for clbits, matrix in branches.items():
+            for outcome, projector in ((0, p0), (1, p1)):
+                piece = projector @ matrix @ projector
+                if np.trace(piece).real <= 1e-16:
+                    continue
+                new_clbits = list(clbits)
+                new_clbits[clbit] = outcome
+                key = tuple(new_clbits)
+                updated[key] = updated.get(key, 0) + piece
+        return updated
+
+    def _apply_reset(
+        self,
+        branches: dict[tuple[int, ...], np.ndarray],
+        instruction,
+        num_qubits: int,
+    ) -> dict[tuple[int, ...], np.ndarray]:
+        qubit = instruction.qubits[0]
+        # Reset channel: K0 = |0><0|, K1 = |0><1| on the target qubit.
+        k0 = expand_operator(np.array([[1, 0], [0, 0]], dtype=complex), [qubit], num_qubits)
+        k1 = expand_operator(np.array([[0, 1], [0, 0]], dtype=complex), [qubit], num_qubits)
+        updated: dict[tuple[int, ...], np.ndarray] = {}
+        for clbits, matrix in branches.items():
+            updated[clbits] = k0 @ matrix @ k0.conj().T + k1 @ matrix @ k1.conj().T
+        return updated
+
+    def _apply_initialize(
+        self,
+        branches: dict[tuple[int, ...], np.ndarray],
+        instruction,
+        num_qubits: int,
+    ) -> dict[tuple[int, ...], np.ndarray]:
+        qubits = list(instruction.qubits)
+        target = np.asarray(instruction.matrix, dtype=complex).ravel()
+        dim = 2 ** len(qubits)
+        # Kraus operators |target><j| for every basis state j of the subsystem.
+        kraus_local = [np.outer(target, np.eye(dim)[j]) for j in range(dim)]
+        kraus_full = [expand_operator(k, qubits, num_qubits) for k in kraus_local]
+        updated: dict[tuple[int, ...], np.ndarray] = {}
+        for clbits, matrix in branches.items():
+            updated[clbits] = sum(k @ matrix @ k.conj().T for k in kraus_full)
+        return updated
+
+
+def simulate_density_matrix(
+    circuit: QuantumCircuit,
+    initial_state: DensityMatrix | Statevector | np.ndarray | None = None,
+) -> BranchedResult:
+    """Convenience wrapper: run :class:`DensityMatrixSimulator` on ``circuit``."""
+    return DensityMatrixSimulator().run(circuit, initial_state)

@@ -1,0 +1,94 @@
+"""Plain-text circuit drawing.
+
+A lightweight ASCII renderer for :class:`~repro.circuits.circuit.QuantumCircuit`
+used by the examples and by error messages.  One column per instruction (no
+packing), one row per qubit plus one row per classical bit:
+
+>>> from repro.circuits import QuantumCircuit
+>>> from repro.circuits.drawer import draw
+>>> qc = QuantumCircuit(2, 1)
+>>> _ = qc.h(0).cx(0, 1).measure(1, 0)
+>>> print(draw(qc))  # doctest: +SKIP
+q0: ─[h]──●───────
+q1: ──────⊕──[M0]─
+c0: ═══════════╩══
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import BARRIER, GATE, INITIALIZE, MEASURE, RESET
+
+__all__ = ["draw"]
+
+_MIN_CELL_WIDTH = 7
+
+
+def _pad(symbol: str, fill: str, width: int) -> str:
+    total = max(width - len(symbol), 0)
+    left = total // 2
+    right = total - left
+    return fill * left + symbol + fill * right
+
+
+def _gate_symbol(instruction) -> str:
+    name = instruction.name
+    if instruction.params:
+        name += "(" + ",".join(f"{p:.2g}" for p in instruction.params) + ")"
+    return f"[{name}]"
+
+
+def draw(circuit: QuantumCircuit) -> str:
+    """Render ``circuit`` as a multi-line ASCII string."""
+    # First pass: collect the bare symbol per wire per column.
+    columns: list[tuple[dict[int, str], dict[int, str]]] = []
+    for instruction in circuit.instructions:
+        qubit_cells: dict[int, str] = {}
+        clbit_cells: dict[int, str] = {}
+
+        if instruction.kind == GATE:
+            if len(instruction.qubits) == 1:
+                qubit_cells[instruction.qubits[0]] = _gate_symbol(instruction)
+            else:
+                control, *targets = instruction.qubits
+                qubit_cells[control] = "●"
+                for target in targets[:-1]:
+                    qubit_cells[target] = "●"
+                label = {"cx": "⊕", "cz": "■", "swap": "x"}.get(instruction.name)
+                qubit_cells[targets[-1]] = label or _gate_symbol(instruction)
+            if instruction.condition is not None:
+                clbit, value = instruction.condition
+                clbit_cells[clbit] = f"?={value}"
+        elif instruction.kind == MEASURE:
+            qubit_cells[instruction.qubits[0]] = f"[M{instruction.clbits[0]}]"
+            clbit_cells[instruction.clbits[0]] = "╩"
+        elif instruction.kind == RESET:
+            qubit_cells[instruction.qubits[0]] = "[|0>]"
+        elif instruction.kind == INITIALIZE:
+            for qubit in instruction.qubits:
+                qubit_cells[qubit] = "[init]"
+        elif instruction.kind == BARRIER:
+            for qubit in instruction.qubits:
+                qubit_cells[qubit] = "░"
+        columns.append((qubit_cells, clbit_cells))
+
+    # Second pass: pad every column to the width of its longest symbol.
+    qubit_rows = [[] for _ in range(circuit.num_qubits)]
+    clbit_rows = [[] for _ in range(circuit.num_clbits)]
+    for qubit_cells, clbit_cells in columns:
+        width = max(
+            [_MIN_CELL_WIDTH]
+            + [len(s) for s in qubit_cells.values()]
+            + [len(s) for s in clbit_cells.values()]
+        )
+        for qubit in range(circuit.num_qubits):
+            qubit_rows[qubit].append(_pad(qubit_cells.get(qubit, ""), "─", width))
+        for clbit in range(circuit.num_clbits):
+            clbit_rows[clbit].append(_pad(clbit_cells.get(clbit, ""), "═", width))
+
+    lines = []
+    for qubit in range(circuit.num_qubits):
+        lines.append(f"q{qubit}: " + "".join(qubit_rows[qubit]))
+    for clbit in range(circuit.num_clbits):
+        lines.append(f"c{clbit}: " + "".join(clbit_rows[clbit]))
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Circuit instruction set.
+
+An :class:`Instruction` is an immutable record of one operation in a
+:class:`~repro.circuits.circuit.QuantumCircuit`.  Five kinds exist:
+
+``gate``
+    A unitary on one or more qubits, optionally classically conditioned.
+``measure``
+    A projective computational-basis measurement of one qubit into one
+    classical bit.
+``reset``
+    Reset of one qubit to ``|0⟩`` (measure and flip).
+``initialize``
+    Reset of a group of qubits followed by preparation of an arbitrary
+    pure state on them.
+``barrier``
+    A no-op scheduling marker (kept so circuit diagrams/fragments round-trip).
+
+Classical conditioning (``condition``) mirrors Qiskit's ``c_if``: the
+instruction is applied only when the given classical bit currently holds the
+given value.  This is how the classically controlled corrections of
+teleportation and the wire-cut circuits are expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+__all__ = ["Instruction", "GATE", "MEASURE", "RESET", "INITIALIZE", "BARRIER"]
+
+GATE = "gate"
+MEASURE = "measure"
+RESET = "reset"
+INITIALIZE = "initialize"
+BARRIER = "barrier"
+
+_KINDS = {GATE, MEASURE, RESET, INITIALIZE, BARRIER}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single circuit operation.
+
+    Attributes
+    ----------
+    kind:
+        One of ``gate``, ``measure``, ``reset``, ``initialize``, ``barrier``.
+    name:
+        Human-readable name (gate name, or the kind itself for non-gates).
+    qubits:
+        Target qubit indices, in operator order (first index = most
+        significant tensor factor of ``matrix``).
+    clbits:
+        Classical bits written by the instruction (only ``measure`` writes).
+    params:
+        Gate parameters (angles) for parameterised gates.
+    matrix:
+        Dense unitary for ``gate`` instructions; statevector for
+        ``initialize``; ``None`` otherwise.
+    condition:
+        Optional ``(clbit, value)`` pair; the instruction is skipped unless
+        the classical bit equals ``value`` at execution time.
+    """
+
+    kind: str
+    name: str
+    qubits: tuple[int, ...]
+    clbits: tuple[int, ...] = ()
+    params: tuple[float, ...] = ()
+    matrix: np.ndarray | None = field(default=None, compare=False)
+    condition: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise CircuitError(f"unknown instruction kind {self.kind!r}")
+        if self.kind == GATE and self.matrix is None:
+            raise CircuitError(f"gate instruction {self.name!r} requires a matrix")
+        if self.kind == MEASURE and (len(self.qubits) != 1 or len(self.clbits) != 1):
+            raise CircuitError("measure acts on exactly one qubit and one classical bit")
+        if self.kind == RESET and len(self.qubits) != 1:
+            raise CircuitError("reset acts on exactly one qubit")
+        if self.kind == INITIALIZE and self.matrix is None:
+            raise CircuitError("initialize requires a target statevector in `matrix`")
+        if self.condition is not None:
+            clbit, value = self.condition
+            if value not in (0, 1):
+                raise CircuitError(f"condition value must be 0 or 1, got {value}")
+            if clbit < 0:
+                raise CircuitError(f"condition clbit must be non-negative, got {clbit}")
+        if self.kind == GATE and self.matrix is not None:
+            expected = 2 ** len(self.qubits)
+            if self.matrix.shape != (expected, expected):
+                raise CircuitError(
+                    f"gate {self.name!r} matrix shape {self.matrix.shape} does not match "
+                    f"{len(self.qubits)} qubits"
+                )
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the instruction touches."""
+        return len(self.qubits)
+
+    @property
+    def is_conditional(self) -> bool:
+        """True when the instruction carries a classical condition."""
+        return self.condition is not None
+
+    def with_condition(self, clbit: int, value: int = 1) -> "Instruction":
+        """Return a copy of the instruction conditioned on ``clbits[clbit] == value``."""
+        if self.kind in (MEASURE, BARRIER):
+            raise CircuitError(f"{self.kind} instructions cannot be conditioned")
+        return replace(self, condition=(clbit, value))
+
+    def remap(self, qubit_map: dict[int, int], clbit_map: dict[int, int] | None = None) -> "Instruction":
+        """Return a copy with qubit (and optionally clbit) indices remapped."""
+        clbit_map = clbit_map or {}
+        new_qubits = tuple(qubit_map.get(q, q) for q in self.qubits)
+        new_clbits = tuple(clbit_map.get(c, c) for c in self.clbits)
+        new_condition = self.condition
+        if new_condition is not None:
+            new_condition = (clbit_map.get(new_condition[0], new_condition[0]), new_condition[1])
+        return replace(self, qubits=new_qubits, clbits=new_clbits, condition=new_condition)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [self.name, f"q={list(self.qubits)}"]
+        if self.clbits:
+            parts.append(f"c={list(self.clbits)}")
+        if self.params:
+            parts.append(f"params={list(np.round(self.params, 4))}")
+        if self.condition is not None:
+            parts.append(f"if c[{self.condition[0]}]=={self.condition[1]}")
+        return " ".join(parts)

@@ -1,0 +1,165 @@
+"""Command-line entry point: ``python -m repro.cli <command>``.
+
+Exposes the experiment harness without writing any Python:
+
+* ``figure6`` — regenerate the paper's Figure 6 sweep (optionally at full
+  paper scale) and write the table to CSV.
+* ``overhead`` — print the Theorem-1 / Corollary-1 overhead table.
+* ``protocols`` — print the κ comparison of all implemented protocols.
+* ``resources`` — print the entangled-pair consumption table.
+* ``ablations`` — run the allocation / gate-vs-wire / noisy-resource ablations.
+* ``cut`` — cut a demo GHZ circuit and report the estimate per protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Cutting a Wire with Non-Maximally Entangled States'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure6 = subparsers.add_parser("figure6", help="run the Figure-6 error-vs-shots sweep")
+    figure6.add_argument("--paper", action="store_true", help="full paper-scale configuration")
+    figure6.add_argument("--states", type=int, default=None, help="override the number of random states")
+    figure6.add_argument("--seed", type=int, default=2024)
+    figure6.add_argument("--csv", type=str, default=None, help="write the result table to this CSV path")
+
+    overhead = subparsers.add_parser("overhead", help="print the overhead-vs-entanglement table")
+    overhead.add_argument("--csv", type=str, default=None)
+
+    subparsers.add_parser("protocols", help="print the protocol κ comparison table")
+
+    subparsers.add_parser("resources", help="print the entangled-pair consumption table")
+
+    ablations = subparsers.add_parser("ablations", help="run the ablation experiments")
+    ablations.add_argument("--states", type=int, default=20)
+    ablations.add_argument("--shots", type=int, default=2000)
+    ablations.add_argument("--seed", type=int, default=11)
+
+    cut = subparsers.add_parser("cut", help="cut a GHZ demo circuit and compare protocols")
+    cut.add_argument("--qubits", type=int, default=4)
+    cut.add_argument("--shots", type=int, default=4000)
+    cut.add_argument("--overlap", type=float, default=0.9, help="entanglement f(Φ_k) of the NME protocol")
+    cut.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _command_figure6(args: argparse.Namespace) -> int:
+    from repro.experiments import Figure6Config, run_figure6, write_csv
+
+    config = Figure6Config.paper() if args.paper else Figure6Config(seed=args.seed)
+    if args.states is not None:
+        config = Figure6Config(
+            num_states=args.states,
+            shot_grid=config.shot_grid,
+            overlaps=config.overlaps,
+            allocation=config.allocation,
+            seed=args.seed,
+        )
+    result = run_figure6(config)
+    table = result.to_table()
+    print(table.to_text())
+    if args.csv:
+        print(f"wrote {write_csv(table, Path(args.csv))}")
+    return 0
+
+
+def _command_overhead(args: argparse.Namespace) -> int:
+    from repro.experiments import overhead_vs_entanglement, write_csv
+
+    table = overhead_vs_entanglement()
+    print(table.to_text())
+    if getattr(args, "csv", None):
+        print(f"wrote {write_csv(table, Path(args.csv))}")
+    return 0
+
+
+def _command_protocols(_: argparse.Namespace) -> int:
+    from repro.experiments import protocol_comparison
+
+    print(protocol_comparison().to_text())
+    return 0
+
+
+def _command_resources(_: argparse.Namespace) -> int:
+    from repro.experiments import resource_consumption
+
+    print(resource_consumption().to_text())
+    return 0
+
+
+def _command_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        allocation_strategy_ablation,
+        gate_vs_wire_cut,
+        noisy_resource_ablation,
+    )
+
+    print(allocation_strategy_ablation(num_states=args.states, shots=args.shots, seed=args.seed).to_text())
+    print()
+    print(gate_vs_wire_cut(shots=max(args.shots, 1000), seed=args.seed).to_text())
+    print()
+    print(noisy_resource_ablation().to_text())
+    return 0
+
+
+def _command_cut(args: argparse.Namespace) -> int:
+    from repro.cutting import (
+        CutLocation,
+        HaradaWireCut,
+        NMEWireCut,
+        PengWireCut,
+        TeleportationWireCut,
+        estimate_cut_expectation,
+    )
+    from repro.experiments import ghz_circuit
+    from repro.quantum import PauliString
+
+    circuit = ghz_circuit(args.qubits)
+    observable = PauliString("Z" * args.qubits)
+    location = CutLocation(qubit=1, position=2)
+    print(f"GHZ({args.qubits}) circuit, observable <{'Z' * args.qubits}>, {args.shots} shots")
+    print(f"{'protocol':<18}{'kappa':>8}{'estimate':>12}{'error':>10}")
+    for name, protocol in (
+        ("peng", PengWireCut()),
+        ("harada", HaradaWireCut()),
+        (f"nme f={args.overlap}", NMEWireCut.from_overlap(args.overlap)),
+        ("teleportation", TeleportationWireCut()),
+    ):
+        result = estimate_cut_expectation(
+            circuit, location, protocol, observable, shots=args.shots, seed=args.seed
+        )
+        print(f"{name:<18}{result.kappa:>8.3f}{result.value:>12.4f}{result.error:>10.4f}")
+    return 0
+
+
+_COMMANDS = {
+    "figure6": _command_figure6,
+    "overhead": _command_overhead,
+    "protocols": _command_protocols,
+    "resources": _command_resources,
+    "ablations": _command_ablations,
+    "cut": _command_cut,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the CLI and return the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

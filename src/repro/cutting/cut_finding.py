@@ -1,0 +1,163 @@
+"""Automatic search for wire-cut locations (related work [38, 39]).
+
+Circuit cutting is only useful if good cut points can be found.  This module
+implements a small, exact search for single- and few-wire cuts that partition
+a circuit into two fragments, each fitting a device with a limited number of
+qubits, while minimising the total sampling overhead:
+
+* the circuit is viewed as a dependency graph of instructions on wire
+  segments;
+* a *cut set* is a set of (qubit, position) locations; removing those wire
+  segments must disconnect the instruction graph into a "front" part (only
+  instructions before the cuts on the cut wires plus anything connected to
+  them) and a "back" part;
+* each fragment's width is the number of wires it touches (plus one receiver
+  qubit per incoming cut on the back fragment, plus any resource ancillas);
+* the cost of a cut set is the product of the per-cut overheads, i.e. κⁿ for
+  n identical single-wire cuts (Corollary 1 supplies κ as a function of the
+  available entanglement).
+
+The search enumerates *time-slice* cut sets — all cuts share a single
+position in the instruction stream — which is exactly the regime the paper's
+distribution scenario targets (split a circuit between two devices) and keeps
+the search exact and fast for the circuit sizes a statevector simulator can
+handle anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import CuttingError
+from repro.circuits.circuit import QuantumCircuit
+from repro.cutting.cutter import CutLocation
+from repro.cutting.overhead import nme_overhead
+
+__all__ = ["CutPlan", "find_time_slice_cuts", "fragment_widths"]
+
+
+@dataclass(frozen=True)
+class CutPlan:
+    """A proposed set of wire cuts splitting a circuit into two fragments.
+
+    Attributes
+    ----------
+    locations:
+        The wire-cut locations (all sharing the same instruction position).
+    front_qubits / back_qubits:
+        Qubits whose remaining instructions execute on the first / second
+        device.  Cut qubits appear in both (their wire continues on a
+        receiver qubit in the back fragment).
+    front_width / back_width:
+        Number of physical qubits each device needs, *including* the receiver
+        qubits for incoming cut wires (but excluding protocol ancillas, which
+        depend on the protocol chosen later).
+    sampling_overhead:
+        Product of the per-cut κ values used for ranking.
+    """
+
+    locations: tuple[CutLocation, ...]
+    front_qubits: tuple[int, ...]
+    back_qubits: tuple[int, ...]
+    front_width: int
+    back_width: int
+    sampling_overhead: float
+
+    @property
+    def num_cuts(self) -> int:
+        """Number of wire cuts in the plan."""
+        return len(self.locations)
+
+
+def _touched_qubits(circuit: QuantumCircuit, start: int, stop: int) -> set[int]:
+    """Return the qubits touched by instructions ``start:stop``."""
+    touched: set[int] = set()
+    for instruction in circuit.instructions[start:stop]:
+        touched.update(instruction.qubits)
+    return touched
+
+
+def fragment_widths(circuit: QuantumCircuit, position: int, cut_qubits: set[int]) -> tuple[int, int]:
+    """Return (front, back) fragment widths for a time-slice cut at ``position``.
+
+    The front fragment holds every qubit touched before the cut; the back
+    fragment holds every qubit touched after the cut, where each *cut* qubit
+    contributes a fresh receiver wire.
+    """
+    front = _touched_qubits(circuit, 0, position)
+    back = _touched_qubits(circuit, position, len(circuit))
+    # Qubits used after the cut but never cut must live entirely on the back
+    # device; qubits used on both sides and not cut force the fragments to
+    # overlap (handled by the caller as an invalid plan).
+    return len(front), len(back)
+
+
+def find_time_slice_cuts(
+    circuit: QuantumCircuit,
+    max_fragment_width: int,
+    entanglement_overlap: float | None = None,
+    max_cuts: int | None = None,
+) -> list[CutPlan]:
+    """Enumerate valid time-slice cut plans, best (lowest overhead) first.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to split (measurement-free on the wires to be cut).
+    max_fragment_width:
+        Maximum number of qubits either device can hold (receiver qubits for
+        cut wires count; protocol ancillas do not).
+    entanglement_overlap:
+        Entanglement level ``f(Φ_k)`` available between the devices; ``None``
+        means no entanglement (κ = 3 per cut).  Used only to rank plans by
+        total sampling overhead.
+    max_cuts:
+        Optional upper bound on the number of simultaneous cuts.
+
+    Returns
+    -------
+    list[CutPlan]
+        All valid plans sorted by (overhead, number of cuts).  Empty when the
+        circuit cannot be split at any time slice under the width constraint.
+    """
+    if max_fragment_width < 1:
+        raise CuttingError("max_fragment_width must be at least 1")
+    if entanglement_overlap is None:
+        per_cut_kappa = 3.0
+    else:
+        from repro.quantum.bell import k_from_overlap
+
+        per_cut_kappa = nme_overhead(k_from_overlap(entanglement_overlap))
+
+    plans: list[CutPlan] = []
+    num_instructions = len(circuit)
+    for position in range(1, num_instructions):
+        front = _touched_qubits(circuit, 0, position)
+        back = _touched_qubits(circuit, position, num_instructions)
+        # Wires crossing the slice must be cut.
+        crossing = front & back
+        if max_cuts is not None and len(crossing) > max_cuts:
+            continue
+        if not crossing:
+            # The circuit already factorises at this slice; no cut needed, so
+            # it is not a cutting plan (callers can split trivially).
+            continue
+        front_width = len(front)
+        # The back fragment needs one fresh receiver wire per cut plus its
+        # other (uncut) wires.
+        back_width = len(back)
+        if front_width > max_fragment_width or back_width > max_fragment_width:
+            continue
+        locations = tuple(CutLocation(qubit=q, position=position) for q in sorted(crossing))
+        plans.append(
+            CutPlan(
+                locations=locations,
+                front_qubits=tuple(sorted(front)),
+                back_qubits=tuple(sorted(back)),
+                front_width=front_width,
+                back_width=back_width,
+                sampling_overhead=float(per_cut_kappa ** len(crossing)),
+            )
+        )
+    plans.sort(key=lambda plan: (plan.sampling_overhead, plan.num_cuts, plan.locations[0].position))
+    return plans

@@ -1,0 +1,447 @@
+"""Executing a cut: sampling the QPD terms and recombining expectation values.
+
+This is the runtime that turns a :class:`~repro.cutting.base.WireCutProtocol`
+plus a circuit into an expectation-value estimate, following the procedure of
+Section IV of the paper:
+
+1. build one circuit per QPD term (:mod:`repro.cutting.cutter`),
+2. split the total shot budget across the terms proportionally to the
+   coefficient magnitudes (other allocation strategies are available for the
+   ablation benchmarks),
+3. run each term circuit on the shot simulator, measuring the observable on
+   the receiver side (plus any term-internal sign bits),
+4. recombine the per-term means with the signed coefficients (Eq. 12).
+
+Two execution paths are provided:
+
+* :func:`estimate_cut_expectation` — the general path; every call samples the
+  term circuits afresh through :class:`~repro.circuits.shot_simulator.ShotSimulator`.
+* :class:`CutSamplingModel` (via :func:`build_sampling_model`) — a fast path
+  for parameter sweeps: the exact per-term outcome distributions are computed
+  once and each subsequent estimate only needs binomial draws.  This is what
+  the Figure-6 harness uses to evaluate 1000 input states × 6 entanglement
+  levels × many shot budgets in seconds; it is statistically identical to the
+  general path because each shot is an i.i.d. draw from the same exact
+  distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CuttingError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.density_matrix_simulator import DensityMatrixSimulator
+from repro.circuits.expectation import _BASIS_CHANGE, exact_expectation
+from repro.circuits.shot_simulator import ShotSimulator
+from repro.cutting.base import WireCutProtocol
+from repro.cutting.cutter import CutLocation, CutTermCircuit, build_cut_circuits
+from repro.qpd.allocation import allocate_shots
+from repro.qpd.estimator import QPDEstimate, TermEstimate, combine_term_estimates
+from repro.quantum.paulis import PauliString
+from repro.quantum.states import Statevector
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "CutExpectationResult",
+    "estimate_cut_expectation",
+    "build_sampling_model",
+    "CutSamplingModel",
+    "TermSamplingModel",
+    "cut_expectation_value",
+    "exact_cut_expectation",
+]
+
+
+@dataclass(frozen=True)
+class CutExpectationResult:
+    """Result of estimating an observable through a wire cut.
+
+    Attributes
+    ----------
+    value:
+        The recombined expectation-value estimate.
+    standard_error:
+        Propagated standard error.
+    total_shots:
+        Shots actually spent (across all term circuits).
+    kappa:
+        Sampling-overhead factor of the protocol used.
+    shots_per_term:
+        Shots assigned to each term.
+    term_estimates:
+        Per-term empirical summaries.
+    protocol_name:
+        Name of the wire-cut protocol.
+    exact_value:
+        The exact (uncut) expectation value, when it was computed alongside
+        the estimate; ``None`` otherwise.
+    """
+
+    value: float
+    standard_error: float
+    total_shots: int
+    kappa: float
+    shots_per_term: tuple[int, ...]
+    term_estimates: tuple[TermEstimate, ...]
+    protocol_name: str
+    exact_value: float | None = None
+
+    @property
+    def error(self) -> float | None:
+        """Absolute deviation from the exact value (Eq. 28), when available."""
+        if self.exact_value is None:
+            return None
+        return abs(self.value - self.exact_value)
+
+
+# ---------------------------------------------------------------------------
+# Observables
+# ---------------------------------------------------------------------------
+
+
+def _as_pauli(observable: str | PauliString, num_qubits: int) -> PauliString:
+    """Normalise the observable argument to a PauliString over the logical qubits."""
+    if isinstance(observable, PauliString):
+        pauli = observable
+    else:
+        pauli = PauliString(observable)
+    if pauli.num_qubits == 1 and num_qubits > 1:
+        # A single-letter observable refers to qubit 0, identity elsewhere.
+        pauli = PauliString(pauli.labels + "I" * (num_qubits - 1), pauli.phase)
+    if pauli.num_qubits != num_qubits:
+        raise CuttingError(
+            f"observable acts on {pauli.num_qubits} qubits, circuit has {num_qubits}"
+        )
+    if pauli.phase != 1:
+        raise CuttingError("observables with non-unit phase are not supported")
+    return pauli
+
+
+def _measured_term_circuit(
+    term_circuit: CutTermCircuit, pauli: PauliString
+) -> tuple[QuantumCircuit, tuple[int, ...]]:
+    """Append observable basis changes and measurements to a term circuit.
+
+    Returns the measured circuit and the classical bits holding the
+    observable outcomes.
+    """
+    base = term_circuit.circuit
+    active = [
+        (term_circuit.qubit_map[logical], label)
+        for logical, label in enumerate(pauli.labels)
+        if label != "I"
+    ]
+    measured = QuantumCircuit(
+        base.num_qubits, base.num_clbits + len(active), name=f"{base.name}_meas"
+    )
+    measured.compose(base, inplace=True)
+    observable_clbits = []
+    for offset, (physical_qubit, label) in enumerate(active):
+        for gate_name, params in _BASIS_CHANGE[label]:
+            measured.gate(gate_name, physical_qubit, params)
+        clbit = base.num_clbits + offset
+        measured.measure(physical_qubit, clbit)
+        observable_clbits.append(clbit)
+    return measured, tuple(observable_clbits)
+
+
+# ---------------------------------------------------------------------------
+# General (shot-simulator) path
+# ---------------------------------------------------------------------------
+
+
+def estimate_cut_expectation(
+    circuit: QuantumCircuit,
+    location: CutLocation,
+    protocol: WireCutProtocol,
+    observable: str | PauliString = "Z",
+    shots: int = 1000,
+    allocation: str = "proportional",
+    seed: SeedLike = None,
+    method: str = "exact",
+    compute_exact: bool = True,
+) -> CutExpectationResult:
+    """Estimate ``⟨O⟩`` of ``circuit`` with the wire at ``location`` cut by ``protocol``.
+
+    Parameters
+    ----------
+    circuit:
+        The original (uncut) circuit; it is not modified.
+    location:
+        Where to cut (qubit and instruction position).
+    protocol:
+        The wire-cut protocol providing the QPD.
+    observable:
+        Pauli observable over the circuit's logical qubits (a single letter
+        refers to qubit 0).
+    shots:
+        Total shot budget across all term circuits.
+    allocation:
+        Shot-allocation strategy (``proportional``, ``multinomial``, ``uniform``).
+    seed:
+        Seed or generator for all sampling.
+    method:
+        Shot-simulator method (``exact`` or ``trajectory``).
+    compute_exact:
+        Also compute the exact uncut value for error reporting.
+    """
+    rng = as_generator(seed)
+    pauli = _as_pauli(observable, circuit.num_qubits)
+    decomposition = protocol.decomposition()
+    shots_per_term = allocate_shots(decomposition.probabilities, shots, strategy=allocation, seed=rng)
+
+    term_circuits = build_cut_circuits(circuit, location, protocol)
+    simulator = ShotSimulator(method=method)
+    term_estimates: list[TermEstimate] = []
+    for term_circuit, term_shots in zip(term_circuits, shots_per_term):
+        if term_shots == 0:
+            term_estimates.append(
+                TermEstimate(
+                    coefficient=term_circuit.coefficient,
+                    mean=0.0,
+                    shots=0,
+                    label=term_circuit.term.label,
+                )
+            )
+            continue
+        measured, observable_clbits = _measured_term_circuit(term_circuit, pauli)
+        counts = simulator.run(measured, shots=int(term_shots), seed=rng)
+        selected = list(observable_clbits) + list(term_circuit.sign_clbits)
+        mean = counts.expectation_z(selected) if selected else 1.0
+        term_estimates.append(
+            TermEstimate(
+                coefficient=term_circuit.coefficient,
+                mean=mean,
+                shots=int(term_shots),
+                label=term_circuit.term.label,
+            )
+        )
+
+    estimate: QPDEstimate = combine_term_estimates(term_estimates)
+    exact_value = (
+        exact_expectation(circuit, pauli.to_matrix()) if compute_exact else None
+    )
+    return CutExpectationResult(
+        value=estimate.value,
+        standard_error=estimate.standard_error,
+        total_shots=estimate.total_shots,
+        kappa=estimate.kappa,
+        shots_per_term=tuple(int(s) for s in shots_per_term),
+        term_estimates=estimate.term_estimates,
+        protocol_name=protocol.name,
+        exact_value=exact_value,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fast sweep path: precomputed exact per-term distributions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TermSamplingModel:
+    """Exact sampling model of one term circuit.
+
+    Attributes
+    ----------
+    coefficient:
+        QPD coefficient of the term.
+    probability_plus:
+        Exact probability that one shot of the term circuit yields a signed
+        outcome of +1 (observable parity × sign-bit parity).
+    label:
+        Term label.
+    consumes_entangled_pair:
+        Resource accounting flag.
+    """
+
+    coefficient: float
+    probability_plus: float
+    label: str
+    consumes_entangled_pair: bool = False
+
+    @property
+    def exact_mean(self) -> float:
+        """The term's exact expectation ``2 p₊ − 1``."""
+        return 2.0 * self.probability_plus - 1.0
+
+    def sample_mean(self, shots: int, rng: np.random.Generator) -> float:
+        """Return the empirical mean of ``shots`` i.i.d. ±1 outcomes."""
+        if shots <= 0:
+            return 0.0
+        successes = rng.binomial(shots, self.probability_plus)
+        return 2.0 * successes / shots - 1.0
+
+
+@dataclass(frozen=True)
+class CutSamplingModel:
+    """Exact per-term outcome distributions for fast repeated estimation.
+
+    Built once per (circuit, protocol, observable) combination; estimates for
+    any shot budget are then produced with binomial draws only.
+    """
+
+    terms: tuple[TermSamplingModel, ...]
+    exact_value: float
+    protocol_name: str
+
+    @property
+    def kappa(self) -> float:
+        """Sampling-overhead factor of the underlying protocol."""
+        return float(sum(abs(t.coefficient) for t in self.terms))
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Coefficient-proportional sampling distribution over terms."""
+        magnitudes = np.array([abs(t.coefficient) for t in self.terms])
+        return magnitudes / magnitudes.sum()
+
+    def exact_cut_value(self) -> float:
+        """The exact value reconstructed through the decomposition (should equal ``exact_value``)."""
+        return float(sum(t.coefficient * t.exact_mean for t in self.terms))
+
+    def estimate(
+        self,
+        shots: int,
+        allocation: str = "proportional",
+        seed: SeedLike = None,
+    ) -> CutExpectationResult:
+        """Produce one finite-shot estimate with the given total budget."""
+        rng = as_generator(seed)
+        shots_per_term = allocate_shots(self.probabilities, shots, strategy=allocation, seed=rng)
+        term_estimates = []
+        for model, term_shots in zip(self.terms, shots_per_term):
+            mean = model.sample_mean(int(term_shots), rng)
+            term_estimates.append(
+                TermEstimate(
+                    coefficient=model.coefficient,
+                    mean=mean,
+                    shots=int(term_shots),
+                    label=model.label,
+                )
+            )
+        estimate = combine_term_estimates(term_estimates)
+        return CutExpectationResult(
+            value=estimate.value,
+            standard_error=estimate.standard_error,
+            total_shots=estimate.total_shots,
+            kappa=estimate.kappa,
+            shots_per_term=tuple(int(s) for s in shots_per_term),
+            term_estimates=estimate.term_estimates,
+            protocol_name=self.protocol_name,
+            exact_value=self.exact_value,
+        )
+
+    def expected_pairs(self, shots: int, allocation: str = "proportional") -> float:
+        """Expected number of entangled pairs consumed by a ``shots``-shot estimate."""
+        shots_per_term = allocate_shots(self.probabilities, shots, strategy=allocation)
+        return float(
+            sum(
+                int(n)
+                for model, n in zip(self.terms, shots_per_term)
+                if model.consumes_entangled_pair
+            )
+        )
+
+
+def build_sampling_model(
+    circuit: QuantumCircuit,
+    location: CutLocation,
+    protocol: WireCutProtocol,
+    observable: str | PauliString = "Z",
+) -> CutSamplingModel:
+    """Compute the exact per-term outcome distributions for a cut.
+
+    One branching density-matrix simulation is performed per term circuit;
+    the resulting classical distributions give the exact probability of a +1
+    signed outcome per term.
+    """
+    pauli = _as_pauli(observable, circuit.num_qubits)
+    term_circuits = build_cut_circuits(circuit, location, protocol)
+    simulator = DensityMatrixSimulator()
+    models = []
+    for term_circuit in term_circuits:
+        measured, observable_clbits = _measured_term_circuit(term_circuit, pauli)
+        result = simulator.run(measured)
+        selected = list(observable_clbits) + list(term_circuit.sign_clbits)
+        probability_plus = 0.0
+        for bitstring, probability in result.classical_distribution().items():
+            parity = sum(int(bitstring[c]) for c in selected) % 2
+            if parity == 0:
+                probability_plus += probability
+        models.append(
+            TermSamplingModel(
+                coefficient=term_circuit.coefficient,
+                probability_plus=float(min(max(probability_plus, 0.0), 1.0)),
+                label=term_circuit.term.label,
+                consumes_entangled_pair=term_circuit.term.consumes_entangled_pair,
+            )
+        )
+    exact_value = exact_expectation(circuit, pauli.to_matrix())
+    return CutSamplingModel(
+        terms=tuple(models), exact_value=float(exact_value), protocol_name=protocol.name
+    )
+
+
+def exact_cut_expectation(
+    circuit: QuantumCircuit,
+    location: CutLocation,
+    protocol: WireCutProtocol,
+    observable: str | PauliString = "Z",
+) -> float:
+    """Return the cut estimator's exact (infinite-shot) value.
+
+    For a valid protocol this equals the uncut expectation value; tests use
+    the agreement of the two as an end-to-end correctness check of the
+    circuit-level gadgets.
+    """
+    model = build_sampling_model(circuit, location, protocol, observable)
+    return model.exact_cut_value()
+
+
+# ---------------------------------------------------------------------------
+# Single-qubit convenience entry point (the paper's Section IV workload)
+# ---------------------------------------------------------------------------
+
+
+def _state_preparation_circuit(state: Statevector | np.ndarray) -> QuantumCircuit:
+    vector = state.data if isinstance(state, Statevector) else np.asarray(state, dtype=complex)
+    if vector.shape != (2,):
+        raise CuttingError(
+            f"cut_expectation_value expects a single-qubit state, got dimension {vector.shape}"
+        )
+    circuit = QuantumCircuit(1, 0, name="state_prep")
+    circuit.initialize(vector, 0)
+    return circuit
+
+
+def cut_expectation_value(
+    state: Statevector | np.ndarray,
+    protocol: WireCutProtocol,
+    shots: int,
+    observable: str | PauliString = "Z",
+    allocation: str = "proportional",
+    seed: SeedLike = None,
+    method: str = "exact",
+) -> CutExpectationResult:
+    """Estimate ``⟨O⟩`` of a single-qubit ``state`` transmitted through a cut wire.
+
+    This is the exact workload of the paper's numerical experiments: the
+    state is prepared on the sender, the wire is cut with ``protocol``, and
+    the observable (default Pauli Z) is measured on the receiver.
+    """
+    circuit = _state_preparation_circuit(state)
+    location = CutLocation(qubit=0, position=len(circuit))
+    return estimate_cut_expectation(
+        circuit,
+        location,
+        protocol,
+        observable=observable,
+        shots=shots,
+        allocation=allocation,
+        seed=seed,
+        method=method,
+    )

@@ -1,0 +1,267 @@
+"""Cutting several wires of one circuit.
+
+Cutting ``n`` wires independently multiplies the per-cut overheads
+(``κ_total = Π κ_i``), which is the exponential-in-cuts cost the paper's
+introduction motivates.  This module provides:
+
+* :func:`build_multi_cut_circuits` / :func:`estimate_multi_cut_expectation` —
+  apply a (possibly different) single-wire protocol at each cut location and
+  estimate an observable of the multiply-cut circuit; terms are the Cartesian
+  product of the per-cut terms with multiplied coefficients.
+* :func:`independent_cuts_decomposition` — the channel-level tensor-product
+  QPD, for analytic comparisons.
+* overhead helpers re-exported from :mod:`repro.cutting.overhead` comparing
+  independent cutting (3ⁿ without entanglement) with the optimal joint
+  cutting bound (2^{n+1} − 1) of Brenner et al. [11], the future-work
+  direction the paper mentions for NME states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.exceptions import CuttingError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.expectation import _BASIS_CHANGE, exact_expectation
+from repro.circuits.shot_simulator import ShotSimulator
+from repro.cutting.base import GadgetWiring, WireCutProtocol
+from repro.cutting.cutter import CutLocation
+from repro.cutting.executor import CutExpectationResult
+from repro.qpd.allocation import allocate_shots
+from repro.qpd.decomposition import QuasiProbDecomposition
+from repro.qpd.estimator import TermEstimate, combine_term_estimates
+from repro.quantum.paulis import PauliString
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "MultiCutTermCircuit",
+    "build_multi_cut_circuits",
+    "estimate_multi_cut_expectation",
+    "independent_cuts_decomposition",
+]
+
+
+@dataclass(frozen=True)
+class MultiCutTermCircuit:
+    """One executable circuit for a combination of per-cut QPD terms.
+
+    Attributes
+    ----------
+    circuit:
+        The full circuit with every cut gadget inserted.
+    coefficient:
+        Product of the chosen terms' coefficients.
+    term_indices:
+        The chosen term index at each cut location (in the order the
+        locations were given).
+    qubit_map:
+        Final mapping from original logical qubits to physical qubits.
+    sign_clbits:
+        Absolute classical bits whose parity multiplies measured observables.
+    labels:
+        Per-cut term labels.
+    """
+
+    circuit: QuantumCircuit
+    coefficient: float
+    term_indices: tuple[int, ...]
+    qubit_map: dict[int, int]
+    sign_clbits: tuple[int, ...]
+    labels: tuple[str, ...]
+
+
+def _validate_multi_locations(circuit: QuantumCircuit, locations: list[CutLocation]) -> None:
+    if not locations:
+        raise CuttingError("at least one cut location is required")
+    seen = set()
+    for location in locations:
+        if not 0 <= location.qubit < circuit.num_qubits:
+            raise CuttingError(f"cut qubit {location.qubit} out of range")
+        if not 0 <= location.position <= len(circuit):
+            raise CuttingError(f"cut position {location.position} out of range")
+        key = (location.qubit, location.position)
+        if key in seen:
+            raise CuttingError(f"duplicate cut location {key}")
+        seen.add(key)
+
+
+def build_multi_cut_circuits(
+    circuit: QuantumCircuit,
+    locations: list[CutLocation],
+    protocols: list[WireCutProtocol],
+) -> list[MultiCutTermCircuit]:
+    """Cut several wires and return one circuit per combination of QPD terms.
+
+    ``protocols[i]`` is used at ``locations[i]``.  Cuts are inserted from the
+    latest position to the earliest so that instruction positions given with
+    respect to the *original* circuit stay valid.
+    """
+    if len(locations) != len(protocols):
+        raise CuttingError("locations and protocols must have the same length")
+    _validate_multi_locations(circuit, locations)
+
+    order = sorted(range(len(locations)), key=lambda i: locations[i].position, reverse=True)
+    term_choice_lists = [range(len(protocols[i].terms)) for i in range(len(protocols))]
+    results = []
+
+    for term_choice in product(*term_choice_lists):
+        current = circuit
+        qubit_map = {q: q for q in range(circuit.num_qubits)}
+        coefficient = 1.0
+        sign_clbits: list[int] = []
+        labels: list[str] = []
+        # Track how many instructions have been *prepended* before each original
+        # position; since we insert from the latest position backwards, earlier
+        # positions are unaffected by later insertions.
+        for cut_rank in order:
+            location = locations[cut_rank]
+            protocol = protocols[cut_rank]
+            term = protocol.terms[term_choice[cut_rank]]
+
+            sender_qubit = qubit_map[location.qubit]
+            receiver_qubit = current.num_qubits
+            ancillas = tuple(
+                range(current.num_qubits + 1, current.num_qubits + 1 + term.num_ancilla_qubits)
+            )
+            clbit_offset = current.num_clbits
+            new_circuit = QuantumCircuit(
+                current.num_qubits + 1 + term.num_ancilla_qubits,
+                current.num_clbits + term.num_gadget_clbits,
+                name=f"{circuit.name}_multicut",
+            )
+            for instruction in current.instructions[: location.position]:
+                new_circuit.append(instruction)
+            wiring = GadgetWiring(
+                sender_qubit=sender_qubit,
+                receiver_qubit=receiver_qubit,
+                ancilla_qubits=ancillas,
+                clbit_offset=clbit_offset,
+            )
+            term.build_gadget(new_circuit, wiring)
+            remap = {sender_qubit: receiver_qubit}
+            for instruction in current.instructions[location.position :]:
+                new_circuit.append(instruction.remap(remap))
+
+            coefficient *= term.coefficient
+            sign_clbits.extend(clbit_offset + rel for rel in term.sign_clbits)
+            labels.append(term.label)
+            # Update the logical-to-physical map for subsequent (earlier) cuts
+            # and for the final observable mapping.
+            for logical, physical in qubit_map.items():
+                if physical == sender_qubit:
+                    qubit_map[logical] = receiver_qubit
+            current = new_circuit
+
+        # `labels` were accumulated in descending-position order; report them
+        # in the caller's location order.
+        ordered_labels = [""] * len(locations)
+        ordered_indices = list(term_choice)
+        position_in_order = {cut_rank: rank for rank, cut_rank in enumerate(order)}
+        for cut_rank in range(len(locations)):
+            ordered_labels[cut_rank] = labels[position_in_order[cut_rank]]
+
+        results.append(
+            MultiCutTermCircuit(
+                circuit=current,
+                coefficient=coefficient,
+                term_indices=tuple(ordered_indices),
+                qubit_map=dict(qubit_map),
+                sign_clbits=tuple(sign_clbits),
+                labels=tuple(ordered_labels),
+            )
+        )
+    return results
+
+
+def estimate_multi_cut_expectation(
+    circuit: QuantumCircuit,
+    locations: list[CutLocation],
+    protocols: list[WireCutProtocol],
+    observable: str | PauliString,
+    shots: int,
+    allocation: str = "proportional",
+    seed: SeedLike = None,
+    method: str = "exact",
+    compute_exact: bool = True,
+) -> CutExpectationResult:
+    """Estimate a Pauli observable of a circuit with several wires cut."""
+    rng = as_generator(seed)
+    pauli = observable if isinstance(observable, PauliString) else PauliString(observable)
+    if pauli.num_qubits != circuit.num_qubits:
+        raise CuttingError(
+            f"observable acts on {pauli.num_qubits} qubits, circuit has {circuit.num_qubits}"
+        )
+    term_circuits = build_multi_cut_circuits(circuit, locations, protocols)
+    coefficients = np.array([t.coefficient for t in term_circuits])
+    magnitudes = np.abs(coefficients)
+    probabilities = magnitudes / magnitudes.sum()
+    shots_per_term = allocate_shots(probabilities, shots, strategy=allocation, seed=rng)
+
+    simulator = ShotSimulator(method=method)
+    term_estimates = []
+    for term_circuit, term_shots in zip(term_circuits, shots_per_term):
+        if term_shots == 0:
+            term_estimates.append(
+                TermEstimate(
+                    coefficient=term_circuit.coefficient,
+                    mean=0.0,
+                    shots=0,
+                    label="+".join(term_circuit.labels),
+                )
+            )
+            continue
+        base = term_circuit.circuit
+        active = [
+            (term_circuit.qubit_map[q], p) for q, p in enumerate(pauli.labels) if p != "I"
+        ]
+        measured = QuantumCircuit(base.num_qubits, base.num_clbits + len(active))
+        measured.compose(base, inplace=True)
+        observable_clbits = []
+        for offset, (qubit, label) in enumerate(active):
+            for gate_name, params in _BASIS_CHANGE[label]:
+                measured.gate(gate_name, qubit, params)
+            clbit = base.num_clbits + offset
+            measured.measure(qubit, clbit)
+            observable_clbits.append(clbit)
+        counts = simulator.run(measured, shots=int(term_shots), seed=rng)
+        selected = observable_clbits + list(term_circuit.sign_clbits)
+        mean = counts.expectation_z(selected) if selected else 1.0
+        term_estimates.append(
+            TermEstimate(
+                coefficient=term_circuit.coefficient,
+                mean=mean,
+                shots=int(term_shots),
+                label="+".join(term_circuit.labels),
+            )
+        )
+    estimate = combine_term_estimates(term_estimates)
+    exact_value = exact_expectation(circuit, pauli.to_matrix()) if compute_exact else None
+    return CutExpectationResult(
+        value=estimate.value,
+        standard_error=estimate.standard_error,
+        total_shots=estimate.total_shots,
+        kappa=estimate.kappa,
+        shots_per_term=tuple(int(s) for s in shots_per_term),
+        term_estimates=estimate.term_estimates,
+        protocol_name="+".join(p.name for p in protocols),
+        exact_value=exact_value,
+    )
+
+
+def independent_cuts_decomposition(
+    protocols: list[WireCutProtocol],
+) -> QuasiProbDecomposition:
+    """Return the channel-level QPD of cutting each wire independently.
+
+    The result acts on ``len(protocols)`` qubits and its κ is the product of
+    the per-protocol κ values.
+    """
+    if not protocols:
+        raise CuttingError("at least one protocol is required")
+    decomposition = protocols[0].decomposition()
+    for protocol in protocols[1:]:
+        decomposition = decomposition.tensor(protocol.decomposition())
+    return decomposition

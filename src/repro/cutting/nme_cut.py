@@ -1,0 +1,187 @@
+"""The paper's NME wire cut (Theorem 2 / Figure 5) — the core contribution.
+
+For a pure non-maximally entangled resource ``|Φ_k⟩`` the one-qubit identity
+decomposes as
+
+.. math::
+
+    I(\\cdot) = \\frac{k^2+1}{(k+1)^2} \\sum_{i\\in\\{1,2\\}}
+        U_i\\, E^{\\Phi_k}_{tel}\\!\\left(U_i^\\dagger (\\cdot) U_i\\right) U_i^\\dagger
+    \\;-\\; \\frac{(k-1)^2}{(k+1)^2} \\sum_{j\\in\\{0,1\\}}
+        \\mathrm{Tr}\\!\\left[|j\\rangle\\langle j|(\\cdot)\\right] X|j\\rangle\\langle j|X,
+
+with ``U_1 = H``, ``U_2 = SH`` and the teleportation channel
+``E^{Φ_k}_{tel}`` of Eq. 22.  The overhead is
+``κ = 2a + b = 4(k²+1)/(k+1)² − 1`` (Corollary 1), interpolating between the
+optimal entanglement-free cut (κ = 3 at k = 0) and plain teleportation
+(κ = 1 at k = 1).
+
+Each teleportation term's gadget is the literal circuit of Figure 5: the
+basis change ``U_i†`` on the sender, an in-line preparation of ``|Φ_k⟩`` on
+(ancilla, receiver), the Bell measurement with classical feed-forward, and
+the inverse basis change ``U_i`` on the receiver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CuttingError
+from repro.circuits.circuit import QuantumCircuit
+from repro.cutting.base import GadgetWiring, WireCutProtocol, WireCutTerm
+from repro.cutting.overhead import nme_overhead
+from repro.cutting.standard_cut import _flip_gadget, _flip_prepare_channel
+from repro.quantum.bell import k_from_overlap, overlap_from_k
+from repro.quantum.channels import QuantumChannel
+from repro.quantum.gates import H, S
+from repro.teleport.protocol import bell_measurement, prepare_phi_k, teleportation_corrections
+
+__all__ = ["NMEWireCut", "nme_coefficients"]
+
+
+def nme_coefficients(k: float) -> tuple[float, float]:
+    """Return the Theorem-2 coefficients ``(a, b)`` for resource parameter ``k``.
+
+    ``a = (k²+1)/(k+1)²`` weights each teleportation term, ``b = (k−1)²/(k+1)²``
+    weights the (subtracted) measure-and-flip-prepare term.
+    """
+    if k < 0:
+        raise CuttingError(f"k must be non-negative, got {k}")
+    denominator = (k + 1.0) ** 2
+    if denominator == 0.0:
+        raise CuttingError("k = -1 is not a valid resource parameter")
+    a = (k * k + 1.0) / denominator
+    b = (k - 1.0) ** 2 / denominator
+    return float(a), float(b)
+
+
+def _teleport_term_channel(k: float, basis_unitary: np.ndarray) -> QuantumChannel:
+    """Analytic channel ``U_i E_tel^{Φ_k}(U_i† · U_i) U_i†`` of a teleportation term."""
+    p_identity = overlap_from_k(k)
+    p_z = 1.0 - p_identity
+    z = np.array([[1, 0], [0, -1]], dtype=complex)
+    kraus = [np.sqrt(p_identity) * np.eye(2, dtype=complex)]
+    if p_z > 1e-15:
+        kraus.append(np.sqrt(p_z) * (basis_unitary @ z @ basis_unitary.conj().T))
+    return QuantumChannel(kraus)
+
+
+def _make_teleport_gadget(k: float, basis_label: str):
+    """Return the gadget builder for one teleportation term of Theorem 2.
+
+    ``basis_label`` is ``"U1"`` (H) or ``"U2"`` (SH).
+    """
+
+    def gadget(circuit: QuantumCircuit, wiring: GadgetWiring) -> None:
+        if len(wiring.ancilla_qubits) != 1:
+            raise CuttingError("the NME teleportation gadget needs exactly one ancilla qubit")
+        sender = wiring.sender_qubit
+        ancilla = wiring.ancilla_qubits[0]
+        receiver = wiring.receiver_qubit
+        clbit_a = wiring.clbit(0)
+        clbit_b = wiring.clbit(1)
+
+        # Basis change U_i† on the sender (Figure 5, left of each teleport box).
+        if basis_label == "U1":
+            circuit.h(sender)
+        else:
+            circuit.sdg(sender)
+            circuit.h(sender)
+
+        # Pre-shared NME pair |Φ_k> on (ancilla, receiver), then teleport.
+        prepare_phi_k(circuit, k, ancilla, receiver)
+        bell_measurement(circuit, sender, ancilla, clbit_a, clbit_b)
+        teleportation_corrections(circuit, receiver, clbit_a, clbit_b)
+
+        # Inverse basis change U_i on the receiver.
+        if basis_label == "U1":
+            circuit.h(receiver)
+        else:
+            circuit.h(receiver)
+            circuit.s(receiver)
+
+    return gadget
+
+
+class NMEWireCut(WireCutProtocol):
+    """Theorem-2 wire cut using pure NME resource states ``|Φ_k⟩``.
+
+    Parameters
+    ----------
+    k:
+        Schmidt-ratio parameter of the resource state, ``k ∈ [0, ∞)``.
+        ``k = 0`` reduces to an entanglement-free cut with κ = 3; ``k = 1``
+        is plain teleportation with κ = 1.
+    """
+
+    name = "nme"
+
+    def __init__(self, k: float):
+        super().__init__()
+        if k < 0:
+            raise CuttingError(f"k must be non-negative, got {k}")
+        self.k = float(k)
+
+    @classmethod
+    def from_overlap(cls, f: float, branch: str = "lower") -> "NMEWireCut":
+        """Construct the protocol from a target entanglement level ``f(Φ_k) = f``."""
+        return cls(k_from_overlap(f, branch=branch))
+
+    @property
+    def overlap(self) -> float:
+        """The resource state's entanglement ``f(Φ_k)``."""
+        return overlap_from_k(self.k)
+
+    @property
+    def coefficients_ab(self) -> tuple[float, float]:
+        """The Theorem-2 coefficients ``(a, b)``."""
+        return nme_coefficients(self.k)
+
+    def build_terms(self) -> tuple[WireCutTerm, ...]:
+        a, b = nme_coefficients(self.k)
+        u2 = S @ H
+        terms = [
+            WireCutTerm(
+                coefficient=a,
+                channel=_teleport_term_channel(self.k, H),
+                label="teleport-U1(H)",
+                gadget_builder=_make_teleport_gadget(self.k, "U1"),
+                num_ancilla_qubits=1,
+                num_gadget_clbits=2,
+                consumes_entangled_pair=True,
+                metadata={"k": self.k, "basis": "U1"},
+            ),
+            WireCutTerm(
+                coefficient=a,
+                channel=_teleport_term_channel(self.k, u2),
+                label="teleport-U2(SH)",
+                gadget_builder=_make_teleport_gadget(self.k, "U2"),
+                num_ancilla_qubits=1,
+                num_gadget_clbits=2,
+                consumes_entangled_pair=True,
+                metadata={"k": self.k, "basis": "U2"},
+            ),
+        ]
+        # The correction term vanishes identically at k = 1 (b = 0); keep it
+        # out of the decomposition there so sampling never wastes shots on a
+        # zero-weight term.
+        if b > 1e-15:
+            terms.append(
+                WireCutTerm(
+                    coefficient=-b,
+                    channel=_flip_prepare_channel(),
+                    label="measure-flip-prepare-Z",
+                    gadget_builder=_flip_gadget,
+                    num_gadget_clbits=1,
+                    metadata={"k": self.k, "basis": "Z", "flip": True},
+                )
+            )
+        return tuple(terms)
+
+    def theoretical_overhead(self) -> float:
+        return nme_overhead(self.k)
+
+    def expected_pairs_per_shot(self) -> float:
+        """Expected entangled pairs consumed per sampled shot (coefficient-proportional sampling)."""
+        a, _ = nme_coefficients(self.k)
+        return float(2.0 * a / self.kappa)

@@ -1,0 +1,164 @@
+"""Sampling-overhead formulas (Theorem 1, Corollary 1 and the baselines).
+
+These closed forms are the paper's headline analytic results.  They are used
+by the protocol classes to cross-check the κ of their explicit QPDs, by the
+benchmarks that regenerate the overhead-versus-entanglement relation, and by
+tests that pin the endpoints (3 for no entanglement, 1 for maximal
+entanglement).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CuttingError
+from repro.quantum.bell import overlap_from_k
+from repro.quantum.entanglement import maximal_overlap
+from repro.quantum.states import DensityMatrix, Statevector
+
+__all__ = [
+    "optimal_overhead",
+    "optimal_overhead_for_state",
+    "nme_overhead",
+    "harada_overhead",
+    "peng_overhead",
+    "teleportation_overhead",
+    "shots_multiplier",
+    "expected_pairs_per_shot",
+    "pairs_proportionality_constant",
+    "multi_wire_joint_overhead",
+    "multi_wire_independent_overhead",
+]
+
+
+def optimal_overhead(f: float) -> float:
+    """Theorem 1: optimal single-wire-cut overhead ``γ^ρ(I) = 2/f(ρ) − 1``.
+
+    Parameters
+    ----------
+    f:
+        The maximal LOCC overlap of the resource state with the maximally
+        entangled state, in ``[1/2, 1]``.
+    """
+    if not 0.5 <= f <= 1.0 + 1e-12:
+        raise CuttingError(f"overlap f must be in [0.5, 1.0], got {f}")
+    return float(2.0 / f - 1.0)
+
+
+def optimal_overhead_for_state(resource: DensityMatrix | Statevector | np.ndarray) -> float:
+    """Theorem 1 evaluated on an explicit two-qubit resource state."""
+    return optimal_overhead(maximal_overlap(resource))
+
+
+def nme_overhead(k: float) -> float:
+    """Corollary 1: ``γ^{Φ_k}(I) = 4(k²+1)/(k+1)² − 1`` for the pure NME state ``Φ_k``."""
+    if k < 0:
+        raise CuttingError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return 3.0
+    return float(4.0 * (k * k + 1.0) / (k + 1.0) ** 2 - 1.0)
+
+
+def harada_overhead() -> float:
+    """Optimal entanglement-free single-wire-cut overhead, ``γ(I) = 3`` [11, 26]."""
+    return 3.0
+
+
+def peng_overhead() -> float:
+    """Overhead of the original Peng et al. wire cut (Pauli-basis measure-and-prepare), κ = 4."""
+    return 4.0
+
+
+def teleportation_overhead() -> float:
+    """Overhead of plain teleportation with a maximally entangled pair, κ = 1 (no overhead)."""
+    return 1.0
+
+
+def shots_multiplier(kappa: float) -> float:
+    """Return the multiplicative shot overhead ``κ²`` for a fixed target accuracy ε.
+
+    Estimating an expectation value to additive error ε needs
+    ``O(κ²/ε²)`` shots (Eq. 12 discussion / [25]).
+    """
+    if kappa < 1.0 - 1e-12:
+        raise CuttingError(f"kappa must be >= 1 for a TP target channel, got {kappa}")
+    return float(kappa * kappa)
+
+
+def pairs_proportionality_constant(k: float) -> float:
+    """Return ``2(k²+1)/(k+1)² = ⟨Φ|Φ_k|Φ⟩⁻¹`` (end of Section III).
+
+    The paper states that the number of entangled pairs consumed when
+    sampling the Theorem-2 QPD is proportional to this quantity: it is twice
+    the coefficient ``a`` of the two teleportation terms, and decreases
+    towards 1 as the resource approaches maximal entanglement.
+    """
+    if k < 0:
+        raise CuttingError(f"k must be non-negative, got {k}")
+    return float(2.0 * (k * k + 1.0) / (k + 1.0) ** 2)
+
+
+def expected_pairs_per_shot(k: float) -> float:
+    """Return the expected number of entangled pairs consumed per sampled shot.
+
+    With coefficient-proportional sampling, a shot lands on one of the two
+    teleportation terms with probability ``2a/κ`` and consumes exactly one
+    pair there (the measure-and-prepare term consumes none), so the
+    expectation is ``2a/κ`` with ``a = (k²+1)/(k+1)²`` and ``κ`` from
+    Corollary 1.
+    """
+    two_a = pairs_proportionality_constant(k)
+    return float(two_a / nme_overhead(k))
+
+
+def multi_wire_joint_overhead(num_wires: int) -> float:
+    """Optimal overhead for cutting ``n`` wires *jointly* without entanglement: ``2^{n+1} − 1`` [11]."""
+    if num_wires < 1:
+        raise CuttingError(f"num_wires must be >= 1, got {num_wires}")
+    return float(2 ** (num_wires + 1) - 1)
+
+
+def multi_wire_independent_overhead(num_wires: int, single_wire_kappa: float = 3.0) -> float:
+    """Overhead of cutting ``n`` wires independently: ``κ_single^n`` (3ⁿ without entanglement)."""
+    if num_wires < 1:
+        raise CuttingError(f"num_wires must be >= 1, got {num_wires}")
+    return float(single_wire_kappa**num_wires)
+
+
+def overhead_reduction_factor(k: float) -> float:
+    """Return the shot-count reduction ``(γ(I)/γ^{Φ_k}(I))²`` of the NME cut over the plain cut."""
+    return float((harada_overhead() / nme_overhead(k)) ** 2)
+
+
+def k_for_target_overhead(target_kappa: float) -> float:
+    """Invert Corollary 1: return the ``k ≤ 1`` whose NME cut attains ``target_kappa``.
+
+    Only overheads in ``[1, 3]`` are attainable with pure NME states.
+    """
+    if not 1.0 <= target_kappa <= 3.0:
+        raise CuttingError(f"target overhead must be in [1, 3], got {target_kappa}")
+    # κ = 2/f − 1  ⇒  f = 2/(κ+1); then invert f(Φ_k).
+    f = 2.0 / (target_kappa + 1.0)
+    from repro.quantum.bell import k_from_overlap
+
+    return float(k_from_overlap(f, branch="lower"))
+
+
+def overlap_for_target_overhead(target_kappa: float) -> float:
+    """Return the entanglement ``f`` required for a target overhead (inverse of Theorem 1)."""
+    if target_kappa < 1.0:
+        raise CuttingError(f"target overhead must be >= 1, got {target_kappa}")
+    f = 2.0 / (target_kappa + 1.0)
+    if f > 1.0 or f < 0.5 - 1e-12:
+        raise CuttingError(
+            f"target overhead {target_kappa} is outside the attainable range [1, 3]"
+        )
+    return float(min(f, 1.0))
+
+
+# The full public surface, including the inverses defined below their forward
+# counterparts, is re-exported here for `from repro.cutting.overhead import *`.
+__all__ += ["overhead_reduction_factor", "k_for_target_overhead", "overlap_for_target_overhead"]
+
+# `overlap_from_k` is re-exported for convenience of benchmark scripts.
+__all__ += ["overlap_from_k"]

@@ -1,0 +1,120 @@
+"""The original Pauli-basis wire cut (Peng et al. [13]), κ = 4.
+
+The identity is expanded in the Pauli operator basis,
+
+.. math::
+
+    \\rho = \\tfrac12\\left(\\mathrm{Tr}[\\rho]\\,I + \\mathrm{Tr}[X\\rho]\\,X
+          + \\mathrm{Tr}[Y\\rho]\\,Y + \\mathrm{Tr}[Z\\rho]\\,Z\\right),
+
+and each Pauli term is split into its two eigen-projector preparations,
+giving eight observable-weighted measure-and-prepare terms with coefficients
+``±1/2`` and total overhead ``κ = 4``.  The measured Pauli eigenvalue is a
+classical ±1 factor folded into post-processing, which the term records via
+``sign_clbits``.  This protocol is the historical baseline against which the
+optimal κ = 3 cut and the paper's NME cut are compared in the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.cutting.base import GadgetWiring, WireCutProtocol, WireCutTerm, superoperator_from_map
+from repro.cutting.overhead import peng_overhead
+from repro.quantum.gates import PAULI_MATRICES
+
+__all__ = ["PengWireCut"]
+
+# Preparation circuits (gate sequences applied to |0>) for the six Pauli eigenstates.
+_PREPARATIONS: dict[str, tuple[tuple[str, tuple[float, ...]], ...]] = {
+    "0": (),
+    "1": (("x", ()),),
+    "+": (("h", ()),),
+    "-": (("x", ()), ("h", ())),
+    "+i": (("h", ()), ("s", ())),
+    "-i": (("x", ()), ("h", ()), ("s", ())),
+}
+
+_PREPARED_KETS: dict[str, np.ndarray] = {
+    "0": np.array([1, 0], dtype=complex),
+    "1": np.array([0, 1], dtype=complex),
+    "+": np.array([1, 1], dtype=complex) / np.sqrt(2),
+    "-": np.array([1, -1], dtype=complex) / np.sqrt(2),
+    "+i": np.array([1, 1j], dtype=complex) / np.sqrt(2),
+    "-i": np.array([1, -1j], dtype=complex) / np.sqrt(2),
+}
+
+# Basis-change gates applied on the sender before a Z measurement to measure
+# the given Pauli observable.
+_MEASUREMENT_ROTATIONS: dict[str, tuple[tuple[str, tuple[float, ...]], ...]] = {
+    "I": (),
+    "X": (("h", ()),),
+    "Y": (("sdg", ()), ("h", ())),
+    "Z": (),
+}
+
+
+def _make_gadget(observable: str, prepared: str):
+    """Return a gadget builder measuring ``observable`` and preparing ``prepared``."""
+
+    def gadget(circuit: QuantumCircuit, wiring: GadgetWiring) -> None:
+        clbit = wiring.clbit(0)
+        for gate_name, params in _MEASUREMENT_ROTATIONS[observable]:
+            circuit.gate(gate_name, wiring.sender_qubit, params)
+        circuit.measure(wiring.sender_qubit, clbit)
+        for gate_name, params in _PREPARATIONS[prepared]:
+            circuit.gate(gate_name, wiring.receiver_qubit, params)
+
+    return gadget
+
+
+def _term_superoperator(observable: str, prepared: str) -> np.ndarray:
+    """Superoperator of the linear (not CP) map ``ρ ↦ Tr[Oρ]·|ψ⟩⟨ψ|``."""
+    pauli = PAULI_MATRICES[observable]
+    ket = _PREPARED_KETS[prepared]
+    projector = np.outer(ket, ket.conj())
+
+    def apply_map(rho: np.ndarray) -> np.ndarray:
+        return np.trace(pauli @ rho) * projector
+
+    return superoperator_from_map(apply_map)
+
+
+class PengWireCut(WireCutProtocol):
+    """Pauli-basis measure-and-prepare wire cut (κ = 4)."""
+
+    name = "peng"
+
+    #: (observable, prepared state, coefficient) for the eight terms.
+    TERM_SPECS: tuple[tuple[str, str, float], ...] = (
+        ("I", "0", 0.5),
+        ("I", "1", 0.5),
+        ("X", "+", 0.5),
+        ("X", "-", -0.5),
+        ("Y", "+i", 0.5),
+        ("Y", "-i", -0.5),
+        ("Z", "0", 0.5),
+        ("Z", "1", -0.5),
+    )
+
+    def build_terms(self) -> tuple[WireCutTerm, ...]:
+        terms = []
+        for observable, prepared, coefficient in self.TERM_SPECS:
+            sign_clbits = () if observable == "I" else (0,)
+            terms.append(
+                WireCutTerm(
+                    coefficient=coefficient,
+                    superoperator_matrix=_term_superoperator(observable, prepared),
+                    label=f"measure-{observable}-prepare-{prepared}",
+                    gadget_builder=_make_gadget(observable, prepared),
+                    num_gadget_clbits=1,
+                    sign_clbits=sign_clbits,
+                    metadata={"observable": observable, "prepared": prepared},
+                )
+            )
+        return tuple(terms)
+
+    def theoretical_overhead(self) -> float:
+        return peng_overhead()

@@ -1,0 +1,115 @@
+"""The optimal entanglement-free wire cut (Harada et al., Eq. 20 / Figure 2).
+
+The one-qubit identity is decomposed into three trace-preserving
+measure-and-prepare channels,
+
+.. math::
+
+    I(\\cdot) = \\sum_{i\\in\\{1,2\\}} \\sum_{j\\in\\{0,1\\}}
+        \\mathrm{Tr}\\!\\left[U_i|j\\rangle\\langle j|U_i^\\dagger (\\cdot)\\right]
+        U_i|j\\rangle\\langle j|U_i^\\dagger
+    \\;-\\; \\sum_{j} \\mathrm{Tr}\\!\\left[|j\\rangle\\langle j|(\\cdot)\\right]
+        X|j\\rangle\\langle j|X ,
+
+with ``U_1 = H`` and ``U_2 = SH``, achieving the optimal entanglement-free
+overhead ``κ = 3``.  This is the ``f = 1/2`` endpoint of the paper's NME
+family and the baseline of Figure 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.cutting.base import GadgetWiring, WireCutProtocol, WireCutTerm
+from repro.cutting.overhead import harada_overhead
+from repro.quantum.channels import QuantumChannel
+from repro.quantum.gates import H, S
+
+__all__ = ["HaradaWireCut"]
+
+
+def _measure_prepare_channel(basis_unitary: np.ndarray) -> QuantumChannel:
+    """Channel that measures in the ``U|j⟩`` basis and re-prepares the outcome state."""
+    kraus = []
+    for j in range(2):
+        ket_j = np.zeros(2, dtype=complex)
+        ket_j[j] = 1.0
+        basis_state = basis_unitary @ ket_j
+        kraus.append(np.outer(basis_state, basis_state.conj()))
+    return QuantumChannel(kraus)
+
+
+def _flip_prepare_channel() -> QuantumChannel:
+    """Channel measuring in Z and preparing the *flipped* outcome, ``Σ_j X|j⟩⟨j| · |j⟩⟨j| X``."""
+    kraus = [
+        np.array([[0, 0], [1, 0]], dtype=complex),  # |1><0|
+        np.array([[0, 1], [0, 0]], dtype=complex),  # |0><1|
+    ]
+    return QuantumChannel(kraus)
+
+
+def _basis_1_gadget(circuit: QuantumCircuit, wiring: GadgetWiring) -> None:
+    """Term 1 (U₁ = H): measure sender in the X basis, prepare the same state on the receiver."""
+    clbit = wiring.clbit(0)
+    circuit.h(wiring.sender_qubit)
+    circuit.measure(wiring.sender_qubit, clbit)
+    circuit.x(wiring.receiver_qubit, condition=(clbit, 1))
+    circuit.h(wiring.receiver_qubit)
+
+
+def _basis_2_gadget(circuit: QuantumCircuit, wiring: GadgetWiring) -> None:
+    """Term 2 (U₂ = SH): measure sender in the Y basis, prepare the same state on the receiver."""
+    clbit = wiring.clbit(0)
+    circuit.sdg(wiring.sender_qubit)
+    circuit.h(wiring.sender_qubit)
+    circuit.measure(wiring.sender_qubit, clbit)
+    circuit.x(wiring.receiver_qubit, condition=(clbit, 1))
+    circuit.h(wiring.receiver_qubit)
+    circuit.s(wiring.receiver_qubit)
+
+
+def _flip_gadget(circuit: QuantumCircuit, wiring: GadgetWiring) -> None:
+    """Term 3: measure sender in Z, prepare the flipped outcome on the receiver."""
+    clbit = wiring.clbit(0)
+    circuit.measure(wiring.sender_qubit, clbit)
+    circuit.x(wiring.receiver_qubit)
+    circuit.x(wiring.receiver_qubit, condition=(clbit, 1))
+
+
+class HaradaWireCut(WireCutProtocol):
+    """Optimal entanglement-free single-wire cut (κ = 3)."""
+
+    name = "harada"
+
+    def build_terms(self) -> tuple[WireCutTerm, ...]:
+        u2 = S @ H
+        return (
+            WireCutTerm(
+                coefficient=1.0,
+                channel=_measure_prepare_channel(H),
+                label="measure-prepare-X(U1=H)",
+                gadget_builder=_basis_1_gadget,
+                num_gadget_clbits=1,
+                metadata={"basis": "X"},
+            ),
+            WireCutTerm(
+                coefficient=1.0,
+                channel=_measure_prepare_channel(u2),
+                label="measure-prepare-Y(U2=SH)",
+                gadget_builder=_basis_2_gadget,
+                num_gadget_clbits=1,
+                metadata={"basis": "Y"},
+            ),
+            WireCutTerm(
+                coefficient=-1.0,
+                channel=_flip_prepare_channel(),
+                label="measure-flip-prepare-Z",
+                gadget_builder=_flip_gadget,
+                num_gadget_clbits=1,
+                metadata={"basis": "Z", "flip": True},
+            ),
+        )
+
+    def theoretical_overhead(self) -> float:
+        return harada_overhead()

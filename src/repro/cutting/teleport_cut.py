@@ -1,0 +1,54 @@
+"""Wire "cut" by plain quantum teleportation (the κ = 1 endpoint).
+
+With a maximally entangled resource pair the wire can simply be teleported:
+a single QPD term with coefficient 1 and no sampling overhead.  This is the
+``f(Φ_k) = 1`` series of Figure 6 — the error floor set purely by finite-shot
+statistics of the final measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.cutting.base import GadgetWiring, WireCutProtocol, WireCutTerm
+from repro.cutting.overhead import teleportation_overhead
+from repro.quantum.channels import identity_channel
+from repro.teleport.protocol import bell_measurement, prepare_phi_k, teleportation_corrections
+
+__all__ = ["TeleportationWireCut"]
+
+
+def _teleport_gadget(circuit: QuantumCircuit, wiring: GadgetWiring) -> None:
+    """Teleport the sender qubit onto the receiver through a maximally entangled pair."""
+    sender = wiring.sender_qubit
+    ancilla = wiring.ancilla_qubits[0]
+    receiver = wiring.receiver_qubit
+    clbit_a = wiring.clbit(0)
+    clbit_b = wiring.clbit(1)
+    prepare_phi_k(circuit, 1.0, ancilla, receiver)
+    bell_measurement(circuit, sender, ancilla, clbit_a, clbit_b)
+    teleportation_corrections(circuit, receiver, clbit_a, clbit_b)
+
+
+class TeleportationWireCut(WireCutProtocol):
+    """Single-term protocol: transmit the wire with standard teleportation (κ = 1)."""
+
+    name = "teleportation"
+
+    def build_terms(self) -> tuple[WireCutTerm, ...]:
+        return (
+            WireCutTerm(
+                coefficient=1.0,
+                channel=identity_channel(1),
+                label="teleport-maximally-entangled",
+                gadget_builder=_teleport_gadget,
+                num_ancilla_qubits=1,
+                num_gadget_clbits=2,
+                consumes_entangled_pair=True,
+                metadata={"k": 1.0},
+            ),
+        )
+
+    def theoretical_overhead(self) -> float:
+        return teleportation_overhead()

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so downstream users can catch library failures with a
+single ``except`` clause while still distinguishing programmer errors
+(``TypeError``/``ValueError`` raised by NumPy itself) from domain errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DimensionError",
+    "StateError",
+    "GateError",
+    "CircuitError",
+    "SimulationError",
+    "ChannelError",
+    "DecompositionError",
+    "CuttingError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionError(ReproError):
+    """A linear-algebra object has an incompatible or non-power-of-two dimension."""
+
+
+class StateError(ReproError):
+    """A quantum state is malformed (not normalised, not PSD, wrong trace, ...)."""
+
+
+class GateError(ReproError):
+    """A gate definition is invalid (non-unitary matrix, unknown label, bad arity)."""
+
+
+class CircuitError(ReproError):
+    """A circuit is malformed (qubit index out of range, bad instruction, ...)."""
+
+
+class SimulationError(ReproError):
+    """A simulator could not execute a circuit."""
+
+
+class ChannelError(ReproError):
+    """A quantum channel specification is invalid (non-CP, non-TP when required, ...)."""
+
+
+class DecompositionError(ReproError):
+    """A quasiprobability decomposition is invalid or does not match its target."""
+
+
+class CuttingError(ReproError):
+    """A wire/gate cut could not be constructed or applied."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is invalid."""

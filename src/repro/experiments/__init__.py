@@ -1,0 +1,58 @@
+"""Experiment harness regenerating the paper's evaluation (Figure 6 and the analytic relations)."""
+
+from repro.experiments.ablations import (
+    allocation_strategy_ablation,
+    gate_vs_wire_cut,
+    noisy_resource_ablation,
+    protocol_error_comparison,
+)
+from repro.experiments.figure6 import Figure6Config, Figure6Result, run_figure6
+from repro.experiments.metrics import (
+    absolute_error,
+    expected_statistical_error,
+    mean_absolute_error,
+    root_mean_squared_error,
+    shots_for_target_error,
+)
+from repro.experiments.overhead_curves import (
+    overhead_vs_entanglement,
+    protocol_comparison,
+    resource_consumption,
+)
+from repro.experiments.records import SweepTable, write_csv, write_json
+from repro.experiments.shots_to_target import ShotsToTargetConfig, shots_to_target_error
+from repro.experiments.workloads import (
+    RandomStateWorkload,
+    ghz_circuit,
+    random_layered_circuit,
+    random_single_qubit_states,
+    state_preparation_circuit,
+)
+
+__all__ = [
+    "Figure6Config",
+    "Figure6Result",
+    "run_figure6",
+    "overhead_vs_entanglement",
+    "protocol_comparison",
+    "resource_consumption",
+    "allocation_strategy_ablation",
+    "protocol_error_comparison",
+    "gate_vs_wire_cut",
+    "noisy_resource_ablation",
+    "SweepTable",
+    "write_csv",
+    "write_json",
+    "ShotsToTargetConfig",
+    "shots_to_target_error",
+    "RandomStateWorkload",
+    "random_single_qubit_states",
+    "state_preparation_circuit",
+    "random_layered_circuit",
+    "ghz_circuit",
+    "absolute_error",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "expected_statistical_error",
+    "shots_for_target_error",
+]

@@ -1,0 +1,59 @@
+"""Error metrics used by the evaluation harness.
+
+The paper's figure of merit (Eq. 28) is the absolute deviation between the
+sampled and exact expectation values, averaged over the random input states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "absolute_error",
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "expected_statistical_error",
+    "shots_for_target_error",
+]
+
+
+def absolute_error(estimate: float, exact: float) -> float:
+    """Return ``|estimate − exact|`` (Eq. 28)."""
+    return float(abs(estimate - exact))
+
+
+def mean_absolute_error(estimates: np.ndarray, exact: np.ndarray) -> float:
+    """Return the mean absolute error over a batch of inputs."""
+    estimates = np.asarray(estimates, dtype=float)
+    exact = np.asarray(exact, dtype=float)
+    if estimates.shape != exact.shape:
+        raise ValueError("estimates and exact values must have the same shape")
+    return float(np.mean(np.abs(estimates - exact)))
+
+
+def root_mean_squared_error(estimates: np.ndarray, exact: np.ndarray) -> float:
+    """Return the RMSE over a batch of inputs."""
+    estimates = np.asarray(estimates, dtype=float)
+    exact = np.asarray(exact, dtype=float)
+    if estimates.shape != exact.shape:
+        raise ValueError("estimates and exact values must have the same shape")
+    return float(np.sqrt(np.mean((estimates - exact) ** 2)))
+
+
+def expected_statistical_error(kappa: float, shots: int) -> float:
+    """Return the κ/√N scaling law for the standard error of a QPD estimate.
+
+    This is the theory curve the measured Figure-6 series should track: the
+    per-shot outcomes are bounded by κ in magnitude, so the standard error of
+    the mean scales as ``κ/√N`` (up to the state-dependent variance factor).
+    """
+    if shots <= 0:
+        return float("inf")
+    return float(kappa / np.sqrt(shots))
+
+
+def shots_for_target_error(kappa: float, epsilon: float) -> float:
+    """Return the ``κ²/ε²`` shot requirement for a target additive error ε."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return float((kappa / epsilon) ** 2)

@@ -1,0 +1,100 @@
+"""Result containers and serialisation for experiment sweeps.
+
+Every experiment in :mod:`repro.experiments` produces a small, typed result
+object that can be rendered as an aligned text table (what the benchmarks
+print) and dumped to CSV/JSON for external plotting.  Keeping serialisation
+here avoids every experiment re-implementing file output.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["SweepTable", "write_csv", "write_json"]
+
+
+@dataclass(frozen=True)
+class SweepTable:
+    """A rectangular result table: named columns of equal length.
+
+    Attributes
+    ----------
+    name:
+        Table identifier (used as a heading and default file stem).
+    columns:
+        Mapping from column name to a sequence of values.
+    metadata:
+        Free-form experiment parameters recorded alongside the data.
+    """
+
+    name: str
+    columns: Mapping[str, Sequence]
+    metadata: Mapping[str, object] | None = None
+
+    def __post_init__(self) -> None:
+        lengths = {len(values) for values in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"columns have inconsistent lengths: {sorted(lengths)}")
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def row(self, index: int) -> dict:
+        """Return row ``index`` as a column-name → value mapping."""
+        return {key: values[index] for key, values in self.columns.items()}
+
+    def to_text(self, float_format: str = "{:.5g}") -> str:
+        """Render the table as aligned plain text (what benchmarks print)."""
+        headers = list(self.columns.keys())
+        rows = []
+        for index in range(self.num_rows):
+            row = []
+            for key in headers:
+                value = self.columns[key][index]
+                row.append(float_format.format(value) if isinstance(value, float) else str(value))
+            rows.append(row)
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.name]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+def write_csv(table: SweepTable, path: str | Path) -> Path:
+    """Write a :class:`SweepTable` to CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    headers = list(table.columns.keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for index in range(table.num_rows):
+            writer.writerow([table.columns[key][index] for key in headers])
+    return path
+
+
+def write_json(table: SweepTable, path: str | Path) -> Path:
+    """Write a :class:`SweepTable` (data + metadata) to JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "name": table.name,
+        "metadata": dict(table.metadata or {}),
+        "columns": {key: list(values) for key, values in table.columns.items()},
+    }
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path

@@ -1,0 +1,125 @@
+"""Workload generators for the evaluation experiments.
+
+The paper's Section IV workload is 1000 Haar-random single-qubit input
+states ``W|0⟩``; the ablation experiments additionally use small random
+layered circuits (for multi-wire and gate-cut comparisons) and GHZ-style
+circuits (for the distributed-execution example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.circuits.circuit import QuantumCircuit
+from repro.quantum.random import random_unitary
+from repro.quantum.states import Statevector
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "RandomStateWorkload",
+    "random_single_qubit_states",
+    "random_layered_circuit",
+    "ghz_circuit",
+    "state_preparation_circuit",
+]
+
+
+@dataclass(frozen=True)
+class RandomStateWorkload:
+    """A batch of Haar-random single-qubit input states.
+
+    Attributes
+    ----------
+    states:
+        The input states ``W|0⟩``.
+    unitaries:
+        The sampled unitaries ``W`` (kept so device-style preparation circuits
+        can be built from them).
+    seed:
+        The workload seed, recorded for reproducibility.
+    """
+
+    states: tuple[Statevector, ...]
+    unitaries: tuple[np.ndarray, ...]
+    seed: int | None
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def exact_z_expectations(self) -> np.ndarray:
+        """Return the exact ``⟨Z⟩`` of every input state."""
+        z = np.diag([1.0, -1.0]).astype(complex)
+        return np.array([float(np.real(s.expectation_value(z))) for s in self.states])
+
+
+def random_single_qubit_states(count: int, seed: SeedLike = None) -> RandomStateWorkload:
+    """Sample ``count`` Haar-random single-qubit states ``W|0⟩`` (paper Section IV)."""
+    if count < 0:
+        raise ExperimentError(f"count must be non-negative, got {count}")
+    rng = as_generator(seed)
+    unitaries = []
+    states = []
+    for _ in range(count):
+        unitary = random_unitary(2, seed=rng)
+        unitaries.append(unitary)
+        states.append(Statevector(unitary[:, 0], validate=False))
+    recorded_seed = seed if isinstance(seed, (int, np.integer)) else None
+    return RandomStateWorkload(
+        states=tuple(states), unitaries=tuple(unitaries), seed=recorded_seed
+    )
+
+
+def state_preparation_circuit(unitary: np.ndarray) -> QuantumCircuit:
+    """Return the single-qubit circuit applying ``W`` to ``|0⟩`` (the sender fragment)."""
+    circuit = QuantumCircuit(1, 0, name="W|0>")
+    circuit.unitary(np.asarray(unitary, dtype=complex), 0, name="W")
+    return circuit
+
+
+def random_layered_circuit(
+    num_qubits: int,
+    depth: int,
+    seed: SeedLike = None,
+    two_qubit_gate: str = "cz",
+) -> QuantumCircuit:
+    """Return a random layered circuit (single-qubit rotations + entangling layer).
+
+    Used by the ablation benchmarks that cut wires or gates inside a larger
+    circuit.  Each layer applies Haar-ish random ``U(θ, φ, λ)`` rotations to
+    every qubit followed by a brick pattern of two-qubit gates.
+    """
+    if num_qubits < 1:
+        raise ExperimentError(f"num_qubits must be >= 1, got {num_qubits}")
+    if depth < 0:
+        raise ExperimentError(f"depth must be non-negative, got {depth}")
+    rng = as_generator(seed)
+    circuit = QuantumCircuit(num_qubits, 0, name=f"random_{num_qubits}q_d{depth}")
+    for layer in range(depth):
+        for qubit in range(num_qubits):
+            theta, phi, lam = rng.uniform(0, 2 * np.pi, size=3)
+            circuit.u(theta, phi, lam, qubit)
+        offset = layer % 2
+        for qubit in range(offset, num_qubits - 1, 2):
+            if two_qubit_gate == "cz":
+                circuit.cz(qubit, qubit + 1)
+            elif two_qubit_gate == "cx":
+                circuit.cx(qubit, qubit + 1)
+            elif two_qubit_gate == "rzz":
+                circuit.rzz(float(rng.uniform(0, np.pi)), qubit, qubit + 1)
+            else:
+                raise ExperimentError(f"unknown two_qubit_gate {two_qubit_gate!r}")
+    return circuit
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """Return the GHZ-state preparation circuit on ``num_qubits`` qubits."""
+    if num_qubits < 2:
+        raise ExperimentError(f"GHZ needs at least 2 qubits, got {num_qubits}")
+    circuit = QuantumCircuit(num_qubits, 0, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit

@@ -1,0 +1,30 @@
+"""Quasiprobability-decomposition framework (Sections II-B/II-C of the paper)."""
+
+from repro.qpd.allocation import ALLOCATION_STRATEGIES, allocate_shots
+from repro.qpd.decomposition import QuasiProbDecomposition
+from repro.qpd.estimator import (
+    QPDEstimate,
+    TermEstimate,
+    combine_term_estimates,
+    single_stream_estimate,
+)
+from repro.qpd.superop import (
+    apply_superoperator,
+    superoperator_of_matrix_pair,
+    tensor_superoperators,
+)
+from repro.qpd.terms import QPDTerm
+
+__all__ = [
+    "QPDTerm",
+    "QuasiProbDecomposition",
+    "allocate_shots",
+    "ALLOCATION_STRATEGIES",
+    "TermEstimate",
+    "QPDEstimate",
+    "combine_term_estimates",
+    "single_stream_estimate",
+    "apply_superoperator",
+    "superoperator_of_matrix_pair",
+    "tensor_superoperators",
+]

@@ -1,0 +1,169 @@
+"""Quasiprobability decompositions of linear maps (Eq. 11).
+
+A :class:`QuasiProbDecomposition` collects :class:`~repro.qpd.terms.QPDTerm`
+objects and exposes the quantities that drive the Monte-Carlo estimator of
+Eq. 12: the 1-norm ``κ = Σ_i |c_i|`` (the sampling overhead), the sampling
+probabilities ``p_i = |c_i| / κ`` and the signs.  Exact verification against
+a target map and exact application to states are provided so tests can check
+Theorem 2 analytically, independent of any sampling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import DecompositionError
+from repro.qpd.terms import QPDTerm
+
+__all__ = ["QuasiProbDecomposition"]
+
+
+class QuasiProbDecomposition:
+    """A finite signed decomposition ``E = Σ_i c_i F_i``."""
+
+    def __init__(self, terms: Sequence[QPDTerm], name: str = "qpd"):
+        if not terms:
+            raise DecompositionError("a decomposition needs at least one term")
+        self._terms = tuple(terms)
+        self.name = name
+
+    # -- container ---------------------------------------------------------------
+
+    @property
+    def terms(self) -> tuple[QPDTerm, ...]:
+        """The decomposition's terms."""
+        return self._terms
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[QPDTerm]:
+        return iter(self._terms)
+
+    def __getitem__(self, index: int) -> QPDTerm:
+        return self._terms[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuasiProbDecomposition(name={self.name!r}, terms={len(self)}, "
+            f"kappa={self.kappa:.4f})"
+        )
+
+    # -- scalar summaries -----------------------------------------------------------
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """The coefficient vector ``(c_1, ..., c_m)``."""
+        return np.array([term.coefficient for term in self._terms], dtype=float)
+
+    @property
+    def kappa(self) -> float:
+        """The 1-norm ``κ = Σ_i |c_i|`` — the sampling-overhead factor."""
+        return float(np.sum(np.abs(self.coefficients)))
+
+    @property
+    def sampling_overhead(self) -> float:
+        """The multiplicative shot overhead ``κ²`` for a fixed target accuracy."""
+        return float(self.kappa**2)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The Monte-Carlo sampling distribution ``p_i = |c_i| / κ``."""
+        magnitudes = np.abs(self.coefficients)
+        return magnitudes / magnitudes.sum()
+
+    @property
+    def signs(self) -> np.ndarray:
+        """The coefficient signs (±1)."""
+        return np.array([term.sign for term in self._terms], dtype=int)
+
+    def coefficient_sum(self) -> float:
+        """Return ``Σ_i c_i`` (equals 1 for a decomposition of a TP channel)."""
+        return float(np.sum(self.coefficients))
+
+    # -- exact evaluation ----------------------------------------------------------
+
+    def superoperator(self) -> np.ndarray:
+        """Return the summed superoperator ``Σ_i c_i S_i``."""
+        total = None
+        for term in self._terms:
+            contribution = term.coefficient * term.superoperator()
+            total = contribution if total is None else total + contribution
+        return total
+
+    def apply_exact(self, rho: np.ndarray) -> np.ndarray:
+        """Return ``Σ_i c_i F_i(ρ)`` exactly."""
+        rho = np.asarray(rho, dtype=complex)
+        total = None
+        for term in self._terms:
+            contribution = term.weighted_apply(rho)
+            total = contribution if total is None else total + contribution
+        return total
+
+    def expectation_exact(self, rho: np.ndarray, observable: np.ndarray) -> float:
+        """Return ``Tr[O Σ_i c_i F_i(ρ)]`` exactly."""
+        return float(np.real(np.trace(np.asarray(observable, dtype=complex) @ self.apply_exact(rho))))
+
+    # -- verification ----------------------------------------------------------------
+
+    def matches_superoperator(self, target: np.ndarray, atol: float = 1e-9) -> bool:
+        """Return True when the decomposition reproduces ``target`` as a superoperator."""
+        return bool(np.allclose(self.superoperator(), np.asarray(target, dtype=complex), atol=atol))
+
+    def matches_identity(self, atol: float = 1e-9) -> bool:
+        """Return True when the decomposition reproduces the identity channel."""
+        superop = self.superoperator()
+        return bool(np.allclose(superop, np.eye(superop.shape[0]), atol=atol))
+
+    def validate(self, require_unit_sum: bool = True, atol: float = 1e-9) -> None:
+        """Raise :class:`DecompositionError` if structural invariants are violated.
+
+        Checks that all coefficients are finite and, when ``require_unit_sum``
+        is set (the trace-preserving case of Eq. 11), that ``Σ_i c_i = 1``.
+        """
+        if not np.all(np.isfinite(self.coefficients)):
+            raise DecompositionError("decomposition has non-finite coefficients")
+        if require_unit_sum and abs(self.coefficient_sum() - 1.0) > atol:
+            raise DecompositionError(
+                f"coefficients sum to {self.coefficient_sum():.6g}, expected 1"
+            )
+
+    # -- combination -----------------------------------------------------------------
+
+    def tensor(self, other: "QuasiProbDecomposition") -> "QuasiProbDecomposition":
+        """Return the decomposition of the tensor-product map.
+
+        The coefficients multiply and the overheads therefore compose as
+        ``κ_total = κ_a · κ_b`` — the exponential-in-cuts growth the paper
+        describes.  Channel terms combine in Kraus form; if either term only
+        has a superoperator the combined term falls back to the Kronecker
+        product of superoperators.
+        """
+        combined = []
+        for left in self._terms:
+            for right in other._terms:
+                coefficient = left.coefficient * right.coefficient
+                label = f"{left.label}⊗{right.label}"
+                if left.channel is not None and right.channel is not None:
+                    combined.append(
+                        QPDTerm(
+                            coefficient=coefficient,
+                            channel=left.channel.tensor(right.channel),
+                            label=label,
+                        )
+                    )
+                else:
+                    from repro.qpd.superop import tensor_superoperators
+
+                    combined.append(
+                        QPDTerm(
+                            coefficient=coefficient,
+                            superoperator_matrix=tensor_superoperators(
+                                left.superoperator(), right.superoperator()
+                            ),
+                            label=label,
+                        )
+                    )
+        return QuasiProbDecomposition(combined, name=f"{self.name}⊗{other.name}")

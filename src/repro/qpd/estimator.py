@@ -1,0 +1,166 @@
+"""Monte-Carlo recombination of per-term measurement results (Eq. 12).
+
+The quasiprobability estimator of an expectation value is
+
+.. math::
+
+    \\mathrm{Tr}[O\\,E(\\rho)]
+    = \\kappa \\sum_i p_i\\, \\mathrm{sign}(c_i)\\, \\mathrm{Tr}[O\\,F_i(\\rho)]
+    = \\sum_i c_i\\, \\mathrm{Tr}[O\\,F_i(\\rho)] .
+
+Given per-term empirical means of the measured observable this module
+recombines them into the final estimate, propagates the standard error, and
+records how the shot budget was spent.  The variance bookkeeping makes the
+κ² shot-overhead of the paper directly observable in experiment output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DecompositionError
+
+__all__ = ["TermEstimate", "QPDEstimate", "combine_term_estimates", "single_stream_estimate"]
+
+
+@dataclass(frozen=True)
+class TermEstimate:
+    """Empirical summary of the shots spent on one QPD term.
+
+    Attributes
+    ----------
+    coefficient:
+        The term's quasiprobability coefficient ``c_i``.
+    mean:
+        Empirical mean of the measured (±1-valued) observable for this term.
+    shots:
+        Number of shots spent on the term.
+    variance:
+        Empirical per-shot variance of the observable (defaults to the
+        Bernoulli-style bound ``1 − mean²`` when not supplied).
+    label:
+        Term label, carried through for reporting.
+    """
+
+    coefficient: float
+    mean: float
+    shots: int
+    variance: float | None = None
+    label: str = ""
+
+    @property
+    def effective_variance(self) -> float:
+        """Per-shot variance used for error propagation."""
+        if self.variance is not None:
+            return max(self.variance, 0.0)
+        return max(1.0 - self.mean**2, 0.0)
+
+
+@dataclass(frozen=True)
+class QPDEstimate:
+    """Final recombined estimate of ``Tr[O E(ρ)]``.
+
+    Attributes
+    ----------
+    value:
+        The recombined expectation-value estimate.
+    standard_error:
+        Propagated standard error of ``value`` (0 when no shots were spent).
+    total_shots:
+        Total number of shots across all terms.
+    kappa:
+        The decomposition's 1-norm, recorded for convenience.
+    term_estimates:
+        The per-term summaries that produced the estimate.
+    """
+
+    value: float
+    standard_error: float
+    total_shots: int
+    kappa: float
+    term_estimates: tuple[TermEstimate, ...] = field(default_factory=tuple)
+
+
+def combine_term_estimates(term_estimates: list[TermEstimate] | tuple[TermEstimate, ...]) -> QPDEstimate:
+    """Recombine per-term means into the QPD expectation-value estimate.
+
+    Terms that received zero shots contribute their coefficient times zero
+    (an unbiased choice is impossible without data; the caller should ensure
+    every term with non-zero coefficient receives at least one shot when the
+    budget allows — the proportional allocator does this for realistic
+    budgets).
+    """
+    if not term_estimates:
+        raise DecompositionError("no term estimates to combine")
+    value = 0.0
+    variance = 0.0
+    total_shots = 0
+    kappa = 0.0
+    for estimate in term_estimates:
+        kappa += abs(estimate.coefficient)
+        total_shots += estimate.shots
+        if estimate.shots <= 0:
+            continue
+        value += estimate.coefficient * estimate.mean
+        variance += (estimate.coefficient**2) * estimate.effective_variance / estimate.shots
+    return QPDEstimate(
+        value=float(value),
+        standard_error=float(np.sqrt(variance)),
+        total_shots=int(total_shots),
+        kappa=float(kappa),
+        term_estimates=tuple(term_estimates),
+    )
+
+
+def single_stream_estimate(
+    coefficients: np.ndarray,
+    term_indices: np.ndarray,
+    outcomes: np.ndarray,
+) -> QPDEstimate:
+    """Estimate from a single stream of (term, outcome) samples.
+
+    This is the literal Monte-Carlo estimator of Eq. 12: each shot ``s``
+    sampled term ``i_s`` with probability ``|c_{i_s}|/κ`` and produced an
+    observable outcome ``o_s ∈ {−1, +1}``; the estimate is the sample mean of
+    ``κ · sign(c_{i_s}) · o_s``.
+
+    Parameters
+    ----------
+    coefficients:
+        Coefficient vector of the decomposition.
+    term_indices:
+        Index of the term sampled for each shot.
+    outcomes:
+        Measured observable value for each shot.
+    """
+    coefficients = np.asarray(coefficients, dtype=float)
+    term_indices = np.asarray(term_indices, dtype=int)
+    outcomes = np.asarray(outcomes, dtype=float)
+    if term_indices.shape != outcomes.shape:
+        raise DecompositionError("term_indices and outcomes must have the same shape")
+    if term_indices.size == 0:
+        raise DecompositionError("no samples provided")
+    kappa = float(np.sum(np.abs(coefficients)))
+    signs = np.sign(coefficients)[term_indices]
+    signs[signs == 0] = 1
+    weighted = kappa * signs * outcomes
+    value = float(np.mean(weighted))
+    stderr = float(np.std(weighted, ddof=1) / np.sqrt(weighted.size)) if weighted.size > 1 else 0.0
+
+    term_estimates = []
+    for index, coefficient in enumerate(coefficients):
+        mask = term_indices == index
+        shots = int(np.sum(mask))
+        mean = float(np.mean(outcomes[mask])) if shots else 0.0
+        term_estimates.append(
+            TermEstimate(coefficient=float(coefficient), mean=mean, shots=shots, label=f"term_{index}")
+        )
+    return QPDEstimate(
+        value=value,
+        standard_error=stderr,
+        total_shots=int(weighted.size),
+        kappa=kappa,
+        term_estimates=tuple(term_estimates),
+    )

@@ -1,0 +1,77 @@
+"""Superoperator utilities for the QPD machinery.
+
+The library vectorises density matrices in row-major (C) order:
+``vec(ρ)[i*d + j] = ρ[i, j]``.  Under this convention the superoperator of a
+Kraus channel is ``Σ_i K_i ⊗ conj(K_i)``.  The superoperator of a *tensor
+product* of maps is not simply the Kronecker product of the factor
+superoperators (the row/column indices interleave), so
+:func:`tensor_superoperators` builds it explicitly by applying the factor
+maps to a product operator basis.  The dimensions involved in wire cutting
+are tiny (single-qubit maps), so the explicit construction is exact and cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = ["apply_superoperator", "superoperator_of_matrix_pair", "tensor_superoperators"]
+
+
+def apply_superoperator(superop: np.ndarray, rho: np.ndarray) -> np.ndarray:
+    """Apply a superoperator to a density-like matrix and return the matrix result."""
+    superop = np.asarray(superop, dtype=complex)
+    rho = np.asarray(rho, dtype=complex)
+    dim_in = rho.shape[0]
+    if superop.shape[1] != dim_in * dim_in:
+        raise DimensionError(
+            f"superoperator input dimension {superop.shape[1]} does not match state {rho.shape}"
+        )
+    dim_out = int(round(np.sqrt(superop.shape[0])))
+    return (superop @ rho.reshape(-1)).reshape(dim_out, dim_out)
+
+
+def superoperator_of_matrix_pair(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Return the superoperator of the map ``ρ ↦ L ρ R``."""
+    left = np.asarray(left, dtype=complex)
+    right = np.asarray(right, dtype=complex)
+    return np.kron(left, right.T)
+
+
+def tensor_superoperators(
+    superop_a: np.ndarray,
+    superop_b: np.ndarray,
+) -> np.ndarray:
+    """Return the superoperator of ``F_A ⊗ F_B`` from the factor superoperators.
+
+    Works for square factor maps (equal input and output dimension per
+    factor), which is all the cutting machinery needs.
+    """
+    superop_a = np.asarray(superop_a, dtype=complex)
+    superop_b = np.asarray(superop_b, dtype=complex)
+    dim_a = int(round(np.sqrt(superop_a.shape[1])))
+    dim_b = int(round(np.sqrt(superop_b.shape[1])))
+    if superop_a.shape != (dim_a * dim_a, dim_a * dim_a) or superop_b.shape != (
+        dim_b * dim_b,
+        dim_b * dim_b,
+    ):
+        raise DimensionError("tensor_superoperators requires square factor maps")
+    dim = dim_a * dim_b
+    result = np.zeros((dim * dim, dim * dim), dtype=complex)
+    # Apply the product map to every composite matrix unit E_{ia ja} ⊗ E_{ib jb}.
+    for ia in range(dim_a):
+        for ja in range(dim_a):
+            unit_a = np.zeros((dim_a, dim_a), dtype=complex)
+            unit_a[ia, ja] = 1.0
+            out_a = apply_superoperator(superop_a, unit_a)
+            for ib in range(dim_b):
+                for jb in range(dim_b):
+                    unit_b = np.zeros((dim_b, dim_b), dtype=complex)
+                    unit_b[ib, jb] = 1.0
+                    out_b = apply_superoperator(superop_b, unit_b)
+                    column = np.kron(out_a, out_b).reshape(-1)
+                    row_index = ia * dim_b + ib
+                    col_index = ja * dim_b + jb
+                    result[:, row_index * dim + col_index] = column
+    return result

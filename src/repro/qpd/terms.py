@@ -1,0 +1,91 @@
+"""Quasiprobability-decomposition terms.
+
+A :class:`QPDTerm` is one summand ``c_i · F_i`` of a quasiprobability
+decomposition ``E = Σ_i c_i F_i`` (Eq. 11 of the paper).  The linear map
+``F_i`` can be given in two interchangeable forms:
+
+* a :class:`~repro.quantum.channels.QuantumChannel` (Kraus form), when the
+  term is itself completely positive — this covers every term of the
+  Harada and NME wire cuts;
+* a raw superoperator matrix, for terms that are linear but not completely
+  positive (e.g. the observable-weighted measure-and-prepare terms of the
+  Peng wire cut, where a ±1 measurement eigenvalue is folded into the map).
+
+Both forms expose ``superoperator()`` so a decomposition can always be
+verified exactly by summing superoperators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DecompositionError
+from repro.quantum.channels import QuantumChannel
+
+__all__ = ["QPDTerm"]
+
+
+@dataclass(frozen=True)
+class QPDTerm:
+    """One term ``c · F`` of a quasiprobability decomposition.
+
+    Attributes
+    ----------
+    coefficient:
+        The real quasiprobability weight ``c`` (may be negative).
+    channel:
+        The CP map ``F`` in Kraus form, when available.
+    superoperator_matrix:
+        Dense superoperator of ``F`` (row-major/C-order vectorisation:
+        ``vec(F(ρ)) = S vec(ρ)``).  Required when ``channel`` is ``None``.
+    label:
+        Human-readable identifier used in logs and results.
+    metadata:
+        Free-form protocol-specific annotations (e.g. measurement basis,
+        prepared state, whether the term consumes an entangled pair).
+    """
+
+    coefficient: float
+    channel: QuantumChannel | None = None
+    superoperator_matrix: np.ndarray | None = field(default=None, compare=False)
+    label: str = ""
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.channel is None and self.superoperator_matrix is None:
+            raise DecompositionError(
+                f"term {self.label!r} needs either a channel or a superoperator matrix"
+            )
+        if not np.isfinite(self.coefficient):
+            raise DecompositionError(f"term {self.label!r} has a non-finite coefficient")
+
+    @property
+    def sign(self) -> int:
+        """Return ``sign(c)`` (+1 for zero coefficients by convention)."""
+        return -1 if self.coefficient < 0 else 1
+
+    @property
+    def magnitude(self) -> float:
+        """Return ``|c|``."""
+        return abs(self.coefficient)
+
+    def superoperator(self) -> np.ndarray:
+        """Return the superoperator matrix of ``F`` (without the coefficient)."""
+        if self.superoperator_matrix is not None:
+            return np.asarray(self.superoperator_matrix, dtype=complex)
+        return self.channel.superoperator()
+
+    def apply_exact(self, rho: np.ndarray) -> np.ndarray:
+        """Return ``F(ρ)`` (without the coefficient) for a density matrix ``ρ``."""
+        rho = np.asarray(rho, dtype=complex)
+        if self.channel is not None:
+            return self.channel.apply_matrix(rho)
+        superop = self.superoperator()
+        dim_out = int(np.sqrt(superop.shape[0]))
+        return (superop @ rho.reshape(-1)).reshape(dim_out, dim_out)
+
+    def weighted_apply(self, rho: np.ndarray) -> np.ndarray:
+        """Return ``c · F(ρ)``."""
+        return self.coefficient * self.apply_exact(rho)

@@ -1,0 +1,162 @@
+"""Bell states and non-maximally entangled (NME) two-qubit states.
+
+The central resource family of the paper is the pure NME state
+
+.. math::
+
+    |\\Phi_k\\rangle = K (|00\\rangle + k |11\\rangle),
+    \\qquad K = \\frac{1}{\\sqrt{1 + k^2}}, \\quad k \\in \\mathbb{R}_{\\ge 0},
+
+which interpolates between a product state (``k = 0`` or ``k → ∞``) and the
+maximally entangled Bell state ``|Φ⟩`` (``k = 1``).  This module provides the
+state family, the Bell basis labelled by Pauli operators
+(``|Φ_σ⟩ = (σ ⊗ I)|Φ⟩``), the maximal overlap ``f(Φ_k)`` (Eq. 10), and the
+conversion between ``k`` and ``f`` used to parametrise experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import StateError
+from repro.quantum.gates import PAULI_MATRICES
+from repro.quantum.states import DensityMatrix, Statevector
+
+__all__ = [
+    "bell_state",
+    "bell_basis_states",
+    "phi_k_state",
+    "phi_k_density",
+    "phi_k_overlap",
+    "k_from_overlap",
+    "overlap_from_k",
+    "bell_overlaps",
+    "werner_state",
+]
+
+
+def bell_state(pauli_label: str = "I") -> Statevector:
+    """Return the Bell basis state ``|Φ_σ⟩ = (σ ⊗ I)|Φ⟩`` for ``σ ∈ {I, X, Y, Z}``.
+
+    ``|Φ_I⟩`` is the standard maximally entangled state
+    ``(|00⟩ + |11⟩)/√2`` used as the reference state of the entanglement
+    measure ``f``.
+    """
+    if pauli_label not in PAULI_MATRICES:
+        raise StateError(f"unknown Pauli label {pauli_label!r}; expected one of I, X, Y, Z")
+    phi = np.array([1.0, 0.0, 0.0, 1.0], dtype=complex) / np.sqrt(2)
+    sigma = np.kron(PAULI_MATRICES[pauli_label], np.eye(2, dtype=complex))
+    return Statevector(sigma @ phi, validate=False)
+
+
+def bell_basis_states() -> dict[str, Statevector]:
+    """Return the four Bell basis states keyed by their Pauli labels."""
+    return {label: bell_state(label) for label in "IXYZ"}
+
+
+def phi_k_state(k: float) -> Statevector:
+    """Return the pure NME state ``|Φ_k⟩ = K (|00⟩ + k|11⟩)`` (Eq. 6).
+
+    Parameters
+    ----------
+    k:
+        Non-negative real Schmidt-coefficient ratio.  ``k = 0`` is the product
+        state ``|00⟩``; ``k = 1`` is the maximally entangled Bell state.
+    """
+    if k < 0:
+        raise StateError(f"k must be non-negative, got {k}")
+    normalisation = 1.0 / np.sqrt(1.0 + k * k)
+    vector = np.zeros(4, dtype=complex)
+    vector[0] = normalisation
+    vector[3] = normalisation * k
+    return Statevector(vector, validate=False)
+
+
+def phi_k_density(k: float) -> DensityMatrix:
+    """Return ``Φ_k = |Φ_k⟩⟨Φ_k|`` as a :class:`DensityMatrix`."""
+    return phi_k_state(k).to_density_matrix()
+
+
+def overlap_from_k(k: float) -> float:
+    """Return ``f(Φ_k) = (k + 1)² / (2 (k² + 1))`` (Eq. 10).
+
+    This equals the maximal LOCC overlap of ``Φ_k`` with the maximally
+    entangled state and ranges from 1/2 (``k ∈ {0, ∞}``) to 1 (``k = 1``).
+    """
+    if k < 0:
+        raise StateError(f"k must be non-negative, got {k}")
+    return float((k + 1.0) ** 2 / (2.0 * (k * k + 1.0)))
+
+
+# Backwards-compatible alias matching the paper's symbol.
+phi_k_overlap = overlap_from_k
+
+
+def k_from_overlap(f: float, branch: str = "lower") -> float:
+    """Invert Eq. 10: return ``k`` such that ``f(Φ_k) = f``.
+
+    The relation is two-to-one (``k`` and ``1/k`` give the same overlap);
+    ``branch="lower"`` returns the solution with ``k ≤ 1`` and
+    ``branch="upper"`` the one with ``k ≥ 1``.
+
+    Parameters
+    ----------
+    f:
+        Target overlap in ``[1/2, 1]``.
+    branch:
+        Which of the two solutions to return.
+    """
+    if not 0.5 <= f <= 1.0:
+        raise StateError(f"overlap must be in [0.5, 1.0], got {f}")
+    if branch not in {"lower", "upper"}:
+        raise ValueError(f"branch must be 'lower' or 'upper', got {branch!r}")
+    # Solve f (k² + 1) 2 = (k + 1)²  ⇔  (2f − 1) k² − 2k + (2f − 1) = 0.
+    a = 2.0 * f - 1.0
+    if a == 0.0:
+        # f = 1/2: the separable endpoint; k = 0 (lower) or k → ∞ (upper).
+        if branch == "lower":
+            return 0.0
+        return float("inf")
+    discriminant = max(1.0 - a * a, 0.0)
+    root = np.sqrt(discriminant)
+    k_lower = (1.0 - root) / a
+    k_upper = (1.0 + root) / a
+    return float(k_lower if branch == "lower" else k_upper)
+
+
+def bell_overlaps(state: DensityMatrix | Statevector | np.ndarray) -> dict[str, float]:
+    """Return the overlaps ``⟨Φ_σ| ρ |Φ_σ⟩`` for all four Bell states.
+
+    These overlaps determine the Pauli-error probabilities of teleportation
+    with resource state ρ (Eq. 22); for ``Φ_k`` they are
+    ``(k+1)²/(2(k²+1))`` for σ=I, ``(k−1)²/(2(k²+1))`` for σ=Z and 0 for
+    σ=X, Y (Appendix C, Eqs. 55–58).
+    """
+    if isinstance(state, Statevector):
+        rho = state.to_density_matrix().data
+    elif isinstance(state, DensityMatrix):
+        rho = state.data
+    else:
+        array = np.asarray(state, dtype=complex)
+        rho = np.outer(array, array.conj()) if array.ndim == 1 else array
+    if rho.shape != (4, 4):
+        raise StateError(f"expected a two-qubit state, got shape {rho.shape}")
+    overlaps = {}
+    for label, bell in bell_basis_states().items():
+        vector = bell.data
+        overlaps[label] = float(np.real(np.vdot(vector, rho @ vector)))
+    return overlaps
+
+
+def werner_state(p: float) -> DensityMatrix:
+    """Return the two-qubit Werner state ``p·Φ + (1−p)·I/4``.
+
+    A convenient family of *mixed* NME states used by the noise-robustness
+    extension experiments (the paper's future-work direction on mixed
+    resource states).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise StateError(f"p must be in [0, 1], got {p}")
+    phi = bell_state("I").to_density_matrix().data
+    identity = np.eye(4, dtype=complex) / 4.0
+    return DensityMatrix(p * phi + (1.0 - p) * identity, validate=False)

@@ -1,0 +1,282 @@
+"""Quantum channels (completely positive maps) in Kraus representation.
+
+Wire cutting is, formally, a quasiprobability decomposition of a channel:
+each QPD term is itself a completely positive trace-non-increasing (CPTN)
+map implemented with local operations and classical communication.  This
+module supplies the channel container used to state and *verify* those
+decompositions analytically (the simulators execute circuits instead, but
+tests cross-check both paths).
+
+A channel is stored as a list of Kraus operators.  Conversions to the Choi
+matrix and the natural superoperator representation are provided, along with
+complete-positivity / trace-preservation predicates and a small library of
+standard noise channels used by the mixed-resource-state extension.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ChannelError, DimensionError
+from repro.quantum.states import DensityMatrix
+from repro.utils.linalg import ATOL_DEFAULT, num_qubits_from_dim
+
+__all__ = [
+    "QuantumChannel",
+    "identity_channel",
+    "depolarizing_channel",
+    "dephasing_channel",
+    "amplitude_damping_channel",
+    "measure_and_prepare_channel",
+]
+
+
+class QuantumChannel:
+    """A completely positive map given by Kraus operators ``{K_i}``.
+
+    The channel need not be trace preserving: QPD terms are generally only
+    trace non-increasing (e.g. a projective measurement outcome followed by a
+    preparation).
+    """
+
+    __slots__ = ("_kraus", "_dim_in", "_dim_out")
+
+    def __init__(self, kraus_operators: Sequence[np.ndarray]):
+        kraus = [np.asarray(k, dtype=complex) for k in kraus_operators]
+        if not kraus:
+            raise ChannelError("a channel needs at least one Kraus operator")
+        shape = kraus[0].shape
+        if any(k.ndim != 2 for k in kraus):
+            raise ChannelError("Kraus operators must be 2-D arrays")
+        if any(k.shape != shape for k in kraus):
+            raise ChannelError("all Kraus operators must have the same shape")
+        self._kraus = kraus
+        self._dim_out, self._dim_in = shape
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def kraus_operators(self) -> list[np.ndarray]:
+        """The Kraus operators (do not mutate)."""
+        return list(self._kraus)
+
+    @property
+    def dim_in(self) -> int:
+        """Input Hilbert-space dimension."""
+        return self._dim_in
+
+    @property
+    def dim_out(self) -> int:
+        """Output Hilbert-space dimension."""
+        return self._dim_out
+
+    @property
+    def num_qubits_in(self) -> int:
+        """Number of input qubits."""
+        return num_qubits_from_dim(self._dim_in)
+
+    @property
+    def num_qubits_out(self) -> int:
+        """Number of output qubits."""
+        return num_qubits_from_dim(self._dim_out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumChannel(num_kraus={len(self._kraus)}, "
+            f"dim_in={self._dim_in}, dim_out={self._dim_out})"
+        )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_unitary(cls, unitary: np.ndarray) -> "QuantumChannel":
+        """Return the unitary channel ``ρ ↦ UρU†``."""
+        return cls([np.asarray(unitary, dtype=complex)])
+
+    @classmethod
+    def from_choi(cls, choi: np.ndarray, dim_in: int, atol: float = 1e-9) -> "QuantumChannel":
+        """Reconstruct a channel from its Choi matrix.
+
+        The Choi matrix convention is
+        ``C = Σ_{ij} |i⟩⟨j| ⊗ E(|i⟩⟨j|)`` (input system first).
+        """
+        choi = np.asarray(choi, dtype=complex)
+        total = choi.shape[0]
+        if choi.shape[0] != choi.shape[1] or total % dim_in != 0:
+            raise DimensionError(f"Choi matrix shape {choi.shape} incompatible with dim_in={dim_in}")
+        dim_out = total // dim_in
+        eigenvalues, eigenvectors = np.linalg.eigh((choi + choi.conj().T) / 2.0)
+        kraus = []
+        for value, vector in zip(eigenvalues, eigenvectors.T):
+            if value < -atol:
+                raise ChannelError(f"Choi matrix is not PSD (eigenvalue {value:.3g})")
+            if value > atol:
+                kraus.append(np.sqrt(value) * vector.reshape(dim_in, dim_out).T)
+        if not kraus:
+            kraus = [np.zeros((dim_out, dim_in), dtype=complex)]
+        return cls(kraus)
+
+    # -- representations --------------------------------------------------------
+
+    def choi_matrix(self) -> np.ndarray:
+        """Return the Choi matrix ``Σ_{ij} |i⟩⟨j| ⊗ E(|i⟩⟨j|)``."""
+        dim_in, dim_out = self._dim_in, self._dim_out
+        choi = np.zeros((dim_in * dim_out, dim_in * dim_out), dtype=complex)
+        for kraus in self._kraus:
+            # vec(K) in the convention matching the Choi definition above:
+            # C = Σ_K (I ⊗ K) |Ω⟩⟨Ω| (I ⊗ K†) with |Ω⟩ = Σ_i |i⟩|i⟩.
+            vec = kraus.T.reshape(-1)  # Σ_i |i⟩ ⊗ K|i⟩ flattened
+            choi += np.outer(vec, vec.conj())
+        return choi
+
+    def superoperator(self) -> np.ndarray:
+        """Return the natural (column-stacking) superoperator ``Σ_i K_i ⊗ K̄_i``...
+
+        Convention: ``vec(E(ρ)) = S · vec(ρ)`` with row-major (C-order)
+        vectorisation, giving ``S = Σ_i K_i ⊗ conj(K_i)``.
+        """
+        dim_in, dim_out = self._dim_in, self._dim_out
+        superop = np.zeros((dim_out * dim_out, dim_in * dim_in), dtype=complex)
+        for kraus in self._kraus:
+            superop += np.kron(kraus, kraus.conj())
+        return superop
+
+    # -- predicates --------------------------------------------------------------
+
+    def is_trace_preserving(self, atol: float = ATOL_DEFAULT) -> bool:
+        """Return True when ``Σ_i K_i†K_i = I``."""
+        total = sum(k.conj().T @ k for k in self._kraus)
+        return bool(np.allclose(total, np.eye(self._dim_in), atol=atol))
+
+    def is_trace_nonincreasing(self, atol: float = ATOL_DEFAULT) -> bool:
+        """Return True when ``Σ_i K_i†K_i ≤ I`` (CPTN condition)."""
+        total = sum(k.conj().T @ k for k in self._kraus)
+        eigenvalues = np.linalg.eigvalsh(np.eye(self._dim_in) - total)
+        return bool(np.all(eigenvalues >= -atol))
+
+    def is_completely_positive(self, atol: float = 1e-9) -> bool:
+        """Return True when the Choi matrix is PSD (always true for Kraus form)."""
+        eigenvalues = np.linalg.eigvalsh(self.choi_matrix())
+        return bool(np.all(eigenvalues >= -atol))
+
+    def is_unital(self, atol: float = ATOL_DEFAULT) -> bool:
+        """Return True when the channel maps the identity to the identity."""
+        if self._dim_in != self._dim_out:
+            return False
+        total = sum(k @ k.conj().T for k in self._kraus)
+        return bool(np.allclose(total, np.eye(self._dim_out), atol=atol))
+
+    # -- algebra --------------------------------------------------------------
+
+    def compose(self, other: "QuantumChannel") -> "QuantumChannel":
+        """Return the channel ``other ∘ self`` (``other`` applied after ``self``)."""
+        if self._dim_out != other._dim_in:
+            raise DimensionError("channel dimensions do not compose")
+        kraus = [b @ a for a in self._kraus for b in other._kraus]
+        return QuantumChannel(kraus)
+
+    def tensor(self, other: "QuantumChannel") -> "QuantumChannel":
+        """Return the parallel composition ``self ⊗ other``."""
+        kraus = [np.kron(a, b) for a in self._kraus for b in other._kraus]
+        return QuantumChannel(kraus)
+
+    def scale(self, factor: float) -> "QuantumChannel":
+        """Return the channel with every Kraus operator scaled by ``sqrt(factor)``.
+
+        Only non-negative factors are allowed (negative weights belong in the
+        QPD coefficients, not in the channels themselves).
+        """
+        if factor < 0:
+            raise ChannelError("scale factor must be non-negative")
+        root = np.sqrt(factor)
+        return QuantumChannel([root * k for k in self._kraus])
+
+    # -- action ----------------------------------------------------------------
+
+    def apply(self, state: DensityMatrix | np.ndarray) -> DensityMatrix:
+        """Apply the channel to a density matrix (result may be subnormalised)."""
+        rho = state.data if isinstance(state, DensityMatrix) else np.asarray(state, dtype=complex)
+        if rho.shape != (self._dim_in, self._dim_in):
+            raise DimensionError(
+                f"state dimension {rho.shape} does not match channel input {self._dim_in}"
+            )
+        result = np.zeros((self._dim_out, self._dim_out), dtype=complex)
+        for kraus in self._kraus:
+            result += kraus @ rho @ kraus.conj().T
+        return DensityMatrix(result, validate=False)
+
+    def apply_matrix(self, rho: np.ndarray) -> np.ndarray:
+        """Apply the channel to a raw matrix without wrapping the result."""
+        result = np.zeros((self._dim_out, self._dim_out), dtype=complex)
+        for kraus in self._kraus:
+            result += kraus @ rho @ kraus.conj().T
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Standard channels
+# ---------------------------------------------------------------------------
+
+
+def identity_channel(num_qubits: int = 1) -> QuantumChannel:
+    """Return the identity channel on ``num_qubits`` qubits."""
+    return QuantumChannel([np.eye(2**num_qubits, dtype=complex)])
+
+
+def depolarizing_channel(p: float, num_qubits: int = 1) -> QuantumChannel:
+    """Return the depolarising channel ``ρ ↦ (1−p)ρ + p·I/2^n``."""
+    if not 0.0 <= p <= 1.0:
+        raise ChannelError(f"p must be in [0, 1], got {p}")
+    from repro.quantum.paulis import pauli_basis
+
+    dim = 2**num_qubits
+    kraus = [np.sqrt(1.0 - p * (dim * dim - 1) / (dim * dim)) * np.eye(dim, dtype=complex)]
+    weight = np.sqrt(p) / dim
+    for label, matrix in pauli_basis(num_qubits).items():
+        if label == "I" * num_qubits:
+            continue
+        kraus.append(weight * matrix)
+    return QuantumChannel(kraus)
+
+
+def dephasing_channel(p: float) -> QuantumChannel:
+    """Return the single-qubit dephasing channel ``ρ ↦ (1−p)ρ + p·ZρZ``."""
+    if not 0.0 <= p <= 1.0:
+        raise ChannelError(f"p must be in [0, 1], got {p}")
+    z = np.array([[1, 0], [0, -1]], dtype=complex)
+    return QuantumChannel([np.sqrt(1.0 - p) * np.eye(2, dtype=complex), np.sqrt(p) * z])
+
+
+def amplitude_damping_channel(gamma: float) -> QuantumChannel:
+    """Return the single-qubit amplitude damping channel with decay ``gamma``."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ChannelError(f"gamma must be in [0, 1], got {gamma}")
+    k0 = np.array([[1, 0], [0, np.sqrt(1.0 - gamma)]], dtype=complex)
+    k1 = np.array([[0, np.sqrt(gamma)], [0, 0]], dtype=complex)
+    return QuantumChannel([k0, k1])
+
+
+def measure_and_prepare_channel(
+    measurement_basis: Sequence[np.ndarray],
+    prepared_states: Sequence[np.ndarray],
+) -> QuantumChannel:
+    """Return the channel ``ρ ↦ Σ_j ⟨m_j|ρ|m_j⟩ |p_j⟩⟨p_j|``.
+
+    Parameters
+    ----------
+    measurement_basis:
+        Kets ``|m_j⟩`` defining a (not necessarily complete) projective
+        measurement.
+    prepared_states:
+        Kets ``|p_j⟩`` prepared conditionally on outcome ``j``.
+    """
+    if len(measurement_basis) != len(prepared_states):
+        raise ChannelError("measurement_basis and prepared_states must have the same length")
+    kraus = []
+    for measured, prepared in zip(measurement_basis, prepared_states):
+        measured = np.asarray(measured, dtype=complex).ravel()
+        prepared = np.asarray(prepared, dtype=complex).ravel()
+        kraus.append(np.outer(prepared, measured.conj()))
+    return QuantumChannel(kraus)

@@ -1,0 +1,280 @@
+"""Standard gate matrix library.
+
+Every function returns a fresh ``numpy.ndarray`` with ``complex128`` dtype so
+callers may mutate the result without affecting shared module state.  Named
+constants (``X``, ``H``, ...) are provided for the fixed gates; treat them as
+read-only.
+
+The two-qubit matrices follow the big-endian convention used throughout the
+library: for a gate acting on qubits ``(a, b)``, qubit ``a`` is the most
+significant bit of the row/column index.  For example :data:`CX` is the
+controlled-NOT with the *first* tensor factor as control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GateError
+
+__all__ = [
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "CX",
+    "CZ",
+    "CY",
+    "SWAP",
+    "ISWAP",
+    "CCX",
+    "CSWAP",
+    "rx",
+    "ry",
+    "rz",
+    "phase",
+    "u3",
+    "rxx",
+    "ryy",
+    "rzz",
+    "controlled",
+    "gate_matrix",
+    "GATE_ALIASES",
+    "PAULI_MATRICES",
+]
+
+# ---------------------------------------------------------------------------
+# Fixed single-qubit gates
+# ---------------------------------------------------------------------------
+
+I = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+TDG = T.conj().T
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+#: Pauli matrices keyed by their single-letter label.
+PAULI_MATRICES: dict[str, np.ndarray] = {"I": I, "X": X, "Y": Y, "Z": Z}
+
+# ---------------------------------------------------------------------------
+# Fixed two- and three-qubit gates (big-endian: first factor = most significant)
+# ---------------------------------------------------------------------------
+
+CX = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+CY = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, -1j],
+        [0, 0, 1j, 0],
+    ],
+    dtype=complex,
+)
+SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+ISWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1j, 0],
+        [0, 1j, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+CCX = np.eye(8, dtype=complex)
+CCX[[6, 7], :] = CCX[[7, 6], :]
+
+CSWAP = np.eye(8, dtype=complex)
+CSWAP[[5, 6], :] = CSWAP[[6, 5], :]
+
+
+# ---------------------------------------------------------------------------
+# Parameterised gates
+# ---------------------------------------------------------------------------
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis: ``exp(-i θ X / 2)``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis: ``exp(-i θ Y / 2)``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis: ``exp(-i θ Z / 2)``."""
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+    )
+
+
+def phase(lam: float) -> np.ndarray:
+    """Phase gate ``diag(1, e^{iλ})`` (Qiskit ``p`` gate)."""
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=complex)
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit unitary in the standard ``U(θ, φ, λ)`` parametrisation."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def rxx(theta: float) -> np.ndarray:
+    """Two-qubit XX interaction: ``exp(-i θ X⊗X / 2)``."""
+    return _two_qubit_rotation(np.kron(X, X), theta)
+
+
+def ryy(theta: float) -> np.ndarray:
+    """Two-qubit YY interaction: ``exp(-i θ Y⊗Y / 2)``."""
+    return _two_qubit_rotation(np.kron(Y, Y), theta)
+
+
+def rzz(theta: float) -> np.ndarray:
+    """Two-qubit ZZ interaction: ``exp(-i θ Z⊗Z / 2)``."""
+    return _two_qubit_rotation(np.kron(Z, Z), theta)
+
+
+def _two_qubit_rotation(pauli_product: np.ndarray, theta: float) -> np.ndarray:
+    """Return ``exp(-i θ P / 2)`` for an involutory Pauli product ``P``."""
+    identity = np.eye(pauli_product.shape[0], dtype=complex)
+    return np.cos(theta / 2) * identity - 1j * np.sin(theta / 2) * pauli_product
+
+
+def controlled(unitary: np.ndarray, num_controls: int = 1) -> np.ndarray:
+    """Return the controlled version of ``unitary`` with ``num_controls`` controls.
+
+    Controls are the most significant qubits (big-endian), so the returned
+    matrix applies ``unitary`` to the trailing qubits only when all control
+    bits are 1.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.ndim != 2 or unitary.shape[0] != unitary.shape[1]:
+        raise GateError(f"unitary must be square, got shape {unitary.shape}")
+    if num_controls < 1:
+        raise GateError(f"num_controls must be >= 1, got {num_controls}")
+    target_dim = unitary.shape[0]
+    dim = (2**num_controls) * target_dim
+    result = np.eye(dim, dtype=complex)
+    result[dim - target_dim :, dim - target_dim :] = unitary
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Name-based lookup
+# ---------------------------------------------------------------------------
+
+_FIXED_GATES: dict[str, np.ndarray] = {
+    "i": I,
+    "id": I,
+    "x": X,
+    "y": Y,
+    "z": Z,
+    "h": H,
+    "s": S,
+    "sdg": SDG,
+    "t": T,
+    "tdg": TDG,
+    "sx": SX,
+    "cx": CX,
+    "cnot": CX,
+    "cz": CZ,
+    "cy": CY,
+    "swap": SWAP,
+    "iswap": ISWAP,
+    "ccx": CCX,
+    "toffoli": CCX,
+    "cswap": CSWAP,
+    "fredkin": CSWAP,
+}
+
+_PARAMETRIC_GATES: dict[str, tuple[int, object]] = {
+    "rx": (1, rx),
+    "ry": (1, ry),
+    "rz": (1, rz),
+    "p": (1, phase),
+    "phase": (1, phase),
+    "u": (3, u3),
+    "u3": (3, u3),
+    "rxx": (1, rxx),
+    "ryy": (1, ryy),
+    "rzz": (1, rzz),
+}
+
+#: Mapping from every accepted gate name to its canonical name.
+GATE_ALIASES: dict[str, str] = {
+    "id": "i",
+    "cnot": "cx",
+    "toffoli": "ccx",
+    "fredkin": "cswap",
+    "phase": "p",
+    "u3": "u",
+}
+
+
+def gate_matrix(name: str, params: tuple[float, ...] = ()) -> np.ndarray:
+    """Return the unitary matrix for gate ``name`` with ``params``.
+
+    Parameters
+    ----------
+    name:
+        Gate name, case-insensitive.  Both canonical names and aliases (see
+        :data:`GATE_ALIASES`) are accepted.
+    params:
+        Gate parameters; must match the gate's arity (0 for fixed gates).
+
+    Raises
+    ------
+    GateError
+        For unknown names or wrong parameter counts.
+    """
+    key = name.lower()
+    if key in _FIXED_GATES:
+        if params:
+            raise GateError(f"gate {name!r} takes no parameters, got {params}")
+        return _FIXED_GATES[key].copy()
+    if key in _PARAMETRIC_GATES:
+        arity, factory = _PARAMETRIC_GATES[key]
+        if len(params) != arity:
+            raise GateError(
+                f"gate {name!r} takes {arity} parameter(s), got {len(params)}"
+            )
+        return factory(*params)
+    raise GateError(f"unknown gate {name!r}")

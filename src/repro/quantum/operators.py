@@ -1,0 +1,129 @@
+"""Dense operator wrapper with composition/tensor arithmetic.
+
+:class:`Operator` is a convenience wrapper used by tests and the cutting
+machinery when a full matrix for a circuit or gate sequence is needed (e.g.
+to verify that a QPD reconstructs the identity channel exactly).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.quantum.states import DensityMatrix, Statevector
+from repro.utils.linalg import (
+    ATOL_DEFAULT,
+    expand_operator,
+    is_hermitian,
+    is_unitary,
+    num_qubits_from_dim,
+)
+
+__all__ = ["Operator"]
+
+
+class Operator:
+    """A dense linear operator on an n-qubit Hilbert space."""
+
+    __slots__ = ("_data", "_num_qubits")
+
+    def __init__(self, data: "np.ndarray | Operator"):
+        if isinstance(data, Operator):
+            matrix = data._data.copy()
+        else:
+            matrix = np.asarray(data, dtype=complex)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise DimensionError(f"operator must be square, got shape {matrix.shape}")
+        self._num_qubits = num_qubits_from_dim(matrix.shape[0])
+        self._data = matrix
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying matrix (do not mutate)."""
+        return self._data
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the operator acts on."""
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension."""
+        return self._data.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Operator(num_qubits={self.num_qubits})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Operator):
+            return NotImplemented
+        return self._data.shape == other._data.shape and bool(
+            np.allclose(self._data, other._data, atol=ATOL_DEFAULT)
+        )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def identity(cls, num_qubits: int) -> "Operator":
+        """Return the identity operator on ``num_qubits`` qubits."""
+        return cls(np.eye(2**num_qubits, dtype=complex))
+
+    @classmethod
+    def from_gate(cls, name: str, params: tuple[float, ...] = ()) -> "Operator":
+        """Return the operator of a named gate from the gate library."""
+        from repro.quantum.gates import gate_matrix
+
+        return cls(gate_matrix(name, params))
+
+    # -- algebra ---------------------------------------------------------------
+
+    def compose(self, other: "Operator") -> "Operator":
+        """Return ``other ∘ self`` (``other`` applied after ``self``)."""
+        if self.dim != other.dim:
+            raise DimensionError("operator dimensions do not match")
+        return Operator(other._data @ self._data)
+
+    def tensor(self, other: "Operator") -> "Operator":
+        """Return ``self ⊗ other``."""
+        return Operator(np.kron(self._data, other._data))
+
+    def adjoint(self) -> "Operator":
+        """Return the conjugate transpose."""
+        return Operator(self._data.conj().T)
+
+    def expand_to(self, qubits: Sequence[int], num_qubits: int) -> "Operator":
+        """Embed the operator acting on ``qubits`` into a larger register."""
+        return Operator(expand_operator(self._data, list(qubits), num_qubits))
+
+    def power(self, exponent: int) -> "Operator":
+        """Return the operator raised to an integer power."""
+        return Operator(np.linalg.matrix_power(self._data, exponent))
+
+    # -- predicates --------------------------------------------------------------
+
+    def is_unitary(self, atol: float = ATOL_DEFAULT) -> bool:
+        """Return True when the operator is unitary."""
+        return is_unitary(self._data, atol=atol)
+
+    def is_hermitian(self, atol: float = ATOL_DEFAULT) -> bool:
+        """Return True when the operator is Hermitian."""
+        return is_hermitian(self._data, atol=atol)
+
+    # -- action -----------------------------------------------------------------
+
+    def apply(self, state: Statevector | DensityMatrix) -> Statevector | DensityMatrix:
+        """Apply the operator to a state (unitarily for density matrices)."""
+        if isinstance(state, Statevector):
+            return state.evolve(self._data)
+        return state.evolve(self._data)
+
+    def expectation(self, state: Statevector | DensityMatrix) -> complex:
+        """Return ``⟨ψ|O|ψ⟩`` or ``Tr[Oρ]``."""
+        if isinstance(state, Statevector):
+            return state.expectation_value(self._data)
+        return state.expectation_value(self._data)

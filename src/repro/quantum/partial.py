@@ -1,0 +1,112 @@
+"""Partial trace and partial transpose on multi-qubit operators.
+
+The library's qubit ordering is big-endian: qubit 0 is the most significant
+tensor factor.  All functions here operate on dense NumPy arrays and use
+reshape/transpose (views, no copies until the final contraction) following
+the NumPy performance guidance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.utils.linalg import num_qubits_from_dim
+
+__all__ = ["partial_trace", "partial_transpose", "permute_qubits_vector", "permute_qubits_matrix"]
+
+
+def _check_qubits(qubits: Sequence[int], num_qubits: int) -> list[int]:
+    qubits = list(qubits)
+    if len(set(qubits)) != len(qubits):
+        raise DimensionError(f"duplicate qubit indices in {qubits}")
+    for q in qubits:
+        if not 0 <= q < num_qubits:
+            raise DimensionError(f"qubit index {q} out of range for {num_qubits} qubits")
+    return qubits
+
+
+def partial_trace(matrix: np.ndarray, trace_out: Sequence[int]) -> np.ndarray:
+    """Trace out the qubits in ``trace_out`` from a density-like matrix.
+
+    Parameters
+    ----------
+    matrix:
+        A ``2^n × 2^n`` operator.
+    trace_out:
+        Qubit indices to remove.  The remaining qubits keep their relative
+        order in the returned operator.
+
+    Returns
+    -------
+    numpy.ndarray
+        The reduced operator on the remaining qubits (a 1×1 matrix containing
+        the trace when all qubits are traced out).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise DimensionError(f"matrix must be square, got shape {matrix.shape}")
+    num_qubits = num_qubits_from_dim(matrix.shape[0])
+    trace_out = _check_qubits(trace_out, num_qubits)
+    keep = [q for q in range(num_qubits) if q not in trace_out]
+
+    tensor = matrix.reshape([2] * (2 * num_qubits))
+    # Row axes are 0..n-1, column axes are n..2n-1.
+    # einsum with repeated indices on traced qubits performs the partial trace.
+    row_labels = list(range(num_qubits))
+    col_labels = [
+        row_labels[q] if q in trace_out else num_qubits + q for q in range(num_qubits)
+    ]
+    out_labels = [q for q in keep] + [num_qubits + q for q in keep]
+    result = np.einsum(tensor, row_labels + col_labels, out_labels)
+    dim_keep = 2 ** len(keep)
+    return result.reshape(dim_keep, dim_keep) if keep else result.reshape(1, 1)
+
+
+def partial_transpose(matrix: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
+    """Return the partial transpose of ``matrix`` over the given ``qubits``.
+
+    Used by the negativity entanglement measure (PPT criterion).
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise DimensionError(f"matrix must be square, got shape {matrix.shape}")
+    num_qubits = num_qubits_from_dim(matrix.shape[0])
+    qubits = _check_qubits(qubits, num_qubits)
+
+    tensor = matrix.reshape([2] * (2 * num_qubits))
+    axes = list(range(2 * num_qubits))
+    for q in qubits:
+        axes[q], axes[num_qubits + q] = axes[num_qubits + q], axes[q]
+    dim = 2**num_qubits
+    return np.transpose(tensor, axes).reshape(dim, dim)
+
+
+def permute_qubits_vector(vector: np.ndarray, permutation: Sequence[int]) -> np.ndarray:
+    """Reorder the qubits of a statevector.
+
+    ``permutation[i]`` gives the *source* qubit that ends up at position ``i``
+    of the output.  For example ``permutation = [1, 0]`` swaps two qubits.
+    """
+    vector = np.asarray(vector, dtype=complex)
+    num_qubits = num_qubits_from_dim(vector.shape[0])
+    permutation = _check_qubits(permutation, num_qubits)
+    if len(permutation) != num_qubits:
+        raise DimensionError("permutation must mention every qubit exactly once")
+    tensor = vector.reshape([2] * num_qubits)
+    return np.transpose(tensor, permutation).reshape(-1)
+
+
+def permute_qubits_matrix(matrix: np.ndarray, permutation: Sequence[int]) -> np.ndarray:
+    """Reorder the qubits of an operator (both row and column indices)."""
+    matrix = np.asarray(matrix, dtype=complex)
+    num_qubits = num_qubits_from_dim(matrix.shape[0])
+    permutation = _check_qubits(permutation, num_qubits)
+    if len(permutation) != num_qubits:
+        raise DimensionError("permutation must mention every qubit exactly once")
+    tensor = matrix.reshape([2] * (2 * num_qubits))
+    axes = list(permutation) + [num_qubits + p for p in permutation]
+    dim = 2**num_qubits
+    return np.transpose(tensor, axes).reshape(dim, dim)

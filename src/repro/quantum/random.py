@@ -1,0 +1,102 @@
+"""Random sampling of quantum objects.
+
+The Figure-6 experiment draws 1000 Haar-random single-qubit input states; the
+paper cites Mezzadri's QR-based construction [30] for sampling unitaries from
+the Haar measure on U(N).  :func:`random_unitary` implements exactly that
+construction (QR decomposition of a complex Ginibre matrix followed by the
+phase correction ``Λ = diag(R_ii / |R_ii|)``), which is required for the
+distribution to actually be Haar rather than merely column-orthonormal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.states import DensityMatrix, Statevector
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "random_unitary",
+    "random_statevector",
+    "random_density_matrix",
+    "random_pure_two_qubit_state",
+    "haar_random_single_qubit_states",
+]
+
+
+def random_unitary(dim: int, seed: SeedLike = None) -> np.ndarray:
+    """Return a Haar-random ``dim × dim`` unitary matrix (Mezzadri's method).
+
+    Parameters
+    ----------
+    dim:
+        Matrix dimension (any positive integer; not restricted to powers of two).
+    seed:
+        Seed or generator for reproducibility.
+    """
+    if dim < 1:
+        raise ValueError(f"dim must be positive, got {dim}")
+    rng = as_generator(seed)
+    ginibre = (rng.standard_normal((dim, dim)) + 1j * rng.standard_normal((dim, dim))) / np.sqrt(2)
+    q, r = np.linalg.qr(ginibre)
+    # Phase correction: without it the QR decomposition is not Haar-distributed.
+    diagonal = np.diag(r)
+    phases = diagonal / np.abs(diagonal)
+    return q * phases  # broadcasting multiplies column j of q by phases[j]
+
+
+def random_statevector(num_qubits: int, seed: SeedLike = None) -> Statevector:
+    """Return a Haar-random pure state on ``num_qubits`` qubits.
+
+    Implemented as the first column of a Haar-random unitary, equivalently a
+    normalised complex Gaussian vector.
+    """
+    rng = as_generator(seed)
+    dim = 2**num_qubits
+    vector = rng.standard_normal(dim) + 1j * rng.standard_normal(dim)
+    vector /= np.linalg.norm(vector)
+    return Statevector(vector, validate=False)
+
+
+def random_density_matrix(num_qubits: int, rank: int | None = None, seed: SeedLike = None) -> DensityMatrix:
+    """Return a random density matrix via the Hilbert–Schmidt (Ginibre) ensemble.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size.
+    rank:
+        Rank of the sampled state; defaults to full rank.
+    seed:
+        Seed or generator.
+    """
+    rng = as_generator(seed)
+    dim = 2**num_qubits
+    rank = dim if rank is None else rank
+    if not 1 <= rank <= dim:
+        raise ValueError(f"rank must be in [1, {dim}], got {rank}")
+    ginibre = rng.standard_normal((dim, rank)) + 1j * rng.standard_normal((dim, rank))
+    rho = ginibre @ ginibre.conj().T
+    rho /= np.trace(rho)
+    return DensityMatrix(rho, validate=False)
+
+
+def random_pure_two_qubit_state(seed: SeedLike = None) -> Statevector:
+    """Return a Haar-random pure two-qubit state (useful as a generic NME resource)."""
+    return random_statevector(2, seed=seed)
+
+
+def haar_random_single_qubit_states(count: int, seed: SeedLike = None) -> list[Statevector]:
+    """Return ``count`` Haar-random single-qubit states ``W|0⟩``.
+
+    This reproduces the workload of the paper's Section IV: a random unitary
+    ``W`` is sampled per input and applied to ``|0⟩``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = as_generator(seed)
+    states = []
+    for _ in range(count):
+        unitary = random_unitary(2, seed=rng)
+        states.append(Statevector(unitary[:, 0], validate=False))
+    return states

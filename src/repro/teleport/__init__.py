@@ -1,0 +1,39 @@
+"""Quantum teleportation: circuits, channels, and probabilistic variants."""
+
+from repro.teleport.channel import (
+    average_teleportation_fidelity,
+    phi_k_average_fidelity,
+    phi_k_teleportation_channel,
+    teleportation_channel,
+    teleportation_error_probabilities,
+)
+from repro.teleport.probabilistic import (
+    expected_attempts,
+    simulate_attempts,
+    success_probability,
+)
+from repro.teleport.protocol import (
+    append_teleportation,
+    bell_measurement,
+    prepare_phi_k,
+    prepare_resource_state,
+    teleportation_circuit,
+    teleportation_corrections,
+)
+
+__all__ = [
+    "teleportation_circuit",
+    "append_teleportation",
+    "prepare_phi_k",
+    "prepare_resource_state",
+    "bell_measurement",
+    "teleportation_corrections",
+    "teleportation_channel",
+    "phi_k_teleportation_channel",
+    "teleportation_error_probabilities",
+    "average_teleportation_fidelity",
+    "phi_k_average_fidelity",
+    "success_probability",
+    "expected_attempts",
+    "simulate_attempts",
+]

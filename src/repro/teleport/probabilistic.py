@@ -1,0 +1,67 @@
+"""Probabilistic (Agrawal–Pati) teleportation with NME resource states.
+
+The related-work section of the paper contrasts the NME wire cut with the
+probabilistic teleportation protocol [43, 44]: with a pure NME resource
+``|Φ_k⟩`` (``k ≤ 1`` w.l.o.g.) an unknown state can be teleported *exactly*,
+but only with success probability
+
+.. math::
+
+    p_{succ}(k) = \\frac{2 k^2}{1 + k^2},
+
+and a failed attempt destroys the message, so the expected number of message
+copies (and resource pairs) per successful teleportation is ``1/p_succ``.
+This module provides the analytic model plus a sampling helper so the
+comparison benchmark can show where probabilistic teleportation's repetition
+overhead sits relative to the wire-cut sampling overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import StateError
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "success_probability",
+    "expected_attempts",
+    "simulate_attempts",
+]
+
+
+def _normalise_k(k: float) -> float:
+    """Map ``k`` to the equivalent value in ``[0, 1]`` (k and 1/k give the same state up to relabelling)."""
+    if k < 0:
+        raise StateError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return 0.0
+    return min(k, 1.0 / k)
+
+
+def success_probability(k: float) -> float:
+    """Return the exact-teleportation success probability ``2k²/(1+k²)`` for ``Φ_k``."""
+    k = _normalise_k(k)
+    return float(2.0 * k * k / (1.0 + k * k))
+
+
+def expected_attempts(k: float) -> float:
+    """Return the expected number of attempts per successful teleportation (``∞`` for separable resources)."""
+    probability = success_probability(k)
+    if probability <= 0.0:
+        return float("inf")
+    return float(1.0 / probability)
+
+
+def simulate_attempts(k: float, successes: int, seed: SeedLike = None) -> int:
+    """Sample how many attempts are needed to achieve ``successes`` exact teleportations."""
+    if successes < 0:
+        raise ValueError(f"successes must be non-negative, got {successes}")
+    probability = success_probability(k)
+    if successes == 0:
+        return 0
+    if probability <= 0.0:
+        raise StateError("separable resource states never succeed; cannot simulate attempts")
+    rng = as_generator(seed)
+    # Sum of `successes` geometric variables.
+    return int(np.sum(rng.geometric(probability, size=successes)))

@@ -1,0 +1,143 @@
+"""Quantum teleportation circuits (Section II-E, Figure 3).
+
+The standard teleportation protocol transmits the state of a *message* qubit
+``A`` to a *target* qubit ``C`` using a pre-shared resource pair on qubits
+``B`` (sender side) and ``C`` (receiver side):
+
+1. the sender performs a Bell-basis measurement on ``A`` and ``B``
+   (CX(A,B), H(A), then computational-basis measurements),
+2. the two classical outcome bits are sent to the receiver,
+3. the receiver applies ``X`` conditioned on the ``B`` outcome and ``Z``
+   conditioned on the ``A`` outcome.
+
+With a maximally entangled resource the output equals the input exactly; with
+a general resource state ``ρ_BC`` the output is the Pauli-error channel of
+Eq. 22 (see :mod:`repro.teleport.channel`).
+
+This module builds the circuit fragments for both the standalone protocol and
+the teleportation gadgets embedded in the NME wire cut of Theorem 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.circuits.circuit import QuantumCircuit
+from repro.quantum.bell import phi_k_state
+from repro.quantum.states import Statevector
+
+__all__ = [
+    "prepare_phi_k",
+    "prepare_resource_state",
+    "bell_measurement",
+    "teleportation_corrections",
+    "teleportation_circuit",
+    "append_teleportation",
+]
+
+
+def prepare_phi_k(circuit: QuantumCircuit, k: float, qubit_b: int, qubit_c: int) -> QuantumCircuit:
+    """Append gates preparing ``|Φ_k⟩ = K(|00⟩ + k|11⟩)`` on ``(qubit_b, qubit_c)``.
+
+    The preparation is the two-gate sequence ``Ry(θ)`` on ``qubit_b`` followed
+    by ``CX(qubit_b → qubit_c)`` with ``θ = 2·arctan(k)``, which is what a
+    device distributing the pair would run (rather than an opaque
+    ``initialize``), so the gadget circuits match Figure 5 of the paper
+    gate-for-gate.
+    """
+    if k < 0:
+        raise CircuitError(f"k must be non-negative, got {k}")
+    theta = 2.0 * np.arctan(k)
+    circuit.ry(theta, qubit_b)
+    circuit.cx(qubit_b, qubit_c)
+    return circuit
+
+
+def prepare_resource_state(
+    circuit: QuantumCircuit,
+    resource: Statevector | np.ndarray | float,
+    qubit_b: int,
+    qubit_c: int,
+) -> QuantumCircuit:
+    """Append the preparation of an arbitrary two-qubit resource state.
+
+    ``resource`` may be a ``k`` value (prepared via :func:`prepare_phi_k`) or
+    an explicit two-qubit pure state (prepared via ``initialize``).
+    """
+    if isinstance(resource, (int, float)) and not isinstance(resource, bool):
+        return prepare_phi_k(circuit, float(resource), qubit_b, qubit_c)
+    state = resource.data if isinstance(resource, Statevector) else np.asarray(resource, dtype=complex)
+    if state.shape != (4,):
+        raise CircuitError(f"resource state must be a two-qubit ket, got shape {state.shape}")
+    circuit.initialize(state, (qubit_b, qubit_c))
+    return circuit
+
+
+def bell_measurement(
+    circuit: QuantumCircuit,
+    qubit_a: int,
+    qubit_b: int,
+    clbit_a: int,
+    clbit_b: int,
+) -> QuantumCircuit:
+    """Append the sender's Bell-basis measurement of ``(qubit_a, qubit_b)``."""
+    circuit.cx(qubit_a, qubit_b)
+    circuit.h(qubit_a)
+    circuit.measure(qubit_a, clbit_a)
+    circuit.measure(qubit_b, clbit_b)
+    return circuit
+
+
+def teleportation_corrections(
+    circuit: QuantumCircuit,
+    qubit_c: int,
+    clbit_a: int,
+    clbit_b: int,
+) -> QuantumCircuit:
+    """Append the receiver's classically conditioned Pauli corrections."""
+    circuit.x(qubit_c, condition=(clbit_b, 1))
+    circuit.z(qubit_c, condition=(clbit_a, 1))
+    return circuit
+
+
+def append_teleportation(
+    circuit: QuantumCircuit,
+    resource: Statevector | np.ndarray | float,
+    qubit_a: int,
+    qubit_b: int,
+    qubit_c: int,
+    clbit_a: int,
+    clbit_b: int,
+) -> QuantumCircuit:
+    """Append a full teleportation of ``qubit_a`` onto ``qubit_c`` to ``circuit``.
+
+    The resource state is prepared on ``(qubit_b, qubit_c)`` in-line; the two
+    classical bits record the Bell measurement outcomes.
+    """
+    prepare_resource_state(circuit, resource, qubit_b, qubit_c)
+    bell_measurement(circuit, qubit_a, qubit_b, clbit_a, clbit_b)
+    teleportation_corrections(circuit, qubit_c, clbit_a, clbit_b)
+    return circuit
+
+
+def teleportation_circuit(
+    message_state: Statevector | np.ndarray | None = None,
+    resource: Statevector | np.ndarray | float = 1.0,
+) -> QuantumCircuit:
+    """Return a standalone three-qubit teleportation circuit.
+
+    Qubit 0 carries the message (optionally initialised to ``message_state``),
+    qubits 1 and 2 hold the resource pair, and the teleported state ends up on
+    qubit 2.  Classical bits 0 and 1 record the Bell measurement.
+    """
+    circuit = QuantumCircuit(3, 2, name="teleportation")
+    if message_state is not None:
+        state = (
+            message_state.data
+            if isinstance(message_state, Statevector)
+            else np.asarray(message_state, dtype=complex)
+        )
+        circuit.initialize(state, 0)
+    append_teleportation(circuit, resource, qubit_a=0, qubit_b=1, qubit_c=2, clbit_a=0, clbit_b=1)
+    return circuit

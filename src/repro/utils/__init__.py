@@ -1,0 +1,63 @@
+"""Low-level numerical utilities shared across the library.
+
+The submodules are intentionally dependency-free (NumPy/SciPy only) and are
+safe to import from anywhere inside :mod:`repro` without creating import
+cycles.
+
+Modules
+-------
+linalg
+    Tensor products, dagger, projectors, matrix predicates and basis helpers.
+rng
+    Deterministic random-number-generator plumbing used by every stochastic
+    component (simulators, samplers, workload generators).
+validation
+    Argument checking helpers that raise the library's exception types.
+"""
+
+from repro.utils.linalg import (
+    dagger,
+    is_density_matrix,
+    is_hermitian,
+    is_power_of_two,
+    is_projector,
+    is_psd,
+    is_statevector,
+    is_unitary,
+    ket,
+    bra,
+    kron_all,
+    num_qubits_from_dim,
+    outer,
+    projector,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_integer_in_range,
+    check_probability,
+    check_square_matrix,
+    check_vector,
+)
+
+__all__ = [
+    "dagger",
+    "is_density_matrix",
+    "is_hermitian",
+    "is_power_of_two",
+    "is_projector",
+    "is_psd",
+    "is_statevector",
+    "is_unitary",
+    "ket",
+    "bra",
+    "kron_all",
+    "num_qubits_from_dim",
+    "outer",
+    "projector",
+    "as_generator",
+    "spawn_generators",
+    "check_integer_in_range",
+    "check_probability",
+    "check_square_matrix",
+    "check_vector",
+]

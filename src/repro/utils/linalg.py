@@ -1,0 +1,263 @@
+"""Linear-algebra helpers used throughout the library.
+
+All functions operate on plain ``numpy.ndarray`` objects with ``complex128``
+dtype and avoid unnecessary copies (views are returned where safe), following
+the NumPy performance guidance of preferring vectorised expressions and
+in-place work over Python-level loops.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = [
+    "ATOL_DEFAULT",
+    "dagger",
+    "outer",
+    "ket",
+    "bra",
+    "projector",
+    "kron_all",
+    "is_power_of_two",
+    "num_qubits_from_dim",
+    "is_hermitian",
+    "is_unitary",
+    "is_psd",
+    "is_projector",
+    "is_statevector",
+    "is_density_matrix",
+    "normalize_vector",
+    "basis_state",
+    "expand_operator",
+]
+
+#: Default absolute tolerance for all floating-point predicates in the library.
+ATOL_DEFAULT: float = 1e-10
+
+
+def dagger(matrix: np.ndarray) -> np.ndarray:
+    """Return the conjugate transpose of ``matrix``.
+
+    Parameters
+    ----------
+    matrix:
+        Any 1-D or 2-D complex array.  For a 1-D array (a ket) the result is
+        the corresponding bra as a 1-D conjugated array.
+    """
+    array = np.asarray(matrix)
+    if array.ndim == 1:
+        return array.conj()
+    return array.conj().T
+
+
+def outer(left: np.ndarray, right: np.ndarray | None = None) -> np.ndarray:
+    """Return the outer product ``|left><right|``.
+
+    When ``right`` is omitted the projector ``|left><left|`` is returned.
+    """
+    left = np.asarray(left, dtype=complex).ravel()
+    right = left if right is None else np.asarray(right, dtype=complex).ravel()
+    return np.outer(left, right.conj())
+
+
+def ket(bitstring: str | int, num_qubits: int | None = None) -> np.ndarray:
+    """Return the computational-basis ket for ``bitstring``.
+
+    Parameters
+    ----------
+    bitstring:
+        Either a string such as ``"010"`` or an integer basis index.  When an
+        integer is given, ``num_qubits`` must be provided.
+    num_qubits:
+        Number of qubits; inferred from the string length when a string is
+        given.
+
+    Returns
+    -------
+    numpy.ndarray
+        A complex vector of length ``2**num_qubits`` with a single unit entry.
+    """
+    if isinstance(bitstring, str):
+        if bitstring and set(bitstring) - {"0", "1"}:
+            raise ValueError(f"bitstring must contain only 0/1, got {bitstring!r}")
+        n = len(bitstring)
+        index = int(bitstring, 2) if bitstring else 0
+    else:
+        if num_qubits is None:
+            raise ValueError("num_qubits is required when an integer index is given")
+        n = num_qubits
+        index = int(bitstring)
+    if num_qubits is not None and isinstance(bitstring, str) and num_qubits != n:
+        raise DimensionError(f"bitstring length {n} does not match num_qubits {num_qubits}")
+    dim = 2**n
+    if not 0 <= index < dim:
+        raise DimensionError(f"basis index {index} out of range for {n} qubits")
+    vec = np.zeros(dim, dtype=complex)
+    vec[index] = 1.0
+    return vec
+
+
+def bra(bitstring: str | int, num_qubits: int | None = None) -> np.ndarray:
+    """Return the computational-basis bra (conjugated row vector) for ``bitstring``."""
+    return ket(bitstring, num_qubits).conj()
+
+
+def basis_state(index: int, dim: int) -> np.ndarray:
+    """Return the ``index``-th standard basis vector of dimension ``dim``."""
+    if not 0 <= index < dim:
+        raise DimensionError(f"basis index {index} out of range for dimension {dim}")
+    vec = np.zeros(dim, dtype=complex)
+    vec[index] = 1.0
+    return vec
+
+
+def projector(state: np.ndarray) -> np.ndarray:
+    """Return the rank-1 projector ``|state><state|`` for a (normalised) ket."""
+    return outer(state)
+
+
+def kron_all(matrices: Iterable[np.ndarray]) -> np.ndarray:
+    """Return the Kronecker product of the given matrices, in order.
+
+    ``kron_all([A, B, C])`` computes ``A ⊗ B ⊗ C``.  An empty iterable returns
+    the 1×1 identity so the function can be used as a fold seed.
+    """
+    result: np.ndarray | None = None
+    for matrix in matrices:
+        matrix = np.asarray(matrix, dtype=complex)
+        result = matrix if result is None else np.kron(result, matrix)
+    if result is None:
+        return np.array([[1.0 + 0.0j]])
+    return result
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def num_qubits_from_dim(dim: int) -> int:
+    """Return ``log2(dim)`` checking the dimension is a power of two."""
+    if not is_power_of_two(dim):
+        raise DimensionError(f"dimension {dim} is not a power of two")
+    return int(dim).bit_length() - 1
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = ATOL_DEFAULT) -> bool:
+    """Return True when ``matrix`` equals its conjugate transpose within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return bool(np.allclose(matrix, matrix.conj().T, atol=atol))
+
+
+def is_unitary(matrix: np.ndarray, atol: float = ATOL_DEFAULT) -> bool:
+    """Return True when ``matrix`` is unitary within ``atol``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ matrix.conj().T, identity, atol=atol))
+
+
+def is_psd(matrix: np.ndarray, atol: float = ATOL_DEFAULT) -> bool:
+    """Return True when ``matrix`` is Hermitian positive semidefinite within ``atol``."""
+    if not is_hermitian(matrix, atol=atol):
+        return False
+    eigenvalues = np.linalg.eigvalsh(np.asarray(matrix, dtype=complex))
+    return bool(np.all(eigenvalues >= -atol))
+
+
+def is_projector(matrix: np.ndarray, atol: float = ATOL_DEFAULT) -> bool:
+    """Return True when ``matrix`` is an orthogonal projector (Hermitian, idempotent)."""
+    matrix = np.asarray(matrix, dtype=complex)
+    return is_hermitian(matrix, atol=atol) and bool(np.allclose(matrix @ matrix, matrix, atol=atol))
+
+
+def is_statevector(vector: np.ndarray, atol: float = ATOL_DEFAULT) -> bool:
+    """Return True when ``vector`` is a normalised complex vector of power-of-two length."""
+    vector = np.asarray(vector)
+    if vector.ndim != 1 or not is_power_of_two(vector.shape[0]):
+        return False
+    return bool(abs(np.vdot(vector, vector).real - 1.0) <= atol)
+
+
+def is_density_matrix(matrix: np.ndarray, atol: float = ATOL_DEFAULT) -> bool:
+    """Return True when ``matrix`` is a valid density operator (PSD, unit trace)."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    if not is_power_of_two(matrix.shape[0]):
+        return False
+    if abs(np.trace(matrix).real - 1.0) > atol or abs(np.trace(matrix).imag) > atol:
+        return False
+    return is_psd(matrix, atol=atol)
+
+
+def normalize_vector(vector: np.ndarray) -> np.ndarray:
+    """Return ``vector`` scaled to unit 2-norm.
+
+    Raises
+    ------
+    DimensionError
+        If the vector has (numerically) zero norm.
+    """
+    vector = np.asarray(vector, dtype=complex)
+    norm = np.linalg.norm(vector)
+    if norm < ATOL_DEFAULT:
+        raise DimensionError("cannot normalise a zero vector")
+    return vector / norm
+
+
+def expand_operator(
+    operator: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Embed ``operator`` acting on ``qubits`` into an ``num_qubits``-qubit operator.
+
+    The qubit ordering convention is big-endian: qubit 0 is the most
+    significant tensor factor (leftmost in a ket label ``|q0 q1 ... q_{n-1}>``).
+    ``qubits`` lists the circuit qubits the operator acts on, in the order of
+    the operator's own tensor factors.
+
+    This is an O(4^n) dense construction intended for small verification
+    work; the simulators use reshaped tensor contractions instead.
+    """
+    operator = np.asarray(operator, dtype=complex)
+    k = len(qubits)
+    if operator.shape != (2**k, 2**k):
+        raise DimensionError(
+            f"operator shape {operator.shape} does not match {k} target qubits"
+        )
+    if len(set(qubits)) != k:
+        raise DimensionError(f"duplicate qubits in {qubits}")
+    if any(q < 0 or q >= num_qubits for q in qubits):
+        raise DimensionError(f"qubit indices {qubits} out of range for {num_qubits} qubits")
+
+    # Build by reshaping into a 2n-dimensional tensor and permuting axes.
+    op_tensor = operator.reshape([2] * (2 * k))
+    identity = np.eye(2 ** (num_qubits - k), dtype=complex)
+    id_tensor = identity.reshape([2] * (2 * (num_qubits - k)))
+    # Full operator acting on (qubits..., rest...) in that order.
+    full = np.tensordot(op_tensor, id_tensor, axes=0)
+    # Axes of `full`: first k row-axes for `qubits`, k col-axes for `qubits`,
+    # then (n-k) row-axes for the rest, (n-k) col-axes for the rest.
+    rest = [q for q in range(num_qubits) if q not in qubits]
+    order = list(qubits) + rest
+    # Current row-axis positions in `full` for the qubit order `order`:
+    row_axes = list(range(k)) + list(range(2 * k, 2 * k + (num_qubits - k)))
+    col_axes = list(range(k, 2 * k)) + list(
+        range(2 * k + (num_qubits - k), 2 * (num_qubits))
+    )
+    # We need the permutation that sorts `order` into 0..n-1.
+    perm = np.argsort(order)
+    new_row_axes = [row_axes[p] for p in perm]
+    new_col_axes = [col_axes[p] for p in perm]
+    full = np.transpose(full, axes=new_row_axes + new_col_axes)
+    dim = 2**num_qubits
+    return full.reshape(dim, dim)

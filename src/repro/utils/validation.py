@@ -1,0 +1,59 @@
+"""Argument-validation helpers.
+
+These raise the library's own exception types with actionable messages so
+that user-facing API entry points fail fast and clearly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = [
+    "check_square_matrix",
+    "check_vector",
+    "check_probability",
+    "check_integer_in_range",
+]
+
+
+def check_square_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Return ``matrix`` as a complex 2-D square array or raise :class:`DimensionError`."""
+    array = np.asarray(matrix, dtype=complex)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise DimensionError(f"{name} must be a square 2-D array, got shape {array.shape}")
+    return array
+
+
+def check_vector(vector: np.ndarray, name: str = "vector") -> np.ndarray:
+    """Return ``vector`` as a complex 1-D array or raise :class:`DimensionError`."""
+    array = np.asarray(vector, dtype=complex)
+    if array.ndim != 1:
+        raise DimensionError(f"{name} must be a 1-D array, got shape {array.shape}")
+    return array
+
+
+def check_probability(value: float, name: str = "probability", atol: float = 1e-9) -> float:
+    """Return ``value`` if it lies in [0, 1] (within ``atol``), else raise ``ValueError``."""
+    value = float(value)
+    if value < -atol or value > 1.0 + atol:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return min(max(value, 0.0), 1.0)
+
+
+def check_integer_in_range(
+    value: int,
+    low: int | None = None,
+    high: int | None = None,
+    name: str = "value",
+) -> int:
+    """Return ``value`` as an int if it lies in ``[low, high]`` (inclusive bounds)."""
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if low is not None and value < low:
+        raise ValueError(f"{name} must be >= {low}, got {value}")
+    if high is not None and value > high:
+        raise ValueError(f"{name} must be <= {high}, got {value}")
+    return value

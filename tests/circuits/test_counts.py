@@ -1,0 +1,111 @@
+"""Unit tests for the Counts container."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.counts import Counts
+
+
+class TestConstruction:
+    def test_basic(self):
+        counts = Counts({"00": 3, "11": 7})
+        assert counts.shots == 10
+        assert counts.num_clbits == 2
+
+    def test_zero_entries_dropped(self):
+        counts = Counts({"0": 5, "1": 0})
+        assert "1" not in counts
+        assert counts["1"] == 0  # missing keys read as zero
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counts({"0": -1})
+
+    def test_rejects_non_bitstring(self):
+        with pytest.raises(ValueError):
+            Counts({"0a": 1})
+
+    def test_rejects_inconsistent_lengths(self):
+        with pytest.raises(ValueError):
+            Counts({"0": 1, "00": 1})
+
+    def test_num_clbits_mismatch(self):
+        with pytest.raises(ValueError):
+            Counts({"00": 1}, num_clbits=3)
+
+    def test_empty(self):
+        counts = Counts({}, num_clbits=2)
+        assert counts.shots == 0
+        assert len(counts) == 0
+
+    def test_equality_with_dict(self):
+        assert Counts({"0": 2}) == {"0": 2}
+
+
+class TestAggregation:
+    def test_probabilities(self):
+        probabilities = Counts({"0": 25, "1": 75}).probabilities()
+        assert probabilities["1"] == pytest.approx(0.75)
+
+    def test_most_frequent(self):
+        assert Counts({"01": 5, "10": 9}).most_frequent() == "10"
+
+    def test_most_frequent_empty_raises(self):
+        with pytest.raises(ValueError):
+            Counts({}).most_frequent()
+
+    def test_marginal(self):
+        counts = Counts({"01": 4, "11": 6})
+        assert dict(counts.marginal([1])) == {"1": 10}
+        assert dict(counts.marginal([0])) == {"0": 4, "1": 6}
+
+    def test_marginal_reorders(self):
+        counts = Counts({"01": 3})
+        assert dict(counts.marginal([1, 0])) == {"10": 3}
+
+    def test_add(self):
+        total = Counts({"0": 1}).add(Counts({"0": 2, "1": 3}))
+        assert dict(total) == {"0": 3, "1": 3}
+
+    def test_expectation_z_full_register(self):
+        counts = Counts({"00": 50, "11": 50})
+        assert counts.expectation_z() == pytest.approx(1.0)
+
+    def test_expectation_z_single_bit(self):
+        counts = Counts({"01": 30, "00": 70})
+        assert counts.expectation_z([1]) == pytest.approx(0.4)
+
+    def test_expectation_z_empty_raises(self):
+        with pytest.raises(ValueError):
+            Counts({}).expectation_z()
+
+
+class TestFromProbabilities:
+    def test_from_dict(self):
+        counts = Counts.from_probabilities({"0": 0.5, "1": 0.5}, shots=1000, seed=0)
+        assert counts.shots == 1000
+        assert abs(counts["0"] - 500) < 100
+
+    def test_from_vector(self):
+        counts = Counts.from_probabilities(np.array([1.0, 0.0, 0.0, 0.0]), shots=10, seed=1)
+        assert dict(counts) == {"00": 10}
+
+    def test_deterministic_with_seed(self):
+        a = Counts.from_probabilities({"0": 0.3, "1": 0.7}, shots=100, seed=5)
+        b = Counts.from_probabilities({"0": 0.3, "1": 0.7}, shots=100, seed=5)
+        assert a == b
+
+    def test_zero_shots(self):
+        assert Counts.from_probabilities({"0": 1.0}, shots=0).shots == 0
+
+    def test_unnormalised_distribution_is_renormalised(self):
+        counts = Counts.from_probabilities({"0": 2.0, "1": 2.0}, shots=500, seed=2)
+        assert counts.shots == 500
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            Counts.from_probabilities({"0": 0.0}, shots=10)
+
+    def test_rejects_negative_shots(self):
+        with pytest.raises(ValueError):
+            Counts.from_probabilities({"0": 1.0}, shots=-1)

@@ -1,0 +1,47 @@
+"""Unit tests for the ASCII circuit drawer."""
+
+from repro.circuits import QuantumCircuit, draw
+from repro.teleport import teleportation_circuit
+
+
+class TestDraw:
+    def test_row_count(self):
+        circuit = QuantumCircuit(3, 2)
+        text = draw(circuit)
+        assert len(text.splitlines()) == 5
+
+    def test_gate_labels_present(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0).cx(0, 1).measure(1, 0)
+        text = draw(circuit)
+        assert "[h]" in text
+        assert "⊕" in text
+        assert "[M0]" in text
+
+    def test_parametric_gate_shows_angle(self):
+        circuit = QuantumCircuit(1)
+        circuit.ry(0.5, 0)
+        assert "ry(0.5)" in draw(circuit)
+
+    def test_conditional_marker_on_classical_row(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0, condition=(0, 1))
+        assert "?=1" in draw(circuit)
+
+    def test_reset_and_initialize_and_barrier(self):
+        circuit = QuantumCircuit(1)
+        circuit.reset(0)
+        circuit.initialize([0, 1], 0)
+        circuit.barrier()
+        text = draw(circuit)
+        assert "[|0>]" in text
+        assert "[init]" in text
+        assert "░" in text
+
+    def test_column_alignment(self):
+        circuit = teleportation_circuit(resource=0.5)
+        lines = draw(circuit).splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_empty_circuit(self):
+        assert draw(QuantumCircuit(1)) == "q0: "

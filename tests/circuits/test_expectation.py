@@ -1,0 +1,100 @@
+"""Unit tests for expectation-value helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.expectation import (
+    exact_expectation,
+    measurement_basis_change,
+    sampled_pauli_expectation,
+)
+from repro.quantum.paulis import PauliString
+
+
+class TestExactExpectation:
+    def test_unitary_circuit(self):
+        circuit = QuantumCircuit(1)
+        circuit.ry(1.1, 0)
+        z = np.diag([1.0, -1.0]).astype(complex)
+        assert exact_expectation(circuit, z) == pytest.approx(np.cos(1.1))
+
+    def test_accepts_pauli_string(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        assert exact_expectation(circuit, PauliString("ZZ")) == pytest.approx(1.0)
+        assert exact_expectation(circuit, PauliString("XX")) == pytest.approx(1.0)
+        assert exact_expectation(circuit, PauliString("ZI")) == pytest.approx(0.0)
+
+    def test_non_unitary_circuit_uses_density_path(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        z = np.diag([1.0, -1.0]).astype(complex)
+        assert exact_expectation(circuit, z) == pytest.approx(0.0)
+
+
+class TestBasisChange:
+    def test_z_basis_is_empty(self):
+        circuit = measurement_basis_change("Z", 0, 1, 0)
+        assert len(circuit) == 0
+
+    def test_x_basis_is_h(self):
+        circuit = measurement_basis_change("X", 0, 1, 0)
+        assert circuit.count_ops() == {"h": 1}
+
+    def test_y_basis(self):
+        circuit = measurement_basis_change("Y", 0, 1, 0)
+        assert circuit.count_ops() == {"sdg": 1, "h": 1}
+
+    def test_unknown_basis(self):
+        with pytest.raises(SimulationError):
+            measurement_basis_change("Q", 0, 1, 0)
+
+
+class TestSampledExpectation:
+    def test_z_observable(self):
+        circuit = QuantumCircuit(1)
+        circuit.ry(0.9, 0)
+        value = sampled_pauli_expectation(circuit, "Z", shots=40_000, seed=0)
+        assert value == pytest.approx(np.cos(0.9), abs=0.02)
+
+    def test_x_observable(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        value = sampled_pauli_expectation(circuit, "X", shots=5000, seed=1)
+        assert value == pytest.approx(1.0)
+
+    def test_y_observable(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).s(0)
+        value = sampled_pauli_expectation(circuit, "Y", shots=5000, seed=2)
+        assert value == pytest.approx(1.0)
+
+    def test_two_qubit_parity(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        value = sampled_pauli_expectation(circuit, "ZZ", shots=3000, seed=3)
+        assert value == pytest.approx(1.0)
+
+    def test_identity_observable(self):
+        circuit = QuantumCircuit(1)
+        assert sampled_pauli_expectation(circuit, "I", shots=10, seed=0) == 1.0
+
+    def test_subset_of_qubits(self):
+        circuit = QuantumCircuit(2)
+        circuit.x(1)
+        value = sampled_pauli_expectation(circuit, "Z", shots=1000, qubits=[1], seed=4)
+        assert value == pytest.approx(-1.0)
+
+    def test_label_count_mismatch(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(SimulationError):
+            sampled_pauli_expectation(circuit, "Z", shots=10, qubits=[0, 1])
+
+    def test_matches_exact_within_statistics(self):
+        circuit = QuantumCircuit(2)
+        circuit.ry(0.6, 0).cx(0, 1).rz(0.3, 1)
+        exact = exact_expectation(circuit, PauliString("ZZ"))
+        sampled = sampled_pauli_expectation(circuit, "ZZ", shots=40_000, seed=5)
+        assert sampled == pytest.approx(exact, abs=0.02)

@@ -1,0 +1,81 @@
+"""Unit tests for the Instruction dataclass."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.circuits.instruction import BARRIER, GATE, INITIALIZE, MEASURE, RESET, Instruction
+from repro.quantum.gates import CX, H, X
+
+
+class TestConstruction:
+    def test_gate(self):
+        instruction = Instruction(kind=GATE, name="h", qubits=(0,), matrix=H)
+        assert instruction.num_qubits == 1
+        assert not instruction.is_conditional
+
+    def test_gate_requires_matrix(self):
+        with pytest.raises(CircuitError):
+            Instruction(kind=GATE, name="h", qubits=(0,))
+
+    def test_gate_matrix_shape_check(self):
+        with pytest.raises(CircuitError):
+            Instruction(kind=GATE, name="cx", qubits=(0,), matrix=CX)
+
+    def test_measure_arity(self):
+        Instruction(kind=MEASURE, name="measure", qubits=(0,), clbits=(0,))
+        with pytest.raises(CircuitError):
+            Instruction(kind=MEASURE, name="measure", qubits=(0, 1), clbits=(0,))
+        with pytest.raises(CircuitError):
+            Instruction(kind=MEASURE, name="measure", qubits=(0,), clbits=())
+
+    def test_reset_arity(self):
+        with pytest.raises(CircuitError):
+            Instruction(kind=RESET, name="reset", qubits=(0, 1))
+
+    def test_initialize_requires_state(self):
+        with pytest.raises(CircuitError):
+            Instruction(kind=INITIALIZE, name="initialize", qubits=(0,))
+
+    def test_unknown_kind(self):
+        with pytest.raises(CircuitError):
+            Instruction(kind="noop", name="noop", qubits=(0,))
+
+    def test_condition_validation(self):
+        with pytest.raises(CircuitError):
+            Instruction(kind=GATE, name="x", qubits=(0,), matrix=X, condition=(0, 2))
+        with pytest.raises(CircuitError):
+            Instruction(kind=GATE, name="x", qubits=(0,), matrix=X, condition=(-1, 1))
+
+
+class TestTransformations:
+    def test_with_condition(self):
+        conditioned = Instruction(kind=GATE, name="x", qubits=(1,), matrix=X).with_condition(2, 1)
+        assert conditioned.condition == (2, 1)
+        assert conditioned.is_conditional
+
+    def test_with_condition_rejected_for_measure(self):
+        measure = Instruction(kind=MEASURE, name="measure", qubits=(0,), clbits=(0,))
+        with pytest.raises(CircuitError):
+            measure.with_condition(0)
+
+    def test_remap_qubits(self):
+        instruction = Instruction(kind=GATE, name="cx", qubits=(0, 1), matrix=CX)
+        remapped = instruction.remap({0: 2, 1: 3})
+        assert remapped.qubits == (2, 3)
+        assert np.allclose(remapped.matrix, CX)
+
+    def test_remap_clbits_and_condition(self):
+        instruction = Instruction(
+            kind=GATE, name="x", qubits=(0,), matrix=X, condition=(0, 1)
+        )
+        remapped = instruction.remap({}, {0: 5})
+        assert remapped.condition == (5, 1)
+
+    def test_remap_partial_map_keeps_others(self):
+        instruction = Instruction(kind=GATE, name="cx", qubits=(0, 1), matrix=CX)
+        assert instruction.remap({0: 4}).qubits == (4, 1)
+
+    def test_barrier(self):
+        barrier = Instruction(kind=BARRIER, name="barrier", qubits=(0, 1))
+        assert barrier.num_qubits == 2

@@ -1,0 +1,119 @@
+"""Unit tests for the shot simulator (exact and trajectory methods)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.shot_simulator import ShotSimulator, run_and_sample
+from repro.quantum.random import random_statevector
+
+
+def _bell_measured() -> QuantumCircuit:
+    circuit = QuantumCircuit(2, 2)
+    circuit.h(0).cx(0, 1).measure(0, 0).measure(1, 1)
+    return circuit
+
+
+class TestShotSimulatorExact:
+    def test_deterministic_circuit(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0).measure(0, 0)
+        counts = run_and_sample(circuit, 100, seed=0)
+        assert dict(counts) == {"1": 100}
+
+    def test_bell_correlations(self):
+        counts = run_and_sample(_bell_measured(), 2000, seed=1)
+        assert set(counts.keys()) <= {"00", "11"}
+        assert abs(counts["00"] - 1000) < 150
+
+    def test_reproducible_with_seed(self):
+        a = run_and_sample(_bell_measured(), 500, seed=3)
+        b = run_and_sample(_bell_measured(), 500, seed=3)
+        assert a == b
+
+    def test_zero_shots(self):
+        counts = run_and_sample(_bell_measured(), 0, seed=0)
+        assert counts.shots == 0
+
+    def test_negative_shots(self):
+        with pytest.raises(ValueError):
+            run_and_sample(_bell_measured(), -5)
+
+    def test_requires_clbits(self):
+        with pytest.raises(SimulationError):
+            run_and_sample(QuantumCircuit(1), 10)
+
+    def test_unknown_method(self):
+        with pytest.raises(SimulationError):
+            ShotSimulator(method="magic")
+
+    def test_total_shots_preserved(self):
+        counts = run_and_sample(_bell_measured(), 1234, seed=9)
+        assert counts.shots == 1234
+
+    def test_partial_measurement(self):
+        circuit = QuantumCircuit(2, 1)
+        circuit.h(0).cx(0, 1).measure(1, 0)
+        counts = run_and_sample(circuit, 4000, seed=2)
+        assert abs(counts["0"] - 2000) < 200
+
+    def test_initial_state(self):
+        state = random_statevector(1, seed=5)
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0)
+        counts = run_and_sample(circuit, 20_000, seed=6, initial_state=state)
+        expected_p1 = abs(state.data[1]) ** 2
+        assert counts["1"] / counts.shots == pytest.approx(expected_p1, abs=0.02)
+
+
+class TestShotSimulatorTrajectory:
+    def test_deterministic_circuit(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0).measure(0, 0)
+        counts = run_and_sample(circuit, 50, seed=0, method="trajectory")
+        assert dict(counts) == {"1": 50}
+
+    def test_bell_correlations(self):
+        counts = run_and_sample(_bell_measured(), 400, seed=1, method="trajectory")
+        assert set(counts.keys()) <= {"00", "11"}
+
+    def test_feedforward(self):
+        # Measure a |1> qubit and conditionally flip the second: outcome always "1" then "1".
+        circuit = QuantumCircuit(2, 2)
+        circuit.x(0).measure(0, 0)
+        circuit.x(1, condition=(0, 1))
+        circuit.measure(1, 1)
+        counts = run_and_sample(circuit, 100, seed=2, method="trajectory")
+        assert dict(counts) == {"11": 100}
+
+    def test_reset(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).reset(0).measure(0, 0)
+        counts = run_and_sample(circuit, 100, seed=3, method="trajectory")
+        assert dict(counts) == {"0": 100}
+
+    def test_initialize(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.initialize(np.array([0, 1]), 0)
+        circuit.measure(0, 0)
+        counts = run_and_sample(circuit, 100, seed=4, method="trajectory")
+        assert dict(counts) == {"1": 100}
+
+    def test_agrees_with_exact_on_teleportation(self):
+        # The marginal distribution of the receiver's Z measurement must agree
+        # between the two methods (within sampling error).
+        message = random_statevector(1, seed=7)
+        from repro.teleport import teleportation_circuit
+
+        base = teleportation_circuit(message_state=message, resource=1.0)
+        circuit = QuantumCircuit(3, 3)
+        circuit.compose(base, inplace=True)
+        circuit.measure(2, 2)
+
+        exact = run_and_sample(circuit, 6000, seed=8, method="exact").marginal([2])
+        trajectory = run_and_sample(circuit, 1500, seed=9, method="trajectory").marginal([2])
+        p_exact = exact["1"] / exact.shots
+        p_trajectory = trajectory["1"] / trajectory.shots
+        assert p_exact == pytest.approx(p_trajectory, abs=0.06)

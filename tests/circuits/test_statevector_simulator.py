@@ -1,0 +1,95 @@
+"""Unit tests for the statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.statevector_simulator import StatevectorSimulator, simulate_statevector
+from repro.quantum.random import random_statevector, random_unitary
+from repro.quantum.states import Statevector
+
+
+class TestStatevectorSimulator:
+    def test_empty_circuit(self):
+        state = simulate_statevector(QuantumCircuit(2))
+        assert np.allclose(state.data, Statevector.zero_state(2).data)
+
+    def test_bell_circuit(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1)
+        state = simulate_statevector(circuit)
+        assert np.allclose(state.data, np.array([1, 0, 0, 1]) / np.sqrt(2))
+
+    def test_ghz_circuit(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2)
+        state = simulate_statevector(circuit)
+        expected = np.zeros(8)
+        expected[0] = expected[7] = 1 / np.sqrt(2)
+        assert np.allclose(state.data, expected)
+
+    def test_matches_dense_matrix_product(self):
+        circuit = QuantumCircuit(3)
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            qubit = int(rng.integers(3))
+            circuit.unitary(random_unitary(2, seed=rng), qubit)
+        for _ in range(3):
+            a, b = rng.choice(3, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        state = simulate_statevector(circuit)
+        expected = circuit.to_matrix() @ Statevector.zero_state(3).data
+        assert np.allclose(state.data, expected)
+
+    def test_initial_state(self):
+        initial = random_statevector(2, seed=1)
+        circuit = QuantumCircuit(2)
+        circuit.x(0)
+        state = simulate_statevector(circuit, initial_state=initial)
+        expected = np.kron(np.array([[0, 1], [1, 0]]), np.eye(2)) @ initial.data
+        assert np.allclose(state.data, expected)
+
+    def test_initial_state_dimension_mismatch(self):
+        with pytest.raises(SimulationError):
+            simulate_statevector(QuantumCircuit(2), initial_state=Statevector("0"))
+
+    def test_barriers_ignored(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0).barrier().h(0)
+        assert np.allclose(simulate_statevector(circuit).data, [1, 0])
+
+    def test_trailing_measurements_tolerated(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0).measure(0, 0)
+        state = simulate_statevector(circuit)
+        assert np.allclose(np.abs(state.data) ** 2, [0.5, 0.5])
+
+    def test_gate_after_measurement_rejected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.measure(0, 0).x(0)
+        with pytest.raises(SimulationError):
+            simulate_statevector(circuit)
+
+    def test_reset_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.reset(0)
+        with pytest.raises(SimulationError):
+            simulate_statevector(circuit)
+
+    def test_conditional_rejected(self):
+        circuit = QuantumCircuit(1, 1)
+        circuit.x(0, condition=(0, 1))
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().run(circuit)
+
+    def test_norm_preserved_on_random_circuits(self):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            circuit = QuantumCircuit(4)
+            for _ in range(10):
+                qubit = int(rng.integers(4))
+                theta, phi, lam = rng.uniform(0, 2 * np.pi, 3)
+                circuit.u(theta, phi, lam, qubit)
+            state = simulate_statevector(circuit)
+            assert np.linalg.norm(state.data) == pytest.approx(1.0)

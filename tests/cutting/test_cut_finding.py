@@ -1,0 +1,85 @@
+"""Unit tests for automatic cut finding."""
+
+import pytest
+
+from repro.exceptions import CuttingError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.expectation import exact_expectation
+from repro.cutting.cut_finding import find_time_slice_cuts, fragment_widths
+from repro.cutting.multi_wire import estimate_multi_cut_expectation
+from repro.cutting.standard_cut import HaradaWireCut
+from repro.experiments import ghz_circuit
+from repro.quantum.paulis import PauliString
+
+
+class TestFragmentWidths:
+    def test_ghz_middle_slice(self):
+        circuit = ghz_circuit(4)  # h, cx01, cx12, cx23
+        front, back = fragment_widths(circuit, 2, {1})
+        assert front == 2  # qubits 0, 1
+        assert back == 3  # qubits 1, 2, 3
+
+    def test_empty_front(self):
+        circuit = ghz_circuit(3)
+        front, back = fragment_widths(circuit, 0, set())
+        assert front == 0
+        assert back == 3
+
+
+class TestFindTimeSliceCuts:
+    def test_ghz_single_cut_found(self):
+        circuit = ghz_circuit(4)
+        plans = find_time_slice_cuts(circuit, max_fragment_width=3)
+        assert plans, "expected at least one valid plan"
+        best = plans[0]
+        assert best.num_cuts == 1
+        assert best.sampling_overhead == pytest.approx(3.0)
+        assert best.front_width <= 3 and best.back_width <= 3
+
+    def test_width_constraint_filters_plans(self):
+        circuit = ghz_circuit(4)
+        assert find_time_slice_cuts(circuit, max_fragment_width=1) == []
+
+    def test_entanglement_lowers_reported_overhead(self):
+        circuit = ghz_circuit(4)
+        plain = find_time_slice_cuts(circuit, max_fragment_width=3)[0]
+        assisted = find_time_slice_cuts(circuit, max_fragment_width=3, entanglement_overlap=0.9)[0]
+        assert assisted.sampling_overhead < plain.sampling_overhead
+
+    def test_max_cuts_filter(self):
+        # A fully parallel two-qubit entangler layer needs 2 simultaneous cuts.
+        circuit = QuantumCircuit(4)
+        circuit.h(0).h(1).h(2).h(3)
+        circuit.cx(0, 2).cx(1, 3)
+        plans_all = find_time_slice_cuts(circuit, max_fragment_width=4)
+        plans_restricted = find_time_slice_cuts(circuit, max_fragment_width=4, max_cuts=1)
+        assert any(p.num_cuts >= 2 for p in plans_all)
+        assert all(p.num_cuts <= 1 for p in plans_restricted)
+
+    def test_invalid_width(self):
+        with pytest.raises(CuttingError):
+            find_time_slice_cuts(ghz_circuit(3), max_fragment_width=0)
+
+    def test_plans_sorted_by_overhead(self):
+        circuit = ghz_circuit(5)
+        plans = find_time_slice_cuts(circuit, max_fragment_width=4)
+        overheads = [p.sampling_overhead for p in plans]
+        assert overheads == sorted(overheads)
+
+    def test_best_plan_is_executable(self):
+        # The found plan, executed with the multi-cut estimator, reproduces the
+        # exact stabiliser expectation value.
+        circuit = ghz_circuit(4)
+        observable = PauliString("ZZII")
+        exact = exact_expectation(circuit, observable)
+        best = find_time_slice_cuts(circuit, max_fragment_width=3)[0]
+        result = estimate_multi_cut_expectation(
+            circuit,
+            list(best.locations),
+            [HaradaWireCut()] * best.num_cuts,
+            observable,
+            shots=20_000,
+            seed=3,
+        )
+        assert result.exact_value == pytest.approx(exact)
+        assert result.value == pytest.approx(exact, abs=0.1)

@@ -1,0 +1,85 @@
+"""Unit tests for the noisy-resource extension."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CuttingError
+from repro.cutting.nme_cut import NMEWireCut
+from repro.cutting.noise import (
+    effective_cut_channel,
+    effective_cut_superoperator,
+    noisy_phi_k,
+    noisy_resource_overhead,
+    reconstruction_bias,
+    worst_case_z_bias,
+)
+from repro.quantum.bell import phi_k_density
+from repro.quantum.entanglement import maximal_overlap
+from repro.quantum.random import random_density_matrix
+
+
+class TestNoisyPhiK:
+    def test_no_noise_is_pure(self):
+        assert noisy_phi_k(0.5, 0.0).is_pure()
+
+    def test_full_noise_is_maximally_mixed(self):
+        rho = noisy_phi_k(0.5, 1.0)
+        assert np.allclose(rho.data, np.eye(4) / 4)
+
+    def test_noise_reduces_entanglement(self):
+        clean = maximal_overlap(phi_k_density(0.8))
+        noisy = maximal_overlap(noisy_phi_k(0.8, 0.2))
+        assert noisy < clean
+
+    def test_invalid_noise_level(self):
+        with pytest.raises(CuttingError):
+            noisy_phi_k(0.5, 1.5)
+
+
+class TestOverheadWithNoise:
+    def test_matches_pure_without_noise(self):
+        for k in (0.2, 0.6, 1.0):
+            assert noisy_resource_overhead(noisy_phi_k(k, 0.0)) == pytest.approx(
+                NMEWireCut(k).kappa
+            )
+
+    def test_increases_with_noise(self):
+        overheads = [noisy_resource_overhead(noisy_phi_k(0.7, p)) for p in (0.0, 0.1, 0.3)]
+        assert overheads[0] < overheads[1] < overheads[2]
+
+    def test_capped_at_three(self):
+        assert noisy_resource_overhead(noisy_phi_k(0.7, 1.0)) == pytest.approx(3.0)
+
+
+class TestEffectiveChannel:
+    def test_identity_without_noise(self):
+        superop = effective_cut_superoperator(0.6, phi_k_density(0.6))
+        assert np.allclose(superop, np.eye(4), atol=1e-9)
+
+    def test_bias_zero_without_noise(self):
+        assert reconstruction_bias(0.6, phi_k_density(0.6)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bias_grows_with_noise(self):
+        biases = [reconstruction_bias(0.5, noisy_phi_k(0.5, p)) for p in (0.0, 0.05, 0.2)]
+        assert biases[0] < biases[1] < biases[2]
+
+    def test_effective_channel_cp_for_mild_noise(self):
+        channel = effective_cut_channel(0.5, noisy_phi_k(0.5, 0.02))
+        assert channel.is_completely_positive(atol=1e-7)
+
+    def test_worst_case_z_bias_bounded_by_norm(self):
+        resource = noisy_phi_k(0.5, 0.1)
+        z_bias = worst_case_z_bias(0.5, resource, samples=50)
+        norm_bias = reconstruction_bias(0.5, resource)
+        assert z_bias <= 2 * norm_bias + 1e-9
+
+    def test_worst_case_z_bias_zero_without_noise(self):
+        assert worst_case_z_bias(0.7, phi_k_density(0.7), samples=20) == pytest.approx(0.0, abs=1e-9)
+
+    def test_superoperator_trace_preserving_structure(self):
+        # Even with noise the effective map stays trace preserving (all QPD
+        # terms are TP channels).
+        superop = effective_cut_superoperator(0.4, noisy_phi_k(0.4, 0.3))
+        rho = random_density_matrix(1, seed=0).data
+        out = (superop @ rho.reshape(-1)).reshape(2, 2)
+        assert np.trace(out).real == pytest.approx(1.0)

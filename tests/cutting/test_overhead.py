@@ -1,0 +1,149 @@
+"""Unit tests for the overhead formulas (Theorem 1 / Corollary 1 and baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CuttingError
+from repro.cutting.overhead import (
+    expected_pairs_per_shot,
+    harada_overhead,
+    k_for_target_overhead,
+    multi_wire_independent_overhead,
+    multi_wire_joint_overhead,
+    nme_overhead,
+    optimal_overhead,
+    optimal_overhead_for_state,
+    overhead_reduction_factor,
+    overlap_for_target_overhead,
+    pairs_proportionality_constant,
+    peng_overhead,
+    shots_multiplier,
+    teleportation_overhead,
+)
+from repro.quantum.bell import k_from_overlap, overlap_from_k, phi_k_state, werner_state
+
+
+class TestTheorem1:
+    def test_endpoints(self):
+        assert optimal_overhead(0.5) == pytest.approx(3.0)
+        assert optimal_overhead(1.0) == pytest.approx(1.0)
+
+    def test_formula(self):
+        assert optimal_overhead(0.8) == pytest.approx(2 / 0.8 - 1)
+
+    def test_monotone_decreasing(self):
+        values = [optimal_overhead(f) for f in np.linspace(0.5, 1.0, 20)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_out_of_range(self):
+        with pytest.raises(CuttingError):
+            optimal_overhead(0.4)
+        with pytest.raises(CuttingError):
+            optimal_overhead(1.2)
+
+    def test_for_explicit_state(self):
+        assert optimal_overhead_for_state(phi_k_state(0.5)) == pytest.approx(
+            nme_overhead(0.5)
+        )
+        assert optimal_overhead_for_state(werner_state(1.0)) == pytest.approx(1.0)
+
+
+class TestCorollary1:
+    def test_endpoints(self):
+        assert nme_overhead(0.0) == pytest.approx(3.0)
+        assert nme_overhead(1.0) == pytest.approx(1.0)
+
+    def test_formula(self):
+        k = 0.37
+        assert nme_overhead(k) == pytest.approx(4 * (k * k + 1) / (k + 1) ** 2 - 1)
+
+    def test_consistent_with_theorem1(self):
+        for k in (0.0, 0.2, 0.5, 0.8, 1.0, 2.0):
+            assert nme_overhead(k) == pytest.approx(optimal_overhead(overlap_from_k(k)))
+
+    def test_symmetric_in_k_inverse(self):
+        assert nme_overhead(0.25) == pytest.approx(nme_overhead(4.0))
+
+    def test_negative_k(self):
+        with pytest.raises(CuttingError):
+            nme_overhead(-0.5)
+
+
+class TestBaselines:
+    def test_constants(self):
+        assert harada_overhead() == 3.0
+        assert peng_overhead() == 4.0
+        assert teleportation_overhead() == 1.0
+
+    def test_shots_multiplier(self):
+        assert shots_multiplier(3.0) == pytest.approx(9.0)
+        with pytest.raises(CuttingError):
+            shots_multiplier(0.5)
+
+    def test_reduction_factor(self):
+        assert overhead_reduction_factor(1.0) == pytest.approx(9.0)
+        assert overhead_reduction_factor(0.0) == pytest.approx(1.0)
+
+
+class TestInverses:
+    def test_k_for_target_overhead_roundtrip(self):
+        for kappa in (1.0, 1.5, 2.0, 3.0):
+            assert nme_overhead(k_for_target_overhead(kappa)) == pytest.approx(kappa)
+
+    def test_k_for_target_out_of_range(self):
+        with pytest.raises(CuttingError):
+            k_for_target_overhead(3.5)
+        with pytest.raises(CuttingError):
+            k_for_target_overhead(0.9)
+
+    def test_overlap_for_target_overhead(self):
+        assert overlap_for_target_overhead(3.0) == pytest.approx(0.5)
+        assert overlap_for_target_overhead(1.0) == pytest.approx(1.0)
+        with pytest.raises(CuttingError):
+            overlap_for_target_overhead(0.5)
+        with pytest.raises(CuttingError):
+            overlap_for_target_overhead(5.0)
+
+
+class TestResourceAccounting:
+    def test_pairs_proportionality_is_inverse_overlap(self):
+        for k in (0.0, 0.3, 0.8, 1.0):
+            assert pairs_proportionality_constant(k) == pytest.approx(1.0 / overlap_from_k(k))
+
+    def test_pairs_per_shot_bounds(self):
+        for k in (0.0, 0.5, 1.0):
+            assert 0.0 < expected_pairs_per_shot(k) <= 1.0
+
+    def test_pairs_per_shot_maximal_entanglement(self):
+        assert expected_pairs_per_shot(1.0) == pytest.approx(1.0)
+
+    def test_pairs_proportionality_negative_k(self):
+        with pytest.raises(CuttingError):
+            pairs_proportionality_constant(-1.0)
+
+
+class TestMultiWire:
+    def test_joint_vs_independent(self):
+        for n in (1, 2, 3, 4):
+            joint = multi_wire_joint_overhead(n)
+            independent = multi_wire_independent_overhead(n)
+            assert joint <= independent
+
+    def test_single_wire_equal(self):
+        assert multi_wire_joint_overhead(1) == multi_wire_independent_overhead(1) == 3.0
+
+    def test_formulas(self):
+        assert multi_wire_joint_overhead(3) == 15.0
+        assert multi_wire_independent_overhead(3) == 27.0
+        assert multi_wire_independent_overhead(2, single_wire_kappa=1.5) == pytest.approx(2.25)
+
+    def test_invalid_count(self):
+        with pytest.raises(CuttingError):
+            multi_wire_joint_overhead(0)
+        with pytest.raises(CuttingError):
+            multi_wire_independent_overhead(0)
+
+    def test_inverse_consistency_with_bell(self):
+        assert k_from_overlap(overlap_for_target_overhead(2.0)) == pytest.approx(
+            k_for_target_overhead(2.0)
+        )

@@ -1,0 +1,206 @@
+"""Unit tests for the wire-cut protocol classes (channel-level properties).
+
+Covers HaradaWireCut (Eq. 20), PengWireCut, NMEWireCut (Theorem 2) and
+TeleportationWireCut: coefficients, κ, exact identity reconstruction and the
+structural metadata the cutter relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CuttingError
+from repro.cutting.base import WireCutProtocol, WireCutTerm, superoperator_from_map
+from repro.cutting.nme_cut import NMEWireCut, nme_coefficients
+from repro.cutting.peng_cut import PengWireCut
+from repro.cutting.standard_cut import HaradaWireCut
+from repro.cutting.teleport_cut import TeleportationWireCut
+from repro.quantum.bell import k_from_overlap, overlap_from_k
+from repro.quantum.channels import QuantumChannel
+from repro.quantum.random import random_density_matrix
+
+ALL_PROTOCOLS = [
+    HaradaWireCut(),
+    PengWireCut(),
+    TeleportationWireCut(),
+    NMEWireCut(0.0),
+    NMEWireCut(0.3),
+    NMEWireCut(0.5),
+    NMEWireCut(0.8),
+    NMEWireCut(1.0),
+    NMEWireCut(2.0),
+]
+
+
+class TestAllProtocolsShareInvariants:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: f"{p.name}-{getattr(p, 'k', '')}")
+    def test_reconstructs_identity_channel(self, protocol):
+        assert protocol.decomposition().matches_identity()
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: f"{p.name}-{getattr(p, 'k', '')}")
+    def test_coefficients_sum_to_one(self, protocol):
+        assert protocol.decomposition().coefficient_sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: f"{p.name}-{getattr(p, 'k', '')}")
+    def test_kappa_matches_theory(self, protocol):
+        assert protocol.kappa == pytest.approx(protocol.theoretical_overhead())
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: f"{p.name}-{getattr(p, 'k', '')}")
+    def test_verify_passes(self, protocol):
+        protocol.verify()
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: f"{p.name}-{getattr(p, 'k', '')}")
+    def test_exact_action_preserves_states(self, protocol):
+        rho = random_density_matrix(1, seed=13).data
+        assert np.allclose(protocol.decomposition().apply_exact(rho), rho)
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS, ids=lambda p: f"{p.name}-{getattr(p, 'k', '')}")
+    def test_terms_cached(self, protocol):
+        assert protocol.terms is protocol.terms
+
+
+class TestHarada:
+    def test_three_terms(self):
+        assert len(HaradaWireCut().terms) == 3
+
+    def test_kappa_three(self):
+        assert HaradaWireCut().kappa == pytest.approx(3.0)
+
+    def test_negative_term_is_flip(self):
+        negative = [t for t in HaradaWireCut().terms if t.coefficient < 0]
+        assert len(negative) == 1
+        assert negative[0].metadata.get("flip") is True
+
+    def test_term_channels_are_trace_preserving(self):
+        for term in HaradaWireCut().terms:
+            assert term.channel.is_trace_preserving()
+
+    def test_no_entanglement_consumed(self):
+        assert not any(t.consumes_entangled_pair for t in HaradaWireCut().terms)
+
+    def test_single_clbit_gadgets(self):
+        assert all(t.num_gadget_clbits == 1 for t in HaradaWireCut().terms)
+
+
+class TestPeng:
+    def test_eight_terms(self):
+        assert len(PengWireCut().terms) == 8
+
+    def test_kappa_four(self):
+        assert PengWireCut().kappa == pytest.approx(4.0)
+
+    def test_coefficients_are_half(self):
+        assert all(abs(t.coefficient) == pytest.approx(0.5) for t in PengWireCut().terms)
+
+    def test_identity_observable_terms_have_no_sign_bits(self):
+        for term in PengWireCut().terms:
+            if term.metadata["observable"] == "I":
+                assert term.sign_clbits == ()
+            else:
+                assert term.sign_clbits == (0,)
+
+    def test_no_entanglement_consumed(self):
+        assert not any(t.consumes_entangled_pair for t in PengWireCut().terms)
+
+
+class TestTeleportationCut:
+    def test_single_term(self):
+        protocol = TeleportationWireCut()
+        assert len(protocol.terms) == 1
+        assert protocol.kappa == pytest.approx(1.0)
+
+    def test_consumes_pair(self):
+        assert TeleportationWireCut().terms[0].consumes_entangled_pair
+
+    def test_term_is_identity_channel(self):
+        term = TeleportationWireCut().terms[0]
+        assert np.allclose(term.superoperator(), np.eye(4))
+
+
+class TestNME:
+    def test_coefficients_formula(self):
+        for k in (0.0, 0.4, 1.0, 3.0):
+            a, b = nme_coefficients(k)
+            assert a == pytest.approx((k * k + 1) / (k + 1) ** 2)
+            assert b == pytest.approx((k - 1) ** 2 / (k + 1) ** 2)
+
+    def test_coefficients_negative_k(self):
+        with pytest.raises(CuttingError):
+            nme_coefficients(-0.1)
+
+    def test_kappa_matches_corollary1(self):
+        for k in (0.0, 0.25, 0.6, 1.0, 1.7):
+            assert NMEWireCut(k).kappa == pytest.approx(4 * (k * k + 1) / (k + 1) ** 2 - 1)
+
+    def test_three_terms_generic(self):
+        assert len(NMEWireCut(0.5).terms) == 3
+
+    def test_two_terms_at_maximal_entanglement(self):
+        # The correction term vanishes at k = 1.
+        assert len(NMEWireCut(1.0).terms) == 2
+
+    def test_teleport_terms_consume_pairs(self):
+        terms = NMEWireCut(0.5).terms
+        assert terms[0].consumes_entangled_pair and terms[1].consumes_entangled_pair
+        assert not terms[2].consumes_entangled_pair
+
+    def test_from_overlap(self):
+        protocol = NMEWireCut.from_overlap(0.9)
+        assert protocol.overlap == pytest.approx(0.9)
+        assert protocol.k == pytest.approx(k_from_overlap(0.9))
+
+    def test_overlap_property(self):
+        assert NMEWireCut(0.3).overlap == pytest.approx(overlap_from_k(0.3))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(CuttingError):
+            NMEWireCut(-1.0)
+
+    def test_expected_pairs_per_shot(self):
+        protocol = NMEWireCut(0.5)
+        a, _ = protocol.coefficients_ab
+        assert protocol.expected_pairs_per_shot() == pytest.approx(2 * a / protocol.kappa)
+
+    def test_reduces_to_entanglement_free_overhead_at_k0(self):
+        assert NMEWireCut(0.0).kappa == pytest.approx(HaradaWireCut().kappa)
+
+    def test_teleport_term_channels_are_pauli_channels(self):
+        for term in NMEWireCut(0.4).terms[:2]:
+            assert term.channel.is_trace_preserving()
+            assert term.channel.is_unital()
+
+
+class TestBaseHelpers:
+    def test_superoperator_from_map(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        superop = superoperator_from_map(lambda rho: x @ rho @ x)
+        assert np.allclose(superop, np.kron(x, x.conj()))
+
+    def test_term_gadget_requires_builder(self):
+        term = WireCutTerm(coefficient=1.0, channel=QuantumChannel.from_unitary(np.eye(2)))
+        from repro.cutting.base import GadgetWiring
+        from repro.circuits.circuit import QuantumCircuit
+
+        with pytest.raises(CuttingError):
+            term.build_gadget(QuantumCircuit(2, 1), GadgetWiring(0, 1))
+
+    def test_term_gadget_checks_ancilla_count(self):
+        protocol = NMEWireCut(0.5)
+        term = protocol.terms[0]  # needs one ancilla
+        from repro.cutting.base import GadgetWiring
+        from repro.circuits.circuit import QuantumCircuit
+
+        with pytest.raises(CuttingError):
+            term.build_gadget(QuantumCircuit(3, 2), GadgetWiring(0, 1, ancilla_qubits=()))
+
+    def test_protocol_requires_terms(self):
+        class Empty(WireCutProtocol):
+            name = "empty"
+
+            def build_terms(self):
+                return ()
+
+            def theoretical_overhead(self):
+                return 1.0
+
+        with pytest.raises(CuttingError):
+            _ = Empty().terms

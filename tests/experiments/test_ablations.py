@@ -1,0 +1,69 @@
+"""Unit tests for the ablation experiments (reduced sizes for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    allocation_strategy_ablation,
+    gate_vs_wire_cut,
+    noisy_resource_ablation,
+    protocol_error_comparison,
+)
+
+
+class TestAllocationAblation:
+    def test_structure(self):
+        table = allocation_strategy_ablation(num_states=6, shots=500, seed=0)
+        assert table.num_rows == 3
+        assert set(table.columns["strategy"]) == {"proportional", "multinomial", "uniform"}
+
+    def test_errors_positive(self):
+        table = allocation_strategy_ablation(num_states=5, shots=400, seed=1)
+        assert all(e >= 0 for e in table.columns["mean_error"])
+
+    def test_custom_strategies(self):
+        table = allocation_strategy_ablation(
+            num_states=4, shots=300, strategies=("proportional",), seed=2
+        )
+        assert table.num_rows == 1
+
+
+class TestProtocolComparisonAblation:
+    def test_structure(self):
+        table = protocol_error_comparison(num_states=6, shots=800, seed=3)
+        assert table.num_rows == 5
+        kappas = dict(zip(table.columns["protocol"], table.columns["kappa"]))
+        assert kappas["peng"] == pytest.approx(4.0)
+        assert kappas["teleportation"] == pytest.approx(1.0)
+
+    def test_errors_bounded(self):
+        table = protocol_error_comparison(num_states=5, shots=600, seed=4)
+        assert all(0 <= e <= 1.0 for e in table.columns["mean_error"])
+
+
+class TestGateVsWire:
+    def test_structure_and_kappas(self):
+        table = gate_vs_wire_cut(shots=1500, seed=5)
+        assert set(table.columns["method"]) == {"gate-cut-cz", "wire-harada", "wire-nme(f=0.9)"}
+        kappas = dict(zip(table.columns["method"], table.columns["kappa"]))
+        assert kappas["gate-cut-cz"] == pytest.approx(3.0)
+
+    def test_exact_values_consistent(self):
+        table = gate_vs_wire_cut(shots=1000, seed=6)
+        exact_values = table.columns["exact"]
+        assert np.allclose(exact_values, exact_values[0])
+
+
+class TestNoisyResourceAblation:
+    def test_structure(self):
+        table = noisy_resource_ablation(k=0.5, noise_levels=(0.0, 0.1))
+        assert table.num_rows == 2
+
+    def test_monotone_bias(self):
+        table = noisy_resource_ablation(k=0.5, noise_levels=(0.0, 0.05, 0.15))
+        assert table.columns["bias_norm"][0] == pytest.approx(0.0, abs=1e-9)
+        assert np.all(np.diff(table.columns["bias_norm"]) > -1e-12)
+
+    def test_pure_overhead_constant(self):
+        table = noisy_resource_ablation(k=0.3, noise_levels=(0.0, 0.2))
+        assert table.columns["pure_overhead"][0] == table.columns["pure_overhead"][1]

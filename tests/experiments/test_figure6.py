@@ -1,0 +1,78 @@
+"""Unit tests for the Figure-6 experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.figure6 import Figure6Config, run_figure6
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_figure6(Figure6Config(num_states=12, shot_grid=(300, 1200), overlaps=(0.5, 0.8, 1.0), seed=5))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        Figure6Config().validate()
+
+    def test_paper_configuration(self):
+        config = Figure6Config.paper()
+        assert config.num_states == 1000
+        assert max(config.shot_grid) == 5000
+        assert config.overlaps == (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+        config.validate()
+
+    def test_quick_configuration(self):
+        Figure6Config.quick().validate()
+
+    def test_invalid_num_states(self):
+        with pytest.raises(ExperimentError):
+            Figure6Config(num_states=0).validate()
+
+    def test_invalid_shot_grid(self):
+        with pytest.raises(ExperimentError):
+            Figure6Config(shot_grid=(0, 100)).validate()
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ExperimentError):
+            Figure6Config(overlaps=(0.4,)).validate()
+
+
+class TestRun:
+    def test_result_shape(self, quick_result):
+        assert quick_result.mean_errors.shape == (3, 2)
+        assert len(quick_result.kappas) == 3
+
+    def test_kappas_match_theorem1(self, quick_result):
+        expected = [2 / f - 1 for f in quick_result.overlaps]
+        assert np.allclose(quick_result.kappas, expected)
+
+    def test_errors_positive_and_bounded(self, quick_result):
+        assert np.all(quick_result.mean_errors >= 0)
+        assert np.all(quick_result.mean_errors <= 2.0)
+
+    def test_errors_decrease_with_shots(self, quick_result):
+        assert np.all(quick_result.mean_errors[:, 0] >= quick_result.mean_errors[:, 1])
+
+    def test_entanglement_ordering(self, quick_result):
+        averaged = quick_result.mean_errors.mean(axis=1)
+        assert averaged[0] > averaged[-1]
+        assert quick_result.is_monotone_in_entanglement()
+
+    def test_series_lookup(self, quick_result):
+        series = quick_result.series(0.8)
+        assert series.shape == (2,)
+        with pytest.raises(ExperimentError):
+            quick_result.series(0.77)
+
+    def test_reproducible(self):
+        config = Figure6Config(num_states=5, shot_grid=(200,), overlaps=(0.6,), seed=9)
+        a = run_figure6(config)
+        b = run_figure6(config)
+        assert np.allclose(a.mean_errors, b.mean_errors)
+
+    def test_to_table(self, quick_result):
+        table = quick_result.to_table()
+        assert table.num_rows == 6
+        assert set(table.columns) == {"overlap_f", "kappa", "shots", "mean_error"}

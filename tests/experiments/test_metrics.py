@@ -1,0 +1,62 @@
+"""Unit tests for the experiment error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import (
+    absolute_error,
+    expected_statistical_error,
+    mean_absolute_error,
+    root_mean_squared_error,
+    shots_for_target_error,
+)
+
+
+class TestErrors:
+    def test_absolute_error(self):
+        assert absolute_error(0.3, 0.5) == pytest.approx(0.2)
+
+    def test_mean_absolute_error(self):
+        estimates = np.array([1.0, 0.0, -1.0])
+        exact = np.array([0.5, 0.0, -0.5])
+        assert mean_absolute_error(estimates, exact) == pytest.approx(1.0 / 3.0)
+
+    def test_rmse(self):
+        estimates = np.array([1.0, -1.0])
+        exact = np.array([0.0, 0.0])
+        assert root_mean_squared_error(estimates, exact) == pytest.approx(1.0)
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        estimates = rng.normal(size=50)
+        exact = rng.normal(size=50)
+        assert root_mean_squared_error(estimates, exact) >= mean_absolute_error(estimates, exact)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            root_mean_squared_error(np.zeros(3), np.zeros(4))
+
+
+class TestScalingLaws:
+    def test_expected_statistical_error(self):
+        assert expected_statistical_error(3.0, 900) == pytest.approx(0.1)
+
+    def test_zero_shots_is_infinite(self):
+        assert expected_statistical_error(1.0, 0) == float("inf")
+
+    def test_kappa_squared_shot_requirement(self):
+        assert shots_for_target_error(3.0, 0.1) == pytest.approx(900.0)
+        assert shots_for_target_error(1.0, 0.1) == pytest.approx(100.0)
+
+    def test_shot_requirement_ratio_matches_overhead(self):
+        # Paper claim: the NME cut at f needs (γ_f/3)² times fewer shots than
+        # the plain cut for the same accuracy.
+        plain = shots_for_target_error(3.0, 0.05)
+        nme = shots_for_target_error(1.5, 0.05)
+        assert plain / nme == pytest.approx(4.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            shots_for_target_error(1.0, 0.0)

@@ -1,0 +1,70 @@
+"""Unit tests for the analytic overhead/resource tables."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.overhead_curves import (
+    overhead_vs_entanglement,
+    protocol_comparison,
+    resource_consumption,
+)
+
+
+class TestOverheadVsEntanglement:
+    def test_default_grid(self):
+        table = overhead_vs_entanglement()
+        assert table.num_rows == 11
+
+    def test_theorem_and_corollary_agree(self):
+        table = overhead_vs_entanglement()
+        assert np.allclose(table.columns["gamma_theorem1"], table.columns["gamma_corollary1"])
+
+    def test_constructed_kappa_attains_optimum(self):
+        table = overhead_vs_entanglement()
+        assert np.allclose(table.columns["gamma_theorem1"], table.columns["kappa_constructed"])
+
+    def test_endpoints(self):
+        table = overhead_vs_entanglement(overlaps=(0.5, 1.0))
+        assert table.columns["gamma_theorem1"][0] == pytest.approx(3.0)
+        assert table.columns["gamma_theorem1"][1] == pytest.approx(1.0)
+
+    def test_k_column_consistent(self):
+        table = overhead_vs_entanglement(overlaps=(0.9,))
+        k = table.columns["k"][0]
+        assert (k + 1) ** 2 / (2 * (k * k + 1)) == pytest.approx(0.9)
+
+
+class TestProtocolComparison:
+    def test_rows(self):
+        table = protocol_comparison()
+        assert table.num_rows == 6
+        assert "peng" in table.columns["protocol"]
+
+    def test_kappa_matches_theory_column(self):
+        table = protocol_comparison()
+        assert np.allclose(table.columns["kappa"], table.columns["kappa_theory"])
+
+    def test_entanglement_flags(self):
+        table = protocol_comparison()
+        flags = dict(zip(table.columns["protocol"], table.columns["uses_entanglement"]))
+        assert flags["peng"] is False
+        assert flags["harada"] is False
+        assert flags["teleportation"] is True
+        assert flags["nme(f=0.9)"] is True
+
+
+class TestResourceConsumption:
+    def test_identity_between_columns(self):
+        table = resource_consumption()
+        assert np.allclose(
+            table.columns["pairs_proportionality_2a"], table.columns["inverse_overlap"]
+        )
+
+    def test_monotone_decrease(self):
+        table = resource_consumption()
+        assert np.all(np.diff(table.columns["pairs_proportionality_2a"]) <= 1e-12)
+
+    def test_k_one_value(self):
+        table = resource_consumption(k_values=(1.0,))
+        assert table.columns["pairs_proportionality_2a"][0] == pytest.approx(1.0)
+        assert table.columns["expected_pairs_per_shot"][0] == pytest.approx(1.0)

@@ -1,0 +1,58 @@
+"""Unit tests for SweepTable and serialisation."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.records import SweepTable, write_csv, write_json
+
+
+@pytest.fixture
+def table() -> SweepTable:
+    return SweepTable(
+        name="demo",
+        columns={"x": [1, 2, 3], "y": [0.1, 0.2, 0.3]},
+        metadata={"seed": 7},
+    )
+
+
+class TestSweepTable:
+    def test_num_rows(self, table):
+        assert table.num_rows == 3
+
+    def test_row_access(self, table):
+        assert table.row(1) == {"x": 2, "y": 0.2}
+
+    def test_inconsistent_lengths(self):
+        with pytest.raises(ValueError):
+            SweepTable(name="bad", columns={"x": [1], "y": [1, 2]})
+
+    def test_empty_table(self):
+        assert SweepTable(name="empty", columns={}).num_rows == 0
+
+    def test_to_text_contains_headers_and_values(self, table):
+        text = table.to_text()
+        assert "demo" in text
+        assert "x" in text and "y" in text
+        assert "0.2" in text
+
+
+class TestSerialisation:
+    def test_write_csv(self, table, tmp_path):
+        path = write_csv(table, tmp_path / "out.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y"]
+        assert len(rows) == 4
+
+    def test_write_json(self, table, tmp_path):
+        path = write_json(table, tmp_path / "out.json")
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "demo"
+        assert payload["metadata"]["seed"] == 7
+        assert payload["columns"]["x"] == [1, 2, 3]
+
+    def test_creates_parent_directories(self, table, tmp_path):
+        path = write_csv(table, tmp_path / "nested" / "dir" / "out.csv")
+        assert path.exists()

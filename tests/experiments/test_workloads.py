@@ -1,0 +1,101 @@
+"""Unit tests for the experiment workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.circuits.statevector_simulator import simulate_statevector
+from repro.experiments.workloads import (
+    ghz_circuit,
+    random_layered_circuit,
+    random_single_qubit_states,
+    state_preparation_circuit,
+)
+from repro.quantum.measures import state_fidelity
+
+
+class TestRandomStateWorkload:
+    def test_count(self):
+        workload = random_single_qubit_states(20, seed=0)
+        assert len(workload) == 20
+        assert len(workload.unitaries) == 20
+
+    def test_reproducible(self):
+        a = random_single_qubit_states(5, seed=3)
+        b = random_single_qubit_states(5, seed=3)
+        for state_a, state_b in zip(a.states, b.states):
+            assert np.allclose(state_a.data, state_b.data)
+
+    def test_states_match_unitaries(self):
+        workload = random_single_qubit_states(4, seed=1)
+        for state, unitary in zip(workload.states, workload.unitaries):
+            assert np.allclose(state.data, unitary[:, 0])
+
+    def test_exact_z_expectations(self):
+        workload = random_single_qubit_states(10, seed=2)
+        values = workload.exact_z_expectations()
+        assert values.shape == (10,)
+        assert np.all(np.abs(values) <= 1.0 + 1e-12)
+
+    def test_negative_count(self):
+        with pytest.raises(ExperimentError):
+            random_single_qubit_states(-1)
+
+    def test_seed_recorded(self):
+        assert random_single_qubit_states(1, seed=7).seed == 7
+
+
+class TestStatePreparationCircuit:
+    def test_prepares_workload_state(self):
+        workload = random_single_qubit_states(3, seed=5)
+        for state, unitary in zip(workload.states, workload.unitaries):
+            circuit = state_preparation_circuit(unitary)
+            assert state_fidelity(simulate_statevector(circuit), state) == pytest.approx(1.0)
+
+    def test_single_instruction(self):
+        workload = random_single_qubit_states(1, seed=6)
+        circuit = state_preparation_circuit(workload.unitaries[0])
+        assert len(circuit) == 1 and circuit.num_qubits == 1
+
+
+class TestRandomLayeredCircuit:
+    def test_structure(self):
+        circuit = random_layered_circuit(4, 3, seed=0)
+        ops = circuit.count_ops()
+        assert ops["u"] == 12
+        assert circuit.is_unitary_only()
+
+    def test_entangling_gate_choice(self):
+        assert "cz" in random_layered_circuit(3, 1, seed=1).count_ops()
+        assert "cx" in random_layered_circuit(3, 1, seed=1, two_qubit_gate="cx").count_ops()
+        assert "rzz" in random_layered_circuit(3, 1, seed=1, two_qubit_gate="rzz").count_ops()
+
+    def test_unknown_gate(self):
+        with pytest.raises(ExperimentError):
+            random_layered_circuit(2, 1, two_qubit_gate="iswap")
+
+    def test_zero_depth(self):
+        assert len(random_layered_circuit(3, 0)) == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ExperimentError):
+            random_layered_circuit(0, 1)
+        with pytest.raises(ExperimentError):
+            random_layered_circuit(2, -1)
+
+    def test_reproducible(self):
+        a = random_layered_circuit(3, 2, seed=9)
+        b = random_layered_circuit(3, 2, seed=9)
+        assert np.allclose(a.to_matrix(), b.to_matrix())
+
+
+class TestGHZ:
+    def test_state(self):
+        state = simulate_statevector(ghz_circuit(3))
+        expected = np.zeros(8)
+        expected[0] = expected[-1] = 1 / np.sqrt(2)
+        assert np.allclose(state.data, expected)
+
+    def test_minimum_size(self):
+        with pytest.raises(ExperimentError):
+            ghz_circuit(1)

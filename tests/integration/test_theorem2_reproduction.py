@@ -1,0 +1,108 @@
+"""Integration tests reproducing the paper's central claims end to end.
+
+These tests exercise the full stack (protocol → cutter → circuits → exact
+branching simulation / shot sampling → recombination) and check the
+quantitative statements of Theorems 1 and 2 and the qualitative shape of
+Figure 6, on reduced workload sizes so the suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.cutting import (
+    CutLocation,
+    HaradaWireCut,
+    NMEWireCut,
+    TeleportationWireCut,
+    build_sampling_model,
+    nme_overhead,
+    optimal_overhead,
+)
+from repro.experiments import Figure6Config, run_figure6
+from repro.quantum import k_from_overlap, overlap_from_k, random_statevector
+
+
+class TestTheorem2EndToEnd:
+    """The Theorem-2 QPD, executed as circuits, reconstructs the identity wire."""
+
+    @pytest.mark.parametrize("k", [0.0, 0.1, 0.35, 0.62, 1.0, 1.8])
+    def test_exact_identity_for_all_k(self, k):
+        protocol = NMEWireCut(k)
+        for seed in range(3):
+            state = random_statevector(1, seed=seed)
+            circuit = QuantumCircuit(1, 0)
+            circuit.initialize(state.data, 0)
+            for observable in ("X", "Y", "Z"):
+                model = build_sampling_model(circuit, CutLocation(0, 1), protocol, observable)
+                assert model.exact_cut_value() == pytest.approx(model.exact_value, abs=1e-9)
+
+    @pytest.mark.parametrize("k", [0.0, 0.4, 1.0])
+    def test_kappa_attains_corollary1(self, k):
+        assert NMEWireCut(k).kappa == pytest.approx(nme_overhead(k))
+        assert NMEWireCut(k).kappa == pytest.approx(optimal_overhead(overlap_from_k(k)))
+
+    def test_interpolates_between_harada_and_teleportation(self):
+        assert NMEWireCut(0.0).kappa == pytest.approx(HaradaWireCut().kappa)
+        assert NMEWireCut(1.0).kappa == pytest.approx(TeleportationWireCut().kappa)
+
+    def test_overhead_monotone_in_entanglement(self):
+        kappas = [NMEWireCut.from_overlap(f).kappa for f in (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)]
+        assert all(b < a for a, b in zip(kappas, kappas[1:]))
+
+
+class TestFiniteShotBehaviour:
+    """Finite-shot errors follow the κ/√N scaling the paper's Figure 6 shows."""
+
+    def test_error_scales_with_kappa(self):
+        # With identical shot budgets, the empirical error standard deviation
+        # over repetitions should scale roughly like κ.
+        state = random_statevector(1, seed=42)
+        circuit = QuantumCircuit(1, 0)
+        circuit.initialize(state.data, 0)
+        rng = np.random.default_rng(0)
+        shots = 400
+        repetitions = 200
+
+        def error_std(protocol) -> float:
+            model = build_sampling_model(circuit, CutLocation(0, 1), protocol, "Z")
+            errors = [model.estimate(shots, seed=rng).value - model.exact_value for _ in range(repetitions)]
+            return float(np.std(errors))
+
+        std_harada = error_std(HaradaWireCut())
+        std_nme = error_std(NMEWireCut.from_overlap(0.9))
+        std_teleport = error_std(TeleportationWireCut())
+        assert std_teleport < std_nme < std_harada
+        # κ ratio is 3 / 1.22 ≈ 2.45; allow generous statistical slack.
+        assert std_harada / std_nme == pytest.approx(3.0 / nme_overhead(k_from_overlap(0.9)), rel=0.5)
+
+    def test_estimator_unbiased(self):
+        state = random_statevector(1, seed=17)
+        circuit = QuantumCircuit(1, 0)
+        circuit.initialize(state.data, 0)
+        model = build_sampling_model(circuit, CutLocation(0, 1), NMEWireCut(0.5), "Z")
+        rng = np.random.default_rng(1)
+        values = [model.estimate(300, seed=rng).value for _ in range(400)]
+        standard_error = np.std(values) / np.sqrt(len(values))
+        assert np.mean(values) == pytest.approx(model.exact_value, abs=4 * standard_error)
+
+
+class TestFigure6Shape:
+    """A reduced Figure-6 sweep shows the paper's qualitative ordering."""
+
+    def test_more_entanglement_less_error(self):
+        result = run_figure6(
+            Figure6Config(num_states=25, shot_grid=(600, 2400), overlaps=(0.5, 0.7, 0.9, 1.0), seed=23)
+        )
+        averaged = result.mean_errors.mean(axis=1)
+        assert averaged[0] > averaged[2]
+        assert averaged[0] > averaged[3]
+        assert result.mean_errors[0, 0] > result.mean_errors[0, 1]
+
+    def test_teleportation_is_floor_and_plain_cut_is_ceiling(self):
+        result = run_figure6(
+            Figure6Config(num_states=25, shot_grid=(1000,), overlaps=(0.5, 0.8, 1.0), seed=29)
+        )
+        errors = result.mean_errors[:, 0]
+        assert errors[0] == max(errors)
+        assert errors[2] == min(errors)

@@ -1,0 +1,61 @@
+"""Shared hypothesis strategies for quantum objects."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+__all__ = [
+    "k_values",
+    "overlaps",
+    "angles",
+    "single_qubit_statevectors",
+    "two_qubit_statevectors",
+    "single_qubit_density_matrices",
+]
+
+#: Resource-state parameters k (bounded away from pathological magnitudes).
+k_values = st.floats(min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+#: Entanglement levels f(Φ_k).
+overlaps = st.floats(min_value=0.5, max_value=1.0, allow_nan=False, allow_infinity=False)
+
+#: Rotation angles.
+angles = st.floats(min_value=-2 * np.pi, max_value=2 * np.pi, allow_nan=False, allow_infinity=False)
+
+
+def _complex_vector(dim: int):
+    component = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+    return st.tuples(*([component] * (2 * dim))).map(
+        lambda parts: np.array(
+            [parts[2 * i] + 1j * parts[2 * i + 1] for i in range(dim)], dtype=complex
+        )
+    )
+
+
+def _normalised(vector: np.ndarray) -> np.ndarray:
+    norm = np.linalg.norm(vector)
+    if norm < 1e-6:
+        base = np.zeros_like(vector)
+        base[0] = 1.0
+        return base
+    return vector / norm
+
+
+#: Normalised single-qubit pure states.
+single_qubit_statevectors = _complex_vector(2).map(_normalised)
+
+#: Normalised two-qubit pure states.
+two_qubit_statevectors = _complex_vector(4).map(_normalised)
+
+
+def _vector_to_density(vector: np.ndarray) -> np.ndarray:
+    return np.outer(vector, vector.conj())
+
+
+#: Single-qubit density matrices as mixtures of two random pure states.
+single_qubit_density_matrices = st.tuples(
+    single_qubit_statevectors,
+    single_qubit_statevectors,
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+).map(lambda parts: parts[2] * _vector_to_density(parts[0]) + (1 - parts[2]) * _vector_to_density(parts[1]))

@@ -1,0 +1,109 @@
+"""Property-based tests for the wire-cutting core (Theorems 1 and 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.cutting.cutter import CutLocation
+from repro.cutting.executor import build_sampling_model
+from repro.cutting.nme_cut import NMEWireCut, nme_coefficients
+from repro.cutting.overhead import nme_overhead, optimal_overhead
+from repro.cutting.standard_cut import HaradaWireCut
+from repro.quantum.bell import overlap_from_k
+from repro.quantum.states import Statevector
+
+from tests.property.strategies import k_values, overlaps, single_qubit_statevectors
+
+SETTINGS = settings(max_examples=40, deadline=None)
+FAST_SETTINGS = settings(max_examples=15, deadline=None)
+
+
+class TestTheorem2ChannelLevel:
+    """The Theorem-2 decomposition is an exact identity QPD for every k."""
+
+    @SETTINGS
+    @given(k=k_values)
+    def test_identity_superoperator(self, k):
+        assert NMEWireCut(k).decomposition().matches_identity(atol=1e-8)
+
+    @SETTINGS
+    @given(k=k_values)
+    def test_coefficients(self, k):
+        a, b = nme_coefficients(k)
+        assert a > 0
+        assert b >= 0
+        assert 2 * a - b == pytest.approx(1.0)
+
+    @SETTINGS
+    @given(k=k_values)
+    def test_kappa_equals_corollary1(self, k):
+        assert NMEWireCut(k).kappa == pytest.approx(nme_overhead(k))
+
+    @SETTINGS
+    @given(k=k_values, vector=single_qubit_statevectors)
+    def test_exact_action_is_identity_on_states(self, k, vector):
+        rho = np.outer(vector, vector.conj())
+        reconstructed = NMEWireCut(k).decomposition().apply_exact(rho)
+        assert np.allclose(reconstructed, rho, atol=1e-8)
+
+
+class TestTheorem1Relations:
+    @SETTINGS
+    @given(f=overlaps)
+    def test_overhead_between_one_and_three(self, f):
+        assert 1.0 - 1e-9 <= optimal_overhead(f) <= 3.0 + 1e-9
+
+    @SETTINGS
+    @given(k=k_values)
+    def test_corollary_consistent_with_theorem(self, k):
+        assert nme_overhead(k) == pytest.approx(optimal_overhead(overlap_from_k(k)))
+
+    @SETTINGS
+    @given(k=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_overhead_decreasing_in_k_below_one(self, k):
+        # On [0, 1] the overhead is non-increasing in k.
+        assert nme_overhead(min(k + 0.05, 1.0)) <= nme_overhead(k) + 1e-9
+
+    @SETTINGS
+    @given(k=k_values)
+    def test_nme_never_worse_than_entanglement_free(self, k):
+        assert nme_overhead(k) <= 3.0 + 1e-9
+        assert nme_overhead(k) >= 1.0 - 1e-9
+
+
+class TestCircuitLevelReconstruction:
+    """Executed as circuits, the cut reproduces the uncut expectation value."""
+
+    @FAST_SETTINGS
+    @given(vector=single_qubit_statevectors, k=st.floats(min_value=0.0, max_value=2.0))
+    def test_nme_cut_exact_on_random_states(self, vector, k):
+        circuit = QuantumCircuit(1, 0)
+        circuit.initialize(np.asarray(vector), 0)
+        model = build_sampling_model(circuit, CutLocation(0, 1), NMEWireCut(k), "Z")
+        assert model.exact_cut_value() == pytest.approx(model.exact_value, abs=1e-8)
+
+    @FAST_SETTINGS
+    @given(vector=single_qubit_statevectors)
+    def test_harada_cut_exact_on_random_states(self, vector):
+        circuit = QuantumCircuit(1, 0)
+        circuit.initialize(np.asarray(vector), 0)
+        model = build_sampling_model(circuit, CutLocation(0, 1), HaradaWireCut(), "Z")
+        assert model.exact_cut_value() == pytest.approx(model.exact_value, abs=1e-8)
+
+    @FAST_SETTINGS
+    @given(
+        vector=single_qubit_statevectors,
+        shots=st.integers(min_value=1, max_value=5000),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_estimates_bounded_by_kappa(self, vector, shots, seed):
+        # Every finite-shot estimate lies within [-κ, κ] by construction.
+        circuit = QuantumCircuit(1, 0)
+        circuit.initialize(np.asarray(vector), 0)
+        protocol = NMEWireCut(0.5)
+        model = build_sampling_model(circuit, CutLocation(0, 1), protocol, "Z")
+        result = model.estimate(shots, seed=seed)
+        assert abs(result.value) <= protocol.kappa + 1e-9
+        assert Statevector(vector, validate=False).num_qubits == 1

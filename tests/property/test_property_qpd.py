@@ -1,0 +1,107 @@
+"""Property-based tests for the QPD framework and the teleportation channel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qpd.allocation import allocate_shots
+from repro.qpd.estimator import TermEstimate, combine_term_estimates
+from repro.quantum.bell import overlap_from_k, phi_k_state
+from repro.teleport.channel import phi_k_teleportation_channel, teleportation_channel
+from repro.teleport.probabilistic import success_probability
+
+from tests.property.strategies import k_values, single_qubit_density_matrices
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestAllocationProperties:
+    @SETTINGS
+    @given(
+        weights=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=8),
+        shots=st.integers(min_value=0, max_value=10_000),
+        strategy=st.sampled_from(["proportional", "uniform"]),
+    )
+    def test_allocation_sums_to_budget(self, weights, shots, strategy):
+        allocation = allocate_shots(np.array(weights), shots, strategy=strategy)
+        assert allocation.sum() == shots
+        assert np.all(allocation >= 0)
+
+    @SETTINGS
+    @given(
+        weights=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=8),
+        shots=st.integers(min_value=0, max_value=10_000),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_multinomial_allocation_sums_to_budget(self, weights, shots, seed):
+        allocation = allocate_shots(np.array(weights), shots, strategy="multinomial", seed=seed)
+        assert allocation.sum() == shots
+
+    @SETTINGS
+    @given(
+        weights=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=6),
+        shots=st.integers(min_value=100, max_value=5000),
+    )
+    def test_proportional_allocation_close_to_ideal(self, weights, shots):
+        weights = np.array(weights)
+        allocation = allocate_shots(weights, shots)
+        ideal = weights / weights.sum() * shots
+        assert np.all(np.abs(allocation - ideal) <= 1.0 + 1e-9)
+
+
+class TestEstimatorProperties:
+    @SETTINGS
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+                st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+                st.integers(min_value=1, max_value=1000),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_combination_is_linear_in_coefficients(self, data):
+        estimates = [
+            TermEstimate(coefficient=c, mean=m, shots=s) for c, m, s in data
+        ]
+        result = combine_term_estimates(estimates)
+        expected = sum(c * m for c, m, _ in data)
+        assert result.value == pytest.approx(expected, abs=1e-9)
+        assert result.kappa == pytest.approx(sum(abs(c) for c, _, _ in data))
+        assert result.standard_error >= 0.0
+
+
+class TestTeleportationChannelProperties:
+    @SETTINGS
+    @given(k=k_values, rho=single_qubit_density_matrices)
+    def test_output_is_valid_state(self, k, rho):
+        channel = phi_k_teleportation_channel(k)
+        out = channel.apply_matrix(rho)
+        assert np.trace(out).real == pytest.approx(np.trace(rho).real, abs=1e-9)
+        assert np.all(np.linalg.eigvalsh((out + out.conj().T) / 2) >= -1e-9)
+
+    @SETTINGS
+    @given(k=k_values)
+    def test_identity_weight_matches_overlap(self, k):
+        channel = teleportation_channel(phi_k_state(k))
+        rho = np.array([[1.0, 0.0], [0.0, 0.0]], dtype=complex)
+        # Z-diagonal states are invariant under the Φ_k teleportation channel.
+        assert np.allclose(channel.apply_matrix(rho), rho)
+
+    @SETTINGS
+    @given(k=k_values)
+    def test_coherence_damped_by_2f_minus_1(self, k):
+        # The off-diagonal element of the output is (2f − 1) times the input's.
+        channel = phi_k_teleportation_channel(k)
+        plus = np.full((2, 2), 0.5, dtype=complex)
+        out = channel.apply_matrix(plus)
+        assert out[0, 1].real == pytest.approx(0.5 * (2 * overlap_from_k(k) - 1), abs=1e-9)
+
+    @SETTINGS
+    @given(k=k_values)
+    def test_probabilistic_success_bounded(self, k):
+        p = success_probability(k)
+        assert 0.0 <= p <= 1.0

@@ -1,0 +1,142 @@
+"""Property-based tests for the quantum-information substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.quantum.bell import bell_overlaps, k_from_overlap, overlap_from_k, phi_k_state
+from repro.quantum.entanglement import (
+    concurrence,
+    entanglement_entropy,
+    maximal_overlap_pure,
+    negativity,
+    schmidt_coefficients,
+)
+from repro.quantum.gates import ry
+from repro.quantum.measures import purity, state_fidelity, trace_distance
+from repro.quantum.states import DensityMatrix, Statevector
+
+from tests.property.strategies import (
+    angles,
+    k_values,
+    overlaps,
+    single_qubit_density_matrices,
+    single_qubit_statevectors,
+    two_qubit_statevectors,
+)
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestStateInvariants:
+    @SETTINGS
+    @given(vector=single_qubit_statevectors, theta=angles)
+    def test_unitary_evolution_preserves_norm(self, vector, theta):
+        state = Statevector(vector, validate=False)
+        evolved = state.evolve(ry(theta))
+        assert np.linalg.norm(evolved.data) == pytest.approx(1.0)
+
+    @SETTINGS
+    @given(vector=two_qubit_statevectors)
+    def test_probabilities_form_distribution(self, vector):
+        state = Statevector(vector, validate=False)
+        probabilities = state.probabilities()
+        assert np.all(probabilities >= -1e-12)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    @SETTINGS
+    @given(vector=two_qubit_statevectors)
+    def test_reduced_states_are_valid(self, vector):
+        state = Statevector(vector, validate=False)
+        for keep in ([0], [1]):
+            reduced = state.reduced_density_matrix(keep)
+            assert np.trace(reduced.data).real == pytest.approx(1.0)
+            assert np.all(np.linalg.eigvalsh(reduced.data) >= -1e-9)
+
+    @SETTINGS
+    @given(rho=single_qubit_density_matrices)
+    def test_purity_bounds(self, rho):
+        value = purity(DensityMatrix(rho, validate=False))
+        assert 0.5 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestMeasureInvariants:
+    @SETTINGS
+    @given(a=single_qubit_statevectors, b=single_qubit_statevectors)
+    def test_fidelity_symmetric_and_bounded(self, a, b):
+        f_ab = state_fidelity(a, b)
+        f_ba = state_fidelity(b, a)
+        assert f_ab == pytest.approx(f_ba, abs=1e-9)
+        assert -1e-9 <= f_ab <= 1.0 + 1e-9
+
+    @SETTINGS
+    @given(a=single_qubit_density_matrices, b=single_qubit_density_matrices)
+    def test_trace_distance_is_metric_like(self, a, b):
+        rho = DensityMatrix(a, validate=False)
+        sigma = DensityMatrix(b, validate=False)
+        distance = trace_distance(rho, sigma)
+        assert -1e-9 <= distance <= 1.0 + 1e-9
+        assert trace_distance(rho, rho) == pytest.approx(0.0, abs=1e-9)
+        assert distance == pytest.approx(trace_distance(sigma, rho), abs=1e-9)
+
+    @SETTINGS
+    @given(a=single_qubit_density_matrices, b=single_qubit_density_matrices)
+    def test_fuchs_van_de_graaf_inequalities(self, a, b):
+        rho = DensityMatrix(a, validate=False)
+        sigma = DensityMatrix(b, validate=False)
+        fidelity = state_fidelity(rho, sigma)
+        distance = trace_distance(rho, sigma)
+        assert 1 - np.sqrt(fidelity) <= distance + 1e-6
+        assert distance <= np.sqrt(max(1 - fidelity, 0.0)) + 1e-6
+
+
+class TestEntanglementInvariants:
+    @SETTINGS
+    @given(vector=two_qubit_statevectors)
+    def test_schmidt_coefficients_normalised(self, vector):
+        coefficients = schmidt_coefficients(vector)
+        assert np.sum(coefficients**2) == pytest.approx(1.0)
+        assert np.all(coefficients >= -1e-12)
+
+    @SETTINGS
+    @given(vector=two_qubit_statevectors)
+    def test_maximal_overlap_range(self, vector):
+        f = maximal_overlap_pure(vector)
+        assert 0.5 - 1e-9 <= f <= 1.0 + 1e-9
+
+    @SETTINGS
+    @given(vector=two_qubit_statevectors)
+    def test_entanglement_measures_agree_on_separability(self, vector):
+        # Concurrence and negativity vanish together for pure two-qubit states.
+        c = concurrence(vector)
+        n = negativity(vector)
+        assert c == pytest.approx(2 * n, abs=1e-7)
+
+    @SETTINGS
+    @given(vector=two_qubit_statevectors)
+    def test_entropy_bounds(self, vector):
+        entropy = entanglement_entropy(vector)
+        assert -1e-9 <= entropy <= 1.0 + 1e-9
+
+
+class TestPhiKProperties:
+    @SETTINGS
+    @given(k=k_values)
+    def test_overlap_range(self, k):
+        assert 0.5 - 1e-12 <= overlap_from_k(k) <= 1.0 + 1e-12
+
+    @SETTINGS
+    @given(k=k_values)
+    def test_overlap_matches_pure_state_measure(self, k):
+        assert maximal_overlap_pure(phi_k_state(k)) == pytest.approx(overlap_from_k(k))
+
+    @SETTINGS
+    @given(f=overlaps)
+    def test_k_from_overlap_roundtrip(self, f):
+        k = k_from_overlap(f)
+        assert overlap_from_k(k) == pytest.approx(f, abs=1e-9)
+
+    @SETTINGS
+    @given(k=k_values)
+    def test_bell_overlaps_sum_to_one(self, k):
+        assert sum(bell_overlaps(phi_k_state(k)).values()) == pytest.approx(1.0)

@@ -1,0 +1,85 @@
+"""Unit tests for shot allocation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.qpd.allocation import ALLOCATION_STRATEGIES, allocate_shots
+
+
+class TestProportional:
+    def test_exact_split(self):
+        shots = allocate_shots(np.array([0.5, 0.25, 0.25]), 100)
+        assert list(shots) == [50, 25, 25]
+
+    def test_sums_to_total(self):
+        for total in (1, 7, 99, 1000):
+            shots = allocate_shots(np.array([0.4, 0.35, 0.25]), total)
+            assert shots.sum() == total
+
+    def test_largest_remainder_rounding(self):
+        shots = allocate_shots(np.array([1 / 3, 1 / 3, 1 / 3]), 100)
+        assert shots.sum() == 100
+        assert sorted(shots) == [33, 33, 34]
+
+    def test_unnormalised_weights(self):
+        shots = allocate_shots(np.array([2.0, 1.0, 1.0]), 400)
+        assert list(shots) == [200, 100, 100]
+
+    def test_zero_shots(self):
+        assert allocate_shots(np.array([0.5, 0.5]), 0).sum() == 0
+
+    def test_deterministic(self):
+        a = allocate_shots(np.array([0.6, 0.4]), 997)
+        b = allocate_shots(np.array([0.6, 0.4]), 997)
+        assert np.array_equal(a, b)
+
+
+class TestMultinomial:
+    def test_sums_to_total(self):
+        shots = allocate_shots(np.array([0.7, 0.3]), 500, strategy="multinomial", seed=0)
+        assert shots.sum() == 500
+
+    def test_seed_reproducibility(self):
+        a = allocate_shots(np.array([0.7, 0.3]), 500, strategy="multinomial", seed=3)
+        b = allocate_shots(np.array([0.7, 0.3]), 500, strategy="multinomial", seed=3)
+        assert np.array_equal(a, b)
+
+    def test_statistics(self):
+        shots = allocate_shots(np.array([0.9, 0.1]), 10_000, strategy="multinomial", seed=1)
+        assert abs(shots[0] - 9000) < 300
+
+
+class TestUniform:
+    def test_ignores_weights(self):
+        shots = allocate_shots(np.array([0.99, 0.01]), 100, strategy="uniform")
+        assert list(shots) == [50, 50]
+
+    def test_sums_to_total_with_remainder(self):
+        shots = allocate_shots(np.array([0.5, 0.3, 0.2]), 100, strategy="uniform")
+        assert shots.sum() == 100
+
+
+class TestValidation:
+    def test_strategies_constant(self):
+        assert set(ALLOCATION_STRATEGIES) == {"proportional", "multinomial", "uniform"}
+
+    def test_unknown_strategy(self):
+        with pytest.raises(DecompositionError):
+            allocate_shots(np.array([1.0]), 10, strategy="magic")
+
+    def test_negative_probabilities(self):
+        with pytest.raises(DecompositionError):
+            allocate_shots(np.array([-0.1, 1.1]), 10)
+
+    def test_zero_weight(self):
+        with pytest.raises(DecompositionError):
+            allocate_shots(np.array([0.0, 0.0]), 10)
+
+    def test_empty(self):
+        with pytest.raises(DecompositionError):
+            allocate_shots(np.array([]), 10)
+
+    def test_negative_shots(self):
+        with pytest.raises(ValueError):
+            allocate_shots(np.array([1.0]), -1)

@@ -1,0 +1,100 @@
+"""Unit tests for the QPD Monte-Carlo estimator recombination."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.qpd.estimator import (
+    QPDEstimate,
+    TermEstimate,
+    combine_term_estimates,
+    single_stream_estimate,
+)
+
+
+class TestTermEstimate:
+    def test_effective_variance_default(self):
+        term = TermEstimate(coefficient=1.0, mean=0.6, shots=100)
+        assert term.effective_variance == pytest.approx(1 - 0.36)
+
+    def test_effective_variance_explicit(self):
+        term = TermEstimate(coefficient=1.0, mean=0.0, shots=10, variance=0.25)
+        assert term.effective_variance == 0.25
+
+    def test_effective_variance_clamped(self):
+        term = TermEstimate(coefficient=1.0, mean=1.0, shots=10, variance=-0.1)
+        assert term.effective_variance == 0.0
+
+
+class TestCombine:
+    def test_simple_recombination(self):
+        estimates = [
+            TermEstimate(coefficient=1.0, mean=0.5, shots=100),
+            TermEstimate(coefficient=1.0, mean=0.3, shots=100),
+            TermEstimate(coefficient=-1.0, mean=0.2, shots=100),
+        ]
+        result = combine_term_estimates(estimates)
+        assert result.value == pytest.approx(0.6)
+        assert result.total_shots == 300
+        assert result.kappa == pytest.approx(3.0)
+
+    def test_zero_shot_terms_skipped(self):
+        estimates = [
+            TermEstimate(coefficient=1.0, mean=0.9, shots=50),
+            TermEstimate(coefficient=-0.5, mean=0.0, shots=0),
+        ]
+        result = combine_term_estimates(estimates)
+        assert result.value == pytest.approx(0.9)
+        assert result.kappa == pytest.approx(1.5)
+
+    def test_standard_error_scaling(self):
+        # Doubling shots should reduce the propagated error by sqrt(2).
+        def build(shots: int) -> QPDEstimate:
+            return combine_term_estimates(
+                [TermEstimate(coefficient=2.0, mean=0.0, shots=shots, variance=1.0)]
+            )
+
+        assert build(200).standard_error == pytest.approx(build(100).standard_error / np.sqrt(2))
+
+    def test_kappa_scales_error(self):
+        small = combine_term_estimates(
+            [TermEstimate(coefficient=1.0, mean=0.0, shots=100, variance=1.0)]
+        )
+        large = combine_term_estimates(
+            [TermEstimate(coefficient=3.0, mean=0.0, shots=100, variance=1.0)]
+        )
+        assert large.standard_error == pytest.approx(3 * small.standard_error)
+
+    def test_empty_raises(self):
+        with pytest.raises(DecompositionError):
+            combine_term_estimates([])
+
+
+class TestSingleStream:
+    def test_unbiased_on_synthetic_data(self):
+        rng = np.random.default_rng(0)
+        coefficients = np.array([2.0, -1.0])
+        # Term 0 always yields +1, term 1 always yields +1: target = 2 - 1 = 1.
+        probabilities = np.abs(coefficients) / np.abs(coefficients).sum()
+        indices = rng.choice(2, size=20_000, p=probabilities)
+        outcomes = np.ones(20_000)
+        result = single_stream_estimate(coefficients, indices, outcomes)
+        assert result.value == pytest.approx(1.0, abs=0.1)
+        assert result.kappa == pytest.approx(3.0)
+
+    def test_term_bookkeeping(self):
+        coefficients = np.array([1.0, -1.0])
+        indices = np.array([0, 0, 1])
+        outcomes = np.array([1.0, -1.0, 1.0])
+        result = single_stream_estimate(coefficients, indices, outcomes)
+        assert result.total_shots == 3
+        assert result.term_estimates[0].shots == 2
+        assert result.term_estimates[1].mean == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DecompositionError):
+            single_stream_estimate(np.array([1.0]), np.array([0, 0]), np.array([1.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(DecompositionError):
+            single_stream_estimate(np.array([1.0]), np.array([]), np.array([]))

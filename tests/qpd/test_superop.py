@@ -1,0 +1,57 @@
+"""Unit tests for superoperator utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.qpd.superop import (
+    apply_superoperator,
+    superoperator_of_matrix_pair,
+    tensor_superoperators,
+)
+from repro.quantum.channels import QuantumChannel, amplitude_damping_channel, dephasing_channel
+from repro.quantum.gates import H, X, Z
+from repro.quantum.random import random_density_matrix
+
+
+class TestApplySuperoperator:
+    def test_unitary_channel(self):
+        superop = np.kron(X, X.conj())
+        rho = random_density_matrix(1, seed=0).data
+        assert np.allclose(apply_superoperator(superop, rho), X @ rho @ X)
+
+    def test_dimension_check(self):
+        with pytest.raises(DimensionError):
+            apply_superoperator(np.eye(4), np.eye(4))
+
+
+class TestMatrixPair:
+    def test_left_right_product(self):
+        rho = random_density_matrix(1, seed=1).data
+        superop = superoperator_of_matrix_pair(H, Z)
+        assert np.allclose(apply_superoperator(superop, rho), H @ rho @ Z)
+
+
+class TestTensorSuperoperators:
+    def test_matches_channel_tensor(self):
+        a = dephasing_channel(0.3)
+        b = amplitude_damping_channel(0.4)
+        composite = tensor_superoperators(a.superoperator(), b.superoperator())
+        expected = a.tensor(b).superoperator()
+        assert np.allclose(composite, expected)
+
+    def test_unitary_factors(self):
+        a = QuantumChannel.from_unitary(H)
+        b = QuantumChannel.from_unitary(X)
+        composite = tensor_superoperators(a.superoperator(), b.superoperator())
+        rho = random_density_matrix(2, seed=2).data
+        u = np.kron(H, X)
+        assert np.allclose(apply_superoperator(composite, rho), u @ rho @ u.conj().T)
+
+    def test_identity_factors(self):
+        identity = np.eye(4)
+        assert np.allclose(tensor_superoperators(identity, identity), np.eye(16))
+
+    def test_rejects_non_square_maps(self):
+        with pytest.raises(DimensionError):
+            tensor_superoperators(np.eye(4), np.zeros((4, 2)))

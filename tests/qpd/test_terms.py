@@ -1,0 +1,52 @@
+"""Unit tests for QPD terms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.qpd.terms import QPDTerm
+from repro.quantum.channels import QuantumChannel, dephasing_channel
+from repro.quantum.gates import X
+from repro.quantum.random import random_density_matrix
+
+
+class TestQPDTerm:
+    def test_requires_channel_or_superoperator(self):
+        with pytest.raises(DecompositionError):
+            QPDTerm(coefficient=1.0)
+
+    def test_rejects_non_finite_coefficient(self):
+        with pytest.raises(DecompositionError):
+            QPDTerm(coefficient=float("nan"), channel=QuantumChannel.from_unitary(X))
+
+    def test_sign_and_magnitude(self):
+        term = QPDTerm(coefficient=-0.5, channel=QuantumChannel.from_unitary(X))
+        assert term.sign == -1
+        assert term.magnitude == 0.5
+
+    def test_positive_sign_for_zero(self):
+        term = QPDTerm(coefficient=0.0, channel=QuantumChannel.from_unitary(X))
+        assert term.sign == 1
+
+    def test_superoperator_from_channel(self):
+        channel = dephasing_channel(0.3)
+        term = QPDTerm(coefficient=1.0, channel=channel)
+        assert np.allclose(term.superoperator(), channel.superoperator())
+
+    def test_superoperator_explicit(self):
+        superop = np.eye(4)
+        term = QPDTerm(coefficient=1.0, superoperator_matrix=superop)
+        assert np.allclose(term.superoperator(), superop)
+
+    def test_apply_exact_channel(self):
+        rho = random_density_matrix(1, seed=0).data
+        term = QPDTerm(coefficient=2.0, channel=QuantumChannel.from_unitary(X))
+        assert np.allclose(term.apply_exact(rho), X @ rho @ X)
+        assert np.allclose(term.weighted_apply(rho), 2.0 * X @ rho @ X)
+
+    def test_apply_exact_superoperator(self):
+        rho = random_density_matrix(1, seed=1).data
+        superop = np.kron(X, X.conj())
+        term = QPDTerm(coefficient=-1.0, superoperator_matrix=superop)
+        assert np.allclose(term.apply_exact(rho), X @ rho @ X)
+        assert np.allclose(term.weighted_apply(rho), -(X @ rho @ X))

@@ -1,0 +1,145 @@
+"""Unit tests for Bell states and the NME state family Φ_k."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StateError
+from repro.quantum.bell import (
+    bell_basis_states,
+    bell_overlaps,
+    bell_state,
+    k_from_overlap,
+    overlap_from_k,
+    phi_k_density,
+    phi_k_state,
+    werner_state,
+)
+from repro.quantum.measures import state_fidelity
+
+
+class TestBellStates:
+    def test_phi_plus(self):
+        assert np.allclose(bell_state("I").data, np.array([1, 0, 0, 1]) / np.sqrt(2))
+
+    def test_all_four_orthonormal(self):
+        states = bell_basis_states()
+        vectors = [s.data for s in states.values()]
+        gram = np.array([[abs(np.vdot(a, b)) for b in vectors] for a in vectors])
+        assert np.allclose(gram, np.eye(4), atol=1e-12)
+
+    def test_unknown_label(self):
+        with pytest.raises(StateError):
+            bell_state("Q")
+
+    def test_phi_x_is_psi_plus(self):
+        assert np.allclose(bell_state("X").data, np.array([0, 1, 1, 0]) / np.sqrt(2))
+
+
+class TestPhiK:
+    def test_k_zero_is_product(self):
+        assert np.allclose(phi_k_state(0.0).data, [1, 0, 0, 0])
+
+    def test_k_one_is_bell(self):
+        assert state_fidelity(phi_k_state(1.0), bell_state("I")) == pytest.approx(1.0)
+
+    def test_normalised(self):
+        for k in (0.0, 0.2, 1.0, 3.7):
+            assert np.linalg.norm(phi_k_state(k).data) == pytest.approx(1.0)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(StateError):
+            phi_k_state(-0.5)
+
+    def test_density(self):
+        rho = phi_k_density(0.5)
+        assert rho.is_pure()
+
+    def test_amplitude_ratio(self):
+        k = 0.3
+        vector = phi_k_state(k).data
+        assert vector[3] / vector[0] == pytest.approx(k)
+
+
+class TestOverlapFormulas:
+    def test_eq10_endpoints(self):
+        assert overlap_from_k(0.0) == pytest.approx(0.5)
+        assert overlap_from_k(1.0) == pytest.approx(1.0)
+
+    def test_eq10_generic(self):
+        k = 0.4
+        assert overlap_from_k(k) == pytest.approx((k + 1) ** 2 / (2 * (k * k + 1)))
+
+    def test_symmetric_in_k_and_inverse_k(self):
+        assert overlap_from_k(0.25) == pytest.approx(overlap_from_k(4.0))
+
+    def test_matches_direct_overlap_with_bell_state(self):
+        for k in (0.1, 0.5, 0.9):
+            direct = abs(np.vdot(bell_state("I").data, phi_k_state(k).data)) ** 2
+            assert overlap_from_k(k) == pytest.approx(direct)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(StateError):
+            overlap_from_k(-1)
+
+    def test_inverse_roundtrip_lower(self):
+        for f in (0.5, 0.6, 0.75, 0.9, 1.0):
+            k = k_from_overlap(f, branch="lower")
+            assert k <= 1.0 + 1e-12
+            assert overlap_from_k(k) == pytest.approx(f)
+
+    def test_inverse_roundtrip_upper(self):
+        for f in (0.6, 0.75, 0.9):
+            k = k_from_overlap(f, branch="upper")
+            assert k >= 1.0
+            assert overlap_from_k(k) == pytest.approx(f)
+
+    def test_inverse_upper_separable_is_infinite(self):
+        assert k_from_overlap(0.5, branch="upper") == float("inf")
+
+    def test_inverse_out_of_range(self):
+        with pytest.raises(StateError):
+            k_from_overlap(0.4)
+        with pytest.raises(StateError):
+            k_from_overlap(1.1)
+
+    def test_inverse_bad_branch(self):
+        with pytest.raises(ValueError):
+            k_from_overlap(0.8, branch="middle")
+
+
+class TestBellOverlaps:
+    def test_appendix_c_values(self):
+        # Eqs. 55-58 of the paper.
+        for k in (0.0, 0.3, 0.7, 1.0):
+            overlaps = bell_overlaps(phi_k_state(k))
+            norm = 2 * (k * k + 1)
+            assert overlaps["I"] == pytest.approx((k + 1) ** 2 / norm)
+            assert overlaps["Z"] == pytest.approx((k - 1) ** 2 / norm)
+            assert overlaps["X"] == pytest.approx(0.0, abs=1e-12)
+            assert overlaps["Y"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_overlaps_sum_to_one_for_bell_diagonal(self):
+        overlaps = bell_overlaps(werner_state(0.6))
+        assert sum(overlaps.values()) == pytest.approx(1.0)
+
+    def test_accepts_density_matrix_and_array(self):
+        rho = phi_k_density(0.5)
+        assert bell_overlaps(rho) == bell_overlaps(rho.data)
+
+    def test_rejects_wrong_dimension(self):
+        with pytest.raises(StateError):
+            bell_overlaps(np.eye(2) / 2)
+
+
+class TestWernerState:
+    def test_endpoints(self):
+        assert np.allclose(werner_state(0.0).data, np.eye(4) / 4)
+        assert state_fidelity(werner_state(1.0), bell_state("I")) == pytest.approx(1.0)
+
+    def test_valid_density(self):
+        rho = werner_state(0.5)
+        assert np.trace(rho.data).real == pytest.approx(1.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(StateError):
+            werner_state(1.5)

@@ -1,0 +1,166 @@
+"""Unit tests for quantum channels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ChannelError, DimensionError
+from repro.quantum.channels import (
+    QuantumChannel,
+    amplitude_damping_channel,
+    dephasing_channel,
+    depolarizing_channel,
+    identity_channel,
+    measure_and_prepare_channel,
+)
+from repro.quantum.gates import H, X, Z
+from repro.quantum.random import random_density_matrix
+from repro.quantum.states import DensityMatrix, Statevector
+
+
+class TestConstruction:
+    def test_requires_kraus(self):
+        with pytest.raises(ChannelError):
+            QuantumChannel([])
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ChannelError):
+            QuantumChannel([np.eye(2), np.eye(4)])
+
+    def test_from_unitary(self):
+        channel = QuantumChannel.from_unitary(H)
+        assert channel.is_trace_preserving()
+        assert channel.num_qubits_in == 1
+
+    def test_dimensions(self):
+        channel = identity_channel(2)
+        assert channel.dim_in == 4 and channel.dim_out == 4
+
+
+class TestPredicates:
+    def test_identity_properties(self):
+        channel = identity_channel(1)
+        assert channel.is_trace_preserving()
+        assert channel.is_trace_nonincreasing()
+        assert channel.is_completely_positive()
+        assert channel.is_unital()
+
+    def test_projective_branch_is_trace_nonincreasing(self):
+        projector = np.diag([1.0, 0.0]).astype(complex)
+        channel = QuantumChannel([projector])
+        assert channel.is_trace_nonincreasing()
+        assert not channel.is_trace_preserving()
+
+    def test_amplitude_damping_not_unital(self):
+        assert not amplitude_damping_channel(0.3).is_unital()
+        assert amplitude_damping_channel(0.3).is_trace_preserving()
+
+    def test_depolarizing_tp_and_unital(self):
+        channel = depolarizing_channel(0.4)
+        assert channel.is_trace_preserving()
+        assert channel.is_unital()
+
+
+class TestStandardChannels:
+    def test_depolarizing_action(self):
+        rho = DensityMatrix("0")
+        out = depolarizing_channel(1.0).apply(rho)
+        assert np.allclose(out.data, np.eye(2) / 2)
+
+    def test_depolarizing_partial(self):
+        p = 0.3
+        rho = DensityMatrix("0")
+        out = depolarizing_channel(p).apply(rho)
+        expected = (1 - p) * rho.data + p * np.eye(2) / 2
+        assert np.allclose(out.data, expected)
+
+    def test_depolarizing_two_qubit(self):
+        rho = DensityMatrix("01")
+        out = depolarizing_channel(1.0, num_qubits=2).apply(rho)
+        assert np.allclose(out.data, np.eye(4) / 4)
+
+    def test_depolarizing_invalid_p(self):
+        with pytest.raises(ChannelError):
+            depolarizing_channel(1.2)
+
+    def test_dephasing_kills_coherence(self):
+        plus = Statevector(np.array([1, 1]) / np.sqrt(2)).to_density_matrix()
+        out = dephasing_channel(0.5).apply(plus)
+        assert np.allclose(out.data, np.eye(2) / 2)
+
+    def test_dephasing_preserves_populations(self):
+        rho = DensityMatrix(np.diag([0.3, 0.7]))
+        out = dephasing_channel(0.9).apply(rho)
+        assert np.allclose(np.diag(out.data), [0.3, 0.7])
+
+    def test_amplitude_damping_full_decay(self):
+        out = amplitude_damping_channel(1.0).apply(DensityMatrix("1"))
+        assert np.allclose(out.data, np.diag([1.0, 0.0]))
+
+    def test_measure_and_prepare(self):
+        # Measure in Z, prepare the flipped state: |0><1| and |1><0| Kraus.
+        channel = measure_and_prepare_channel(
+            [np.array([1, 0]), np.array([0, 1])],
+            [np.array([0, 1]), np.array([1, 0])],
+        )
+        out = channel.apply(DensityMatrix("0"))
+        assert np.allclose(out.data, np.diag([0.0, 1.0]))
+
+    def test_measure_and_prepare_length_mismatch(self):
+        with pytest.raises(ChannelError):
+            measure_and_prepare_channel([np.array([1, 0])], [])
+
+
+class TestRepresentations:
+    def test_choi_trace_equals_dim_for_tp(self):
+        channel = depolarizing_channel(0.25)
+        assert np.trace(channel.choi_matrix()).real == pytest.approx(2.0)
+
+    def test_choi_roundtrip(self):
+        channel = amplitude_damping_channel(0.35)
+        rebuilt = QuantumChannel.from_choi(channel.choi_matrix(), dim_in=2)
+        rho = random_density_matrix(1, seed=0)
+        assert np.allclose(channel.apply(rho).data, rebuilt.apply(rho).data)
+
+    def test_from_choi_rejects_non_psd(self):
+        with pytest.raises(ChannelError):
+            QuantumChannel.from_choi(-np.eye(4), dim_in=2)
+
+    def test_superoperator_application(self):
+        channel = dephasing_channel(0.2)
+        rho = random_density_matrix(1, seed=1)
+        via_superop = (channel.superoperator() @ rho.data.reshape(-1)).reshape(2, 2)
+        assert np.allclose(via_superop, channel.apply(rho).data)
+
+    def test_unitary_superoperator(self):
+        channel = QuantumChannel.from_unitary(X)
+        assert np.allclose(channel.superoperator(), np.kron(X, X.conj()))
+
+
+class TestAlgebra:
+    def test_compose(self):
+        x_then_z = QuantumChannel.from_unitary(X).compose(QuantumChannel.from_unitary(Z))
+        rho = random_density_matrix(1, seed=2)
+        expected = Z @ X @ rho.data @ X.conj().T @ Z.conj().T
+        assert np.allclose(x_then_z.apply(rho).data, expected)
+
+    def test_compose_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            identity_channel(1).compose(identity_channel(2))
+
+    def test_tensor(self):
+        channel = QuantumChannel.from_unitary(X).tensor(identity_channel(1))
+        out = channel.apply(DensityMatrix("00"))
+        assert np.allclose(out.data, DensityMatrix("10").data)
+
+    def test_scale(self):
+        channel = identity_channel(1).scale(0.5)
+        out = channel.apply_matrix(np.eye(2) / 2)
+        assert np.trace(out).real == pytest.approx(0.5)
+
+    def test_scale_negative_rejected(self):
+        with pytest.raises(ChannelError):
+            identity_channel(1).scale(-1.0)
+
+    def test_apply_dimension_check(self):
+        with pytest.raises(DimensionError):
+            identity_channel(1).apply(DensityMatrix.maximally_mixed(2))

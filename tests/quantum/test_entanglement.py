@@ -1,0 +1,163 @@
+"""Unit tests for entanglement quantification (Schmidt, f, concurrence, negativity)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.quantum.bell import bell_state, overlap_from_k, phi_k_density, phi_k_state, werner_state
+from repro.quantum.entanglement import (
+    concurrence,
+    entanglement_entropy,
+    fully_entangled_fraction,
+    is_separable_pure,
+    maximal_overlap,
+    maximal_overlap_pure,
+    negativity,
+    schmidt_coefficients,
+    schmidt_decomposition,
+    schmidt_rank,
+)
+from repro.quantum.random import random_statevector, random_unitary
+from repro.quantum.states import DensityMatrix, Statevector
+
+
+class TestSchmidtDecomposition:
+    def test_product_state_rank_one(self):
+        assert schmidt_rank(Statevector("01")) == 1
+        assert is_separable_pure(Statevector("01"))
+
+    def test_bell_state_rank_two(self):
+        assert schmidt_rank(bell_state("I")) == 2
+        assert not is_separable_pure(bell_state("I"))
+
+    def test_coefficients_of_phi_k(self):
+        k = 0.5
+        coefficients = schmidt_coefficients(phi_k_state(k))
+        normalisation = 1 / np.sqrt(1 + k * k)
+        assert np.allclose(coefficients, sorted([normalisation, k * normalisation], reverse=True))
+
+    def test_coefficients_descending_and_normalised(self):
+        state = random_statevector(2, seed=3)
+        coefficients = schmidt_coefficients(state)
+        assert np.all(np.diff(coefficients) <= 1e-12)
+        assert np.sum(coefficients**2) == pytest.approx(1.0)
+
+    def test_reconstruction(self):
+        state = random_statevector(2, seed=8)
+        decomposition = schmidt_decomposition(state)
+        assert np.allclose(decomposition.reconstruct(), state.data)
+
+    def test_unequal_dims(self):
+        # 3-qubit state split as 1 | 2 qubits.
+        state = random_statevector(3, seed=2)
+        decomposition = schmidt_decomposition(state, dims=(2, 4))
+        assert decomposition.coefficients.shape[0] == 2
+        assert np.allclose(decomposition.reconstruct(), state.data)
+
+    def test_odd_qubits_require_dims(self):
+        with pytest.raises(DimensionError):
+            schmidt_decomposition(random_statevector(3, seed=1))
+
+    def test_bad_dims(self):
+        with pytest.raises(DimensionError):
+            schmidt_decomposition(random_statevector(2, seed=1), dims=(2, 3))
+
+
+class TestEntanglementEntropy:
+    def test_product_state_zero(self):
+        assert entanglement_entropy(Statevector("00")) == pytest.approx(0.0)
+
+    def test_bell_state_one_bit(self):
+        assert entanglement_entropy(bell_state("I")) == pytest.approx(1.0)
+
+    def test_monotone_in_k(self):
+        values = [entanglement_entropy(phi_k_state(k)) for k in (0.1, 0.4, 0.7, 1.0)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestConcurrence:
+    def test_bell_state(self):
+        assert concurrence(bell_state("I")) == pytest.approx(1.0)
+
+    def test_product_state(self):
+        assert concurrence(Statevector("01")) == pytest.approx(0.0, abs=1e-8)
+
+    def test_phi_k_formula(self):
+        # For |Φ_k>, concurrence = 2k/(1+k²).
+        for k in (0.2, 0.5, 1.0):
+            assert concurrence(phi_k_state(k)) == pytest.approx(2 * k / (1 + k * k))
+
+    def test_werner_threshold(self):
+        # Werner states are separable for p <= 1/3.
+        assert concurrence(werner_state(0.2)) == pytest.approx(0.0, abs=1e-10)
+        assert concurrence(werner_state(0.8)) > 0.0
+
+    def test_invariant_under_local_unitaries(self):
+        state = phi_k_state(0.6)
+        local = np.kron(random_unitary(2, seed=1), random_unitary(2, seed=2))
+        rotated = Statevector(local @ state.data, validate=False)
+        assert concurrence(rotated) == pytest.approx(concurrence(state))
+
+
+class TestNegativity:
+    def test_bell_state(self):
+        assert negativity(bell_state("I")) == pytest.approx(0.5)
+
+    def test_product_state(self):
+        assert negativity(Statevector("00")) == pytest.approx(0.0, abs=1e-10)
+
+    def test_werner_separable_region(self):
+        assert negativity(werner_state(0.3)) == pytest.approx(0.0, abs=1e-10)
+        assert negativity(werner_state(0.9)) > 0.0
+
+
+class TestMaximalOverlap:
+    def test_phi_k_matches_eq10(self):
+        for k in (0.0, 0.2, 0.5, 0.8, 1.0):
+            assert maximal_overlap_pure(phi_k_state(k)) == pytest.approx(overlap_from_k(k))
+
+    def test_range_for_random_states(self):
+        for seed in range(8):
+            f = maximal_overlap_pure(random_statevector(2, seed=seed))
+            assert 0.5 - 1e-9 <= f <= 1.0 + 1e-9
+
+    def test_invariant_under_local_unitaries(self):
+        # Eq. 7/8 of the paper: f only depends on the Schmidt coefficients.
+        state = phi_k_state(0.4)
+        local = np.kron(random_unitary(2, seed=5), random_unitary(2, seed=6))
+        rotated = Statevector(local @ state.data, validate=False)
+        assert maximal_overlap_pure(rotated) == pytest.approx(maximal_overlap_pure(state))
+
+    def test_dispatches_pure_density_matrix(self):
+        assert maximal_overlap(phi_k_density(0.5)) == pytest.approx(overlap_from_k(0.5))
+
+    def test_werner_state(self):
+        # For Werner states the maximal overlap equals max(FEF, 1/2) = max(p + (1-p)/4, 1/2).
+        assert maximal_overlap(werner_state(0.8)) == pytest.approx(0.85)
+        assert maximal_overlap(werner_state(0.0)) == pytest.approx(0.5)
+
+    def test_mixed_state_wrong_size(self):
+        with pytest.raises(DimensionError):
+            maximal_overlap(DensityMatrix.maximally_mixed(1))
+
+
+class TestFullyEntangledFraction:
+    def test_bell_state(self):
+        assert fully_entangled_fraction(bell_state("I")) == pytest.approx(1.0)
+
+    def test_all_bell_states_have_unit_fef(self):
+        for label in "IXYZ":
+            assert fully_entangled_fraction(bell_state(label)) == pytest.approx(1.0)
+
+    def test_maximally_mixed(self):
+        assert fully_entangled_fraction(DensityMatrix.maximally_mixed(2)) == pytest.approx(0.25)
+
+    def test_product_state(self):
+        assert fully_entangled_fraction(Statevector("00")) == pytest.approx(0.5)
+
+    def test_never_below_quarter(self):
+        for seed in range(5):
+            from repro.quantum.random import random_density_matrix
+
+            rho = random_density_matrix(2, seed=seed)
+            assert fully_entangled_fraction(rho) >= 0.25 - 1e-9

@@ -1,0 +1,139 @@
+"""Unit tests for the gate matrix library."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GateError
+from repro.quantum import gates
+from repro.utils.linalg import is_unitary
+
+
+class TestFixedGates:
+    @pytest.mark.parametrize(
+        "matrix",
+        [gates.I, gates.X, gates.Y, gates.Z, gates.H, gates.S, gates.SDG, gates.T, gates.TDG,
+         gates.SX, gates.CX, gates.CZ, gates.CY, gates.SWAP, gates.ISWAP, gates.CCX, gates.CSWAP],
+    )
+    def test_all_fixed_gates_unitary(self, matrix):
+        assert is_unitary(matrix)
+
+    def test_pauli_relations(self):
+        assert np.allclose(gates.X @ gates.X, np.eye(2))
+        assert np.allclose(gates.X @ gates.Y, 1j * gates.Z)
+        assert np.allclose(gates.Z @ gates.X, 1j * gates.Y)
+        assert np.allclose(gates.Y @ gates.Z, 1j * gates.X)
+
+    def test_hadamard_conjugation(self):
+        assert np.allclose(gates.H @ gates.Z @ gates.H, gates.X)
+        assert np.allclose(gates.H @ gates.X @ gates.H, gates.Z)
+
+    def test_s_squared_is_z(self):
+        assert np.allclose(gates.S @ gates.S, gates.Z)
+
+    def test_t_squared_is_s(self):
+        assert np.allclose(gates.T @ gates.T, gates.S)
+
+    def test_sx_squared_is_x(self):
+        assert np.allclose(gates.SX @ gates.SX, gates.X)
+
+    def test_sh_conjugates_z_to_y(self):
+        # U2 = SH maps Z to Y under conjugation — used in the wire-cut proofs.
+        u2 = gates.S @ gates.H
+        assert np.allclose(u2 @ gates.Z @ u2.conj().T, gates.Y)
+
+    def test_cx_action(self):
+        ket10 = np.zeros(4); ket10[2] = 1
+        ket11 = np.zeros(4); ket11[3] = 1
+        assert np.allclose(gates.CX @ ket10, ket11)
+
+    def test_cz_is_diagonal_with_single_minus(self):
+        assert np.allclose(np.diag(gates.CZ), [1, 1, 1, -1])
+
+    def test_swap_action(self):
+        ket01 = np.zeros(4); ket01[1] = 1
+        ket10 = np.zeros(4); ket10[2] = 1
+        assert np.allclose(gates.SWAP @ ket01, ket10)
+
+    def test_ccx_flips_target_only_when_both_controls_set(self):
+        state = np.zeros(8); state[0b110] = 1
+        assert np.allclose(gates.CCX @ state, np.eye(8)[0b111])
+        state = np.zeros(8); state[0b100] = 1
+        assert np.allclose(gates.CCX @ state, np.eye(8)[0b100])
+
+
+class TestParametricGates:
+    @pytest.mark.parametrize("theta", [0.0, 0.3, np.pi / 2, np.pi, 2 * np.pi])
+    def test_rotations_unitary(self, theta):
+        for factory in (gates.rx, gates.ry, gates.rz):
+            assert is_unitary(factory(theta))
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert np.allclose(gates.rx(np.pi), -1j * gates.X)
+
+    def test_ry_pi_is_y_up_to_phase(self):
+        assert np.allclose(gates.ry(np.pi), -1j * gates.Y)
+
+    def test_rz_pi_is_z_up_to_phase(self):
+        assert np.allclose(gates.rz(np.pi), -1j * gates.Z)
+
+    def test_rotation_composition(self):
+        assert np.allclose(gates.rz(0.3) @ gates.rz(0.4), gates.rz(0.7))
+
+    def test_phase_gate(self):
+        assert np.allclose(gates.phase(np.pi / 2), gates.S)
+
+    def test_u3_special_cases(self):
+        assert np.allclose(gates.u3(0, 0, 0), np.eye(2))
+        # U(π/2, 0, π) = H
+        assert np.allclose(gates.u3(np.pi / 2, 0, np.pi), gates.H)
+
+    def test_rzz_diagonal(self):
+        theta = 0.7
+        expected = np.diag(
+            [np.exp(-1j * theta / 2), np.exp(1j * theta / 2), np.exp(1j * theta / 2), np.exp(-1j * theta / 2)]
+        )
+        assert np.allclose(gates.rzz(theta), expected)
+
+    def test_rxx_unitary(self):
+        assert is_unitary(gates.rxx(1.1))
+        assert is_unitary(gates.ryy(0.4))
+
+
+class TestControlled:
+    def test_controlled_x_is_cx(self):
+        assert np.allclose(gates.controlled(gates.X), gates.CX)
+
+    def test_doubly_controlled_x_is_ccx(self):
+        assert np.allclose(gates.controlled(gates.X, num_controls=2), gates.CCX)
+
+    def test_controlled_rejects_bad_input(self):
+        with pytest.raises(GateError):
+            gates.controlled(np.zeros((2, 3)))
+        with pytest.raises(GateError):
+            gates.controlled(gates.X, num_controls=0)
+
+
+class TestGateMatrixLookup:
+    def test_fixed_lookup(self):
+        assert np.allclose(gates.gate_matrix("h"), gates.H)
+        assert np.allclose(gates.gate_matrix("CNOT"), gates.CX)
+
+    def test_parametric_lookup(self):
+        assert np.allclose(gates.gate_matrix("ry", (0.5,)), gates.ry(0.5))
+
+    def test_unknown_gate(self):
+        with pytest.raises(GateError):
+            gates.gate_matrix("nope")
+
+    def test_wrong_params_fixed(self):
+        with pytest.raises(GateError):
+            gates.gate_matrix("x", (0.1,))
+
+    def test_wrong_params_parametric(self):
+        with pytest.raises(GateError):
+            gates.gate_matrix("rx", ())
+
+    def test_returns_copy(self):
+        matrix = gates.gate_matrix("x")
+        matrix[0, 0] = 99
+        assert gates.X[0, 0] == 0

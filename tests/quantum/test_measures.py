@@ -1,0 +1,92 @@
+"""Unit tests for state distance/similarity measures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.quantum.bell import bell_state
+from repro.quantum.measures import (
+    hilbert_schmidt_distance,
+    purity,
+    state_fidelity,
+    trace_distance,
+    von_neumann_entropy,
+)
+from repro.quantum.random import random_density_matrix, random_statevector
+from repro.quantum.states import DensityMatrix, Statevector
+
+
+class TestFidelity:
+    def test_identical_pure(self):
+        state = random_statevector(2, seed=0)
+        assert state_fidelity(state, state) == pytest.approx(1.0)
+
+    def test_orthogonal_pure(self):
+        assert state_fidelity(Statevector("0"), Statevector("1")) == pytest.approx(0.0)
+
+    def test_pure_pure_overlap(self):
+        plus = Statevector(np.array([1, 1]) / np.sqrt(2))
+        assert state_fidelity(plus, Statevector("0")) == pytest.approx(0.5)
+
+    def test_pure_mixed(self):
+        assert state_fidelity(Statevector("0"), DensityMatrix.maximally_mixed(1)) == pytest.approx(0.5)
+
+    def test_mixed_mixed_identical(self):
+        rho = random_density_matrix(1, seed=1)
+        assert state_fidelity(rho, rho) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        rho = random_density_matrix(1, seed=2)
+        sigma = random_density_matrix(1, seed=3)
+        assert state_fidelity(rho, sigma) == pytest.approx(state_fidelity(sigma, rho))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            state_fidelity(Statevector("0"), Statevector("00"))
+
+    def test_accepts_raw_arrays(self):
+        assert state_fidelity(np.array([1, 0]), np.diag([1.0, 0.0])) == pytest.approx(1.0)
+
+
+class TestTraceDistance:
+    def test_identical(self):
+        rho = random_density_matrix(1, seed=5)
+        assert trace_distance(rho, rho) == pytest.approx(0.0)
+
+    def test_orthogonal_pure(self):
+        assert trace_distance(Statevector("0"), Statevector("1")) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        rho = random_density_matrix(2, seed=1)
+        sigma = random_density_matrix(2, seed=2)
+        distance = trace_distance(rho, sigma)
+        assert 0.0 <= distance <= 1.0
+
+    def test_fuchs_van_de_graaf(self):
+        # 1 - sqrt(F) <= T <= sqrt(1 - F)
+        rho = random_density_matrix(1, seed=7)
+        sigma = random_density_matrix(1, seed=8)
+        fidelity = state_fidelity(rho, sigma)
+        distance = trace_distance(rho, sigma)
+        assert 1 - np.sqrt(fidelity) <= distance + 1e-9
+        assert distance <= np.sqrt(1 - fidelity) + 1e-9
+
+
+class TestOtherMeasures:
+    def test_hilbert_schmidt_zero_for_identical(self):
+        rho = random_density_matrix(1, seed=4)
+        assert hilbert_schmidt_distance(rho, rho) == pytest.approx(0.0)
+
+    def test_purity(self):
+        assert purity(Statevector("0")) == pytest.approx(1.0)
+        assert purity(DensityMatrix.maximally_mixed(2)) == pytest.approx(0.25)
+
+    def test_entropy_pure(self):
+        assert von_neumann_entropy(bell_state("I")) == pytest.approx(0.0, abs=1e-10)
+
+    def test_entropy_maximally_mixed(self):
+        assert von_neumann_entropy(DensityMatrix.maximally_mixed(2)) == pytest.approx(2.0)
+
+    def test_entropy_base_e(self):
+        entropy = von_neumann_entropy(DensityMatrix.maximally_mixed(1), base=np.e)
+        assert entropy == pytest.approx(np.log(2))

@@ -1,0 +1,78 @@
+"""Unit tests for the Operator wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.quantum.gates import CX, H, X, Z
+from repro.quantum.operators import Operator
+from repro.quantum.states import DensityMatrix, Statevector
+
+
+class TestConstruction:
+    def test_identity(self):
+        assert np.allclose(Operator.identity(2).data, np.eye(4))
+
+    def test_from_gate(self):
+        assert np.allclose(Operator.from_gate("h").data, H)
+
+    def test_from_gate_with_params(self):
+        assert Operator.from_gate("rz", (0.3,)).is_unitary()
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DimensionError):
+            Operator(np.zeros((2, 3)))
+
+    def test_copy_constructor(self):
+        original = Operator(X)
+        assert Operator(original) == original
+
+
+class TestAlgebra:
+    def test_compose_order(self):
+        # compose: other applied after self → matrix is other @ self.
+        hx = Operator(X).compose(Operator(H))
+        assert np.allclose(hx.data, H @ X)
+
+    def test_compose_dimension_mismatch(self):
+        with pytest.raises(DimensionError):
+            Operator(X).compose(Operator(CX))
+
+    def test_tensor(self):
+        assert np.allclose(Operator(X).tensor(Operator(Z)).data, np.kron(X, Z))
+
+    def test_adjoint(self):
+        s = Operator.from_gate("s")
+        assert np.allclose(s.adjoint().data, s.data.conj().T)
+
+    def test_power(self):
+        assert np.allclose(Operator(X).power(2).data, np.eye(2))
+
+    def test_expand_to(self):
+        expanded = Operator(X).expand_to([1], 2)
+        assert np.allclose(expanded.data, np.kron(np.eye(2), X))
+
+
+class TestPredicatesAndAction:
+    def test_is_unitary(self):
+        assert Operator(H).is_unitary()
+        assert not Operator(np.diag([1.0, 2.0])).is_unitary()
+
+    def test_is_hermitian(self):
+        assert Operator(Z).is_hermitian()
+        assert not Operator.from_gate("s").is_hermitian()
+
+    def test_apply_statevector(self):
+        out = Operator(X).apply(Statevector("0"))
+        assert isinstance(out, Statevector)
+        assert np.allclose(out.data, [0, 1])
+
+    def test_apply_density_matrix(self):
+        out = Operator(X).apply(DensityMatrix("0"))
+        assert isinstance(out, DensityMatrix)
+        assert np.allclose(out.data, np.diag([0, 1]))
+
+    def test_expectation(self):
+        plus = Statevector(np.array([1, 1]) / np.sqrt(2))
+        assert Operator(X).expectation(plus).real == pytest.approx(1.0)
+        assert Operator(Z).expectation(DensityMatrix.maximally_mixed(1)).real == pytest.approx(0.0)

@@ -1,0 +1,96 @@
+"""Unit tests for partial trace/transpose and qubit permutations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.quantum.bell import bell_state
+from repro.quantum.partial import (
+    partial_trace,
+    partial_transpose,
+    permute_qubits_matrix,
+    permute_qubits_vector,
+)
+from repro.quantum.random import random_density_matrix, random_statevector
+from repro.quantum.states import DensityMatrix, Statevector
+
+
+class TestPartialTrace:
+    def test_product_state(self):
+        rho = DensityMatrix("01").data
+        assert np.allclose(partial_trace(rho, [1]), np.diag([1.0, 0.0]))
+        assert np.allclose(partial_trace(rho, [0]), np.diag([0.0, 1.0]))
+
+    def test_bell_state_gives_maximally_mixed(self):
+        rho = bell_state("I").to_density_matrix().data
+        assert np.allclose(partial_trace(rho, [0]), np.eye(2) / 2)
+        assert np.allclose(partial_trace(rho, [1]), np.eye(2) / 2)
+
+    def test_trace_all(self):
+        rho = random_density_matrix(2, seed=0).data
+        assert partial_trace(rho, [0, 1])[0, 0] == pytest.approx(1.0)
+
+    def test_trace_preserved(self):
+        rho = random_density_matrix(3, seed=1).data
+        reduced = partial_trace(rho, [2])
+        assert np.trace(reduced).real == pytest.approx(1.0)
+
+    def test_consistency_with_kron(self):
+        a = random_density_matrix(1, seed=2).data
+        b = random_density_matrix(1, seed=3).data
+        assert np.allclose(partial_trace(np.kron(a, b), [1]), a)
+        assert np.allclose(partial_trace(np.kron(a, b), [0]), b)
+
+    def test_duplicate_indices(self):
+        with pytest.raises(DimensionError):
+            partial_trace(np.eye(4) / 4, [0, 0])
+
+    def test_out_of_range(self):
+        with pytest.raises(DimensionError):
+            partial_trace(np.eye(4) / 4, [2])
+
+    def test_non_square(self):
+        with pytest.raises(DimensionError):
+            partial_trace(np.zeros((2, 4)), [0])
+
+
+class TestPartialTranspose:
+    def test_involution(self):
+        rho = random_density_matrix(2, seed=4).data
+        assert np.allclose(partial_transpose(partial_transpose(rho, [1]), [1]), rho)
+
+    def test_full_transpose(self):
+        rho = random_density_matrix(2, seed=5).data
+        assert np.allclose(partial_transpose(rho, [0, 1]), rho.T)
+
+    def test_bell_state_negative_eigenvalue(self):
+        rho = bell_state("I").to_density_matrix().data
+        eigenvalues = np.linalg.eigvalsh(partial_transpose(rho, [1]))
+        assert eigenvalues.min() == pytest.approx(-0.5)
+
+    def test_separable_state_stays_psd(self):
+        rho = np.kron(random_density_matrix(1, seed=6).data, random_density_matrix(1, seed=7).data)
+        eigenvalues = np.linalg.eigvalsh(partial_transpose(rho, [1]))
+        assert eigenvalues.min() >= -1e-10
+
+
+class TestPermutations:
+    def test_vector_swap(self):
+        state = Statevector("01").data
+        swapped = permute_qubits_vector(state, [1, 0])
+        assert np.allclose(swapped, Statevector("10").data)
+
+    def test_vector_identity(self):
+        state = random_statevector(3, seed=8).data
+        assert np.allclose(permute_qubits_vector(state, [0, 1, 2]), state)
+
+    def test_matrix_swap_consistent_with_vector(self):
+        state = random_statevector(2, seed=9)
+        rho = state.to_density_matrix().data
+        permuted_rho = permute_qubits_matrix(rho, [1, 0])
+        permuted_vec = permute_qubits_vector(state.data, [1, 0])
+        assert np.allclose(permuted_rho, np.outer(permuted_vec, permuted_vec.conj()))
+
+    def test_incomplete_permutation(self):
+        with pytest.raises(DimensionError):
+            permute_qubits_vector(np.zeros(4), [0])

@@ -1,0 +1,87 @@
+"""Unit tests for Haar-random sampling."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.random import (
+    haar_random_single_qubit_states,
+    random_density_matrix,
+    random_pure_two_qubit_state,
+    random_statevector,
+    random_unitary,
+)
+from repro.utils.linalg import is_density_matrix, is_statevector, is_unitary
+
+
+class TestRandomUnitary:
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4, 8])
+    def test_unitarity(self, dim):
+        assert is_unitary(random_unitary(dim, seed=0))
+
+    def test_deterministic_with_seed(self):
+        assert np.allclose(random_unitary(4, seed=5), random_unitary(4, seed=5))
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(random_unitary(4, seed=1), random_unitary(4, seed=2))
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            random_unitary(0)
+
+    def test_haar_first_moment(self):
+        # The Haar average of |U[0,0]|^2 is 1/dim; check within sampling error.
+        dim = 2
+        rng = np.random.default_rng(7)
+        values = [abs(random_unitary(dim, seed=rng)[0, 0]) ** 2 for _ in range(2000)]
+        assert np.mean(values) == pytest.approx(1.0 / dim, abs=0.03)
+
+    def test_phase_correction_makes_eigenphases_uniformish(self):
+        # Without Mezzadri's phase correction the eigenphase distribution of
+        # QR-sampled matrices is visibly non-uniform; with it, the mean
+        # complex eigenvalue should be near zero.
+        rng = np.random.default_rng(3)
+        eigs = np.concatenate(
+            [np.linalg.eigvals(random_unitary(2, seed=rng)) for _ in range(1500)]
+        )
+        assert abs(np.mean(eigs)) < 0.05
+
+
+class TestRandomStates:
+    def test_statevector_valid(self):
+        assert is_statevector(random_statevector(3, seed=1).data)
+
+    def test_statevector_deterministic(self):
+        a = random_statevector(2, seed=9)
+        b = random_statevector(2, seed=9)
+        assert np.allclose(a.data, b.data)
+
+    def test_density_matrix_valid(self):
+        assert is_density_matrix(random_density_matrix(2, seed=0).data)
+
+    def test_density_matrix_rank(self):
+        rho = random_density_matrix(2, rank=1, seed=0)
+        eigenvalues = np.sort(rho.eigenvalues())
+        assert np.allclose(eigenvalues[:-1], 0.0, atol=1e-10)
+
+    def test_density_matrix_invalid_rank(self):
+        with pytest.raises(ValueError):
+            random_density_matrix(1, rank=3)
+
+    def test_two_qubit_state(self):
+        assert random_pure_two_qubit_state(seed=0).num_qubits == 2
+
+    def test_haar_single_qubit_workload(self):
+        states = haar_random_single_qubit_states(10, seed=4)
+        assert len(states) == 10
+        assert all(s.num_qubits == 1 for s in states)
+
+    def test_haar_workload_z_average_near_zero(self):
+        # Haar-random states have <Z> uniformly distributed in [-1, 1].
+        states = haar_random_single_qubit_states(2000, seed=11)
+        z = np.diag([1.0, -1.0])
+        values = [float(np.real(s.expectation_value(z))) for s in states]
+        assert np.mean(values) == pytest.approx(0.0, abs=0.05)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            haar_random_single_qubit_states(-1)

@@ -1,0 +1,94 @@
+"""Unit tests for the analytic teleportation channel (Eq. 22)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.density_matrix_simulator import simulate_density_matrix
+from repro.quantum.bell import phi_k_density, phi_k_state, werner_state
+from repro.quantum.measures import state_fidelity
+from repro.quantum.random import random_statevector
+from repro.teleport.channel import (
+    average_teleportation_fidelity,
+    phi_k_average_fidelity,
+    phi_k_teleportation_channel,
+    teleportation_channel,
+    teleportation_error_probabilities,
+)
+from repro.teleport.protocol import teleportation_circuit
+
+
+class TestErrorProbabilities:
+    def test_appendix_c_overlaps(self):
+        k = 0.6
+        probabilities = teleportation_error_probabilities(phi_k_state(k))
+        norm = 2 * (k * k + 1)
+        assert probabilities["I"] == pytest.approx((k + 1) ** 2 / norm)
+        assert probabilities["Z"] == pytest.approx((k - 1) ** 2 / norm)
+        assert probabilities["X"] == pytest.approx(0.0, abs=1e-12)
+        assert probabilities["Y"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_werner_resource(self):
+        probabilities = teleportation_error_probabilities(werner_state(0.7))
+        assert probabilities["I"] == pytest.approx(0.7 + 0.3 / 4)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+
+class TestChannel:
+    def test_maximally_entangled_is_identity(self):
+        channel = teleportation_channel(phi_k_density(1.0))
+        rho = random_statevector(1, seed=0).to_density_matrix()
+        assert np.allclose(channel.apply(rho).data, rho.data)
+
+    def test_trace_preserving_for_phi_k(self):
+        for k in (0.0, 0.3, 1.0):
+            assert phi_k_teleportation_channel(k).is_trace_preserving()
+
+    def test_phi_k_channel_matches_generic(self):
+        k = 0.45
+        rho = random_statevector(1, seed=1).to_density_matrix()
+        a = phi_k_teleportation_channel(k).apply(rho)
+        b = teleportation_channel(phi_k_density(k)).apply(rho)
+        assert np.allclose(a.data, b.data)
+
+    def test_matches_circuit_simulation(self):
+        # The analytic channel (Eq. 22) must agree with the full circuit
+        # simulation of Figure 3 for every k.
+        for k in (0.0, 0.25, 0.7, 1.0):
+            message = random_statevector(1, seed=int(k * 100) + 2)
+            circuit = teleportation_circuit(message_state=message, resource=k)
+            simulated = simulate_density_matrix(circuit).average_state().partial_trace([0, 1])
+            analytic = phi_k_teleportation_channel(k).apply(message.to_density_matrix())
+            assert np.allclose(simulated.data, analytic.data, atol=1e-9)
+
+    def test_separable_resource_gives_full_dephasing(self):
+        channel = phi_k_teleportation_channel(0.0)
+        plus = np.full((2, 2), 0.5, dtype=complex)
+        assert np.allclose(channel.apply_matrix(plus), np.eye(2) / 2)
+
+
+class TestFidelity:
+    def test_phi_k_fidelity_formula(self):
+        for k in (0.0, 0.5, 1.0):
+            assert phi_k_average_fidelity(k) == pytest.approx((2 * ((k + 1) ** 2 / (2 * (k * k + 1))) + 1) / 3)
+
+    def test_maximal_entanglement_unit_fidelity(self):
+        assert phi_k_average_fidelity(1.0) == pytest.approx(1.0)
+
+    def test_classical_limit(self):
+        # Without entanglement the best achievable average fidelity is 2/3.
+        assert phi_k_average_fidelity(0.0) == pytest.approx(2.0 / 3.0)
+
+    def test_generic_resource(self):
+        assert average_teleportation_fidelity(werner_state(1.0)) == pytest.approx(1.0)
+        assert average_teleportation_fidelity(werner_state(0.0)) == pytest.approx(0.5)
+
+    def test_monte_carlo_agrees_with_formula(self):
+        # Average the simulated fidelity over many random inputs and compare
+        # with the analytic Haar-average formula.
+        k = 0.5
+        fidelities = []
+        for seed in range(60):
+            message = random_statevector(1, seed=seed)
+            output = phi_k_teleportation_channel(k).apply(message.to_density_matrix())
+            fidelities.append(state_fidelity(message, output))
+        assert np.mean(fidelities) == pytest.approx(phi_k_average_fidelity(k), abs=0.03)

@@ -1,0 +1,60 @@
+"""Unit tests for probabilistic (Agrawal–Pati) teleportation."""
+
+import pytest
+
+from repro.exceptions import StateError
+from repro.teleport.probabilistic import expected_attempts, simulate_attempts, success_probability
+
+
+class TestSuccessProbability:
+    def test_maximally_entangled(self):
+        assert success_probability(1.0) == pytest.approx(1.0)
+
+    def test_separable(self):
+        assert success_probability(0.0) == pytest.approx(0.0)
+
+    def test_formula(self):
+        k = 0.5
+        assert success_probability(k) == pytest.approx(2 * k * k / (1 + k * k))
+
+    def test_symmetric_under_inversion(self):
+        assert success_probability(0.25) == pytest.approx(success_probability(4.0))
+
+    def test_monotone_in_k(self):
+        values = [success_probability(k) for k in (0.1, 0.3, 0.6, 1.0)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_negative_k(self):
+        with pytest.raises(StateError):
+            success_probability(-1)
+
+
+class TestExpectedAttempts:
+    def test_maximally_entangled(self):
+        assert expected_attempts(1.0) == pytest.approx(1.0)
+
+    def test_separable_is_infinite(self):
+        assert expected_attempts(0.0) == float("inf")
+
+    def test_inverse_of_probability(self):
+        assert expected_attempts(0.5) == pytest.approx(1 / success_probability(0.5))
+
+
+class TestSimulateAttempts:
+    def test_deterministic_resource(self):
+        assert simulate_attempts(1.0, successes=10, seed=0) == 10
+
+    def test_zero_successes(self):
+        assert simulate_attempts(0.5, successes=0) == 0
+
+    def test_statistics(self):
+        attempts = simulate_attempts(0.5, successes=2000, seed=1)
+        assert attempts / 2000 == pytest.approx(expected_attempts(0.5), rel=0.1)
+
+    def test_separable_raises(self):
+        with pytest.raises(StateError):
+            simulate_attempts(0.0, successes=1)
+
+    def test_negative_successes(self):
+        with pytest.raises(ValueError):
+            simulate_attempts(0.5, successes=-1)

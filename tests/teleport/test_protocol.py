@@ -1,0 +1,105 @@
+"""Unit tests for the teleportation circuit builders."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.density_matrix_simulator import simulate_density_matrix
+from repro.circuits.statevector_simulator import simulate_statevector
+from repro.quantum.bell import bell_state, overlap_from_k, phi_k_state
+from repro.quantum.measures import state_fidelity
+from repro.quantum.random import random_statevector
+from repro.teleport.protocol import (
+    append_teleportation,
+    prepare_phi_k,
+    prepare_resource_state,
+    teleportation_circuit,
+)
+
+
+class TestResourcePreparation:
+    @pytest.mark.parametrize("k", [0.0, 0.3, 0.7, 1.0, 2.5])
+    def test_prepare_phi_k(self, k):
+        circuit = QuantumCircuit(2)
+        prepare_phi_k(circuit, k, 0, 1)
+        state = simulate_statevector(circuit)
+        assert state_fidelity(state, phi_k_state(k)) == pytest.approx(1.0)
+
+    def test_prepare_phi_k_on_arbitrary_qubits(self):
+        circuit = QuantumCircuit(3)
+        prepare_phi_k(circuit, 1.0, 2, 0)
+        state = simulate_statevector(circuit)
+        reduced = state.reduced_density_matrix([2, 0])
+        assert state_fidelity(bell_state("I"), reduced) == pytest.approx(1.0)
+
+    def test_prepare_phi_k_negative_k(self):
+        with pytest.raises(CircuitError):
+            prepare_phi_k(QuantumCircuit(2), -0.1, 0, 1)
+
+    def test_prepare_resource_state_from_k(self):
+        circuit = QuantumCircuit(2)
+        prepare_resource_state(circuit, 0.4, 0, 1)
+        state = simulate_statevector(circuit)
+        assert state_fidelity(state, phi_k_state(0.4)) == pytest.approx(1.0)
+
+    def test_prepare_resource_state_from_vector(self):
+        target = random_statevector(2, seed=0)
+        circuit = QuantumCircuit(2)
+        prepare_resource_state(circuit, target, 0, 1)
+        result = simulate_density_matrix(circuit).average_state()
+        assert state_fidelity(target, result) == pytest.approx(1.0)
+
+    def test_prepare_resource_state_bad_dimension(self):
+        with pytest.raises(CircuitError):
+            prepare_resource_state(QuantumCircuit(2), np.array([1.0, 0.0]), 0, 1)
+
+
+class TestTeleportationCircuit:
+    def test_maximally_entangled_perfect_fidelity(self):
+        for seed in range(3):
+            message = random_statevector(1, seed=seed)
+            circuit = teleportation_circuit(message_state=message, resource=1.0)
+            result = simulate_density_matrix(circuit)
+            output = result.average_state().partial_trace([0, 1])
+            assert state_fidelity(message, output) == pytest.approx(1.0)
+
+    def test_measurement_outcomes_uniform_for_bell_resource(self):
+        message = random_statevector(1, seed=5)
+        circuit = teleportation_circuit(message_state=message, resource=1.0)
+        distribution = simulate_density_matrix(circuit).classical_distribution()
+        assert len(distribution) == 4
+        assert all(p == pytest.approx(0.25) for p in distribution.values())
+
+    def test_nme_resource_fidelity_matches_eq22(self):
+        # With |Φ_k⟩ the output is pI·ρ + pZ·ZρZ; its fidelity with the input
+        # is pI + pZ·|<ψ|Z|ψ>|².
+        k = 0.4
+        message = random_statevector(1, seed=7)
+        circuit = teleportation_circuit(message_state=message, resource=k)
+        output = simulate_density_matrix(circuit).average_state().partial_trace([0, 1])
+        p_identity = overlap_from_k(k)
+        z = np.diag([1.0, -1.0])
+        z_expect = float(np.real(message.expectation_value(z)))
+        expected_fidelity = p_identity + (1 - p_identity) * z_expect**2
+        assert state_fidelity(message, output) == pytest.approx(expected_fidelity)
+
+    def test_product_resource_destroys_coherence(self):
+        plus = np.array([1, 1]) / np.sqrt(2)
+        circuit = teleportation_circuit(message_state=plus, resource=0.0)
+        output = simulate_density_matrix(circuit).average_state().partial_trace([0, 1])
+        assert np.allclose(output.data, np.eye(2) / 2)
+
+    def test_explicit_resource_state(self):
+        message = random_statevector(1, seed=8)
+        circuit = teleportation_circuit(message_state=message, resource=bell_state("I"))
+        output = simulate_density_matrix(circuit).average_state().partial_trace([0, 1])
+        assert state_fidelity(message, output) == pytest.approx(1.0)
+
+    def test_append_teleportation_custom_wiring(self):
+        message = random_statevector(1, seed=9)
+        circuit = QuantumCircuit(4, 3)
+        circuit.initialize(message.data, 1)
+        append_teleportation(circuit, 1.0, qubit_a=1, qubit_b=3, qubit_c=0, clbit_a=2, clbit_b=0)
+        output = simulate_density_matrix(circuit).average_state().partial_trace([1, 2, 3])
+        assert state_fidelity(message, output) == pytest.approx(1.0)

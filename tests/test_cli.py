@@ -1,0 +1,52 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("figure6", "overhead", "protocols", "resources", "ablations", "cut"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_figure6_options(self):
+        args = build_parser().parse_args(["figure6", "--states", "5", "--seed", "3", "--csv", "x.csv"])
+        assert args.states == 5 and args.seed == 3 and args.csv == "x.csv"
+
+
+class TestCommands:
+    def test_overhead_command(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "gamma_theorem1" in out
+
+    def test_protocols_command(self, capsys):
+        assert main(["protocols"]) == 0
+        assert "teleportation" in capsys.readouterr().out
+
+    def test_resources_command(self, capsys):
+        assert main(["resources"]) == 0
+        assert "pairs_proportionality_2a" in capsys.readouterr().out
+
+    def test_figure6_small_run(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig6.csv"
+        assert main(["figure6", "--states", "3", "--seed", "1", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        assert "mean_error" in capsys.readouterr().out
+
+    def test_cut_command(self, capsys):
+        assert main(["cut", "--qubits", "3", "--shots", "500", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "harada" in out and "teleportation" in out
+
+    def test_overhead_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "overhead.csv"
+        assert main(["overhead", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()

@@ -1,0 +1,90 @@
+"""Package-level tests: metadata, exceptions, public API surface, examples."""
+
+import importlib
+import pathlib
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestMetadata:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_quickstart_docstring_example(self):
+        # The doctest-style snippet in the package docstring must actually work.
+        from repro import NMEWireCut, cut_expectation_value
+        from repro.quantum import random_statevector
+
+        state = random_statevector(1, seed=7)
+        result = cut_expectation_value(state, NMEWireCut.from_overlap(0.9), shots=4000, seed=11)
+        assert abs(result.value - result.exact_value) < 0.2
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        for name in exceptions.__all__:
+            error_class = getattr(exceptions, name)
+            assert issubclass(error_class, Exception)
+            if name != "ReproError":
+                assert issubclass(error_class, exceptions.ReproError)
+
+    def test_catching_base_class(self):
+        from repro.cutting import optimal_overhead
+
+        with pytest.raises(exceptions.ReproError):
+            optimal_overhead(0.1)
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.utils",
+            "repro.quantum",
+            "repro.circuits",
+            "repro.qpd",
+            "repro.teleport",
+            "repro.cutting",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_imports_cleanly(self, module):
+        assert importlib.import_module(module) is not None
+
+    @pytest.mark.parametrize(
+        "module",
+        ["repro.quantum", "repro.circuits", "repro.qpd", "repro.teleport", "repro.cutting", "repro.experiments"],
+    )
+    def test_all_exports_resolve(self, module):
+        package = importlib.import_module(module)
+        for name in package.__all__:
+            assert hasattr(package, name), f"{module}.{name} missing"
+
+
+class TestExamples:
+    def test_all_examples_compile(self):
+        examples_dir = pathlib.Path(__file__).resolve().parent.parent / "examples"
+        scripts = sorted(examples_dir.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            compile(script.read_text(), str(script), "exec")
+
+    def test_quickstart_example_main_runs(self, capsys):
+        import importlib.util
+
+        path = pathlib.Path(__file__).resolve().parent.parent / "examples" / "quickstart.py"
+        spec = importlib.util.spec_from_file_location("quickstart_example", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        out = capsys.readouterr().out
+        assert "teleportation" in out

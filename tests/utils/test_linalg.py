@@ -1,0 +1,191 @@
+"""Unit tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.quantum.gates import CX, H, X
+from repro.utils.linalg import (
+    basis_state,
+    bra,
+    dagger,
+    expand_operator,
+    is_density_matrix,
+    is_hermitian,
+    is_power_of_two,
+    is_projector,
+    is_psd,
+    is_statevector,
+    is_unitary,
+    ket,
+    kron_all,
+    normalize_vector,
+    num_qubits_from_dim,
+    outer,
+    projector,
+)
+
+
+class TestDagger:
+    def test_matrix(self):
+        matrix = np.array([[1, 2j], [3, 4]], dtype=complex)
+        assert np.allclose(dagger(matrix), matrix.conj().T)
+
+    def test_vector(self):
+        vector = np.array([1j, 2], dtype=complex)
+        assert np.allclose(dagger(vector), vector.conj())
+
+    def test_involution(self):
+        matrix = np.array([[1, 2j], [3, 4]], dtype=complex)
+        assert np.allclose(dagger(dagger(matrix)), matrix)
+
+
+class TestKets:
+    def test_ket_from_string(self):
+        assert np.allclose(ket("0"), [1, 0])
+        assert np.allclose(ket("1"), [0, 1])
+        assert np.allclose(ket("10"), [0, 0, 1, 0])
+
+    def test_ket_from_integer(self):
+        assert np.allclose(ket(2, num_qubits=2), [0, 0, 1, 0])
+
+    def test_ket_integer_requires_num_qubits(self):
+        with pytest.raises(ValueError):
+            ket(1)
+
+    def test_ket_invalid_characters(self):
+        with pytest.raises(ValueError):
+            ket("01a")
+
+    def test_ket_index_out_of_range(self):
+        with pytest.raises(DimensionError):
+            ket(4, num_qubits=2)
+
+    def test_bra_is_conjugate(self):
+        assert np.allclose(bra("1"), ket("1").conj())
+
+    def test_basis_state(self):
+        assert np.allclose(basis_state(1, 3), [0, 1, 0])
+
+    def test_basis_state_out_of_range(self):
+        with pytest.raises(DimensionError):
+            basis_state(3, 3)
+
+
+class TestOuterAndProjector:
+    def test_outer_default_projector(self):
+        plus = np.array([1, 1]) / np.sqrt(2)
+        assert np.allclose(outer(plus), np.full((2, 2), 0.5))
+
+    def test_outer_two_vectors(self):
+        result = outer(ket("0"), ket("1"))
+        expected = np.zeros((2, 2))
+        expected[0, 1] = 1
+        assert np.allclose(result, expected)
+
+    def test_projector_idempotent(self):
+        p = projector(np.array([1, 1j]) / np.sqrt(2))
+        assert np.allclose(p @ p, p)
+
+
+class TestKronAll:
+    def test_empty(self):
+        assert np.allclose(kron_all([]), [[1]])
+
+    def test_single(self):
+        assert np.allclose(kron_all([X]), X)
+
+    def test_order_matters(self):
+        a = np.diag([1, 2])
+        b = np.diag([3, 4])
+        assert np.allclose(kron_all([a, b]), np.kron(a, b))
+        assert not np.allclose(kron_all([a, b]), np.kron(b, a))
+
+
+class TestPredicates:
+    def test_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(8)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(6)
+
+    def test_num_qubits_from_dim(self):
+        assert num_qubits_from_dim(8) == 3
+
+    def test_num_qubits_from_dim_invalid(self):
+        with pytest.raises(DimensionError):
+            num_qubits_from_dim(6)
+
+    def test_is_hermitian(self):
+        assert is_hermitian(np.array([[1, 1j], [-1j, 2]]))
+        assert not is_hermitian(np.array([[1, 1], [2, 1]]))
+
+    def test_is_unitary(self):
+        assert is_unitary(H)
+        assert is_unitary(CX)
+        assert not is_unitary(np.array([[1, 0], [0, 2]]))
+
+    def test_is_psd(self):
+        assert is_psd(np.diag([0.0, 1.0]))
+        assert not is_psd(np.diag([-0.1, 1.0]))
+
+    def test_is_projector(self):
+        assert is_projector(np.diag([1.0, 0.0]))
+        assert not is_projector(np.diag([0.5, 0.5]))
+
+    def test_is_statevector(self):
+        assert is_statevector(np.array([1, 0], dtype=complex))
+        assert not is_statevector(np.array([1, 1], dtype=complex))
+        assert not is_statevector(np.array([1, 0, 0], dtype=complex))
+
+    def test_is_density_matrix(self):
+        assert is_density_matrix(np.diag([0.5, 0.5]))
+        assert not is_density_matrix(np.diag([0.5, 0.6]))
+        assert not is_density_matrix(np.array([[0.5, 0.6], [0.6, 0.5]]))
+
+
+class TestNormalize:
+    def test_normalize(self):
+        assert np.allclose(np.linalg.norm(normalize_vector([3, 4])), 1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(DimensionError):
+            normalize_vector([0, 0])
+
+
+class TestExpandOperator:
+    def test_single_qubit_on_first(self):
+        expanded = expand_operator(X, [0], 2)
+        assert np.allclose(expanded, np.kron(X, np.eye(2)))
+
+    def test_single_qubit_on_second(self):
+        expanded = expand_operator(X, [1], 2)
+        assert np.allclose(expanded, np.kron(np.eye(2), X))
+
+    def test_two_qubit_ordering(self):
+        # CX with control on qubit 1 and target on qubit 0 flips qubit 0 when qubit 1 is 1.
+        expanded = expand_operator(CX, [1, 0], 2)
+        state = ket("01")  # qubit0=0, qubit1=1
+        assert np.allclose(expanded @ state, ket("11"))
+
+    def test_identity_embedding_is_identity(self):
+        assert np.allclose(expand_operator(np.eye(2), [2], 3), np.eye(8))
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(DimensionError):
+            expand_operator(X, [0, 1], 2)
+
+    def test_duplicate_qubits_raises(self):
+        with pytest.raises(DimensionError):
+            expand_operator(CX, [0, 0], 2)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(DimensionError):
+            expand_operator(X, [3], 2)
+
+    def test_matches_kron_composition(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        expanded = expand_operator(matrix, [1], 3)
+        expected = np.kron(np.kron(np.eye(2), matrix), np.eye(2))
+        assert np.allclose(expanded, expected)

@@ -1,0 +1,51 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_seed_sequence(self):
+        sequence = np.random.SeedSequence(7)
+        a = as_generator(sequence).random(3)
+        b = as_generator(np.random.SeedSequence(7)).random(3)
+        assert np.allclose(a, b)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_deterministic(self):
+        a = [g.random() for g in spawn_generators(3, 4)]
+        b = [g.random() for g in spawn_generators(3, 4)]
+        assert np.allclose(a, b)
+
+    def test_children_are_independent(self):
+        children = spawn_generators(3, 2)
+        assert not np.isclose(children[0].random(), children[1].random())
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_spawn_from_generator(self):
+        children = spawn_generators(np.random.default_rng(5), 3)
+        assert len(children) == 3

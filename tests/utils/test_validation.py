@@ -1,0 +1,69 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.utils.validation import (
+    check_integer_in_range,
+    check_probability,
+    check_square_matrix,
+    check_vector,
+)
+
+
+class TestCheckSquareMatrix:
+    def test_accepts_square(self):
+        result = check_square_matrix([[1, 0], [0, 1]])
+        assert result.dtype == complex
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(DimensionError):
+            check_square_matrix(np.zeros((2, 3)))
+
+    def test_rejects_vector(self):
+        with pytest.raises(DimensionError):
+            check_square_matrix(np.zeros(4))
+
+
+class TestCheckVector:
+    def test_accepts_vector(self):
+        assert check_vector([1, 2, 3]).shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DimensionError):
+            check_vector(np.zeros((2, 2)))
+
+
+class TestCheckProbability:
+    def test_accepts_valid(self):
+        assert check_probability(0.5) == 0.5
+
+    def test_clamps_tiny_negative(self):
+        assert check_probability(-1e-12) == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+
+
+class TestCheckIntegerInRange:
+    def test_accepts_in_range(self):
+        assert check_integer_in_range(3, low=0, high=5) == 3
+
+    def test_rejects_below(self):
+        with pytest.raises(ValueError):
+            check_integer_in_range(-1, low=0)
+
+    def test_rejects_above(self):
+        with pytest.raises(ValueError):
+            check_integer_in_range(10, high=5)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            check_integer_in_range(1.5)
+
+    def test_accepts_numpy_integer(self):
+        assert check_integer_in_range(np.int64(4), low=0) == 4
