@@ -10,6 +10,8 @@ ceiling.  Use ``examples/figure6_experiment.py --paper`` for the full-scale
 run.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -42,3 +44,16 @@ def test_benchmark_figure6(benchmark, figure6_result):
     # The κ values match Theorem 1 exactly.
     expected_kappa = [2.0 / f - 1.0 for f in result.overlaps]
     assert np.allclose(result.kappas, expected_kappa, atol=1e-9)
+
+
+def test_benchmark_figure6_serial_backend(benchmark):
+    """The same small sweep forced through the serial backend (trend baseline).
+
+    Paired with :func:`test_benchmark_figure6`, whose config uses the default
+    vectorized backend, this keeps the end-to-end backend speedup visible in
+    the benchmark history; both configurations must agree exactly.
+    """
+    small = Figure6Config(num_states=10, shot_grid=(500, 2000), overlaps=(0.5, 0.8, 1.0), seed=3)
+    serial = benchmark(run_figure6, dataclasses.replace(small, backend="serial"))
+    vectorized = run_figure6(small)
+    assert np.array_equal(serial.mean_errors, vectorized.mean_errors)

@@ -10,7 +10,6 @@ identity channel".
 """
 
 import numpy as np
-import pytest
 
 from repro.circuits import QuantumCircuit
 from repro.cutting import (

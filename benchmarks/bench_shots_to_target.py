@@ -8,7 +8,6 @@ mean error and checks that the measured budgets grow with κ (and hence that
 the entanglement-free cut needs several times more shots than teleportation).
 """
 
-import pytest
 
 from repro.experiments import ShotsToTargetConfig, shots_to_target_error
 

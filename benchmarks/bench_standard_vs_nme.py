@@ -7,7 +7,6 @@ budget the error ordering should follow the κ ordering
 Peng (4) > Harada (3) > NME (1..3) > teleportation (1).
 """
 
-import pytest
 
 from repro.experiments import protocol_error_comparison
 

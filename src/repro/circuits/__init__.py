@@ -14,8 +14,23 @@ Public API
     Finite-shot sampling (exact-distribution or trajectory methods).
 :class:`Counts`
     Outcome histograms.
+:class:`SimulatorBackend` implementations
+    Batched execution of circuit collections (serial, vectorized,
+    process-pool) behind one interface; see :mod:`repro.circuits.backends`.
 """
 
+from repro.circuits.backends import (
+    BACKEND_NAMES,
+    DistributionCache,
+    ProcessPoolBackend,
+    SerialBackend,
+    SimulatorBackend,
+    VectorizedBackend,
+    circuit_fingerprint,
+    default_distribution_cache,
+    resolve_backend,
+)
+from repro.circuits.batched_simulator import BatchedDensityMatrixSimulator, structure_signature
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.counts import Counts
 from repro.circuits.drawer import draw
@@ -50,4 +65,15 @@ __all__ = [
     "exact_expectation",
     "sampled_pauli_expectation",
     "measurement_basis_change",
+    "SimulatorBackend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ProcessPoolBackend",
+    "DistributionCache",
+    "default_distribution_cache",
+    "circuit_fingerprint",
+    "resolve_backend",
+    "BACKEND_NAMES",
+    "BatchedDensityMatrixSimulator",
+    "structure_signature",
 ]

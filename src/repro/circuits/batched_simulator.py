@@ -1,0 +1,270 @@
+"""Batched exact simulation of structurally identical circuits.
+
+The QPD term circuits of a parameter sweep are *structurally* identical: for
+a fixed (protocol, term) the instruction stream — gate positions, measured
+qubits, classical conditions — is the same for every input state, and only
+the numeric payload (the state-preparation unitary or ``initialize`` vector)
+differs.  :class:`BatchedDensityMatrixSimulator` exploits this by stacking
+all circuits of such a *structure group* into one ``(batch, dim, dim)``
+density-matrix array and executing the shared instruction stream once, with
+every linear-algebra step broadcast over the batch axis.
+
+The per-slice arithmetic is kept operation-for-operation identical to
+:class:`~repro.circuits.density_matrix_simulator.DensityMatrixSimulator`
+(same expanded operators, same Kraus accumulation order, same trace and
+pruning thresholds), so the classical distributions produced for a batch of
+size 1 match the serial simulator bitwise; this is what lets the vectorized
+execution backend guarantee seed-identical results to the serial one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import BARRIER, GATE, INITIALIZE, MEASURE, RESET, Instruction
+from repro.utils.linalg import expand_operator
+
+__all__ = ["BatchedDensityMatrixSimulator", "structure_signature"]
+
+#: Branch probabilities at or below this value are dropped from the final
+#: classical distribution (matches ``DensityMatrixSimulator.run``).
+_PRUNE_FINAL = 1e-15
+#: Measurement pieces whose probability is at or below this value across the
+#: whole batch are not tracked (matches ``DensityMatrixSimulator._apply_measure``).
+_PRUNE_MEASURE = 1e-16
+
+
+def _active_instructions(circuit: QuantumCircuit) -> list[Instruction]:
+    """Return the circuit's instructions with no-op barriers removed."""
+    return [ins for ins in circuit.instructions if ins.kind != BARRIER]
+
+
+def structure_signature(circuit: QuantumCircuit) -> tuple:
+    """Return a hashable key identifying the circuit's batchable structure.
+
+    Two circuits with equal signatures run the same instruction stream over
+    the same registers and differ at most in gate unitaries and ``initialize``
+    vectors — exactly the condition under which they can share one batched
+    execution.
+    """
+    ops = tuple(
+        (ins.kind, ins.qubits, ins.clbits, ins.condition, None if ins.matrix is None else ins.matrix.shape)
+        for ins in _active_instructions(circuit)
+    )
+    return (circuit.num_qubits, circuit.num_clbits, ops)
+
+
+def _stack_expand(matrices: list[np.ndarray], qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Expand one small operator per batch element into a ``(batch, dim, dim)`` stack.
+
+    Vectorised counterpart of :func:`~repro.utils.linalg.expand_operator`: the
+    same tensor embedding is applied to the whole stack at once, and because
+    the embedding only places (multiplies by 0/1) the input entries, each
+    slice is bitwise identical to the serial expansion.
+    """
+    qubits = list(qubits)
+    k = len(qubits)
+    batch = len(matrices)
+    stack = np.ascontiguousarray(matrices, dtype=complex)
+    op_tensor = stack.reshape([batch] + [2] * (2 * k))
+    identity = np.eye(2 ** (num_qubits - k), dtype=complex)
+    id_tensor = identity.reshape([2] * (2 * (num_qubits - k)))
+    full = np.tensordot(op_tensor, id_tensor, axes=0)
+    # Axes of `full`: 0 = batch, then k row-axes for `qubits`, k col-axes for
+    # `qubits`, then (n-k) row-axes for the rest, (n-k) col-axes for the rest
+    # (mirroring expand_operator, shifted by the leading batch axis).
+    rest = [q for q in range(num_qubits) if q not in qubits]
+    order = qubits + rest
+    row_axes = list(range(1, k + 1)) + list(range(2 * k + 1, 2 * k + 1 + (num_qubits - k)))
+    col_axes = list(range(k + 1, 2 * k + 1)) + list(
+        range(2 * k + 1 + (num_qubits - k), 2 * num_qubits + 1)
+    )
+    perm = np.argsort(order)
+    new_row_axes = [row_axes[p] for p in perm]
+    new_col_axes = [col_axes[p] for p in perm]
+    full = np.transpose(full, axes=[0] + new_row_axes + new_col_axes)
+    dim = 2**num_qubits
+    return np.ascontiguousarray(full.reshape(batch, dim, dim))
+
+
+def _all_equal(matrices: list[np.ndarray]) -> bool:
+    first = matrices[0]
+    return all(matrix is first or np.array_equal(matrix, first) for matrix in matrices[1:])
+
+
+class BatchedDensityMatrixSimulator:
+    """Exact branching density-matrix simulation of a batch of circuits.
+
+    All circuits handed to :meth:`run_group` must share the same
+    :func:`structure_signature`; callers group arbitrary circuit batches with
+    that key (see :class:`~repro.circuits.backends.VectorizedBackend`).
+    """
+
+    def run_group(self, circuits: Sequence[QuantumCircuit]) -> list[dict[str, float]]:
+        """Execute structurally identical ``circuits`` and return per-circuit
+        exact classical-outcome distributions (bitstring → probability)."""
+        if not circuits:
+            return []
+        signature = structure_signature(circuits[0])
+        for circuit in circuits[1:]:
+            if structure_signature(circuit) != signature:
+                raise SimulationError(
+                    "run_group requires structurally identical circuits; "
+                    f"{circuit.name!r} does not match {circuits[0].name!r}"
+                )
+        batch = len(circuits)
+        num_qubits = circuits[0].num_qubits
+        num_clbits = circuits[0].num_clbits
+        dim = 2**num_qubits
+
+        rho = np.zeros((batch, dim, dim), dtype=complex)
+        rho[:, 0, 0] = 1.0
+        # Branch table: classical value (tuple of bits) -> (batch, dim, dim) stack.
+        branches: dict[tuple[int, ...], np.ndarray] = {tuple([0] * num_clbits): rho}
+
+        streams = [_active_instructions(circuit) for circuit in circuits]
+        for position, template in enumerate(streams[0]):
+            matrices = [stream[position].matrix for stream in streams]
+            if template.kind == GATE:
+                branches = self._apply_gate(branches, template, matrices, num_qubits)
+            elif template.kind == MEASURE:
+                branches = self._apply_measure(branches, template, num_qubits)
+            elif template.kind == RESET:
+                branches = self._apply_reset(branches, template, num_qubits)
+            elif template.kind == INITIALIZE:
+                branches = self._apply_initialize(branches, template, matrices, num_qubits)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unsupported instruction kind {template.kind!r}")
+
+        return self._distributions(branches, batch)
+
+    # -- instruction handlers ---------------------------------------------------
+
+    @staticmethod
+    def _apply_gate(
+        branches: dict[tuple[int, ...], np.ndarray],
+        template: Instruction,
+        matrices: list[np.ndarray],
+        num_qubits: int,
+    ) -> dict[tuple[int, ...], np.ndarray]:
+        if _all_equal(matrices):
+            unitary = expand_operator(matrices[0], list(template.qubits), num_qubits)
+            unitary_dag = unitary.conj().T
+        else:
+            unitary = _stack_expand(matrices, template.qubits, num_qubits)
+            unitary_dag = unitary.conj().transpose(0, 2, 1)
+        updated: dict[tuple[int, ...], np.ndarray] = {}
+        for clbits, stack in branches.items():
+            if template.condition is not None:
+                clbit, value = template.condition
+                if clbits[clbit] != value:
+                    updated[clbits] = stack
+                    continue
+            updated[clbits] = unitary @ stack @ unitary_dag
+        return updated
+
+    @staticmethod
+    def _apply_measure(
+        branches: dict[tuple[int, ...], np.ndarray],
+        template: Instruction,
+        num_qubits: int,
+    ) -> dict[tuple[int, ...], np.ndarray]:
+        qubit = template.qubits[0]
+        clbit = template.clbits[0]
+        p0 = expand_operator(np.diag([1.0, 0.0]).astype(complex), [qubit], num_qubits)
+        p1 = expand_operator(np.diag([0.0, 1.0]).astype(complex), [qubit], num_qubits)
+        updated: dict[tuple[int, ...], np.ndarray] = {}
+        for clbits, stack in branches.items():
+            for outcome, projector in ((0, p0), (1, p1)):
+                piece = projector @ stack @ projector
+                traces = np.trace(piece, axis1=1, axis2=2).real
+                dead = traces <= _PRUNE_MEASURE
+                if np.all(dead):
+                    # This branch is impossible for every circuit in the batch
+                    # (e.g. a deterministic correction bit); skip it entirely.
+                    continue
+                if np.any(dead):
+                    # Zero the slices the serial simulator would have dropped,
+                    # so downstream merges see exactly its contributions.
+                    piece[dead] = 0.0
+                new_clbits = list(clbits)
+                new_clbits[clbit] = outcome
+                key = tuple(new_clbits)
+                if key in updated:
+                    updated[key] = updated[key] + piece
+                else:
+                    updated[key] = piece
+        return updated
+
+    @staticmethod
+    def _apply_reset(
+        branches: dict[tuple[int, ...], np.ndarray],
+        template: Instruction,
+        num_qubits: int,
+    ) -> dict[tuple[int, ...], np.ndarray]:
+        qubit = template.qubits[0]
+        k0 = expand_operator(np.array([[1, 0], [0, 0]], dtype=complex), [qubit], num_qubits)
+        k1 = expand_operator(np.array([[0, 1], [0, 0]], dtype=complex), [qubit], num_qubits)
+        k0_dag = k0.conj().T
+        k1_dag = k1.conj().T
+        return {
+            clbits: k0 @ stack @ k0_dag + k1 @ stack @ k1_dag
+            for clbits, stack in branches.items()
+        }
+
+    @staticmethod
+    def _apply_initialize(
+        branches: dict[tuple[int, ...], np.ndarray],
+        template: Instruction,
+        matrices: list[np.ndarray],
+        num_qubits: int,
+    ) -> dict[tuple[int, ...], np.ndarray]:
+        qubits = list(template.qubits)
+        dim_sub = 2 ** len(qubits)
+        targets = [np.asarray(matrix, dtype=complex).ravel() for matrix in matrices]
+        shared = _all_equal(targets)
+        basis = np.eye(dim_sub)
+        # One Kraus operator |target><j| per subsystem basis state j, expanded
+        # and accumulated in the same order as the serial simulator.
+        kraus: list[np.ndarray] = []
+        for j in range(dim_sub):
+            locals_j = [np.outer(target, basis[j]) for target in (targets[:1] if shared else targets)]
+            if shared:
+                kraus.append(expand_operator(locals_j[0], qubits, num_qubits))
+            else:
+                kraus.append(_stack_expand(locals_j, qubits, num_qubits))
+        updated: dict[tuple[int, ...], np.ndarray] = {}
+        for clbits, stack in branches.items():
+            total = None
+            for k in kraus:
+                k_dag = k.conj().T if k.ndim == 2 else k.conj().transpose(0, 2, 1)
+                piece = k @ stack @ k_dag
+                total = piece if total is None else total + piece
+            updated[clbits] = total
+        return updated
+
+    # -- result assembly --------------------------------------------------------
+
+    @staticmethod
+    def _distributions(
+        branches: dict[tuple[int, ...], np.ndarray], batch: int
+    ) -> list[dict[str, float]]:
+        ordered = sorted(branches.items(), key=lambda item: item[0])
+        keys = ["".join(str(b) for b in clbits) for clbits, _ in ordered]
+        # (num_branches, batch) probability matrix.
+        probabilities = np.stack(
+            [np.trace(stack, axis1=1, axis2=2).real for _, stack in ordered]
+        )
+        results: list[dict[str, float]] = []
+        for element in range(batch):
+            distribution = {
+                key: float(probabilities[row, element])
+                for row, key in enumerate(keys)
+                if probabilities[row, element] > _PRUNE_FINAL
+            }
+            results.append(distribution)
+        return results

@@ -25,7 +25,7 @@ from repro.circuits.instruction import (
     RESET,
     Instruction,
 )
-from repro.quantum.gates import gate_matrix
+from repro.quantum.gates import cached_gate_matrix
 from repro.utils.linalg import is_statevector, is_unitary
 
 __all__ = ["QuantumCircuit"]
@@ -105,7 +105,7 @@ class QuantumCircuit:
         """Append a named gate from the standard library."""
         if isinstance(qubits, (int, np.integer)):
             qubits = (int(qubits),)
-        matrix = gate_matrix(name, tuple(params))
+        matrix = cached_gate_matrix(name.lower(), tuple(float(p) for p in params))
         return self.append(
             Instruction(
                 kind=GATE,
@@ -311,6 +311,11 @@ class QuantumCircuit:
                 f"clbit mapping has {len(clbits)} entries, expected {other.num_clbits}"
             )
         target = self if inplace else self.copy()
+        if qubits == list(range(other.num_qubits)) and clbits == list(range(other.num_clbits)):
+            # Identity mapping: instructions are immutable, so share them.
+            for instruction in other._instructions:
+                target.append(instruction)
+            return target
         qubit_map = {i: q for i, q in enumerate(qubits)}
         clbit_map = {i: c for i, c in enumerate(clbits)}
         for instruction in other._instructions:

@@ -116,13 +116,25 @@ class Instruction:
         return replace(self, condition=(clbit, value))
 
     def remap(self, qubit_map: dict[int, int], clbit_map: dict[int, int] | None = None) -> "Instruction":
-        """Return a copy with qubit (and optionally clbit) indices remapped."""
+        """Return a copy with qubit (and optionally clbit) indices remapped.
+
+        Returns ``self`` unchanged when the mapping is the identity on every
+        index the instruction touches — instructions are immutable, so the
+        shared object is safe, and composition of already-aligned fragments
+        (the circuit builder's hot path) skips the dataclass copy.
+        """
         clbit_map = clbit_map or {}
         new_qubits = tuple(qubit_map.get(q, q) for q in self.qubits)
         new_clbits = tuple(clbit_map.get(c, c) for c in self.clbits)
         new_condition = self.condition
         if new_condition is not None:
             new_condition = (clbit_map.get(new_condition[0], new_condition[0]), new_condition[1])
+        if (
+            new_qubits == self.qubits
+            and new_clbits == self.clbits
+            and new_condition == self.condition
+        ):
+            return self
         return replace(self, qubits=new_qubits, clbits=new_clbits, condition=new_condition)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

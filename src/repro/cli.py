@@ -19,6 +19,9 @@ from pathlib import Path
 
 __all__ = ["main", "build_parser"]
 
+#: Names accepted by ``--backend`` (kept in sync with repro.circuits.backends).
+_BACKEND_CHOICES = ("serial", "vectorized", "process-pool")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser (exposed separately for testing)."""
@@ -33,6 +36,12 @@ def build_parser() -> argparse.ArgumentParser:
     figure6.add_argument("--states", type=int, default=None, help="override the number of random states")
     figure6.add_argument("--seed", type=int, default=2024)
     figure6.add_argument("--csv", type=str, default=None, help="write the result table to this CSV path")
+    figure6.add_argument(
+        "--backend",
+        choices=_BACKEND_CHOICES,
+        default="vectorized",
+        help="execution backend for the term-circuit simulations",
+    )
 
     overhead = subparsers.add_parser("overhead", help="print the overhead-vs-entanglement table")
     overhead.add_argument("--csv", type=str, default=None)
@@ -51,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     cut.add_argument("--shots", type=int, default=4000)
     cut.add_argument("--overlap", type=float, default=0.9, help="entanglement f(Φ_k) of the NME protocol")
     cut.add_argument("--seed", type=int, default=7)
+    cut.add_argument(
+        "--backend",
+        choices=_BACKEND_CHOICES,
+        default="serial",
+        help="execution backend for the term-circuit sampling",
+    )
 
     return parser
 
@@ -59,14 +74,14 @@ def _command_figure6(args: argparse.Namespace) -> int:
     from repro.experiments import Figure6Config, run_figure6, write_csv
 
     config = Figure6Config.paper() if args.paper else Figure6Config(seed=args.seed)
-    if args.states is not None:
-        config = Figure6Config(
-            num_states=args.states,
-            shot_grid=config.shot_grid,
-            overlaps=config.overlaps,
-            allocation=config.allocation,
-            seed=args.seed,
-        )
+    config = Figure6Config(
+        num_states=args.states if args.states is not None else config.num_states,
+        shot_grid=config.shot_grid,
+        overlaps=config.overlaps,
+        allocation=config.allocation,
+        seed=args.seed,
+        backend=args.backend,
+    )
     result = run_figure6(config)
     table = result.to_table()
     print(table.to_text())
@@ -138,7 +153,13 @@ def _command_cut(args: argparse.Namespace) -> int:
         ("teleportation", TeleportationWireCut()),
     ):
         result = estimate_cut_expectation(
-            circuit, location, protocol, observable, shots=args.shots, seed=args.seed
+            circuit,
+            location,
+            protocol,
+            observable,
+            shots=args.shots,
+            seed=args.seed,
+            backend=args.backend,
         )
         print(f"{name:<18}{result.kappa:>8.3f}{result.value:>12.4f}{result.error:>10.4f}")
     return 0

@@ -13,6 +13,7 @@ from repro.cutting.executor import (
     CutSamplingModel,
     TermSamplingModel,
     build_sampling_model,
+    build_sampling_models,
     cut_expectation_value,
     estimate_cut_expectation,
     exact_cut_expectation,
@@ -81,6 +82,7 @@ __all__ = [
     "cut_expectation_value",
     "exact_cut_expectation",
     "build_sampling_model",
+    "build_sampling_models",
     "CutSamplingModel",
     "TermSamplingModel",
     # overheads

@@ -15,8 +15,11 @@ Section IV of the paper:
 Two execution paths are provided:
 
 * :func:`estimate_cut_expectation` — the general path; every call samples the
-  term circuits afresh through :class:`~repro.circuits.shot_simulator.ShotSimulator`.
-* :class:`CutSamplingModel` (via :func:`build_sampling_model`) — a fast path
+  term circuits afresh through a
+  :class:`~repro.circuits.backends.SimulatorBackend` (``backend=`` selects
+  serial, vectorized or process-pool execution).
+* :class:`CutSamplingModel` (via :func:`build_sampling_model`, or
+  :func:`build_sampling_models` for whole workloads at once) — a fast path
   for parameter sweeps: the exact per-term outcome distributions are computed
   once and each subsequent estimate only needs binomial draws.  This is what
   the Figure-6 harness uses to evaluate 1000 input states × 6 entanglement
@@ -27,19 +30,19 @@ Two execution paths are provided:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import CuttingError
+from repro.circuits.backends import SimulatorBackend, resolve_backend
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.density_matrix_simulator import DensityMatrixSimulator
 from repro.circuits.expectation import _BASIS_CHANGE, exact_expectation
-from repro.circuits.shot_simulator import ShotSimulator
 from repro.cutting.base import WireCutProtocol
 from repro.cutting.cutter import CutLocation, CutTermCircuit, build_cut_circuits
 from repro.qpd.allocation import allocate_shots
-from repro.qpd.estimator import QPDEstimate, TermEstimate, combine_term_estimates
+from repro.qpd.estimator import QPDEstimate, TermEstimate, combine_term_estimates, combine_term_means
 from repro.quantum.paulis import PauliString
 from repro.quantum.states import Statevector
 from repro.utils.rng import SeedLike, as_generator
@@ -48,6 +51,7 @@ __all__ = [
     "CutExpectationResult",
     "estimate_cut_expectation",
     "build_sampling_model",
+    "build_sampling_models",
     "CutSamplingModel",
     "TermSamplingModel",
     "cut_expectation_value",
@@ -149,7 +153,7 @@ def _measured_term_circuit(
 
 
 # ---------------------------------------------------------------------------
-# General (shot-simulator) path
+# General (backend) path
 # ---------------------------------------------------------------------------
 
 
@@ -163,6 +167,7 @@ def estimate_cut_expectation(
     seed: SeedLike = None,
     method: str = "exact",
     compute_exact: bool = True,
+    backend: SimulatorBackend | str | None = None,
 ) -> CutExpectationResult:
     """Estimate ``⟨O⟩`` of ``circuit`` with the wire at ``location`` cut by ``protocol``.
 
@@ -184,9 +189,12 @@ def estimate_cut_expectation(
     seed:
         Seed or generator for all sampling.
     method:
-        Shot-simulator method (``exact`` or ``trajectory``).
+        Shot-simulator method (``exact`` or ``trajectory``; serial backend only).
     compute_exact:
         Also compute the exact uncut value for error reporting.
+    backend:
+        Execution backend (name or instance); ``None`` selects the serial
+        backend.  All backends yield identical results for the same seed.
     """
     rng = as_generator(seed)
     pauli = _as_pauli(observable, circuit.num_qubits)
@@ -194,23 +202,27 @@ def estimate_cut_expectation(
     shots_per_term = allocate_shots(decomposition.probabilities, shots, strategy=allocation, seed=rng)
 
     term_circuits = build_cut_circuits(circuit, location, protocol)
-    simulator = ShotSimulator(method=method)
-    term_estimates: list[TermEstimate] = []
-    for term_circuit, term_shots in zip(term_circuits, shots_per_term):
-        if term_shots == 0:
-            term_estimates.append(
-                TermEstimate(
-                    coefficient=term_circuit.coefficient,
-                    mean=0.0,
-                    shots=0,
-                    label=term_circuit.term.label,
-                )
-            )
-            continue
+    exec_backend = resolve_backend(backend, method=method)
+    measured_circuits: list[QuantumCircuit] = []
+    selected_clbits: list[list[int]] = []
+    for term_circuit in term_circuits:
         measured, observable_clbits = _measured_term_circuit(term_circuit, pauli)
-        counts = simulator.run(measured, shots=int(term_shots), seed=rng)
-        selected = list(observable_clbits) + list(term_circuit.sign_clbits)
-        mean = counts.expectation_z(selected) if selected else 1.0
+        measured_circuits.append(measured)
+        selected_clbits.append(list(observable_clbits) + list(term_circuit.sign_clbits))
+
+    counts_per_term = exec_backend.run_batch(
+        measured_circuits, [int(s) for s in shots_per_term], seed=rng
+    )
+    term_estimates: list[TermEstimate] = []
+    for term_circuit, term_shots, counts, selected in zip(
+        term_circuits, shots_per_term, counts_per_term, selected_clbits
+    ):
+        if term_shots == 0:
+            mean = 0.0
+        elif selected:
+            mean = counts.expectation_z(selected)
+        else:
+            mean = 1.0
         term_estimates.append(
             TermEstimate(
                 coefficient=term_circuit.coefficient,
@@ -335,6 +347,38 @@ class CutSamplingModel:
             exact_value=self.exact_value,
         )
 
+    def estimate_sweep(
+        self,
+        shot_grid: Sequence[int],
+        allocation: str = "proportional",
+        seed: SeedLike = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Estimate once per budget in ``shot_grid`` with vectorised draws.
+
+        Every (budget, term) cell draws its binomial successes in one batched
+        NumPy call and the recombination runs through
+        :func:`~repro.qpd.estimator.combine_term_means`, so sweeping a shot
+        grid costs a handful of array operations instead of
+        ``len(shot_grid) × num_terms`` Python-level samples.
+
+        Returns
+        -------
+        tuple[numpy.ndarray, numpy.ndarray]
+            ``(values, standard_errors)`` arrays of length ``len(shot_grid)``.
+        """
+        rng = as_generator(seed)
+        coefficients = np.array([t.coefficient for t in self.terms])
+        p_plus = np.array([t.probability_plus for t in self.terms])
+        shots_matrix = np.stack(
+            [allocate_shots(self.probabilities, int(s), strategy=allocation, seed=rng) for s in shot_grid]
+        )
+        successes = rng.binomial(shots_matrix, p_plus)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            means = np.where(
+                shots_matrix > 0, 2.0 * successes / np.maximum(shots_matrix, 1) - 1.0, 0.0
+            )
+        return combine_term_means(coefficients, means, shots_matrix)
+
     def expected_pairs(self, shots: int, allocation: str = "proportional") -> float:
         """Expected number of entangled pairs consumed by a ``shots``-shot estimate."""
         shots_per_term = allocate_shots(self.probabilities, shots, strategy=allocation)
@@ -347,43 +391,106 @@ class CutSamplingModel:
         )
 
 
+def _probability_plus(distribution: dict[str, float], selected: list[int]) -> float:
+    """Exact probability of a +1 signed outcome (even parity of the selected bits)."""
+    probability_plus = 0.0
+    for bitstring, probability in distribution.items():
+        parity = sum(int(bitstring[c]) for c in selected) % 2
+        if parity == 0:
+            probability_plus += probability
+    return float(min(max(probability_plus, 0.0), 1.0))
+
+
+def build_sampling_models(
+    circuits: Sequence[QuantumCircuit],
+    locations: CutLocation | Sequence[CutLocation],
+    protocol: WireCutProtocol,
+    observable: str | PauliString = "Z",
+    backend: SimulatorBackend | str | None = None,
+) -> list[CutSamplingModel]:
+    """Build one :class:`CutSamplingModel` per input circuit in a single batch.
+
+    All term circuits of all inputs are submitted to the execution backend as
+    one batch, so with the vectorized backend an entire workload (e.g. the
+    1000 input states of Figure 6) is simulated as a handful of stacked NumPy
+    computations rather than thousands of individual runs.
+
+    Parameters
+    ----------
+    circuits:
+        The (uncut) circuits to model.
+    locations:
+        One cut location shared by all circuits, or one per circuit.
+    protocol:
+        The wire-cut protocol providing the QPD.
+    observable:
+        Pauli observable (as in :func:`estimate_cut_expectation`).
+    backend:
+        Execution backend (name or instance); ``None`` selects the serial
+        backend.
+    """
+    if isinstance(locations, CutLocation):
+        locations = [locations] * len(circuits)
+    if len(locations) != len(circuits):
+        raise CuttingError(
+            f"got {len(circuits)} circuits but {len(locations)} cut locations"
+        )
+    exec_backend = resolve_backend(backend)
+
+    measured_circuits: list[QuantumCircuit] = []
+    term_metadata: list[list[tuple[CutTermCircuit, list[int]]]] = []
+    paulis = []
+    for circuit, location in zip(circuits, locations):
+        pauli = _as_pauli(observable, circuit.num_qubits)
+        paulis.append(pauli)
+        per_circuit = []
+        for term_circuit in build_cut_circuits(circuit, location, protocol):
+            measured, observable_clbits = _measured_term_circuit(term_circuit, pauli)
+            measured_circuits.append(measured)
+            per_circuit.append(
+                (term_circuit, list(observable_clbits) + list(term_circuit.sign_clbits))
+            )
+        term_metadata.append(per_circuit)
+
+    distributions = exec_backend.exact_distributions(measured_circuits)
+
+    models: list[CutSamplingModel] = []
+    cursor = 0
+    for circuit, pauli, per_circuit in zip(circuits, paulis, term_metadata):
+        terms = []
+        for term_circuit, selected in per_circuit:
+            terms.append(
+                TermSamplingModel(
+                    coefficient=term_circuit.coefficient,
+                    probability_plus=_probability_plus(distributions[cursor], selected),
+                    label=term_circuit.term.label,
+                    consumes_entangled_pair=term_circuit.term.consumes_entangled_pair,
+                )
+            )
+            cursor += 1
+        exact_value = exact_expectation(circuit, pauli.to_matrix())
+        models.append(
+            CutSamplingModel(
+                terms=tuple(terms), exact_value=float(exact_value), protocol_name=protocol.name
+            )
+        )
+    return models
+
+
 def build_sampling_model(
     circuit: QuantumCircuit,
     location: CutLocation,
     protocol: WireCutProtocol,
     observable: str | PauliString = "Z",
+    backend: SimulatorBackend | str | None = None,
 ) -> CutSamplingModel:
     """Compute the exact per-term outcome distributions for a cut.
 
-    One branching density-matrix simulation is performed per term circuit;
-    the resulting classical distributions give the exact probability of a +1
-    signed outcome per term.
+    One exact simulation is performed per term circuit (batched and cached
+    when the vectorized backend is selected); the resulting classical
+    distributions give the exact probability of a +1 signed outcome per term.
     """
-    pauli = _as_pauli(observable, circuit.num_qubits)
-    term_circuits = build_cut_circuits(circuit, location, protocol)
-    simulator = DensityMatrixSimulator()
-    models = []
-    for term_circuit in term_circuits:
-        measured, observable_clbits = _measured_term_circuit(term_circuit, pauli)
-        result = simulator.run(measured)
-        selected = list(observable_clbits) + list(term_circuit.sign_clbits)
-        probability_plus = 0.0
-        for bitstring, probability in result.classical_distribution().items():
-            parity = sum(int(bitstring[c]) for c in selected) % 2
-            if parity == 0:
-                probability_plus += probability
-        models.append(
-            TermSamplingModel(
-                coefficient=term_circuit.coefficient,
-                probability_plus=float(min(max(probability_plus, 0.0), 1.0)),
-                label=term_circuit.term.label,
-                consumes_entangled_pair=term_circuit.term.consumes_entangled_pair,
-            )
-        )
-    exact_value = exact_expectation(circuit, pauli.to_matrix())
-    return CutSamplingModel(
-        terms=tuple(models), exact_value=float(exact_value), protocol_name=protocol.name
-    )
+    return build_sampling_models([circuit], location, protocol, observable, backend=backend)[0]
 
 
 def exact_cut_expectation(
@@ -391,6 +498,7 @@ def exact_cut_expectation(
     location: CutLocation,
     protocol: WireCutProtocol,
     observable: str | PauliString = "Z",
+    backend: SimulatorBackend | str | None = None,
 ) -> float:
     """Return the cut estimator's exact (infinite-shot) value.
 
@@ -398,7 +506,7 @@ def exact_cut_expectation(
     the agreement of the two as an end-to-end correctness check of the
     circuit-level gadgets.
     """
-    model = build_sampling_model(circuit, location, protocol, observable)
+    model = build_sampling_model(circuit, location, protocol, observable, backend=backend)
     return model.exact_cut_value()
 
 
@@ -426,6 +534,7 @@ def cut_expectation_value(
     allocation: str = "proportional",
     seed: SeedLike = None,
     method: str = "exact",
+    backend: SimulatorBackend | str | None = None,
 ) -> CutExpectationResult:
     """Estimate ``⟨O⟩`` of a single-qubit ``state`` transmitted through a cut wire.
 
@@ -444,4 +553,5 @@ def cut_expectation_value(
         allocation=allocation,
         seed=seed,
         method=method,
+        backend=backend,
     )

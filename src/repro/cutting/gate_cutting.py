@@ -36,7 +36,6 @@ import numpy as np
 
 from repro.exceptions import CuttingError
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.density_matrix_simulator import DensityMatrixSimulator
 from repro.circuits.expectation import _BASIS_CHANGE, exact_expectation
 from repro.circuits.shot_simulator import ShotSimulator
 from repro.qpd.allocation import allocate_shots

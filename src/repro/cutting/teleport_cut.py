@@ -8,8 +8,6 @@ statistics of the final measurement.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.circuits.circuit import QuantumCircuit
 from repro.cutting.base import GadgetWiring, WireCutProtocol, WireCutTerm
 from repro.cutting.overhead import teleportation_overhead

@@ -43,9 +43,9 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.cutting.base import GadgetWiring, WireCutProtocol, WireCutTerm
 from repro.cutting.nme_cut import nme_coefficients
 from repro.cutting.overhead import nme_overhead
-from repro.quantum.bell import bell_state, phi_k_density, phi_k_state
+from repro.quantum.bell import bell_state, phi_k_density
 from repro.quantum.channels import QuantumChannel
-from repro.quantum.gates import H, S, X
+from repro.quantum.gates import H, S
 from repro.qpd.decomposition import QuasiProbDecomposition
 from repro.qpd.terms import QPDTerm
 from repro.teleport.protocol import bell_measurement, prepare_phi_k, teleportation_corrections

@@ -12,11 +12,14 @@ The paper's experiment (Section IV):
   states, per shot budget and entanglement level.
 
 The harness below evaluates exactly this.  For every (state, entanglement)
-pair the exact per-term outcome distributions are computed once
-(:func:`repro.cutting.executor.build_sampling_model`); estimates at each shot
-budget are then produced by sampling those distributions, which is
-statistically identical to re-running the shot simulator and keeps the full
-paper-scale configuration tractable on a laptop.
+pair the exact per-term outcome distributions are computed once — batched
+across the whole workload through the configured execution backend
+(:func:`repro.cutting.executor.build_sampling_models`; the default
+``vectorized`` backend stacks all structurally identical term circuits into
+single NumPy computations).  Estimates at each shot budget are then produced
+by sampling those distributions, which is statistically identical to
+re-running the shot simulator and keeps the full paper-scale configuration
+tractable on a laptop.
 """
 
 from __future__ import annotations
@@ -26,8 +29,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ExperimentError
+from repro.circuits.backends import BACKEND_NAMES
 from repro.cutting.cutter import CutLocation
-from repro.cutting.executor import build_sampling_model
+from repro.cutting.executor import build_sampling_models
 from repro.cutting.nme_cut import NMEWireCut
 from repro.cutting.teleport_cut import TeleportationWireCut
 from repro.experiments.records import SweepTable
@@ -55,6 +59,7 @@ class Figure6Config:
     overlaps: tuple[float, ...] = PAPER_OVERLAPS
     allocation: str = "proportional"
     seed: int = 2024
+    backend: str = "vectorized"
 
     @classmethod
     def paper(cls) -> "Figure6Config":
@@ -81,6 +86,10 @@ class Figure6Config:
         for f in self.overlaps:
             if not 0.5 <= f <= 1.0:
                 raise ExperimentError(f"overlap {f} outside [0.5, 1.0]")
+        if self.backend not in BACKEND_NAMES:
+            raise ExperimentError(
+                f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
+            )
 
 
 @dataclass(frozen=True)
@@ -131,6 +140,7 @@ class Figure6Result:
                 "num_states": self.config.num_states,
                 "allocation": self.config.allocation,
                 "seed": self.config.seed,
+                "backend": self.config.backend,
             },
         )
 
@@ -164,18 +174,21 @@ def run_figure6(config: Figure6Config | None = None, seed: SeedLike = None) -> F
     mean_errors = np.zeros((len(config.overlaps), len(config.shot_grid)))
     kappas = []
 
+    circuits = [state_preparation_circuit(unitary) for unitary in workload.unitaries]
+    locations = [CutLocation(qubit=0, position=len(circuit)) for circuit in circuits]
+
     for overlap_index, overlap in enumerate(config.overlaps):
         protocol = _protocol_for_overlap(overlap)
         kappas.append(protocol.kappa)
+        models = build_sampling_models(
+            circuits, locations, protocol, observable="Z", backend=config.backend
+        )
         errors = np.zeros((config.num_states, len(config.shot_grid)))
-        for state_index, unitary in enumerate(workload.unitaries):
-            circuit = state_preparation_circuit(unitary)
-            location = CutLocation(qubit=0, position=len(circuit))
-            model = build_sampling_model(circuit, location, protocol, observable="Z")
-            state_rng = state_rngs[state_index]
-            for shot_index, shots in enumerate(config.shot_grid):
-                result = model.estimate(shots, allocation=config.allocation, seed=state_rng)
-                errors[state_index, shot_index] = abs(result.value - model.exact_value)
+        for state_index, model in enumerate(models):
+            values, _ = model.estimate_sweep(
+                config.shot_grid, allocation=config.allocation, seed=state_rngs[state_index]
+            )
+            errors[state_index] = np.abs(values - model.exact_value)
         mean_errors[overlap_index] = errors.mean(axis=0)
 
     return Figure6Result(

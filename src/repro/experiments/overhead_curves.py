@@ -9,7 +9,9 @@ Three tables are produced:
   optimum" claim.
 * :func:`protocol_comparison` — the κ, κ² and entangled-pair consumption of
   the four implemented protocols (Peng, Harada, NME at several levels,
-  teleportation).
+  teleportation), plus a mechanical exactness check: every protocol's QPD is
+  reconstructed end-to-end through the configured execution backend and
+  compared against the directly simulated expectation value.
 * :func:`resource_consumption` — the end-of-Section-III relation for the
   expected number of entangled pairs.
 """
@@ -18,6 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.circuits.backends import SimulatorBackend
+from repro.circuits.expectation import exact_expectation
+from repro.cutting.cutter import CutLocation
+from repro.cutting.executor import exact_cut_expectation
 from repro.cutting.nme_cut import NMEWireCut
 from repro.cutting.overhead import (
     expected_pairs_per_shot,
@@ -32,6 +38,7 @@ from repro.cutting.peng_cut import PengWireCut
 from repro.cutting.standard_cut import HaradaWireCut
 from repro.cutting.teleport_cut import TeleportationWireCut
 from repro.experiments.records import SweepTable
+from repro.experiments.workloads import random_single_qubit_states, state_preparation_circuit
 from repro.quantum.bell import k_from_overlap, overlap_from_k
 
 __all__ = ["overhead_vs_entanglement", "protocol_comparison", "resource_consumption"]
@@ -61,8 +68,18 @@ def overhead_vs_entanglement(
     return SweepTable(name="overhead_vs_entanglement", columns=columns)
 
 
-def protocol_comparison() -> SweepTable:
-    """Compare κ, κ² and pair consumption across the implemented protocols."""
+def protocol_comparison(backend: SimulatorBackend | str | None = "vectorized") -> SweepTable:
+    """Compare κ, κ² and pair consumption across the implemented protocols.
+
+    Each row also carries ``reconstruction_error``: the deviation of the
+    protocol's exact QPD reconstruction — executed through ``backend`` on a
+    fixed Haar-random test state — from the directly simulated ``⟨Z⟩``.  A
+    valid protocol reconstructs exactly, so this column should be ~1e-15.
+    """
+    workload = random_single_qubit_states(1, seed=1234)
+    test_circuit = state_preparation_circuit(workload.unitaries[0])
+    test_location = CutLocation(0, len(test_circuit))
+    reference = exact_expectation(test_circuit, np.diag([1.0, -1.0]).astype(complex))
     protocols = [
         ("peng", PengWireCut(), peng_overhead()),
         ("harada", HaradaWireCut(), harada_overhead()),
@@ -78,6 +95,7 @@ def protocol_comparison() -> SweepTable:
         "shot_overhead": [],
         "num_terms": [],
         "uses_entanglement": [],
+        "reconstruction_error": [],
     }
     for name, protocol, theory in protocols:
         columns["protocol"].append(name)
@@ -88,6 +106,10 @@ def protocol_comparison() -> SweepTable:
         columns["uses_entanglement"].append(
             any(getattr(t, "consumes_entangled_pair", False) for t in protocol.terms)
         )
+        reconstructed = exact_cut_expectation(
+            test_circuit, test_location, protocol, "Z", backend=backend
+        )
+        columns["reconstruction_error"].append(abs(reconstructed - reference))
     return SweepTable(name="protocol_comparison", columns=columns)
 
 

@@ -16,8 +16,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ExperimentError
+from repro.circuits.backends import BACKEND_NAMES
 from repro.cutting.cutter import CutLocation
-from repro.cutting.executor import build_sampling_model
+from repro.cutting.executor import build_sampling_models
 from repro.cutting.nme_cut import NMEWireCut
 from repro.cutting.teleport_cut import TeleportationWireCut
 from repro.experiments.records import SweepTable
@@ -45,6 +46,8 @@ class ShotsToTargetConfig:
         is below the target is reported (``None`` when none suffices).
     seed:
         Master seed.
+    backend:
+        Execution backend used to build the exact sampling models.
     """
 
     target_error: float = 0.05
@@ -52,6 +55,7 @@ class ShotsToTargetConfig:
     num_states: int = 40
     candidate_budgets: tuple[int, ...] = (100, 200, 400, 800, 1600, 3200, 6400, 12800)
     seed: int = 77
+    backend: str = "vectorized"
 
     def validate(self) -> None:
         """Raise :class:`ExperimentError` on invalid settings."""
@@ -64,6 +68,10 @@ class ShotsToTargetConfig:
         for f in self.overlaps:
             if not 0.5 <= f <= 1.0:
                 raise ExperimentError(f"overlap {f} outside [0.5, 1.0]")
+        if self.backend not in BACKEND_NAMES:
+            raise ExperimentError(
+                f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
+            )
 
 
 def shots_to_target_error(
@@ -81,6 +89,8 @@ def shots_to_target_error(
     rng = as_generator(config.seed if seed is None else seed)
     workload = random_single_qubit_states(config.num_states, seed=rng)
 
+    circuits = [state_preparation_circuit(unitary) for unitary in workload.unitaries]
+    locations = [CutLocation(0, len(circuit)) for circuit in circuits]
     models_per_overlap: dict[float, list] = {}
     kappas: dict[float, float] = {}
     for overlap in config.overlaps:
@@ -88,11 +98,9 @@ def shots_to_target_error(
             TeleportationWireCut() if abs(overlap - 1.0) < 1e-12 else NMEWireCut(k_from_overlap(overlap))
         )
         kappas[overlap] = protocol.kappa
-        models = []
-        for unitary in workload.unitaries:
-            circuit = state_preparation_circuit(unitary)
-            models.append(build_sampling_model(circuit, CutLocation(0, len(circuit)), protocol, "Z"))
-        models_per_overlap[overlap] = models
+        models_per_overlap[overlap] = build_sampling_models(
+            circuits, locations, protocol, "Z", backend=config.backend
+        )
 
     baseline_kappa = min(kappas.values())
     columns: dict[str, list] = {
@@ -127,5 +135,6 @@ def shots_to_target_error(
             "target_error": config.target_error,
             "num_states": config.num_states,
             "seed": config.seed,
+            "backend": config.backend,
         },
     )

@@ -6,6 +6,7 @@ from repro.qpd.estimator import (
     QPDEstimate,
     TermEstimate,
     combine_term_estimates,
+    combine_term_means,
     single_stream_estimate,
 )
 from repro.qpd.superop import (
@@ -23,6 +24,7 @@ __all__ = [
     "TermEstimate",
     "QPDEstimate",
     "combine_term_estimates",
+    "combine_term_means",
     "single_stream_estimate",
     "apply_superoperator",
     "superoperator_of_matrix_pair",

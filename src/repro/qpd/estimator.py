@@ -22,7 +22,13 @@ import numpy as np
 
 from repro.exceptions import DecompositionError
 
-__all__ = ["TermEstimate", "QPDEstimate", "combine_term_estimates", "single_stream_estimate"]
+__all__ = [
+    "TermEstimate",
+    "QPDEstimate",
+    "combine_term_estimates",
+    "combine_term_means",
+    "single_stream_estimate",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +118,59 @@ def combine_term_estimates(term_estimates: list[TermEstimate] | tuple[TermEstima
         kappa=float(kappa),
         term_estimates=tuple(term_estimates),
     )
+
+
+def combine_term_means(
+    coefficients: np.ndarray,
+    means: np.ndarray,
+    shots: np.ndarray,
+    variances: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised recombination of batches of per-term means (Eq. 12).
+
+    The batched counterpart of :func:`combine_term_estimates` for parameter
+    sweeps: ``means`` and ``shots`` carry the term axis last and any number of
+    leading batch axes (e.g. ``(num_budgets, num_terms)``), and the estimator
+    value plus propagated standard error are computed for every batch element
+    in one NumPy pass.
+
+    Parameters
+    ----------
+    coefficients:
+        Coefficient vector ``c_i`` of the decomposition, shape ``(num_terms,)``.
+    means:
+        Empirical per-term means, shape ``(..., num_terms)``.
+    shots:
+        Shots spent per term, broadcastable to the shape of ``means``.  Terms
+        with zero shots contribute nothing (mirroring the serial combiner).
+    variances:
+        Optional per-shot variances; defaults to the Bernoulli bound
+        ``1 − mean²``.
+
+    Returns
+    -------
+    tuple[numpy.ndarray, numpy.ndarray]
+        ``(values, standard_errors)`` with the batch shape of ``means`` minus
+        the trailing term axis.
+    """
+    coefficients = np.asarray(coefficients, dtype=float)
+    if coefficients.ndim != 1 or coefficients.size == 0:
+        raise DecompositionError("coefficients must be a non-empty 1-D array")
+    means = np.asarray(means, dtype=float)
+    shots = np.broadcast_to(np.asarray(shots, dtype=float), means.shape)
+    if means.shape[-1] != coefficients.size:
+        raise DecompositionError(
+            f"means have {means.shape[-1]} terms, coefficients have {coefficients.size}"
+        )
+    if variances is None:
+        variances = np.maximum(1.0 - means**2, 0.0)
+    else:
+        variances = np.maximum(np.broadcast_to(np.asarray(variances, dtype=float), means.shape), 0.0)
+    sampled = shots > 0
+    values = np.sum(np.where(sampled, coefficients * means, 0.0), axis=-1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_term = np.where(sampled, coefficients**2 * variances / np.where(sampled, shots, 1.0), 0.0)
+    return values, np.sqrt(np.sum(per_term, axis=-1))
 
 
 def single_stream_estimate(

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import DimensionError, StateError
+from repro.exceptions import DimensionError
 from repro.quantum.partial import partial_transpose
 from repro.quantum.states import DensityMatrix, Statevector
 from repro.utils.linalg import num_qubits_from_dim

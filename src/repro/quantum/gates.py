@@ -13,6 +13,8 @@ controlled-NOT with the *first* tensor factor as control.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.exceptions import GateError
@@ -45,6 +47,7 @@ __all__ = [
     "rzz",
     "controlled",
     "gate_matrix",
+    "cached_gate_matrix",
     "GATE_ALIASES",
     "PAULI_MATRICES",
 ]
@@ -278,3 +281,18 @@ def gate_matrix(name: str, params: tuple[float, ...] = ()) -> np.ndarray:
             )
         return factory(*params)
     raise GateError(f"unknown gate {name!r}")
+
+
+@lru_cache(maxsize=1024)
+def cached_gate_matrix(name: str, params: tuple[float, ...] = ()) -> np.ndarray:
+    """Return a shared, read-only gate matrix for ``name`` with ``params``.
+
+    Unlike :func:`gate_matrix` the result must **not** be mutated (the array
+    is marked non-writeable).  Repeated gate constructions — the circuit
+    builder's hot path — get the same object back, which also lets the
+    batched simulator detect identical gates across a circuit batch by
+    object identity instead of elementwise comparison.
+    """
+    matrix = gate_matrix(name, params)
+    matrix.setflags(write=False)
+    return matrix

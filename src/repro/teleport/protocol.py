@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.exceptions import CircuitError
 from repro.circuits.circuit import QuantumCircuit
-from repro.quantum.bell import phi_k_state
 from repro.quantum.states import Statevector
 
 __all__ = [

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn_generators", "SeedLike"]
+__all__ = ["as_generator", "spawn_generators", "spawn_seed_sequences", "SeedLike"]
 
 #: Types accepted wherever a seed is expected.
 SeedLike = int | np.random.Generator | np.random.SeedSequence | None
@@ -29,12 +29,13 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
-    """Return ``count`` statistically independent child generators.
+def spawn_seed_sequences(seed: SeedLike, count: int) -> list[np.random.SeedSequence]:
+    """Return ``count`` independent child :class:`~numpy.random.SeedSequence` objects.
 
-    Independent streams are required when workload items are evaluated in an
-    order-independent way (e.g. parameter sweeps) so that reordering the sweep
-    does not change per-item results.
+    This is the picklable form of :func:`spawn_generators`: execution backends
+    ship these to worker processes (or consume them in-process) so that every
+    circuit in a batch is sampled from the same per-circuit stream no matter
+    which backend, chunking or evaluation order is used.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -45,4 +46,14 @@ def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
         root = seed
     else:
         root = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in root.spawn(count)]
+    return list(root.spawn(count))
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Return ``count`` statistically independent child generators.
+
+    Independent streams are required when workload items are evaluated in an
+    order-independent way (e.g. parameter sweeps) so that reordering the sweep
+    does not change per-item results.
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)]

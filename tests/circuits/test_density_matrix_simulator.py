@@ -5,7 +5,7 @@ import pytest
 
 from repro.exceptions import SimulationError
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.density_matrix_simulator import DensityMatrixSimulator, simulate_density_matrix
+from repro.circuits.density_matrix_simulator import simulate_density_matrix
 from repro.quantum.measures import state_fidelity
 from repro.quantum.random import random_statevector
 from repro.quantum.states import DensityMatrix, Statevector

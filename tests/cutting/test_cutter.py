@@ -1,6 +1,5 @@
 """Unit tests for the circuit cutter (building per-term circuits)."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import CuttingError

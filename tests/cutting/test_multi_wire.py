@@ -1,6 +1,5 @@
 """Unit tests for cutting several wires of one circuit."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import CuttingError

@@ -1,6 +1,5 @@
 """End-to-end integration tests cutting wires inside realistic circuits."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import QuantumCircuit, exact_expectation

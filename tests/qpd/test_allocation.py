@@ -35,6 +35,36 @@ class TestProportional:
         assert np.array_equal(a, b)
 
 
+class TestBudgetSmallerThanTerms:
+    """Budgets below the number of QPD terms must be conserved exactly."""
+
+    @pytest.mark.parametrize("strategy", ALLOCATION_STRATEGIES)
+    @pytest.mark.parametrize("budget", [1, 2, 3, 5])
+    def test_budget_conserved(self, strategy, budget):
+        probabilities = np.array([0.3, 0.25, 0.2, 0.15, 0.07, 0.03])
+        shots = allocate_shots(probabilities, budget, strategy=strategy, seed=11)
+        assert shots.sum() == budget
+        assert np.all(shots >= 0)
+
+    def test_proportional_prefers_heavy_terms(self):
+        shots = allocate_shots(np.array([0.6, 0.25, 0.1, 0.05]), 2)
+        assert shots.sum() == 2
+        # The two heaviest terms carry the whole budget.
+        assert shots[0] >= 1 and shots[3] == 0
+
+    def test_uniform_single_shot(self):
+        shots = allocate_shots(np.array([0.5, 0.3, 0.2]), 1, strategy="uniform")
+        assert shots.sum() == 1
+        assert np.count_nonzero(shots) == 1
+
+    def test_one_shot_per_strategy_no_double_count(self):
+        probabilities = np.array([0.4, 0.3, 0.3])
+        for strategy in ALLOCATION_STRATEGIES:
+            shots = allocate_shots(probabilities, 1, strategy=strategy, seed=5)
+            assert shots.sum() == 1
+            assert sorted(shots)[-2] == 0  # exactly one term holds the shot
+
+
 class TestMultinomial:
     def test_sums_to_total(self):
         shots = allocate_shots(np.array([0.7, 0.3]), 500, strategy="multinomial", seed=0)

@@ -10,7 +10,6 @@ from repro.quantum.paulis import (
     pauli_basis,
     pauli_decompose,
     pauli_expectation_from_counts,
-    pauli_matrix,
     pauli_reconstruct,
 )
 
