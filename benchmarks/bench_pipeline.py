@@ -1,0 +1,178 @@
+"""Performance benchmark of the multi-cut CutPipeline on the execution backends.
+
+Run with ``pytest benchmarks/bench_pipeline.py -q -s``.
+
+The workload is the pipeline's headline scenario: **2-cut plans** on GHZ and
+random layered circuits from :mod:`repro.experiments.workloads`, swept over
+entanglement levels and repeated seeds.  The GHZ plan is found automatically
+(three width-2 fragments); the random layered circuit — whose brick layers
+admit no cheap time slice — is cut with an explicit 2-cut chain on one wire,
+the same-wire double cut the multi-cut planner generalisation enables.
+Every product-term circuit goes through the
+:class:`~repro.circuits.backends.SimulatorBackend` seam, so the vectorized
+backend's distribution cache turns the repeated estimates of a sweep into
+pure binomial sampling while the serial backend re-simulates every term —
+that contrast is what the benchmark measures.
+
+``BENCH_pipeline.json`` is written next to the working directory (path
+overridable via ``REPRO_BENCH_OUT``) so CI can archive the pipeline speedup
+trajectory alongside the existing backend-speedup artifact.  Set
+``REPRO_BENCH_FULL=1`` to enforce the speedup floor (the default smoke run
+records it without asserting, so one noisy shared-runner sample cannot fail
+the build).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.circuits import DistributionCache, VectorizedBackend
+from repro.cutting import CutLocation
+from repro.experiments import ghz_circuit, random_layered_circuit
+from repro.pipeline import CutPipeline
+
+#: Entanglement levels f(Φ_k) swept per workload; None is the κ=3 free cut.
+OVERLAPS = (None, 0.9)
+#: Seeds per (workload, overlap) cell — repeats are where the cache pays off.
+SEEDS = (11, 12, 13)
+SHOTS = 2000
+MAX_FRAGMENT_WIDTH = 2
+
+
+def _workloads():
+    """Return (name, circuit, plan kwargs) benchmark cases, each a 2-cut plan.
+
+    GHZ is planned automatically under the width constraint (three width-2
+    fragments); the random layered circuit is cut with an explicit chain of
+    two cuts on wire 0.
+    """
+    random_circuit = random_layered_circuit(3, 2, seed=5, two_qubit_gate="cx")
+    return [
+        ("ghz_4", ghz_circuit(4), {}),
+        (
+            "random_3q_d2",
+            random_circuit,
+            {"locations": [CutLocation(qubit=0, position=1), CutLocation(qubit=0, position=4)]},
+        ),
+    ]
+
+
+def _run_sweep(backend):
+    """Run the full (workload × overlap × seed) sweep on one backend.
+
+    ``backend="vectorized"`` gets a fresh :class:`DistributionCache` so the
+    measurement is self-contained — the speedup must come from caching
+    *within* the sweep, not from state left behind by earlier tests sharing
+    the process-wide default cache.
+    """
+    if backend == "vectorized":
+        backend = VectorizedBackend(cache=DistributionCache())
+    records = []
+    for name, circuit, plan_kwargs in _workloads():
+        observable = "Z" * circuit.num_qubits
+        for overlap in OVERLAPS:
+            pipeline = CutPipeline(
+                max_fragment_width=MAX_FRAGMENT_WIDTH,
+                entanglement_overlap=overlap,
+                backend=backend,
+            )
+            plan_result = pipeline.plan(circuit, **plan_kwargs)
+            decomposition = pipeline.decompose(plan_result)
+            for seed in SEEDS:
+                execution = pipeline.execute(decomposition, observable, SHOTS, seed=seed)
+                result = pipeline.reconstruct(execution)
+                records.append(
+                    {
+                        "workload": name,
+                        "overlap": overlap,
+                        "seed": seed,
+                        "num_cuts": plan_result.num_cuts,
+                        "num_fragments": plan_result.num_fragments,
+                        "num_terms": decomposition.num_terms,
+                        "kappa": result.kappa,
+                        "value": result.value,
+                        "shots_per_term": list(execution.shots_per_term),
+                        "error": result.error,
+                    }
+                )
+    return records
+
+
+def test_pipeline_plans_are_two_cut():
+    """Both workloads run a 2-cut plan (the GHZ one with three fragments)."""
+    for name, circuit, plan_kwargs in _workloads():
+        pipeline = CutPipeline(max_fragment_width=MAX_FRAGMENT_WIDTH)
+        plan_result = pipeline.plan(circuit, **plan_kwargs)
+        assert plan_result.num_cuts == 2, f"{name}: expected a 2-cut plan"
+    ghz_plan = CutPipeline(max_fragment_width=MAX_FRAGMENT_WIDTH).plan(ghz_circuit(4))
+    assert ghz_plan.num_fragments == 3
+    assert all(fragment.width <= MAX_FRAGMENT_WIDTH for fragment in ghz_plan.plan.fragments)
+
+
+def test_benchmark_pipeline_vectorized_sweep(benchmark):
+    """Vectorized-backend wall clock of the full 2-cut pipeline sweep.
+
+    One round only: every call starts from a cold cache (see
+    :func:`_run_sweep`), so repeat rounds would re-pay the full simulation
+    cost without adding information.
+    """
+    records = benchmark.pedantic(_run_sweep, args=("vectorized",), rounds=1, iterations=1)
+    assert len(records) == len(_workloads()) * len(OVERLAPS) * len(SEEDS)
+
+
+def test_pipeline_backend_speedup():
+    """Vectorized beats serial on the repeated 2-cut sweep, with identical results.
+
+    With ``REPRO_BENCH_FULL=1`` a 1.5× floor is enforced; the default smoke
+    run keeps the result-identity checks hard but only records the measured
+    speedup.  ``BENCH_pipeline.json`` carries the numbers either way.
+    """
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+    start = time.perf_counter()
+    serial_records = _run_sweep("serial")
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    vectorized_records = _run_sweep("vectorized")
+    vectorized_seconds = time.perf_counter() - start
+
+    assert len(serial_records) == len(vectorized_records)
+    for serial_record, vectorized_record in zip(serial_records, vectorized_records):
+        assert serial_record["value"] == vectorized_record["value"], (
+            f"backend mismatch on {serial_record['workload']} "
+            f"overlap={serial_record['overlap']} seed={serial_record['seed']}"
+        )
+        assert serial_record["shots_per_term"] == vectorized_record["shots_per_term"]
+        assert serial_record["num_cuts"] == 2
+
+    speedup = serial_seconds / vectorized_seconds
+    record = {
+        "benchmark": "pipeline_backend_speedup",
+        "full_scale": full,
+        "workloads": [name for name, _, _ in _workloads()],
+        "overlaps": [o if o is not None else 0.5 for o in OVERLAPS],
+        "seeds_per_cell": len(SEEDS),
+        "shots": SHOTS,
+        "max_fragment_width": MAX_FRAGMENT_WIDTH,
+        "num_estimates": len(serial_records),
+        "serial_seconds": round(serial_seconds, 4),
+        "vectorized_seconds": round(vectorized_seconds, 4),
+        "speedup": round(speedup, 2),
+        "identical_results": True,
+    }
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_pipeline.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\npipeline 2-cut sweep speedup: {speedup:.1f}x "
+        f"(serial {serial_seconds:.2f}s, vectorized {vectorized_seconds:.2f}s) -> {out_path}"
+    )
+
+    if full:
+        assert speedup >= 1.5, (
+            f"pipeline vectorized speedup {speedup:.2f}x below the 1.5x floor "
+            f"(serial {serial_seconds:.2f}s, vectorized {vectorized_seconds:.2f}s)"
+        )

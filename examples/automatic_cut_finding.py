@@ -2,25 +2,23 @@
 
 Run with ``python examples/automatic_cut_finding.py``.
 
-A 6-qubit hardware-efficient chain circuit must be executed on devices with
-at most 4 qubits.  The cut finder enumerates time-slice cut plans, ranks them
-by sampling overhead, and the best plan is executed end-to-end with both the
-entanglement-free cut and the NME cut to compare the error at a fixed shot
-budget.
+A 4-qubit hardware-efficient chain circuit must be executed on devices with
+at most 2 qubits — too tight for any single bipartition, so the
+:class:`~repro.pipeline.CutPipeline` planner splits the circuit into three
+fragments with two wire cuts.  The plan is then executed end-to-end through
+the pipeline with both the entanglement-free cut and the NME cut to compare
+the error at a fixed shot budget.
 """
 
 import numpy as np
 
+from repro.exceptions import CuttingError
 from repro.circuits import QuantumCircuit, draw, exact_expectation
-from repro.cutting import (
-    HaradaWireCut,
-    NMEWireCut,
-    estimate_multi_cut_expectation,
-    find_time_slice_cuts,
-)
+from repro.cutting import HaradaWireCut, NMEWireCut
+from repro.pipeline import CutPipeline
 from repro.quantum import PauliString
 
-MAX_DEVICE_QUBITS = 4
+MAX_DEVICE_QUBITS = 2
 SHOTS = 20_000
 SEED = 3
 
@@ -38,41 +36,46 @@ def _chain_circuit(num_qubits: int, seed: int) -> QuantumCircuit:
 
 
 def main() -> None:
-    circuit = _chain_circuit(6, SEED)
-    observable = PauliString("ZZZZZZ")
-    print(f"Circuit: 6-qubit chain ansatz, {len(circuit)} instructions")
+    circuit = _chain_circuit(4, SEED)
+    observable = PauliString("ZZZZ")
+    print(f"Circuit: 4-qubit chain ansatz, {len(circuit)} instructions")
     print(draw(circuit))
     print()
 
-    plans = find_time_slice_cuts(circuit, max_fragment_width=MAX_DEVICE_QUBITS)
-    if not plans:
-        print("no valid cut plan under the device-width constraint")
+    pipeline = CutPipeline(max_fragment_width=MAX_DEVICE_QUBITS, backend="vectorized")
+    try:
+        plan_result = pipeline.plan(circuit)
+    except CuttingError as error:
+        print(f"no valid cut plan under the device-width constraint: {error}")
         return
-    print(f"{len(plans)} valid time-slice plans; best plans:")
-    for plan in plans[:3]:
+    print(f"{len(plan_result.alternatives)} valid plans; best plans:")
+    for plan in plan_result.alternatives[:3]:
         locations = [(loc.qubit, loc.position) for loc in plan.locations]
         print(
-            f"  cuts={locations}  widths=({plan.front_width}, {plan.back_width})"
+            f"  slices={plan.positions}  cuts={locations}"
+            f"  fragment widths={[f.width for f in plan.fragments]}"
             f"  overhead={plan.sampling_overhead:.1f}"
         )
 
-    best = plans[0]
+    best = plan_result.plan
     exact = exact_expectation(circuit, observable.to_matrix())
-    print(f"\nexecuting the best plan ({best.num_cuts} cut(s)); exact <Z...Z> = {exact:.4f}")
-    print(f"{'protocol':<18}{'kappa':>8}{'estimate':>12}{'error':>10}")
+    print(
+        f"\nexecuting the best plan ({best.num_cuts} cut(s), "
+        f"{best.num_fragments} fragments); exact <Z...Z> = {exact:.4f}"
+    )
+    print(f"{'protocol':<18}{'kappa':>8}{'terms':>8}{'estimate':>12}{'error':>10}")
     for name, protocol in (
         ("harada", HaradaWireCut()),
         ("nme f=0.9", NMEWireCut.from_overlap(0.9)),
     ):
-        result = estimate_multi_cut_expectation(
-            circuit,
-            list(best.locations),
-            [protocol] * best.num_cuts,
-            observable,
-            shots=SHOTS,
-            seed=SEED,
+        staged = CutPipeline(protocol=protocol, backend="vectorized")
+        decomposition = staged.decompose(plan_result)
+        execution = staged.execute(decomposition, observable, shots=SHOTS, seed=SEED)
+        result = staged.reconstruct(execution)
+        print(
+            f"{name:<18}{result.kappa:>8.3f}{decomposition.num_terms:>8}"
+            f"{result.value:>12.4f}{result.error:>10.4f}"
         )
-        print(f"{name:<18}{result.kappa:>8.3f}{result.value:>12.4f}{result.error:>10.4f}")
 
 
 if __name__ == "__main__":

@@ -5,21 +5,22 @@ Run with ``python examples/distributed_ghz.py``.
 A 4-qubit GHZ preparation circuit is cut on the wire between qubits 1 and 2,
 so that qubits 0-1 can run on one device and qubits 2-3 on another, connected
 only by classical communication (plus, for the NME protocols, one pre-shared
-entangled pair per teleportation shot).  The example estimates the GHZ
-parity observable ⟨Z Z Z Z⟩ (exactly 1 for the ideal state) through the cut
-and reports the error and resource usage per protocol.
+entangled pair per teleportation shot).  The cut is expressed as an explicit
+time-slice plan and executed through the
+:class:`~repro.pipeline.CutPipeline`; the example estimates the GHZ parity
+observable ⟨Z Z Z Z⟩ (exactly 1 for the ideal state) through the cut and
+reports the error and resource usage per protocol.
 """
 
 from repro.circuits import exact_expectation
 from repro.cutting import (
-    CutLocation,
     HaradaWireCut,
     NMEWireCut,
     PengWireCut,
     TeleportationWireCut,
-    estimate_cut_expectation,
 )
 from repro.experiments import ghz_circuit
+from repro.pipeline import CutPipeline
 from repro.quantum import PauliString
 
 SHOTS = 6000
@@ -31,15 +32,18 @@ def main() -> None:
     circuit = ghz_circuit(num_qubits)
     observable = PauliString("Z" * num_qubits)
 
-    # Cut the wire of qubit 1 right after the CX(1, 2) sender-side gate would
-    # need it — i.e. after instruction 2 (h, cx01, cx12): we cut between
-    # cx(0,1) and cx(1,2) so that the circuit splits into {q0,q1} and {q2,q3}.
-    cut_position = 2  # after h(0), cx(0,1)
-    location = CutLocation(qubit=1, position=cut_position)
+    # Cut between cx(0,1) and cx(1,2) — i.e. at time slice 2 — so that the
+    # circuit splits into {q0,q1} and {q2,q3}.  The plan stage turns the
+    # slice position into the wire cut (qubit 1 crosses the slice).
+    cut_positions = (2,)
 
     exact = exact_expectation(circuit, observable.to_matrix())
     print(f"4-qubit GHZ circuit, observable <ZZZZ>, exact value = {exact:.4f}")
-    print(f"cut: wire of qubit {location.qubit} after instruction {location.position}\n")
+
+    plan = CutPipeline().plan(circuit, positions=cut_positions).plan
+    locations = [(loc.qubit, loc.position) for loc in plan.locations]
+    widths = [fragment.width for fragment in plan.fragments]
+    print(f"plan: slices={plan.positions} cuts={locations} fragment widths={widths}\n")
     print(f"{'protocol':<22}{'kappa':>8}{'estimate':>12}{'error':>10}{'pairs/shot':>12}")
     print("-" * 64)
 
@@ -51,12 +55,12 @@ def main() -> None:
         ("teleportation", TeleportationWireCut()),
     ]
     for name, protocol in protocols:
-        result = estimate_cut_expectation(
-            circuit, location, protocol, observable=observable, shots=SHOTS, seed=SEED
+        pipeline = CutPipeline(protocol=protocol)
+        result = pipeline.run(
+            circuit, observable, shots=SHOTS, seed=SEED, plan=plan
         )
-        pairs = getattr(protocol, "expected_pairs_per_shot", lambda: 0.0)()
-        if isinstance(protocol, TeleportationWireCut):
-            pairs = 1.0
+        # Pairs actually consumed by this execution (one per teleport-term shot).
+        pairs = result.execution.entangled_pairs / result.total_shots
         print(
             f"{name:<22}{result.kappa:>8.3f}{result.value:>12.4f}"
             f"{result.error:>10.4f}{pairs:>12.3f}"

@@ -11,6 +11,9 @@ The package provides:
 * :mod:`repro.teleport` — quantum teleportation with arbitrary resource states,
 * :mod:`repro.cutting` — wire-cutting protocols, including the paper's NME
   wire cut (Theorem 2), plus baselines and extensions,
+* :mod:`repro.pipeline` — the :class:`~repro.pipeline.CutPipeline`
+  orchestration layer running plan → decompose → execute → reconstruct for
+  multi-cut workloads,
 * :mod:`repro.experiments` — the workloads and sweeps regenerating the
   paper's evaluation (Figure 6 and the analytic overhead relations).
 
@@ -35,6 +38,7 @@ from repro.cutting import (
     nme_overhead,
     optimal_overhead,
 )
+from repro.pipeline import CutPipeline
 from repro.quantum import DensityMatrix, Statevector
 
 __all__ = [
@@ -45,6 +49,7 @@ __all__ = [
     "HaradaWireCut",
     "PengWireCut",
     "TeleportationWireCut",
+    "CutPipeline",
     "cut_expectation_value",
     "optimal_overhead",
     "nme_overhead",

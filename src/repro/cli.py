@@ -7,8 +7,11 @@ Exposes the experiment harness without writing any Python:
 * ``overhead`` — print the Theorem-1 / Corollary-1 overhead table.
 * ``protocols`` — print the κ comparison of all implemented protocols.
 * ``resources`` — print the entangled-pair consumption table.
-* ``ablations`` — run the allocation / gate-vs-wire / noisy-resource ablations.
-* ``cut`` — cut a demo GHZ circuit and report the estimate per protocol.
+* ``ablations`` — run the allocation / gate-vs-wire / multi-cut /
+  noisy-resource ablations.
+* ``cut run`` — plan and execute a multi-cut :class:`~repro.pipeline.CutPipeline`
+  on a chosen workload under a device-width constraint.
+* ``cut demo`` — cut a demo GHZ circuit and report the estimate per protocol.
 """
 
 from __future__ import annotations
@@ -55,12 +58,52 @@ def build_parser() -> argparse.ArgumentParser:
     ablations.add_argument("--shots", type=int, default=2000)
     ablations.add_argument("--seed", type=int, default=11)
 
-    cut = subparsers.add_parser("cut", help="cut a GHZ demo circuit and compare protocols")
-    cut.add_argument("--qubits", type=int, default=4)
-    cut.add_argument("--shots", type=int, default=4000)
-    cut.add_argument("--overlap", type=float, default=0.9, help="entanglement f(Φ_k) of the NME protocol")
-    cut.add_argument("--seed", type=int, default=7)
-    cut.add_argument(
+    cut = subparsers.add_parser("cut", help="cut circuits (pipeline runner and demo)")
+    cut_commands = cut.add_subparsers(dest="cut_command", required=True)
+
+    cut_run = cut_commands.add_parser(
+        "run", help="plan and execute a multi-cut pipeline on a workload circuit"
+    )
+    cut_run.add_argument(
+        "--workload",
+        choices=("ghz", "random"),
+        default="ghz",
+        help="circuit family: GHZ preparation or a random layered circuit",
+    )
+    cut_run.add_argument("--qubits", type=int, default=4)
+    cut_run.add_argument("--depth", type=int, default=2, help="depth of the random workload")
+    cut_run.add_argument(
+        "--width", type=int, default=3, help="maximum fragment width (device size)"
+    )
+    cut_run.add_argument("--shots", type=int, default=4000)
+    cut_run.add_argument(
+        "--overlap",
+        type=float,
+        default=None,
+        help="entanglement f(Φ_k); omit for the entanglement-free κ=3 cut",
+    )
+    cut_run.add_argument(
+        "--allocation", choices=("proportional", "multinomial", "uniform"), default="proportional"
+    )
+    cut_run.add_argument("--max-cuts", type=int, default=None)
+    cut_run.add_argument("--seed", type=int, default=7)
+    cut_run.add_argument(
+        "--backend",
+        choices=_BACKEND_CHOICES,
+        default="vectorized",
+        help="execution backend for the term-circuit batches",
+    )
+
+    cut_demo = cut_commands.add_parser(
+        "demo", help="cut a GHZ demo circuit and compare protocols"
+    )
+    cut_demo.add_argument("--qubits", type=int, default=4)
+    cut_demo.add_argument("--shots", type=int, default=4000)
+    cut_demo.add_argument(
+        "--overlap", type=float, default=0.9, help="entanglement f(Φ_k) of the NME protocol"
+    )
+    cut_demo.add_argument("--seed", type=int, default=7)
+    cut_demo.add_argument(
         "--backend",
         choices=_BACKEND_CHOICES,
         default="serial",
@@ -118,6 +161,7 @@ def _command_ablations(args: argparse.Namespace) -> int:
     from repro.experiments import (
         allocation_strategy_ablation,
         gate_vs_wire_cut,
+        multi_cut_pipeline_ablation,
         noisy_resource_ablation,
     )
 
@@ -125,20 +169,80 @@ def _command_ablations(args: argparse.Namespace) -> int:
     print()
     print(gate_vs_wire_cut(shots=max(args.shots, 1000), seed=args.seed).to_text())
     print()
+    print(multi_cut_pipeline_ablation(shots=max(args.shots, 1000), seed=args.seed).to_text())
+    print()
     print(noisy_resource_ablation().to_text())
     return 0
 
 
 def _command_cut(args: argparse.Namespace) -> int:
+    if args.cut_command == "run":
+        return _command_cut_run(args)
+    return _command_cut_demo(args)
+
+
+def _command_cut_run(args: argparse.Namespace) -> int:
+    from repro.exceptions import CuttingError
+    from repro.experiments import ghz_circuit, random_layered_circuit
+    from repro.pipeline import CutPipeline
+
+    if args.workload == "ghz":
+        circuit = ghz_circuit(args.qubits)
+    else:
+        circuit = random_layered_circuit(args.qubits, args.depth, seed=args.seed)
+    observable = "Z" * args.qubits
+    try:
+        pipeline = CutPipeline(
+            max_fragment_width=args.width,
+            entanglement_overlap=args.overlap,
+            backend=args.backend,
+            allocation=args.allocation,
+            max_cuts=args.max_cuts,
+        )
+        plan_result = pipeline.plan(circuit)
+    except CuttingError as error:
+        print(f"planning failed: {error}")
+        return 1
+    plan = plan_result.plan
+    cuts = [(loc.qubit, loc.position) for loc in plan.locations]
+    widths = [fragment.width for fragment in plan.fragments]
+    print(
+        f"workload: {args.workload}({args.qubits}) — {len(circuit)} instructions, "
+        f"device width {args.width}"
+    )
+    print(
+        f"plan: slices={list(plan.positions)} cuts={cuts} fragment widths={widths} "
+        f"({len(plan_result.alternatives)} valid plans considered)"
+    )
+    decomposition = pipeline.decompose(plan_result)
+    print(
+        f"decomposition: {decomposition.num_terms} product terms, "
+        f"kappa={decomposition.kappa:.3f} (shot overhead kappa^2={decomposition.kappa**2:.2f})"
+    )
+    execution = pipeline.execute(decomposition, observable, shots=args.shots, seed=args.seed)
+    result = pipeline.reconstruct(execution)
+    pairs = f", consuming {execution.entangled_pairs} entangled pairs" if args.overlap else ""
+    print(
+        f"execute: {result.total_shots} shots over {len(execution.shots_per_term)} terms "
+        f"on the {execution.backend_name} backend{pairs}"
+    )
+    print(
+        f"reconstruct: <{observable}> = {result.value:.4f} ± {result.standard_error:.4f} "
+        f"(exact {result.exact_value:.4f}, error {result.error:.4f})"
+    )
+    return 0
+
+
+def _command_cut_demo(args: argparse.Namespace) -> int:
     from repro.cutting import (
         CutLocation,
         HaradaWireCut,
         NMEWireCut,
         PengWireCut,
         TeleportationWireCut,
-        estimate_cut_expectation,
     )
     from repro.experiments import ghz_circuit
+    from repro.pipeline import CutPipeline
     from repro.quantum import PauliString
 
     circuit = ghz_circuit(args.qubits)
@@ -152,14 +256,9 @@ def _command_cut(args: argparse.Namespace) -> int:
         (f"nme f={args.overlap}", NMEWireCut.from_overlap(args.overlap)),
         ("teleportation", TeleportationWireCut()),
     ):
-        result = estimate_cut_expectation(
-            circuit,
-            location,
-            protocol,
-            observable,
-            shots=args.shots,
-            seed=args.seed,
-            backend=args.backend,
+        pipeline = CutPipeline(protocol=protocol, backend=args.backend)
+        result = pipeline.run(
+            circuit, observable, shots=args.shots, seed=args.seed, locations=[location]
         )
         print(f"{name:<18}{result.kappa:>8.3f}{result.value:>12.4f}{result.error:>10.4f}")
     return 0

@@ -1,9 +1,15 @@
-"""Wire-cutting protocols, cutter, executor and extensions.
+"""Wire-cutting protocols, cutter, planner, executors and extensions.
 
 The central class is :class:`NMEWireCut` (the paper's Theorem 2); the
 baselines are :class:`HaradaWireCut` (optimal entanglement-free cut, κ=3),
 :class:`PengWireCut` (original Pauli-basis cut, κ=4) and
 :class:`TeleportationWireCut` (maximally entangled resource, κ=1).
+
+Cut *planning* (:func:`plan_cuts` / :func:`find_time_slice_cuts`) and the
+multi-wire tensor-product builder (:mod:`repro.cutting.multi_wire`) are the
+stages :class:`repro.pipeline.CutPipeline` composes; the single-cut
+executor (:mod:`repro.cutting.executor`) remains the fast path for the
+paper's one-wire workloads.
 """
 
 from repro.cutting.base import GadgetWiring, WireCutProtocol, WireCutTerm
@@ -31,6 +37,7 @@ from repro.cutting.multi_wire import (
     build_multi_cut_circuits,
     estimate_multi_cut_expectation,
     independent_cuts_decomposition,
+    measured_multi_cut_circuit,
 )
 from repro.cutting.nme_cut import NMEWireCut, nme_coefficients
 from repro.cutting.noise import (
@@ -56,7 +63,16 @@ from repro.cutting.overhead import (
     shots_multiplier,
     teleportation_overhead,
 )
-from repro.cutting.cut_finding import CutPlan, find_time_slice_cuts, fragment_widths
+from repro.cutting.cut_finding import (
+    CutPlan,
+    Fragment,
+    MultiCutPlan,
+    find_time_slice_cuts,
+    fragment_widths,
+    plan_cuts,
+    plan_from_locations,
+    plan_from_positions,
+)
 from repro.cutting.peng_cut import PengWireCut
 from repro.cutting.standard_cut import HaradaWireCut
 from repro.cutting.teleport_cut import TeleportationWireCut
@@ -112,13 +128,19 @@ __all__ = [
     "build_multi_cut_circuits",
     "estimate_multi_cut_expectation",
     "independent_cuts_decomposition",
+    "measured_multi_cut_circuit",
     # virtual distillation (Appendix B construction)
     "virtual_bell_decomposition",
     "DistilledTeleportWireCut",
     # automatic cut finding
     "CutPlan",
+    "Fragment",
+    "MultiCutPlan",
     "find_time_slice_cuts",
     "fragment_widths",
+    "plan_cuts",
+    "plan_from_locations",
+    "plan_from_positions",
     # noise extension
     "noisy_phi_k",
     "noisy_resource_overhead",

@@ -1,8 +1,15 @@
-"""Executing a cut: sampling the QPD terms and recombining expectation values.
+"""Executing a single cut: sampling the QPD terms and recombining expectation values.
 
-This is the runtime that turns a :class:`~repro.cutting.base.WireCutProtocol`
-plus a circuit into an expectation-value estimate, following the procedure of
-Section IV of the paper:
+This is the single-cut runtime that turns a
+:class:`~repro.cutting.base.WireCutProtocol` plus a circuit into an
+expectation-value estimate, following the procedure of Section IV of the
+paper.  It is the one-cut special case of the general machinery: multi-cut
+estimation (tensor-product term sets, several fragments) lives in
+:mod:`repro.cutting.multi_wire` and is orchestrated by
+:class:`repro.pipeline.CutPipeline`; the fast sweep path below
+(:class:`CutSamplingModel`) remains the engine of the Figure-6 harness.
+
+The procedure per estimate:
 
 1. build one circuit per QPD term (:mod:`repro.cutting.cutter`),
 2. split the total shot budget across the terms proportionally to the

@@ -106,6 +106,7 @@ def _rotation_gadget(angle_sign: int, rotate_qubit: int, measure_qubit: int):
     """
 
     def gadget(circuit: QuantumCircuit, qubit_a: int, qubit_b: int, clbit_offset: int) -> None:
+        """Append the rotation/measurement pair at the wired qubits."""
         qubits = (qubit_a, qubit_b)
         # rz(θ) = e^{-iθZ/2} up to global phase, so e^{+iπ/4 Z} ≙ rz(-π/2).
         circuit.rz(-angle_sign * np.pi / 2.0, qubits[rotate_qubit])
@@ -133,9 +134,11 @@ class GateCutProtocol:
         self._terms: tuple[GateCutTerm, ...] | None = None
 
     def build_terms(self) -> tuple[GateCutTerm, ...]:  # pragma: no cover - abstract
+        """Construct the protocol's QPD terms (overridden by subclasses)."""
         raise NotImplementedError
 
     def target_unitary(self) -> np.ndarray:  # pragma: no cover - abstract
+        """Return the two-qubit unitary this QPD reproduces (overridden by subclasses)."""
         raise NotImplementedError
 
     @property
@@ -175,6 +178,7 @@ class ZZGateCut(GateCutProtocol):
         self.theta = float(theta)
 
     def target_unitary(self) -> np.ndarray:
+        """Return the ``e^{iθ Z⊗Z}`` unitary the decomposition reproduces."""
         zz = np.kron(_Z, _Z)
         return np.cos(self.theta) * np.eye(4, dtype=complex) + 1j * np.sin(self.theta) * zz
 
@@ -183,6 +187,7 @@ class ZZGateCut(GateCutProtocol):
         return float(1.0 + 2.0 * abs(np.sin(2.0 * self.theta)))
 
     def build_terms(self) -> tuple[GateCutTerm, ...]:
+        """Construct the six ZZ-cut terms (identity, Z⊗Z and four weighted rotations)."""
         cos2 = float(np.cos(self.theta) ** 2)
         sin2 = float(np.sin(self.theta) ** 2)
         cross = float(np.cos(self.theta) * np.sin(self.theta))
@@ -245,6 +250,7 @@ class CZGateCut(GateCutProtocol):
         self._zz = ZZGateCut(np.pi / 4.0)
 
     def target_unitary(self) -> np.ndarray:
+        """Return the CZ unitary the decomposition reproduces."""
         return np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex)
 
     def theoretical_overhead(self) -> float:
@@ -252,13 +258,16 @@ class CZGateCut(GateCutProtocol):
         return 3.0
 
     def build_terms(self) -> tuple[GateCutTerm, ...]:
+        """Construct the CZ terms: the ZZ(π/4) terms with S⊗S appended."""
         s_superop = _unitary_superop(_S)
         ss_superop = _tensor_single_qubit_superops(s_superop, s_superop)
         terms = []
         for term in self._zz.build_terms():
 
             def make_gadget(inner_builder):
+                """Wrap a ZZ-term gadget so it also applies the trailing S gates."""
                 def gadget(circuit: QuantumCircuit, qubit_a: int, qubit_b: int, clbit_offset: int) -> None:
+                    """Append the inner gadget followed by S on both gate qubits."""
                     inner_builder(circuit, qubit_a, qubit_b, clbit_offset)
                     circuit.s(qubit_a)
                     circuit.s(qubit_b)

@@ -4,10 +4,19 @@ Cutting ``n`` wires independently multiplies the per-cut overheads
 (``κ_total = Π κ_i``), which is the exponential-in-cuts cost the paper's
 introduction motivates.  This module provides:
 
-* :func:`build_multi_cut_circuits` / :func:`estimate_multi_cut_expectation` —
-  apply a (possibly different) single-wire protocol at each cut location and
-  estimate an observable of the multiply-cut circuit; terms are the Cartesian
-  product of the per-cut terms with multiplied coefficients.
+* :func:`build_multi_cut_circuits` — apply a (possibly different)
+  single-wire protocol at each cut location; terms are the Cartesian product
+  of the per-cut terms with multiplied coefficients.  Cuts may share a wire
+  at different positions (a wire crossing several time slices is cut at each
+  of them), which is what lets :func:`repro.cutting.cut_finding.plan_cuts`
+  split a circuit into more than two fragments.
+* :func:`estimate_multi_cut_expectation` — estimate an observable of the
+  multiply-cut circuit.  All term circuits are submitted to a
+  :class:`~repro.circuits.backends.SimulatorBackend` as one batch, so the
+  vectorized and process-pool backends accelerate multi-cut estimation
+  exactly as they do the single-cut executor; results are bitwise identical
+  across backends for the same seed.  This is the execute stage of
+  :class:`repro.pipeline.CutPipeline`.
 * :func:`independent_cuts_decomposition` — the channel-level tensor-product
   QPD, for analytic comparisons.
 * overhead helpers re-exported from :mod:`repro.cutting.overhead` comparing
@@ -18,15 +27,16 @@ introduction motivates.  This module provides:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from itertools import product
 
 import numpy as np
 
 from repro.exceptions import CuttingError
+from repro.circuits.backends import SimulatorBackend, resolve_backend
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.expectation import _BASIS_CHANGE, exact_expectation
-from repro.circuits.shot_simulator import ShotSimulator
 from repro.cutting.base import GadgetWiring, WireCutProtocol
 from repro.cutting.cutter import CutLocation
 from repro.cutting.executor import CutExpectationResult
@@ -40,7 +50,9 @@ __all__ = [
     "MultiCutTermCircuit",
     "build_multi_cut_circuits",
     "estimate_multi_cut_expectation",
+    "execute_term_circuits",
     "independent_cuts_decomposition",
+    "measured_multi_cut_circuit",
 ]
 
 
@@ -63,6 +75,9 @@ class MultiCutTermCircuit:
         Absolute classical bits whose parity multiplies measured observables.
     labels:
         Per-cut term labels.
+    entangled_pairs:
+        Number of pre-shared entangled pairs one shot of this term consumes
+        (resource accounting across all cuts).
     """
 
     circuit: QuantumCircuit
@@ -71,9 +86,16 @@ class MultiCutTermCircuit:
     qubit_map: dict[int, int]
     sign_clbits: tuple[int, ...]
     labels: tuple[str, ...]
+    entangled_pairs: int = 0
+
+    @property
+    def label(self) -> str:
+        """Combined term label (per-cut labels joined with ``+``)."""
+        return "+".join(self.labels)
 
 
 def _validate_multi_locations(circuit: QuantumCircuit, locations: list[CutLocation]) -> None:
+    """Reject out-of-range or duplicate cut locations."""
     if not locations:
         raise CuttingError("at least one cut location is required")
     seen = set()
@@ -97,22 +119,39 @@ def build_multi_cut_circuits(
 
     ``protocols[i]`` is used at ``locations[i]``.  Cuts are inserted from the
     latest position to the earliest so that instruction positions given with
-    respect to the *original* circuit stay valid.
+    respect to the *original* circuit stay valid.  The same wire may be cut
+    at several positions: each cut transfers it onto a fresh receiver qubit,
+    so a chain of cuts realises a chain of fragments.
+
+    Parameters
+    ----------
+    circuit:
+        The original (uncut) circuit; it is not modified.
+    locations:
+        The cut locations, one per protocol.
+    protocols:
+        The single-wire protocol applied at each location.
+
+    Returns
+    -------
+    list[MultiCutTermCircuit]
+        One executable circuit per element of the Cartesian product of the
+        per-cut term sets, with multiplied coefficients.
     """
     if len(locations) != len(protocols):
         raise CuttingError("locations and protocols must have the same length")
     _validate_multi_locations(circuit, locations)
 
     order = sorted(range(len(locations)), key=lambda i: locations[i].position, reverse=True)
-    term_choice_lists = [range(len(protocols[i].terms)) for i in range(len(protocols))]
     results = []
 
-    for term_choice in product(*term_choice_lists):
+    for term_choice in product(*(range(len(p.terms)) for p in protocols)):
         current = circuit
         qubit_map = {q: q for q in range(circuit.num_qubits)}
         coefficient = 1.0
         sign_clbits: list[int] = []
         labels: list[str] = []
+        pairs = 0
         # Track how many instructions have been *prepended* before each original
         # position; since we insert from the latest position backwards, earlier
         # positions are unaffected by later insertions.
@@ -121,7 +160,11 @@ def build_multi_cut_circuits(
             protocol = protocols[cut_rank]
             term = protocol.terms[term_choice[cut_rank]]
 
-            sender_qubit = qubit_map[location.qubit]
+            # Instructions before this cut are never remapped (later cuts only
+            # remap instructions after their own, later, position), so the wire
+            # carrying the cut qubit here is always the original index — even
+            # when the same wire is cut again at a later position.
+            sender_qubit = location.qubit
             receiver_qubit = current.num_qubits
             ancillas = tuple(
                 range(current.num_qubits + 1, current.num_qubits + 1 + term.num_ancilla_qubits)
@@ -148,6 +191,8 @@ def build_multi_cut_circuits(
             coefficient *= term.coefficient
             sign_clbits.extend(clbit_offset + rel for rel in term.sign_clbits)
             labels.append(term.label)
+            if term.consumes_entangled_pair:
+                pairs += 1
             # Update the logical-to-physical map for subsequent (earlier) cuts
             # and for the final observable mapping.
             for logical, physical in qubit_map.items():
@@ -171,9 +216,130 @@ def build_multi_cut_circuits(
                 qubit_map=dict(qubit_map),
                 sign_clbits=tuple(sign_clbits),
                 labels=tuple(ordered_labels),
+                entangled_pairs=pairs,
             )
         )
     return results
+
+
+def measured_multi_cut_circuit(
+    term_circuit: MultiCutTermCircuit, pauli: PauliString
+) -> tuple[QuantumCircuit, list[int]]:
+    """Append observable basis changes and measurements to a multi-cut term circuit.
+
+    Parameters
+    ----------
+    term_circuit:
+        The term circuit to measure.
+    pauli:
+        Pauli observable over the original circuit's logical qubits.
+
+    Returns
+    -------
+    tuple[QuantumCircuit, list[int]]
+        The measured circuit and the classical bits whose parity (together
+        with the term's sign bits) gives the signed observable outcome.
+    """
+    base = term_circuit.circuit
+    active = [
+        (term_circuit.qubit_map[q], p) for q, p in enumerate(pauli.labels) if p != "I"
+    ]
+    measured = QuantumCircuit(
+        base.num_qubits, base.num_clbits + len(active), name=f"{base.name}_meas"
+    )
+    measured.compose(base, inplace=True)
+    observable_clbits = []
+    for offset, (qubit, label) in enumerate(active):
+        for gate_name, params in _BASIS_CHANGE[label]:
+            measured.gate(gate_name, qubit, params)
+        clbit = base.num_clbits + offset
+        measured.measure(qubit, clbit)
+        observable_clbits.append(clbit)
+    return measured, observable_clbits + list(term_circuit.sign_clbits)
+
+
+def execute_term_circuits(
+    term_circuits: Sequence[MultiCutTermCircuit],
+    pauli: PauliString,
+    shots: int,
+    allocation: str = "proportional",
+    seed: SeedLike = None,
+    backend: SimulatorBackend | str | None = None,
+    method: str = "exact",
+) -> tuple[list[TermEstimate], list[int]]:
+    """Allocate, measure, batch-run and summarise a product term set.
+
+    This is the shared execute step of :func:`estimate_multi_cut_expectation`
+    and :meth:`repro.pipeline.CutPipeline.execute`: the shot budget is split
+    across the terms by ``allocation`` (proportional to coefficient
+    magnitudes by default), every term circuit is measured in the
+    observable's basis, and the batch runs through ``backend`` with one seed
+    stream per circuit.
+
+    Parameters
+    ----------
+    term_circuits:
+        The product term set from :func:`build_multi_cut_circuits`.
+    pauli:
+        Normalised Pauli observable over the original logical qubits.
+    shots:
+        Total shot budget across all term circuits.
+    allocation:
+        Shot-allocation strategy.
+    seed:
+        Seed or generator for allocation and sampling.
+    backend:
+        Execution backend (name or instance); ``None`` selects serial.
+    method:
+        Shot-simulator method (serial backend only).
+
+    Returns
+    -------
+    tuple[list[TermEstimate], list[int]]
+        Per-term empirical summaries and the shots assigned to each term.
+    """
+    rng = as_generator(seed)
+    coefficients = np.array([t.coefficient for t in term_circuits])
+    magnitudes = np.abs(coefficients)
+    probabilities = magnitudes / magnitudes.sum()
+    shots_per_term = allocate_shots(probabilities, shots, strategy=allocation, seed=rng)
+
+    exec_backend = resolve_backend(backend, method=method)
+    measured_circuits: list[QuantumCircuit] = []
+    selected_clbits: list[list[int]] = []
+    for term_circuit in term_circuits:
+        measured, selected = measured_multi_cut_circuit(term_circuit, pauli)
+        measured_circuits.append(measured)
+        selected_clbits.append(selected)
+
+    # A term with no measured bits at all (e.g. the identity term of a
+    # zero-cut plan under an all-identity observable) has a deterministic
+    # +1 outcome: spend no simulator shots on it.  Submitting zeros keeps
+    # the per-circuit seed streams aligned, so cross-backend identity holds.
+    submitted_shots = [
+        int(count) if selected else 0
+        for count, selected in zip(shots_per_term, selected_clbits)
+    ]
+    counts_per_term = exec_backend.run_batch(measured_circuits, submitted_shots, seed=rng)
+    term_estimates = []
+    for term_circuit, term_shots, counts, selected in zip(
+        term_circuits, shots_per_term, counts_per_term, selected_clbits
+    ):
+        if term_shots == 0:
+            mean = 0.0
+        elif selected:
+            mean = counts.expectation_z(selected)
+        else:
+            mean = 1.0
+        term_estimates.append(
+            TermEstimate(
+                coefficient=term_circuit.coefficient,
+                mean=mean,
+                shots=int(term_shots),
+                label=term_circuit.label,
+            )
+        )
+    return term_estimates, [int(s) for s in shots_per_term]
 
 
 def estimate_multi_cut_expectation(
@@ -186,57 +352,61 @@ def estimate_multi_cut_expectation(
     seed: SeedLike = None,
     method: str = "exact",
     compute_exact: bool = True,
+    backend: SimulatorBackend | str | None = None,
 ) -> CutExpectationResult:
-    """Estimate a Pauli observable of a circuit with several wires cut."""
-    rng = as_generator(seed)
+    """Estimate a Pauli observable of a circuit with several wires cut.
+
+    The full tensor-product QPD term set is built, the shot budget is split
+    across the product terms proportionally to the coefficient-magnitude
+    products (or per ``allocation``), and all term circuits are executed as
+    one batch through ``backend``.
+
+    Parameters
+    ----------
+    circuit:
+        The original (uncut) circuit; it is not modified.
+    locations:
+        The cut locations, one per protocol.
+    protocols:
+        The single-wire protocol applied at each location.
+    observable:
+        Pauli observable over the circuit's logical qubits.
+    shots:
+        Total shot budget across all product-term circuits.
+    allocation:
+        Shot-allocation strategy (``proportional``, ``multinomial``,
+        ``uniform``).
+    seed:
+        Seed or generator for all sampling.
+    method:
+        Shot-simulator method (``exact`` or ``trajectory``; serial backend
+        only).
+    compute_exact:
+        Also compute the exact uncut value for error reporting.
+    backend:
+        Execution backend (name or instance); ``None`` selects the serial
+        backend.  All backends yield identical results for the same seed.
+
+    Returns
+    -------
+    CutExpectationResult
+        The recombined estimate with per-term summaries.
+    """
     pauli = observable if isinstance(observable, PauliString) else PauliString(observable)
     if pauli.num_qubits != circuit.num_qubits:
         raise CuttingError(
             f"observable acts on {pauli.num_qubits} qubits, circuit has {circuit.num_qubits}"
         )
     term_circuits = build_multi_cut_circuits(circuit, locations, protocols)
-    coefficients = np.array([t.coefficient for t in term_circuits])
-    magnitudes = np.abs(coefficients)
-    probabilities = magnitudes / magnitudes.sum()
-    shots_per_term = allocate_shots(probabilities, shots, strategy=allocation, seed=rng)
-
-    simulator = ShotSimulator(method=method)
-    term_estimates = []
-    for term_circuit, term_shots in zip(term_circuits, shots_per_term):
-        if term_shots == 0:
-            term_estimates.append(
-                TermEstimate(
-                    coefficient=term_circuit.coefficient,
-                    mean=0.0,
-                    shots=0,
-                    label="+".join(term_circuit.labels),
-                )
-            )
-            continue
-        base = term_circuit.circuit
-        active = [
-            (term_circuit.qubit_map[q], p) for q, p in enumerate(pauli.labels) if p != "I"
-        ]
-        measured = QuantumCircuit(base.num_qubits, base.num_clbits + len(active))
-        measured.compose(base, inplace=True)
-        observable_clbits = []
-        for offset, (qubit, label) in enumerate(active):
-            for gate_name, params in _BASIS_CHANGE[label]:
-                measured.gate(gate_name, qubit, params)
-            clbit = base.num_clbits + offset
-            measured.measure(qubit, clbit)
-            observable_clbits.append(clbit)
-        counts = simulator.run(measured, shots=int(term_shots), seed=rng)
-        selected = observable_clbits + list(term_circuit.sign_clbits)
-        mean = counts.expectation_z(selected) if selected else 1.0
-        term_estimates.append(
-            TermEstimate(
-                coefficient=term_circuit.coefficient,
-                mean=mean,
-                shots=int(term_shots),
-                label="+".join(term_circuit.labels),
-            )
-        )
+    term_estimates, shots_per_term = execute_term_circuits(
+        term_circuits,
+        pauli,
+        shots,
+        allocation=allocation,
+        seed=seed,
+        backend=backend,
+        method=method,
+    )
     estimate = combine_term_estimates(term_estimates)
     exact_value = exact_expectation(circuit, pauli.to_matrix()) if compute_exact else None
     return CutExpectationResult(
@@ -244,7 +414,7 @@ def estimate_multi_cut_expectation(
         standard_error=estimate.standard_error,
         total_shots=estimate.total_shots,
         kappa=estimate.kappa,
-        shots_per_term=tuple(int(s) for s in shots_per_term),
+        shots_per_term=tuple(shots_per_term),
         term_estimates=estimate.term_estimates,
         protocol_name="+".join(p.name for p in protocols),
         exact_value=exact_value,
@@ -258,6 +428,16 @@ def independent_cuts_decomposition(
 
     The result acts on ``len(protocols)`` qubits and its κ is the product of
     the per-protocol κ values.
+
+    Parameters
+    ----------
+    protocols:
+        The per-wire protocols to tensor together.
+
+    Returns
+    -------
+    QuasiProbDecomposition
+        The tensor-product decomposition.
     """
     if not protocols:
         raise CuttingError("at least one protocol is required")

@@ -73,6 +73,7 @@ def _make_teleport_gadget(k: float, basis_label: str):
     """
 
     def gadget(circuit: QuantumCircuit, wiring: GadgetWiring) -> None:
+        """Append the Theorem-2 teleportation gadget at the wired qubits."""
         if len(wiring.ancilla_qubits) != 1:
             raise CuttingError("the NME teleportation gadget needs exactly one ancilla qubit")
         sender = wiring.sender_qubit
@@ -138,6 +139,7 @@ class NMEWireCut(WireCutProtocol):
         return nme_coefficients(self.k)
 
     def build_terms(self) -> tuple[WireCutTerm, ...]:
+        """Construct the four Theorem-2 terms (two teleport, two measure-prepare)."""
         a, b = nme_coefficients(self.k)
         u2 = S @ H
         terms = [
@@ -179,6 +181,7 @@ class NMEWireCut(WireCutProtocol):
         return tuple(terms)
 
     def theoretical_overhead(self) -> float:
+        """Return Corollary 1's κ = (3k² − 2k + 3)/(1 + k)²."""
         return nme_overhead(self.k)
 
     def expected_pairs_per_shot(self) -> float:

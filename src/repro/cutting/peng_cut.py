@@ -60,6 +60,7 @@ def _make_gadget(observable: str, prepared: str):
     """Return a gadget builder measuring ``observable`` and preparing ``prepared``."""
 
     def gadget(circuit: QuantumCircuit, wiring: GadgetWiring) -> None:
+        """Append the measure/prepare pair at the wired qubits."""
         clbit = wiring.clbit(0)
         for gate_name, params in _MEASUREMENT_ROTATIONS[observable]:
             circuit.gate(gate_name, wiring.sender_qubit, params)
@@ -77,6 +78,7 @@ def _term_superoperator(observable: str, prepared: str) -> np.ndarray:
     projector = np.outer(ket, ket.conj())
 
     def apply_map(rho: np.ndarray) -> np.ndarray:
+        """Apply the term's linear map to one density matrix."""
         return np.trace(pauli @ rho) * projector
 
     return superoperator_from_map(apply_map)
@@ -100,6 +102,7 @@ class PengWireCut(WireCutProtocol):
     )
 
     def build_terms(self) -> tuple[WireCutTerm, ...]:
+        """Construct the eight Pauli measure-and-prepare terms."""
         terms = []
         for observable, prepared, coefficient in self.TERM_SPECS:
             sign_clbits = () if observable == "I" else (0,)
@@ -117,4 +120,5 @@ class PengWireCut(WireCutProtocol):
         return tuple(terms)
 
     def theoretical_overhead(self) -> float:
+        """Return the Peng cut's κ = 4."""
         return peng_overhead()

@@ -83,6 +83,7 @@ class HaradaWireCut(WireCutProtocol):
     name = "harada"
 
     def build_terms(self) -> tuple[WireCutTerm, ...]:
+        """Construct the three optimal entanglement-free terms."""
         u2 = S @ H
         return (
             WireCutTerm(
@@ -112,4 +113,5 @@ class HaradaWireCut(WireCutProtocol):
         )
 
     def theoretical_overhead(self) -> float:
+        """Return the Harada cut's κ = 3."""
         return harada_overhead()

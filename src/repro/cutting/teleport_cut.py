@@ -35,6 +35,7 @@ class TeleportationWireCut(WireCutProtocol):
     name = "teleportation"
 
     def build_terms(self) -> tuple[WireCutTerm, ...]:
+        """Construct the single maximally-entangled teleportation term."""
         return (
             WireCutTerm(
                 coefficient=1.0,
@@ -49,4 +50,5 @@ class TeleportationWireCut(WireCutProtocol):
         )
 
     def theoretical_overhead(self) -> float:
+        """Return the teleportation κ = 1."""
         return teleportation_overhead()

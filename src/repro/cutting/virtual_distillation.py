@@ -142,6 +142,7 @@ def _distilled_teleport_gadget(k: float, basis_label: str):
     """
 
     def gadget(circuit: QuantumCircuit, wiring: GadgetWiring) -> None:
+        """Append the distill-then-teleport gadget at the wired qubits."""
         sender = wiring.sender_qubit
         ancilla = wiring.ancilla_qubits[0]
         receiver = wiring.receiver_qubit
@@ -183,6 +184,7 @@ class DistilledTeleportWireCut(WireCutProtocol):
         self.k = float(k)
 
     def build_terms(self) -> tuple[WireCutTerm, ...]:
+        """Construct the Appendix-B terms in distill-then-teleport order."""
         from repro.cutting.nme_cut import _teleport_term_channel
         from repro.cutting.standard_cut import _flip_gadget, _flip_prepare_channel
 
@@ -221,4 +223,5 @@ class DistilledTeleportWireCut(WireCutProtocol):
         return tuple(terms)
 
     def theoretical_overhead(self) -> float:
+        """Return Corollary 1's κ for the distilled protocol."""
         return nme_overhead(self.k)

@@ -3,6 +3,7 @@
 from repro.experiments.ablations import (
     allocation_strategy_ablation,
     gate_vs_wire_cut,
+    multi_cut_pipeline_ablation,
     noisy_resource_ablation,
     protocol_error_comparison,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "allocation_strategy_ablation",
     "protocol_error_comparison",
     "gate_vs_wire_cut",
+    "multi_cut_pipeline_ablation",
     "noisy_resource_ablation",
     "SweepTable",
     "write_csv",

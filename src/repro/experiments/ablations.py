@@ -1,6 +1,6 @@
 """Ablation experiments for the design choices catalogued in DESIGN.md.
 
-Four ablations are provided, each returning a :class:`SweepTable`:
+Five ablations are provided, each returning a :class:`SweepTable`:
 
 * :func:`allocation_strategy_ablation` — proportional vs multinomial vs
   uniform shot allocation for the NME cut (the paper uses proportional).
@@ -8,7 +8,11 @@ Four ablations are provided, each returning a :class:`SweepTable`:
   Harada (κ=3), NME and teleportation on the same random-state workload,
   the "who wins" companion to Figure 6.
 * :func:`gate_vs_wire_cut` — cutting a CZ gate versus cutting a wire next to
-  it in a small layered circuit (the related-work trade-off).
+  it in a small layered circuit (the related-work trade-off); the wire cuts
+  run through the :class:`~repro.pipeline.CutPipeline`.
+* :func:`multi_cut_pipeline_ablation` — the κⁿ cost of cutting more wires:
+  the same circuit split into 2 and 3 fragments through the pipeline, with
+  and without entanglement assistance.
 * :func:`noisy_resource_ablation` — systematic bias and Theorem-1 overhead
   when the NME pair is depolarised (the future-work direction).
 """
@@ -18,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cutting.cutter import CutLocation
-from repro.cutting.executor import build_sampling_model, estimate_cut_expectation
+from repro.cutting.executor import build_sampling_model
 from repro.cutting.gate_cutting import CZGateCut, estimate_gate_cut_expectation
 from repro.cutting.nme_cut import NMEWireCut
 from repro.cutting.noise import noisy_phi_k, noisy_resource_overhead, reconstruction_bias
@@ -27,16 +31,19 @@ from repro.cutting.standard_cut import HaradaWireCut
 from repro.cutting.teleport_cut import TeleportationWireCut
 from repro.experiments.records import SweepTable
 from repro.experiments.workloads import (
+    ghz_circuit,
     random_layered_circuit,
     random_single_qubit_states,
     state_preparation_circuit,
 )
+from repro.pipeline import CutPipeline
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 
 __all__ = [
     "allocation_strategy_ablation",
     "protocol_error_comparison",
     "gate_vs_wire_cut",
+    "multi_cut_pipeline_ablation",
     "noisy_resource_ablation",
 ]
 
@@ -137,13 +144,13 @@ def gate_vs_wire_cut(
         ("wire-harada", HaradaWireCut()),
         ("wire-nme(f=0.9)", NMEWireCut.from_overlap(0.9)),
     ):
-        wire_results[name] = estimate_cut_expectation(
+        pipeline = CutPipeline(protocol=protocol)
+        wire_results[name] = pipeline.run(
             circuit,
-            CutLocation(qubit=0, position=cz_index + 1),
-            protocol,
-            observable=observable,
+            observable,
             shots=shots,
             seed=rng,
+            locations=[CutLocation(qubit=0, position=cz_index + 1)],
         )
 
     columns: dict[str, list] = {"method": [], "kappa": [], "error": [], "exact": []}
@@ -160,6 +167,84 @@ def gate_vs_wire_cut(
         name="gate_vs_wire_cut",
         columns=columns,
         metadata={"shots": shots, "seed": seed, "observable": observable},
+    )
+
+
+def multi_cut_pipeline_ablation(
+    num_qubits: int = 4,
+    shots: int = 4000,
+    max_fragment_widths: tuple[int, ...] = (3, 2),
+    overlaps: tuple[float | None, ...] = (None, 0.9),
+    seed: SeedLike = 21,
+    backend: str = "vectorized",
+) -> SweepTable:
+    """Measure the κⁿ cost of cutting more wires through the pipeline.
+
+    The same GHZ circuit is split under progressively tighter device-width
+    constraints — each tighter width forces the
+    :class:`~repro.pipeline.CutPipeline` planner to cut more wires and
+    produce more fragments — and the resulting estimation error at a fixed
+    shot budget is recorded with and without entanglement assistance.  The
+    error growth with ``num_cuts`` makes the paper's exponential-overhead
+    motivation directly observable in a table.
+
+    Parameters
+    ----------
+    num_qubits:
+        Size of the GHZ test circuit.
+    shots:
+        Shot budget per pipeline run.
+    max_fragment_widths:
+        Device widths to sweep (each must admit a valid plan).
+    overlaps:
+        Entanglement levels ``f(Φ_k)`` to sweep; ``None`` selects the
+        entanglement-free κ=3 cut.
+    seed:
+        Seed for all sampling (one child stream per configuration).
+    backend:
+        Execution backend for the term-circuit batches.
+
+    Returns
+    -------
+    SweepTable
+        One row per (width, overlap) configuration.
+    """
+    circuit = ghz_circuit(num_qubits)
+    observable = "Z" * num_qubits
+    columns: dict[str, list] = {
+        "max_width": [],
+        "overlap_f": [],
+        "num_cuts": [],
+        "num_fragments": [],
+        "num_terms": [],
+        "kappa": [],
+        "shots": [],
+        "error": [],
+    }
+    configurations = [
+        (width, overlap) for width in max_fragment_widths for overlap in overlaps
+    ]
+    rngs = spawn_generators(seed, len(configurations))
+    for (width, overlap), rng in zip(configurations, rngs):
+        pipeline = CutPipeline(
+            max_fragment_width=width,
+            entanglement_overlap=overlap,
+            backend=backend,
+        )
+        result = pipeline.run(circuit, observable, shots=shots, seed=rng)
+        decomposition = result.execution.decomposition
+        columns["max_width"].append(int(width))
+        columns["overlap_f"].append(float(overlap) if overlap is not None else 0.5)
+        columns["num_cuts"].append(decomposition.plan_result.num_cuts)
+        columns["num_fragments"].append(decomposition.plan_result.num_fragments)
+        columns["num_terms"].append(decomposition.num_terms)
+        columns["kappa"].append(result.kappa)
+        columns["shots"].append(shots)
+        columns["error"].append(result.error)
+    return SweepTable(
+        name="multi_cut_pipeline_ablation",
+        columns=columns,
+        metadata={"num_qubits": num_qubits, "seed": seed, "backend": backend},
     )
 
 

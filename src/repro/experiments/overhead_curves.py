@@ -23,8 +23,8 @@ import numpy as np
 from repro.circuits.backends import SimulatorBackend
 from repro.circuits.expectation import exact_expectation
 from repro.cutting.cutter import CutLocation
-from repro.cutting.executor import exact_cut_expectation
 from repro.cutting.nme_cut import NMEWireCut
+from repro.pipeline import CutPipeline
 from repro.cutting.overhead import (
     expected_pairs_per_shot,
     harada_overhead,
@@ -72,8 +72,9 @@ def protocol_comparison(backend: SimulatorBackend | str | None = "vectorized") -
     """Compare κ, κ² and pair consumption across the implemented protocols.
 
     Each row also carries ``reconstruction_error``: the deviation of the
-    protocol's exact QPD reconstruction — executed through ``backend`` on a
-    fixed Haar-random test state — from the directly simulated ``⟨Z⟩``.  A
+    protocol's exact QPD reconstruction — run through the
+    :class:`~repro.pipeline.CutPipeline` decompose stage on ``backend`` with
+    a fixed Haar-random test state — from the directly simulated ``⟨Z⟩``.  A
     valid protocol reconstructs exactly, so this column should be ~1e-15.
     """
     workload = random_single_qubit_states(1, seed=1234)
@@ -106,9 +107,11 @@ def protocol_comparison(backend: SimulatorBackend | str | None = "vectorized") -
         columns["uses_entanglement"].append(
             any(getattr(t, "consumes_entangled_pair", False) for t in protocol.terms)
         )
-        reconstructed = exact_cut_expectation(
-            test_circuit, test_location, protocol, "Z", backend=backend
+        pipeline = CutPipeline(protocol=protocol, backend=backend)
+        decomposition = pipeline.decompose(
+            pipeline.plan(test_circuit, locations=[test_location])
         )
+        reconstructed = pipeline.exact_reconstruction(decomposition, "Z")
         columns["reconstruction_error"].append(abs(reconstructed - reference))
     return SweepTable(name="protocol_comparison", columns=columns)
 

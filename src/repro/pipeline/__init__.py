@@ -1,0 +1,21 @@
+"""Multi-cut orchestration: plan → decompose → execute → reconstruct.
+
+:class:`CutPipeline` composes the cut planner
+(:mod:`repro.cutting.cut_finding`), the tensor-product QPD builder
+(:mod:`repro.cutting.multi_wire`), the batched execution backends
+(:mod:`repro.circuits.backends`) and Eq.-12 recombination
+(:mod:`repro.qpd.estimator`) into one inspectable pipeline, so any circuit
+plus device constraints turns into an expectation-value estimate — with one
+wire cut or many, two fragments or a chain of them.
+"""
+
+from repro.pipeline.pipeline import CutPipeline
+from repro.pipeline.stages import Decomposition, Execution, PipelineResult, PlanResult
+
+__all__ = [
+    "CutPipeline",
+    "PlanResult",
+    "Decomposition",
+    "Execution",
+    "PipelineResult",
+]

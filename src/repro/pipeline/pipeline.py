@@ -1,0 +1,467 @@
+"""The :class:`CutPipeline`: plan → decompose → execute → reconstruct.
+
+The pipeline is the orchestration layer that turns *any*
+:class:`~repro.circuits.circuit.QuantumCircuit` plus device constraints into
+a cut-circuit expectation-value estimate:
+
+1. **plan** — find where to cut (:func:`~repro.cutting.cut_finding.plan_cuts`,
+   or an explicit plan / slice positions supplied by the caller).  Plans may
+   contain several time slices, splitting the circuit into more than two
+   fragments.
+2. **decompose** — apply one single-wire protocol per cut and build the full
+   tensor-product QPD term set
+   (:func:`~repro.cutting.multi_wire.build_multi_cut_circuits`): n cuts with
+   m-term protocols yield mⁿ term circuits whose coefficients multiply, so
+   the total overhead is κⁿ.
+3. **execute** — allocate the shot budget across the product term set and
+   run every measured term circuit as one batch through a
+   :class:`~repro.circuits.backends.SimulatorBackend`, inheriting the
+   vectorized / process-pool execution paths and the per-circuit seed
+   streams (identical results on every backend for the same seed).
+4. **reconstruct** — recombine the per-term means with the signed
+   coefficient products (Eq. 12) and propagate the standard error.
+
+Each stage returns a frozen artifact (:mod:`repro.pipeline.stages`), so the
+stages can be run separately for inspection, or all at once with
+:meth:`CutPipeline.run`.
+
+Example
+-------
+>>> from repro.experiments import ghz_circuit
+>>> from repro.pipeline import CutPipeline
+>>> pipeline = CutPipeline(max_fragment_width=3, backend="vectorized")
+>>> result = pipeline.run(ghz_circuit(4), observable="ZZZZ", shots=8000, seed=7)
+>>> result.plan.num_cuts
+1
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import CuttingError
+from repro.circuits.backends import SimulatorBackend, resolve_backend
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.expectation import exact_expectation
+from repro.cutting.base import WireCutProtocol
+from repro.cutting.cut_finding import (
+    MultiCutPlan,
+    plan_cuts,
+    plan_from_locations,
+    plan_from_positions,
+)
+from repro.cutting.cutter import CutLocation
+from repro.cutting.executor import _as_pauli, _probability_plus
+from repro.cutting.multi_wire import (
+    MultiCutTermCircuit,
+    build_multi_cut_circuits,
+    execute_term_circuits,
+    measured_multi_cut_circuit,
+)
+from repro.cutting.nme_cut import NMEWireCut
+from repro.cutting.standard_cut import HaradaWireCut
+from repro.pipeline.stages import Decomposition, Execution, PipelineResult, PlanResult
+from repro.qpd.estimator import combine_term_estimates
+from repro.quantum.paulis import PauliString
+from repro.utils.rng import SeedLike
+
+__all__ = ["CutPipeline"]
+
+
+class CutPipeline:
+    """Composable plan → decompose → execute → reconstruct cut estimation.
+
+    The pipeline holds the *configuration* (device constraints, protocol
+    choice, execution backend, allocation strategy); the circuit, observable
+    and shot budget are supplied per call, so one pipeline instance serves a
+    whole workload.
+
+    Parameters
+    ----------
+    max_fragment_width:
+        Maximum number of qubits any device can hold; drives the planner.
+        May be ``None`` when every call supplies an explicit plan or slice
+        positions.
+    protocol:
+        The single-wire protocol applied at every cut, or a sequence with
+        one protocol per cut location.  Defaults to the optimal
+        entanglement-free cut (κ = 3) — or the paper's NME cut when
+        ``entanglement_overlap`` is given.
+    entanglement_overlap:
+        Entanglement level ``f(Φ_k)`` shared between the devices.  Sets the
+        default protocol to ``NMEWireCut.from_overlap(...)`` and informs the
+        planner's overhead ranking.
+    backend:
+        Execution backend (name or instance); ``None`` selects the serial
+        backend.  All backends yield identical results for the same seed.
+    allocation:
+        Shot-allocation strategy over the product term set
+        (``proportional``, ``multinomial``, ``uniform``).
+    max_cuts:
+        Optional planner bound on the total number of wire cuts.
+    max_fragments:
+        Optional planner bound on the number of fragments (devices).
+
+    Examples
+    --------
+    Run everything at once:
+
+    >>> from repro.experiments import ghz_circuit
+    >>> pipeline = CutPipeline(max_fragment_width=3)
+    >>> result = pipeline.run(ghz_circuit(4), "ZZZZ", shots=4000, seed=11)
+
+    Or stage by stage:
+
+    >>> plan = pipeline.plan(ghz_circuit(4))
+    >>> decomposition = pipeline.decompose(plan)
+    >>> execution = pipeline.execute(decomposition, "ZZZZ", shots=4000, seed=11)
+    >>> result = pipeline.reconstruct(execution)
+    """
+
+    def __init__(
+        self,
+        max_fragment_width: int | None = None,
+        protocol: WireCutProtocol | Sequence[WireCutProtocol] | None = None,
+        entanglement_overlap: float | None = None,
+        backend: SimulatorBackend | str | None = None,
+        allocation: str = "proportional",
+        max_cuts: int | None = None,
+        max_fragments: int | None = None,
+    ):
+        if max_fragment_width is not None and max_fragment_width < 1:
+            raise CuttingError("max_fragment_width must be at least 1")
+        self.max_fragment_width = max_fragment_width
+        self.protocol = protocol
+        self.entanglement_overlap = entanglement_overlap
+        self.backend = resolve_backend(backend)
+        self.allocation = allocation
+        self.max_cuts = max_cuts
+        self.max_fragments = max_fragments
+
+    # -- stage 1: plan -----------------------------------------------------------------
+
+    def plan(
+        self,
+        circuit: QuantumCircuit,
+        plan: MultiCutPlan | None = None,
+        positions: Sequence[int] | None = None,
+        locations: Sequence[CutLocation] | None = None,
+    ) -> PlanResult:
+        """Choose where to cut ``circuit``.
+
+        Parameters
+        ----------
+        circuit:
+            The circuit to split.
+        plan:
+            Use this explicit plan instead of searching.
+        positions:
+            Build an explicit plan cutting at these time-slice positions
+            (every wire crossing a slice is cut there).
+        locations:
+            Build an explicit plan from these exact wire-cut locations
+            (including end-of-circuit cuts the slice model cannot express).
+
+        Returns
+        -------
+        PlanResult
+            The selected plan plus the ranked alternatives when the planner
+            searched.
+
+        Raises
+        ------
+        CuttingError
+            When more than one of ``plan`` / ``positions`` / ``locations``
+            is given, when no constraint is available to search with, or
+            when no valid plan exists under the constraints.
+        """
+        explicit_args = [arg for arg in (plan, positions, locations) if arg is not None]
+        if len(explicit_args) > 1:
+            raise CuttingError(
+                "pass at most one of an explicit plan, positions or locations"
+            )
+        if plan is not None:
+            return PlanResult(circuit=circuit, plan=plan)
+        if positions is not None:
+            explicit = plan_from_positions(
+                circuit, tuple(positions), entanglement_overlap=self.entanglement_overlap
+            )
+            return PlanResult(circuit=circuit, plan=explicit)
+        if locations is not None:
+            explicit = plan_from_locations(
+                circuit, tuple(locations), entanglement_overlap=self.entanglement_overlap
+            )
+            return PlanResult(circuit=circuit, plan=explicit)
+        if self.max_fragment_width is None:
+            raise CuttingError(
+                "CutPipeline needs max_fragment_width to plan automatically "
+                "(or pass an explicit plan / positions)"
+            )
+        candidates = plan_cuts(
+            circuit,
+            self.max_fragment_width,
+            entanglement_overlap=self.entanglement_overlap,
+            max_cuts=self.max_cuts,
+            max_fragments=self.max_fragments,
+        )
+        if not candidates:
+            raise CuttingError(
+                f"no valid cut plan splits {circuit.name!r} into fragments of width "
+                f"<= {self.max_fragment_width}"
+            )
+        return PlanResult(
+            circuit=circuit,
+            plan=candidates[0],
+            alternatives=tuple(candidates),
+            max_fragment_width=self.max_fragment_width,
+        )
+
+    # -- stage 2: decompose ------------------------------------------------------------
+
+    def decompose(self, plan_result: PlanResult) -> Decomposition:
+        """Build the tensor-product QPD term set for a plan.
+
+        One protocol is applied per cut location (the configured protocol is
+        replicated when a single instance was given); the term set is the
+        Cartesian product of the per-cut term sets with multiplied
+        coefficients, so its κ is the product of the per-cut κ values.  A
+        zero-cut plan (the circuit factorises into fitting fragments at
+        free slices) decomposes into the single identity term with κ = 1.
+
+        Parameters
+        ----------
+        plan_result:
+            The plan-stage artifact.
+
+        Returns
+        -------
+        Decomposition
+            The executable term circuits with coefficients and κ.
+        """
+        protocols = self._protocols_for(plan_result.plan)
+        if plan_result.plan.num_cuts == 0:
+            circuit = plan_result.circuit
+            identity_term = MultiCutTermCircuit(
+                circuit=circuit,
+                coefficient=1.0,
+                term_indices=(),
+                qubit_map={q: q for q in range(circuit.num_qubits)},
+                sign_clbits=(),
+                labels=(),
+            )
+            return Decomposition(
+                plan_result=plan_result,
+                protocols=(),
+                term_circuits=(identity_term,),
+            )
+        term_circuits = build_multi_cut_circuits(
+            plan_result.circuit, list(plan_result.plan.locations), list(protocols)
+        )
+        return Decomposition(
+            plan_result=plan_result,
+            protocols=protocols,
+            term_circuits=tuple(term_circuits),
+        )
+
+    # -- stage 3: execute --------------------------------------------------------------
+
+    def execute(
+        self,
+        decomposition: Decomposition,
+        observable: str | PauliString,
+        shots: int,
+        seed: SeedLike = None,
+    ) -> Execution:
+        """Spend the shot budget on the term set through the execution backend.
+
+        The budget is split across the product terms by the configured
+        allocation strategy, every term circuit is measured in the
+        observable's basis, and the whole batch is submitted to the backend
+        in one call — so the vectorized backend simulates structurally
+        identical terms as stacked NumPy computations and every backend
+        draws circuit ``i`` from seed stream ``i`` (bitwise identical
+        results across backends).
+
+        Parameters
+        ----------
+        decomposition:
+            The decompose-stage artifact.
+        observable:
+            Pauli observable over the original circuit's logical qubits (a
+            single letter refers to qubit 0).
+        shots:
+            Total shot budget across all term circuits.
+        seed:
+            Seed or generator for allocation and sampling.
+
+        Returns
+        -------
+        Execution
+            Raw per-term empirical summaries.
+        """
+        pauli = _as_pauli(observable, decomposition.circuit.num_qubits)
+        term_estimates, shots_per_term = execute_term_circuits(
+            decomposition.term_circuits,
+            pauli,
+            shots,
+            allocation=self.allocation,
+            seed=seed,
+            backend=self.backend,
+        )
+        return Execution(
+            decomposition=decomposition,
+            observable=pauli,
+            term_estimates=tuple(term_estimates),
+            shots_per_term=tuple(shots_per_term),
+            backend_name=self.backend.name,
+            allocation=self.allocation,
+        )
+
+    # -- stage 4: reconstruct ----------------------------------------------------------
+
+    def reconstruct(self, execution: Execution, compute_exact: bool = True) -> PipelineResult:
+        """Recombine the per-term means into the final estimate (Eq. 12).
+
+        Parameters
+        ----------
+        execution:
+            The execute-stage artifact.
+        compute_exact:
+            Also compute the exact uncut expectation value for error
+            reporting.
+
+        Returns
+        -------
+        PipelineResult
+            The estimate with propagated standard error and links to all
+            upstream artifacts.
+        """
+        estimate = combine_term_estimates(list(execution.term_estimates))
+        exact_value = None
+        if compute_exact:
+            exact_value = float(
+                exact_expectation(
+                    execution.decomposition.circuit, execution.observable.to_matrix()
+                )
+            )
+        return PipelineResult(
+            value=estimate.value,
+            standard_error=estimate.standard_error,
+            total_shots=estimate.total_shots,
+            kappa=estimate.kappa,
+            exact_value=exact_value,
+            execution=execution,
+        )
+
+    # -- convenience -------------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        observable: str | PauliString,
+        shots: int,
+        seed: SeedLike = None,
+        plan: MultiCutPlan | None = None,
+        positions: Sequence[int] | None = None,
+        locations: Sequence[CutLocation] | None = None,
+        compute_exact: bool = True,
+    ) -> PipelineResult:
+        """Run all four stages and return the final estimate.
+
+        Parameters
+        ----------
+        circuit:
+            The circuit to cut and estimate.
+        observable:
+            Pauli observable over the circuit's logical qubits.
+        shots:
+            Total shot budget.
+        seed:
+            Seed or generator for all sampling.
+        plan:
+            Optional explicit plan (skips the planner search).
+        positions:
+            Optional explicit time-slice positions (skips the search).
+        locations:
+            Optional explicit wire-cut locations (skips the search).
+        compute_exact:
+            Also compute the exact uncut value for error reporting.
+
+        Returns
+        -------
+        PipelineResult
+            The reconstructed estimate with stage artifacts attached.
+        """
+        plan_result = self.plan(circuit, plan=plan, positions=positions, locations=locations)
+        decomposition = self.decompose(plan_result)
+        execution = self.execute(decomposition, observable, shots, seed=seed)
+        return self.reconstruct(execution, compute_exact=compute_exact)
+
+    def exact_reconstruction(
+        self, decomposition: Decomposition, observable: str | PauliString
+    ) -> float:
+        """Return the decomposition's exact (infinite-shot) reconstructed value.
+
+        Every term circuit's exact outcome distribution is computed through
+        the configured backend and recombined as ``Σ_i c_i (2 p⁺_i − 1)``.
+        For valid protocols this equals the uncut expectation value; tests
+        use the agreement of the two as the end-to-end unbiasedness check of
+        the multi-cut gadget chain.
+
+        Parameters
+        ----------
+        decomposition:
+            The decompose-stage artifact.
+        observable:
+            Pauli observable over the original circuit's logical qubits.
+
+        Returns
+        -------
+        float
+            The exactly reconstructed expectation value.
+        """
+        pauli = _as_pauli(observable, decomposition.circuit.num_qubits)
+        measured = []
+        selected_clbits = []
+        for term_circuit in decomposition.term_circuits:
+            circuit, selected = measured_multi_cut_circuit(term_circuit, pauli)
+            measured.append(circuit)
+            selected_clbits.append(selected)
+        distributions = self.backend.exact_distributions(measured)
+        value = 0.0
+        for term_circuit, distribution, selected in zip(
+            decomposition.term_circuits, distributions, selected_clbits
+        ):
+            probability_plus = _probability_plus(distribution, selected)
+            value += term_circuit.coefficient * (2.0 * probability_plus - 1.0)
+        return float(value)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _protocols_for(self, plan: MultiCutPlan) -> tuple[WireCutProtocol, ...]:
+        """Resolve the configured protocol(s) into one protocol per cut location."""
+        num_cuts = plan.num_cuts
+        if num_cuts == 0:
+            return ()
+        if self.protocol is None:
+            if self.entanglement_overlap is not None:
+                template: WireCutProtocol = NMEWireCut.from_overlap(self.entanglement_overlap)
+            else:
+                template = HaradaWireCut()
+            return tuple([template] * num_cuts)
+        if isinstance(self.protocol, WireCutProtocol):
+            return tuple([self.protocol] * num_cuts)
+        protocols = tuple(self.protocol)
+        if len(protocols) != num_cuts:
+            raise CuttingError(
+                f"pipeline was configured with {len(protocols)} protocols but the plan "
+                f"has {num_cuts} cuts"
+            )
+        return protocols
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        """Return a short configuration summary."""
+        return (
+            f"CutPipeline(max_fragment_width={self.max_fragment_width}, "
+            f"backend={self.backend.name!r}, allocation={self.allocation!r})"
+        )

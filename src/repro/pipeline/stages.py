@@ -1,0 +1,213 @@
+"""Stage artifacts of the :class:`~repro.pipeline.CutPipeline`.
+
+The pipeline runs **plan → decompose → execute → reconstruct** and each
+stage returns a frozen artifact consumed by the next one.  Keeping the
+artifacts first-class (instead of threading raw tuples) makes every
+intermediate inspectable: a caller can stop after planning to compare
+alternatives, after decomposition to count QPD terms, or after execution to
+look at the raw per-term statistics before they are recombined.
+
+=====================  ======================================================
+:class:`PlanResult`    The chosen :class:`~repro.cutting.cut_finding.MultiCutPlan`
+                       plus the ranked alternatives the planner considered.
+:class:`Decomposition` The tensor-product QPD term set: one executable
+                       circuit per combination of per-cut protocol terms,
+                       with the product coefficients and total κ.
+:class:`Execution`     Raw per-term sampling statistics after the shot
+                       budget was spent through the execution backend.
+:class:`PipelineResult` The reconstructed expectation value with propagated
+                       standard error, plus references to every upstream
+                       artifact.
+=====================  ======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.cutting.base import WireCutProtocol
+from repro.cutting.cut_finding import MultiCutPlan
+from repro.cutting.multi_wire import MultiCutTermCircuit
+from repro.qpd.estimator import TermEstimate
+from repro.quantum.paulis import PauliString
+
+__all__ = ["PlanResult", "Decomposition", "Execution", "PipelineResult"]
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Output of the plan stage.
+
+    Attributes
+    ----------
+    circuit:
+        The (uncut) circuit the plan applies to.
+    plan:
+        The selected :class:`~repro.cutting.cut_finding.MultiCutPlan`.
+    alternatives:
+        Every valid plan the planner found, ranked best-first (the selected
+        plan is ``alternatives[0]`` when planning was automatic; empty when
+        an explicit plan was supplied).
+    max_fragment_width:
+        The device-width constraint the plan satisfies (``None`` when an
+        explicit plan bypassed the search).
+    """
+
+    circuit: QuantumCircuit
+    plan: MultiCutPlan
+    alternatives: tuple[MultiCutPlan, ...] = ()
+    max_fragment_width: int | None = None
+
+    @property
+    def num_cuts(self) -> int:
+        """Number of wire cuts in the selected plan."""
+        return self.plan.num_cuts
+
+    @property
+    def num_fragments(self) -> int:
+        """Number of fragments the selected plan produces."""
+        return self.plan.num_fragments
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """Output of the decompose stage: the tensor-product QPD term set.
+
+    Attributes
+    ----------
+    plan_result:
+        The upstream plan artifact.
+    protocols:
+        The wire-cut protocol applied at each cut location (same order as
+        ``plan_result.plan.locations``).
+    term_circuits:
+        One executable circuit per element of the Cartesian product of the
+        per-cut term sets, with multiplied coefficients.
+    """
+
+    plan_result: PlanResult
+    protocols: tuple[WireCutProtocol, ...]
+    term_circuits: tuple[MultiCutTermCircuit, ...]
+
+    @property
+    def circuit(self) -> QuantumCircuit:
+        """The original (uncut) circuit."""
+        return self.plan_result.circuit
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Product coefficient of every QPD term."""
+        return np.array([term.coefficient for term in self.term_circuits])
+
+    @property
+    def kappa(self) -> float:
+        """Total sampling overhead: the 1-norm of the product coefficients."""
+        return float(np.sum(np.abs(self.coefficients)))
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Coefficient-proportional sampling distribution over the terms."""
+        magnitudes = np.abs(self.coefficients)
+        return magnitudes / magnitudes.sum()
+
+    @property
+    def num_terms(self) -> int:
+        """Size of the product term set (``Π_i num_terms(protocol_i)``)."""
+        return len(self.term_circuits)
+
+
+@dataclass(frozen=True)
+class Execution:
+    """Output of the execute stage: raw per-term sampling statistics.
+
+    Attributes
+    ----------
+    decomposition:
+        The upstream decomposition artifact.
+    observable:
+        The measured Pauli observable (over the original logical qubits).
+    term_estimates:
+        Per-term empirical summaries (coefficient, mean, shots).
+    shots_per_term:
+        Shots assigned to each product term by the allocator.
+    backend_name:
+        Name of the execution backend that ran the batch.
+    allocation:
+        The shot-allocation strategy used.
+    """
+
+    decomposition: Decomposition
+    observable: PauliString
+    term_estimates: tuple[TermEstimate, ...]
+    shots_per_term: tuple[int, ...]
+    backend_name: str
+    allocation: str
+
+    @property
+    def total_shots(self) -> int:
+        """Total shots spent across all term circuits."""
+        return int(sum(self.shots_per_term))
+
+    @property
+    def entangled_pairs(self) -> int:
+        """Total pre-shared entangled pairs the execution consumed.
+
+        Each shot of a term consumes one pair per teleportation-based cut
+        gadget in that term (resource accounting for the paper's
+        pairs-per-shot relation, summed over the whole product term set).
+        """
+        return int(
+            sum(
+                term.entangled_pairs * shots
+                for term, shots in zip(
+                    self.decomposition.term_circuits, self.shots_per_term
+                )
+            )
+        )
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Final output of the pipeline: the reconstructed expectation value.
+
+    Attributes
+    ----------
+    value:
+        The recombined expectation-value estimate (Eq. 12).
+    standard_error:
+        Propagated standard error of ``value``.
+    total_shots:
+        Shots actually spent across all term circuits.
+    kappa:
+        Total sampling overhead of the tensor-product decomposition.
+    exact_value:
+        The exact (uncut) expectation value when it was computed alongside
+        the estimate; ``None`` otherwise.
+    execution:
+        The upstream execution artifact (which links back to the
+        decomposition and the plan), kept for inspection.
+    """
+
+    value: float
+    standard_error: float
+    total_shots: int
+    kappa: float
+    exact_value: float | None = None
+    execution: Execution | None = field(default=None, repr=False)
+
+    @property
+    def error(self) -> float | None:
+        """Absolute deviation from the exact value, when available."""
+        if self.exact_value is None:
+            return None
+        return abs(self.value - self.exact_value)
+
+    @property
+    def plan(self) -> MultiCutPlan | None:
+        """The cut plan the estimate was produced with, when available."""
+        if self.execution is None:
+            return None
+        return self.execution.decomposition.plan_result.plan

@@ -62,8 +62,14 @@ def state_fidelity(
     if rho.shape == (2, 2):
         # Single-qubit closed form F = Tr[ρσ] + 2√(det ρ · det σ); exact and
         # numerically stable where sqrtm loses precision near rank deficiency.
+        # The 2×2 determinants are expanded directly: LAPACK's det underflows
+        # to NaN on subnormal off-diagonal entries.
         cross = float(np.real(np.trace(rho @ sigma)))
-        dets = float(np.real(np.linalg.det(rho)) * np.real(np.linalg.det(sigma)))
+        det_rho = float(np.real(rho[0, 0] * rho[1, 1] - rho[0, 1] * rho[1, 0]))
+        det_sigma = float(np.real(sigma[0, 0] * sigma[1, 1] - sigma[0, 1] * sigma[1, 0]))
+        dets = det_rho * det_sigma
+        if not np.isfinite(dets):
+            dets = 0.0
         return float(cross + 2.0 * np.sqrt(max(dets, 0.0)))
     sqrt_rho = sqrtm(rho)
     inner = sqrtm(sqrt_rho @ sigma @ sqrt_rho)

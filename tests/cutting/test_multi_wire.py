@@ -149,3 +149,37 @@ class TestIndependentDecomposition:
     def test_requires_protocols(self):
         with pytest.raises(CuttingError):
             independent_cuts_decomposition([])
+
+
+class TestMultiCutBackends:
+    def test_backends_agree_bitwise(self):
+        from repro.experiments import ghz_circuit
+
+        circuit = ghz_circuit(4)
+        locations = [CutLocation(1, 2), CutLocation(2, 3)]
+        protocols = [HaradaWireCut(), HaradaWireCut()]
+        results = [
+            estimate_multi_cut_expectation(
+                circuit, locations, protocols, "ZZZZ", shots=2000, seed=17, backend=backend
+            )
+            for backend in ("serial", "vectorized")
+        ]
+        assert results[0].value == results[1].value
+        assert results[0].shots_per_term == results[1].shots_per_term
+
+    def test_same_wire_two_positions_supported(self):
+        circuit = QuantumCircuit(3)
+        circuit.ry(0.9, 0)
+        circuit.cx(0, 1)
+        circuit.cx(0, 2)
+        locations = [CutLocation(0, 1), CutLocation(0, 2)]
+        result = estimate_multi_cut_expectation(
+            circuit,
+            locations,
+            [HaradaWireCut(), HaradaWireCut()],
+            "ZZZ",
+            shots=40_000,
+            seed=23,
+            backend="vectorized",
+        )
+        assert result.exact_value == pytest.approx(result.value, abs=0.25)

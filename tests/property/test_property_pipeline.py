@@ -1,0 +1,90 @@
+"""Property-based tests: the multi-cut QPD pipeline estimate is unbiased."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.expectation import exact_expectation
+from repro.experiments import ghz_circuit
+from repro.pipeline import CutPipeline
+from repro.quantum.paulis import PauliString
+
+from tests.property.strategies import angles
+
+FAST_SETTINGS = settings(max_examples=12, deadline=None)
+
+_OBSERVABLES = st.sampled_from(["ZZZ", "ZIZ", "XXI", "IZZ", "ZXZ"])
+
+
+def _chain_circuit(theta_a: float, theta_b: float, theta_c: float) -> QuantumCircuit:
+    """A 3-qubit chain whose natural 2-cut plan has one cut per slice."""
+    circuit = QuantumCircuit(3)
+    circuit.ry(theta_a, 0)
+    circuit.cx(0, 1)
+    circuit.ry(theta_b, 1)
+    circuit.cx(1, 2)
+    circuit.ry(theta_c, 2)
+    return circuit
+
+
+class TestExactReconstructionIsUnbiased:
+    """The infinite-shot limit of the 2-cut estimator equals the uncut value."""
+
+    @FAST_SETTINGS
+    @given(theta_a=angles, theta_b=angles, theta_c=angles, observable=_OBSERVABLES)
+    def test_two_cut_chain_reconstructs_exactly(
+        self, theta_a, theta_b, theta_c, observable
+    ):
+        circuit = _chain_circuit(theta_a, theta_b, theta_c)
+        exact = exact_expectation(circuit, PauliString(observable).to_matrix())
+        pipeline = CutPipeline(backend="vectorized")
+        decomposition = pipeline.decompose(pipeline.plan(circuit, positions=(2, 4)))
+        assert decomposition.plan_result.num_cuts == 2
+        reconstructed = pipeline.exact_reconstruction(decomposition, observable)
+        assert reconstructed == pytest.approx(exact, abs=1e-9)
+
+    @FAST_SETTINGS
+    @given(theta_a=angles, theta_b=angles, theta_c=angles)
+    def test_entanglement_assisted_chain_reconstructs_exactly(
+        self, theta_a, theta_b, theta_c
+    ):
+        circuit = _chain_circuit(theta_a, theta_b, theta_c)
+        exact = exact_expectation(circuit, PauliString("ZZZ").to_matrix())
+        pipeline = CutPipeline(entanglement_overlap=0.8, backend="vectorized")
+        decomposition = pipeline.decompose(pipeline.plan(circuit, positions=(2, 4)))
+        reconstructed = pipeline.exact_reconstruction(decomposition, "ZZZ")
+        assert reconstructed == pytest.approx(exact, abs=1e-9)
+
+
+@pytest.mark.integration
+class TestFiniteShotUnbiasedness:
+    """Finite-shot estimates average to the exact value within statistics."""
+
+    def test_two_cut_ghz_mean_matches_exact(self):
+        circuit = ghz_circuit(4)
+        shots = 2000
+        num_repeats = 200
+        pipeline = CutPipeline(max_fragment_width=2, backend="vectorized")
+        decomposition = pipeline.decompose(pipeline.plan(circuit))
+        assert decomposition.plan_result.num_cuts == 2
+
+        values = []
+        errors = []
+        for seed in range(num_repeats):
+            execution = pipeline.execute(decomposition, "ZZZZ", shots, seed=seed)
+            result = pipeline.reconstruct(execution, compute_exact=False)
+            values.append(result.value)
+            errors.append(result.standard_error)
+        mean = float(np.mean(values))
+        # Standard error of the mean, from the per-estimate spread.
+        sem = float(np.std(values, ddof=1) / np.sqrt(num_repeats))
+        assert mean == pytest.approx(1.0, abs=max(5 * sem, 1e-3)), (
+            f"2-cut estimate looks biased: mean {mean:.4f}, sem {sem:.4f}"
+        )
+        # The propagated per-estimate error bar should match the empirical
+        # spread to within a factor ~2 (it uses the Bernoulli bound).
+        empirical = float(np.std(values, ddof=1))
+        predicted = float(np.mean(errors))
+        assert 0.3 * empirical < predicted < 3.0 * empirical

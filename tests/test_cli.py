@@ -12,9 +12,21 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for command in ("figure6", "overhead", "protocols", "resources", "ablations", "cut"):
+        for command in ("figure6", "overhead", "protocols", "resources", "ablations"):
             args = parser.parse_args([command])
             assert args.command == command
+
+    def test_cut_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cut"])
+
+    def test_cut_subcommands(self):
+        parser = build_parser()
+        run_args = parser.parse_args(["cut", "run", "--width", "2", "--workload", "random"])
+        assert run_args.command == "cut" and run_args.cut_command == "run"
+        assert run_args.width == 2 and run_args.workload == "random"
+        demo_args = parser.parse_args(["cut", "demo", "--qubits", "3"])
+        assert demo_args.cut_command == "demo" and demo_args.qubits == 3
 
     def test_figure6_options(self):
         args = build_parser().parse_args(["figure6", "--states", "5", "--seed", "3", "--csv", "x.csv"])
@@ -41,10 +53,21 @@ class TestCommands:
         assert csv_path.exists()
         assert "mean_error" in capsys.readouterr().out
 
-    def test_cut_command(self, capsys):
-        assert main(["cut", "--qubits", "3", "--shots", "500", "--seed", "2"]) == 0
+    def test_cut_demo_command(self, capsys):
+        assert main(["cut", "demo", "--qubits", "3", "--shots", "500", "--seed", "2"]) == 0
         out = capsys.readouterr().out
         assert "harada" in out and "teleportation" in out
+
+    def test_cut_run_command(self, capsys):
+        assert main(
+            ["cut", "run", "--qubits", "4", "--width", "2", "--shots", "500", "--seed", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out and "decomposition:" in out and "reconstruct:" in out
+
+    def test_cut_run_reports_planning_failure(self, capsys):
+        assert main(["cut", "run", "--qubits", "3", "--width", "1", "--shots", "100"]) == 1
+        assert "planning failed" in capsys.readouterr().out
 
     def test_overhead_csv(self, capsys, tmp_path):
         csv_path = tmp_path / "overhead.csv"
