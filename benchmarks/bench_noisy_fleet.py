@@ -1,0 +1,127 @@
+"""Noise-robustness benchmark: cut estimation on a noisy virtual-device fleet.
+
+Run with ``pytest benchmarks/bench_noisy_fleet.py -q -s``.
+
+Two sweeps from :mod:`repro.experiments.noisy_fleet` are executed and
+archived as ``BENCH_noisy_fleet.json`` (path overridable via
+``REPRO_BENCH_OUT``; CI uploads it next to the other benchmark artifacts):
+
+* **bias-vs-bound** — the paper's single-qubit NME workload reconstructed
+  exactly on fleets of devices with two-qubit depolarising gate noise.  The
+  measured bias must stay within the analytic
+  :func:`~repro.cutting.noise.worst_case_z_bias` bound evaluated at the
+  effective resource strength ``p_comb = 1 − (1 − p)²`` (both entangling
+  gates of the teleport gadget fold into the shared pair) — this is a hard
+  assertion for every swept noise strength, the executable/analytic
+  cross-check of the noise layer.
+* **noise × split policy** — GHZ and random-layered workloads through the
+  full pipeline on a heterogeneous 3-device fleet, sweeping noise scale ×
+  split policy at finite shots.
+
+The seeded determinism contract is also enforced here: the same device spec
+and seed must produce bitwise-identical counts and estimates whether the
+devices wrap the serial or the vectorized inner backend.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    fleet_bias_vs_bound,
+    ghz_circuit,
+    noisy_fleet_robustness,
+)
+from repro.devices import fleet_from_spec, example_fleet_spec
+from repro.pipeline import CutPipeline
+
+NOISE_LEVELS = (0.0, 0.02, 0.05, 0.1, 0.2)
+NOISE_SCALES = (0.0, 0.02, 0.05, 0.1)
+SPLIT_POLICIES = ("uniform", "capacity", "fidelity")
+K = 0.5
+SHOTS = 2000
+
+
+def test_fleet_bias_within_analytic_bound():
+    """Measured fleet-reconstruction bias obeys the worst-case-Z analytic bound."""
+    table = fleet_bias_vs_bound(k=K, noise_levels=NOISE_LEVELS, num_states=5)
+    for index in range(table.num_rows):
+        row = table.row(index)
+        assert row["within_bound"], (
+            f"measured bias {row['measured_bias']:.4f} exceeds analytic bound "
+            f"{row['analytic_bound']:.4f} at depolarizing_p={row['depolarizing_p']}"
+        )
+        if row["depolarizing_p"] > 0:
+            assert row["measured_bias"] > 0, "noise should bias the reconstruction"
+
+
+def test_fleet_runs_are_bitwise_reproducible_across_inner_backends():
+    """Same device spec + seed => identical counts and estimate, any inner backend."""
+    circuit = ghz_circuit(4)
+    results = {}
+    for inner in ("serial", "vectorized"):
+        fleet = fleet_from_spec(example_fleet_spec(), inner=inner)
+        pipeline = CutPipeline(max_fragment_width=2, backend=fleet)
+        result = pipeline.run(circuit, "ZZZZ", shots=SHOTS, seed=99)
+        results[inner] = result
+    assert results["serial"].value == results["vectorized"].value
+    assert results["serial"].standard_error == results["vectorized"].standard_error
+    assert (
+        results["serial"].execution.shots_per_term
+        == results["vectorized"].execution.shots_per_term
+    )
+
+
+def test_benchmark_noisy_fleet_sweep(benchmark):
+    """Wall clock of the full noise × split-policy fleet sweep."""
+    table = benchmark.pedantic(
+        noisy_fleet_robustness,
+        kwargs={"noise_scales": NOISE_SCALES, "split_policies": SPLIT_POLICIES, "shots": SHOTS},
+        rounds=1,
+        iterations=1,
+    )
+    assert table.num_rows == 2 * len(NOISE_SCALES) * len(SPLIT_POLICIES)
+
+
+def test_noisy_fleet_writes_artifact():
+    """Run both sweeps and archive BENCH_noisy_fleet.json for CI."""
+    start = time.perf_counter()
+    bias_table = fleet_bias_vs_bound(k=K, noise_levels=NOISE_LEVELS, num_states=5)
+    bias_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    robustness_table = noisy_fleet_robustness(
+        noise_scales=NOISE_SCALES, split_policies=SPLIT_POLICIES, shots=SHOTS
+    )
+    robustness_seconds = time.perf_counter() - start
+
+    all_within = all(bias_table.columns["within_bound"])
+    assert all_within, "bias-vs-bound validation failed; see test_fleet_bias_within_analytic_bound"
+
+    record = {
+        "benchmark": "noisy_fleet",
+        "k": K,
+        "noise_levels": list(NOISE_LEVELS),
+        "noise_scales": list(NOISE_SCALES),
+        "split_policies": list(SPLIT_POLICIES),
+        "shots": SHOTS,
+        "bias_within_bound": all_within,
+        "bias_seconds": round(bias_seconds, 4),
+        "robustness_seconds": round(robustness_seconds, 4),
+        "bias_vs_bound": {
+            "columns": {key: list(values) for key, values in bias_table.columns.items()},
+            "metadata": dict(bias_table.metadata or {}),
+        },
+        "noise_robustness": {
+            "columns": {key: list(values) for key, values in robustness_table.columns.items()},
+            "metadata": dict(robustness_table.metadata or {}),
+        },
+    }
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_noisy_fleet.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n{bias_table.to_text()}")
+    print(f"\n{robustness_table.to_text()}")
+    print(f"\nwrote {out_path}")

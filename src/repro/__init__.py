@@ -11,6 +11,9 @@ The package provides:
 * :mod:`repro.teleport` — quantum teleportation with arbitrary resource states,
 * :mod:`repro.cutting` — wire-cutting protocols, including the paper's NME
   wire cut (Theorem 2), plus baselines and extensions,
+* :mod:`repro.devices` — noisy virtual devices and the shot-wise
+  :class:`~repro.devices.DeviceFleet` scheduler distributing cut circuits
+  across heterogeneous (noisy, width-limited) backends,
 * :mod:`repro.pipeline` — the :class:`~repro.pipeline.CutPipeline`
   orchestration layer running plan → decompose → execute → reconstruct for
   multi-cut workloads,

@@ -27,6 +27,13 @@ Available backends
                        multi-core machines.
 =====================  ======================================================
 
+Two further implementations live in :mod:`repro.devices` and slot into the
+same seam: :class:`~repro.devices.NoisyDeviceBackend` (any backend above plus
+a per-device noise model) and :class:`~repro.devices.DeviceFleet` (shot-wise
+distribution of every circuit across several noisy devices).  Pass their
+*instances* wherever a backend is accepted — :func:`resolve_backend` forwards
+any object implementing the protocol.
+
 Determinism contract
 --------------------
 
@@ -410,7 +417,9 @@ def resolve_backend(
     ``None`` resolves to :class:`SerialBackend` with the requested shot-simulator
     ``method``, preserving the pre-backend behaviour of the executor.  A
     non-``exact`` method is only available serially, so asking any other
-    backend for it is an error.
+    backend for it is an error.  Instances (including
+    :class:`~repro.devices.NoisyDeviceBackend` and
+    :class:`~repro.devices.DeviceFleet`) pass through unchanged.
     """
     if backend is None:
         return SerialBackend(method=method)

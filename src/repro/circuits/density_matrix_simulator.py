@@ -11,10 +11,23 @@ the teleportation and wire-cut circuits (≤ 3 measurements), so this is both
 exact and fast.  The exact classical-outcome distribution it produces is what
 the fast "exact sampling" mode of :class:`~repro.circuits.shot_simulator.ShotSimulator`
 draws from.
+
+Gate noise
+----------
+
+The simulator accepts an optional ``gate_noise`` hook: a callable receiving
+each ``gate`` instruction and returning *local* Kraus operators (acting on
+the instruction's qubits, in instruction order) to apply immediately after
+the gate, or ``None`` for no noise.  Because a density matrix is evolved,
+arbitrary CPTP noise — depolarising, amplitude damping, their compositions —
+is exact, not sampled.  This is the mechanism behind
+:class:`repro.devices.NoisyDeviceBackend`; the hook lives here so the
+circuits layer stays ignorant of device modelling.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,7 +38,7 @@ from repro.circuits.instruction import BARRIER, GATE, INITIALIZE, MEASURE, RESET
 from repro.quantum.states import DensityMatrix, Statevector
 from repro.utils.linalg import expand_operator
 
-__all__ = ["DensityMatrixSimulator", "BranchedResult", "Branch"]
+__all__ = ["DensityMatrixSimulator", "BranchedResult", "Branch", "GateNoiseHook"]
 
 
 @dataclass(frozen=True)
@@ -101,8 +114,26 @@ class BranchedResult:
         return DensityMatrix(total / weight, validate=False)
 
 
+#: Signature of the optional gate-noise hook: instruction -> local Kraus
+#: operators on the instruction's qubits, or None for a noiseless gate.
+GateNoiseHook = Callable[..., "Sequence[np.ndarray] | None"]
+
+
 class DensityMatrixSimulator:
-    """Exact simulator supporting the full instruction set."""
+    """Exact simulator supporting the full instruction set.
+
+    Parameters
+    ----------
+    gate_noise:
+        Optional hook called with every ``gate`` instruction; when it returns
+        a sequence of Kraus operators (acting on the gate's qubits, in
+        instruction order) the corresponding channel is applied right after
+        the gate, on exactly the branches the gate acted on (classically
+        conditioned gates stay noiseless on branches that skip them).
+    """
+
+    def __init__(self, gate_noise: GateNoiseHook | None = None):
+        self._gate_noise = gate_noise
 
     def run(
         self,
@@ -166,14 +197,22 @@ class DensityMatrixSimulator:
             )
         return rho
 
-    @staticmethod
     def _apply_gate(
+        self,
         branches: dict[tuple[int, ...], np.ndarray],
         instruction,
         num_qubits: int,
     ) -> dict[tuple[int, ...], np.ndarray]:
         unitary = expand_operator(instruction.matrix, list(instruction.qubits), num_qubits)
         unitary_dag = unitary.conj().T
+        kraus_full: list[np.ndarray] | None = None
+        if self._gate_noise is not None:
+            kraus_local = self._gate_noise(instruction)
+            if kraus_local is not None:
+                kraus_full = [
+                    expand_operator(np.asarray(k, dtype=complex), list(instruction.qubits), num_qubits)
+                    for k in kraus_local
+                ]
         updated: dict[tuple[int, ...], np.ndarray] = {}
         for clbits, matrix in branches.items():
             if instruction.condition is not None:
@@ -181,7 +220,10 @@ class DensityMatrixSimulator:
                 if clbits[clbit] != value:
                     updated[clbits] = matrix
                     continue
-            updated[clbits] = unitary @ matrix @ unitary_dag
+            evolved = unitary @ matrix @ unitary_dag
+            if kraus_full is not None:
+                evolved = sum(k @ evolved @ k.conj().T for k in kraus_full)
+            updated[clbits] = evolved
         return updated
 
     @staticmethod

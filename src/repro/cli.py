@@ -10,8 +10,10 @@ Exposes the experiment harness without writing any Python:
 * ``ablations`` — run the allocation / gate-vs-wire / multi-cut /
   noisy-resource ablations.
 * ``cut run`` — plan and execute a multi-cut :class:`~repro.pipeline.CutPipeline`
-  on a chosen workload under a device-width constraint.
+  on a chosen workload under a device-width constraint (``--devices spec.json``
+  runs the term circuits on a noisy :class:`~repro.devices.DeviceFleet`).
 * ``cut demo`` — cut a demo GHZ circuit and report the estimate per protocol.
+* ``devices list`` — show a fleet spec's devices, noise rates and shot shares.
 """
 
 from __future__ import annotations
@@ -57,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
     ablations.add_argument("--states", type=int, default=20)
     ablations.add_argument("--shots", type=int, default=2000)
     ablations.add_argument("--seed", type=int, default=11)
+    ablations.add_argument(
+        "--noise-levels",
+        type=float,
+        nargs="+",
+        default=None,
+        help="depolarising strengths for the noisy-resource ablation (each in [0, 1])",
+    )
 
     cut = subparsers.add_parser("cut", help="cut circuits (pipeline runner and demo)")
     cut_commands = cut.add_subparsers(dest="cut_command", required=True)
@@ -91,7 +100,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=_BACKEND_CHOICES,
         default="vectorized",
-        help="execution backend for the term-circuit batches",
+        help="execution backend for the term-circuit batches "
+        "(with --devices: the ideal backend each virtual device wraps)",
+    )
+    cut_run.add_argument(
+        "--devices",
+        type=str,
+        default=None,
+        metavar="SPEC.json",
+        help="run the term circuits on the noisy device fleet described by this JSON spec",
+    )
+    cut_run.add_argument(
+        "--split",
+        choices=("uniform", "capacity", "fidelity"),
+        default=None,
+        help="override the fleet spec's shot-split policy (requires --devices)",
     )
 
     cut_demo = cut_commands.add_parser(
@@ -108,6 +131,33 @@ def build_parser() -> argparse.ArgumentParser:
         choices=_BACKEND_CHOICES,
         default="serial",
         help="execution backend for the term-circuit sampling",
+    )
+
+    devices = subparsers.add_parser(
+        "devices", help="inspect noisy virtual-device fleets"
+    )
+    devices_commands = devices.add_subparsers(dest="devices_command", required=True)
+    devices_list = devices_commands.add_parser(
+        "list", help="show a fleet spec's devices, noise rates and shot shares"
+    )
+    devices_list.add_argument(
+        "--devices",
+        type=str,
+        default=None,
+        metavar="SPEC.json",
+        help="fleet spec to show; omit for the built-in 3-device example",
+    )
+    devices_list.add_argument(
+        "--split",
+        choices=("uniform", "capacity", "fidelity"),
+        default=None,
+        help="override the spec's shot-split policy",
+    )
+    devices_list.add_argument(
+        "--shots", type=int, default=1000, help="budget used for the example shot shares"
+    )
+    devices_list.add_argument(
+        "--qubits", type=int, default=4, help="circuit width used for the example shot shares"
     )
 
     return parser
@@ -158,6 +208,8 @@ def _command_resources(_: argparse.Namespace) -> int:
 
 
 def _command_ablations(args: argparse.Namespace) -> int:
+    from repro.exceptions import CuttingError
+    from repro.cutting.noise import validate_noise_strength
     from repro.experiments import (
         allocation_strategy_ablation,
         gate_vs_wire_cut,
@@ -165,14 +217,34 @@ def _command_ablations(args: argparse.Namespace) -> int:
         noisy_resource_ablation,
     )
 
+    noise_kwargs = {}
+    if args.noise_levels is not None:
+        # Validate every sweep value at the CLI boundary so a bad flag fails
+        # before any ablation has run.
+        try:
+            noise_kwargs["noise_levels"] = tuple(
+                validate_noise_strength(p, name="--noise-levels entry")
+                for p in args.noise_levels
+            )
+        except CuttingError as error:
+            print(f"invalid --noise-levels: {error}")
+            return 1
+
     print(allocation_strategy_ablation(num_states=args.states, shots=args.shots, seed=args.seed).to_text())
     print()
     print(gate_vs_wire_cut(shots=max(args.shots, 1000), seed=args.seed).to_text())
     print()
     print(multi_cut_pipeline_ablation(shots=max(args.shots, 1000), seed=args.seed).to_text())
     print()
-    print(noisy_resource_ablation().to_text())
+    print(noisy_resource_ablation(**noise_kwargs).to_text())
     return 0
+
+
+def _load_fleet_backend(spec_path: str, inner: str, split: str | None):
+    """Build the ``--devices`` fleet, honouring an optional ``--split`` override."""
+    from repro.devices import load_fleet
+
+    return load_fleet(spec_path, inner=inner, split=split)
 
 
 def _command_cut(args: argparse.Namespace) -> int:
@@ -182,7 +254,7 @@ def _command_cut(args: argparse.Namespace) -> int:
 
 
 def _command_cut_run(args: argparse.Namespace) -> int:
-    from repro.exceptions import CuttingError
+    from repro.exceptions import CuttingError, DeviceError
     from repro.experiments import ghz_circuit, random_layered_circuit
     from repro.pipeline import CutPipeline
 
@@ -191,11 +263,23 @@ def _command_cut_run(args: argparse.Namespace) -> int:
     else:
         circuit = random_layered_circuit(args.qubits, args.depth, seed=args.seed)
     observable = "Z" * args.qubits
+
+    backend = args.backend
+    if args.devices is not None:
+        try:
+            backend = _load_fleet_backend(args.devices, args.backend, args.split)
+        except DeviceError as error:
+            print(f"invalid device spec: {error}")
+            return 1
+    elif args.split is not None:
+        print("--split requires --devices")
+        return 1
+
     try:
         pipeline = CutPipeline(
             max_fragment_width=args.width,
             entanglement_overlap=args.overlap,
-            backend=args.backend,
+            backend=backend,
             allocation=args.allocation,
             max_cuts=args.max_cuts,
         )
@@ -219,7 +303,14 @@ def _command_cut_run(args: argparse.Namespace) -> int:
         f"decomposition: {decomposition.num_terms} product terms, "
         f"kappa={decomposition.kappa:.3f} (shot overhead kappa^2={decomposition.kappa**2:.2f})"
     )
-    execution = pipeline.execute(decomposition, observable, shots=args.shots, seed=args.seed)
+    try:
+        execution = pipeline.execute(decomposition, observable, shots=args.shots, seed=args.seed)
+    except DeviceError as error:
+        # Term circuits grow wider than the original (cut gadgets add a
+        # receiver + ancilla qubit per cut), so a fleet can reject them even
+        # though planning succeeded.
+        print(f"fleet execution failed: {error}")
+        return 1
     result = pipeline.reconstruct(execution)
     pairs = f", consuming {execution.entangled_pairs} entangled pairs" if args.overlap else ""
     print(
@@ -264,6 +355,56 @@ def _command_cut_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_devices(args: argparse.Namespace) -> int:
+    return _command_devices_list(args)
+
+
+def _command_devices_list(args: argparse.Namespace) -> int:
+    from repro.exceptions import DeviceError
+    from repro.devices import example_fleet_spec, fleet_from_spec
+    from repro.experiments import ghz_circuit
+
+    try:
+        if args.devices is not None:
+            fleet = _load_fleet_backend(args.devices, "vectorized", args.split)
+            source = args.devices
+        else:
+            spec = example_fleet_spec()
+            if args.split is not None:
+                spec["split"] = args.split
+            fleet = fleet_from_spec(spec)
+            source = "built-in example fleet (see repro.devices.example_fleet_spec)"
+    except DeviceError as error:
+        print(f"invalid device spec: {error}")
+        return 1
+
+    rows = fleet.describe()
+    print(f"fleet: {fleet.name} — {source}")
+    header = (
+        f"{'device':<12}{'capacity':>9}{'max_q':>7}{'dep_1q':>8}{'dep_2q':>8}"
+        f"{'amp_damp':>10}{'ro_p01':>8}{'ro_p10':>8}{'fidelity':>10}{'share':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        max_q = "-" if row["max_qubits"] is None else str(row["max_qubits"])
+        print(
+            f"{row['name']:<12}{row['capacity']:>9.2f}{max_q:>7}"
+            f"{row['depolarizing_1q']:>8.4f}{row['depolarizing_2q']:>8.4f}"
+            f"{row['amplitude_damping']:>10.4f}{row['readout_p01']:>8.4f}"
+            f"{row['readout_p10']:>8.4f}{row['fidelity_weight']:>10.4f}"
+            f"{row['shot_share']:>8.3f}"
+        )
+    try:
+        shares = fleet.plan_shares(ghz_circuit(args.qubits), args.shots)
+    except DeviceError as error:
+        print(f"\nno schedule for a {args.qubits}-qubit circuit: {error}")
+        return 0
+    schedule = ", ".join(f"{name}={count}" for name, count in shares.items())
+    print(f"\n{args.shots} shots of a {args.qubits}-qubit circuit -> {schedule}")
+    return 0
+
+
 _COMMANDS = {
     "figure6": _command_figure6,
     "overhead": _command_overhead,
@@ -271,6 +412,7 @@ _COMMANDS = {
     "resources": _command_resources,
     "ablations": _command_ablations,
     "cut": _command_cut,
+    "devices": _command_devices,
 }
 
 

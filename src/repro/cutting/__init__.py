@@ -45,6 +45,7 @@ from repro.cutting.noise import (
     noisy_phi_k,
     noisy_resource_overhead,
     reconstruction_bias,
+    validate_noise_strength,
     worst_case_z_bias,
 )
 from repro.cutting.overhead import (
@@ -142,6 +143,7 @@ __all__ = [
     "plan_from_locations",
     "plan_from_positions",
     # noise extension
+    "validate_noise_strength",
     "noisy_phi_k",
     "noisy_resource_overhead",
     "effective_cut_superoperator",

@@ -30,6 +30,7 @@ from repro.quantum.states import DensityMatrix
 from repro.teleport.channel import teleportation_error_probabilities
 
 __all__ = [
+    "validate_noise_strength",
     "noisy_phi_k",
     "noisy_resource_overhead",
     "effective_cut_superoperator",
@@ -39,13 +40,46 @@ __all__ = [
 ]
 
 
+def validate_noise_strength(value, name: str = "depolarizing_p") -> float:
+    """Normalise and validate a noise strength, raising a clear :class:`CuttingError`.
+
+    This is the single boundary check shared by :func:`noisy_phi_k`, the
+    noisy-resource ablation and the CLI / fleet sweep entry points, so a bad
+    sweep value fails immediately with the offending value named instead of
+    surfacing deep inside a channel constructor.
+
+    Parameters
+    ----------
+    value:
+        Candidate noise strength; anything convertible to ``float``.
+    name:
+        Parameter name used in the error message.
+
+    Returns
+    -------
+    float
+        The validated strength in ``[0, 1]``.
+
+    Raises
+    ------
+    CuttingError
+        When ``value`` is not a finite number in ``[0, 1]``.
+    """
+    try:
+        strength = float(value)
+    except (TypeError, ValueError):
+        raise CuttingError(f"{name} must be a number in [0, 1], got {value!r}") from None
+    if not np.isfinite(strength) or not 0.0 <= strength <= 1.0:
+        raise CuttingError(f"{name} must be in [0, 1], got {value!r}")
+    return strength
+
+
 def noisy_phi_k(k: float, depolarizing_p: float) -> DensityMatrix:
     """Return ``|Φ_k⟩`` after two-qubit depolarising noise of strength ``p``.
 
     ``p = 0`` returns the pure state; ``p = 1`` the maximally mixed state.
     """
-    if not 0.0 <= depolarizing_p <= 1.0:
-        raise CuttingError(f"depolarizing_p must be in [0, 1], got {depolarizing_p}")
+    depolarizing_p = validate_noise_strength(depolarizing_p)
     pure = phi_k_density(k)
     noise = depolarizing_channel(depolarizing_p, num_qubits=2)
     return noise.apply(pure)

@@ -1,0 +1,68 @@
+"""Noisy virtual devices and shot-wise fleet scheduling.
+
+This package turns the ideal execution backends of
+:mod:`repro.circuits.backends` into a *noisy, width-limited, heterogeneous*
+execution layer — the setting the paper's wire-cutting protocols exist for:
+
+:class:`NoiseModel`
+    Per-device gate noise (depolarising, amplitude damping) plus classical
+    readout confusion, with a stable fingerprint for cache keying.
+:class:`NoisyDeviceBackend`
+    Wraps any :class:`~repro.circuits.backends.SimulatorBackend` and applies
+    a noise model exactly (density-matrix evolution, distribution-level
+    readout confusion).
+:class:`VirtualDevice` / :class:`DeviceFleet`
+    A named fleet of noisy devices.  The fleet is itself a backend: each
+    submitted circuit's shot budget is split across devices by a pluggable
+    policy (uniform / capacity / fidelity weighted), sampled per device, and
+    merged back into one histogram — deterministic for a fixed seed and
+    device spec.
+Fleet specs
+    :func:`load_fleet` / :func:`fleet_from_spec` build fleets from small
+    JSON documents (the CLI's ``--devices`` flag).
+"""
+
+from repro.devices.backend import NoisyDeviceBackend, noisy_cache_key
+from repro.devices.fleet import (
+    DeviceFleet,
+    VirtualDevice,
+    example_fleet_spec,
+    fleet_from_spec,
+    load_fleet,
+)
+from repro.devices.noise_model import NoiseModel
+from repro.devices.policies import (
+    MERGE_POLICY_NAMES,
+    SPLIT_POLICY_NAMES,
+    CapacityWeightedSplit,
+    FidelityWeightedSplit,
+    MergePolicy,
+    SplitPolicy,
+    UniformSplit,
+    WeightedCountsMerge,
+    apportion_shots,
+    resolve_merge_policy,
+    resolve_split_policy,
+)
+
+__all__ = [
+    "NoiseModel",
+    "NoisyDeviceBackend",
+    "noisy_cache_key",
+    "VirtualDevice",
+    "DeviceFleet",
+    "fleet_from_spec",
+    "load_fleet",
+    "example_fleet_spec",
+    "SplitPolicy",
+    "UniformSplit",
+    "CapacityWeightedSplit",
+    "FidelityWeightedSplit",
+    "MergePolicy",
+    "WeightedCountsMerge",
+    "apportion_shots",
+    "resolve_split_policy",
+    "resolve_merge_policy",
+    "SPLIT_POLICY_NAMES",
+    "MERGE_POLICY_NAMES",
+]

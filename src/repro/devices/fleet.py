@@ -1,0 +1,511 @@
+"""Virtual devices and the shot-wise :class:`DeviceFleet` scheduler.
+
+A :class:`VirtualDevice` is a named, width-limited QPU description — a
+capacity weight plus a :class:`~repro.devices.noise_model.NoiseModel`.  A
+:class:`DeviceFleet` owns several of them and *is itself* a
+:class:`~repro.circuits.backends.SimulatorBackend`: it can be passed
+anywhere a backend is accepted (``CutPipeline(backend=fleet)``,
+``estimate_multi_cut_expectation(..., backend=fleet)``, the CLI's
+``--devices``), and every QPD term circuit submitted to it is shot-wise
+distributed across the devices under the configured split policy, executed
+noisily, and merged back into one histogram.
+
+Determinism contract
+--------------------
+
+``run_batch`` spawns one child seed stream per circuit (the library-wide
+contract) and each circuit's stream spawns one grandchild per device, so
+device ``d``'s share of circuit ``i`` is always sampled from stream
+``(i, d)`` — the same device spec and seed reproduce identical
+:class:`~repro.circuits.counts.Counts` bitwise, whatever the inner backends
+do, and adding shots to one device never perturbs another's draw.
+
+Fleet specs
+-----------
+
+Fleets serialise to a small JSON document (see :func:`fleet_from_spec`)::
+
+    {
+      "split": "capacity",
+      "merge": "weighted",
+      "devices": [
+        {"name": "qpu_a", "capacity": 4, "max_qubits": 5,
+         "noise": {"depolarizing_2q": 0.01, "readout_p10": 0.02}},
+        {"name": "qpu_b", "capacity": 1,
+         "noise": {"depolarizing_2q": 0.05}}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import DeviceError
+from repro.circuits.backends import DistributionCache, SimulatorBackend, _check_batch
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.counts import Counts
+from repro.devices.backend import NoisyDeviceBackend
+from repro.devices.noise_model import NoiseModel
+from repro.devices.policies import (
+    MergePolicy,
+    SplitPolicy,
+    apportion_shots,
+    resolve_merge_policy,
+    resolve_split_policy,
+)
+from repro.utils.rng import SeedLike, spawn_seed_sequences
+
+__all__ = [
+    "VirtualDevice",
+    "DeviceFleet",
+    "fleet_from_spec",
+    "load_fleet",
+    "example_fleet_spec",
+]
+
+
+@dataclass(frozen=True)
+class VirtualDevice:
+    """One named virtual QPU: a capacity weight, a width limit and a noise model.
+
+    Attributes
+    ----------
+    name:
+        Device identifier (unique within a fleet).
+    capacity:
+        Relative throughput weight used by the capacity split policy.
+    max_qubits:
+        Largest circuit (in qubits) the device accepts; ``None`` means
+        unlimited.  Wider circuits are routed around the device.
+    noise:
+        The device's error model.
+    """
+
+    name: str
+    capacity: float = 1.0
+    max_qubits: int | None = None
+    noise: NoiseModel = field(default_factory=NoiseModel)
+
+    def __post_init__(self):
+        if not self.name:
+            raise DeviceError("a device needs a non-empty name")
+        if self.capacity <= 0:
+            raise DeviceError(f"device {self.name!r}: capacity must be positive, got {self.capacity}")
+        if self.max_qubits is not None and self.max_qubits < 1:
+            raise DeviceError(
+                f"device {self.name!r}: max_qubits must be at least 1, got {self.max_qubits}"
+            )
+
+    def accepts(self, circuit: QuantumCircuit) -> bool:
+        """Return True when the circuit fits the device's width limit."""
+        return self.max_qubits is None or circuit.num_qubits <= self.max_qubits
+
+
+class DeviceFleet:
+    """A shot-wise scheduler over noisy virtual devices — itself a simulator backend.
+
+    Parameters
+    ----------
+    devices:
+        The fleet members (at least one; names must be unique).
+    split:
+        Split policy (name or instance) assigning per-device shot weights;
+        defaults to ``uniform``.
+    merge:
+        Merge policy (name or instance) recombining per-device histograms;
+        defaults to the weighted counts merge (shot-proportional weights,
+        i.e. the exact histogram sum).
+    inner:
+        Ideal backend (name or instance) each device wraps; ``None`` selects
+        the vectorized backend.
+    cache:
+        Optional :class:`~repro.circuits.backends.DistributionCache` shared
+        by all devices (noisy keys embed each device's noise fingerprint, so
+        sharing is safe).
+
+    Examples
+    --------
+    >>> from repro.devices import DeviceFleet, NoiseModel, VirtualDevice
+    >>> fleet = DeviceFleet(
+    ...     [
+    ...         VirtualDevice("clean", capacity=2.0),
+    ...         VirtualDevice("dirty", noise=NoiseModel(depolarizing_2q=0.05)),
+    ...     ],
+    ...     split="capacity",
+    ... )
+    >>> fleet.name
+    'fleet(2 devices, capacity split)'
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[VirtualDevice],
+        split: SplitPolicy | str | None = None,
+        merge: MergePolicy | str | None = None,
+        inner: SimulatorBackend | str | None = None,
+        cache: DistributionCache | None = None,
+    ):
+        devices = tuple(devices)
+        if not devices:
+            raise DeviceError("a fleet needs at least one device")
+        names = [device.name for device in devices]
+        if len(set(names)) != len(names):
+            raise DeviceError(f"device names must be unique, got {names}")
+        self.devices = devices
+        self.split_policy = resolve_split_policy(split)
+        self.merge_policy = resolve_merge_policy(merge)
+        self.backends = tuple(
+            NoisyDeviceBackend(device.noise, inner=inner, cache=cache) for device in devices
+        )
+        self.name = f"fleet({len(devices)} devices, {self.split_policy.name} split)"
+
+    # -- scheduling --------------------------------------------------------------------
+
+    def _eligible(self, circuit: QuantumCircuit) -> list[int]:
+        indices = [i for i, device in enumerate(self.devices) if device.accepts(circuit)]
+        if not indices:
+            raise DeviceError(
+                f"no device in the fleet accepts a {circuit.num_qubits}-qubit circuit "
+                f"(limits: {[device.max_qubits for device in self.devices]})"
+            )
+        return indices
+
+    def _split_weights(self, eligible: list[int]) -> np.ndarray:
+        """Return the split weights of the eligible devices, naming dead schedules."""
+        weights = np.asarray(
+            self.split_policy.weights([self.devices[i] for i in eligible]), dtype=float
+        )
+        if weights.sum() <= 0.0:
+            names = [self.devices[i].name for i in eligible]
+            raise DeviceError(
+                f"the {self.split_policy.name!r} split policy assigns zero weight to every "
+                f"eligible device ({names}); no shots can be scheduled"
+            )
+        return weights
+
+    def plan_shares(self, circuit: QuantumCircuit, shots: int) -> dict[str, int]:
+        """Return the per-device shot shares the fleet would use for ``circuit``.
+
+        Purely informational (the CLI's ``devices list`` and the docs use it);
+        the same apportionment runs inside :meth:`run_batch`.
+        """
+        eligible = self._eligible(circuit)
+        shares = apportion_shots(self._split_weights(eligible), int(shots))
+        return {self.devices[i].name: int(share) for i, share in zip(eligible, shares)}
+
+    # -- SimulatorBackend protocol -----------------------------------------------------
+
+    def run_batch(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        shots: Sequence[int],
+        seed: SeedLike = None,
+    ) -> list[Counts]:
+        """Distribute each circuit's budget across the fleet, run noisily, merge."""
+        _check_batch(circuits, shots)
+        children = spawn_seed_sequences(seed, len(circuits))
+
+        # Per-circuit device shares under the split policy.
+        shares_per_circuit: list[dict[int, int]] = []
+        for circuit, count in zip(circuits, shots):
+            if count == 0:
+                shares_per_circuit.append({})
+                continue
+            eligible = self._eligible(circuit)
+            shares = apportion_shots(self._split_weights(eligible), int(count))
+            shares_per_circuit.append(
+                {i: int(share) for i, share in zip(eligible, shares)}
+            )
+
+        # One batched exact-distribution pass per device over the circuits it
+        # actually serves (cache-friendly: identical term circuits collapse).
+        needed: dict[int, list[int]] = {}
+        for index, shares in enumerate(shares_per_circuit):
+            for device_index, share in shares.items():
+                if share > 0:
+                    needed.setdefault(device_index, []).append(index)
+        distributions: dict[tuple[int, int], dict[str, float]] = {}
+        for device_index, circuit_indices in needed.items():
+            backend = self.backends[device_index]
+            device_distributions = backend.exact_distributions(
+                [circuits[i] for i in circuit_indices]
+            )
+            for circuit_index, distribution in zip(circuit_indices, device_distributions):
+                distributions[(device_index, circuit_index)] = distribution
+
+        # Sample every (circuit, device) cell from its own grandchild stream
+        # and merge the per-device histograms.
+        policy_weights = self.split_policy.weights(self.devices)
+        results: list[Counts] = []
+        for index, (circuit, child) in enumerate(zip(circuits, children)):
+            shares = shares_per_circuit[index]
+            device_children = child.spawn(len(self.devices))
+            per_device: list[Counts] = []
+            weights: list[float] = []
+            for device_index, share in sorted(shares.items()):
+                if share == 0:
+                    continue
+                distribution = distributions[(device_index, index)]
+                counts = Counts.from_probabilities(
+                    distribution,
+                    shots=share,
+                    num_clbits=circuit.num_clbits,
+                    seed=np.random.default_rng(device_children[device_index]),
+                )
+                per_device.append(counts)
+                weights.append(float(policy_weights[device_index]))
+            if not per_device:
+                results.append(Counts({}, num_clbits=circuit.num_clbits))
+                continue
+            results.append(
+                self.merge_policy.merge(per_device, weights, circuit.num_clbits)
+            )
+        return results
+
+    def exact_distributions(
+        self, circuits: Sequence[QuantumCircuit]
+    ) -> list[dict[str, float]]:
+        """Return each circuit's infinite-shot fleet distribution.
+
+        The fleet's exact distribution is the split-weighted mixture of the
+        eligible devices' noisy distributions — the limit of :meth:`run_batch`
+        as the budget grows.  One batched call per device serves the whole
+        input, so the inner backends keep their grouping and caching.
+        """
+        shares_per_circuit: list[list[tuple[int, float]]] = []
+        needed: dict[int, list[int]] = {}
+        for index, circuit in enumerate(circuits):
+            eligible = self._eligible(circuit)
+            weights = self._split_weights(eligible)
+            mass = weights.sum()
+            shares = [
+                (device_index, float(weight / mass))
+                for device_index, weight in zip(eligible, weights)
+                if weight > 0.0
+            ]
+            shares_per_circuit.append(shares)
+            for device_index, _ in shares:
+                needed.setdefault(device_index, []).append(index)
+
+        distributions: dict[tuple[int, int], dict[str, float]] = {}
+        for device_index, circuit_indices in needed.items():
+            device_distributions = self.backends[device_index].exact_distributions(
+                [circuits[i] for i in circuit_indices]
+            )
+            for circuit_index, distribution in zip(circuit_indices, device_distributions):
+                distributions[(device_index, circuit_index)] = distribution
+
+        results: list[dict[str, float]] = []
+        for index in range(len(circuits)):
+            mixture: dict[str, float] = {}
+            for device_index, share in shares_per_circuit[index]:
+                for bitstring, probability in distributions[(device_index, index)].items():
+                    mixture[bitstring] = mixture.get(bitstring, 0.0) + share * probability
+            results.append(mixture)
+        return results
+
+    # -- introspection -----------------------------------------------------------------
+
+    def describe(self) -> list[dict[str, object]]:
+        """Return one summary row per device (the CLI's ``devices list`` table)."""
+        weights = np.asarray(self.split_policy.weights(self.devices), dtype=float)
+        mass = weights.sum()
+        rows = []
+        for device, backend, weight in zip(self.devices, self.backends, weights):
+            noise = device.noise
+            rows.append(
+                {
+                    "name": device.name,
+                    "capacity": device.capacity,
+                    "max_qubits": device.max_qubits,
+                    "depolarizing_1q": noise.depolarizing_1q,
+                    "depolarizing_2q": noise.depolarizing_2q,
+                    "amplitude_damping": noise.amplitude_damping,
+                    "readout_p01": noise.readout_p01,
+                    "readout_p10": noise.readout_p10,
+                    "fidelity_weight": noise.fidelity_weight(),
+                    "shot_share": float(weight / mass) if mass > 0 else 0.0,
+                    "backend": backend.name,
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        """Return a short configuration summary."""
+        return (
+            f"DeviceFleet({[d.name for d in self.devices]}, "
+            f"split={self.split_policy.name!r}, merge={self.merge_policy.name!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing
+# ---------------------------------------------------------------------------
+
+_DEVICE_KEYS = {"name", "capacity", "max_qubits", "noise"}
+_SPEC_KEYS = {"devices", "split", "merge"}
+_NOISE_KEYS = {
+    "depolarizing_1q",
+    "depolarizing_2q",
+    "amplitude_damping",
+    "readout_p01",
+    "readout_p10",
+}
+
+
+def _spec_number(value, kind, context: str) -> float | int:
+    """Convert a spec value to ``kind`` (float/int), translating failures to DeviceError."""
+    try:
+        return kind(value)
+    except (TypeError, ValueError):
+        raise DeviceError(f"{context} must be a number, got {value!r}") from None
+
+
+def _noise_from_spec(entry: dict, device_name: str) -> NoiseModel:
+    unknown = set(entry) - _NOISE_KEYS
+    if unknown:
+        raise DeviceError(
+            f"device {device_name!r}: unknown noise keys {sorted(unknown)}; "
+            f"expected a subset of {sorted(_NOISE_KEYS)}"
+        )
+    return NoiseModel(
+        **{
+            key: _spec_number(value, float, f"device {device_name!r}: noise {key}")
+            for key, value in entry.items()
+        }
+    )
+
+
+def fleet_from_spec(
+    spec: dict,
+    inner: SimulatorBackend | str | None = None,
+    cache: DistributionCache | None = None,
+) -> DeviceFleet:
+    """Build a :class:`DeviceFleet` from a parsed JSON spec document.
+
+    Parameters
+    ----------
+    spec:
+        Mapping with a ``devices`` list and optional ``split`` / ``merge``
+        policy names (see the module docstring for the schema).
+    inner:
+        Ideal backend every device wraps (name or instance).
+    cache:
+        Optional shared distribution cache.
+
+    Raises
+    ------
+    DeviceError
+        On unknown keys, missing devices, or invalid per-device parameters.
+    """
+    if not isinstance(spec, dict):
+        raise DeviceError(f"a fleet spec must be a JSON object, got {type(spec).__name__}")
+    unknown = set(spec) - _SPEC_KEYS
+    if unknown:
+        raise DeviceError(
+            f"unknown fleet spec keys {sorted(unknown)}; expected a subset of {sorted(_SPEC_KEYS)}"
+        )
+    entries = spec.get("devices")
+    if entries is not None and not isinstance(entries, list):
+        raise DeviceError(
+            f"'devices' must be a JSON array, got {type(entries).__name__}"
+        )
+    if not entries:
+        raise DeviceError("a fleet spec needs a non-empty 'devices' list")
+    devices = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise DeviceError(f"device entry {index} must be a JSON object")
+        unknown = set(entry) - _DEVICE_KEYS
+        if unknown:
+            raise DeviceError(
+                f"device entry {index}: unknown keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(_DEVICE_KEYS)}"
+            )
+        name = str(entry.get("name", f"device{index}"))
+        devices.append(
+            VirtualDevice(
+                name=name,
+                capacity=_spec_number(
+                    entry.get("capacity", 1.0), float, f"device {name!r}: capacity"
+                ),
+                max_qubits=(
+                    _spec_number(entry["max_qubits"], int, f"device {name!r}: max_qubits")
+                    if entry.get("max_qubits") is not None
+                    else None
+                ),
+                noise=_noise_from_spec(entry.get("noise", {}), name),
+            )
+        )
+    return DeviceFleet(
+        devices,
+        split=spec.get("split"),
+        merge=spec.get("merge"),
+        inner=inner,
+        cache=cache,
+    )
+
+
+def load_fleet(
+    path: str | Path,
+    inner: SimulatorBackend | str | None = None,
+    cache: DistributionCache | None = None,
+    split: SplitPolicy | str | None = None,
+) -> DeviceFleet:
+    """Load a :class:`DeviceFleet` from a JSON spec file.
+
+    ``split`` overrides the spec's split policy when given (the CLI's
+    ``--split`` flag).
+    """
+    path = Path(path)
+    try:
+        spec = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise DeviceError(f"device spec file not found: {path}") from None
+    except json.JSONDecodeError as error:
+        raise DeviceError(f"device spec {path} is not valid JSON: {error}") from error
+    if split is not None and isinstance(spec, dict):
+        spec = {**spec, "split": split}
+    return fleet_from_spec(spec, inner=inner, cache=cache)
+
+
+def example_fleet_spec() -> dict:
+    """Return the three-device demo spec used by the docs and ``repro devices list``.
+
+    A clean high-capacity device, a mid-tier device with two-qubit gate and
+    readout noise, and a narrow noisy device — enough heterogeneity for every
+    split policy to produce a different schedule.
+    """
+    return {
+        "split": "capacity",
+        "merge": "weighted",
+        "devices": [
+            {
+                "name": "qpu_clean",
+                "capacity": 4,
+                "noise": {"depolarizing_2q": 0.002, "readout_p10": 0.005},
+            },
+            {
+                "name": "qpu_mid",
+                "capacity": 2,
+                "noise": {
+                    "depolarizing_1q": 0.001,
+                    "depolarizing_2q": 0.01,
+                    "readout_p01": 0.01,
+                    "readout_p10": 0.02,
+                },
+            },
+            {
+                "name": "qpu_small",
+                "capacity": 1,
+                "max_qubits": 4,
+                "noise": {"depolarizing_2q": 0.05, "amplitude_damping": 0.01},
+            },
+        ],
+    }

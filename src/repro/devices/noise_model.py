@@ -1,0 +1,227 @@
+"""Per-device noise models: gate noise channels plus classical readout error.
+
+A :class:`NoiseModel` is the complete error description of one virtual QPU:
+
+* **gate noise** — after every 1-qubit (2-qubit) gate a depolarising channel
+  of strength ``depolarizing_1q`` (``depolarizing_2q``) acts on the gate's
+  qubits, composed with per-qubit amplitude damping of rate
+  ``amplitude_damping``.  The channels are the exact CPTP maps from
+  :mod:`repro.quantum.channels`, applied inside the density-matrix
+  simulation, so noisy outcome distributions are computed exactly rather
+  than sampled.
+* **readout error** — every recorded classical bit is passed through the
+  2×2 confusion matrix built from ``readout_p01`` (a true 0 read as 1) and
+  ``readout_p10`` (a true 1 read as 0).  The confusion is applied to the
+  exact outcome distribution before sampling, which is statistically
+  identical to flipping sampled bits shot by shot but keeps the one
+  multinomial draw per circuit that the backend determinism contract
+  relies on.  Feed-forward inside a circuit (teleportation corrections)
+  uses the *true* mid-circuit outcomes; only the recorded register is
+  confused, mirroring a device whose classical control is reliable but
+  whose final readout is not.
+
+Noise models are frozen and hashable; :meth:`NoiseModel.fingerprint` is the
+stable content hash used to key noisy entries in a
+:class:`~repro.circuits.backends.DistributionCache` so noisy and ideal
+distributions can never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from functools import lru_cache
+
+import numpy as np
+
+from repro.exceptions import DeviceError
+from repro.quantum.channels import amplitude_damping_channel, depolarizing_channel
+
+__all__ = ["NoiseModel"]
+
+
+def _check_probability(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise DeviceError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+@lru_cache(maxsize=64)
+def _gate_kraus(
+    depolarizing_p: float, amplitude_damping_gamma: float, num_qubits: int
+) -> tuple[np.ndarray, ...] | None:
+    """Return the local Kraus operators of the composed gate-noise channel.
+
+    ``None`` means the channel is the identity (no noise at this arity), so
+    the simulator can skip the Kraus application entirely.
+    """
+    channel = None
+    if depolarizing_p > 0.0:
+        channel = depolarizing_channel(depolarizing_p, num_qubits=num_qubits)
+    if amplitude_damping_gamma > 0.0:
+        damping = amplitude_damping_channel(amplitude_damping_gamma)
+        for _ in range(num_qubits - 1):
+            damping = damping.tensor(amplitude_damping_channel(amplitude_damping_gamma))
+        channel = damping if channel is None else channel.compose(damping)
+    if channel is None:
+        return None
+    return tuple(channel.kraus_operators)
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Error description of one virtual device.
+
+    Parameters
+    ----------
+    depolarizing_1q:
+        Depolarising strength applied after every single-qubit gate.
+    depolarizing_2q:
+        Depolarising strength applied after every two-qubit gate.
+    amplitude_damping:
+        Per-qubit amplitude-damping rate applied (to each acted qubit) after
+        every gate.
+    readout_p01:
+        Probability that a true ``0`` is recorded as ``1``.
+    readout_p10:
+        Probability that a true ``1`` is recorded as ``0``.
+
+    Examples
+    --------
+    >>> model = NoiseModel(depolarizing_2q=0.02, readout_p10=0.01)
+    >>> model.is_noiseless
+    False
+    >>> NoiseModel.ideal().is_noiseless
+    True
+    """
+
+    depolarizing_1q: float = 0.0
+    depolarizing_2q: float = 0.0
+    amplitude_damping: float = 0.0
+    readout_p01: float = 0.0
+    readout_p10: float = 0.0
+
+    def __post_init__(self):
+        for field in fields(self):
+            object.__setattr__(
+                self, field.name, _check_probability(field.name, getattr(self, field.name))
+            )
+
+    # -- classification ----------------------------------------------------------------
+
+    @classmethod
+    def ideal(cls) -> "NoiseModel":
+        """Return the noiseless model (every rate zero)."""
+        return cls()
+
+    @property
+    def is_noiseless(self) -> bool:
+        """True when every error rate is exactly zero."""
+        return not (self.has_gate_noise or self.has_readout_error)
+
+    @property
+    def has_gate_noise(self) -> bool:
+        """True when any gate-level channel is non-trivial."""
+        return (
+            self.depolarizing_1q > 0.0
+            or self.depolarizing_2q > 0.0
+            or self.amplitude_damping > 0.0
+        )
+
+    @property
+    def has_readout_error(self) -> bool:
+        """True when the readout confusion matrix is not the identity."""
+        return self.readout_p01 > 0.0 or self.readout_p10 > 0.0
+
+    def fingerprint(self) -> str:
+        """Return a stable content hash of the full parameter set.
+
+        The hash keys noisy entries in a shared
+        :class:`~repro.circuits.backends.DistributionCache`: two models with
+        any differing rate produce different fingerprints, and the ideal
+        model's fingerprint never equals the bare circuit fingerprint used
+        for ideal distributions.
+        """
+        digest = hashlib.blake2b(digest_size=12)
+        for field in fields(self):
+            digest.update(f"{field.name}={getattr(self, field.name)!r};".encode())
+        return digest.hexdigest()
+
+    def fidelity_weight(self) -> float:
+        """Return a scalar quality proxy in ``[0, 1]`` used by fidelity-weighted splits.
+
+        Defined as the product of the complements of every error rate — the
+        survival probability of one two-qubit gate layer followed by readout.
+        It is a scheduling heuristic (better devices get more shots), not a
+        circuit fidelity.  A model with any rate at exactly 1.0 weighs 0 and
+        receives no shots under the fidelity split.
+        """
+        return float(
+            (1.0 - self.depolarizing_1q)
+            * (1.0 - self.depolarizing_2q)
+            * (1.0 - self.amplitude_damping)
+            * (1.0 - self.readout_p01)
+            * (1.0 - self.readout_p10)
+        )
+
+    # -- gate noise --------------------------------------------------------------------
+
+    def gate_noise_hook(self, instruction) -> tuple[np.ndarray, ...] | None:
+        """Return the local Kraus operators to apply after ``instruction``.
+
+        This is the :data:`~repro.circuits.density_matrix_simulator.GateNoiseHook`
+        passed to :class:`~repro.circuits.density_matrix_simulator.DensityMatrixSimulator`.
+        Gates on three or more qubits receive the two-qubit depolarising rate
+        (the conservative choice for a model parameterised by arity).
+        """
+        arity = len(instruction.qubits)
+        depolarizing = self.depolarizing_1q if arity == 1 else self.depolarizing_2q
+        return _gate_kraus(depolarizing, self.amplitude_damping, arity)
+
+    # -- readout -----------------------------------------------------------------------
+
+    def confusion_matrix(self) -> np.ndarray:
+        """Return the single-bit confusion matrix ``M[read, true]``.
+
+        Column ``true`` holds the distribution of recorded values given the
+        true value: ``M = [[1−p01, p10], [p01, 1−p10]]``.
+        """
+        return np.array(
+            [
+                [1.0 - self.readout_p01, self.readout_p10],
+                [self.readout_p01, 1.0 - self.readout_p10],
+            ]
+        )
+
+    def apply_readout_error(self, distribution: dict[str, float]) -> dict[str, float]:
+        """Return the outcome distribution after per-bit readout confusion.
+
+        Every classical bit is confused independently; the input distribution
+        is not modified.  With no readout error the input mapping is returned
+        unchanged (same object), so ideal paths pay nothing.
+        """
+        if not self.has_readout_error:
+            return distribution
+        confusion = self.confusion_matrix()
+        current = dict(distribution)
+        if not current:
+            return current
+        num_bits = len(next(iter(current)))
+        for bit in range(num_bits):
+            updated: dict[str, float] = {}
+            for bitstring, probability in current.items():
+                if probability == 0.0:
+                    continue
+                true_value = int(bitstring[bit])
+                for read_value in (0, 1):
+                    weight = confusion[read_value, true_value]
+                    if weight == 0.0:
+                        continue
+                    flipped = (
+                        bitstring
+                        if read_value == true_value
+                        else bitstring[:bit] + str(read_value) + bitstring[bit + 1 :]
+                    )
+                    updated[flipped] = updated.get(flipped, 0.0) + probability * weight
+            current = updated
+        return current

@@ -1,0 +1,270 @@
+"""Shot-wise split and merge policies for fleet execution.
+
+A :class:`~repro.devices.fleet.DeviceFleet` distributes each circuit's shot
+budget across its virtual devices and recombines the per-device histograms
+into one :class:`~repro.circuits.counts.Counts`.  Both steps are pluggable
+(the Cut&Shoot architecture): a **split policy** assigns a non-negative
+weight to every device — the budget is then apportioned with deterministic
+largest-remainder rounding — and a **merge policy** turns the per-device
+counts back into a single histogram.
+
+Split policies
+--------------
+
+==============================  ==================================================
+``UniformSplit``                Equal weight per eligible device.
+``CapacityWeightedSplit``       Weight ∝ the device's declared ``capacity``.
+``FidelityWeightedSplit``       Weight ∝ the noise model's
+                                :meth:`~repro.devices.noise_model.NoiseModel.fidelity_weight`.
+==============================  ==================================================
+
+Merge policies
+--------------
+
+==============================  ==================================================
+``WeightedCountsMerge``         Weight each device's empirical distribution and
+                                materialise integer counts at the total shot
+                                count (largest-remainder).  With the default
+                                shot-proportional weights this is *exactly* the
+                                plain histogram sum — every physical shot counts
+                                once — while explicit weights let a caller
+                                down-weight low-fidelity devices.
+==============================  ==================================================
+
+Everything here is deterministic: no policy draws randomness, so fleet
+reproducibility reduces to the per-circuit seed streams of the sampling step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import DeviceError
+from repro.circuits.counts import Counts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.devices.fleet import VirtualDevice
+
+__all__ = [
+    "SplitPolicy",
+    "UniformSplit",
+    "CapacityWeightedSplit",
+    "FidelityWeightedSplit",
+    "MergePolicy",
+    "WeightedCountsMerge",
+    "apportion_shots",
+    "resolve_split_policy",
+    "resolve_merge_policy",
+    "SPLIT_POLICY_NAMES",
+    "MERGE_POLICY_NAMES",
+]
+
+#: Split-policy names accepted by :func:`resolve_split_policy` and fleet specs.
+SPLIT_POLICY_NAMES = ("uniform", "capacity", "fidelity")
+#: Merge-policy names accepted by :func:`resolve_merge_policy` and fleet specs.
+MERGE_POLICY_NAMES = ("weighted",)
+
+
+def apportion_shots(weights: np.ndarray | Sequence[float], total: int) -> np.ndarray:
+    """Split ``total`` shots proportionally to ``weights``, exactly and deterministically.
+
+    Largest-remainder apportionment: every device gets the floor of its
+    proportional share and the leftover shots go to the largest fractional
+    remainders (ties broken by device index).  The result always sums to
+    ``total``.
+
+    Raises
+    ------
+    DeviceError
+        When no weight is positive or any weight is negative.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.size == 0:
+        raise DeviceError("cannot apportion shots across zero devices")
+    if np.any(weights < 0.0):
+        raise DeviceError(f"split weights must be non-negative, got {weights.tolist()}")
+    mass = weights.sum()
+    if mass <= 0.0:
+        raise DeviceError("split weights must have positive total mass")
+    if total < 0:
+        raise DeviceError(f"total shots must be non-negative, got {total}")
+    exact = weights / mass * total
+    shares = np.floor(exact).astype(int)
+    remainder = int(total - shares.sum())
+    if remainder > 0:
+        # Stable ordering: largest fractional part first, index as tiebreak.
+        order = sorted(range(weights.size), key=lambda i: (-(exact[i] - shares[i]), i))
+        for i in order[:remainder]:
+            shares[i] += 1
+    return shares
+
+
+# ---------------------------------------------------------------------------
+# Split policies
+# ---------------------------------------------------------------------------
+
+
+@runtime_checkable
+class SplitPolicy(Protocol):
+    """Protocol of shot-split policies: devices → non-negative weights."""
+
+    name: str
+
+    def weights(self, devices: Sequence["VirtualDevice"]) -> np.ndarray:
+        """Return one non-negative weight per device (not necessarily normalised)."""
+        ...
+
+
+class UniformSplit:
+    """Equal shot share for every eligible device."""
+
+    name = "uniform"
+
+    def weights(self, devices: Sequence["VirtualDevice"]) -> np.ndarray:
+        """Return a unit weight per device."""
+        return np.ones(len(devices))
+
+
+class CapacityWeightedSplit:
+    """Shot share proportional to each device's declared ``capacity``."""
+
+    name = "capacity"
+
+    def weights(self, devices: Sequence["VirtualDevice"]) -> np.ndarray:
+        """Return every device's capacity as its weight."""
+        return np.array([device.capacity for device in devices], dtype=float)
+
+
+class FidelityWeightedSplit:
+    """Shot share proportional to each device's noise-model fidelity proxy.
+
+    Cleaner devices receive more shots, which lowers the merged histogram's
+    effective error rate without discarding any device entirely.
+    """
+
+    name = "fidelity"
+
+    def weights(self, devices: Sequence["VirtualDevice"]) -> np.ndarray:
+        """Return every device's :meth:`~repro.devices.noise_model.NoiseModel.fidelity_weight`."""
+        return np.array([device.noise.fidelity_weight() for device in devices], dtype=float)
+
+
+# ---------------------------------------------------------------------------
+# Merge policies
+# ---------------------------------------------------------------------------
+
+
+@runtime_checkable
+class MergePolicy(Protocol):
+    """Protocol of count-merge policies: per-device histograms → one histogram."""
+
+    name: str
+
+    def merge(
+        self,
+        per_device: Sequence[Counts],
+        weights: Sequence[float],
+        num_clbits: int,
+    ) -> Counts:
+        """Merge per-device counts (``weights`` aligns with ``per_device``)."""
+        ...
+
+
+class WeightedCountsMerge:
+    """Merge per-device histograms as a weighted mixture of their distributions.
+
+    Parameters
+    ----------
+    use_split_weights:
+        When True the split policy's weights are used as merge weights; the
+        default (False) weights every device by the shots it actually
+        delivered, which makes the merge the exact histogram sum — unbiased
+        and integer without any rounding.
+
+    Notes
+    -----
+    With explicit (non-shot-proportional) weights the merged distribution
+    ``q = Σ_d w_d q_d`` is materialised as integer counts at the total
+    delivered shot count using the same largest-remainder rounding as
+    :func:`apportion_shots`, so merging stays bitwise deterministic.
+    """
+
+    name = "weighted"
+
+    def __init__(self, use_split_weights: bool = False):
+        self.use_split_weights = bool(use_split_weights)
+
+    def merge(
+        self,
+        per_device: Sequence[Counts],
+        weights: Sequence[float],
+        num_clbits: int,
+    ) -> Counts:
+        """Merge the per-device histograms into one ``Counts``."""
+        total_shots = sum(counts.shots for counts in per_device)
+        if total_shots == 0:
+            return Counts({}, num_clbits=num_clbits)
+        if not self.use_split_weights:
+            merged: dict[str, int] = {}
+            for counts in per_device:
+                for bitstring, value in counts.items():
+                    merged[bitstring] = merged.get(bitstring, 0) + value
+            return Counts(merged, num_clbits=num_clbits)
+
+        # Weighted mixture of empirical distributions, re-materialised as
+        # integer counts at the delivered total.
+        mixture: dict[str, float] = {}
+        active = [
+            (counts, weight)
+            for counts, weight in zip(per_device, weights)
+            if counts.shots > 0 and weight > 0.0
+        ]
+        if not active:
+            return Counts({}, num_clbits=num_clbits)
+        mass = sum(weight for _, weight in active)
+        for counts, weight in active:
+            share = weight / mass
+            for bitstring, probability in counts.probabilities().items():
+                mixture[bitstring] = mixture.get(bitstring, 0.0) + share * probability
+        keys = sorted(mixture)
+        rounded = apportion_shots([mixture[key] for key in keys], total_shots)
+        return Counts(
+            {key: int(count) for key, count in zip(keys, rounded) if count > 0},
+            num_clbits=num_clbits,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Name resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve_split_policy(policy: SplitPolicy | str | None) -> SplitPolicy:
+    """Return a split policy for a name, an instance, or ``None`` (uniform)."""
+    if policy is None:
+        return UniformSplit()
+    if not isinstance(policy, str):
+        return policy
+    name = policy.lower().replace("_", "-")
+    if name == "uniform":
+        return UniformSplit()
+    if name == "capacity":
+        return CapacityWeightedSplit()
+    if name == "fidelity":
+        return FidelityWeightedSplit()
+    raise DeviceError(f"unknown split policy {policy!r}; expected one of {SPLIT_POLICY_NAMES}")
+
+
+def resolve_merge_policy(policy: MergePolicy | str | None) -> MergePolicy:
+    """Return a merge policy for a name, an instance, or ``None`` (weighted/sum)."""
+    if policy is None:
+        return WeightedCountsMerge()
+    if not isinstance(policy, str):
+        return policy
+    name = policy.lower().replace("_", "-")
+    if name == "weighted":
+        return WeightedCountsMerge()
+    raise DeviceError(f"unknown merge policy {policy!r}; expected one of {MERGE_POLICY_NAMES}")

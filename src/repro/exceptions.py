@@ -18,6 +18,7 @@ __all__ = [
     "ChannelError",
     "DecompositionError",
     "CuttingError",
+    "DeviceError",
     "ExperimentError",
 ]
 
@@ -56,6 +57,10 @@ class DecompositionError(ReproError):
 
 class CuttingError(ReproError):
     """A wire/gate cut could not be constructed or applied."""
+
+
+class DeviceError(ReproError):
+    """A virtual-device or fleet specification is invalid or cannot serve a circuit."""
 
 
 class ExperimentError(ReproError):

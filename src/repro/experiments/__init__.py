@@ -8,6 +8,11 @@ from repro.experiments.ablations import (
     protocol_error_comparison,
 )
 from repro.experiments.figure6 import Figure6Config, Figure6Result, run_figure6
+from repro.experiments.noisy_fleet import (
+    combined_depolarizing_strength,
+    fleet_bias_vs_bound,
+    noisy_fleet_robustness,
+)
 from repro.experiments.metrics import (
     absolute_error,
     expected_statistical_error,
@@ -42,6 +47,9 @@ __all__ = [
     "gate_vs_wire_cut",
     "multi_cut_pipeline_ablation",
     "noisy_resource_ablation",
+    "fleet_bias_vs_bound",
+    "noisy_fleet_robustness",
+    "combined_depolarizing_strength",
     "SweepTable",
     "write_csv",
     "write_json",

@@ -25,7 +25,12 @@ from repro.cutting.cutter import CutLocation
 from repro.cutting.executor import build_sampling_model
 from repro.cutting.gate_cutting import CZGateCut, estimate_gate_cut_expectation
 from repro.cutting.nme_cut import NMEWireCut
-from repro.cutting.noise import noisy_phi_k, noisy_resource_overhead, reconstruction_bias
+from repro.cutting.noise import (
+    noisy_phi_k,
+    noisy_resource_overhead,
+    reconstruction_bias,
+    validate_noise_strength,
+)
 from repro.cutting.peng_cut import PengWireCut
 from repro.cutting.standard_cut import HaradaWireCut
 from repro.cutting.teleport_cut import TeleportationWireCut
@@ -253,6 +258,9 @@ def noisy_resource_ablation(
     noise_levels: tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.2),
 ) -> SweepTable:
     """Systematic bias and optimal overhead when the NME resource is depolarised."""
+    noise_levels = tuple(
+        validate_noise_strength(p, name="noise_levels entry") for p in noise_levels
+    )
     columns: dict[str, list] = {
         "depolarizing_p": [],
         "bias_norm": [],

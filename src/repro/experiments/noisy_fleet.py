@@ -1,0 +1,252 @@
+"""Noise-robustness experiments for fleet execution of cut circuits.
+
+Two sweeps quantify what running a wire cut on noisy virtual hardware does
+to the reconstructed estimate:
+
+* :func:`fleet_bias_vs_bound` — the validation sweep.  The paper's
+  single-qubit workload (state → NME cut → ⟨Z⟩) is reconstructed *exactly*
+  (infinite shots) on a fleet whose devices apply two-qubit depolarising
+  gate noise of strength ``p``.  The teleport gadget of
+  :class:`~repro.cutting.nme_cut.NMEWireCut` contains exactly two entangling
+  gates — the ``|Φ_k⟩`` pair preparation and the Bell-measurement CX — so
+  the device noise is equivalent to an *effective resource depolarisation*
+  of combined strength ``p_comb = 1 − (1 − p)²``, and the measured bias must
+  stay below the analytic
+  :func:`~repro.cutting.noise.worst_case_z_bias` bound at ``p_comb``
+  (Theorem 1's overhead analysis for the actually-shared mixed resource).
+  This is the cross-check between the executable noise layer
+  (:mod:`repro.devices`) and the analytic one (:mod:`repro.cutting.noise`).
+* :func:`noisy_fleet_robustness` — the scenario sweep.  GHZ and
+  random-layered workloads run through the full
+  :class:`~repro.pipeline.CutPipeline` on a heterogeneous 3-device fleet,
+  sweeping noise scale × split policy at finite shots, recording the
+  estimate error per cell.  ``benchmarks/bench_noisy_fleet.py`` executes
+  both sweeps and archives the table as ``BENCH_noisy_fleet.json``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.circuits.backends import SimulatorBackend
+from repro.circuits.circuit import QuantumCircuit
+from repro.cutting.cutter import CutLocation
+from repro.cutting.nme_cut import NMEWireCut
+from repro.cutting.noise import noisy_phi_k, validate_noise_strength, worst_case_z_bias
+from repro.devices import DeviceFleet, NoiseModel, VirtualDevice
+from repro.experiments.records import SweepTable
+from repro.experiments.workloads import ghz_circuit, random_layered_circuit
+from repro.pipeline import CutPipeline
+from repro.quantum.random import random_statevector
+
+__all__ = [
+    "fleet_bias_vs_bound",
+    "noisy_fleet_robustness",
+    "combined_depolarizing_strength",
+]
+
+#: Entangling gates per NME teleport gadget (pair preparation + Bell CX).
+_TELEPORT_2Q_GATES = 2
+
+
+def combined_depolarizing_strength(p: float, applications: int = _TELEPORT_2Q_GATES) -> float:
+    """Return the single-application strength equivalent to ``applications`` layers.
+
+    ``applications`` depolarising layers of strength ``p`` compose to one of
+    strength ``1 − (1 − p)^applications`` (the identity component survives
+    every layer independently).
+    """
+    p = validate_noise_strength(p)
+    return float(1.0 - (1.0 - p) ** applications)
+
+
+def fleet_bias_vs_bound(
+    k: float = 0.5,
+    noise_levels: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2),
+    num_states: int = 6,
+    num_devices: int = 3,
+    seed: int = 100,
+    inner: SimulatorBackend | str | None = None,
+) -> SweepTable:
+    """Measure the exact fleet-reconstruction bias against the analytic bound.
+
+    For every noise strength ``p`` the single-qubit NME cut runs (with
+    infinite shots, via the fleet's exact distributions) on ``num_devices``
+    identical devices applying two-qubit depolarising noise ``p``; the worst
+    bias over ``num_states`` random input states is compared with
+    ``worst_case_z_bias(k, noisy_phi_k(k, p_comb))`` where
+    ``p_comb = 1 − (1 − p)²`` folds both entangling gates of the teleport
+    gadget into an effective resource depolarisation.
+
+    Parameters
+    ----------
+    k:
+        NME resource parameter of the cut protocol.
+    noise_levels:
+        Two-qubit depolarising strengths to sweep (validated up front).
+    num_states:
+        Random input states per noise level (the bias is their maximum).
+    num_devices:
+        Fleet size (identical devices; the mixture equals any single one,
+        which keeps the comparison clean while exercising the scheduler).
+    seed:
+        Base seed for the random input states.
+    inner:
+        Ideal inner backend each device wraps.
+
+    Returns
+    -------
+    SweepTable
+        Columns ``depolarizing_p``, ``effective_p``, ``measured_bias``,
+        ``analytic_bound`` and ``within_bound``.
+    """
+    noise_levels = tuple(
+        validate_noise_strength(p, name="noise_levels entry") for p in noise_levels
+    )
+    protocol = NMEWireCut(k)
+    z = np.diag([1.0, -1.0]).astype(complex)
+    columns: dict[str, list] = {
+        "depolarizing_p": [],
+        "effective_p": [],
+        "measured_bias": [],
+        "analytic_bound": [],
+        "within_bound": [],
+    }
+    for p in noise_levels:
+        fleet = DeviceFleet(
+            [
+                VirtualDevice(f"qpu{i}", noise=NoiseModel(depolarizing_2q=p))
+                for i in range(num_devices)
+            ],
+            inner=inner,
+        )
+        pipeline = CutPipeline(protocol=protocol, backend=fleet)
+        measured = 0.0
+        for index in range(num_states):
+            state = random_statevector(1, seed=seed + index)
+            circuit = QuantumCircuit(1, 0, name="prep")
+            circuit.initialize(state.data, 0)
+            plan = pipeline.plan(circuit, locations=[CutLocation(qubit=0, position=1)])
+            decomposition = pipeline.decompose(plan)
+            noisy_value = pipeline.exact_reconstruction(decomposition, "Z")
+            exact = float(np.real(np.vdot(state.data, z @ state.data)))
+            measured = max(measured, abs(noisy_value - exact))
+        effective = combined_depolarizing_strength(p)
+        bound = worst_case_z_bias(k, noisy_phi_k(k, effective))
+        columns["depolarizing_p"].append(float(p))
+        columns["effective_p"].append(effective)
+        columns["measured_bias"].append(measured)
+        columns["analytic_bound"].append(bound)
+        columns["within_bound"].append(bool(measured <= bound + 1e-12))
+    return SweepTable(
+        name="fleet_bias_vs_bound",
+        columns=columns,
+        metadata={
+            "k": k,
+            "num_states": num_states,
+            "num_devices": num_devices,
+            "seed": seed,
+            "teleport_2q_gates": _TELEPORT_2Q_GATES,
+        },
+    )
+
+
+def _fleet_for_scale(scale: float, split: str, inner) -> DeviceFleet:
+    """Return the heterogeneous 3-device fleet at noise scale ``scale``."""
+    return DeviceFleet(
+        [
+            VirtualDevice(
+                "qpu_clean",
+                capacity=4.0,
+                noise=NoiseModel(depolarizing_2q=0.2 * scale, readout_p10=0.1 * scale),
+            ),
+            VirtualDevice(
+                "qpu_mid",
+                capacity=2.0,
+                noise=NoiseModel(
+                    depolarizing_1q=0.2 * scale,
+                    depolarizing_2q=0.5 * scale,
+                    readout_p01=0.2 * scale,
+                ),
+            ),
+            VirtualDevice(
+                "qpu_noisy",
+                capacity=1.0,
+                noise=NoiseModel(depolarizing_2q=scale, amplitude_damping=0.2 * scale),
+            ),
+        ],
+        split=split,
+        inner=inner,
+    )
+
+
+def noisy_fleet_robustness(
+    noise_scales: Sequence[float] = (0.0, 0.02, 0.05, 0.1),
+    split_policies: Sequence[str] = ("uniform", "capacity", "fidelity"),
+    shots: int = 4000,
+    num_qubits: int = 4,
+    seed: int = 7,
+    inner: SimulatorBackend | str | None = None,
+) -> SweepTable:
+    """Sweep noise scale × split policy on GHZ and random-layered fleet runs.
+
+    Each cell runs the full plan → decompose → execute → reconstruct pipeline
+    with the fleet as execution backend.  At scale 0 every device is ideal,
+    so the fleet estimate matches a plain-backend estimate up to shot noise;
+    growing scales show the bias the split policy does (or does not)
+    mitigate.
+
+    Returns
+    -------
+    SweepTable
+        One row per (workload, split policy, noise scale) with the estimate,
+        the exact value and the absolute error.
+    """
+    noise_scales = tuple(
+        validate_noise_strength(s, name="noise_scales entry") for s in noise_scales
+    )
+    # The random brick circuit admits no cheap time slice, so it is cut with
+    # the explicit same-wire 2-cut chain (as in benchmarks/bench_pipeline.py).
+    workloads = [
+        ("ghz", ghz_circuit(num_qubits), {}),
+        (
+            "random_layered",
+            random_layered_circuit(3, 2, seed=5, two_qubit_gate="cx"),
+            {"locations": [CutLocation(qubit=0, position=1), CutLocation(qubit=0, position=4)]},
+        ),
+    ]
+    columns: dict[str, list] = {
+        "workload": [],
+        "split": [],
+        "noise_scale": [],
+        "value": [],
+        "exact": [],
+        "error": [],
+        "standard_error": [],
+    }
+    for workload_name, circuit, plan_kwargs in workloads:
+        observable = "Z" * circuit.num_qubits
+        for split in split_policies:
+            for scale in noise_scales:
+                fleet = _fleet_for_scale(scale, split, inner)
+                pipeline = CutPipeline(max_fragment_width=2, backend=fleet)
+                result = pipeline.run(circuit, observable, shots=shots, seed=seed, **plan_kwargs)
+                columns["workload"].append(workload_name)
+                columns["split"].append(split)
+                columns["noise_scale"].append(float(scale))
+                columns["value"].append(result.value)
+                columns["exact"].append(result.exact_value)
+                columns["error"].append(result.error)
+                columns["standard_error"].append(result.standard_error)
+    return SweepTable(
+        name="noisy_fleet_robustness",
+        columns=columns,
+        metadata={
+            "shots": shots,
+            "num_qubits": num_qubits,
+            "seed": seed,
+            "split_policies": list(split_policies),
+        },
+    )

@@ -94,6 +94,8 @@ class CutPipeline:
     backend:
         Execution backend (name or instance); ``None`` selects the serial
         backend.  All backends yield identical results for the same seed.
+        A :class:`~repro.devices.DeviceFleet` instance runs every term
+        circuit shot-wise distributed across its noisy virtual devices.
     allocation:
         Shot-allocation strategy over the product term set
         (``proportional``, ``multinomial``, ``uniform``).

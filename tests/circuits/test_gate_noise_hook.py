@@ -1,0 +1,93 @@
+"""Tests for the DensityMatrixSimulator gate-noise hook."""
+
+import pytest
+
+from repro.circuits import DensityMatrixSimulator, QuantumCircuit
+from repro.quantum.channels import dephasing_channel
+
+
+def _dephase_all(instruction):
+    """Hook: full dephasing after every single-qubit gate, nothing on 2q gates."""
+    if len(instruction.qubits) != 1:
+        return None
+    return tuple(dephasing_channel(0.5).kraus_operators)
+
+
+class TestGateNoiseHook:
+    def test_none_hook_matches_default(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        default = DensityMatrixSimulator().run(circuit).classical_distribution()
+        hooked = DensityMatrixSimulator(gate_noise=lambda instruction: None).run(
+            circuit
+        ).classical_distribution()
+        assert hooked == default
+
+    def test_full_dephasing_kills_coherence(self):
+        """p=0.5 dephasing after H leaves the qubit maximally mixed in X basis."""
+        circuit = QuantumCircuit(1, 1)
+        circuit.h(0)
+        circuit.h(0)  # ideally returns to |0>
+        circuit.measure(0, 0)
+        distribution = (
+            DensityMatrixSimulator(gate_noise=_dephase_all)
+            .run(circuit)
+            .classical_distribution()
+        )
+        # After the first H the state is |+>; full dephasing makes it I/2, the
+        # second (also noisy) H keeps I/2: a coin flip instead of certainty.
+        assert distribution["0"] == pytest.approx(0.5)
+        assert distribution["1"] == pytest.approx(0.5)
+
+    def test_hook_receives_instruction_and_selects_by_arity(self):
+        seen = []
+
+        def spy(instruction):
+            seen.append((instruction.name, len(instruction.qubits)))
+            return None
+
+        circuit = QuantumCircuit(2, 0)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        DensityMatrixSimulator(gate_noise=spy).run(circuit)
+        assert seen == [("h", 1), ("cx", 2)]
+
+    def test_conditioned_gate_noise_only_on_taken_branch(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.x(1, condition=(0, 1))
+        circuit.measure(1, 1)
+
+        def noise(instruction):
+            if instruction.name == "x":
+                return tuple(dephasing_channel(1.0).kraus_operators)
+            return None
+
+        distribution = (
+            DensityMatrixSimulator(gate_noise=noise).run(circuit).classical_distribution()
+        )
+        # Dephasing commutes with the X-branch computational outcome here, so
+        # the skipped branch must remain exactly |0> with probability 1/2.
+        assert distribution["00"] == pytest.approx(0.5)
+        assert distribution["11"] == pytest.approx(0.5)
+
+    def test_trace_preserved_under_cptp_hook(self):
+        circuit = QuantumCircuit(2, 2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+
+        def noise(instruction):
+            return tuple(dephasing_channel(0.3).kraus_operators) if len(
+                instruction.qubits
+            ) == 1 else None
+
+        distribution = (
+            DensityMatrixSimulator(gate_noise=noise).run(circuit).classical_distribution()
+        )
+        assert sum(distribution.values()) == pytest.approx(1.0)

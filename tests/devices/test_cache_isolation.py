@@ -1,0 +1,129 @@
+"""DistributionCache under noisy backends: isolation and LRU regressions.
+
+Noisy and ideal execution share one process-wide cache by default, so the
+noise-model fingerprint embedded in every noisy cache key is load-bearing:
+a noisy run must never overwrite (poison) the exact ideal distribution a
+later noiseless sweep would read back.
+"""
+
+import pytest
+
+from repro.circuits import (
+    DistributionCache,
+    QuantumCircuit,
+    VectorizedBackend,
+    circuit_fingerprint,
+)
+from repro.devices import NoiseModel, NoisyDeviceBackend, noisy_cache_key
+from repro.experiments import ghz_circuit
+
+
+def _measured_ghz(num_qubits: int = 3) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits, num_qubits, name="ghz_m")
+    circuit.compose(ghz_circuit(num_qubits), inplace=True)
+    for qubit in range(num_qubits):
+        circuit.measure(qubit, qubit)
+    return circuit
+
+
+class TestCacheKeySeparation:
+    def test_noisy_key_embeds_noise_fingerprint(self):
+        circuit = _measured_ghz()
+        noise = NoiseModel(depolarizing_2q=0.1)
+        key = noisy_cache_key(circuit, noise)
+        assert key.startswith(circuit_fingerprint(circuit))
+        assert noise.fingerprint() in key
+        assert key != circuit_fingerprint(circuit)
+
+    def test_distinct_noise_models_get_distinct_keys(self):
+        circuit = _measured_ghz()
+        key_a = noisy_cache_key(circuit, NoiseModel(depolarizing_2q=0.1))
+        key_b = noisy_cache_key(circuit, NoiseModel(depolarizing_2q=0.2))
+        assert key_a != key_b
+
+
+class TestNoisyRunsDoNotPoisonSharedCache:
+    def test_ideal_distribution_survives_noisy_run(self):
+        """Gate-noise entries land under noisy keys; ideal entries stay exact."""
+        shared = DistributionCache()
+        circuit = _measured_ghz()
+        ideal_backend = VectorizedBackend(cache=shared)
+        (ideal_before,) = ideal_backend.exact_distributions([circuit])
+
+        noisy_backend = NoisyDeviceBackend(
+            NoiseModel(depolarizing_2q=0.3), inner=ideal_backend, cache=shared
+        )
+        (noisy,) = noisy_backend.exact_distributions([circuit])
+        assert noisy != ideal_before
+
+        hits_before = shared.hits
+        (ideal_after,) = ideal_backend.exact_distributions([circuit])
+        assert ideal_after == ideal_before
+        assert shared.hits == hits_before + 1, "ideal lookup must still hit its own entry"
+
+    def test_readout_only_runs_do_not_poison_either(self):
+        shared = DistributionCache()
+        circuit = _measured_ghz()
+        ideal_backend = VectorizedBackend(cache=shared)
+        noisy_backend = NoisyDeviceBackend(
+            NoiseModel(readout_p10=0.2), inner=ideal_backend, cache=shared
+        )
+        (noisy,) = noisy_backend.exact_distributions([circuit])
+        (ideal,) = ideal_backend.exact_distributions([circuit])
+        assert sum(noisy.values()) == pytest.approx(1.0)
+        assert ideal == {"000": pytest.approx(0.5), "111": pytest.approx(0.5)}
+
+    def test_two_noise_models_coexist_in_one_cache(self):
+        shared = DistributionCache()
+        circuit = _measured_ghz()
+        backend_a = NoisyDeviceBackend(NoiseModel(depolarizing_2q=0.05), cache=shared)
+        backend_b = NoisyDeviceBackend(NoiseModel(depolarizing_2q=0.4), cache=shared)
+        (dist_a,) = backend_a.exact_distributions([circuit])
+        (dist_b,) = backend_b.exact_distributions([circuit])
+        # Both cached; a second read hits without resimulation.
+        misses = shared.misses
+        (again_a,) = backend_a.exact_distributions([circuit])
+        (again_b,) = backend_b.exact_distributions([circuit])
+        assert shared.misses == misses
+        assert again_a == dist_a and again_b == dist_b
+        assert dist_a["000"] > dist_b["000"]
+
+
+class TestLRUEvictionRegressions:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = DistributionCache(maxsize=2)
+        cache.put("a", {"0": 1.0})
+        cache.put("b", {"1": 1.0})
+        assert cache.get("a") is not None  # refresh a; b is now LRU
+        cache.put("c", {"0": 0.5, "1": 0.5})
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_noisy_entries_evict_like_any_other(self):
+        """A tiny shared cache cycles noisy entries without corrupting results."""
+        cache = DistributionCache(maxsize=1)
+        circuit = _measured_ghz(2)
+        backend_a = NoisyDeviceBackend(NoiseModel(depolarizing_2q=0.1), cache=cache)
+        backend_b = NoisyDeviceBackend(NoiseModel(depolarizing_2q=0.3), cache=cache)
+        (first_a,) = backend_a.exact_distributions([circuit])
+        (first_b,) = backend_b.exact_distributions([circuit])  # evicts a's entry
+        assert len(cache) == 1
+        (second_a,) = backend_a.exact_distributions([circuit])  # recomputed, not b's entry
+        assert second_a == first_a
+        assert second_a != first_b
+
+    def test_zero_size_cache_disables_memoisation_but_stays_correct(self):
+        cache = DistributionCache(maxsize=0)
+        circuit = _measured_ghz(2)
+        backend = NoisyDeviceBackend(NoiseModel(depolarizing_2q=0.2), cache=cache)
+        (first,) = backend.exact_distributions([circuit])
+        (second,) = backend.exact_distributions([circuit])
+        assert first == second
+        assert len(cache) == 0
+
+    def test_overwrite_does_not_grow_cache(self):
+        cache = DistributionCache(maxsize=4)
+        for _ in range(3):
+            cache.put("k", {"0": 1.0})
+        assert len(cache) == 1

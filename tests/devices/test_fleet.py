@@ -1,0 +1,286 @@
+"""Tests for DeviceFleet scheduling, policies, specs and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeviceError
+from repro.circuits import Counts, DistributionCache, QuantumCircuit, VectorizedBackend
+from repro.devices import (
+    CapacityWeightedSplit,
+    DeviceFleet,
+    FidelityWeightedSplit,
+    NoiseModel,
+    UniformSplit,
+    VirtualDevice,
+    WeightedCountsMerge,
+    apportion_shots,
+    example_fleet_spec,
+    fleet_from_spec,
+    load_fleet,
+    resolve_merge_policy,
+    resolve_split_policy,
+)
+from repro.experiments import ghz_circuit
+
+
+def _measured_ghz(num_qubits: int = 3) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits, num_qubits, name="ghz_m")
+    circuit.compose(ghz_circuit(num_qubits), inplace=True)
+    for qubit in range(num_qubits):
+        circuit.measure(qubit, qubit)
+    return circuit
+
+
+class TestApportionment:
+    def test_sums_exactly(self):
+        for total in (0, 1, 7, 1000):
+            shares = apportion_shots([3.0, 2.0, 1.0], total)
+            assert shares.sum() == total
+
+    def test_proportionality(self):
+        shares = apportion_shots([4.0, 2.0, 1.0], 700)
+        assert shares.tolist() == [400, 200, 100]
+
+    def test_largest_remainder_tiebreak_by_index(self):
+        shares = apportion_shots([1.0, 1.0, 1.0], 2)
+        assert shares.tolist() == [1, 1, 0]
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(DeviceError):
+            apportion_shots([], 10)
+        with pytest.raises(DeviceError):
+            apportion_shots([0.0, 0.0], 10)
+        with pytest.raises(DeviceError):
+            apportion_shots([-1.0, 2.0], 10)
+        with pytest.raises(DeviceError):
+            apportion_shots([1.0], -1)
+
+
+class TestSplitPolicies:
+    def _devices(self):
+        return [
+            VirtualDevice("a", capacity=4.0, noise=NoiseModel(depolarizing_2q=0.1)),
+            VirtualDevice("b", capacity=1.0, noise=NoiseModel()),
+        ]
+
+    def test_uniform(self):
+        assert UniformSplit().weights(self._devices()).tolist() == [1.0, 1.0]
+
+    def test_capacity(self):
+        assert CapacityWeightedSplit().weights(self._devices()).tolist() == [4.0, 1.0]
+
+    def test_fidelity_prefers_clean_device(self):
+        weights = FidelityWeightedSplit().weights(self._devices())
+        assert weights[1] > weights[0]
+
+    def test_resolution_by_name(self):
+        assert isinstance(resolve_split_policy("uniform"), UniformSplit)
+        assert isinstance(resolve_split_policy("capacity"), CapacityWeightedSplit)
+        assert isinstance(resolve_split_policy("fidelity"), FidelityWeightedSplit)
+        assert isinstance(resolve_split_policy(None), UniformSplit)
+        with pytest.raises(DeviceError):
+            resolve_split_policy("round-robin")
+
+    def test_merge_resolution(self):
+        assert isinstance(resolve_merge_policy("weighted"), WeightedCountsMerge)
+        assert isinstance(resolve_merge_policy(None), WeightedCountsMerge)
+        with pytest.raises(DeviceError):
+            resolve_merge_policy("majority")
+
+
+class TestWeightedCountsMerge:
+    def test_default_is_exact_histogram_sum(self):
+        merge = WeightedCountsMerge()
+        merged = merge.merge(
+            [Counts({"00": 30, "11": 20}), Counts({"00": 5, "01": 5})],
+            [1.0, 1.0],
+            num_clbits=2,
+        )
+        assert merged == Counts({"00": 35, "11": 20, "01": 5})
+
+    def test_split_weight_merge_preserves_total_shots(self):
+        merge = WeightedCountsMerge(use_split_weights=True)
+        merged = merge.merge(
+            [Counts({"0": 90, "1": 10}), Counts({"0": 10, "1": 90})],
+            [3.0, 1.0],
+            num_clbits=1,
+        )
+        assert merged.shots == 200
+        # Mixture 0.75*(0.9,0.1) + 0.25*(0.1,0.9) = (0.7, 0.3).
+        assert merged["0"] == 140 and merged["1"] == 60
+
+    def test_empty_devices_give_empty_counts(self):
+        merged = WeightedCountsMerge().merge([Counts({}, num_clbits=2)], [1.0], num_clbits=2)
+        assert merged.shots == 0 and merged.num_clbits == 2
+
+
+class TestVirtualDevice:
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            VirtualDevice("")
+        with pytest.raises(DeviceError):
+            VirtualDevice("a", capacity=0.0)
+        with pytest.raises(DeviceError):
+            VirtualDevice("a", max_qubits=0)
+
+    def test_accepts_width(self):
+        device = VirtualDevice("a", max_qubits=3)
+        assert device.accepts(_measured_ghz(3))
+        assert not device.accepts(_measured_ghz(4))
+
+
+class TestFleetScheduling:
+    def test_needs_devices_and_unique_names(self):
+        with pytest.raises(DeviceError):
+            DeviceFleet([])
+        with pytest.raises(DeviceError):
+            DeviceFleet([VirtualDevice("a"), VirtualDevice("a")])
+
+    def test_plan_shares_respects_policy(self):
+        fleet = DeviceFleet(
+            [VirtualDevice("big", capacity=3.0), VirtualDevice("small", capacity=1.0)],
+            split="capacity",
+        )
+        assert fleet.plan_shares(_measured_ghz(3), 1000) == {"big": 750, "small": 250}
+
+    def test_width_limited_devices_are_routed_around(self):
+        fleet = DeviceFleet(
+            [VirtualDevice("wide"), VirtualDevice("narrow", max_qubits=2)],
+        )
+        shares = fleet.plan_shares(_measured_ghz(3), 100)
+        assert shares == {"wide": 100}
+
+    def test_no_eligible_device_raises(self):
+        fleet = DeviceFleet([VirtualDevice("tiny", max_qubits=1)])
+        with pytest.raises(DeviceError, match="accepts"):
+            fleet.plan_shares(_measured_ghz(3), 100)
+
+    def test_run_batch_total_shots_conserved(self):
+        fleet = fleet_from_spec(example_fleet_spec())
+        circuit = _measured_ghz(3)
+        (counts,) = fleet.run_batch([circuit], [1234], seed=0)
+        assert counts.shots == 1234
+
+    def test_ideal_fleet_exact_distribution_matches_plain_backend(self):
+        fleet = DeviceFleet([VirtualDevice("a"), VirtualDevice("b", capacity=2.0)])
+        circuit = _measured_ghz(3)
+        (fleet_distribution,) = fleet.exact_distributions([circuit])
+        (plain,) = VectorizedBackend(cache=DistributionCache()).exact_distributions([circuit])
+        for bitstring, probability in plain.items():
+            assert fleet_distribution[bitstring] == pytest.approx(probability)
+
+    def test_mixture_distribution_weights_devices(self):
+        clean = VirtualDevice("clean")
+        broken = VirtualDevice("broken", noise=NoiseModel(readout_p01=1.0, readout_p10=1.0))
+        fleet = DeviceFleet([clean, broken], split="uniform")
+        circuit = QuantumCircuit(1, 1, name="zero")
+        circuit.measure(0, 0)
+        (distribution,) = fleet.exact_distributions([circuit])
+        assert distribution["0"] == pytest.approx(0.5)
+        assert distribution["1"] == pytest.approx(0.5)
+
+
+class TestFleetDeterminism:
+    def test_bitwise_identical_across_inner_backends(self):
+        circuit = _measured_ghz(3)
+        runs = []
+        for inner in ("serial", "vectorized"):
+            fleet = fleet_from_spec(example_fleet_spec(), inner=inner)
+            runs.append(fleet.run_batch([circuit, circuit], [800, 400], seed=42))
+        assert runs[0] == runs[1]
+
+    def test_repeat_runs_identical(self):
+        fleet = fleet_from_spec(example_fleet_spec())
+        circuit = _measured_ghz(4)
+        first = fleet.run_batch([circuit], [500], seed=9)
+        second = fleet.run_batch([circuit], [500], seed=9)
+        assert first == second
+
+    def test_per_circuit_streams_independent_of_batch_neighbours(self):
+        """Circuit i's counts depend only on its own child stream, not the batch."""
+        fleet = fleet_from_spec(example_fleet_spec())
+        a = _measured_ghz(3)
+        b = _measured_ghz(4)
+        counts_pair = fleet.run_batch([a, b], [300, 300], seed=5)
+        counts_solo = fleet.run_batch([a], [300], seed=5)
+        assert counts_pair[0] == counts_solo[0]
+
+
+class TestFleetSpecs:
+    def test_example_spec_round_trips(self):
+        fleet = fleet_from_spec(example_fleet_spec())
+        assert [device.name for device in fleet.devices] == [
+            "qpu_clean",
+            "qpu_mid",
+            "qpu_small",
+        ]
+        assert fleet.split_policy.name == "capacity"
+
+    def test_load_fleet_from_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(example_fleet_spec()))
+        fleet = load_fleet(path, inner="serial")
+        assert len(fleet.devices) == 3
+        assert fleet.backends[0].inner.name == "serial"
+
+    def test_missing_file_raises_device_error(self, tmp_path):
+        with pytest.raises(DeviceError, match="not found"):
+            load_fleet(tmp_path / "absent.json")
+
+    def test_invalid_json_raises_device_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(DeviceError, match="not valid JSON"):
+            load_fleet(path)
+
+    def test_devices_must_be_a_list(self):
+        with pytest.raises(DeviceError, match="must be a JSON array"):
+            fleet_from_spec({"devices": 5})
+        with pytest.raises(DeviceError, match="must be a JSON array"):
+            fleet_from_spec({"devices": {"name": "a"}})
+
+    def test_non_numeric_spec_values_raise_device_error(self):
+        with pytest.raises(DeviceError, match="capacity must be a number"):
+            fleet_from_spec({"devices": [{"name": "a", "capacity": "fast"}]})
+        with pytest.raises(DeviceError, match="max_qubits must be a number"):
+            fleet_from_spec({"devices": [{"name": "a", "max_qubits": "big"}]})
+        with pytest.raises(DeviceError, match="noise depolarizing_2q must be a number"):
+            fleet_from_spec({"devices": [{"name": "a", "noise": {"depolarizing_2q": "high"}}]})
+
+    def test_load_fleet_split_override(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(example_fleet_spec()))
+        fleet = load_fleet(path, split="fidelity")
+        assert fleet.split_policy.name == "fidelity"
+
+    def test_all_zero_fidelity_devices_fail_with_named_schedule_error(self):
+        fleet = DeviceFleet(
+            [VirtualDevice("dead", noise=NoiseModel(readout_p01=1.0))],
+            split="fidelity",
+        )
+        with pytest.raises(DeviceError, match="zero weight to every"):
+            fleet.plan_shares(_measured_ghz(2), 100)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(DeviceError, match="unknown fleet spec keys"):
+            fleet_from_spec({"devices": [{"name": "a"}], "sharding": "yes"})
+        with pytest.raises(DeviceError, match="unknown keys"):
+            fleet_from_spec({"devices": [{"name": "a", "qubits": 3}]})
+        with pytest.raises(DeviceError, match="unknown noise keys"):
+            fleet_from_spec({"devices": [{"name": "a", "noise": {"t1": 80}}]})
+
+    def test_empty_devices_rejected(self):
+        with pytest.raises(DeviceError, match="non-empty 'devices'"):
+            fleet_from_spec({"devices": []})
+
+    def test_describe_reports_every_device(self):
+        fleet = fleet_from_spec(example_fleet_spec())
+        rows = fleet.describe()
+        assert len(rows) == 3
+        assert rows[0]["name"] == "qpu_clean"
+        shares = np.array([row["shot_share"] for row in rows])
+        assert shares.sum() == pytest.approx(1.0)

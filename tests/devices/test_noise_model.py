@@ -1,0 +1,114 @@
+"""Unit tests for NoiseModel: validation, fingerprints, readout confusion."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeviceError
+from repro.devices import NoiseModel
+
+
+class TestValidation:
+    def test_defaults_are_ideal(self):
+        assert NoiseModel().is_noiseless
+        assert NoiseModel.ideal().is_noiseless
+
+    @pytest.mark.parametrize(
+        "field",
+        ["depolarizing_1q", "depolarizing_2q", "amplitude_damping", "readout_p01", "readout_p10"],
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_out_of_range_rates_rejected(self, field, value):
+        with pytest.raises(DeviceError, match=field):
+            NoiseModel(**{field: value})
+
+    def test_classification_flags(self):
+        assert NoiseModel(depolarizing_2q=0.1).has_gate_noise
+        assert not NoiseModel(depolarizing_2q=0.1).has_readout_error
+        assert NoiseModel(readout_p01=0.1).has_readout_error
+        assert not NoiseModel(readout_p01=0.1).has_gate_noise
+
+
+class TestFingerprint:
+    def test_stable_for_equal_models(self):
+        assert NoiseModel(depolarizing_2q=0.1).fingerprint() == NoiseModel(
+            depolarizing_2q=0.1
+        ).fingerprint()
+
+    def test_differs_per_parameter(self):
+        fingerprints = {
+            NoiseModel().fingerprint(),
+            NoiseModel(depolarizing_1q=0.1).fingerprint(),
+            NoiseModel(depolarizing_2q=0.1).fingerprint(),
+            NoiseModel(amplitude_damping=0.1).fingerprint(),
+            NoiseModel(readout_p01=0.1).fingerprint(),
+            NoiseModel(readout_p10=0.1).fingerprint(),
+        }
+        assert len(fingerprints) == 6
+
+
+class TestFidelityWeight:
+    def test_ideal_is_one(self):
+        assert NoiseModel().fidelity_weight() == 1.0
+
+    def test_orders_devices_by_noise(self):
+        clean = NoiseModel(depolarizing_2q=0.01)
+        dirty = NoiseModel(depolarizing_2q=0.1, readout_p10=0.05)
+        assert 0.0 < dirty.fidelity_weight() < clean.fidelity_weight() < 1.0
+
+
+class TestGateNoiseHook:
+    def test_ideal_model_returns_none(self):
+        from repro.circuits import QuantumCircuit
+
+        circuit = QuantumCircuit(2, 0)
+        circuit.h(0)
+        assert NoiseModel().gate_noise_hook(circuit.instructions[0]) is None
+
+    def test_kraus_form_a_cptp_channel(self):
+        from repro.circuits import QuantumCircuit
+
+        circuit = QuantumCircuit(2, 0)
+        circuit.cx(0, 1)
+        model = NoiseModel(depolarizing_2q=0.1, amplitude_damping=0.05)
+        kraus = model.gate_noise_hook(circuit.instructions[0])
+        total = sum(np.asarray(k).conj().T @ np.asarray(k) for k in kraus)
+        assert np.allclose(total, np.eye(4), atol=1e-12)
+
+    def test_arity_selects_rate(self):
+        from repro.circuits import QuantumCircuit
+
+        circuit = QuantumCircuit(2, 0)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        model = NoiseModel(depolarizing_2q=0.1)  # no 1q noise
+        assert model.gate_noise_hook(circuit.instructions[0]) is None
+        assert model.gate_noise_hook(circuit.instructions[1]) is not None
+
+
+class TestReadoutConfusion:
+    def test_confusion_matrix_columns_are_distributions(self):
+        matrix = NoiseModel(readout_p01=0.1, readout_p10=0.2).confusion_matrix()
+        assert np.allclose(matrix.sum(axis=0), [1.0, 1.0])
+
+    def test_no_error_returns_input_unchanged(self):
+        distribution = {"01": 0.5, "10": 0.5}
+        model = NoiseModel(depolarizing_2q=0.3)  # gate noise only
+        assert model.apply_readout_error(distribution) is distribution
+
+    def test_single_bit_flip_probabilities(self):
+        model = NoiseModel(readout_p10=0.2)
+        confused = model.apply_readout_error({"1": 1.0})
+        assert confused["0"] == pytest.approx(0.2)
+        assert confused["1"] == pytest.approx(0.8)
+
+    def test_multi_bit_confusion_preserves_normalisation(self):
+        model = NoiseModel(readout_p01=0.05, readout_p10=0.15)
+        confused = model.apply_readout_error({"010": 0.25, "111": 0.75})
+        assert sum(confused.values()) == pytest.approx(1.0)
+        # Every 3-bit outcome becomes reachable.
+        assert len(confused) == 8
+
+    def test_symmetric_full_flip(self):
+        model = NoiseModel(readout_p01=1.0, readout_p10=1.0)
+        confused = model.apply_readout_error({"01": 1.0})
+        assert confused == pytest.approx({"10": 1.0})

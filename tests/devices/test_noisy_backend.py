@@ -1,0 +1,154 @@
+"""Tests for NoisyDeviceBackend: exactness, transparency, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    DistributionCache,
+    QuantumCircuit,
+    SerialBackend,
+    VectorizedBackend,
+)
+from repro.devices import NoiseModel, NoisyDeviceBackend
+from repro.experiments import ghz_circuit
+from repro.quantum.channels import depolarizing_channel
+from repro.quantum.states import DensityMatrix
+
+
+def _measured_ghz(num_qubits: int = 3) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits, num_qubits, name="ghz_m")
+    circuit.compose(ghz_circuit(num_qubits), inplace=True)
+    for qubit in range(num_qubits):
+        circuit.measure(qubit, qubit)
+    return circuit
+
+
+class TestTransparency:
+    def test_noiseless_model_forwards_verbatim(self):
+        circuit = _measured_ghz()
+        backend = NoisyDeviceBackend(NoiseModel.ideal(), inner="vectorized")
+        plain = VectorizedBackend()
+        assert backend.run_batch([circuit], [200], seed=5) == plain.run_batch(
+            [circuit], [200], seed=5
+        )
+        assert backend.exact_distributions([circuit]) == plain.exact_distributions([circuit])
+
+    def test_name_reports_inner_backend(self):
+        assert NoisyDeviceBackend(NoiseModel.ideal(), inner="serial").name == "noisy(serial)"
+        assert NoisyDeviceBackend(NoiseModel.ideal()).name == "noisy(vectorized)"
+
+    def test_rejects_non_noise_model(self):
+        with pytest.raises(TypeError):
+            NoisyDeviceBackend({"depolarizing_2q": 0.1})
+
+
+class TestGateNoiseExactness:
+    def test_depolarized_bell_distribution_matches_channel(self):
+        """The simulated noisy distribution equals the analytic channel output."""
+        p = 0.2
+        circuit = QuantumCircuit(2, 2, name="bell")
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.measure(0, 0)
+        circuit.measure(1, 1)
+        backend = NoisyDeviceBackend(
+            NoiseModel(depolarizing_2q=p), inner="serial", cache=DistributionCache()
+        )
+        (distribution,) = backend.exact_distributions([circuit])
+
+        # Analytic reference: H (noiseless, 1q) then CX followed by 2q depolarising.
+        h = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+        cx = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        rho = np.zeros((4, 4), dtype=complex)
+        rho[0, 0] = 1.0
+        full_h = np.kron(h, np.eye(2))
+        rho = full_h @ rho @ full_h.conj().T
+        rho = cx @ rho @ cx.conj().T
+        rho = depolarizing_channel(p, num_qubits=2).apply(DensityMatrix(rho, validate=False)).data
+        expected = {format(i, "02b"): float(np.real(rho[i, i])) for i in range(4)}
+        for bitstring, probability in expected.items():
+            assert distribution.get(bitstring, 0.0) == pytest.approx(probability, abs=1e-12)
+
+    def test_noisy_distribution_normalised(self):
+        circuit = _measured_ghz(3)
+        backend = NoisyDeviceBackend(
+            NoiseModel(depolarizing_1q=0.02, depolarizing_2q=0.05, amplitude_damping=0.01),
+            cache=DistributionCache(),
+        )
+        (distribution,) = backend.exact_distributions([circuit])
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_gate_noise_shrinks_z_parity(self):
+        circuit = _measured_ghz(3)
+        ideal = NoisyDeviceBackend(NoiseModel.ideal())
+        noisy = NoisyDeviceBackend(NoiseModel(depolarizing_2q=0.1), cache=DistributionCache())
+        # <ZZ> on the first two GHZ qubits is 1 ideally; depolarising shrinks it.
+        ideal_value = ideal.average_z_expectation(circuit, [0, 1])
+        noisy_value = noisy.average_z_expectation(circuit, [0, 1])
+        assert abs(noisy_value) < abs(ideal_value)
+
+    def test_amplitude_damping_is_non_unital(self):
+        """Damping pulls |1> toward |0>, a direction depolarising cannot take."""
+        circuit = QuantumCircuit(1, 1, name="excited")
+        circuit.x(0)
+        circuit.measure(0, 0)
+        backend = NoisyDeviceBackend(
+            NoiseModel(amplitude_damping=0.3), cache=DistributionCache()
+        )
+        (distribution,) = backend.exact_distributions([circuit])
+        assert distribution["0"] == pytest.approx(0.3)
+        assert distribution["1"] == pytest.approx(0.7)
+
+    def test_conditioned_gates_stay_noiseless_on_skipped_branches(self):
+        """Noise follows the gate: branches that skip a conditioned gate skip its noise."""
+        circuit = QuantumCircuit(2, 2, name="feedforward")
+        circuit.h(0)
+        circuit.measure(0, 0)
+        circuit.x(1, condition=(0, 1))  # applied only on the |1> branch
+        circuit.measure(1, 1)
+        backend = NoisyDeviceBackend(
+            NoiseModel(depolarizing_1q=0.4), cache=DistributionCache()
+        )
+        (distribution,) = backend.exact_distributions([circuit])
+        # Branch 0x: qubit 1 untouched after the (noisy) H on qubit 0 -> stays |0>.
+        assert distribution.get("01", 0.0) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestReadoutOnlyPath:
+    def test_readout_only_uses_inner_backend_distributions(self):
+        circuit = _measured_ghz(2)
+        cache = DistributionCache()
+        inner = VectorizedBackend(cache=DistributionCache())
+        backend = NoisyDeviceBackend(NoiseModel(readout_p10=0.1), inner=inner, cache=cache)
+        (distribution,) = backend.exact_distributions([circuit])
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        # A true |11> reads as 01/10/11/00 with the single-bit flip rates.
+        assert distribution["01"] == pytest.approx(0.5 * 0.1 * 0.9)
+
+    def test_zero_shots_return_empty_counts(self):
+        circuit = _measured_ghz(2)
+        backend = NoisyDeviceBackend(NoiseModel(readout_p10=0.1), cache=DistributionCache())
+        (counts,) = backend.run_batch([circuit], [0], seed=3)
+        assert counts.shots == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_counts_across_inner_backends(self):
+        circuit = _measured_ghz(3)
+        noise = NoiseModel(depolarizing_2q=0.05, readout_p10=0.02)
+        runs = []
+        for inner in (SerialBackend(), VectorizedBackend(cache=DistributionCache())):
+            backend = NoisyDeviceBackend(noise, inner=inner, cache=DistributionCache())
+            runs.append(backend.run_batch([circuit, circuit], [500, 300], seed=17))
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_differ(self):
+        circuit = _measured_ghz(3)
+        backend = NoisyDeviceBackend(
+            NoiseModel(depolarizing_2q=0.05), cache=DistributionCache()
+        )
+        (a,) = backend.run_batch([circuit], [500], seed=1)
+        (b,) = backend.run_batch([circuit], [500], seed=2)
+        assert a != b

@@ -1,18 +1,19 @@
 """Docstring audit for the documented public surface.
 
-Every public module, class, function and method in ``repro.pipeline`` and
-``repro.cutting`` must carry a docstring whose summary line is followed by a
-blank line and ends with punctuation — the load-bearing subset of the ruff
-pydocstyle (``D``) rules scoped to those packages in ``pyproject.toml``, kept
-runnable here so environments without ruff still enforce it (and the mkdocs
-API reference never renders an undocumented symbol).
+Every public module, class, function and method in ``repro.pipeline``,
+``repro.cutting`` and ``repro.devices`` must carry a docstring whose summary
+line is followed by a blank line and ends with punctuation — the load-bearing
+subset of the ruff pydocstyle (``D``) rules scoped to those packages in
+``pyproject.toml``, kept runnable here so environments without ruff still
+enforce it (and the mkdocs API reference never renders an undocumented
+symbol).
 """
 
 import ast
 from pathlib import Path
 
 SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
-AUDITED_PACKAGES = ("pipeline", "cutting")
+AUDITED_PACKAGES = ("pipeline", "cutting", "devices")
 
 
 def _audited_files():
@@ -61,8 +62,8 @@ def test_public_api_is_fully_documented():
     assert not issues, "undocumented or malformed public API:\n" + "\n".join(issues)
 
 
-def test_audit_covers_both_packages():
+def test_audit_covers_all_packages():
     files = list(_audited_files())
     packages = {path.parent.name for path in files}
     assert packages == set(AUDITED_PACKAGES)
-    assert len(files) > 10, "audit should see the full cutting package"
+    assert len(files) > 14, "audit should see the full cutting and devices packages"

@@ -73,3 +73,74 @@ class TestCommands:
         csv_path = tmp_path / "overhead.csv"
         assert main(["overhead", "--csv", str(csv_path)]) == 0
         assert csv_path.exists()
+
+
+class TestDevicesCommands:
+    def _write_spec(self, tmp_path):
+        import json
+
+        from repro.devices import example_fleet_spec
+
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(example_fleet_spec()))
+        return path
+
+    def test_devices_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["devices"])
+
+    def test_devices_list_builtin_example(self, capsys):
+        assert main(["devices", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "qpu_clean" in out and "fidelity" in out and "shots" in out
+
+    def test_devices_list_from_spec_with_split_override(self, capsys, tmp_path):
+        path = self._write_spec(tmp_path)
+        assert main(["devices", "list", "--devices", str(path), "--split", "uniform"]) == 0
+        out = capsys.readouterr().out
+        assert "uniform split" in out and "qpu_small" in out
+
+    def test_devices_list_rejects_bad_spec(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        assert main(["devices", "list", "--devices", str(path)]) == 1
+        assert "invalid device spec" in capsys.readouterr().out
+
+    def test_cut_run_on_device_fleet(self, capsys, tmp_path):
+        path = self._write_spec(tmp_path)
+        assert (
+            main(
+                [
+                    "cut", "run", "--qubits", "4", "--width", "2", "--shots", "400",
+                    "--seed", "2", "--devices", str(path), "--split", "fidelity",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fleet(3 devices, fidelity split)" in out and "reconstruct:" in out
+
+    def test_cut_run_split_requires_devices(self, capsys):
+        assert main(["cut", "run", "--split", "uniform"]) == 1
+        assert "--split requires --devices" in capsys.readouterr().out
+
+    def test_cut_run_missing_spec_fails_cleanly(self, capsys, tmp_path):
+        assert main(["cut", "run", "--devices", str(tmp_path / "absent.json")]) == 1
+        assert "invalid device spec" in capsys.readouterr().out
+
+    def test_cut_run_reports_fleet_rejecting_term_circuits(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps({"devices": [{"name": "tiny", "max_qubits": 1}]}))
+        # Planning succeeds (width 2), but the cut gadgets widen the term
+        # circuits past every device's limit — a clean message, not a traceback.
+        assert main(
+            ["cut", "run", "--qubits", "4", "--width", "2", "--shots", "100",
+             "--devices", str(path)]
+        ) == 1
+        assert "fleet execution failed" in capsys.readouterr().out
+
+    def test_ablations_rejects_invalid_noise_levels(self, capsys):
+        assert main(["ablations", "--noise-levels", "0.1", "1.5"]) == 1
+        assert "invalid --noise-levels" in capsys.readouterr().out

@@ -1,0 +1,87 @@
+"""Link-check a built mkdocs site: every internal href/src must resolve.
+
+Usage: ``python tools/check_site_links.py site/``
+
+Walks every HTML page of the built site, extracts ``href`` / ``src``
+attributes, and verifies that each *internal* target (no scheme, no
+``mailto:``) exists on disk — resolving relative paths against the page and
+directory URLs against their ``index.html``.  Fragment-only links (``#...``)
+and external URLs are skipped.  Exits non-zero listing every broken link,
+which is what the ``docs`` CI job runs after ``mkdocs build --strict``
+(strict mode catches broken *markdown* links; this catches everything the
+theme and plugins emit into the final HTML).
+"""
+
+from __future__ import annotations
+
+import sys
+from html.parser import HTMLParser
+from pathlib import Path
+from urllib.parse import urlparse
+
+
+class _LinkCollector(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__()
+        self.links: list[str] = []
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        for name, value in attrs:
+            if name in ("href", "src") and value:
+                self.links.append(value)
+
+
+def _is_internal(link: str) -> bool:
+    parsed = urlparse(link)
+    return not parsed.scheme and not parsed.netloc and bool(parsed.path)
+
+
+def _resolves(page: Path, link: str, root: Path) -> bool:
+    path = urlparse(link).path
+    base = root if path.startswith("/") else page.parent
+    target = (base / path.lstrip("/")).resolve()
+    if target.is_file():
+        return True
+    # Directory-style URL: mkdocs serves <dir>/index.html.
+    return (target / "index.html").is_file()
+
+
+def check_site(root: Path) -> list[str]:
+    """Return one message per broken internal link under ``root``."""
+    broken: list[str] = []
+    pages = sorted(root.rglob("*.html"))
+    if not pages:
+        return [f"no HTML pages found under {root}"]
+    for page in pages:
+        collector = _LinkCollector()
+        collector.feed(page.read_text(errors="replace"))
+        for link in collector.links:
+            if not _is_internal(link):
+                continue
+            if not _resolves(page, link, root):
+                broken.append(f"{page.relative_to(root)}: broken link {link!r}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    """Run the checker and return the process exit code."""
+    if len(argv) != 1:
+        print("usage: python tools/check_site_links.py <site-dir>")
+        return 2
+    root = Path(argv[0])
+    if not root.is_dir():
+        print(f"site directory not found: {root}")
+        return 2
+    broken = check_site(root)
+    pages = len(list(root.rglob("*.html")))
+    if broken:
+        print(f"{len(broken)} broken internal link(s) across {pages} pages:")
+        for message in broken:
+            print(f"  {message}")
+        return 1
+    print(f"link check OK: {pages} pages, no broken internal links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
