@@ -1,0 +1,142 @@
+"""Throughput benchmark of the job service: concurrent vs serial scheduling.
+
+Run with ``pytest benchmarks/bench_service.py -q -s``.
+
+The workload is a batch of *distinct* cut-estimation jobs (random layered
+circuits with different structures, so the shared distribution cache cannot
+blur the comparison) submitted (a) serially through a one-worker scheduler
+and (b) concurrently through a multi-worker **process-mode** scheduler — the
+deployment shape ``repro serve --mode process`` uses for CPU-bound traffic.
+The benchmark asserts the scheduler's central correctness contract — the
+concurrent estimates are **bitwise identical** to the serial ones — and
+measures the wall-clock speedup, plus the latency of serving a repeated job
+from a warm :class:`~repro.service.RunStore` (the cache-hit path).
+
+``BENCH_service.json`` is written to the working directory (overridable via
+``REPRO_BENCH_OUT``) so CI can archive the throughput trajectory.  Set
+``REPRO_BENCH_FULL=1`` to enforce the speedup floor; the default smoke run
+records without asserting so one noisy shared-runner sample cannot fail the
+build.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import random_layered_circuit
+from repro.service import JobScheduler, JobSpec, RunStore, run_job
+
+#: Number of distinct jobs in the batch.
+NUM_JOBS = 8
+#: Worker-pool size for the concurrent run (bounded by the machine).
+WORKERS = min(4, os.cpu_count() or 1)
+SHOTS = 4000
+QUBITS = 4
+DEPTH = 3
+
+
+def _job_specs():
+    """Return the benchmark batch: distinct random-layered 2-cut jobs."""
+    specs = []
+    for index in range(NUM_JOBS):
+        circuit = random_layered_circuit(QUBITS, DEPTH, seed=100 + index, two_qubit_gate="cx")
+        specs.append(
+            JobSpec(
+                circuit=circuit,
+                observable="Z" * QUBITS,
+                shots=SHOTS,
+                seed=index,
+                locations=((0, 1), (0, 4)),
+                backend="vectorized",
+            )
+        )
+    return specs
+
+
+def _run_serial(specs):
+    """Execute the batch on a single-worker scheduler, in submission order."""
+    with JobScheduler(workers=1, mode="thread") as scheduler:
+        job_ids = [scheduler.submit(spec) for spec in specs]
+        return [scheduler.result(job_id, timeout=600) for job_id in job_ids]
+
+
+def _run_concurrent(specs):
+    """Execute the batch on a process-pool scheduler (fresh caches per worker)."""
+    with JobScheduler(workers=WORKERS, mode="process") as scheduler:
+        job_ids = [scheduler.submit(spec) for spec in specs]
+        return [scheduler.result(job_id, timeout=600) for job_id in job_ids]
+
+
+def test_service_concurrent_vs_serial_throughput(tmp_path):
+    """Concurrent submissions are bitwise-identical to serial, and faster.
+
+    With ``REPRO_BENCH_FULL=1`` a 1.3× floor is enforced; the smoke run
+    records the measured speedup without asserting it.
+    """
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    specs = _job_specs()
+
+    # Concurrent first: process workers fork from this process, so running
+    # serial first would hand them a pre-warmed distribution cache and
+    # inflate the measured speedup.  (The serial run is unaffected by the
+    # concurrent one — worker-process caches never propagate back.)
+    start = time.perf_counter()
+    concurrent = _run_concurrent(specs)
+    concurrent_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    serial = _run_serial(specs)
+    serial_seconds = time.perf_counter() - start
+
+    for serial_outcome, concurrent_outcome in zip(serial, concurrent):
+        assert concurrent_outcome.value == serial_outcome.value, (
+            f"scheduler broke determinism on job {serial_outcome.fingerprint}"
+        )
+        assert concurrent_outcome.standard_error == serial_outcome.standard_error
+        assert concurrent_outcome.total_shots == serial_outcome.total_shots
+
+    # Cache-hit latency: the same job served from a warm store.
+    store = RunStore(tmp_path / "store")
+    run_job(specs[0], store=store)
+    start = time.perf_counter()
+    cached = run_job(specs[0], store=store)
+    cache_hit_seconds = time.perf_counter() - start
+    assert cached.cached
+    assert cached.value == serial[0].value
+
+    speedup = serial_seconds / concurrent_seconds
+    record = {
+        "benchmark": "service_concurrent_vs_serial",
+        "full_scale": full,
+        "num_jobs": NUM_JOBS,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "shots_per_job": SHOTS,
+        "qubits": QUBITS,
+        "depth": DEPTH,
+        "serial_seconds": round(serial_seconds, 4),
+        "concurrent_seconds": round(concurrent_seconds, 4),
+        "speedup": round(speedup, 2),
+        "serial_jobs_per_second": round(NUM_JOBS / serial_seconds, 3),
+        "concurrent_jobs_per_second": round(NUM_JOBS / concurrent_seconds, 3),
+        "cache_hit_seconds": round(cache_hit_seconds, 5),
+        "bitwise_identical": True,
+    }
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_service.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\nservice throughput: {speedup:.1f}x with {WORKERS} workers "
+        f"(serial {serial_seconds:.2f}s, concurrent {concurrent_seconds:.2f}s, "
+        f"cache hit {cache_hit_seconds * 1000:.1f}ms) -> {out_path}"
+    )
+
+    if full and WORKERS >= 2:
+        # Wall-clock speedup needs real cores; a single-CPU machine can only
+        # demonstrate the determinism contract, which was asserted above.
+        assert speedup >= 1.3, (
+            f"service concurrent speedup {speedup:.2f}x below the 1.3x floor "
+            f"(serial {serial_seconds:.2f}s, concurrent {concurrent_seconds:.2f}s)"
+        )

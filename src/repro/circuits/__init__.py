@@ -46,6 +46,7 @@ from repro.circuits.expectation import (
     sampled_pauli_expectation,
 )
 from repro.circuits.instruction import Instruction
+from repro.circuits.serialization import circuit_from_payload, circuit_to_payload
 from repro.circuits.shot_simulator import ShotSimulator, run_and_sample
 from repro.circuits.statevector_simulator import StatevectorSimulator, simulate_statevector
 
@@ -72,6 +73,8 @@ __all__ = [
     "DistributionCache",
     "default_distribution_cache",
     "circuit_fingerprint",
+    "circuit_to_payload",
+    "circuit_from_payload",
     "resolve_backend",
     "BACKEND_NAMES",
     "BatchedDensityMatrixSimulator",

@@ -1,0 +1,130 @@
+"""Lossless JSON serialization of :class:`~repro.circuits.circuit.QuantumCircuit`.
+
+The run store and the job service persist circuits to disk and ship them over
+HTTP, so circuits need a stable, dependency-free wire format.  The payload
+produced here is plain JSON (dicts, lists, numbers) and round-trips *exactly*:
+matrices and statevectors are stored as ``[real, imag]`` pairs whose floats
+survive JSON via shortest-round-trip ``repr`` formatting, so a deserialized
+circuit has the same :func:`~repro.circuits.backends.circuit_fingerprint` as
+the original — cache keys and job fingerprints are stable across the wire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.instruction import Instruction
+
+__all__ = ["circuit_to_payload", "circuit_from_payload"]
+
+
+def _array_to_payload(array: np.ndarray) -> dict:
+    """Return the JSON payload of a complex matrix or statevector."""
+    array = np.asarray(array, dtype=complex)
+    return {
+        "shape": list(array.shape),
+        "data": [[float(value.real), float(value.imag)] for value in array.ravel()],
+    }
+
+
+def _array_from_payload(payload: dict) -> np.ndarray:
+    """Rebuild a complex array from its :func:`_array_to_payload` form."""
+    flat = np.array(
+        [complex(real, imag) for real, imag in payload["data"]], dtype=complex
+    )
+    return flat.reshape(tuple(payload["shape"]))
+
+
+def _instruction_to_payload(instruction: Instruction) -> dict:
+    """Return the JSON payload of one instruction."""
+    payload: dict = {
+        "kind": instruction.kind,
+        "name": instruction.name,
+        "qubits": list(instruction.qubits),
+    }
+    if instruction.clbits:
+        payload["clbits"] = list(instruction.clbits)
+    if instruction.params:
+        payload["params"] = [float(p) for p in instruction.params]
+    if instruction.matrix is not None:
+        payload["matrix"] = _array_to_payload(instruction.matrix)
+    if instruction.condition is not None:
+        payload["condition"] = list(instruction.condition)
+    return payload
+
+
+def _instruction_from_payload(payload: dict) -> Instruction:
+    """Rebuild one instruction from its payload form."""
+    matrix = payload.get("matrix")
+    condition = payload.get("condition")
+    return Instruction(
+        kind=payload["kind"],
+        name=payload["name"],
+        qubits=tuple(int(q) for q in payload["qubits"]),
+        clbits=tuple(int(c) for c in payload.get("clbits", ())),
+        params=tuple(float(p) for p in payload.get("params", ())),
+        matrix=None if matrix is None else _array_from_payload(matrix),
+        condition=None if condition is None else (int(condition[0]), int(condition[1])),
+    )
+
+
+def circuit_to_payload(circuit: QuantumCircuit) -> dict:
+    """Return a lossless JSON-serializable payload of ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to serialize.
+
+    Returns
+    -------
+    dict
+        Plain-JSON payload accepted by :func:`circuit_from_payload`.  The
+        round trip preserves the circuit's
+        :func:`~repro.circuits.backends.circuit_fingerprint` exactly.
+    """
+    return {
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "num_clbits": circuit.num_clbits,
+        "instructions": [
+            _instruction_to_payload(instruction) for instruction in circuit.instructions
+        ],
+    }
+
+
+def circuit_from_payload(payload: dict) -> QuantumCircuit:
+    """Rebuild a :class:`~repro.circuits.circuit.QuantumCircuit` from its payload.
+
+    Parameters
+    ----------
+    payload:
+        A payload produced by :func:`circuit_to_payload` (e.g. parsed back
+        from a store file or an HTTP job submission).
+
+    Returns
+    -------
+    QuantumCircuit
+        The reconstructed circuit (instruction indices re-validated on
+        append).
+
+    Raises
+    ------
+    CircuitError
+        When the payload is structurally invalid.
+    """
+    if not isinstance(payload, dict):
+        raise CircuitError(f"a circuit payload must be a JSON object, got {type(payload).__name__}")
+    try:
+        circuit = QuantumCircuit(
+            int(payload["num_qubits"]),
+            int(payload.get("num_clbits", 0)),
+            str(payload.get("name", "circuit")),
+        )
+        for entry in payload.get("instructions", []):
+            circuit.append(_instruction_from_payload(entry))
+    except (KeyError, TypeError, ValueError, IndexError) as error:
+        raise CircuitError(f"malformed circuit payload: {error}") from error
+    return circuit

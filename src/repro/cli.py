@@ -11,9 +11,14 @@ Exposes the experiment harness without writing any Python:
   noisy-resource ablations.
 * ``cut run`` — plan and execute a multi-cut :class:`~repro.pipeline.CutPipeline`
   on a chosen workload under a device-width constraint (``--devices spec.json``
-  runs the term circuits on a noisy :class:`~repro.devices.DeviceFleet`).
+  runs the term circuits on a noisy :class:`~repro.devices.DeviceFleet`;
+  ``--store DIR`` persists/reuses stage artifacts through a
+  :class:`~repro.service.RunStore`).
 * ``cut demo`` — cut a demo GHZ circuit and report the estimate per protocol.
 * ``devices list`` — show a fleet spec's devices, noise rates and shot shares.
+* ``serve`` — run the HTTP/JSON job service (:mod:`repro.service.server`).
+* ``jobs submit|status|result|list`` — fire-and-forget job submission against
+  a running ``repro serve`` endpoint.
 """
 
 from __future__ import annotations
@@ -47,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         help="execution backend for the term-circuit simulations",
     )
+    figure6.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="run-store directory; a previously stored sweep with the same "
+        "configuration is served from the store instead of re-running",
+    )
 
     overhead = subparsers.add_parser("overhead", help="print the overhead-vs-entanglement table")
     overhead.add_argument("--csv", type=str, default=None)
@@ -65,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         help="depolarising strengths for the noisy-resource ablation (each in [0, 1])",
+    )
+    ablations.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="run-store directory; ablation tables already stored for this "
+        "configuration are reused instead of re-running",
     )
 
     cut = subparsers.add_parser("cut", help="cut circuits (pipeline runner and demo)")
@@ -116,6 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the fleet spec's shot-split policy (requires --devices)",
     )
+    cut_run.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="run-store directory: persist every stage artifact and serve "
+        "repeated identical runs from the store (resuming interrupted ones)",
+    )
 
     cut_demo = cut_commands.add_parser(
         "demo", help="cut a GHZ demo circuit and compare protocols"
@@ -160,11 +189,108 @@ def build_parser() -> argparse.ArgumentParser:
         "--qubits", type=int, default=4, help="circuit width used for the example shot shares"
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP/JSON job service (persistent store + worker pool)"
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker-pool size (must be positive)"
+    )
+    serve.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker-pool mode: threads share the distribution cache, processes "
+        "maximise CPU-bound throughput",
+    )
+    serve.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="run-store directory for durable artifacts and result reuse",
+    )
+
+    jobs = subparsers.add_parser(
+        "jobs", help="submit and inspect jobs on a running `repro serve` endpoint"
+    )
+    jobs_commands = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    jobs_submit = jobs_commands.add_parser(
+        "submit", help="submit a cut-estimation job (fire-and-forget unless --wait)"
+    )
+    jobs_submit.add_argument("--url", type=str, default="http://127.0.0.1:8765")
+    jobs_submit.add_argument("--workload", choices=("ghz", "random"), default="ghz")
+    jobs_submit.add_argument("--qubits", type=int, default=4)
+    jobs_submit.add_argument("--depth", type=int, default=2, help="depth of the random workload")
+    jobs_submit.add_argument(
+        "--width", type=int, default=3, help="maximum fragment width (device size)"
+    )
+    jobs_submit.add_argument("--shots", type=int, default=4000)
+    jobs_submit.add_argument("--overlap", type=float, default=None)
+    jobs_submit.add_argument(
+        "--allocation",
+        choices=("proportional", "multinomial", "uniform"),
+        default="proportional",
+    )
+    jobs_submit.add_argument("--max-cuts", type=int, default=None)
+    jobs_submit.add_argument("--seed", type=int, default=7)
+    jobs_submit.add_argument("--backend", choices=_BACKEND_CHOICES, default="vectorized")
+    jobs_submit.add_argument(
+        "--devices",
+        type=str,
+        default=None,
+        metavar="SPEC.json",
+        help="run the job's term circuits on this noisy device fleet",
+    )
+    jobs_submit.add_argument(
+        "--split",
+        choices=("uniform", "capacity", "fidelity"),
+        default=None,
+        help="override the fleet spec's shot-split policy (requires --devices)",
+    )
+    jobs_submit.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes and print the result"
+    )
+    jobs_submit.add_argument(
+        "--timeout", type=float, default=300.0, help="--wait polling timeout in seconds"
+    )
+
+    jobs_status = jobs_commands.add_parser("status", help="print one job's state")
+    jobs_status.add_argument("job_id", type=str)
+    jobs_status.add_argument("--url", type=str, default="http://127.0.0.1:8765")
+
+    jobs_result = jobs_commands.add_parser(
+        "result", help="wait for one job and print its result"
+    )
+    jobs_result.add_argument("job_id", type=str)
+    jobs_result.add_argument("--url", type=str, default="http://127.0.0.1:8765")
+    jobs_result.add_argument("--timeout", type=float, default=300.0)
+
+    jobs_list = jobs_commands.add_parser("list", help="list every job the service knows about")
+    jobs_list.add_argument("--url", type=str, default="http://127.0.0.1:8765")
+
     return parser
 
 
+def _open_store(path: str | None):
+    """Return a :class:`~repro.service.RunStore` for ``path`` (``None`` passes through)."""
+    if path is None:
+        return None
+    from repro.service import RunStore
+
+    return RunStore(path)
+
+
 def _command_figure6(args: argparse.Namespace) -> int:
-    from repro.experiments import Figure6Config, run_figure6, write_csv
+    from repro.experiments import (
+        Figure6Config,
+        run_figure6,
+        table_from_payload,
+        table_to_payload,
+        write_csv,
+    )
 
     config = Figure6Config.paper() if args.paper else Figure6Config(seed=args.seed)
     config = Figure6Config(
@@ -175,8 +301,18 @@ def _command_figure6(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
     )
-    result = run_figure6(config)
-    table = result.to_table()
+    store = _open_store(args.store)
+    table = None
+    if store is not None:
+        cached = store.get_artifact(config.fingerprint())
+        if cached is not None:
+            table = table_from_payload(cached)
+            print(f"(served from store {args.store}, key {config.fingerprint()})")
+    if table is None:
+        result = run_figure6(config)
+        table = result.to_table()
+        if store is not None:
+            store.put_artifact(config.fingerprint(), table_to_payload(table))
     print(table.to_text())
     if args.csv:
         print(f"wrote {write_csv(table, Path(args.csv))}")
@@ -215,9 +351,18 @@ def _command_ablations(args: argparse.Namespace) -> int:
         gate_vs_wire_cut,
         multi_cut_pipeline_ablation,
         noisy_resource_ablation,
+        table_from_payload,
+        table_to_payload,
     )
+    from repro.utils.serialization import payload_fingerprint
+    from repro.utils.validation import validate_positive_count
 
     noise_kwargs = {}
+    try:
+        validate_positive_count(args.shots, name="--shots")
+    except CuttingError as error:
+        print(f"invalid --shots: {error}")
+        return 1
     if args.noise_levels is not None:
         # Validate every sweep value at the CLI boundary so a bad flag fails
         # before any ablation has run.
@@ -230,13 +375,47 @@ def _command_ablations(args: argparse.Namespace) -> int:
             print(f"invalid --noise-levels: {error}")
             return 1
 
-    print(allocation_strategy_ablation(num_states=args.states, shots=args.shots, seed=args.seed).to_text())
-    print()
-    print(gate_vs_wire_cut(shots=max(args.shots, 1000), seed=args.seed).to_text())
-    print()
-    print(multi_cut_pipeline_ablation(shots=max(args.shots, 1000), seed=args.seed).to_text())
-    print()
-    print(noisy_resource_ablation(**noise_kwargs).to_text())
+    store = _open_store(args.store)
+    ablation_runs = (
+        (
+            "allocation",
+            lambda: allocation_strategy_ablation(
+                num_states=args.states, shots=args.shots, seed=args.seed
+            ),
+            {"states": args.states, "shots": args.shots, "seed": args.seed},
+        ),
+        (
+            "gate_vs_wire",
+            lambda: gate_vs_wire_cut(shots=max(args.shots, 1000), seed=args.seed),
+            {"shots": max(args.shots, 1000), "seed": args.seed},
+        ),
+        (
+            "multi_cut",
+            lambda: multi_cut_pipeline_ablation(shots=max(args.shots, 1000), seed=args.seed),
+            {"shots": max(args.shots, 1000), "seed": args.seed},
+        ),
+        (
+            "noisy_resource",
+            lambda: noisy_resource_ablation(**noise_kwargs),
+            # Order matters: the table rows follow the argument order, so
+            # the cache key must too.
+            {"noise_levels": list(noise_kwargs.get("noise_levels", ()))},
+        ),
+    )
+    blocks = []
+    for name, run, parameters in ablation_runs:
+        table = None
+        key = payload_fingerprint({"experiment": "ablations", "table": name, **parameters})
+        if store is not None:
+            cached = store.get_artifact(key)
+            if cached is not None:
+                table = table_from_payload(cached)
+        if table is None:
+            table = run()
+            if store is not None:
+                store.put_artifact(key, table_to_payload(table))
+        blocks.append(table.to_text())
+    print("\n\n".join(blocks))
     return 0
 
 
@@ -253,16 +432,50 @@ def _command_cut(args: argparse.Namespace) -> int:
     return _command_cut_demo(args)
 
 
-def _command_cut_run(args: argparse.Namespace) -> int:
-    from repro.exceptions import CuttingError, DeviceError
+def _workload_circuit(args: argparse.Namespace):
+    """Build the workload circuit shared by ``cut run`` and ``jobs submit``."""
     from repro.experiments import ghz_circuit, random_layered_circuit
-    from repro.pipeline import CutPipeline
 
     if args.workload == "ghz":
-        circuit = ghz_circuit(args.qubits)
-    else:
-        circuit = random_layered_circuit(args.qubits, args.depth, seed=args.seed)
+        return ghz_circuit(args.qubits)
+    return random_layered_circuit(args.qubits, args.depth, seed=args.seed)
+
+
+def _load_fleet_spec(spec_path: str, split: str | None) -> dict:
+    """Load a fleet spec document for embedding into a job payload."""
+    import json
+
+    from repro.exceptions import DeviceError
+
+    try:
+        spec = json.loads(Path(spec_path).read_text())
+    except FileNotFoundError:
+        raise DeviceError(f"device spec file not found: {spec_path}") from None
+    except json.JSONDecodeError as error:
+        raise DeviceError(f"device spec {spec_path} is not valid JSON: {error}") from error
+    if split is not None and isinstance(spec, dict):
+        spec = {**spec, "split": split}
+    return spec
+
+
+def _command_cut_run(args: argparse.Namespace) -> int:
+    from repro.exceptions import CuttingError, DeviceError
+    from repro.pipeline import CutPipeline
+    from repro.utils.validation import validate_positive_count
+
+    try:
+        validate_positive_count(args.shots, name="--shots")
+    except CuttingError as error:
+        print(f"invalid arguments: {error}")
+        return 1
+    circuit = _workload_circuit(args)
     observable = "Z" * args.qubits
+
+    if args.split is not None and args.devices is None:
+        print("--split requires --devices")
+        return 1
+    if args.store is not None:
+        return _cut_run_stored(args, circuit, observable)
 
     backend = args.backend
     if args.devices is not None:
@@ -271,9 +484,6 @@ def _command_cut_run(args: argparse.Namespace) -> int:
         except DeviceError as error:
             print(f"invalid device spec: {error}")
             return 1
-    elif args.split is not None:
-        print("--split requires --devices")
-        return 1
 
     try:
         pipeline = CutPipeline(
@@ -324,6 +534,45 @@ def _command_cut_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cut_run_stored(args: argparse.Namespace, circuit, observable: str) -> int:
+    """``cut run --store``: run through the run store (cache / resume / persist)."""
+    from repro.exceptions import ReproError
+    from repro.service import JobSpec, run_job
+
+    try:
+        fleet = None
+        if args.devices is not None:
+            fleet = _load_fleet_spec(args.devices, args.split)
+        spec = JobSpec(
+            circuit=circuit,
+            observable=observable,
+            shots=args.shots,
+            seed=args.seed,
+            max_fragment_width=args.width,
+            entanglement_overlap=args.overlap,
+            allocation=args.allocation,
+            max_cuts=args.max_cuts,
+            backend=args.backend,
+            fleet=fleet,
+        )
+        outcome = run_job(spec, store=_open_store(args.store))
+    except ReproError as error:
+        print(f"stored run failed: {error}")
+        return 1
+    provenance = "cache hit (no re-execution)" if outcome.cached else (
+        f"resumed from stored {outcome.resumed_from} stage"
+        if outcome.resumed_from
+        else "fresh run (artifacts persisted)"
+    )
+    print(f"run {outcome.fingerprint} in store {args.store}: {provenance}")
+    print(
+        f"<{observable}> = {outcome.value:.4f} ± {outcome.standard_error:.4f} "
+        f"({outcome.total_shots} shots, kappa={outcome.kappa:.3f}, "
+        f"exact {outcome.exact_value:.4f}, error {outcome.error:.4f})"
+    )
+    return 0
+
+
 def _command_cut_demo(args: argparse.Namespace) -> int:
     from repro.cutting import (
         CutLocation,
@@ -336,6 +585,14 @@ def _command_cut_demo(args: argparse.Namespace) -> int:
     from repro.pipeline import CutPipeline
     from repro.quantum import PauliString
 
+    from repro.exceptions import CuttingError
+    from repro.utils.validation import validate_positive_count
+
+    try:
+        validate_positive_count(args.shots, name="--shots")
+    except CuttingError as error:
+        print(f"invalid arguments: {error}")
+        return 1
     circuit = ghz_circuit(args.qubits)
     observable = PauliString("Z" * args.qubits)
     location = CutLocation(qubit=1, position=2)
@@ -405,6 +662,135 @@ def _command_devices_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.exceptions import CuttingError
+    from repro.service import serve
+    from repro.utils.validation import validate_positive_count
+
+    try:
+        validate_positive_count(args.workers, name="--workers")
+    except CuttingError as error:
+        print(f"invalid arguments: {error}")
+        return 1
+    store_note = f", store {args.store}" if args.store else ", in-memory (no store)"
+    print(
+        f"repro serve listening on http://{args.host}:{args.port} "
+        f"({args.workers} {args.mode} workers{store_note}) — Ctrl-C to stop"
+    )
+    serve(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        workers=args.workers,
+        mode=args.mode,
+    )
+    return 0
+
+
+def _print_job_row(row: dict) -> None:
+    """Print one job-status row in the fixed-width ``jobs list`` format."""
+    state = row.get("state", "?")
+    value = row.get("value")
+    summary = "" if value is None else f"  value={value:.4f} ± {row.get('standard_error', 0.0):.4f}"
+    cached = "  (cached)" if row.get("cached") else ""
+    error = f"  {row['error']}" if row.get("error") else ""
+    print(f"{row.get('job_id', '?'):<34}{state:<9}{summary}{cached}{error}")
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    from repro.exceptions import ServiceError
+
+    try:
+        if args.jobs_command == "submit":
+            return _command_jobs_submit(args)
+        if args.jobs_command == "status":
+            return _command_jobs_status(args)
+        if args.jobs_command == "result":
+            return _command_jobs_result(args)
+        return _command_jobs_list(args)
+    except ServiceError as error:
+        print(f"service error: {error}")
+        return 1
+
+
+def _command_jobs_submit(args: argparse.Namespace) -> int:
+    from repro.exceptions import CuttingError, DeviceError, ServiceError
+    from repro.service import JobSpec, ServiceClient
+    from repro.utils.validation import validate_positive_count
+
+    try:
+        validate_positive_count(args.shots, name="--shots")
+        fleet = None
+        if args.devices is not None:
+            fleet = _load_fleet_spec(args.devices, args.split)
+        elif args.split is not None:
+            print("--split requires --devices")
+            return 1
+        spec = JobSpec(
+            circuit=_workload_circuit(args),
+            observable="Z" * args.qubits,
+            shots=args.shots,
+            seed=args.seed,
+            max_fragment_width=args.width,
+            entanglement_overlap=args.overlap,
+            allocation=args.allocation,
+            max_cuts=args.max_cuts,
+            backend=args.backend,
+            fleet=fleet,
+        )
+    except (CuttingError, DeviceError, ServiceError) as error:
+        print(f"invalid job: {error}")
+        return 1
+    client = ServiceClient(args.url)
+    row = client.submit(spec)
+    print(f"submitted job {row['job_id']} ({row['state']})")
+    if args.wait:
+        payload = client.wait(row["job_id"], timeout=args.timeout)
+        _print_result_payload(payload)
+    return 0
+
+
+def _print_result_payload(payload: dict) -> None:
+    """Print one job-outcome payload in the shared result format."""
+    exact = payload.get("exact_value")
+    suffix = "" if exact is None else f", exact {exact:.4f}"
+    provenance = " [served from store]" if payload.get("cached") else (
+        f" [resumed from {payload['resumed_from']}]" if payload.get("resumed_from") else ""
+    )
+    print(
+        f"result {payload['fingerprint']}: {payload['value']:.4f} ± "
+        f"{payload['standard_error']:.4f} ({payload['total_shots']} shots, "
+        f"kappa={payload['kappa']:.3f}{suffix}){provenance}"
+    )
+
+
+def _command_jobs_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    _print_job_row(ServiceClient(args.url).status(args.job_id))
+    return 0
+
+
+def _command_jobs_result(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    payload = ServiceClient(args.url).wait(args.job_id, timeout=args.timeout)
+    _print_result_payload(payload)
+    return 0
+
+
+def _command_jobs_list(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    rows = ServiceClient(args.url).jobs()
+    if not rows:
+        print("no jobs submitted")
+        return 0
+    for row in rows:
+        _print_job_row(row)
+    return 0
+
+
 _COMMANDS = {
     "figure6": _command_figure6,
     "overhead": _command_overhead,
@@ -413,6 +799,8 @@ _COMMANDS = {
     "ablations": _command_ablations,
     "cut": _command_cut,
     "devices": _command_devices,
+    "serve": _command_serve,
+    "jobs": _command_jobs,
 }
 
 

@@ -336,6 +336,46 @@ class DeviceFleet:
             )
         return rows
 
+    def to_spec(self) -> dict:
+        """Return the JSON spec document equivalent to this fleet.
+
+        The spec round-trips through :func:`fleet_from_spec` (the inner
+        backend and cache are construction-time choices, not part of the
+        spec) and is what the job service embeds in a job payload so that
+        *which fleet ran the job* is part of the job's content address.
+        """
+        devices = []
+        for device in self.devices:
+            noise = device.noise
+            entry: dict = {"name": device.name, "capacity": float(device.capacity)}
+            if device.max_qubits is not None:
+                entry["max_qubits"] = int(device.max_qubits)
+            entry["noise"] = {
+                "depolarizing_1q": float(noise.depolarizing_1q),
+                "depolarizing_2q": float(noise.depolarizing_2q),
+                "amplitude_damping": float(noise.amplitude_damping),
+                "readout_p01": float(noise.readout_p01),
+                "readout_p10": float(noise.readout_p10),
+            }
+            devices.append(entry)
+        return {
+            "split": self.split_policy.name,
+            "merge": self.merge_policy.name,
+            "devices": devices,
+        }
+
+    def fingerprint(self) -> str:
+        """Return a stable content hash of the fleet configuration.
+
+        Two fleets with any differing device name, capacity, width limit,
+        noise rate or policy produce different fingerprints; the hash is
+        derived from :meth:`to_spec`, so it is independent of the inner
+        backend and cache wiring.
+        """
+        from repro.utils.serialization import payload_fingerprint
+
+        return payload_fingerprint(self.to_spec())
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         """Return a short configuration summary."""
         return (

@@ -20,6 +20,7 @@ __all__ = [
     "CuttingError",
     "DeviceError",
     "ExperimentError",
+    "ServiceError",
 ]
 
 
@@ -65,3 +66,7 @@ class DeviceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration is invalid."""
+
+
+class ServiceError(ReproError):
+    """A job-service request failed (bad job spec, unknown job, store corruption, ...)."""

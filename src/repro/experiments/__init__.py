@@ -25,7 +25,13 @@ from repro.experiments.overhead_curves import (
     protocol_comparison,
     resource_consumption,
 )
-from repro.experiments.records import SweepTable, write_csv, write_json
+from repro.experiments.records import (
+    SweepTable,
+    table_from_payload,
+    table_to_payload,
+    write_csv,
+    write_json,
+)
 from repro.experiments.shots_to_target import ShotsToTargetConfig, shots_to_target_error
 from repro.experiments.workloads import (
     RandomStateWorkload,
@@ -51,6 +57,8 @@ __all__ = [
     "noisy_fleet_robustness",
     "combined_depolarizing_strength",
     "SweepTable",
+    "table_to_payload",
+    "table_from_payload",
     "write_csv",
     "write_json",
     "ShotsToTargetConfig",

@@ -77,6 +77,28 @@ class Figure6Config:
         """A minimal configuration for smoke tests."""
         return cls(num_states=8, shot_grid=(200, 800), overlaps=(0.5, 0.8, 1.0), seed=7)
 
+    def fingerprint(self) -> str:
+        """Return a stable content hash of the sweep configuration.
+
+        The CLI's ``--store`` flag keys cached result tables on this hash,
+        so any change to the sweep parameters (states, shot grid, overlaps,
+        allocation, seed) forces a fresh run.  The execution backend is
+        excluded: every backend produces bitwise-identical tables for the
+        same seed, so results are shared across backends.
+        """
+        from repro.utils.serialization import payload_fingerprint
+
+        return payload_fingerprint(
+            {
+                "experiment": "figure6",
+                "num_states": int(self.num_states),
+                "shot_grid": [int(s) for s in self.shot_grid],
+                "overlaps": [float(f) for f in self.overlaps],
+                "allocation": self.allocation,
+                "seed": int(self.seed),
+            }
+        )
+
     def validate(self) -> None:
         """Raise :class:`ExperimentError` on invalid settings."""
         if self.num_states < 1:

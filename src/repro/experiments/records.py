@@ -14,7 +14,7 @@ from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["SweepTable", "write_csv", "write_json"]
+__all__ = ["SweepTable", "write_csv", "write_json", "table_to_payload", "table_from_payload"]
 
 
 @dataclass(frozen=True)
@@ -71,6 +71,45 @@ class SweepTable:
         for row in rows:
             lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
         return "\n".join(lines)
+
+
+def _json_value(value):
+    """Coerce a cell/metadata value into a JSON-native type."""
+    if hasattr(value, "item"):  # numpy scalars
+        value = value.item()
+    if isinstance(value, tuple):
+        return [_json_value(v) for v in value]
+    return value
+
+
+def table_to_payload(table: SweepTable) -> dict:
+    """Return the JSON-serializable payload of a :class:`SweepTable`.
+
+    The payload round-trips through :func:`table_from_payload`; the service
+    layer's :class:`~repro.service.store.RunStore` uses it to cache whole
+    experiment tables under a config fingerprint (the CLI ``--store`` flag).
+    """
+    return {
+        "name": table.name,
+        "metadata": {k: _json_value(v) for k, v in dict(table.metadata or {}).items()},
+        # Canonical JSON sorts object keys, so the display order of the
+        # columns is carried explicitly.
+        "column_order": list(table.columns.keys()),
+        "columns": {
+            key: [_json_value(v) for v in values] for key, values in table.columns.items()
+        },
+    }
+
+
+def table_from_payload(payload: dict) -> SweepTable:
+    """Rebuild a :class:`SweepTable` from its :func:`table_to_payload` form."""
+    columns = payload["columns"]
+    order = payload.get("column_order") or list(columns.keys())
+    return SweepTable(
+        name=str(payload["name"]),
+        columns={key: list(columns[key]) for key in order},
+        metadata=payload.get("metadata") or None,
+    )
 
 
 def write_csv(table: SweepTable, path: str | Path) -> Path:

@@ -27,12 +27,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.circuits.backends import circuit_fingerprint
 from repro.circuits.circuit import QuantumCircuit
 from repro.cutting.base import WireCutProtocol
 from repro.cutting.cut_finding import MultiCutPlan
 from repro.cutting.multi_wire import MultiCutTermCircuit
 from repro.qpd.estimator import TermEstimate
 from repro.quantum.paulis import PauliString
+from repro.utils.serialization import payload_fingerprint
 
 __all__ = ["PlanResult", "Decomposition", "Execution", "PipelineResult"]
 
@@ -70,6 +72,30 @@ class PlanResult:
     def num_fragments(self) -> int:
         """Number of fragments the selected plan produces."""
         return self.plan.num_fragments
+
+    def to_payload(self) -> dict:
+        """Return the JSON-serializable summary of the selected plan.
+
+        The payload records everything needed to *rebuild* the plan
+        deterministically (the exact cut locations and slice positions);
+        fragments and overhead are re-derived on load, so the stored form
+        stays small and version-stable.
+        """
+        return {
+            "circuit_fingerprint": circuit_fingerprint(self.circuit),
+            "positions": [int(p) for p in self.plan.positions],
+            "locations": [
+                [int(location.qubit), int(location.position)]
+                for location in self.plan.locations
+            ],
+            "num_fragments": self.plan.num_fragments,
+            "sampling_overhead": float(self.plan.sampling_overhead),
+            "max_fragment_width": self.max_fragment_width,
+        }
+
+    def fingerprint(self) -> str:
+        """Return a stable content hash of the plan-stage artifact."""
+        return payload_fingerprint(self.to_payload())
 
 
 @dataclass(frozen=True)
@@ -168,6 +194,73 @@ class Execution:
             )
         )
 
+    def to_payload(self) -> dict:
+        """Return the JSON-serializable record of the execution stage.
+
+        The per-term empirical summaries (coefficient, mean, shots, variance)
+        are all that reconstruction needs, so an interrupted run can resume
+        from this payload alone; floats round-trip JSON exactly, making the
+        resumed estimate bitwise identical to the uninterrupted one.
+        """
+        return {
+            "observable": self.observable.labels,
+            "backend_name": self.backend_name,
+            "allocation": self.allocation,
+            "shots_per_term": [int(count) for count in self.shots_per_term],
+            "term_estimates": [
+                {
+                    "coefficient": float(estimate.coefficient),
+                    "mean": float(estimate.mean),
+                    "shots": int(estimate.shots),
+                    "variance": None
+                    if estimate.variance is None
+                    else float(estimate.variance),
+                    "label": estimate.label,
+                }
+                for estimate in self.term_estimates
+            ],
+        }
+
+    def fingerprint(self) -> str:
+        """Return a stable content hash of the execution-stage artifact."""
+        return payload_fingerprint(self.to_payload())
+
+    @classmethod
+    def from_payload(cls, decomposition: Decomposition, payload: dict) -> "Execution":
+        """Rebuild an execution artifact from its stored payload.
+
+        Parameters
+        ----------
+        decomposition:
+            The (recomputed) upstream decomposition the stored execution
+            belongs to — decomposition is deterministic and cheap, so only
+            the sampled statistics are persisted.
+        payload:
+            A payload produced by :meth:`to_payload`.
+
+        Returns
+        -------
+        Execution
+            An artifact equivalent to the one originally persisted.
+        """
+        return cls(
+            decomposition=decomposition,
+            observable=PauliString(payload["observable"]),
+            term_estimates=tuple(
+                TermEstimate(
+                    coefficient=float(entry["coefficient"]),
+                    mean=float(entry["mean"]),
+                    shots=int(entry["shots"]),
+                    variance=None if entry.get("variance") is None else float(entry["variance"]),
+                    label=str(entry.get("label", "")),
+                )
+                for entry in payload["term_estimates"]
+            ),
+            shots_per_term=tuple(int(count) for count in payload["shots_per_term"]),
+            backend_name=str(payload["backend_name"]),
+            allocation=str(payload["allocation"]),
+        )
+
 
 @dataclass(frozen=True)
 class PipelineResult:
@@ -211,3 +304,43 @@ class PipelineResult:
         if self.execution is None:
             return None
         return self.execution.decomposition.plan_result.plan
+
+    def to_payload(self) -> dict:
+        """Return the JSON-serializable summary of the final estimate."""
+        return {
+            "value": float(self.value),
+            "standard_error": float(self.standard_error),
+            "total_shots": int(self.total_shots),
+            "kappa": float(self.kappa),
+            "exact_value": None if self.exact_value is None else float(self.exact_value),
+        }
+
+    def fingerprint(self) -> str:
+        """Return a stable content hash of the result artifact."""
+        return payload_fingerprint(self.to_payload())
+
+    @classmethod
+    def from_payload(cls, payload: dict, execution: Execution | None = None) -> "PipelineResult":
+        """Rebuild a result artifact from its stored payload.
+
+        Parameters
+        ----------
+        payload:
+            A payload produced by :meth:`to_payload`.
+        execution:
+            Optional upstream execution artifact to re-attach.
+
+        Returns
+        -------
+        PipelineResult
+            The reconstructed result.
+        """
+        exact = payload.get("exact_value")
+        return cls(
+            value=float(payload["value"]),
+            standard_error=float(payload["standard_error"]),
+            total_shots=int(payload["total_shots"]),
+            kappa=float(payload["kappa"]),
+            exact_value=None if exact is None else float(exact),
+            execution=execution,
+        )

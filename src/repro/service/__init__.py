@@ -1,0 +1,42 @@
+"""Persistent run store and asynchronous job service for cut estimation.
+
+This package turns the per-process :class:`~repro.pipeline.CutPipeline` into
+a *durable, concurrent* serving layer:
+
+:class:`JobSpec`
+    A self-contained, JSON-serializable description of one cut-estimation
+    job (circuit ⊕ cut plan ⊕ backend/fleet ⊕ shots ⊕ seed) with a stable
+    content fingerprint that doubles as the job id.
+:class:`RunStore`
+    A content-addressed on-disk store persisting every pipeline stage
+    artifact under the job fingerprint, so identical requests are served
+    from the store and interrupted runs resume from the last completed
+    stage.
+:func:`run_job`
+    Execute (or resume, or serve from cache) a single job against a store.
+:class:`JobScheduler`
+    A bounded worker pool executing jobs concurrently; per-job seed streams
+    make concurrent and serial submissions bitwise-identical.
+:mod:`repro.service.server` / :class:`ServiceClient`
+    A stdlib HTTP/JSON endpoint (``repro serve``) and the matching client
+    used by ``repro jobs submit|status|result|list``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.runner import JobOutcome, run_job
+from repro.service.scheduler import JobScheduler
+from repro.service.server import RunService, make_server, serve
+from repro.service.spec import JobSpec
+from repro.service.store import RunStore
+
+__all__ = [
+    "JobSpec",
+    "RunStore",
+    "JobOutcome",
+    "run_job",
+    "JobScheduler",
+    "RunService",
+    "ServiceClient",
+    "make_server",
+    "serve",
+]

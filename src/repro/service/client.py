@@ -1,0 +1,118 @@
+"""Stdlib HTTP client for the job service (``repro jobs`` uses this).
+
+:class:`ServiceClient` wraps :mod:`urllib.request` so neither the CLI nor
+tests need a third-party HTTP library.  All errors — connection refused,
+non-2xx responses, malformed bodies — surface as
+:class:`~repro.exceptions.ServiceError` with the server's message attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.exceptions import ServiceError
+from repro.service.spec import JobSpec
+from repro.utils.serialization import canonical_json
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        Service root, e.g. ``"http://127.0.0.1:8765"``.
+    timeout:
+        Per-request socket timeout in seconds.
+
+    Examples
+    --------
+    >>> client = ServiceClient("http://127.0.0.1:8765")      # doctest: +SKIP
+    >>> job = client.submit(spec)                            # doctest: +SKIP
+    >>> client.wait(job["job_id"])["value"]                  # doctest: +SKIP
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------------
+
+    def _request(self, path: str, body: dict | None = None, expect: tuple[int, ...] = (200,)):
+        """Issue one JSON request; return ``(status, parsed_body)``."""
+        url = f"{self.base_url}{path}"
+        data = None if body is None else canonical_json(body).encode()
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                status = response.status
+                payload = json.loads(response.read() or b"null")
+        except urllib.error.HTTPError as error:
+            detail = error.read()
+            try:
+                message = json.loads(detail).get("error", detail.decode(errors="replace"))
+            except (json.JSONDecodeError, AttributeError):
+                message = detail.decode(errors="replace")
+            raise ServiceError(f"{url} returned {error.code}: {message}") from None
+        except (urllib.error.URLError, OSError) as error:
+            raise ServiceError(f"cannot reach {url}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"{url} returned a non-JSON body: {error}") from error
+        if status not in expect:
+            raise ServiceError(f"{url} returned unexpected status {status}")
+        return status, payload
+
+    # -- endpoints ---------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Return the service's ``/healthz`` summary."""
+        return self._request("/healthz")[1]
+
+    def submit(self, spec: JobSpec | dict) -> dict:
+        """Submit a job (spec instance or raw payload); return its status row."""
+        payload = spec.to_payload() if isinstance(spec, JobSpec) else spec
+        return self._request("/jobs", body=payload, expect=(200, 201))[1]
+
+    def status(self, job_id: str) -> dict:
+        """Return one job's status row."""
+        return self._request(f"/jobs/{job_id}")[1]
+
+    def jobs(self) -> list[dict]:
+        """Return the status of every job the service knows about."""
+        return self._request("/jobs")[1]
+
+    def runs(self) -> list[dict]:
+        """Return the runs persisted in the service's store."""
+        return self._request("/runs")[1]
+
+    def result(self, job_id: str) -> dict | None:
+        """Return a job's outcome payload, or ``None`` while it is pending."""
+        status, payload = self._request(f"/jobs/{job_id}/result", expect=(200, 202))
+        return payload if status == 200 else None
+
+    def wait(self, job_id: str, timeout: float = 120.0, poll_interval: float = 0.05) -> dict:
+        """Poll until a job finishes and return its outcome payload.
+
+        Raises
+        ------
+        ServiceError
+            When the job fails server-side or ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.result(job_id)
+            if payload is not None:
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServiceError(f"job {job_id!r} did not finish within {timeout}s")
+            time.sleep(poll_interval)

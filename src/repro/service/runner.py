@@ -1,0 +1,161 @@
+"""Execute one job against an optional :class:`~repro.service.store.RunStore`.
+
+:func:`run_job` is the single execution path shared by the scheduler, the
+HTTP service and the CLI's ``--store`` flags.  With a store attached it is a
+*memoised, resumable* pipeline run:
+
+1. a stored ``result`` artifact is returned immediately (cache hit — no
+   pipeline stage runs at all);
+2. a stored ``execution`` artifact skips the sampling stage: the plan and
+   decomposition are recomputed (they are deterministic and cheap) and the
+   final estimate is reconstructed from the stored per-term statistics,
+   bitwise identical to an uninterrupted run;
+3. otherwise the full pipeline runs, persisting every stage artifact as it
+   completes, so the *next* attempt resumes wherever this one stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.stages import Execution
+from repro.service.spec import JobSpec
+from repro.service.store import RunStore
+
+__all__ = ["JobOutcome", "run_job"]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """The result of one job run, annotated with how it was obtained.
+
+    Attributes
+    ----------
+    fingerprint:
+        The job's content address.
+    value:
+        The reconstructed expectation-value estimate.
+    standard_error:
+        Propagated standard error of ``value``.
+    total_shots:
+        Shots actually spent across all term circuits.
+    kappa:
+        Total sampling overhead of the decomposition.
+    exact_value:
+        The exact uncut value when the job requested it; ``None`` otherwise.
+    cached:
+        True when the outcome was served from a stored ``result`` artifact
+        without running any pipeline stage.
+    resumed_from:
+        Name of the deepest stored stage the run resumed from (``None`` for
+        a fresh run or a pure cache hit).
+    """
+
+    fingerprint: str
+    value: float
+    standard_error: float
+    total_shots: int
+    kappa: float
+    exact_value: float | None = None
+    cached: bool = False
+    resumed_from: str | None = None
+
+    @property
+    def error(self) -> float | None:
+        """Absolute deviation from the exact value, when available."""
+        if self.exact_value is None:
+            return None
+        return abs(self.value - self.exact_value)
+
+    def to_payload(self) -> dict:
+        """Return the JSON-serializable form (the HTTP result body)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "value": float(self.value),
+            "standard_error": float(self.standard_error),
+            "total_shots": int(self.total_shots),
+            "kappa": float(self.kappa),
+            "exact_value": None if self.exact_value is None else float(self.exact_value),
+            "cached": bool(self.cached),
+            "resumed_from": self.resumed_from,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JobOutcome":
+        """Rebuild an outcome from its payload form."""
+        exact = payload.get("exact_value")
+        return cls(
+            fingerprint=str(payload["fingerprint"]),
+            value=float(payload["value"]),
+            standard_error=float(payload["standard_error"]),
+            total_shots=int(payload["total_shots"]),
+            kappa=float(payload["kappa"]),
+            exact_value=None if exact is None else float(exact),
+            cached=bool(payload.get("cached", False)),
+            resumed_from=payload.get("resumed_from"),
+        )
+
+
+def _outcome_from_result(
+    fingerprint: str, payload: dict, cached: bool, resumed_from: str | None
+) -> JobOutcome:
+    """Build a :class:`JobOutcome` from a stored/new result-stage payload."""
+    return JobOutcome.from_payload(
+        {**payload, "fingerprint": fingerprint, "cached": cached, "resumed_from": resumed_from}
+    )
+
+
+def run_job(spec: JobSpec, store: RunStore | None = None) -> JobOutcome:
+    """Run (or resume, or serve from cache) one job.
+
+    Parameters
+    ----------
+    spec:
+        The job to execute.
+    store:
+        Optional run store.  When given, every completed stage is persisted
+        under the job fingerprint, stored results are served without
+        re-execution, and interrupted runs resume from the last completed
+        stage.
+
+    Returns
+    -------
+    JobOutcome
+        The estimate plus provenance flags (``cached`` / ``resumed_from``).
+    """
+    fingerprint = spec.fingerprint()
+    if store is not None:
+        store.put_job(spec)
+        result_payload = store.get_stage(fingerprint, "result")
+        if result_payload is not None:
+            return _outcome_from_result(
+                fingerprint, result_payload, cached=True, resumed_from=None
+            )
+
+    pipeline = spec.build_pipeline()
+    plan_result = pipeline.plan(spec.circuit, **spec.plan_arguments())
+    if store is not None and not store.has_stage(fingerprint, "plan"):
+        store.put_stage(fingerprint, "plan", plan_result.to_payload())
+    decomposition = pipeline.decompose(plan_result)
+
+    execution = None
+    resumed_from = None
+    if store is not None:
+        execution_payload = store.get_stage(fingerprint, "execution")
+        if execution_payload is not None:
+            execution = Execution.from_payload(decomposition, execution_payload)
+            resumed_from = "execution"
+    if execution is None:
+        execution = pipeline.execute(
+            decomposition, spec.observable, spec.shots, seed=spec.seed
+        )
+        if store is not None:
+            store.put_stage(fingerprint, "execution", execution.to_payload())
+
+    result = pipeline.reconstruct(execution, compute_exact=spec.compute_exact)
+    result_payload = result.to_payload()
+    if store is not None:
+        store.put_stage(fingerprint, "result", result_payload)
+    return _outcome_from_result(
+        fingerprint, result_payload, cached=False, resumed_from=resumed_from
+    )

@@ -1,0 +1,230 @@
+"""The :class:`JobScheduler`: bounded-pool asynchronous job execution.
+
+Jobs are submitted fire-and-forget and executed on a bounded worker pool
+(threads by default; processes for CPU-bound throughput).  Three properties
+make the scheduler safe to put in front of the pipeline:
+
+**Determinism.**  Every job carries its own seed, and
+:meth:`~repro.pipeline.CutPipeline.execute` derives one independent child
+stream per QPD term circuit from it — no RNG state is shared between jobs,
+so N concurrent submissions return estimates bitwise-identical to running
+the same specs serially (in any order, on any worker count).
+
+**Deduplication.**  The job id *is* the spec's content fingerprint: while a
+job is queued or running, re-submitting the same spec returns the existing
+id instead of enqueueing twice, and with a
+:class:`~repro.service.store.RunStore` attached a finished job's re-submission
+is served from the store without re-execution.
+
+**Boundedness.**  The pool size is validated up front
+(:func:`~repro.utils.validation.validate_positive_count`), and excess jobs
+queue inside the executor rather than spawning unbounded work.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import (
+    ALL_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass, field
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service.runner import JobOutcome, run_job
+from repro.service.spec import JobSpec
+from repro.service.store import RunStore
+from repro.utils.validation import validate_positive_count
+
+__all__ = ["JobScheduler"]
+
+#: Worker-pool modes accepted by :class:`JobScheduler`.
+SCHEDULER_MODES = ("thread", "process")
+
+
+def _process_run_job(payload: dict, store_root: str | None) -> dict:
+    """Worker-process entry point: run one job from its payload form."""
+    spec = JobSpec.from_payload(payload)
+    store = None if store_root is None else RunStore(store_root)
+    return run_job(spec, store=store).to_payload()
+
+
+@dataclass
+class _JobRecord:
+    """Book-keeping for one submitted job."""
+
+    job_id: str
+    spec: JobSpec
+    future: Future | None = None
+    started: bool = False
+    attempts: int = field(default=1)
+
+
+class JobScheduler:
+    """Asynchronous, deduplicating executor of :class:`~repro.service.spec.JobSpec` jobs.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.service.store.RunStore`; when given, every
+        job run persists its stage artifacts and repeated submissions are
+        served from the store.
+    workers:
+        Worker-pool size (strictly positive).
+    mode:
+        ``"thread"`` (default; shares the in-process distribution cache) or
+        ``"process"`` (one interpreter per worker, for CPU-bound
+        throughput).
+
+    Examples
+    --------
+    >>> from repro.experiments import ghz_circuit
+    >>> from repro.service import JobScheduler, JobSpec
+    >>> with JobScheduler(workers=2) as scheduler:
+    ...     spec = JobSpec(ghz_circuit(4), "ZZZZ", shots=1000, seed=3, max_fragment_width=3)
+    ...     job_id = scheduler.submit(spec)
+    ...     outcome = scheduler.result(job_id)
+    >>> outcome.total_shots
+    1000
+    """
+
+    def __init__(
+        self,
+        store: RunStore | None = None,
+        workers: int = 2,
+        mode: str = "thread",
+    ):
+        self.workers = validate_positive_count(workers, name="workers")
+        if mode not in SCHEDULER_MODES:
+            raise ServiceError(f"unknown scheduler mode {mode!r}; expected one of {SCHEDULER_MODES}")
+        self.store = store
+        self.mode = mode
+        if mode == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-job"
+            )
+        else:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        self._records: dict[str, _JobRecord] = {}
+        self._order: list[str] = []
+        self._lock = threading.Lock()
+
+    # -- submission --------------------------------------------------------------------
+
+    def _run_in_thread(self, record: _JobRecord) -> dict:
+        """Thread-mode worker body: mark the record started, run, return the payload."""
+        record.started = True
+        return run_job(record.spec, store=self.store).to_payload()
+
+    def submit(self, spec: JobSpec) -> str:
+        """Enqueue a job and return its id (the spec fingerprint).
+
+        Re-submitting a spec that is already queued, running or finished
+        returns the existing id without enqueueing a duplicate; a *failed*
+        job is retried.
+        """
+        job_id = spec.fingerprint()
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is not None and record.future is not None:
+                failed = record.future.done() and record.future.exception() is not None
+                if not failed:
+                    return job_id
+                record = _JobRecord(job_id=job_id, spec=spec, attempts=record.attempts + 1)
+                self._records[job_id] = record
+            elif record is None:
+                record = _JobRecord(job_id=job_id, spec=spec)
+                self._records[job_id] = record
+                self._order.append(job_id)
+            if self.mode == "thread":
+                record.future = self._executor.submit(self._run_in_thread, record)
+            else:
+                store_root = None if self.store is None else str(self.store.root)
+                record.future = self._executor.submit(
+                    _process_run_job, spec.to_payload(), store_root
+                )
+        return job_id
+
+    # -- inspection --------------------------------------------------------------------
+
+    def _record(self, job_id: str) -> _JobRecord:
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return record
+
+    def status(self, job_id: str) -> dict:
+        """Return the current state of one job.
+
+        The returned dict always carries ``job_id`` and ``state`` (one of
+        ``queued``/``running``/``done``/``failed``); a done job adds the
+        outcome summary, a failed one the error message.
+        """
+        record = self._record(job_id)
+        future = record.future
+        entry: dict = {"job_id": job_id, "attempts": record.attempts}
+        if future is None or not future.done():
+            running = record.started or (future is not None and future.running())
+            entry["state"] = "running" if running else "queued"
+            return entry
+        exception = future.exception()
+        if exception is not None:
+            entry["state"] = "failed"
+            entry["error"] = str(exception)
+            return entry
+        payload = future.result()
+        entry["state"] = "done"
+        entry["cached"] = payload.get("cached", False)
+        entry["resumed_from"] = payload.get("resumed_from")
+        entry["value"] = payload.get("value")
+        entry["standard_error"] = payload.get("standard_error")
+        return entry
+
+    def result(self, job_id: str, timeout: float | None = None) -> JobOutcome:
+        """Block until a job finishes and return its outcome.
+
+        Raises
+        ------
+        ServiceError
+            When the job id is unknown, the job failed, or ``timeout``
+            elapsed first.
+        """
+        record = self._record(job_id)
+        try:
+            payload = record.future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            raise ServiceError(f"job {job_id!r} did not finish within {timeout}s") from None
+        except ReproError as error:
+            raise ServiceError(f"job {job_id!r} failed: {error}") from error
+        return JobOutcome.from_payload(payload)
+
+    def list_jobs(self) -> list[dict]:
+        """Return the status of every submitted job, in submission order."""
+        with self._lock:
+            order = list(self._order)
+        return [self.status(job_id) for job_id in order]
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def wait_all(self, timeout: float | None = None) -> None:
+        """Block until every submitted job has finished (or ``timeout`` elapses)."""
+        with self._lock:
+            futures = [r.future for r in self._records.values() if r.future is not None]
+        futures_wait(futures, timeout=timeout, return_when=ALL_COMPLETED)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut the worker pool down (outstanding jobs finish when ``wait``)."""
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobScheduler":
+        """Return self (context-manager support)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Shut the pool down on context exit."""
+        self.shutdown(wait=True)

@@ -1,0 +1,254 @@
+"""The ``repro serve`` HTTP/JSON endpoint (stdlib only).
+
+A thin :mod:`http.server` front-end over :class:`~repro.service.scheduler.JobScheduler`
+and :class:`~repro.service.store.RunStore`.  Routes:
+
+==============================  ==============================================
+``GET  /healthz``               liveness + job counters
+``POST /jobs``                  submit a :class:`~repro.service.spec.JobSpec`
+                                payload; returns ``{"job_id", "state"}``
+``GET  /jobs``                  list every submitted job
+``GET  /jobs/<id>``             one job's status
+``GET  /jobs/<id>/result``      the outcome (``202`` while pending,
+                                ``500`` + error when the job failed)
+``GET  /runs``                  runs persisted in the store
+==============================  ==============================================
+
+The server is a :class:`~http.server.ThreadingHTTPServer`, so polling
+clients never block a running submission; all heavy work happens on the
+scheduler's bounded worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service.scheduler import JobScheduler
+from repro.service.spec import JobSpec
+from repro.service.store import RunStore
+from repro.utils.serialization import canonical_json
+
+__all__ = ["RunService", "make_server", "serve"]
+
+#: Largest accepted request body (a guard against accidental huge uploads).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class RunService:
+    """The service facade the HTTP handler (and tests) talk to.
+
+    Parameters
+    ----------
+    store:
+        Optional run store for durable artifacts and result reuse.
+    workers:
+        Scheduler worker-pool size (validated strictly positive).
+    mode:
+        Scheduler pool mode (``"thread"`` or ``"process"``).
+    """
+
+    def __init__(
+        self,
+        store: RunStore | None = None,
+        workers: int = 2,
+        mode: str = "thread",
+    ):
+        self.store = store
+        self.scheduler = JobScheduler(store=store, workers=workers, mode=mode)
+
+    def submit_payload(self, payload: dict) -> dict:
+        """Validate and enqueue a job payload; return its initial status."""
+        spec = JobSpec.from_payload(payload)
+        job_id = self.scheduler.submit(spec)
+        return self.scheduler.status(job_id)
+
+    def status(self, job_id: str) -> dict:
+        """Return one job's scheduler status."""
+        return self.scheduler.status(job_id)
+
+    def result_payload(self, job_id: str) -> dict:
+        """Return a finished job's outcome payload (the job must be done)."""
+        status = self.scheduler.status(job_id)
+        if status["state"] != "done":
+            raise ServiceError(f"job {job_id!r} is {status['state']}, not done")
+        return self.scheduler.result(job_id).to_payload()
+
+    def jobs(self) -> list[dict]:
+        """Return the status of every submitted job."""
+        return self.scheduler.list_jobs()
+
+    def runs(self) -> list[dict]:
+        """Return the runs persisted in the store (empty without a store)."""
+        if self.store is None:
+            return []
+        return self.store.list_runs()
+
+    def health(self) -> dict:
+        """Return the liveness summary reported by ``GET /healthz``."""
+        jobs = self.scheduler.list_jobs()
+        states: dict[str, int] = {}
+        for job in jobs:
+            states[job["state"]] = states.get(job["state"], 0) + 1
+        return {
+            "status": "ok",
+            "jobs": len(jobs),
+            "states": states,
+            "store": None if self.store is None else str(self.store.root),
+            "workers": self.scheduler.workers,
+            "mode": self.scheduler.mode,
+        }
+
+    def close(self) -> None:
+        """Shut the scheduler's worker pool down."""
+        self.scheduler.shutdown(wait=True)
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Maps HTTP routes onto the owning server's :class:`RunService`."""
+
+    server_version = "repro-serve/1"
+
+    @property
+    def service(self) -> RunService:
+        """The service facade attached to the owning server."""
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ----------------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Suppress per-request stderr logging (the CLI prints its own banner)."""
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = canonical_json(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ServiceError("request body is empty")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            return json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"request body is not valid JSON: {error}") from error
+
+    # -- routes ------------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        """Serve the read-only routes."""
+        path = self.path.rstrip("/")
+        try:
+            if path in ("", "/healthz"):
+                self._send_json(self.service.health())
+            elif path == "/jobs":
+                self._send_json(self.service.jobs())
+            elif path == "/runs":
+                self._send_json(self.service.runs())
+            elif path.startswith("/jobs/"):
+                self._get_job(path[len("/jobs/"):])
+            else:
+                self._send_error_json(f"unknown path {self.path!r}", 404)
+        except ServiceError as error:
+            self._send_error_json(str(error), 404)
+        except ReproError as error:
+            self._send_error_json(str(error), 500)
+
+    def _get_job(self, remainder: str) -> None:
+        if remainder.endswith("/result"):
+            job_id = remainder[: -len("/result")]
+            status = self.service.status(job_id)
+            if status["state"] in ("queued", "running"):
+                self._send_json(status, status=202)
+            elif status["state"] == "failed":
+                self._send_error_json(status.get("error", "job failed"), 500)
+            else:
+                self._send_json(self.service.result_payload(job_id))
+        else:
+            self._send_json(self.service.status(remainder))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        """Serve job submission."""
+        path = self.path.rstrip("/")
+        if path != "/jobs":
+            self._send_error_json(f"unknown path {self.path!r}", 404)
+            return
+        try:
+            payload = self._read_body()
+            self._send_json(self.service.submit_payload(payload), status=201)
+        except ServiceError as error:
+            self._send_error_json(str(error), 400)
+        except ReproError as error:
+            self._send_error_json(str(error), 400)
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: RunService | None = None,
+) -> ThreadingHTTPServer:
+    """Build (without starting) the HTTP server for a :class:`RunService`.
+
+    Parameters
+    ----------
+    host:
+        Interface to bind.
+    port:
+        TCP port; ``0`` picks a free port (read it back from
+        ``server.server_address``).
+    service:
+        The service facade; a store-less two-worker service by default.
+
+    Returns
+    -------
+    ThreadingHTTPServer
+        The bound server, with the service attached as ``server.service``.
+    """
+    server = ThreadingHTTPServer((host, port), _ServiceHandler)
+    server.service = service if service is not None else RunService()  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    store: RunStore | str | None = None,
+    workers: int = 2,
+    mode: str = "thread",
+) -> None:
+    """Run the job service until interrupted (the ``repro serve`` entry point).
+
+    Parameters
+    ----------
+    host:
+        Interface to bind.
+    port:
+        TCP port to listen on.
+    store:
+        Run store (instance or directory path); ``None`` serves from memory
+        only.
+    workers:
+        Scheduler worker-pool size.
+    mode:
+        Scheduler pool mode.
+    """
+    if isinstance(store, str):
+        store = RunStore(store)
+    service = RunService(store=store, workers=workers, mode=mode)
+    server = make_server(host, port, service)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+        service.close()

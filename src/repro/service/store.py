@@ -1,0 +1,219 @@
+"""The :class:`RunStore`: content-addressed, durable pipeline artifacts.
+
+Every :class:`~repro.pipeline.CutPipeline` stage artifact of a job is
+persisted under the job's content fingerprint::
+
+    <root>/runs/<fp[:2]>/<fp>/job.json        the JobSpec payload
+    <root>/runs/<fp[:2]>/<fp>/plan.json       plan-stage summary
+    <root>/runs/<fp[:2]>/<fp>/execution.json  per-term sampling statistics
+    <root>/runs/<fp[:2]>/<fp>/result.json     the final estimate
+    <root>/artifacts/<key>.json               free-form cached artifacts
+                                              (experiment tables, benchmarks)
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-write never
+leaves a torn artifact: a stage file either exists completely or not at all.
+That is what makes crash-resume safe — re-submitting an interrupted job
+finds the last *completed* stage and continues from there, and because JSON
+floats round-trip exactly, the resumed estimate is bitwise identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+from repro.service.spec import JobSpec
+from repro.utils.serialization import canonical_json
+
+__all__ = ["RunStore", "STAGES"]
+
+#: Stage-artifact names, in pipeline order.
+STAGES = ("plan", "execution", "result")
+
+_FINGERPRINT_ALPHABET = set("0123456789abcdef")
+
+
+def _check_fingerprint(fingerprint: str) -> str:
+    """Validate a fingerprint before using it as a path component."""
+    if (
+        not isinstance(fingerprint, str)
+        or len(fingerprint) < 8
+        or not set(fingerprint) <= _FINGERPRINT_ALPHABET
+    ):
+        raise ServiceError(f"invalid run fingerprint {fingerprint!r}")
+    return fingerprint
+
+
+def _check_stage(stage: str) -> str:
+    """Validate a stage name against :data:`STAGES`."""
+    if stage not in STAGES:
+        raise ServiceError(f"unknown stage {stage!r}; expected one of {STAGES}")
+    return stage
+
+
+class RunStore:
+    """Content-addressed on-disk store of job artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on first use).
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.experiments import ghz_circuit
+    >>> from repro.service import JobSpec, RunStore, run_job
+    >>> store = RunStore(tempfile.mkdtemp())
+    >>> spec = JobSpec(ghz_circuit(4), "ZZZZ", shots=2000, seed=7, max_fragment_width=3)
+    >>> first = run_job(spec, store=store)
+    >>> second = run_job(spec, store=store)   # served from the store
+    >>> second.cached and second.value == first.value
+    True
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    # -- low-level IO ------------------------------------------------------------------
+
+    def _write_json_atomic(self, path: Path, payload) -> None:
+        """Write canonical JSON to ``path`` atomically (temp file + replace)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = canonical_json(payload)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, prefix=f".{path.name}.", suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, path)
+        except BaseException:
+            Path(handle.name).unlink(missing_ok=True)
+            raise
+
+    def _read_json(self, path: Path):
+        """Read a JSON artifact, translating corruption into ServiceError."""
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"corrupt store artifact {path}: {error}") from error
+
+    # -- run layout --------------------------------------------------------------------
+
+    def run_dir(self, fingerprint: str) -> Path:
+        """Return the directory holding one run's artifacts."""
+        fingerprint = _check_fingerprint(fingerprint)
+        return self.root / "runs" / fingerprint[:2] / fingerprint
+
+    # -- jobs --------------------------------------------------------------------------
+
+    def put_job(self, spec: JobSpec) -> str:
+        """Persist a job spec and return its fingerprint (idempotent)."""
+        fingerprint = spec.fingerprint()
+        path = self.run_dir(fingerprint) / "job.json"
+        if not path.exists():
+            self._write_json_atomic(path, spec.to_payload())
+        return fingerprint
+
+    def load_job(self, fingerprint: str) -> JobSpec:
+        """Load the job spec stored under ``fingerprint``.
+
+        Raises
+        ------
+        ServiceError
+            When no job with that fingerprint is stored.
+        """
+        payload = self._read_json(self.run_dir(fingerprint) / "job.json")
+        if payload is None:
+            raise ServiceError(f"no stored job with fingerprint {fingerprint!r}")
+        return JobSpec.from_payload(payload)
+
+    def has_job(self, fingerprint: str) -> bool:
+        """Return True when a job spec is stored under ``fingerprint``."""
+        return (self.run_dir(fingerprint) / "job.json").exists()
+
+    # -- stage artifacts ----------------------------------------------------------------
+
+    def put_stage(self, fingerprint: str, stage: str, payload: dict) -> None:
+        """Persist one stage artifact payload (atomic overwrite)."""
+        _check_stage(stage)
+        self._write_json_atomic(self.run_dir(fingerprint) / f"{stage}.json", payload)
+
+    def get_stage(self, fingerprint: str, stage: str) -> dict | None:
+        """Return a stage artifact payload, or ``None`` when not stored."""
+        _check_stage(stage)
+        return self._read_json(self.run_dir(fingerprint) / f"{stage}.json")
+
+    def has_stage(self, fingerprint: str, stage: str) -> bool:
+        """Return True when the stage artifact exists."""
+        _check_stage(stage)
+        return (self.run_dir(fingerprint) / f"{stage}.json").exists()
+
+    def completed_stages(self, fingerprint: str) -> tuple[str, ...]:
+        """Return the stored stage names of a run, in pipeline order."""
+        return tuple(stage for stage in STAGES if self.has_stage(fingerprint, stage))
+
+    def delete_run(self, fingerprint: str) -> bool:
+        """Delete every artifact of one run; returns True when anything was removed."""
+        directory = self.run_dir(fingerprint)
+        if not directory.exists():
+            return False
+        for path in directory.iterdir():
+            path.unlink()
+        directory.rmdir()
+        return True
+
+    def list_runs(self) -> list[dict]:
+        """Return one summary row per stored run (sorted by fingerprint).
+
+        Each row carries the fingerprint, the completed stages, and — when
+        the job spec is stored — the headline job parameters.
+        """
+        runs_root = self.root / "runs"
+        rows: list[dict] = []
+        if not runs_root.exists():
+            return rows
+        for directory in sorted(runs_root.glob("*/*")):
+            if not directory.is_dir():
+                continue
+            fingerprint = directory.name
+            row: dict = {
+                "fingerprint": fingerprint,
+                "stages": list(self.completed_stages(fingerprint)),
+            }
+            job = self._read_json(directory / "job.json")
+            if job is not None:
+                row["shots"] = job.get("shots")
+                row["seed"] = job.get("seed")
+                row["observable"] = job.get("observable")
+                row["backend"] = job.get("backend")
+                circuit = job.get("circuit") or {}
+                row["circuit"] = circuit.get("name")
+                row["num_qubits"] = circuit.get("num_qubits")
+            rows.append(row)
+        return rows
+
+    # -- free-form artifacts -------------------------------------------------------------
+
+    def put_artifact(self, key: str, payload) -> None:
+        """Persist a free-form JSON artifact under ``key``.
+
+        Experiments use this to cache whole result tables keyed by a config
+        fingerprint (the CLI's ``--store`` flag on ``figure6``/``ablations``).
+        """
+        _check_fingerprint(key)
+        self._write_json_atomic(self.root / "artifacts" / f"{key}.json", payload)
+
+    def get_artifact(self, key: str):
+        """Return the artifact stored under ``key``, or ``None``."""
+        _check_fingerprint(key)
+        return self._read_json(self.root / "artifacts" / f"{key}.json")

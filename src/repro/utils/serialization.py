@@ -1,0 +1,67 @@
+"""Canonical JSON serialization and content fingerprints.
+
+Persistent-store keys must be *stable*: the same logical payload has to map
+to the same byte string in every process, on every platform, forever.  This
+module provides the two primitives the run store and job service build on:
+
+:func:`canonical_json`
+    Deterministic JSON text — keys sorted, no whitespace, ``NaN``/``Inf``
+    rejected.  Python's ``repr``-based float formatting is shortest-round-trip
+    exact, so floats survive a dump/load cycle bit-for-bit.
+:func:`payload_fingerprint`
+    A BLAKE2b content hash of a payload's canonical JSON, used as the
+    content address of jobs and stage artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical_json", "payload_fingerprint"]
+
+
+def canonical_json(payload) -> str:
+    """Return the canonical (sorted, compact) JSON text of ``payload``.
+
+    Parameters
+    ----------
+    payload:
+        Any JSON-serializable object (dicts, lists, strings, numbers,
+        booleans, ``None``).
+
+    Returns
+    -------
+    str
+        Deterministic JSON text: identical payloads always produce identical
+        text, so the text can be hashed or compared byte-wise.
+
+    Raises
+    ------
+    ValueError
+        When the payload contains ``NaN`` or infinite floats (they have no
+        JSON representation and would silently break round-tripping).
+    TypeError
+        When the payload contains non-JSON-serializable objects.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def payload_fingerprint(payload, digest_size: int = 16) -> str:
+    """Return a stable content hash of a JSON-serializable payload.
+
+    Parameters
+    ----------
+    payload:
+        Any JSON-serializable object.
+    digest_size:
+        BLAKE2b digest size in bytes (the hex string is twice as long).
+
+    Returns
+    -------
+    str
+        Hex digest identifying the payload's canonical JSON content.
+    """
+    digest = hashlib.blake2b(digest_size=digest_size)
+    digest.update(canonical_json(payload).encode())
+    return digest.hexdigest()

@@ -8,13 +8,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import DimensionError
+from repro.exceptions import CuttingError, DimensionError
 
 __all__ = [
     "check_square_matrix",
     "check_vector",
     "check_probability",
     "check_integer_in_range",
+    "validate_positive_count",
 ]
 
 
@@ -56,4 +57,20 @@ def check_integer_in_range(
         raise ValueError(f"{name} must be >= {low}, got {value}")
     if high is not None and value > high:
         raise ValueError(f"{name} must be <= {high}, got {value}")
+    return value
+
+
+def validate_positive_count(value, name: str = "count") -> int:
+    """Return ``value`` as a strictly positive int or raise :class:`CuttingError`.
+
+    The boundary check for user-supplied budgets (``--shots``) and pool sizes
+    (``--workers``): zero and negative values are rejected with an actionable
+    message at the CLI and service entry points, mirroring
+    :func:`repro.cutting.noise.validate_noise_strength`.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise CuttingError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < 1:
+        raise CuttingError(f"{name} must be a positive integer, got {value}")
     return value

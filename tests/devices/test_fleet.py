@@ -206,6 +206,30 @@ class TestFleetDeterminism:
         assert counts_pair[0] == counts_solo[0]
 
 
+class TestFleetIdentity:
+    def test_to_spec_round_trips(self):
+        fleet = fleet_from_spec(example_fleet_spec())
+        rebuilt = fleet_from_spec(fleet.to_spec())
+        assert rebuilt.to_spec() == fleet.to_spec()
+        assert [d.name for d in rebuilt.devices] == [d.name for d in fleet.devices]
+
+    def test_fingerprint_stable_and_discriminating(self):
+        fleet = fleet_from_spec(example_fleet_spec())
+        assert fleet.fingerprint() == fleet_from_spec(example_fleet_spec()).fingerprint()
+        import copy
+
+        tweaked_spec = copy.deepcopy(example_fleet_spec())
+        tweaked_spec["devices"][1]["noise"]["readout_p10"] = 0.31
+        assert fleet_from_spec(tweaked_spec).fingerprint() != fleet.fingerprint()
+        resplit = fleet_from_spec({**example_fleet_spec(), "split": "uniform"})
+        assert resplit.fingerprint() != fleet.fingerprint()
+
+    def test_fingerprint_independent_of_inner_backend(self):
+        serial = fleet_from_spec(example_fleet_spec(), inner="serial")
+        vectorized = fleet_from_spec(example_fleet_spec(), inner="vectorized")
+        assert serial.fingerprint() == vectorized.fingerprint()
+
+
 class TestFleetSpecs:
     def test_example_spec_round_trips(self):
         fleet = fleet_from_spec(example_fleet_spec())

@@ -1,0 +1,69 @@
+"""Tests for the stage artifacts' stable serialization and fingerprints."""
+
+import json
+
+import pytest
+
+from repro.experiments import ghz_circuit
+from repro.pipeline import CutPipeline
+from repro.pipeline.stages import Execution
+
+
+@pytest.fixture(scope="module")
+def staged():
+    """One pipeline run broken into its stage artifacts."""
+    pipeline = CutPipeline(max_fragment_width=2, backend="vectorized")
+    plan_result = pipeline.plan(ghz_circuit(4))
+    decomposition = pipeline.decompose(plan_result)
+    execution = pipeline.execute(decomposition, "ZZZZ", shots=2000, seed=21)
+    result = pipeline.reconstruct(execution)
+    return pipeline, plan_result, decomposition, execution, result
+
+
+class TestPlanPayload:
+    def test_payload_is_json_ready(self, staged):
+        _, plan_result, _, _, _ = staged
+        payload = json.loads(json.dumps(plan_result.to_payload()))
+        assert len(payload["locations"]) == plan_result.num_cuts == 2
+        assert payload["num_fragments"] == plan_result.num_fragments == 3
+        assert all(len(pair) == 2 for pair in payload["locations"])
+
+    def test_fingerprint_stable(self, staged):
+        _, plan_result, _, _, _ = staged
+        assert plan_result.fingerprint() == plan_result.fingerprint()
+
+    def test_fingerprint_differs_for_different_plans(self, staged):
+        pipeline, plan_result, _, _, _ = staged
+        other = CutPipeline(max_fragment_width=3).plan(ghz_circuit(4))
+        assert other.fingerprint() != plan_result.fingerprint()
+
+
+class TestExecutionPayload:
+    def test_roundtrip_is_bitwise_identical(self, staged):
+        pipeline, _, decomposition, execution, result = staged
+        payload = json.loads(json.dumps(execution.to_payload()))
+        rebuilt = Execution.from_payload(decomposition, payload)
+        assert rebuilt.term_estimates == execution.term_estimates
+        assert rebuilt.shots_per_term == execution.shots_per_term
+        assert rebuilt.observable == execution.observable
+        reconstructed = pipeline.reconstruct(rebuilt)
+        assert reconstructed.value == result.value
+        assert reconstructed.standard_error == result.standard_error
+
+    def test_fingerprint_covers_statistics(self, staged):
+        pipeline, _, decomposition, execution, _ = staged
+        other = pipeline.execute(decomposition, "ZZZZ", shots=2000, seed=22)
+        assert other.fingerprint() != execution.fingerprint()
+
+
+class TestResultPayload:
+    def test_roundtrip(self, staged):
+        _, _, _, _, result = staged
+        from repro.pipeline.stages import PipelineResult
+
+        payload = json.loads(json.dumps(result.to_payload()))
+        rebuilt = PipelineResult.from_payload(payload)
+        assert rebuilt.value == result.value
+        assert rebuilt.standard_error == result.standard_error
+        assert rebuilt.exact_value == result.exact_value
+        assert rebuilt.error == result.error

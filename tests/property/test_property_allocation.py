@@ -1,0 +1,72 @@
+"""Property tests for largest-remainder shot apportionment.
+
+The job scheduler's bitwise-determinism guarantee leans on the allocator:
+if ``allocate_shots`` ever broke ties differently between two identical
+calls, concurrent and serial submissions of the same job would diverge.
+These properties pin down the deterministic largest-remainder contract —
+exact budget totals and reproducible tie-breaking — including the
+weight-tie cases a naive "sort by remainder" implementation gets wrong.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qpd.allocation import allocate_shots
+
+SETTINGS = settings(max_examples=120, deadline=None)
+
+
+def tied_weight_arrays():
+    """Weight vectors built from a small value pool, so ties are common."""
+    return st.lists(
+        st.sampled_from([0.125, 0.25, 0.5, 1.0, 2.0]), min_size=1, max_size=12
+    ).map(np.array)
+
+
+class TestLargestRemainderProperties:
+    @SETTINGS
+    @given(weights=tied_weight_arrays(), shots=st.integers(min_value=0, max_value=50_000))
+    def test_sums_exactly_to_budget_under_ties(self, weights, shots):
+        allocation = allocate_shots(weights, shots, strategy="proportional")
+        assert int(allocation.sum()) == shots
+        assert np.all(allocation >= 0)
+
+    @SETTINGS
+    @given(weights=tied_weight_arrays(), shots=st.integers(min_value=0, max_value=50_000))
+    def test_deterministic_under_ties(self, weights, shots):
+        first = allocate_shots(weights, shots, strategy="proportional")
+        second = allocate_shots(weights.copy(), shots, strategy="proportional")
+        assert np.array_equal(first, second)
+
+    @SETTINGS
+    @given(
+        weights=st.lists(
+            st.floats(min_value=1e-6, max_value=100.0, allow_nan=False), min_size=1, max_size=12
+        ).map(np.array),
+        shots=st.integers(min_value=0, max_value=50_000),
+    )
+    def test_sums_exactly_for_arbitrary_weights(self, weights, shots):
+        allocation = allocate_shots(weights, shots, strategy="proportional")
+        assert int(allocation.sum()) == shots
+
+    @SETTINGS
+    @given(weights=tied_weight_arrays(), shots=st.integers(min_value=0, max_value=50_000))
+    def test_off_by_at_most_one_from_ideal(self, weights, shots):
+        # Largest-remainder apportionment never misses the ideal real-valued
+        # share by a full shot in either direction.
+        probabilities = weights / weights.sum()
+        allocation = allocate_shots(weights, shots, strategy="proportional")
+        ideal = probabilities * shots
+        assert np.all(allocation >= np.floor(ideal) - 0)
+        assert np.all(allocation <= np.ceil(ideal) + 0)
+
+    @SETTINGS
+    @given(
+        size=st.integers(min_value=1, max_value=16),
+        shots=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_all_equal_weights_split_evenly(self, size, shots):
+        allocation = allocate_shots(np.ones(size), shots, strategy="proportional")
+        assert int(allocation.sum()) == shots
+        assert allocation.max() - allocation.min() <= 1

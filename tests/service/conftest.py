@@ -1,0 +1,30 @@
+"""Shared fixtures for the job-service test suite."""
+
+import pytest
+
+from repro.experiments import ghz_circuit
+from repro.service import JobSpec, RunStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A fresh run store in a temporary directory."""
+    return RunStore(tmp_path / "store")
+
+
+@pytest.fixture
+def ghz_spec():
+    """Factory of small GHZ job specs (2-cut under width 3 for 4 qubits)."""
+
+    def make(qubits=4, shots=2000, seed=7, **overrides):
+        kwargs = {
+            "circuit": ghz_circuit(qubits),
+            "observable": "Z" * qubits,
+            "shots": shots,
+            "seed": seed,
+            "max_fragment_width": 3,
+        }
+        kwargs.update(overrides)
+        return JobSpec(**kwargs)
+
+    return make

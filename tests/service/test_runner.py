@@ -1,0 +1,120 @@
+"""Tests for run_job: store reuse, crash-resume, bitwise-identical results."""
+
+import pytest
+
+import repro.pipeline.pipeline as pipeline_module
+from repro.service import run_job
+
+
+class TestCacheHit:
+    def test_second_run_served_from_store(self, store, ghz_spec):
+        first = run_job(ghz_spec(), store=store)
+        second = run_job(ghz_spec(), store=store)
+        assert not first.cached
+        assert second.cached
+        assert second.value == first.value
+        assert second.standard_error == first.standard_error
+
+    def test_cache_hit_runs_no_pipeline_stage(self, store, ghz_spec, monkeypatch):
+        run_job(ghz_spec(), store=store)
+
+        def poisoned(self, *args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pipeline stage ran on a cache hit")
+
+        for stage in ("plan", "decompose", "execute", "reconstruct"):
+            monkeypatch.setattr(pipeline_module.CutPipeline, stage, poisoned)
+        outcome = run_job(ghz_spec(), store=store)
+        assert outcome.cached
+
+    def test_store_matches_direct_run(self, store, ghz_spec):
+        stored = run_job(ghz_spec(), store=store)
+        direct = run_job(ghz_spec())
+        assert stored.value == direct.value
+        assert stored.standard_error == direct.standard_error
+
+    def test_all_stages_persisted(self, store, ghz_spec):
+        outcome = run_job(ghz_spec(), store=store)
+        assert store.completed_stages(outcome.fingerprint) == (
+            "plan",
+            "execution",
+            "result",
+        )
+        assert store.has_job(outcome.fingerprint)
+
+
+class TestCrashResume:
+    def _interrupt_after_execute(self, store, spec):
+        """Run plan→decompose→execute, persist those stages, then 'crash'."""
+        fingerprint = store.put_job(spec)
+        pipeline = spec.build_pipeline()
+        plan_result = pipeline.plan(spec.circuit, **spec.plan_arguments())
+        store.put_stage(fingerprint, "plan", plan_result.to_payload())
+        decomposition = pipeline.decompose(plan_result)
+        execution = pipeline.execute(decomposition, spec.observable, spec.shots, seed=spec.seed)
+        store.put_stage(fingerprint, "execution", execution.to_payload())
+        return fingerprint
+
+    def test_resume_after_execute_is_bitwise_identical(self, store, ghz_spec, monkeypatch):
+        baseline = run_job(ghz_spec())  # uninterrupted reference, no store
+
+        self._interrupt_after_execute(store, ghz_spec())
+
+        # Re-submission must reconstruct from the stored counts without
+        # sampling again: poison the execute stage to prove it.
+        def poisoned(self, *args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("execute re-ran after resume")
+
+        monkeypatch.setattr(pipeline_module.CutPipeline, "execute", poisoned)
+        resumed = run_job(ghz_spec(), store=store)
+
+        assert resumed.resumed_from == "execution"
+        assert not resumed.cached
+        assert resumed.value == baseline.value
+        assert resumed.standard_error == baseline.standard_error
+        assert resumed.total_shots == baseline.total_shots
+        assert resumed.kappa == baseline.kappa
+        assert store.completed_stages(resumed.fingerprint)[-1] == "result"
+
+    def test_resume_with_explicit_locations_plan(self, store, ghz_spec, monkeypatch):
+        spec = ghz_spec(max_fragment_width=None, locations=((1, 2),))
+        baseline = run_job(spec)
+        self._interrupt_after_execute(store, spec)
+        monkeypatch.setattr(
+            pipeline_module.CutPipeline,
+            "execute",
+            lambda *a, **k: pytest.fail("execute re-ran"),
+        )
+        resumed = run_job(spec, store=store)
+        assert resumed.value == baseline.value
+
+    def test_fresh_run_after_plan_only(self, store, ghz_spec):
+        # A crash right after planning resumes by re-executing (plan is cheap
+        # and recomputed; only sampling results are authoritative).
+        spec = ghz_spec()
+        fingerprint = store.put_job(spec)
+        pipeline = spec.build_pipeline()
+        plan_result = pipeline.plan(spec.circuit)
+        store.put_stage(fingerprint, "plan", plan_result.to_payload())
+
+        outcome = run_job(spec, store=store)
+        assert not outcome.cached
+        assert outcome.resumed_from is None
+        assert outcome.value == run_job(spec).value
+
+
+class TestOutcome:
+    def test_outcome_payload_roundtrip(self, store, ghz_spec):
+        from repro.service import JobOutcome
+
+        outcome = run_job(ghz_spec(), store=store)
+        rebuilt = JobOutcome.from_payload(outcome.to_payload())
+        assert rebuilt == outcome
+        assert rebuilt.error == outcome.error
+
+    def test_fleet_job_runs_and_persists(self, store, ghz_spec):
+        from repro.devices import example_fleet_spec
+
+        outcome = run_job(ghz_spec(shots=500, fleet=example_fleet_spec()), store=store)
+        repeat = run_job(ghz_spec(shots=500, fleet=example_fleet_spec()), store=store)
+        assert repeat.cached
+        assert repeat.value == outcome.value

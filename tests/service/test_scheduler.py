@@ -1,0 +1,111 @@
+"""Tests for the JobScheduler: determinism, dedup, bounded-pool validation."""
+
+import pytest
+
+from repro.exceptions import CuttingError, ServiceError
+from repro.service import JobScheduler, run_job
+
+
+class TestValidation:
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_non_positive_workers_rejected(self, workers):
+        with pytest.raises(CuttingError, match="workers"):
+            JobScheduler(workers=workers)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServiceError, match="mode"):
+            JobScheduler(mode="fiber")
+
+    def test_unknown_job_rejected(self):
+        with JobScheduler(workers=1) as scheduler:
+            with pytest.raises(ServiceError, match="unknown job"):
+                scheduler.status("nope")
+            with pytest.raises(ServiceError, match="unknown job"):
+                scheduler.result("nope")
+
+
+class TestDeterminism:
+    def test_concurrent_equals_serial_bitwise(self, ghz_spec):
+        specs = [ghz_spec(shots=1000, seed=seed) for seed in range(6)]
+        serial = [run_job(spec) for spec in specs]
+        with JobScheduler(workers=4) as scheduler:
+            job_ids = [scheduler.submit(spec) for spec in specs]
+            concurrent = [scheduler.result(job_id, timeout=120) for job_id in job_ids]
+        for expected, actual in zip(serial, concurrent):
+            assert actual.value == expected.value
+            assert actual.standard_error == expected.standard_error
+            assert actual.total_shots == expected.total_shots
+
+    def test_submission_order_does_not_matter(self, ghz_spec):
+        specs = [ghz_spec(shots=800, seed=seed) for seed in range(4)]
+        with JobScheduler(workers=2) as scheduler:
+            forward = [scheduler.result(scheduler.submit(spec)) for spec in specs]
+        with JobScheduler(workers=2) as scheduler:
+            reversed_ids = [scheduler.submit(spec) for spec in reversed(specs)]
+            backward = [scheduler.result(job_id) for job_id in reversed(reversed_ids)]
+        assert [o.value for o in forward] == [o.value for o in backward]
+
+    @pytest.mark.slow
+    def test_process_mode_matches_thread_mode(self, ghz_spec, store):
+        specs = [ghz_spec(shots=600, seed=seed) for seed in (1, 2)]
+        with JobScheduler(workers=2, mode="thread") as scheduler:
+            thread_results = [scheduler.result(scheduler.submit(s), timeout=120) for s in specs]
+        with JobScheduler(workers=2, mode="process", store=store) as scheduler:
+            process_results = [scheduler.result(scheduler.submit(s), timeout=300) for s in specs]
+        assert [o.value for o in thread_results] == [o.value for o in process_results]
+
+
+class TestDeduplication:
+    def test_identical_submission_returns_same_id(self, ghz_spec):
+        with JobScheduler(workers=2) as scheduler:
+            first = scheduler.submit(ghz_spec())
+            second = scheduler.submit(ghz_spec())
+            assert first == second
+            assert len(scheduler.list_jobs()) == 1
+            scheduler.result(first, timeout=120)
+
+    def test_resubmit_after_completion_hits_store(self, ghz_spec, store):
+        with JobScheduler(workers=2, store=store) as scheduler:
+            job_id = scheduler.submit(ghz_spec())
+            first = scheduler.result(job_id, timeout=120)
+        # A fresh scheduler (e.g. a restarted service) serves the repeat
+        # submission from the store without re-executing.
+        with JobScheduler(workers=2, store=store) as scheduler:
+            job_id = scheduler.submit(ghz_spec())
+            second = scheduler.result(job_id, timeout=120)
+        assert second.cached
+        assert second.value == first.value
+
+
+class TestLifecycle:
+    def test_status_reaches_done(self, ghz_spec):
+        with JobScheduler(workers=1) as scheduler:
+            job_id = scheduler.submit(ghz_spec(shots=500))
+            scheduler.result(job_id, timeout=120)
+            status = scheduler.status(job_id)
+        assert status["state"] == "done"
+        assert status["value"] is not None
+
+    def test_failed_job_reports_error_and_retries(self, ghz_spec):
+        # An unservable fleet (width limit below the term-circuit width)
+        # fails at execution time inside the worker.
+        bad_fleet = {"devices": [{"name": "tiny", "max_qubits": 1}]}
+        with JobScheduler(workers=1) as scheduler:
+            job_id = scheduler.submit(ghz_spec(shots=200, fleet=bad_fleet))
+            with pytest.raises(ServiceError, match="failed"):
+                scheduler.result(job_id, timeout=120)
+            status = scheduler.status(job_id)
+            assert status["state"] == "failed"
+            assert "error" in status
+            # A retry re-enqueues rather than deduplicating onto the failure.
+            retry_id = scheduler.submit(ghz_spec(shots=200, fleet=bad_fleet))
+            assert retry_id == job_id
+            assert scheduler.status(job_id)["attempts"] == 2
+
+    def test_list_jobs_in_submission_order(self, ghz_spec):
+        with JobScheduler(workers=2) as scheduler:
+            ids = [scheduler.submit(ghz_spec(shots=400, seed=seed)) for seed in range(3)]
+            scheduler.wait_all(timeout=120)
+            rows = scheduler.list_jobs()
+        assert [row["job_id"] for row in rows] == ids
+        assert all(row["state"] == "done" for row in rows)

@@ -1,0 +1,134 @@
+"""Unit tests for JobSpec: validation, serialization, fingerprints."""
+
+import pytest
+
+from repro.exceptions import CuttingError, ServiceError
+from repro.circuits import circuit_fingerprint, circuit_from_payload, circuit_to_payload
+from repro.devices import example_fleet_spec
+from repro.experiments import ghz_circuit, random_layered_circuit
+from repro.service import JobSpec
+
+
+class TestValidation:
+    def test_zero_shots_rejected(self, ghz_spec):
+        with pytest.raises(CuttingError, match="shots"):
+            ghz_spec(shots=0)
+
+    def test_negative_shots_rejected(self, ghz_spec):
+        with pytest.raises(CuttingError, match="positive"):
+            ghz_spec(shots=-100)
+
+    def test_non_integer_seed_rejected(self, ghz_spec):
+        with pytest.raises(ServiceError, match="seed"):
+            ghz_spec(seed=None)
+
+    def test_observable_width_mismatch(self, ghz_spec):
+        with pytest.raises(ServiceError, match="observable"):
+            ghz_spec(observable="ZZ")
+
+    def test_invalid_observable_letters(self, ghz_spec):
+        with pytest.raises(ServiceError, match="observable"):
+            ghz_spec(observable="ZZQA")
+
+    def test_unknown_backend(self, ghz_spec):
+        with pytest.raises(ServiceError, match="backend"):
+            ghz_spec(backend="quantum-cloud")
+
+    def test_unknown_allocation(self, ghz_spec):
+        with pytest.raises(ServiceError, match="allocation"):
+            ghz_spec(allocation="greedy")
+
+    def test_positions_and_locations_exclusive(self, ghz_spec):
+        with pytest.raises(ServiceError, match="at most one"):
+            ghz_spec(positions=(2,), locations=((1, 2),))
+
+    def test_needs_width_or_plan(self, ghz_spec):
+        with pytest.raises(ServiceError, match="max_fragment_width"):
+            ghz_spec(max_fragment_width=None)
+
+    def test_explicit_locations_need_no_width(self, ghz_spec):
+        spec = ghz_spec(max_fragment_width=None, locations=[[1, 2]])
+        assert spec.locations == ((1, 2),)
+
+    def test_fleet_must_be_mapping(self, ghz_spec):
+        with pytest.raises(ServiceError, match="fleet"):
+            ghz_spec(fleet="spec.json")
+
+
+class TestSerialization:
+    def test_payload_roundtrip_preserves_fingerprint(self, ghz_spec):
+        spec = ghz_spec(fleet=example_fleet_spec(), positions=None)
+        rebuilt = JobSpec.from_payload(spec.to_payload())
+        assert rebuilt.fingerprint() == spec.fingerprint()
+        assert rebuilt.observable == spec.observable
+        assert rebuilt.fleet == spec.fleet
+
+    def test_payload_is_json_ready(self, ghz_spec):
+        import json
+
+        text = json.dumps(ghz_spec().to_payload())
+        assert JobSpec.from_payload(json.loads(text)).fingerprint() == ghz_spec().fingerprint()
+
+    def test_unsupported_version_rejected(self, ghz_spec):
+        payload = ghz_spec().to_payload()
+        payload["version"] = 99
+        with pytest.raises(ServiceError, match="version"):
+            JobSpec.from_payload(payload)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ServiceError):
+            JobSpec.from_payload({"observable": "Z"})
+        with pytest.raises(ServiceError):
+            JobSpec.from_payload("not a dict")
+
+    def test_circuit_payload_roundtrip_exact(self):
+        circuit = random_layered_circuit(3, 3, seed=11)
+        rebuilt = circuit_from_payload(circuit_to_payload(circuit))
+        assert circuit_fingerprint(rebuilt) == circuit_fingerprint(circuit)
+        assert rebuilt.num_qubits == circuit.num_qubits
+        assert len(rebuilt) == len(circuit)
+
+
+class TestFingerprint:
+    def test_fingerprint_ignores_circuit_name(self, ghz_spec):
+        renamed = ghz_circuit(4)
+        renamed.name = "completely-different-name"
+        assert ghz_spec().fingerprint() == ghz_spec(circuit=renamed).fingerprint()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"shots": 2001},
+            {"seed": 8},
+            {"max_fragment_width": 2},
+            {"entanglement_overlap": 0.9},
+            {"allocation": "uniform"},
+            {"backend": "serial"},
+            {"fleet": None},  # placeholder, replaced below
+            {"observable": "ZZZX"},
+            {"positions": (2,), "max_fragment_width": None},
+        ],
+    )
+    def test_fingerprint_covers_every_field(self, ghz_spec, override):
+        if override == {"fleet": None}:
+            override = {"fleet": example_fleet_spec()}
+        assert ghz_spec(**override).fingerprint() != ghz_spec().fingerprint()
+
+    def test_fingerprint_covers_circuit_content(self, ghz_spec):
+        assert (
+            ghz_spec().fingerprint()
+            != ghz_spec(circuit=ghz_circuit(5), observable="ZZZZZ").fingerprint()
+        )
+
+    def test_fleet_noise_changes_fingerprint(self, ghz_spec):
+        import copy
+
+        base = example_fleet_spec()
+        tweaked = copy.deepcopy(base)
+        tweaked["devices"][0]["noise"]["depolarizing_2q"] = 0.123
+        assert ghz_spec(fleet=base).fingerprint() != ghz_spec(fleet=tweaked).fingerprint()
+
+    def test_fingerprint_stable_across_list_tuple_inputs(self, ghz_spec):
+        a = ghz_spec(max_fragment_width=None, locations=[[1, 2]])
+        b = ghz_spec(max_fragment_width=None, locations=((1, 2),))
+        assert a.fingerprint() == b.fingerprint()

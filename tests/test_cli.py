@@ -144,3 +144,109 @@ class TestDevicesCommands:
     def test_ablations_rejects_invalid_noise_levels(self, capsys):
         assert main(["ablations", "--noise-levels", "0.1", "1.5"]) == 1
         assert "invalid --noise-levels" in capsys.readouterr().out
+
+
+class TestBoundaryValidation:
+    @pytest.mark.parametrize("shots", ["0", "-5"])
+    def test_cut_run_rejects_non_positive_shots(self, capsys, shots):
+        assert main(["cut", "run", "--qubits", "4", "--width", "2", "--shots", shots]) == 1
+        assert "--shots must be a positive integer" in capsys.readouterr().out
+
+    def test_cut_demo_rejects_zero_shots(self, capsys):
+        assert main(["cut", "demo", "--qubits", "3", "--shots", "0"]) == 1
+        assert "--shots must be a positive integer" in capsys.readouterr().out
+
+    def test_ablations_rejects_zero_shots(self, capsys):
+        assert main(["ablations", "--shots", "0"]) == 1
+        assert "--shots must be a positive integer" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("workers", ["0", "-2"])
+    def test_serve_rejects_non_positive_workers(self, capsys, workers):
+        assert main(["serve", "--workers", workers]) == 1
+        assert "--workers must be a positive integer" in capsys.readouterr().out
+
+
+class TestServiceCommands:
+    def test_parser_accepts_serve_and_jobs(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "9000", "--workers", "3"])
+        assert args.command == "serve" and args.port == 9000 and args.workers == 3
+        args = parser.parse_args(["jobs", "submit", "--shots", "123", "--wait"])
+        assert args.jobs_command == "submit" and args.shots == 123 and args.wait
+        args = parser.parse_args(["jobs", "status", "abc123"])
+        assert args.job_id == "abc123"
+
+    def test_jobs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs"])
+
+    def test_jobs_against_unreachable_service(self, capsys):
+        assert main(["jobs", "list", "--url", "http://127.0.0.1:1"]) == 1
+        assert "service error" in capsys.readouterr().out
+
+    @pytest.fixture
+    def live_service(self, tmp_path):
+        import threading
+
+        from repro.service import RunService, RunStore, make_server
+
+        run_service = RunService(store=RunStore(tmp_path / "store"), workers=2)
+        server = make_server(host="127.0.0.1", port=0, service=run_service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address
+        try:
+            yield f"http://{host}:{port}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            run_service.close()
+            thread.join(timeout=10)
+
+    @pytest.mark.integration
+    def test_jobs_submit_wait_status_list(self, capsys, live_service):
+        submit = [
+            "jobs", "submit", "--url", live_service, "--qubits", "4", "--width", "3",
+            "--shots", "800", "--seed", "5", "--wait",
+        ]
+        assert main(submit) == 0
+        out = capsys.readouterr().out
+        assert "submitted job" in out and "result" in out
+        job_id = out.split("submitted job ")[1].split()[0]
+
+        assert main(["jobs", "status", job_id, "--url", live_service]) == 0
+        assert "done" in capsys.readouterr().out
+        assert main(["jobs", "result", job_id, "--url", live_service]) == 0
+        assert "result" in capsys.readouterr().out
+        assert main(["jobs", "list", "--url", live_service]) == 0
+        assert job_id in capsys.readouterr().out
+
+    def test_jobs_submit_rejects_zero_shots(self, capsys):
+        assert main(["jobs", "submit", "--shots", "0", "--url", "http://127.0.0.1:1"]) == 1
+        assert "--shots must be a positive integer" in capsys.readouterr().out
+
+
+class TestStoreFlags:
+    def test_cut_run_store_caches_second_invocation(self, capsys, tmp_path):
+        command = [
+            "cut", "run", "--qubits", "4", "--width", "3", "--shots", "500",
+            "--seed", "3", "--store", str(tmp_path / "store"),
+        ]
+        assert main(command) == 0
+        first = capsys.readouterr().out
+        assert "fresh run" in first
+        assert main(command) == 0
+        second = capsys.readouterr().out
+        assert "cache hit (no re-execution)" in second
+        # The reported estimate must be identical on the cache hit.
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+    def test_figure6_store_roundtrip(self, capsys, tmp_path):
+        command = ["figure6", "--states", "2", "--seed", "4", "--store", str(tmp_path / "s")]
+        assert main(command) == 0
+        first = capsys.readouterr().out
+        assert main(command) == 0
+        second = capsys.readouterr().out
+        assert "served from store" in second
+        # Identical table contents (order included) after the cache round trip.
+        assert first.strip() in second

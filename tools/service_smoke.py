@@ -1,0 +1,82 @@
+"""CI smoke test of the job service over real HTTP.
+
+Starts ``repro serve`` machinery in-process on a free port, submits a 2-cut
+GHZ job through the HTTP client, polls it to completion, verifies the
+estimate against the exact value, then re-submits the identical job against
+a *fresh* service sharing the same store and asserts it is served from the
+store without re-execution.  Exits non-zero on any failure.
+
+Usage: ``PYTHONPATH=src python tools/service_smoke.py [store_dir]``
+"""
+
+import sys
+import tempfile
+import threading
+
+from repro.experiments import ghz_circuit
+from repro.service import JobSpec, RunService, RunStore, ServiceClient, make_server
+
+
+def _start(service: RunService) -> tuple:
+    server = make_server(host="127.0.0.1", port=0, service=service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    return server, ServiceClient(f"http://{host}:{port}")
+
+
+def main() -> int:
+    """Run the smoke scenario; return a process exit code."""
+    store_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="repro-smoke-")
+    spec = JobSpec(
+        circuit=ghz_circuit(4),
+        observable="ZZZZ",
+        shots=2000,
+        seed=42,
+        max_fragment_width=2,  # forces a 2-cut plan (three width-2 fragments)
+    )
+
+    # Round 1: fresh service, job runs for real.
+    service = RunService(store=RunStore(store_dir), workers=2)
+    server, client = _start(service)
+    try:
+        health = client.health()
+        assert health["status"] == "ok", health
+        row = client.submit(spec)
+        print(f"submitted 2-cut GHZ job {row['job_id']} ({row['state']})")
+        outcome = client.wait(row["job_id"], timeout=300)
+        assert outcome["fingerprint"] == spec.fingerprint(), outcome
+        assert outcome["total_shots"] == 2000, outcome
+        assert abs(outcome["value"] - outcome["exact_value"]) < 0.5, outcome
+        assert not outcome["cached"], "first run must not be a cache hit"
+        print(
+            f"completed: value={outcome['value']:.4f} ± {outcome['standard_error']:.4f} "
+            f"(exact {outcome['exact_value']:.4f})"
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    # Round 2: a restarted service on the same store serves the job from disk.
+    service = RunService(store=RunStore(store_dir), workers=2)
+    server, client = _start(service)
+    try:
+        row = client.submit(spec)
+        cached = client.wait(row["job_id"], timeout=60)
+        assert cached["cached"], "re-submission after restart must hit the run store"
+        assert cached["value"] == outcome["value"], (cached, outcome)
+        runs = client.runs()
+        assert any(r["fingerprint"] == spec.fingerprint() for r in runs), runs
+        print(f"store hit confirmed after restart (value {cached['value']:.4f}, no re-execution)")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
