@@ -1,0 +1,114 @@
+"""Benchmark: adaptive shot allocation vs the static budget on the Figure-6 NME sweep.
+
+Run with ``pytest benchmarks/bench_adaptive.py -q -s``.
+
+The workload is the paper's Figure-6 sweep (Haar-random single-qubit states
+through the Theorem-2 NME cut, every entanglement level): both arms are
+sized to the same statistical criterion — expected absolute error ≤ the
+target, equivalently pooled standard error ≤ ``target·√(π/2)`` — and the
+benchmark measures how many total shots each needs.  The static arm commits
+one grid budget per level up front (the repo's pre-adaptive shots-to-target
+methodology, selected by the exactly predicted standard error); the
+adaptive arm streams rounds per instance and stops at the achieved
+threshold.
+
+Asserted invariants (deterministic under the pinned seeds):
+
+* every adaptive run converges, and its achieved pooled standard error is
+  at or below the shared threshold (the "reaches the target error"
+  guarantee);
+* the measured mean absolute errors of both arms stay within 1.25× the
+  nominal target (the statistical sanity check of the equivalence);
+* adaptive spends **≥ 20% fewer total shots** than static across the sweep.
+
+``BENCH_adaptive.json`` is written to the working directory (overridable
+via ``REPRO_BENCH_OUT``) so CI can archive the savings trajectory.  Set
+``REPRO_BENCH_FULL=1`` for the paper-scale workload (more states); the
+default smoke configuration keeps CI under a few seconds.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import AdaptiveSweepConfig, adaptive_vs_static_sweep
+
+#: Mean-absolute-error target shared by both arms.
+TARGET_ERROR = 0.05
+#: Shot-savings floor the adaptive engine must beat.
+SAVINGS_FLOOR = 0.20
+#: Statistical tolerance on the measured (as opposed to predicted) errors.
+MEASURED_ERROR_TOLERANCE = 1.25
+
+
+def test_adaptive_beats_static_on_figure6_nme_sweep():
+    """Adaptive reaches the shared target error with ≥20% fewer total shots."""
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    config = AdaptiveSweepConfig(
+        target_error=TARGET_ERROR,
+        num_states=48 if full else 16,
+        seed=77,
+    )
+    table = adaptive_vs_static_sweep(config)
+    metadata = table.metadata
+
+    # Every level found a static budget and every adaptive run converged to
+    # the shared standard-error threshold.
+    assert all(budget > 0 for budget in table.columns["static_shots_per_state"]), table.columns
+    assert all(fraction == 1.0 for fraction in table.columns["converged_fraction"]), table.columns
+    stderr_target = metadata["stderr_target"]
+    assert all(
+        achieved <= stderr_target + 1e-12 for achieved in table.columns["adaptive_stderr_max"]
+    ), table.columns
+
+    # Measured errors of both arms stay near the nominal target.
+    pooled_static = float(np.mean(table.columns["static_mean_error"]))
+    pooled_adaptive = float(np.mean(table.columns["adaptive_mean_error"]))
+    assert pooled_static <= TARGET_ERROR * MEASURED_ERROR_TOLERANCE, pooled_static
+    assert pooled_adaptive <= TARGET_ERROR * MEASURED_ERROR_TOLERANCE, pooled_adaptive
+
+    savings = metadata["total_savings_fraction"]
+    assert savings >= SAVINGS_FLOOR, (
+        f"adaptive saved only {savings:.1%} of the static budget "
+        f"(static {metadata['total_static_shots']}, adaptive {metadata['total_adaptive_shots']}); "
+        f"the floor is {SAVINGS_FLOOR:.0%}"
+    )
+
+    record = {
+        "benchmark": "adaptive_vs_static_figure6_nme",
+        "full_scale": full,
+        "target_error": TARGET_ERROR,
+        "stderr_target": stderr_target,
+        "num_states": config.num_states,
+        "overlaps": list(config.overlaps),
+        "planner": config.planner,
+        "total_static_shots": metadata["total_static_shots"],
+        "total_adaptive_shots": metadata["total_adaptive_shots"],
+        "savings_fraction": round(float(savings), 4),
+        "pooled_static_error": round(pooled_static, 5),
+        "pooled_adaptive_error": round(pooled_adaptive, 5),
+        "per_level": [
+            {
+                "overlap_f": table.columns["overlap_f"][index],
+                "kappa": table.columns["kappa"][index],
+                "static_shots_per_state": table.columns["static_shots_per_state"][index],
+                "adaptive_shots_per_state": round(
+                    table.columns["adaptive_shots_per_state"][index], 1
+                ),
+                "savings_fraction": round(table.columns["savings_fraction"][index], 4),
+                "adaptive_rounds_mean": round(table.columns["adaptive_rounds_mean"][index], 2),
+            }
+            for index in range(len(table.columns["overlap_f"]))
+        ],
+    }
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_adaptive.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\nadaptive vs static on the Figure-6 NME sweep: {savings:.1%} fewer shots "
+        f"({metadata['total_adaptive_shots']} vs {metadata['total_static_shots']}) "
+        f"at target error {TARGET_ERROR} -> {out_path}"
+    )

@@ -13,7 +13,8 @@ Exposes the experiment harness without writing any Python:
   on a chosen workload under a device-width constraint (``--devices spec.json``
   runs the term circuits on a noisy :class:`~repro.devices.DeviceFleet`;
   ``--store DIR`` persists/reuses stage artifacts through a
-  :class:`~repro.service.RunStore`).
+  :class:`~repro.service.RunStore`; ``--mode adaptive --target-error ε``
+  switches to round-structured execution with early stopping).
 * ``cut demo`` — cut a demo GHZ circuit and report the estimate per protocol.
 * ``devices list`` — show a fleet spec's devices, noise rates and shot shares.
 * ``serve`` — run the HTTP/JSON job service (:mod:`repro.service.server`).
@@ -107,13 +108,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cut_run.add_argument("--shots", type=int, default=4000)
     cut_run.add_argument(
+        "--mode",
+        choices=("static", "adaptive"),
+        default="static",
+        help="shot execution: one up-front allocation (static) or the "
+        "round-structured engine with early stopping (adaptive)",
+    )
+    cut_run.add_argument(
+        "--target-error",
+        type=float,
+        default=None,
+        help="adaptive mode: stop when the pooled standard error reaches this value",
+    )
+    cut_run.add_argument(
+        "--max-shots",
+        type=int,
+        default=None,
+        help="adaptive mode: hard shot ceiling (defaults to --shots)",
+    )
+    cut_run.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="adaptive mode: execution-round limit (default 12)",
+    )
+    cut_run.add_argument(
         "--overlap",
         type=float,
         default=None,
         help="entanglement f(Φ_k); omit for the entanglement-free κ=3 cut",
     )
     cut_run.add_argument(
-        "--allocation", choices=("proportional", "multinomial", "uniform"), default="proportional"
+        "--allocation",
+        choices=("proportional", "multinomial", "uniform"),
+        default=None,
+        help="static mode's shot-allocation strategy (default proportional); "
+        "adaptive mode plans rounds instead and rejects this flag",
     )
     cut_run.add_argument("--max-cuts", type=int, default=None)
     cut_run.add_argument("--seed", type=int, default=7)
@@ -228,11 +258,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--width", type=int, default=3, help="maximum fragment width (device size)"
     )
     jobs_submit.add_argument("--shots", type=int, default=4000)
+    jobs_submit.add_argument(
+        "--mode",
+        choices=("static", "adaptive"),
+        default="static",
+        help="shot execution mode of the submitted job",
+    )
+    jobs_submit.add_argument(
+        "--target-error",
+        type=float,
+        default=None,
+        help="adaptive mode: stop when the pooled standard error reaches this value",
+    )
+    jobs_submit.add_argument(
+        "--max-shots",
+        type=int,
+        default=None,
+        help="adaptive mode: hard shot ceiling (defaults to --shots)",
+    )
+    jobs_submit.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="adaptive mode: execution-round limit (default 12)",
+    )
     jobs_submit.add_argument("--overlap", type=float, default=None)
     jobs_submit.add_argument(
         "--allocation",
         choices=("proportional", "multinomial", "uniform"),
-        default="proportional",
+        default=None,
+        help="static mode's shot-allocation strategy (default proportional); "
+        "adaptive mode plans rounds instead and rejects this flag",
     )
     jobs_submit.add_argument("--max-cuts", type=int, default=None)
     jobs_submit.add_argument("--seed", type=int, default=7)
@@ -458,6 +514,43 @@ def _load_fleet_spec(spec_path: str, split: str | None) -> dict:
     return spec
 
 
+def _validate_mode_arguments(args: argparse.Namespace) -> tuple[int, dict]:
+    """Boundary-validate the execution-mode flags; return (budget, execute kwargs).
+
+    Raises :class:`~repro.exceptions.CuttingError` on a bad combination so
+    both ``cut run`` and ``jobs submit`` fail before any work happens.
+    """
+    from repro.exceptions import CuttingError
+    from repro.qpd.adaptive import DEFAULT_MAX_ROUNDS
+    from repro.utils.validation import validate_positive_count, validate_positive_float
+
+    if args.mode == "adaptive":
+        if args.target_error is None:
+            raise CuttingError("--mode adaptive requires --target-error")
+        if args.allocation is not None:
+            raise CuttingError(
+                "--allocation applies to static mode; adaptive rounds are "
+                "planned from the running statistics"
+            )
+        validate_positive_float(args.target_error, name="--target-error")
+        rounds = DEFAULT_MAX_ROUNDS if args.rounds is None else args.rounds
+        validate_positive_count(rounds, name="--rounds")
+        budget = args.shots if args.max_shots is None else args.max_shots
+        validate_positive_count(budget, name="--max-shots")
+        return budget, {
+            "mode": "adaptive",
+            "target_error": args.target_error,
+            "rounds": rounds,
+        }
+    if args.target_error is not None:
+        raise CuttingError("--target-error requires --mode adaptive")
+    if args.max_shots is not None:
+        raise CuttingError("--max-shots requires --mode adaptive")
+    if args.rounds is not None:
+        raise CuttingError("--rounds requires --mode adaptive")
+    return args.shots, {}
+
+
 def _command_cut_run(args: argparse.Namespace) -> int:
     from repro.exceptions import CuttingError, DeviceError
     from repro.pipeline import CutPipeline
@@ -465,6 +558,7 @@ def _command_cut_run(args: argparse.Namespace) -> int:
 
     try:
         validate_positive_count(args.shots, name="--shots")
+        budget, mode_kwargs = _validate_mode_arguments(args)
     except CuttingError as error:
         print(f"invalid arguments: {error}")
         return 1
@@ -475,7 +569,7 @@ def _command_cut_run(args: argparse.Namespace) -> int:
         print("--split requires --devices")
         return 1
     if args.store is not None:
-        return _cut_run_stored(args, circuit, observable)
+        return _cut_run_stored(args, circuit, observable, budget, mode_kwargs)
 
     backend = args.backend
     if args.devices is not None:
@@ -490,7 +584,7 @@ def _command_cut_run(args: argparse.Namespace) -> int:
             max_fragment_width=args.width,
             entanglement_overlap=args.overlap,
             backend=backend,
-            allocation=args.allocation,
+            allocation=args.allocation or "proportional",
             max_cuts=args.max_cuts,
         )
         plan_result = pipeline.plan(circuit)
@@ -513,8 +607,24 @@ def _command_cut_run(args: argparse.Namespace) -> int:
         f"decomposition: {decomposition.num_terms} product terms, "
         f"kappa={decomposition.kappa:.3f} (shot overhead kappa^2={decomposition.kappa**2:.2f})"
     )
+    def on_round(record, summary) -> None:
+        stderr = summary.get("current_stderr")
+        stderr_text = "inf" if stderr is None else f"{stderr:.4f}"
+        print(
+            f"  round {record.index + 1}: +{record.total_shots} shots "
+            f"(total {summary['shots_spent']}), stderr {stderr_text} "
+            f"(target {summary['target_error']:.4f})"
+        )
+
     try:
-        execution = pipeline.execute(decomposition, observable, shots=args.shots, seed=args.seed)
+        execution = pipeline.execute(
+            decomposition,
+            observable,
+            shots=budget,
+            seed=args.seed,
+            on_round=on_round,
+            **mode_kwargs,
+        )
     except DeviceError as error:
         # Term circuits grow wider than the original (cut gadgets add a
         # receiver + ancilla qubit per cut), so a fleet can reject them even
@@ -523,9 +633,13 @@ def _command_cut_run(args: argparse.Namespace) -> int:
         return 1
     result = pipeline.reconstruct(execution)
     pairs = f", consuming {execution.entangled_pairs} entangled pairs" if args.overlap else ""
+    adaptive_note = ""
+    if execution.mode == "adaptive":
+        outcome = "converged" if execution.converged else "budget exhausted"
+        adaptive_note = f" in {len(execution.rounds)} adaptive rounds ({outcome})"
     print(
         f"execute: {result.total_shots} shots over {len(execution.shots_per_term)} terms "
-        f"on the {execution.backend_name} backend{pairs}"
+        f"on the {execution.backend_name} backend{adaptive_note}{pairs}"
     )
     print(
         f"reconstruct: <{observable}> = {result.value:.4f} ± {result.standard_error:.4f} "
@@ -534,7 +648,9 @@ def _command_cut_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cut_run_stored(args: argparse.Namespace, circuit, observable: str) -> int:
+def _cut_run_stored(
+    args: argparse.Namespace, circuit, observable: str, budget: int, mode_kwargs: dict
+) -> int:
     """``cut run --store``: run through the run store (cache / resume / persist)."""
     from repro.exceptions import ReproError
     from repro.service import JobSpec, run_job
@@ -546,14 +662,15 @@ def _cut_run_stored(args: argparse.Namespace, circuit, observable: str) -> int:
         spec = JobSpec(
             circuit=circuit,
             observable=observable,
-            shots=args.shots,
+            shots=budget,
             seed=args.seed,
             max_fragment_width=args.width,
             entanglement_overlap=args.overlap,
-            allocation=args.allocation,
+            allocation=args.allocation or "proportional",
             max_cuts=args.max_cuts,
             backend=args.backend,
             fleet=fleet,
+            **mode_kwargs,
         )
         outcome = run_job(spec, store=_open_store(args.store))
     except ReproError as error:
@@ -565,10 +682,14 @@ def _cut_run_stored(args: argparse.Namespace, circuit, observable: str) -> int:
         else "fresh run (artifacts persisted)"
     )
     print(f"run {outcome.fingerprint} in store {args.store}: {provenance}")
+    adaptive_note = ""
+    if outcome.mode == "adaptive":
+        state = "converged" if outcome.converged else "budget exhausted"
+        adaptive_note = f", {outcome.rounds_completed} rounds ({state})"
     print(
         f"<{observable}> = {outcome.value:.4f} ± {outcome.standard_error:.4f} "
         f"({outcome.total_shots} shots, kappa={outcome.kappa:.3f}, "
-        f"exact {outcome.exact_value:.4f}, error {outcome.error:.4f})"
+        f"exact {outcome.exact_value:.4f}, error {outcome.error:.4f}{adaptive_note})"
     )
     return 0
 
@@ -694,7 +815,17 @@ def _print_job_row(row: dict) -> None:
     summary = "" if value is None else f"  value={value:.4f} ± {row.get('standard_error', 0.0):.4f}"
     cached = "  (cached)" if row.get("cached") else ""
     error = f"  {row['error']}" if row.get("error") else ""
-    print(f"{row.get('job_id', '?'):<34}{state:<9}{summary}{cached}{error}")
+    progress = ""
+    if row.get("progress"):
+        live = row["progress"]
+        stderr = live.get("current_stderr")
+        stderr_text = "" if stderr is None else f" stderr={stderr:.4f}"
+        target = live.get("target_error")
+        target_text = "" if target is None else f"/{target:.4f}"
+        rounds = live.get("rounds_completed")
+        rounds_text = "" if rounds is None else f" round={rounds}"
+        progress = f"  [shots={live.get('shots_spent', 0)}{rounds_text}{stderr_text}{target_text}]"
+    print(f"{row.get('job_id', '?'):<34}{state:<9}{summary}{progress}{cached}{error}")
 
 
 def _command_jobs(args: argparse.Namespace) -> int:
@@ -720,6 +851,7 @@ def _command_jobs_submit(args: argparse.Namespace) -> int:
 
     try:
         validate_positive_count(args.shots, name="--shots")
+        budget, mode_kwargs = _validate_mode_arguments(args)
         fleet = None
         if args.devices is not None:
             fleet = _load_fleet_spec(args.devices, args.split)
@@ -729,14 +861,15 @@ def _command_jobs_submit(args: argparse.Namespace) -> int:
         spec = JobSpec(
             circuit=_workload_circuit(args),
             observable="Z" * args.qubits,
-            shots=args.shots,
+            shots=budget,
             seed=args.seed,
             max_fragment_width=args.width,
             entanglement_overlap=args.overlap,
-            allocation=args.allocation,
+            allocation=args.allocation or "proportional",
             max_cuts=args.max_cuts,
             backend=args.backend,
             fleet=fleet,
+            **mode_kwargs,
         )
     except (CuttingError, DeviceError, ServiceError) as error:
         print(f"invalid job: {error}")
@@ -754,6 +887,9 @@ def _print_result_payload(payload: dict) -> None:
     """Print one job-outcome payload in the shared result format."""
     exact = payload.get("exact_value")
     suffix = "" if exact is None else f", exact {exact:.4f}"
+    if payload.get("mode") == "adaptive":
+        state = "converged" if payload.get("converged") else "budget exhausted"
+        suffix += f", {payload.get('rounds_completed')} rounds ({state})"
     provenance = " [served from store]" if payload.get("cached") else (
         f" [resumed from {payload['resumed_from']}]" if payload.get("resumed_from") else ""
     )

@@ -15,6 +15,7 @@ paper's one-wire workloads.
 from repro.cutting.base import GadgetWiring, WireCutProtocol, WireCutTerm
 from repro.cutting.cutter import CutLocation, CutTermCircuit, build_cut_circuits, cut_wire
 from repro.cutting.executor import (
+    ESTIMATION_MODES,
     CutExpectationResult,
     CutSamplingModel,
     TermSamplingModel,
@@ -36,6 +37,8 @@ from repro.cutting.multi_wire import (
     MultiCutTermCircuit,
     build_multi_cut_circuits,
     estimate_multi_cut_expectation,
+    execute_term_circuits,
+    execute_term_circuits_adaptive,
     independent_cuts_decomposition,
     measured_multi_cut_circuit,
 )
@@ -95,6 +98,7 @@ __all__ = [
     "build_cut_circuits",
     "cut_wire",
     "CutExpectationResult",
+    "ESTIMATION_MODES",
     "estimate_cut_expectation",
     "cut_expectation_value",
     "exact_cut_expectation",
@@ -128,6 +132,8 @@ __all__ = [
     "MultiCutTermCircuit",
     "build_multi_cut_circuits",
     "estimate_multi_cut_expectation",
+    "execute_term_circuits",
+    "execute_term_circuits_adaptive",
     "independent_cuts_decomposition",
     "measured_multi_cut_circuit",
     # virtual distillation (Appendix B construction)

@@ -33,6 +33,11 @@ Two execution paths are provided:
   levels × many shot budgets in seconds; it is statistically identical to the
   general path because each shot is an i.i.d. draw from the same exact
   distribution.
+
+Both paths offer two execution modes: ``static`` (the whole budget
+allocated up front — the paper's procedure, unchanged bitwise) and
+``adaptive`` (the round-structured engine of :mod:`repro.qpd.adaptive`,
+stopping at a target standard error).
 """
 
 from __future__ import annotations
@@ -48,14 +53,25 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.expectation import _BASIS_CHANGE, exact_expectation
 from repro.cutting.base import WireCutProtocol
 from repro.cutting.cutter import CutLocation, CutTermCircuit, build_cut_circuits
+from repro.qpd.adaptive import (
+    DEFAULT_MAX_ROUNDS,
+    AdaptiveConfig,
+    AdaptiveResult,
+    RoundRecord,
+    run_adaptive_rounds,
+)
 from repro.qpd.allocation import allocate_shots
 from repro.qpd.estimator import QPDEstimate, TermEstimate, combine_term_estimates, combine_term_means
 from repro.quantum.paulis import PauliString
 from repro.quantum.states import Statevector
 from repro.utils.rng import SeedLike, as_generator
 
+#: Execution modes accepted by the estimation entry points.
+ESTIMATION_MODES = ("static", "adaptive")
+
 __all__ = [
     "CutExpectationResult",
+    "ESTIMATION_MODES",
     "estimate_cut_expectation",
     "build_sampling_model",
     "build_sampling_models",
@@ -89,6 +105,14 @@ class CutExpectationResult:
     exact_value:
         The exact (uncut) expectation value, when it was computed alongside
         the estimate; ``None`` otherwise.
+    mode:
+        ``"static"`` (one up-front allocation) or ``"adaptive"`` (the
+        round-structured engine of :mod:`repro.qpd.adaptive`).
+    converged:
+        Adaptive mode only: whether the pooled standard error reached the
+        target before the budget ran out (``None`` in static mode).
+    rounds:
+        Adaptive mode only: the executed round records.
     """
 
     value: float
@@ -99,6 +123,9 @@ class CutExpectationResult:
     term_estimates: tuple[TermEstimate, ...]
     protocol_name: str
     exact_value: float | None = None
+    mode: str = "static"
+    converged: bool | None = None
+    rounds: tuple[RoundRecord, ...] = ()
 
     @property
     def error(self) -> float | None:
@@ -106,6 +133,33 @@ class CutExpectationResult:
         if self.exact_value is None:
             return None
         return abs(self.value - self.exact_value)
+
+    @classmethod
+    def from_adaptive(
+        cls,
+        adaptive: AdaptiveResult,
+        protocol_name: str,
+        exact_value: float | None,
+    ) -> "CutExpectationResult":
+        """Freeze an engine result into the shared result type.
+
+        The single mapping used by every adaptive entry point (general
+        executor, sampling-model fast path, multi-cut estimator).
+        """
+        estimate = adaptive.estimate
+        return cls(
+            value=estimate.value,
+            standard_error=estimate.standard_error,
+            total_shots=estimate.total_shots,
+            kappa=estimate.kappa,
+            shots_per_term=tuple(t.shots for t in estimate.term_estimates),
+            term_estimates=estimate.term_estimates,
+            protocol_name=protocol_name,
+            exact_value=exact_value,
+            mode="adaptive",
+            converged=adaptive.converged,
+            rounds=adaptive.rounds,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -175,6 +229,10 @@ def estimate_cut_expectation(
     method: str = "exact",
     compute_exact: bool = True,
     backend: SimulatorBackend | str | None = None,
+    mode: str = "static",
+    target_error: float | None = None,
+    rounds: int = DEFAULT_MAX_ROUNDS,
+    planner: str | None = None,
 ) -> CutExpectationResult:
     """Estimate ``⟨O⟩`` of ``circuit`` with the wire at ``location`` cut by ``protocol``.
 
@@ -190,11 +248,15 @@ def estimate_cut_expectation(
         Pauli observable over the circuit's logical qubits (a single letter
         refers to qubit 0).
     shots:
-        Total shot budget across all term circuits.
+        Total shot budget across all term circuits.  In adaptive mode this
+        is the hard ``max_shots`` ceiling; fewer shots are spent when the
+        target error is reached early.
     allocation:
         Shot-allocation strategy (``proportional``, ``multinomial``, ``uniform``).
     seed:
-        Seed or generator for all sampling.
+        Seed or generator for all sampling.  Static mode consumes it
+        exactly as before this parameterisation (bitwise-identical
+        results); adaptive mode derives one child stream per round.
     method:
         Shot-simulator method (``exact`` or ``trajectory``; serial backend only).
     compute_exact:
@@ -202,12 +264,22 @@ def estimate_cut_expectation(
     backend:
         Execution backend (name or instance); ``None`` selects the serial
         backend.  All backends yield identical results for the same seed.
+    mode:
+        ``"static"`` (one up-front allocation, the default) or
+        ``"adaptive"`` (round-structured execution with early stopping).
+    target_error:
+        Adaptive mode's stopping threshold on the pooled standard error
+        (required when ``mode="adaptive"``).
+    rounds:
+        Adaptive mode's round limit.
+    planner:
+        Adaptive mode's per-round :class:`~repro.qpd.allocation.ShotPlanner`
+        name (``"neyman"`` by default).
     """
-    rng = as_generator(seed)
+    if mode not in ESTIMATION_MODES:
+        raise CuttingError(f"unknown mode {mode!r}; expected one of {ESTIMATION_MODES}")
     pauli = _as_pauli(observable, circuit.num_qubits)
     decomposition = protocol.decomposition()
-    shots_per_term = allocate_shots(decomposition.probabilities, shots, strategy=allocation, seed=rng)
-
     term_circuits = build_cut_circuits(circuit, location, protocol)
     exec_backend = resolve_backend(backend, method=method)
     measured_circuits: list[QuantumCircuit] = []
@@ -216,7 +288,27 @@ def estimate_cut_expectation(
         measured, observable_clbits = _measured_term_circuit(term_circuit, pauli)
         measured_circuits.append(measured)
         selected_clbits.append(list(observable_clbits) + list(term_circuit.sign_clbits))
+    exact_value = (
+        exact_expectation(circuit, pauli.to_matrix()) if compute_exact else None
+    )
 
+    if mode == "adaptive":
+        if target_error is None:
+            raise CuttingError("adaptive mode requires target_error")
+        config = AdaptiveConfig(
+            target_error=target_error, max_shots=int(shots), max_rounds=rounds, planner=planner
+        )
+        adaptive = run_adaptive_rounds(
+            [term.coefficient for term in term_circuits],
+            _backend_round_executor(exec_backend, measured_circuits, selected_clbits),
+            config,
+            seed=seed,
+            labels=[term.term.label for term in term_circuits],
+        )
+        return CutExpectationResult.from_adaptive(adaptive, protocol.name, exact_value)
+
+    rng = as_generator(seed)
+    shots_per_term = allocate_shots(decomposition.probabilities, shots, strategy=allocation, seed=rng)
     counts_per_term = exec_backend.run_batch(
         measured_circuits, [int(s) for s in shots_per_term], seed=rng
     )
@@ -240,9 +332,6 @@ def estimate_cut_expectation(
         )
 
     estimate: QPDEstimate = combine_term_estimates(term_estimates)
-    exact_value = (
-        exact_expectation(circuit, pauli.to_matrix()) if compute_exact else None
-    )
     return CutExpectationResult(
         value=estimate.value,
         standard_error=estimate.standard_error,
@@ -253,6 +342,39 @@ def estimate_cut_expectation(
         protocol_name=protocol.name,
         exact_value=exact_value,
     )
+
+
+def _backend_round_executor(
+    exec_backend: SimulatorBackend,
+    measured_circuits: list[QuantumCircuit],
+    selected_clbits: list[list[int]],
+):
+    """Return the adaptive engine's round hook over a simulator backend.
+
+    Each round submits the full measured-circuit batch with the round's
+    per-term shot counts (zero-shot terms keep the per-circuit seed streams
+    aligned) and reduces the counts to per-term signed means.  Terms with
+    no measured bits are deterministic +1 and never pay simulator shots.
+    """
+
+    def execute_round(index, round_shots, seed_sequence):
+        """Run one round's batch and reduce counts to per-term signed means."""
+        submitted = [
+            int(count) if selected else 0
+            for count, selected in zip(round_shots, selected_clbits)
+        ]
+        counts_per_term = exec_backend.run_batch(measured_circuits, submitted, seed=seed_sequence)
+        means = []
+        for counts, selected, count in zip(counts_per_term, selected_clbits, round_shots):
+            if count == 0:
+                means.append(0.0)
+            elif selected:
+                means.append(counts.expectation_z(selected))
+            else:
+                means.append(1.0)
+        return means
+
+    return execute_round
 
 
 # ---------------------------------------------------------------------------
@@ -353,6 +475,54 @@ class CutSamplingModel:
             protocol_name=self.protocol_name,
             exact_value=self.exact_value,
         )
+
+    def estimate_adaptive(
+        self,
+        config: AdaptiveConfig,
+        seed: SeedLike = None,
+    ) -> CutExpectationResult:
+        """Produce one adaptive estimate through the streaming round engine.
+
+        The engine plans each round with the configured
+        :class:`~repro.qpd.allocation.ShotPlanner`, draws the round's
+        outcomes as binomial samples from the exact per-term distributions
+        (statistically identical to re-running the simulator), merges the
+        running statistics and stops as soon as the pooled standard error
+        reaches ``config.target_error`` — or ``config.max_shots`` /
+        ``config.max_rounds`` is exhausted.
+
+        Parameters
+        ----------
+        config:
+            The adaptive-engine configuration.
+        seed:
+            Master seed; round ``r`` draws from the ``r``-th spawned child
+            stream.
+
+        Returns
+        -------
+        CutExpectationResult
+            The recombined estimate with ``mode="adaptive"``, the round
+            records and the convergence flag attached.
+        """
+        p_plus = np.array([t.probability_plus for t in self.terms])
+
+        def execute_round(index, round_shots, seed_sequence):
+            """Draw one round's outcomes as binomials from the exact distributions."""
+            rng = np.random.default_rng(seed_sequence)
+            return [
+                2.0 * rng.binomial(int(count), probability) / count - 1.0 if count > 0 else 0.0
+                for probability, count in zip(p_plus, round_shots)
+            ]
+
+        adaptive: AdaptiveResult = run_adaptive_rounds(
+            [t.coefficient for t in self.terms],
+            execute_round,
+            config,
+            seed=seed,
+            labels=[t.label for t in self.terms],
+        )
+        return CutExpectationResult.from_adaptive(adaptive, self.protocol_name, self.exact_value)
 
     def estimate_sweep(
         self,

@@ -39,7 +39,14 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.expectation import _BASIS_CHANGE, exact_expectation
 from repro.cutting.base import GadgetWiring, WireCutProtocol
 from repro.cutting.cutter import CutLocation
-from repro.cutting.executor import CutExpectationResult
+from repro.cutting.executor import ESTIMATION_MODES, CutExpectationResult, _backend_round_executor
+from repro.qpd.adaptive import (
+    DEFAULT_MAX_ROUNDS,
+    AdaptiveConfig,
+    AdaptiveResult,
+    RoundRecord,
+    run_adaptive_rounds,
+)
 from repro.qpd.allocation import allocate_shots
 from repro.qpd.decomposition import QuasiProbDecomposition
 from repro.qpd.estimator import TermEstimate, combine_term_estimates
@@ -51,6 +58,7 @@ __all__ = [
     "build_multi_cut_circuits",
     "estimate_multi_cut_expectation",
     "execute_term_circuits",
+    "execute_term_circuits_adaptive",
     "independent_cuts_decomposition",
     "measured_multi_cut_circuit",
 ]
@@ -342,6 +350,79 @@ def execute_term_circuits(
     return term_estimates, [int(s) for s in shots_per_term]
 
 
+def execute_term_circuits_adaptive(
+    term_circuits: Sequence[MultiCutTermCircuit],
+    pauli: PauliString,
+    config: AdaptiveConfig,
+    seed: SeedLike = None,
+    backend: SimulatorBackend | str | None = None,
+    method: str = "exact",
+    completed_rounds: Sequence[RoundRecord] = (),
+    on_round=None,
+) -> tuple[list[TermEstimate], list[int], AdaptiveResult]:
+    """Round-structured execution of a product term set with early stopping.
+
+    The adaptive counterpart of :func:`execute_term_circuits`: the measured
+    term circuits are built once, then the streaming engine of
+    :mod:`repro.qpd.adaptive` plans each round's allocation from the terms'
+    running statistics, submits the whole batch to ``backend`` with the
+    round's shot counts (zero-shot entries keep the per-circuit seed
+    streams aligned), merges the per-round means, and stops when the
+    pooled standard error reaches ``config.target_error`` or the budget is
+    exhausted.
+
+    Parameters
+    ----------
+    term_circuits:
+        The product term set from :func:`build_multi_cut_circuits`.
+    pauli:
+        Normalised Pauli observable over the original logical qubits.
+    config:
+        The adaptive-engine configuration (target error, budget, rounds,
+        planner).
+    seed:
+        Master seed; round ``r`` always executes from the ``r``-th spawned
+        child sequence.
+    backend:
+        Execution backend (name or instance); ``None`` selects serial.
+    method:
+        Shot-simulator method (serial backend only).
+    completed_rounds:
+        Rounds persisted by an interrupted run; replayed into the running
+        statistics without re-execution (crash resume is bitwise
+        identical).
+    on_round:
+        Optional progress hook forwarded to the engine (called after every
+        live round with the record and a progress summary).
+
+    Returns
+    -------
+    tuple[list[TermEstimate], list[int], AdaptiveResult]
+        Per-term summaries with running statistics, total shots per term,
+        and the engine result (round records + convergence).
+    """
+    exec_backend = resolve_backend(backend, method=method)
+    measured_circuits: list[QuantumCircuit] = []
+    selected_clbits: list[list[int]] = []
+    for term_circuit in term_circuits:
+        measured, selected = measured_multi_cut_circuit(term_circuit, pauli)
+        measured_circuits.append(measured)
+        selected_clbits.append(selected)
+
+    adaptive = run_adaptive_rounds(
+        [term.coefficient for term in term_circuits],
+        _backend_round_executor(exec_backend, measured_circuits, selected_clbits),
+        config,
+        seed=seed,
+        labels=[term.label for term in term_circuits],
+        completed_rounds=completed_rounds,
+        on_round=on_round,
+    )
+    term_estimates = list(adaptive.estimate.term_estimates)
+    shots_per_term = [int(estimate.shots) for estimate in term_estimates]
+    return term_estimates, shots_per_term, adaptive
+
+
 def estimate_multi_cut_expectation(
     circuit: QuantumCircuit,
     locations: list[CutLocation],
@@ -353,6 +434,10 @@ def estimate_multi_cut_expectation(
     method: str = "exact",
     compute_exact: bool = True,
     backend: SimulatorBackend | str | None = None,
+    mode: str = "static",
+    target_error: float | None = None,
+    rounds: int = DEFAULT_MAX_ROUNDS,
+    planner: str | None = None,
 ) -> CutExpectationResult:
     """Estimate a Pauli observable of a circuit with several wires cut.
 
@@ -372,12 +457,16 @@ def estimate_multi_cut_expectation(
     observable:
         Pauli observable over the circuit's logical qubits.
     shots:
-        Total shot budget across all product-term circuits.
+        Total shot budget across all product-term circuits.  In adaptive
+        mode this is the hard ceiling; fewer shots are spent when the
+        target error is reached early.
     allocation:
         Shot-allocation strategy (``proportional``, ``multinomial``,
         ``uniform``).
     seed:
-        Seed or generator for all sampling.
+        Seed or generator for all sampling.  Static mode consumes it
+        exactly as before (bitwise-identical results); adaptive mode
+        derives one child stream per round.
     method:
         Shot-simulator method (``exact`` or ``trajectory``; serial backend
         only).
@@ -386,18 +475,42 @@ def estimate_multi_cut_expectation(
     backend:
         Execution backend (name or instance); ``None`` selects the serial
         backend.  All backends yield identical results for the same seed.
+    mode:
+        ``"static"`` (default) or ``"adaptive"`` (round-structured
+        execution with early stopping).
+    target_error:
+        Adaptive mode's stopping threshold on the pooled standard error
+        (required when ``mode="adaptive"``).
+    rounds:
+        Adaptive mode's round limit.
+    planner:
+        Adaptive mode's per-round planner name (``"neyman"`` by default).
 
     Returns
     -------
     CutExpectationResult
         The recombined estimate with per-term summaries.
     """
+    if mode not in ESTIMATION_MODES:
+        raise CuttingError(f"unknown mode {mode!r}; expected one of {ESTIMATION_MODES}")
     pauli = observable if isinstance(observable, PauliString) else PauliString(observable)
     if pauli.num_qubits != circuit.num_qubits:
         raise CuttingError(
             f"observable acts on {pauli.num_qubits} qubits, circuit has {circuit.num_qubits}"
         )
     term_circuits = build_multi_cut_circuits(circuit, locations, protocols)
+    exact_value = exact_expectation(circuit, pauli.to_matrix()) if compute_exact else None
+    protocol_name = "+".join(p.name for p in protocols)
+    if mode == "adaptive":
+        if target_error is None:
+            raise CuttingError("adaptive mode requires target_error")
+        config = AdaptiveConfig(
+            target_error=target_error, max_shots=int(shots), max_rounds=rounds, planner=planner
+        )
+        _, _, adaptive = execute_term_circuits_adaptive(
+            term_circuits, pauli, config, seed=seed, backend=backend, method=method
+        )
+        return CutExpectationResult.from_adaptive(adaptive, protocol_name, exact_value)
     term_estimates, shots_per_term = execute_term_circuits(
         term_circuits,
         pauli,
@@ -408,7 +521,6 @@ def estimate_multi_cut_expectation(
         method=method,
     )
     estimate = combine_term_estimates(term_estimates)
-    exact_value = exact_expectation(circuit, pauli.to_matrix()) if compute_exact else None
     return CutExpectationResult(
         value=estimate.value,
         standard_error=estimate.standard_error,
@@ -416,7 +528,7 @@ def estimate_multi_cut_expectation(
         kappa=estimate.kappa,
         shots_per_term=tuple(shots_per_term),
         term_estimates=estimate.term_estimates,
-        protocol_name="+".join(p.name for p in protocols),
+        protocol_name=protocol_name,
         exact_value=exact_value,
     )
 

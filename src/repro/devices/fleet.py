@@ -199,6 +199,32 @@ class DeviceFleet:
         shares = apportion_shots(self._split_weights(eligible), int(shots))
         return {self.devices[i].name: int(share) for i, share in zip(eligible, shares)}
 
+    def plan_round_shares(
+        self, circuit: QuantumCircuit, round_budgets: Sequence[int]
+    ) -> list[dict[str, int]]:
+        """Return the per-device shot shares of each adaptive round.
+
+        Round-structured execution submits every round as one ordinary
+        batch, so each round's budget is apportioned across the fleet with
+        the same largest-remainder split policy as a static run — this
+        helper makes that schedule inspectable (``repro devices list`` and
+        the adaptive tutorial use it).
+
+        Parameters
+        ----------
+        circuit:
+            The circuit whose width determines device eligibility.
+        round_budgets:
+            The per-round shot budgets (e.g. ``total_shots`` of each
+            :class:`~repro.qpd.adaptive.RoundRecord`).
+
+        Returns
+        -------
+        list[dict[str, int]]
+            One per-device share mapping per round, exact per round.
+        """
+        return [self.plan_shares(circuit, int(budget)) for budget in round_budgets]
+
     # -- SimulatorBackend protocol -----------------------------------------------------
 
     def run_batch(

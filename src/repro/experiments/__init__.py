@@ -7,6 +7,7 @@ from repro.experiments.ablations import (
     noisy_resource_ablation,
     protocol_error_comparison,
 )
+from repro.experiments.adaptive_sweep import AdaptiveSweepConfig, adaptive_vs_static_sweep
 from repro.experiments.figure6 import Figure6Config, Figure6Result, run_figure6
 from repro.experiments.noisy_fleet import (
     combined_depolarizing_strength,
@@ -42,6 +43,8 @@ from repro.experiments.workloads import (
 )
 
 __all__ = [
+    "AdaptiveSweepConfig",
+    "adaptive_vs_static_sweep",
     "Figure6Config",
     "Figure6Result",
     "run_figure6",

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ExperimentError
-from repro.circuits.backends import BACKEND_NAMES
+from repro.circuits.backends import BACKEND_NAMES, resolve_backend
 from repro.cutting.cutter import CutLocation
 from repro.cutting.executor import build_sampling_models
 from repro.cutting.nme_cut import NMEWireCut
@@ -79,6 +79,23 @@ def shots_to_target_error(
 ) -> SweepTable:
     """Measure the shot budget needed per entanglement level to reach the target error.
 
+    One execution-backend instance is resolved for the whole sweep, so the
+    exact per-term outcome distributions built for one entanglement level
+    stay in the shared :class:`~repro.circuits.backends.DistributionCache`
+    and every repeated term circuit — across sweep points and across
+    repeated invocations in the same process — is served from the cache
+    instead of being re-simulated.  The observed ``cache_hits`` /
+    ``cache_misses`` counters are exposed in the result's metadata.  Per
+    model the whole candidate-budget grid is evaluated with one batched
+    binomial draw (:meth:`~repro.cutting.executor.CutSamplingModel.estimate_sweep`).
+
+    .. note::
+        The batched draws consume the shared RNG stream in a different
+        order than the pre-cache per-budget loop, so seeded results differ
+        from tables recorded before this change (the metadata records
+        ``method = "batched_estimate_sweep"`` to mark the new stream
+        layout); the selection semantics are unchanged.
+
     Returns a table with, per entanglement level: κ, the measured minimal
     budget (or -1 when no candidate sufficed), the κ²-law prediction relative
     to the teleportation baseline, and the measured error at the selected
@@ -91,6 +108,10 @@ def shots_to_target_error(
 
     circuits = [state_preparation_circuit(unitary) for unitary in workload.unitaries]
     locations = [CutLocation(0, len(circuit)) for circuit in circuits]
+    backend = resolve_backend(config.backend)
+    cache = getattr(backend, "cache", None)
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
     models_per_overlap: dict[float, list] = {}
     kappas: dict[float, float] = {}
     for overlap in config.overlaps:
@@ -99,7 +120,7 @@ def shots_to_target_error(
         )
         kappas[overlap] = protocol.kappa
         models_per_overlap[overlap] = build_sampling_models(
-            circuits, locations, protocol, "Z", backend=config.backend
+            circuits, locations, protocol, "Z", backend=backend
         )
 
     baseline_kappa = min(kappas.values())
@@ -110,18 +131,20 @@ def shots_to_target_error(
         "measured_error": [],
         "relative_shots_predicted": [],
     }
+    budgets = list(config.candidate_budgets)
     for overlap in config.overlaps:
         models = models_per_overlap[overlap]
+        errors = np.zeros((len(models), len(budgets)))
+        for model_index, model in enumerate(models):
+            values, _ = model.estimate_sweep(budgets, seed=rng)
+            errors[model_index] = np.abs(values - model.exact_value)
+        mean_errors = errors.mean(axis=0)
         selected_budget = -1
         selected_error = float("nan")
-        for budget in config.candidate_budgets:
-            errors = [
-                abs(model.estimate(budget, seed=rng).value - model.exact_value) for model in models
-            ]
-            mean_error = float(np.mean(errors))
+        for budget, mean_error in zip(budgets, mean_errors):
             if mean_error <= config.target_error:
-                selected_budget = budget
-                selected_error = mean_error
+                selected_budget = int(budget)
+                selected_error = float(mean_error)
                 break
         columns["overlap_f"].append(float(overlap))
         columns["kappa"].append(kappas[overlap])
@@ -136,5 +159,8 @@ def shots_to_target_error(
             "num_states": config.num_states,
             "seed": config.seed,
             "backend": config.backend,
+            "method": "batched_estimate_sweep",
+            "cache_hits": None if cache is None else int(cache.hits - hits_before),
+            "cache_misses": None if cache is None else int(cache.misses - misses_before),
         },
     )

@@ -51,16 +51,19 @@ from repro.cutting.cut_finding import (
     plan_from_positions,
 )
 from repro.cutting.cutter import CutLocation
-from repro.cutting.executor import _as_pauli, _probability_plus
+from repro.cutting.executor import ESTIMATION_MODES, _as_pauli, _probability_plus
 from repro.cutting.multi_wire import (
     MultiCutTermCircuit,
     build_multi_cut_circuits,
     execute_term_circuits,
+    execute_term_circuits_adaptive,
     measured_multi_cut_circuit,
 )
 from repro.cutting.nme_cut import NMEWireCut
 from repro.cutting.standard_cut import HaradaWireCut
 from repro.pipeline.stages import Decomposition, Execution, PipelineResult, PlanResult
+from repro.qpd.adaptive import DEFAULT_MAX_ROUNDS, AdaptiveConfig, RoundRecord
+from repro.qpd.allocation import resolve_planner
 from repro.qpd.estimator import combine_term_estimates
 from repro.quantum.paulis import PauliString
 from repro.utils.rng import SeedLike
@@ -273,16 +276,29 @@ class CutPipeline:
         observable: str | PauliString,
         shots: int,
         seed: SeedLike = None,
+        mode: str = "static",
+        target_error: float | None = None,
+        rounds: int = DEFAULT_MAX_ROUNDS,
+        planner: str | None = None,
+        completed_rounds: Sequence[RoundRecord] = (),
+        on_round=None,
     ) -> Execution:
         """Spend the shot budget on the term set through the execution backend.
 
-        The budget is split across the product terms by the configured
-        allocation strategy, every term circuit is measured in the
-        observable's basis, and the whole batch is submitted to the backend
-        in one call — so the vectorized backend simulates structurally
-        identical terms as stacked NumPy computations and every backend
-        draws circuit ``i`` from seed stream ``i`` (bitwise identical
-        results across backends).
+        In the default **static** mode the budget is split across the
+        product terms by the configured allocation strategy, every term
+        circuit is measured in the observable's basis, and the whole batch
+        is submitted to the backend in one call — so the vectorized backend
+        simulates structurally identical terms as stacked NumPy
+        computations and every backend draws circuit ``i`` from seed stream
+        ``i`` (bitwise identical results across backends).
+
+        In **adaptive** mode execution is round-structured: after each
+        round the per-term running statistics feed a variance-aware planner
+        that allocates the next round, stopping as soon as the pooled
+        standard error reaches ``target_error`` or ``shots`` is exhausted.
+        Each round runs through the same backend batch call (one spawned
+        seed stream per round), so cross-backend identity holds per round.
 
         Parameters
         ----------
@@ -292,16 +308,70 @@ class CutPipeline:
             Pauli observable over the original circuit's logical qubits (a
             single letter refers to qubit 0).
         shots:
-            Total shot budget across all term circuits.
+            Total shot budget across all term circuits (the hard ceiling in
+            adaptive mode).
         seed:
             Seed or generator for allocation and sampling.
+        mode:
+            ``"static"`` (default) or ``"adaptive"``.
+        target_error:
+            Adaptive stopping threshold on the pooled standard error
+            (required in adaptive mode).
+        rounds:
+            Adaptive round limit.
+        planner:
+            Adaptive per-round planner name (``"neyman"`` by default).
+        completed_rounds:
+            Round records persisted by an interrupted adaptive run; they
+            are replayed without re-execution so the resumed execution is
+            bitwise identical to an uninterrupted one.
+        on_round:
+            Optional progress hook called after every live adaptive round
+            with the :class:`~repro.qpd.adaptive.RoundRecord` and a
+            progress summary dict.
 
         Returns
         -------
         Execution
-            Raw per-term empirical summaries.
+            Raw per-term empirical summaries (plus round records in
+            adaptive mode).
         """
+        if mode not in ESTIMATION_MODES:
+            raise CuttingError(f"unknown mode {mode!r}; expected one of {ESTIMATION_MODES}")
         pauli = _as_pauli(observable, decomposition.circuit.num_qubits)
+        if mode == "adaptive":
+            if target_error is None:
+                raise CuttingError("adaptive mode requires target_error")
+            config = AdaptiveConfig(
+                target_error=target_error,
+                max_shots=int(shots),
+                max_rounds=rounds,
+                planner=planner,
+            )
+            term_estimates, shots_per_term, adaptive = execute_term_circuits_adaptive(
+                decomposition.term_circuits,
+                pauli,
+                config,
+                seed=seed,
+                backend=self.backend,
+                completed_rounds=completed_rounds,
+                on_round=on_round,
+            )
+            return Execution(
+                decomposition=decomposition,
+                observable=pauli,
+                term_estimates=tuple(term_estimates),
+                shots_per_term=tuple(shots_per_term),
+                backend_name=self.backend.name,
+                # Adaptive rounds are planned from the running statistics,
+                # not the static allocation strategy — record what actually
+                # split the shots.
+                allocation=resolve_planner(planner).name,
+                mode="adaptive",
+                target_error=float(target_error),
+                converged=adaptive.converged,
+                rounds=adaptive.rounds,
+            )
         term_estimates, shots_per_term = execute_term_circuits(
             decomposition.term_circuits,
             pauli,
@@ -367,6 +437,10 @@ class CutPipeline:
         positions: Sequence[int] | None = None,
         locations: Sequence[CutLocation] | None = None,
         compute_exact: bool = True,
+        mode: str = "static",
+        target_error: float | None = None,
+        rounds: int = DEFAULT_MAX_ROUNDS,
+        planner: str | None = None,
     ) -> PipelineResult:
         """Run all four stages and return the final estimate.
 
@@ -377,7 +451,7 @@ class CutPipeline:
         observable:
             Pauli observable over the circuit's logical qubits.
         shots:
-            Total shot budget.
+            Total shot budget (the hard ceiling in adaptive mode).
         seed:
             Seed or generator for all sampling.
         plan:
@@ -388,6 +462,15 @@ class CutPipeline:
             Optional explicit wire-cut locations (skips the search).
         compute_exact:
             Also compute the exact uncut value for error reporting.
+        mode:
+            Execution mode: ``"static"`` (default) or ``"adaptive"``
+            (round-structured with early stopping).
+        target_error:
+            Adaptive stopping threshold on the pooled standard error.
+        rounds:
+            Adaptive round limit.
+        planner:
+            Adaptive per-round planner name.
 
         Returns
         -------
@@ -396,7 +479,16 @@ class CutPipeline:
         """
         plan_result = self.plan(circuit, plan=plan, positions=positions, locations=locations)
         decomposition = self.decompose(plan_result)
-        execution = self.execute(decomposition, observable, shots, seed=seed)
+        execution = self.execute(
+            decomposition,
+            observable,
+            shots,
+            seed=seed,
+            mode=mode,
+            target_error=target_error,
+            rounds=rounds,
+            planner=planner,
+        )
         return self.reconstruct(execution, compute_exact=compute_exact)
 
     def exact_reconstruction(

@@ -32,6 +32,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.cutting.base import WireCutProtocol
 from repro.cutting.cut_finding import MultiCutPlan
 from repro.cutting.multi_wire import MultiCutTermCircuit
+from repro.qpd.adaptive import RoundRecord
 from repro.qpd.estimator import TermEstimate
 from repro.quantum.paulis import PauliString
 from repro.utils.serialization import payload_fingerprint
@@ -162,7 +163,19 @@ class Execution:
     backend_name:
         Name of the execution backend that ran the batch.
     allocation:
-        The shot-allocation strategy used.
+        What split the shots: the static allocation strategy, or the
+        round planner's name for adaptive executions.
+    mode:
+        ``"static"`` (one up-front allocation) or ``"adaptive"``
+        (round-structured execution with early stopping).
+    target_error:
+        Adaptive mode's stopping threshold (``None`` in static mode).
+    converged:
+        Adaptive mode: whether the pooled standard error reached the
+        target before the budget ran out (``None`` in static mode).
+    rounds:
+        Adaptive mode: the executed round records, in order (empty in
+        static mode).
     """
 
     decomposition: Decomposition
@@ -171,6 +184,10 @@ class Execution:
     shots_per_term: tuple[int, ...]
     backend_name: str
     allocation: str
+    mode: str = "static"
+    target_error: float | None = None
+    converged: bool | None = None
+    rounds: tuple[RoundRecord, ...] = ()
 
     @property
     def total_shots(self) -> int:
@@ -201,8 +218,13 @@ class Execution:
         are all that reconstruction needs, so an interrupted run can resume
         from this payload alone; floats round-trip JSON exactly, making the
         resumed estimate bitwise identical to the uninterrupted one.
+
+        Adaptive executions additionally record the mode, the target error,
+        convergence and every round's (allocation, means) record; static
+        payloads are byte-for-byte identical to the pre-adaptive layout, so
+        existing stored runs keep their fingerprints.
         """
-        return {
+        payload = {
             "observable": self.observable.labels,
             "backend_name": self.backend_name,
             "allocation": self.allocation,
@@ -216,10 +238,23 @@ class Execution:
                     if estimate.variance is None
                     else float(estimate.variance),
                     "label": estimate.label,
+                    **(
+                        {}
+                        if estimate.m2 is None
+                        else {"m2": float(estimate.m2)}
+                    ),
                 }
                 for estimate in self.term_estimates
             ],
         }
+        if self.mode != "static":
+            payload["mode"] = self.mode
+            payload["target_error"] = (
+                None if self.target_error is None else float(self.target_error)
+            )
+            payload["converged"] = self.converged
+            payload["rounds"] = [record.to_payload() for record in self.rounds]
+        return payload
 
     def fingerprint(self) -> str:
         """Return a stable content hash of the execution-stage artifact."""
@@ -243,6 +278,7 @@ class Execution:
         Execution
             An artifact equivalent to the one originally persisted.
         """
+        target_error = payload.get("target_error")
         return cls(
             decomposition=decomposition,
             observable=PauliString(payload["observable"]),
@@ -253,12 +289,19 @@ class Execution:
                     shots=int(entry["shots"]),
                     variance=None if entry.get("variance") is None else float(entry["variance"]),
                     label=str(entry.get("label", "")),
+                    m2=None if entry.get("m2") is None else float(entry["m2"]),
                 )
                 for entry in payload["term_estimates"]
             ),
             shots_per_term=tuple(int(count) for count in payload["shots_per_term"]),
             backend_name=str(payload["backend_name"]),
             allocation=str(payload["allocation"]),
+            mode=str(payload.get("mode", "static")),
+            target_error=None if target_error is None else float(target_error),
+            converged=payload.get("converged"),
+            rounds=tuple(
+                RoundRecord.from_payload(entry) for entry in payload.get("rounds", ())
+            ),
         )
 
 
@@ -306,14 +349,24 @@ class PipelineResult:
         return self.execution.decomposition.plan_result.plan
 
     def to_payload(self) -> dict:
-        """Return the JSON-serializable summary of the final estimate."""
-        return {
+        """Return the JSON-serializable summary of the final estimate.
+
+        Results of adaptive executions additionally record the mode, the
+        number of executed rounds and convergence; static payloads keep the
+        pre-adaptive layout (and fingerprints) unchanged.
+        """
+        payload = {
             "value": float(self.value),
             "standard_error": float(self.standard_error),
             "total_shots": int(self.total_shots),
             "kappa": float(self.kappa),
             "exact_value": None if self.exact_value is None else float(self.exact_value),
         }
+        if self.execution is not None and self.execution.mode != "static":
+            payload["mode"] = self.execution.mode
+            payload["rounds_completed"] = len(self.execution.rounds)
+            payload["converged"] = self.execution.converged
+        return payload
 
     def fingerprint(self) -> str:
         """Return a stable content hash of the result artifact."""

@@ -1,6 +1,22 @@
 """Quasiprobability-decomposition framework (Sections II-B/II-C of the paper)."""
 
-from repro.qpd.allocation import ALLOCATION_STRATEGIES, allocate_shots
+from repro.qpd.adaptive import (
+    DEFAULT_MAX_ROUNDS,
+    AdaptiveConfig,
+    AdaptiveResult,
+    RoundRecord,
+    TermStatistics,
+    run_adaptive_rounds,
+)
+from repro.qpd.allocation import (
+    ALLOCATION_STRATEGIES,
+    PLANNER_NAMES,
+    NeymanPlanner,
+    ProportionalPlanner,
+    ShotPlanner,
+    allocate_shots,
+    resolve_planner,
+)
 from repro.qpd.decomposition import QuasiProbDecomposition
 from repro.qpd.estimator import (
     QPDEstimate,
@@ -21,6 +37,17 @@ __all__ = [
     "QuasiProbDecomposition",
     "allocate_shots",
     "ALLOCATION_STRATEGIES",
+    "ShotPlanner",
+    "ProportionalPlanner",
+    "NeymanPlanner",
+    "resolve_planner",
+    "PLANNER_NAMES",
+    "AdaptiveConfig",
+    "DEFAULT_MAX_ROUNDS",
+    "AdaptiveResult",
+    "RoundRecord",
+    "TermStatistics",
+    "run_adaptive_rounds",
     "TermEstimate",
     "QPDEstimate",
     "combine_term_estimates",

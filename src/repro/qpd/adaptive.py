@@ -1,0 +1,466 @@
+"""Streaming adaptive-shot estimation: rounds, running statistics, early stopping.
+
+The static QPD estimator fixes the full shot budget up front (proportional
+to coefficient magnitudes) and pays worst case even when most terms converge
+early.  This module is the round-structured alternative: execution proceeds
+in rounds, after each round the per-term running statistics (mean / Welford
+``M2`` / shots, mergeable across rounds) feed a
+:class:`~repro.qpd.allocation.ShotPlanner` that allocates the next round's
+shots, and the engine stops as soon as the pooled standard error of the
+recombined estimate reaches ``target_error`` — or the shot budget or round
+limit is exhausted.
+
+The engine is execution-agnostic: callers supply an ``execute_round``
+callable that turns one round's per-term shot counts into per-term means
+(the cut executor submits measured term circuits through a
+:class:`~repro.circuits.backends.SimulatorBackend`; the fast sweep path
+draws binomials from exact term distributions).  Round seeds are spawned
+up front from the master seed, so a crash-resumed run that replays the
+completed rounds from stored :class:`RoundRecord` payloads continues with
+bit-for-bit identical allocations, draws and estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DecompositionError
+from repro.qpd.allocation import ShotPlanner, resolve_planner
+from repro.qpd.estimator import QPDEstimate, TermEstimate, combine_term_estimates
+from repro.utils.rng import SeedLike, spawn_seed_sequences
+from repro.utils.validation import validate_positive_count, validate_positive_float
+
+__all__ = [
+    "AdaptiveConfig",
+    "DEFAULT_MAX_ROUNDS",
+    "TermStatistics",
+    "RoundRecord",
+    "AdaptiveResult",
+    "run_adaptive_rounds",
+]
+
+#: Default round limit shared by every adaptive entry point (engine,
+#: executors, pipeline, job spec and CLI).
+DEFAULT_MAX_ROUNDS = 12
+
+#: Type of the per-round execution hook: ``(round_index, shots_per_term,
+#: seed_sequence) -> per-term means`` (entries with zero shots are ignored).
+RoundExecutor = Callable[[int, Sequence[int], np.random.SeedSequence], Sequence[float]]
+
+
+@dataclass
+class TermStatistics:
+    """Mergeable running statistics of one QPD term across rounds.
+
+    The triple ``(shots, mean, m2)`` is Welford/Chan state: two batches are
+    merged exactly (`Chan et al.`'s parallel update), so statistics built
+    round-by-round equal the statistics of the pooled sample — which is
+    what makes crash-resume from stored per-round summaries bitwise
+    identical to an uninterrupted run.
+
+    Attributes
+    ----------
+    shots:
+        Shots observed so far.
+    mean:
+        Running mean of the ±1-valued observable.
+    m2:
+        Running sum of squared deviations from the mean.
+    """
+
+    shots: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased per-shot sample variance (0 until two shots were seen)."""
+        if self.shots < 2:
+            return 0.0
+        return max(self.m2 / (self.shots - 1), 0.0)
+
+    def merge_round(self, mean: float, shots: int) -> None:
+        """Merge one round's batch summary into the running state.
+
+        The observable is ±1-valued, so a batch of ``shots`` outcomes with
+        empirical mean ``m`` has within-batch sum of squared deviations
+        ``shots · (1 − m²)`` exactly — the batch mean alone is a lossless
+        summary, which is why round artifacts only need (mean, shots).
+        """
+        shots = int(shots)
+        if shots <= 0:
+            return
+        mean = float(mean)
+        batch_m2 = shots * max(1.0 - mean * mean, 0.0)
+        if self.shots == 0:
+            self.shots = shots
+            self.mean = mean
+            self.m2 = batch_m2
+            return
+        total = self.shots + shots
+        delta = mean - self.mean
+        self.mean = self.mean + delta * (shots / total)
+        self.m2 = self.m2 + batch_m2 + delta * delta * self.shots * shots / total
+        self.shots = total
+
+    def to_term_estimate(self, coefficient: float, label: str = "") -> TermEstimate:
+        """Freeze the running state into a :class:`~repro.qpd.estimator.TermEstimate`."""
+        return TermEstimate(
+            coefficient=float(coefficient),
+            mean=float(self.mean),
+            shots=int(self.shots),
+            label=label,
+            m2=float(self.m2),
+        )
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Frozen summary of one executed round.
+
+    Attributes
+    ----------
+    index:
+        Zero-based round number.
+    shots_per_term:
+        The planner's allocation for the round (sums to the round budget).
+    means:
+        Per-term empirical means of the round's outcomes (0.0 where the
+        term received no shots).
+    """
+
+    index: int
+    shots_per_term: tuple[int, ...]
+    means: tuple[float, ...]
+
+    @property
+    def total_shots(self) -> int:
+        """The round's total budget."""
+        return int(sum(self.shots_per_term))
+
+    def to_payload(self) -> dict:
+        """Return the JSON-serializable form (floats round-trip exactly)."""
+        return {
+            "index": int(self.index),
+            "shots_per_term": [int(count) for count in self.shots_per_term],
+            "means": [float(mean) for mean in self.means],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RoundRecord":
+        """Rebuild a round record from its stored payload."""
+        return cls(
+            index=int(payload["index"]),
+            shots_per_term=tuple(int(count) for count in payload["shots_per_term"]),
+            means=tuple(float(mean) for mean in payload["means"]),
+        )
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Configuration of the streaming adaptive engine.
+
+    Attributes
+    ----------
+    target_error:
+        Stop as soon as the pooled standard error of the recombined
+        estimate drops to this value (strictly positive).
+    max_shots:
+        Hard total-shot budget across all rounds (never exceeded).
+    max_rounds:
+        Upper bound on the number of execution rounds.
+    initial_shots:
+        First-round budget; defaults to a small coefficient-proportional
+        probe (``min(max_shots, max(64, 8·num_terms))``).
+    growth:
+        Cap on round-budget growth: round ``r+1`` spends at most
+        ``growth − 1`` times everything spent so far, so one noisy early
+        variance estimate cannot trigger a runaway round.
+    planner:
+        Per-round :class:`~repro.qpd.allocation.ShotPlanner` (name or
+        instance); ``None``/``"neyman"`` selects variance-aware Neyman
+        allocation, ``"proportional"`` the static rule per round.
+    """
+
+    target_error: float
+    max_shots: int
+    max_rounds: int = DEFAULT_MAX_ROUNDS
+    initial_shots: int | None = None
+    growth: float = 2.0
+    planner: ShotPlanner | str | None = None
+
+    def validate(self) -> None:
+        """Raise on invalid settings (:class:`~repro.exceptions.CuttingError` family)."""
+        validate_positive_float(self.target_error, name="target_error")
+        validate_positive_count(self.max_shots, name="max_shots")
+        validate_positive_count(self.max_rounds, name="max_rounds")
+        if self.initial_shots is not None:
+            validate_positive_count(self.initial_shots, name="initial_shots")
+        if not self.growth > 1.0:
+            raise DecompositionError(f"growth must exceed 1.0, got {self.growth}")
+
+    def first_round_budget(self, num_terms: int) -> int:
+        """Return the first round's shot budget for ``num_terms`` terms."""
+        if self.initial_shots is not None:
+            return min(int(self.initial_shots), int(self.max_shots))
+        return min(int(self.max_shots), max(64, 8 * int(num_terms)))
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Outcome of one adaptive estimation.
+
+    Attributes
+    ----------
+    estimate:
+        The recombined :class:`~repro.qpd.estimator.QPDEstimate` built from
+        the final running statistics.
+    rounds:
+        Every executed round, in order (including replayed ones on resume).
+    converged:
+        True when the pooled standard error reached ``target_error``.
+    target_error:
+        The configured stopping threshold, echoed for reporting.
+    """
+
+    estimate: QPDEstimate
+    rounds: tuple[RoundRecord, ...]
+    converged: bool
+    target_error: float
+
+    @property
+    def total_shots(self) -> int:
+        """Total shots spent across all rounds."""
+        return self.estimate.total_shots
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of executed rounds."""
+        return len(self.rounds)
+
+
+def _pooled_standard_error(
+    coefficients: np.ndarray, statistics: Sequence[TermStatistics]
+) -> float:
+    """Return the propagated standard error of the current recombination.
+
+    Terms with non-zero coefficient and no shots yet make the error
+    unbounded (the estimate is still biased), signalled as ``inf``.  A
+    single ±1 outcome carries no variance information (``1 − mean²`` is
+    identically zero), so one-shot terms conservatively use the unit
+    variance bound instead — otherwise a budget of one shot per term would
+    report a zero standard error and stop immediately.
+    """
+    variance = 0.0
+    for coefficient, stats in zip(coefficients, statistics):
+        if coefficient == 0.0:
+            continue
+        if stats.shots == 0:
+            return float("inf")
+        if stats.shots == 1:
+            per_shot = 1.0
+        else:
+            per_shot = stats.sample_variance
+        variance += coefficient**2 * per_shot / stats.shots
+    return float(np.sqrt(variance))
+
+
+def _required_total_shots(
+    magnitudes: np.ndarray,
+    sigmas: np.ndarray,
+    target_error: float,
+) -> int:
+    """Return the Neyman-optimal total budget predicted to reach the target.
+
+    Under Neyman allocation the achievable standard error with ``N`` total
+    shots is ``(Σ |c_i| σ_i) / √N``, so the predicted requirement is
+    ``N = (Σ |c_i| σ_i / ε)²``.
+    """
+    weighted = float(np.sum(magnitudes * sigmas))
+    if weighted <= 0.0:
+        return 1
+    return max(1, int(math.ceil((weighted / target_error) ** 2)))
+
+
+def run_adaptive_rounds(
+    coefficients: Sequence[float] | np.ndarray,
+    execute_round: RoundExecutor,
+    config: AdaptiveConfig,
+    seed: SeedLike = None,
+    labels: Sequence[str] | None = None,
+    completed_rounds: Sequence[RoundRecord] = (),
+    on_round: Callable[[RoundRecord, dict], None] | None = None,
+) -> AdaptiveResult:
+    """Drive the round loop: plan, execute, merge, check, repeat.
+
+    Parameters
+    ----------
+    coefficients:
+        QPD coefficients ``c_i`` of the terms (order fixed for the run).
+    execute_round:
+        Callable ``(round_index, shots_per_term, seed_sequence) → means``
+        producing the round's per-term empirical means.  Entries whose
+        allocation is zero are ignored (conventionally 0.0).
+    config:
+        The engine configuration (validated here).
+    seed:
+        Master seed; round ``r`` always executes from the ``r``-th spawned
+        child sequence, making replay and resume deterministic.
+    labels:
+        Optional per-term labels carried into the final estimates.
+    completed_rounds:
+        Rounds already executed by an interrupted run; they are merged into
+        the running statistics without re-execution, and live execution
+        continues at round ``len(completed_rounds)`` — bitwise identical to
+        an uninterrupted run.
+    on_round:
+        Optional progress hook called after every *live* round with the
+        :class:`RoundRecord` and a progress summary dict
+        (``rounds_completed`` / ``shots_spent`` / ``current_stderr`` /
+        ``target_error`` / ``converged``).
+
+    Returns
+    -------
+    AdaptiveResult
+        The recombined estimate, the full round history and convergence.
+    """
+    config.validate()
+    coefficients = np.asarray(coefficients, dtype=float)
+    if coefficients.ndim != 1 or coefficients.size == 0:
+        raise DecompositionError("coefficients must be a non-empty 1-D array")
+    if labels is None:
+        labels = [f"term_{index}" for index in range(coefficients.size)]
+    if len(labels) != coefficients.size:
+        raise DecompositionError(
+            f"got {coefficients.size} coefficients but {len(labels)} labels"
+        )
+    planner = resolve_planner(config.planner)
+    magnitudes = np.abs(coefficients)
+    round_seeds = spawn_seed_sequences(seed, int(config.max_rounds))
+
+    statistics = [TermStatistics() for _ in range(coefficients.size)]
+    rounds: list[RoundRecord] = []
+    spent = 0
+
+    def merge(record: RoundRecord) -> None:
+        """Fold one round's summaries into the running statistics."""
+        nonlocal spent
+        for stats, mean, count in zip(statistics, record.means, record.shots_per_term):
+            stats.merge_round(mean, count)
+        spent += record.total_shots
+
+    for record in completed_rounds:
+        if record.index != len(rounds):
+            raise DecompositionError(
+                f"completed rounds are out of order: expected index {len(rounds)}, "
+                f"got {record.index}"
+            )
+        if len(record.shots_per_term) != coefficients.size or len(record.means) != coefficients.size:
+            raise DecompositionError(
+                f"round {record.index} has {len(record.shots_per_term)} allocations and "
+                f"{len(record.means)} means, expected {coefficients.size} of each"
+            )
+        merge(record)
+        rounds.append(record)
+    if len(rounds) > config.max_rounds:
+        raise DecompositionError(
+            f"{len(rounds)} completed rounds exceed max_rounds={config.max_rounds}"
+        )
+    if spent > config.max_shots:
+        raise DecompositionError(
+            f"completed rounds already spent {spent} shots, exceeding "
+            f"max_shots={config.max_shots}"
+        )
+
+    stderr = _pooled_standard_error(coefficients, statistics)
+    converged = bool(rounds) and stderr <= config.target_error
+
+    while not converged and len(rounds) < config.max_rounds:
+        remaining = int(config.max_shots) - spent
+        if remaining <= 0:
+            break
+        budget = _next_round_budget(
+            config, planner, magnitudes, statistics, spent, remaining
+        )
+        counts = np.array([stats.shots for stats in statistics], dtype=float)
+        variances = np.array([stats.sample_variance for stats in statistics], dtype=float)
+        allocation = planner.plan(magnitudes, counts, variances, budget)
+        allocation = np.asarray(allocation, dtype=int)
+        if allocation.sum() != budget:
+            raise DecompositionError(
+                f"planner {planner.name!r} allocated {int(allocation.sum())} shots "
+                f"for a round budget of {budget}"
+            )
+        index = len(rounds)
+        means = execute_round(index, [int(count) for count in allocation], round_seeds[index])
+        record = RoundRecord(
+            index=index,
+            shots_per_term=tuple(int(count) for count in allocation),
+            means=tuple(
+                float(mean) if count > 0 else 0.0
+                for mean, count in zip(means, allocation)
+            ),
+        )
+        merge(record)
+        rounds.append(record)
+        stderr = _pooled_standard_error(coefficients, statistics)
+        converged = stderr <= config.target_error
+        if on_round is not None:
+            on_round(
+                record,
+                {
+                    "rounds_completed": len(rounds),
+                    "shots_spent": spent,
+                    "current_stderr": None if math.isinf(stderr) else float(stderr),
+                    "target_error": float(config.target_error),
+                    "converged": bool(converged),
+                },
+            )
+
+    term_estimates = [
+        stats.to_term_estimate(coefficient, label)
+        for stats, coefficient, label in zip(statistics, coefficients, labels)
+    ]
+    estimate = combine_term_estimates(term_estimates)
+    return AdaptiveResult(
+        estimate=estimate,
+        rounds=tuple(rounds),
+        converged=bool(converged),
+        target_error=float(config.target_error),
+    )
+
+
+def _next_round_budget(
+    config: AdaptiveConfig,
+    planner: ShotPlanner,
+    magnitudes: np.ndarray,
+    statistics: Sequence[TermStatistics],
+    spent: int,
+    remaining: int,
+) -> int:
+    """Return the next round's budget: probe, then chase the predicted deficit.
+
+    The first round spends a small coefficient-proportional probe.  Later
+    rounds aim for the Neyman-predicted total required to reach the target
+    (based on the current blended σ̂), clipped below by a fraction of the
+    probe (so progress never stalls) and above by the ``growth`` cap and
+    the remaining budget.
+    """
+    initial = config.first_round_budget(magnitudes.size)
+    if spent == 0:
+        return min(initial, remaining)
+    counts = np.array([stats.shots for stats in statistics], dtype=float)
+    variances = np.array([stats.sample_variance for stats in statistics], dtype=float)
+    if hasattr(planner, "posterior_sigmas"):
+        sigmas = planner.posterior_sigmas(counts, variances)
+    else:
+        sigmas = np.where(counts > 1, np.sqrt(np.maximum(variances, 0.0)), 1.0)
+    needed = _required_total_shots(magnitudes, sigmas, config.target_error)
+    deficit = max(needed - spent, 0)
+    floor = max(1, initial // 4)
+    cap = max(initial, int(math.ceil(spent * (config.growth - 1.0))))
+    return min(remaining, max(min(deficit, cap), floor))

@@ -48,6 +48,13 @@ class TermEstimate:
         Bernoulli-style bound ``1 − mean²`` when not supplied).
     label:
         Term label, carried through for reporting.
+    m2:
+        Sum of squared deviations from the mean (Welford's ``M2``), carried
+        by the adaptive engine's running statistics.  When present (and no
+        explicit ``variance`` was given) the per-shot variance used for
+        error propagation is the unbiased sample variance ``M2 / (n − 1)``;
+        a single ±1 outcome carries no variance information, so one-shot
+        terms use the unit variance bound.
     """
 
     coefficient: float
@@ -55,12 +62,17 @@ class TermEstimate:
     shots: int
     variance: float | None = None
     label: str = ""
+    m2: float | None = None
 
     @property
     def effective_variance(self) -> float:
         """Per-shot variance used for error propagation."""
         if self.variance is not None:
             return max(self.variance, 0.0)
+        if self.m2 is not None:
+            if self.shots > 1:
+                return max(self.m2 / (self.shots - 1), 0.0)
+            return 1.0
         return max(1.0 - self.mean**2, 0.0)
 
 

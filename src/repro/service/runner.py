@@ -10,15 +10,29 @@ HTTP service and the CLI's ``--store`` flags.  With a store attached it is a
    decomposition are recomputed (they are deterministic and cheap) and the
    final estimate is reconstructed from the stored per-term statistics,
    bitwise identical to an uninterrupted run;
-3. otherwise the full pipeline runs, persisting every stage artifact as it
-   completes, so the *next* attempt resumes wherever this one stops.
+3. an adaptive job killed *mid-execution* resumes from the stored
+   ``rounds`` artifact: the completed rounds are replayed into the running
+   statistics without re-execution and live rounds continue from the next
+   spawned round seed — the resumed estimate is bitwise identical to an
+   uninterrupted run;
+4. otherwise the full pipeline runs, persisting every stage artifact as it
+   completes (adaptive executions persist their round log atomically after
+   every round), so the *next* attempt resumes wherever this one stops.
+
+``run_job`` also accepts a ``progress`` callback, invoked after every
+adaptive round (and once on completion) with the live counters the
+scheduler surfaces through ``repro jobs status``:
+``rounds_completed`` / ``shots_spent`` / ``current_stderr`` /
+``target_error`` / ``converged``.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.pipeline.stages import Execution
+from repro.qpd.adaptive import RoundRecord
 from repro.service.spec import JobSpec
 from repro.service.store import RunStore
 
@@ -49,6 +63,13 @@ class JobOutcome:
     resumed_from:
         Name of the deepest stored stage the run resumed from (``None`` for
         a fresh run or a pure cache hit).
+    mode:
+        Execution mode of the job (``"static"`` or ``"adaptive"``).
+    rounds_completed:
+        Adaptive mode: number of executed rounds (``None`` in static mode).
+    converged:
+        Adaptive mode: whether the target error was reached before the
+        budget ran out (``None`` in static mode).
     """
 
     fingerprint: str
@@ -59,6 +80,9 @@ class JobOutcome:
     exact_value: float | None = None
     cached: bool = False
     resumed_from: str | None = None
+    mode: str = "static"
+    rounds_completed: int | None = None
+    converged: bool | None = None
 
     @property
     def error(self) -> float | None:
@@ -69,7 +93,7 @@ class JobOutcome:
 
     def to_payload(self) -> dict:
         """Return the JSON-serializable form (the HTTP result body)."""
-        return {
+        payload = {
             "fingerprint": self.fingerprint,
             "value": float(self.value),
             "standard_error": float(self.standard_error),
@@ -79,6 +103,11 @@ class JobOutcome:
             "cached": bool(self.cached),
             "resumed_from": self.resumed_from,
         }
+        if self.mode != "static":
+            payload["mode"] = self.mode
+            payload["rounds_completed"] = self.rounds_completed
+            payload["converged"] = self.converged
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "JobOutcome":
@@ -93,6 +122,9 @@ class JobOutcome:
             exact_value=None if exact is None else float(exact),
             cached=bool(payload.get("cached", False)),
             resumed_from=payload.get("resumed_from"),
+            mode=str(payload.get("mode", "static")),
+            rounds_completed=payload.get("rounds_completed"),
+            converged=payload.get("converged"),
         )
 
 
@@ -105,7 +137,11 @@ def _outcome_from_result(
     )
 
 
-def run_job(spec: JobSpec, store: RunStore | None = None) -> JobOutcome:
+def run_job(
+    spec: JobSpec,
+    store: RunStore | None = None,
+    progress: Callable[[dict], None] | None = None,
+) -> JobOutcome:
     """Run (or resume, or serve from cache) one job.
 
     Parameters
@@ -116,7 +152,12 @@ def run_job(spec: JobSpec, store: RunStore | None = None) -> JobOutcome:
         Optional run store.  When given, every completed stage is persisted
         under the job fingerprint, stored results are served without
         re-execution, and interrupted runs resume from the last completed
-        stage.
+        stage (adaptive runs resume mid-execution from the round log).
+    progress:
+        Optional live-progress hook.  Adaptive jobs invoke it after every
+        round with ``rounds_completed`` / ``shots_spent`` /
+        ``current_stderr`` / ``target_error`` / ``converged``; static jobs
+        invoke it once when execution completes.
 
     Returns
     -------
@@ -140,19 +181,67 @@ def run_job(spec: JobSpec, store: RunStore | None = None) -> JobOutcome:
 
     execution = None
     resumed_from = None
+    progress_reported = False
     if store is not None:
         execution_payload = store.get_stage(fingerprint, "execution")
         if execution_payload is not None:
             execution = Execution.from_payload(decomposition, execution_payload)
             resumed_from = "execution"
+
     if execution is None:
+        completed_rounds: tuple[RoundRecord, ...] = ()
+        if spec.mode == "adaptive" and store is not None:
+            rounds_payload = store.get_stage(fingerprint, "rounds")
+            if rounds_payload is not None:
+                completed_rounds = tuple(
+                    RoundRecord.from_payload(entry)
+                    for entry in rounds_payload.get("rounds", ())
+                )
+                if completed_rounds:
+                    resumed_from = "rounds"
+        round_log = [record.to_payload() for record in completed_rounds]
+
+        def on_round(record, summary: dict) -> None:
+            """Persist the round log atomically and forward live progress."""
+            nonlocal progress_reported
+            round_log.append(record.to_payload())
+            if store is not None:
+                store.put_stage(
+                    fingerprint,
+                    "rounds",
+                    {"target_error": spec.target_error, "rounds": list(round_log)},
+                )
+            if progress is not None:
+                progress_reported = True
+                progress(summary)
+
         execution = pipeline.execute(
-            decomposition, spec.observable, spec.shots, seed=spec.seed
+            decomposition,
+            spec.observable,
+            spec.shots,
+            seed=spec.seed,
+            completed_rounds=completed_rounds,
+            on_round=on_round,
+            **spec.execute_arguments(),
         )
         if store is not None:
             store.put_stage(fingerprint, "execution", execution.to_payload())
 
     result = pipeline.reconstruct(execution, compute_exact=spec.compute_exact)
+    if progress is not None and not progress_reported:
+        # Static executions, execution-stage resumes and adaptive resumes
+        # that were already converged never fired a live round; report one
+        # final snapshot so `jobs status` always carries the counters.
+        adaptive = execution.mode == "adaptive"
+        progress(
+            {
+                "rounds_completed": len(execution.rounds) if adaptive else None,
+                "shots_spent": execution.total_shots,
+                "current_stderr": float(result.standard_error),
+                "target_error": execution.target_error,
+                "converged": execution.converged,
+            }
+        )
     result_payload = result.to_payload()
     if store is not None:
         store.put_stage(fingerprint, "result", result_payload)

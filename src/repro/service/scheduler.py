@@ -62,6 +62,7 @@ class _JobRecord:
     future: Future | None = None
     started: bool = False
     attempts: int = field(default=1)
+    progress: dict | None = None
 
 
 class JobScheduler:
@@ -116,9 +117,19 @@ class JobScheduler:
     # -- submission --------------------------------------------------------------------
 
     def _run_in_thread(self, record: _JobRecord) -> dict:
-        """Thread-mode worker body: mark the record started, run, return the payload."""
+        """Thread-mode worker body: mark the record started, run, return the payload.
+
+        The runner's progress hook writes into the record, so ``status``
+        can report live shots-spent / current-stderr counters while an
+        adaptive job is still executing rounds.
+        """
         record.started = True
-        return run_job(record.spec, store=self.store).to_payload()
+
+        def progress(summary: dict) -> None:
+            """Record the runner's latest progress snapshot on the job record."""
+            record.progress = dict(summary)
+
+        return run_job(record.spec, store=self.store, progress=progress).to_payload()
 
     def submit(self, spec: JobSpec) -> str:
         """Enqueue a job and return its id (the spec fingerprint).
@@ -163,11 +174,17 @@ class JobScheduler:
 
         The returned dict always carries ``job_id`` and ``state`` (one of
         ``queued``/``running``/``done``/``failed``); a done job adds the
-        outcome summary, a failed one the error message.
+        outcome summary, a failed one the error message.  While an adaptive
+        job is executing rounds (thread mode), ``progress`` carries the
+        live ``rounds_completed`` / ``shots_spent`` / ``current_stderr`` /
+        ``target_error`` / ``converged`` counters; the last snapshot stays
+        attached once the job is done.
         """
         record = self._record(job_id)
         future = record.future
         entry: dict = {"job_id": job_id, "attempts": record.attempts}
+        if record.progress is not None:
+            entry["progress"] = dict(record.progress)
         if future is None or not future.done():
             running = record.started or (future is not None and future.running())
             entry["state"] = "running" if running else "queued"
@@ -183,6 +200,10 @@ class JobScheduler:
         entry["resumed_from"] = payload.get("resumed_from")
         entry["value"] = payload.get("value")
         entry["standard_error"] = payload.get("standard_error")
+        if "mode" in payload:
+            entry["mode"] = payload["mode"]
+            entry["rounds_completed"] = payload.get("rounds_completed")
+            entry["converged"] = payload.get("converged")
         return entry
 
     def result(self, job_id: str, timeout: float | None = None) -> JobOutcome:

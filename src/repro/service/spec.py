@@ -18,10 +18,12 @@ from repro.exceptions import GateError, ServiceError
 from repro.circuits.backends import BACKEND_NAMES, circuit_fingerprint, resolve_backend
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.serialization import circuit_from_payload, circuit_to_payload
+from repro.cutting.executor import ESTIMATION_MODES
+from repro.qpd.adaptive import DEFAULT_MAX_ROUNDS
 from repro.qpd.allocation import ALLOCATION_STRATEGIES
 from repro.quantum.paulis import PauliString
 from repro.utils.serialization import payload_fingerprint
-from repro.utils.validation import validate_positive_count
+from repro.utils.validation import validate_positive_count, validate_positive_float
 
 __all__ = ["JobSpec"]
 
@@ -69,6 +71,15 @@ class JobSpec:
         spec becomes part of the job fingerprint.
     compute_exact:
         Also compute the exact uncut value for error reporting.
+    mode:
+        Execution mode: ``"static"`` (one up-front allocation, the
+        default) or ``"adaptive"`` (round-structured execution with early
+        stopping; ``shots`` becomes the hard budget ceiling).
+    target_error:
+        Adaptive mode's stopping threshold on the pooled standard error
+        (required and strictly positive when ``mode="adaptive"``).
+    rounds:
+        Adaptive mode's round limit (strictly positive).
     """
 
     circuit: QuantumCircuit
@@ -84,9 +95,25 @@ class JobSpec:
     backend: str = "vectorized"
     fleet: dict | None = field(default=None)
     compute_exact: bool = True
+    mode: str = "static"
+    target_error: float | None = None
+    rounds: int = DEFAULT_MAX_ROUNDS
 
     def __post_init__(self) -> None:
         validate_positive_count(self.shots, name="shots")
+        if self.mode not in ESTIMATION_MODES:
+            raise ServiceError(
+                f"unknown mode {self.mode!r}; expected one of {ESTIMATION_MODES}"
+            )
+        if self.mode == "adaptive":
+            # Boundary validation at the service entry point: a bad tolerance
+            # or round limit fails before any pipeline stage runs.
+            if self.target_error is None:
+                raise ServiceError("adaptive mode requires target_error")
+            validate_positive_float(self.target_error, name="target_error")
+            validate_positive_count(self.rounds, name="rounds")
+        elif self.target_error is not None:
+            raise ServiceError("target_error is only meaningful with mode='adaptive'")
         if isinstance(self.seed, bool) or not isinstance(self.seed, int):
             raise ServiceError(f"seed must be an integer, got {self.seed!r}")
         try:
@@ -131,12 +158,20 @@ class JobSpec:
                 "locations",
                 tuple((int(q), int(p)) for q, p in self.locations),
             )
+        if self.target_error is not None:
+            object.__setattr__(self, "target_error", float(self.target_error))
+        object.__setattr__(self, "rounds", int(self.rounds))
 
     # -- serialization -----------------------------------------------------------------
 
     def to_payload(self) -> dict:
-        """Return the JSON-serializable payload of the job (the HTTP wire form)."""
-        return {
+        """Return the JSON-serializable payload of the job (the HTTP wire form).
+
+        Adaptive-mode fields are only emitted for adaptive jobs, so static
+        payloads (and therefore their fingerprints and any runs already
+        persisted in a store) are unchanged by the mode extension.
+        """
+        payload = {
             "version": SPEC_VERSION,
             "circuit": circuit_to_payload(self.circuit),
             "observable": self.observable,
@@ -154,6 +189,11 @@ class JobSpec:
             "fleet": self.fleet,
             "compute_exact": self.compute_exact,
         }
+        if self.mode != "static":
+            payload["mode"] = self.mode
+            payload["target_error"] = float(self.target_error)
+            payload["rounds"] = int(self.rounds)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "JobSpec":
@@ -204,6 +244,9 @@ class JobSpec:
                 backend=str(payload.get("backend", "vectorized")),
                 fleet=payload.get("fleet"),
                 compute_exact=bool(payload.get("compute_exact", True)),
+                mode=str(payload.get("mode", "static")),
+                target_error=payload.get("target_error"),
+                rounds=int(payload.get("rounds", DEFAULT_MAX_ROUNDS)),
             )
         except ServiceError:
             raise
@@ -244,6 +287,16 @@ class JobSpec:
             allocation=self.allocation,
             max_cuts=self.max_cuts,
         )
+
+    def execute_arguments(self) -> dict:
+        """Return the mode keyword arguments for :meth:`CutPipeline.execute`."""
+        if self.mode == "static":
+            return {}
+        return {
+            "mode": self.mode,
+            "target_error": self.target_error,
+            "rounds": self.rounds,
+        }
 
     def plan_arguments(self) -> dict:
         """Return the keyword arguments for :meth:`CutPipeline.plan`."""

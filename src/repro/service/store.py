@@ -5,6 +5,8 @@ persisted under the job's content fingerprint::
 
     <root>/runs/<fp[:2]>/<fp>/job.json        the JobSpec payload
     <root>/runs/<fp[:2]>/<fp>/plan.json       plan-stage summary
+    <root>/runs/<fp[:2]>/<fp>/rounds.json     in-flight adaptive round records
+                                              (rewritten atomically per round)
     <root>/runs/<fp[:2]>/<fp>/execution.json  per-term sampling statistics
     <root>/runs/<fp[:2]>/<fp>/result.json     the final estimate
     <root>/artifacts/<key>.json               free-form cached artifacts
@@ -31,8 +33,9 @@ from repro.utils.serialization import canonical_json
 
 __all__ = ["RunStore", "STAGES"]
 
-#: Stage-artifact names, in pipeline order.
-STAGES = ("plan", "execution", "result")
+#: Stage-artifact names, in pipeline order (``rounds`` holds the in-flight
+#: progress of an adaptive execution and is superseded by ``execution``).
+STAGES = ("plan", "rounds", "execution", "result")
 
 _FINGERPRINT_ALPHABET = set("0123456789abcdef")
 

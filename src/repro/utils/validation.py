@@ -16,6 +16,7 @@ __all__ = [
     "check_probability",
     "check_integer_in_range",
     "validate_positive_count",
+    "validate_positive_float",
 ]
 
 
@@ -73,4 +74,20 @@ def validate_positive_count(value, name: str = "count") -> int:
     value = int(value)
     if value < 1:
         raise CuttingError(f"{name} must be a positive integer, got {value}")
+    return value
+
+
+def validate_positive_float(value, name: str = "value") -> float:
+    """Return ``value`` as a strictly positive, finite float or raise :class:`CuttingError`.
+
+    The boundary check for user-supplied tolerances (``--target-error``):
+    zero, negative, non-finite and non-numeric values are rejected with an
+    actionable message at the CLI and service entry points, mirroring
+    :func:`validate_positive_count`.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise CuttingError(f"{name} must be a number, got {value!r}")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise CuttingError(f"{name} must be a positive finite number, got {value}")
     return value

@@ -1,8 +1,8 @@
 """Docstring audit for the documented public surface.
 
 Every public module, class, function and method in ``repro.pipeline``,
-``repro.cutting``, ``repro.devices`` and ``repro.service`` must carry a
-docstring whose summary
+``repro.cutting``, ``repro.devices``, ``repro.service`` and ``repro.qpd``
+must carry a docstring whose summary
 line is followed by a blank line and ends with punctuation — the load-bearing
 subset of the ruff pydocstyle (``D``) rules scoped to those packages in
 ``pyproject.toml``, kept runnable here so environments without ruff still
@@ -14,7 +14,7 @@ import ast
 from pathlib import Path
 
 SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
-AUDITED_PACKAGES = ("pipeline", "cutting", "devices", "service")
+AUDITED_PACKAGES = ("pipeline", "cutting", "devices", "service", "qpd")
 
 
 def _audited_files():

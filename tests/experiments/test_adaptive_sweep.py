@@ -1,0 +1,68 @@
+"""Unit tests for the static-vs-adaptive comparison sweep."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.adaptive_sweep import (
+    ABS_ERROR_TO_STDERR,
+    AdaptiveSweepConfig,
+    adaptive_vs_static_sweep,
+)
+
+QUICK = AdaptiveSweepConfig(num_states=8, overlaps=(0.5, 0.9, 1.0), seed=5)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        AdaptiveSweepConfig().validate()
+
+    def test_invalid_target(self):
+        with pytest.raises(ExperimentError):
+            AdaptiveSweepConfig(target_error=0.0).validate()
+
+    def test_budgets_must_increase(self):
+        with pytest.raises(ExperimentError):
+            AdaptiveSweepConfig(candidate_budgets=(800, 100)).validate()
+
+    def test_invalid_planner(self):
+        with pytest.raises(ExperimentError):
+            AdaptiveSweepConfig(planner="wishful").validate()
+
+    def test_invalid_safety(self):
+        with pytest.raises(ExperimentError):
+            AdaptiveSweepConfig(stderr_safety=0.0).validate()
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ExperimentError):
+            AdaptiveSweepConfig(overlaps=(0.2,)).validate()
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return adaptive_vs_static_sweep(QUICK)
+
+    def test_structure(self, table):
+        assert table.num_rows == 3
+        assert "savings_fraction" in table.columns
+        assert "adaptive_stderr_max" in table.columns
+
+    def test_both_arms_reach_the_shared_criterion(self, table):
+        stderr_target = QUICK.target_error * ABS_ERROR_TO_STDERR
+        assert all(budget > 0 for budget in table.columns["static_shots_per_state"])
+        assert all(f == 1.0 for f in table.columns["converged_fraction"])
+        assert all(s <= stderr_target + 1e-12 for s in table.columns["adaptive_stderr_max"])
+
+    def test_adaptive_spends_fewer_total_shots(self, table):
+        metadata = table.metadata
+        assert metadata["total_adaptive_shots"] < metadata["total_static_shots"]
+        assert metadata["total_savings_fraction"] > 0.0
+
+    def test_measured_errors_are_sane(self, table):
+        pooled = float(np.mean(table.columns["adaptive_mean_error"]))
+        assert pooled <= QUICK.target_error * 1.5
+
+    def test_deterministic(self, table):
+        again = adaptive_vs_static_sweep(QUICK)
+        assert again.columns == table.columns

@@ -62,6 +62,25 @@ class TestRun:
         assert predicted[1.0] == pytest.approx(1.0)
         assert predicted[0.5] == pytest.approx(9.0)
 
+    def test_cache_counters_exposed_in_metadata(self, table):
+        assert "cache_hits" in table.metadata
+        assert "cache_misses" in table.metadata
+
+    def test_repeated_run_hits_the_distribution_cache(self):
+        config = ShotsToTargetConfig(
+            target_error=0.08,
+            overlaps=(0.5,),
+            num_states=6,
+            candidate_budgets=(100, 400),
+            seed=5,
+        )
+        shots_to_target_error(config)
+        again = shots_to_target_error(config)
+        # Second in-process invocation reuses every exact per-term
+        # distribution from the shared cache instead of re-simulating.
+        assert again.metadata["cache_hits"] >= 6
+        assert again.metadata["cache_misses"] == 0
+
     def test_unreachable_target_reports_minus_one(self):
         config = ShotsToTargetConfig(
             target_error=0.0001,

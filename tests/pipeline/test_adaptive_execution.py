@@ -1,0 +1,152 @@
+"""Round-structured pipeline execution: artifacts, resume, payload stability."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CuttingError
+from repro.experiments import ghz_circuit
+from repro.pipeline import CutPipeline
+from repro.pipeline.stages import Execution
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return CutPipeline(max_fragment_width=3, backend="vectorized")
+
+
+@pytest.fixture(scope="module")
+def decomposition(pipeline):
+    return pipeline.decompose(pipeline.plan(ghz_circuit(4)))
+
+
+class TestAdaptiveExecute:
+    def test_converges_and_reports_rounds(self, pipeline, decomposition):
+        execution = pipeline.execute(
+            decomposition, "ZZZZ", shots=100_000, seed=5, mode="adaptive", target_error=0.05
+        )
+        assert execution.mode == "adaptive"
+        assert execution.converged
+        assert execution.rounds
+        assert execution.total_shots < 100_000
+        result = pipeline.reconstruct(execution)
+        assert result.standard_error <= 0.05
+        assert abs(result.value - result.exact_value) < 0.25
+
+    def test_requires_target_error(self, pipeline, decomposition):
+        with pytest.raises(CuttingError):
+            pipeline.execute(decomposition, "ZZZZ", shots=1000, mode="adaptive")
+
+    def test_rejects_unknown_mode(self, pipeline, decomposition):
+        with pytest.raises(CuttingError):
+            pipeline.execute(decomposition, "ZZZZ", shots=1000, mode="mystery")
+
+    def test_budget_exhaustion_is_flagged(self, pipeline, decomposition):
+        execution = pipeline.execute(
+            decomposition, "ZZZZ", shots=300, seed=5, mode="adaptive", target_error=1e-5
+        )
+        assert not execution.converged
+        assert execution.total_shots <= 300
+
+    def test_static_mode_unchanged_by_refactor(self, pipeline, decomposition):
+        default = pipeline.execute(decomposition, "ZZZZ", shots=4000, seed=11)
+        explicit = pipeline.execute(decomposition, "ZZZZ", shots=4000, seed=11, mode="static")
+        assert default.term_estimates == explicit.term_estimates
+        assert default.mode == "static" and not default.rounds
+
+
+class TestAdaptiveArtifact:
+    def test_payload_round_trip(self, pipeline, decomposition):
+        execution = pipeline.execute(
+            decomposition, "ZZZZ", shots=50_000, seed=3, mode="adaptive", target_error=0.06
+        )
+        payload = execution.to_payload()
+        restored = Execution.from_payload(decomposition, payload)
+        assert restored.mode == "adaptive"
+        assert restored.target_error == pytest.approx(0.06)
+        assert restored.converged == execution.converged
+        assert restored.rounds == execution.rounds
+        assert restored.term_estimates == execution.term_estimates
+        assert restored.fingerprint() == execution.fingerprint()
+
+    def test_static_payload_layout_is_unchanged(self, pipeline, decomposition):
+        execution = pipeline.execute(decomposition, "ZZZZ", shots=2000, seed=3)
+        payload = execution.to_payload()
+        # The adaptive extension must not leak new keys into static payloads
+        # (existing stored runs keep their fingerprints).
+        assert set(payload) == {
+            "observable",
+            "backend_name",
+            "allocation",
+            "shots_per_term",
+            "term_estimates",
+        }
+        assert all(set(entry) == {
+            "coefficient",
+            "mean",
+            "shots",
+            "variance",
+            "label",
+        } for entry in payload["term_estimates"])
+
+    def test_reconstruction_from_payload_is_bitwise(self, pipeline, decomposition):
+        execution = pipeline.execute(
+            decomposition, "ZZZZ", shots=50_000, seed=9, mode="adaptive", target_error=0.06
+        )
+        restored = Execution.from_payload(decomposition, execution.to_payload())
+        original = pipeline.reconstruct(execution)
+        resumed = pipeline.reconstruct(restored)
+        assert resumed.value == original.value
+        assert resumed.standard_error == original.standard_error
+
+
+class TestResume:
+    def test_completed_rounds_resume_bitwise(self, pipeline, decomposition):
+        on_round_records = []
+        full = pipeline.execute(
+            decomposition,
+            "ZZZZ",
+            shots=100_000,
+            seed=21,
+            mode="adaptive",
+            target_error=0.05,
+            on_round=lambda record, summary: on_round_records.append(record),
+        )
+        assert len(on_round_records) == len(full.rounds) >= 2
+        resumed = pipeline.execute(
+            decomposition,
+            "ZZZZ",
+            shots=100_000,
+            seed=21,
+            mode="adaptive",
+            target_error=0.05,
+            completed_rounds=full.rounds[:2],
+        )
+        assert resumed.rounds == full.rounds
+        assert resumed.term_estimates == full.term_estimates
+
+    def test_fleet_round_shares_follow_largest_remainder(self):
+        from repro.devices import DeviceFleet, VirtualDevice
+
+        fleet = DeviceFleet(
+            [VirtualDevice("a", capacity=3.0), VirtualDevice("b", capacity=1.0)],
+            split="capacity",
+        )
+        circuit = ghz_circuit(3)
+        shares = fleet.plan_round_shares(circuit, [100, 37, 1])
+        assert [sum(round_shares.values()) for round_shares in shares] == [100, 37, 1]
+        assert shares[0] == {"a": 75, "b": 25}
+
+    def test_adaptive_runs_on_a_device_fleet(self):
+        from repro.devices import DeviceFleet, VirtualDevice
+
+        fleet = DeviceFleet(
+            [VirtualDevice("a", capacity=2.0), VirtualDevice("b", capacity=1.0)],
+            split="capacity",
+        )
+        pipeline = CutPipeline(max_fragment_width=3, backend=fleet)
+        result = pipeline.run(
+            ghz_circuit(4), "ZZZZ", shots=60_000, seed=4, mode="adaptive", target_error=0.06
+        )
+        assert result.execution.mode == "adaptive"
+        assert result.execution.converged
+        assert np.isfinite(result.value)

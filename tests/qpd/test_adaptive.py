@@ -1,0 +1,216 @@
+"""Unit tests for the streaming adaptive-shot engine and its planners."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CuttingError, DecompositionError
+from repro.qpd.adaptive import (
+    AdaptiveConfig,
+    RoundRecord,
+    TermStatistics,
+    run_adaptive_rounds,
+)
+from repro.qpd.allocation import (
+    NeymanPlanner,
+    ProportionalPlanner,
+    resolve_planner,
+)
+
+
+def binomial_executor(p_plus):
+    """Round executor drawing ±1 means from fixed outcome probabilities."""
+    p_plus = np.asarray(p_plus, dtype=float)
+
+    def execute_round(index, shots, seed_sequence):
+        rng = np.random.default_rng(seed_sequence)
+        return [
+            2.0 * rng.binomial(int(n), p) / n - 1.0 if n > 0 else 0.0
+            for p, n in zip(p_plus, shots)
+        ]
+
+    return execute_round
+
+
+class TestTermStatistics:
+    def test_merge_matches_pooled_sample(self):
+        rng = np.random.default_rng(3)
+        outcomes = rng.choice([-1.0, 1.0], size=1000, p=[0.3, 0.7])
+        stats = TermStatistics()
+        for batch in np.split(outcomes, [100, 350, 600]):
+            stats.merge_round(float(batch.mean()), len(batch))
+        assert stats.shots == 1000
+        assert stats.mean == pytest.approx(float(outcomes.mean()))
+        assert stats.sample_variance == pytest.approx(float(outcomes.var(ddof=1)), rel=1e-9)
+
+    def test_zero_shot_round_is_ignored(self):
+        stats = TermStatistics()
+        stats.merge_round(0.5, 0)
+        assert stats.shots == 0 and stats.mean == 0.0
+
+    def test_deterministic_term_has_zero_variance(self):
+        stats = TermStatistics()
+        stats.merge_round(1.0, 500)
+        stats.merge_round(1.0, 500)
+        assert stats.sample_variance == 0.0
+
+    def test_to_term_estimate_carries_m2(self):
+        stats = TermStatistics()
+        stats.merge_round(0.2, 100)
+        estimate = stats.to_term_estimate(coefficient=-1.5, label="t")
+        assert estimate.m2 == pytest.approx(stats.m2)
+        assert estimate.effective_variance == pytest.approx(stats.m2 / 99)
+
+
+class TestRoundRecord:
+    def test_payload_round_trip(self):
+        record = RoundRecord(index=2, shots_per_term=(3, 0, 7), means=(0.5, 0.0, -1 / 3))
+        restored = RoundRecord.from_payload(record.to_payload())
+        assert restored == record
+        assert restored.total_shots == 10
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(CuttingError):
+            AdaptiveConfig(target_error=0.0, max_shots=100).validate()
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(CuttingError):
+            AdaptiveConfig(target_error=0.1, max_shots=0).validate()
+
+    def test_rejects_bad_growth(self):
+        with pytest.raises(DecompositionError):
+            AdaptiveConfig(target_error=0.1, max_shots=100, growth=1.0).validate()
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(CuttingError):
+            AdaptiveConfig(target_error=0.1, max_shots=100, max_rounds=0).validate()
+
+
+class TestPlanners:
+    def test_resolve_known_names(self):
+        assert isinstance(resolve_planner("neyman"), NeymanPlanner)
+        assert isinstance(resolve_planner("proportional"), ProportionalPlanner)
+        assert isinstance(resolve_planner(None), NeymanPlanner)
+        with pytest.raises(DecompositionError):
+            resolve_planner("nope")
+
+    def test_neyman_shifts_shots_to_high_variance_terms(self):
+        magnitudes = np.array([1.0, 1.0])
+        counts = np.array([500.0, 500.0])
+        variances = np.array([1.0, 0.01])
+        allocation = NeymanPlanner().plan(magnitudes, counts, variances, 1000)
+        assert int(allocation.sum()) == 1000
+        assert allocation[0] > allocation[1]
+
+    def test_neyman_without_data_matches_proportional(self):
+        magnitudes = np.array([2.0, 1.0, 1.0])
+        zero = np.zeros(3)
+        neyman = NeymanPlanner().plan(magnitudes, zero, zero, 999)
+        proportional = ProportionalPlanner().plan(magnitudes, zero, zero, 999)
+        assert np.array_equal(neyman, proportional)
+
+    def test_coverage_of_nonzero_coefficient_terms(self):
+        # A tiny-coefficient term still gets at least one shot when the
+        # round budget allows, so the recombined estimate stays unbiased.
+        magnitudes = np.array([1000.0, 1e-6])
+        allocation = ProportionalPlanner().plan(magnitudes, np.zeros(2), np.zeros(2), 50)
+        assert int(allocation.sum()) == 50
+        assert allocation[1] >= 1
+
+
+class TestEngine:
+    COEFFS = np.array([0.9, -0.6, 0.4])
+    P_PLUS = np.array([0.9, 0.35, 0.5])
+
+    def run(self, **overrides):
+        config_kwargs = {"target_error": 0.05, "max_shots": 100_000, "max_rounds": 16}
+        config_kwargs.update(overrides.pop("config", {}))
+        return run_adaptive_rounds(
+            self.COEFFS,
+            binomial_executor(self.P_PLUS),
+            AdaptiveConfig(**config_kwargs),
+            seed=overrides.pop("seed", 42),
+            **overrides,
+        )
+
+    def test_converges_below_target(self):
+        result = self.run()
+        assert result.converged
+        assert result.estimate.standard_error <= 0.05
+        exact = float(np.sum(self.COEFFS * (2 * self.P_PLUS - 1)))
+        assert abs(result.estimate.value - exact) < 0.2
+
+    def test_budget_is_hard_ceiling(self):
+        result = self.run(config={"target_error": 1e-4, "max_shots": 5000})
+        assert not result.converged
+        assert result.total_shots <= 5000
+
+    def test_round_limit_is_respected(self):
+        result = self.run(config={"target_error": 1e-6, "max_rounds": 3})
+        assert len(result.rounds) <= 3
+
+    def test_deterministic_for_fixed_seed(self):
+        first, second = self.run(seed=9), self.run(seed=9)
+        assert first.estimate == second.estimate
+        assert first.rounds == second.rounds
+
+    def test_resume_replay_is_bitwise_identical(self):
+        full = self.run()
+        assert len(full.rounds) >= 2
+        resumed = self.run(completed_rounds=full.rounds[:2])
+        assert resumed.estimate == full.estimate
+        assert resumed.rounds == full.rounds
+
+    def test_on_round_reports_progress(self):
+        summaries = []
+        result = self.run(on_round=lambda record, summary: summaries.append(summary))
+        assert len(summaries) == len(result.rounds)
+        assert summaries[-1]["converged"] is True
+        assert summaries[-1]["shots_spent"] == result.total_shots
+        assert summaries[-1]["current_stderr"] <= 0.05
+        spent = [entry["shots_spent"] for entry in summaries]
+        assert spent == sorted(spent)
+
+    def test_out_of_order_completed_rounds_rejected(self):
+        full = self.run()
+        with pytest.raises(DecompositionError):
+            self.run(completed_rounds=full.rounds[1:2])
+
+    def test_completed_rounds_over_budget_rejected(self):
+        full = self.run()
+        with pytest.raises(DecompositionError):
+            self.run(
+                completed_rounds=full.rounds,
+                config={"max_shots": max(full.rounds[0].total_shots - 1, 1)},
+            )
+
+    def test_one_shot_terms_do_not_fake_convergence(self):
+        # A single ±1 outcome has 1 − mean² = 0; if one-shot terms counted
+        # as zero-variance, a 1-shot-per-term probe would immediately
+        # report convergence with a zero error bar.
+        coefficients = np.full(50, 0.1)
+        result = run_adaptive_rounds(
+            coefficients,
+            binomial_executor(np.full(50, 0.5)),
+            AdaptiveConfig(target_error=0.05, max_shots=50, max_rounds=1, initial_shots=50),
+            seed=0,
+        )
+        assert not result.converged
+        assert result.estimate.standard_error > 0.05
+
+    def test_truncated_means_in_completed_round_rejected(self):
+        full = self.run()
+        record = full.rounds[0]
+        truncated = RoundRecord(
+            index=0, shots_per_term=record.shots_per_term, means=record.means[:-1]
+        )
+        with pytest.raises(DecompositionError):
+            self.run(completed_rounds=[truncated])
+
+    def test_proportional_planner_spends_like_static(self):
+        result = self.run(config={"planner": "proportional"})
+        assert result.converged
+        # Per-round totals are exact and shots stay |c|-proportional.
+        for record in result.rounds:
+            assert sum(record.shots_per_term) == record.total_shots

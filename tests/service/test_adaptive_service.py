@@ -1,0 +1,177 @@
+"""Adaptive jobs through the service layer: spec, resume, progress, dedup."""
+
+import json
+
+import pytest
+
+from repro.exceptions import CuttingError, ServiceError
+from repro.experiments import ghz_circuit
+from repro.service import JobScheduler, JobSpec, RunStore, run_job
+
+
+def adaptive_spec(**overrides):
+    kwargs = {
+        "circuit": ghz_circuit(4),
+        "observable": "ZZZZ",
+        "shots": 100_000,
+        "seed": 7,
+        "max_fragment_width": 3,
+        "mode": "adaptive",
+        "target_error": 0.05,
+    }
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+class TestSpecValidation:
+    def test_adaptive_requires_target_error(self):
+        with pytest.raises(ServiceError):
+            adaptive_spec(target_error=None)
+
+    def test_target_error_must_be_positive(self):
+        with pytest.raises(CuttingError):
+            adaptive_spec(target_error=0.0)
+        with pytest.raises(CuttingError):
+            adaptive_spec(target_error=-0.1)
+        with pytest.raises(CuttingError):
+            adaptive_spec(target_error=float("nan"))
+
+    def test_rounds_must_be_positive(self):
+        with pytest.raises(CuttingError):
+            adaptive_spec(rounds=0)
+
+    def test_static_rejects_target_error(self):
+        with pytest.raises(ServiceError):
+            adaptive_spec(mode="static")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServiceError):
+            adaptive_spec(mode="sideways")
+
+    def test_payload_round_trip(self):
+        spec = adaptive_spec()
+        restored = JobSpec.from_payload(spec.to_payload())
+        assert restored.mode == "adaptive"
+        assert restored.target_error == pytest.approx(0.05)
+        assert restored.rounds == 12
+        assert restored.fingerprint() == spec.fingerprint()
+
+    def test_static_payload_and_fingerprint_unchanged(self):
+        spec = JobSpec(ghz_circuit(4), "ZZZZ", shots=2000, seed=7, max_fragment_width=3)
+        payload = spec.to_payload()
+        assert "mode" not in payload and "target_error" not in payload and "rounds" not in payload
+        # The mode extension must not move existing static jobs to new
+        # store addresses.
+        legacy = {key: value for key, value in payload.items()}
+        assert JobSpec.from_payload(legacy).fingerprint() == spec.fingerprint()
+
+    def test_adaptive_jobs_get_distinct_fingerprints(self):
+        loose = adaptive_spec(target_error=0.05)
+        tight = adaptive_spec(target_error=0.01)
+        assert loose.fingerprint() != tight.fingerprint()
+
+
+class TestRunJob:
+    def test_adaptive_outcome_reports_rounds(self, tmp_path):
+        outcome = run_job(adaptive_spec(), store=RunStore(tmp_path))
+        assert outcome.mode == "adaptive"
+        assert outcome.converged
+        assert outcome.rounds_completed >= 1
+        assert outcome.standard_error <= 0.05
+        assert outcome.total_shots < 100_000
+
+    def test_cache_hit_preserves_adaptive_metadata(self, tmp_path):
+        store = RunStore(tmp_path)
+        first = run_job(adaptive_spec(), store=store)
+        second = run_job(adaptive_spec(), store=store)
+        assert second.cached
+        assert second.value == first.value
+        assert second.mode == "adaptive"
+        assert second.rounds_completed == first.rounds_completed
+
+    def test_crash_mid_execution_resumes_bitwise(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = adaptive_spec()
+        full = run_job(spec, store=store)
+        assert full.rounds_completed >= 2
+
+        # Simulate a crash after the first round: truncate the round log and
+        # drop the downstream artifacts.
+        fingerprint = spec.fingerprint()
+        run_dir = store.run_dir(fingerprint)
+        rounds_payload = json.loads((run_dir / "rounds.json").read_text())
+        rounds_payload["rounds"] = rounds_payload["rounds"][:1]
+        (run_dir / "rounds.json").write_text(json.dumps(rounds_payload))
+        (run_dir / "execution.json").unlink()
+        (run_dir / "result.json").unlink()
+
+        resumed = run_job(spec, store=store)
+        assert resumed.resumed_from == "rounds"
+        assert resumed.value == full.value
+        assert resumed.standard_error == full.standard_error
+        assert resumed.total_shots == full.total_shots
+
+    def test_progress_callback_sees_every_round(self):
+        summaries = []
+        outcome = run_job(adaptive_spec(), progress=summaries.append)
+        assert len(summaries) == outcome.rounds_completed
+        assert summaries[-1]["converged"] is True
+        assert summaries[-1]["shots_spent"] == outcome.total_shots
+
+    def test_static_progress_fires_once(self):
+        summaries = []
+        spec = JobSpec(ghz_circuit(4), "ZZZZ", shots=2000, seed=7, max_fragment_width=3)
+        outcome = run_job(spec, progress=summaries.append)
+        assert len(summaries) == 1
+        assert summaries[0]["shots_spent"] == outcome.total_shots
+
+    def test_resumed_converged_job_still_reports_progress(self, tmp_path):
+        # A job whose final round was persisted but whose execution artifact
+        # was lost resumes with zero live rounds; the runner must still
+        # attach one final progress snapshot.
+        store = RunStore(tmp_path)
+        spec = adaptive_spec()
+        full = run_job(spec, store=store)
+        run_dir = store.run_dir(spec.fingerprint())
+        (run_dir / "execution.json").unlink()
+        (run_dir / "result.json").unlink()
+        summaries = []
+        resumed = run_job(spec, store=store, progress=summaries.append)
+        assert resumed.resumed_from == "rounds"
+        assert resumed.value == full.value
+        assert len(summaries) == 1
+        assert summaries[0]["shots_spent"] == resumed.total_shots
+        assert summaries[0]["converged"] is True
+        assert summaries[0]["rounds_completed"] == resumed.rounds_completed
+
+
+class TestScheduler:
+    def test_status_surfaces_progress_and_mode(self):
+        with JobScheduler(workers=1) as scheduler:
+            job_id = scheduler.submit(adaptive_spec())
+            outcome = scheduler.result(job_id, timeout=300)
+            status = scheduler.status(job_id)
+        assert status["state"] == "done"
+        assert status["mode"] == "adaptive"
+        assert status["converged"] is True
+        assert status["rounds_completed"] == outcome.rounds_completed
+        progress = status["progress"]
+        assert progress["shots_spent"] == outcome.total_shots
+        assert progress["current_stderr"] is not None
+        assert progress["target_error"] == pytest.approx(0.05)
+
+    def test_process_mode_runs_adaptive_jobs(self, tmp_path):
+        with JobScheduler(workers=2, mode="process", store=RunStore(tmp_path)) as scheduler:
+            job_id = scheduler.submit(adaptive_spec())
+            outcome = scheduler.result(job_id, timeout=600)
+        assert outcome.mode == "adaptive"
+        assert outcome.converged
+
+    def test_thread_and_process_agree_bitwise(self, tmp_path):
+        spec = adaptive_spec()
+        with JobScheduler(workers=1, mode="thread") as scheduler:
+            thread_outcome = scheduler.result(scheduler.submit(spec), timeout=300)
+        with JobScheduler(workers=1, mode="process") as scheduler:
+            process_outcome = scheduler.result(scheduler.submit(spec), timeout=600)
+        assert thread_outcome.value == process_outcome.value
+        assert thread_outcome.total_shots == process_outcome.total_shots

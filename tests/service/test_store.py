@@ -60,7 +60,7 @@ class TestStageArtifacts:
             store.get_stage(fingerprint, "result")
 
     def test_stage_order_matches_pipeline(self):
-        assert STAGES == ("plan", "execution", "result")
+        assert STAGES == ("plan", "rounds", "execution", "result")
 
 
 class TestRunListing:

@@ -1,0 +1,157 @@
+"""CLI tests for the adaptive execution mode (`cut run --mode adaptive`)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_adaptive_flags(self):
+        args = build_parser().parse_args(
+            [
+                "cut",
+                "run",
+                "--mode",
+                "adaptive",
+                "--target-error",
+                "0.05",
+                "--max-shots",
+                "9000",
+                "--rounds",
+                "6",
+            ]
+        )
+        assert args.mode == "adaptive"
+        assert args.target_error == pytest.approx(0.05)
+        assert args.max_shots == 9000 and args.rounds == 6
+
+    def test_jobs_submit_adaptive_flags(self):
+        args = build_parser().parse_args(
+            ["jobs", "submit", "--mode", "adaptive", "--target-error", "0.1"]
+        )
+        assert args.mode == "adaptive" and args.target_error == pytest.approx(0.1)
+
+
+class TestCutRunAdaptive:
+    def test_adaptive_run_prints_rounds_and_converges(self, capsys):
+        code = main(
+            [
+                "cut",
+                "run",
+                "--qubits",
+                "4",
+                "--width",
+                "3",
+                "--mode",
+                "adaptive",
+                "--target-error",
+                "0.05",
+                "--max-shots",
+                "100000",
+                "--seed",
+                "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "round 1:" in out
+        assert "adaptive rounds (converged)" in out
+        assert "reconstruct:" in out
+
+    def test_target_error_requires_adaptive_mode(self, capsys):
+        assert main(["cut", "run", "--target-error", "0.1"]) == 1
+        assert "--target-error requires --mode adaptive" in capsys.readouterr().out
+
+    def test_max_shots_requires_adaptive_mode(self, capsys):
+        assert main(["cut", "run", "--max-shots", "100"]) == 1
+        assert "--max-shots requires --mode adaptive" in capsys.readouterr().out
+
+    def test_rounds_requires_adaptive_mode(self, capsys):
+        assert main(["cut", "run", "--rounds", "5"]) == 1
+        assert "--rounds requires --mode adaptive" in capsys.readouterr().out
+
+    def test_allocation_rejected_in_adaptive_mode(self, capsys):
+        assert (
+            main(
+                [
+                    "cut",
+                    "run",
+                    "--mode",
+                    "adaptive",
+                    "--target-error",
+                    "0.05",
+                    "--allocation",
+                    "uniform",
+                ]
+            )
+            == 1
+        )
+        assert "--allocation applies to static mode" in capsys.readouterr().out
+
+    def test_adaptive_execution_records_planner_as_allocation(self):
+        from repro.experiments import ghz_circuit
+        from repro.pipeline import CutPipeline
+
+        pipeline = CutPipeline(max_fragment_width=3, backend="vectorized")
+        execution = pipeline.execute(
+            pipeline.decompose(pipeline.plan(ghz_circuit(4))),
+            "ZZZZ",
+            shots=50_000,
+            seed=3,
+            mode="adaptive",
+            target_error=0.06,
+        )
+        assert execution.allocation == "neyman"
+
+    def test_adaptive_requires_target_error(self, capsys):
+        assert main(["cut", "run", "--mode", "adaptive"]) == 1
+        assert "--mode adaptive requires --target-error" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("value", ["0", "-0.5", "nan", "inf"])
+    def test_rejects_non_positive_target_error(self, capsys, value):
+        assert main(["cut", "run", "--mode", "adaptive", "--target-error", value]) == 1
+        assert "positive finite number" in capsys.readouterr().out
+
+    def test_rejects_non_positive_rounds(self, capsys):
+        assert (
+            main(
+                [
+                    "cut",
+                    "run",
+                    "--mode",
+                    "adaptive",
+                    "--target-error",
+                    "0.05",
+                    "--rounds",
+                    "0",
+                ]
+            )
+            == 1
+        )
+        assert "--rounds must be a positive integer" in capsys.readouterr().out
+
+    def test_stored_adaptive_run_caches_second_invocation(self, capsys, tmp_path):
+        arguments = [
+            "cut",
+            "run",
+            "--qubits",
+            "4",
+            "--width",
+            "3",
+            "--mode",
+            "adaptive",
+            "--target-error",
+            "0.05",
+            "--max-shots",
+            "100000",
+            "--seed",
+            "7",
+            "--store",
+            str(tmp_path / "store"),
+        ]
+        assert main(arguments) == 0
+        first = capsys.readouterr().out
+        assert "fresh run" in first and "rounds (converged)" in first
+        assert main(arguments) == 0
+        second = capsys.readouterr().out
+        assert "cache hit (no re-execution)" in second

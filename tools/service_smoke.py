@@ -4,7 +4,10 @@ Starts ``repro serve`` machinery in-process on a free port, submits a 2-cut
 GHZ job through the HTTP client, polls it to completion, verifies the
 estimate against the exact value, then re-submits the identical job against
 a *fresh* service sharing the same store and asserts it is served from the
-store without re-execution.  Exits non-zero on any failure.
+store without re-execution.  A third round submits an **adaptive** job and
+polls the live progress fields (shots spent / current standard error /
+rounds) that ``repro jobs status`` surfaces.  Exits non-zero on any
+failure.
 
 Usage: ``PYTHONPATH=src python tools/service_smoke.py [store_dir]``
 """
@@ -69,6 +72,35 @@ def main() -> int:
         runs = client.runs()
         assert any(r["fingerprint"] == spec.fingerprint() for r in runs), runs
         print(f"store hit confirmed after restart (value {cached['value']:.4f}, no re-execution)")
+
+        # Round 3: an adaptive job reports live progress through job status.
+        adaptive_spec = JobSpec(
+            circuit=ghz_circuit(4),
+            observable="ZZZZ",
+            shots=100_000,
+            seed=11,
+            max_fragment_width=2,
+            mode="adaptive",
+            target_error=0.04,
+        )
+        adaptive_row = client.submit(adaptive_spec)
+        adaptive_outcome = client.wait(adaptive_row["job_id"], timeout=300)
+        assert adaptive_outcome["mode"] == "adaptive", adaptive_outcome
+        assert adaptive_outcome["converged"], adaptive_outcome
+        assert adaptive_outcome["rounds_completed"] >= 1, adaptive_outcome
+        assert adaptive_outcome["standard_error"] <= 0.04, adaptive_outcome
+        assert adaptive_outcome["total_shots"] < 100_000, adaptive_outcome
+        status = client.status(adaptive_row["job_id"])
+        progress = status.get("progress")
+        assert progress is not None, status
+        assert progress["shots_spent"] == adaptive_outcome["total_shots"], (progress, adaptive_outcome)
+        assert progress["current_stderr"] is not None, progress
+        assert progress["target_error"] == 0.04, progress
+        print(
+            f"adaptive progress confirmed: {progress['rounds_completed']} rounds, "
+            f"{progress['shots_spent']} shots, stderr {progress['current_stderr']:.4f} "
+            f"(target {progress['target_error']})"
+        )
     finally:
         server.shutdown()
         server.server_close()
