@@ -1,0 +1,204 @@
+"""Benchmark: instance-dedup execution + chain contraction vs the per-term path.
+
+Run with ``pytest benchmarks/bench_reconstruct.py -q -s``.
+
+The workload is a wide multi-cut sweep: a chain circuit is sliced into a
+string of fragments (one wire crossing per slice, the shape the planner
+produces for chain-structured circuits) and several observables are
+estimated through the full QPD product term set.  The **per-term arm**
+builds and simulates one monolithic circuit per product term and sums the
+κⁿ reconstruction; the **dedup arm** simulates each unique (fragment,
+basis-config) subcircuit instance exactly once, draws every term's outcomes
+from its chained exact distribution and folds the reconstruction into one
+tensor-network-style chain contraction.
+
+Asserted invariants (deterministic under the pinned seeds):
+
+* the dedup arm is **≥ 5× faster** than the per-term arm over the sweep
+  (the order-of-magnitude target of the instance-table layer: the unique
+  instances are exponentially narrower than the monolithic term circuits
+  and each is simulated once instead of once per term);
+* the dedup arm's term means and contracted exact values are **bitwise
+  identical across all three backends** (serial / vectorized /
+  process-pool) for the same seed;
+* every term's memoized chain ``p₊`` is **bitwise identical** to the
+  un-memoized per-term reference that rebuilds and re-simulates the
+  fragment chain from scratch;
+* the chain contraction agrees with the κⁿ summation (both the table's own
+  and the monolithic pipeline's) and with the uncut expectation to strict
+  float tolerance.
+
+``BENCH_reconstruct.json`` is written to the working directory
+(overridable via ``REPRO_BENCH_OUT``).  Set ``REPRO_BENCH_FULL=1`` for the
+larger sweep; the default smoke configuration keeps CI under a minute.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.circuits.backends import DistributionCache, VectorizedBackend
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.expectation import exact_expectation
+from repro.cutting import HaradaWireCut, build_instance_table, plan_from_positions
+from repro.pipeline import CutPipeline
+from repro.quantum.paulis import PauliString
+
+#: Speedup floor of the dedup arm over the per-term arm.
+SPEEDUP_FLOOR = 5.0
+#: Agreement tolerance between the contraction and the κⁿ summation.
+EXACT_TOLERANCE = 1e-9
+#: Shot budget per observable (identical in both arms).
+SHOTS = 4096
+SEED = 2024
+
+
+def chain_circuit(num_qubits: int) -> QuantumCircuit:
+    """Build the chain workload: entangling chain with per-wire rotations.
+
+    Between consecutive CX links each wire carries single-qubit rotations,
+    so interior time slices cross exactly one wire — the plan shape whose
+    fragments couple through a single cut per slice.
+    """
+    circuit = QuantumCircuit(num_qubits, name=f"chain{num_qubits}")
+    circuit.gate("h", 0)
+    for qubit in range(num_qubits - 1):
+        circuit.gate("rz", qubit, (0.3 + 0.1 * qubit,))
+        circuit.gate("cx", (qubit, qubit + 1))
+        circuit.gate("rx", qubit + 1, (0.5 + 0.05 * qubit,))
+    return circuit
+
+
+def _configuration(full: bool) -> tuple[QuantumCircuit, tuple[int, ...], list[str]]:
+    """Return (circuit, slice positions, observables) for the selected scale."""
+    circuit = chain_circuit(5)
+    if full:
+        positions = (4, 7, 10)
+        observables = ["ZZZZI", "ZZIZZ", "IZZZZ", "IIZZI"]
+    else:
+        positions = (4, 7)
+        observables = ["ZZZZI", "ZZIZZ", "IZZZZ"]
+    return circuit, positions, observables
+
+
+def _fresh_backend() -> VectorizedBackend:
+    """An isolated vectorized backend so neither arm benefits from shared caches."""
+    return VectorizedBackend(cache=DistributionCache())
+
+
+def test_dedup_reconstruction_speedup_and_identity():
+    """Dedup + contraction beats the per-term path ≥5× and stays bitwise stable."""
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    circuit, positions, observables = _configuration(full)
+    plan = plan_from_positions(circuit, positions)
+    protocols = [HaradaWireCut()] * plan.num_cuts
+
+    # -- per-term arm: monolithic term circuits + κⁿ summation ----------------
+    baseline_pipeline = CutPipeline(backend=_fresh_backend())
+    plan_result = baseline_pipeline.plan(circuit, plan=plan)
+    decomposition = baseline_pipeline.decompose(plan_result)
+    start = time.perf_counter()
+    baseline_values = {}
+    for observable in observables:
+        execution = baseline_pipeline.execute(decomposition, observable, SHOTS, seed=SEED)
+        estimate = baseline_pipeline.reconstruct(execution, compute_exact=False)
+        exact = baseline_pipeline.exact_reconstruction(decomposition, observable)
+        baseline_values[observable] = (estimate.value, exact)
+    baseline_seconds = time.perf_counter() - start
+
+    # -- dedup arm: shared instance table + chain contraction -----------------
+    dedup_pipeline = CutPipeline(backend=_fresh_backend(), dedup=True)
+    start = time.perf_counter()
+    dedup_values = {}
+    stats = None
+    for observable in observables:
+        execution = dedup_pipeline.execute(decomposition, observable, SHOTS, seed=SEED)
+        estimate = dedup_pipeline.reconstruct(execution, compute_exact=False)
+        exact = dedup_pipeline.exact_reconstruction(
+            decomposition, observable, method="contraction"
+        )
+        dedup_values[observable] = (estimate.value, exact)
+        stats = execution.instance_stats
+    dedup_seconds = time.perf_counter() - start
+
+    assert stats is not None, "dedup execution did not engage"
+    speedup = baseline_seconds / dedup_seconds
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"dedup arm only {speedup:.1f}x faster than the per-term arm "
+        f"({dedup_seconds:.3f}s vs {baseline_seconds:.3f}s); the floor is "
+        f"{SPEEDUP_FLOOR:.0f}x"
+    )
+
+    # The contraction agrees with the monolithic κⁿ summation and the uncut value.
+    for observable in observables:
+        _, baseline_exact = baseline_values[observable]
+        _, dedup_exact = dedup_values[observable]
+        truth = float(exact_expectation(circuit, PauliString(observable).to_matrix()))
+        assert abs(dedup_exact - baseline_exact) < EXACT_TOLERANCE, observable
+        assert abs(dedup_exact - truth) < EXACT_TOLERANCE, observable
+
+    # -- cross-backend bitwise identity of the dedup path ---------------------
+    headline = observables[0]
+    per_backend = {}
+    for backend_name in ("serial", "vectorized", "process-pool"):
+        table = build_instance_table(circuit, plan, protocols, headline)
+        table.evaluate(backend_name)
+        contracted = table.contract_exact_value()
+        summed = table.summed_exact_value()
+        assert abs(contracted - summed) < EXACT_TOLERANCE, backend_name
+        execution = CutPipeline(backend=backend_name, dedup=True).execute(
+            decomposition, headline, SHOTS, seed=SEED
+        )
+        per_backend[backend_name] = (
+            contracted,
+            summed,
+            tuple(estimate.mean for estimate in execution.term_estimates),
+        )
+    reference = per_backend["serial"]
+    for backend_name, values in per_backend.items():
+        assert values == reference, (
+            f"dedup results on {backend_name!r} are not bitwise identical to serial"
+        )
+
+    # -- memoized chains vs the un-memoized per-term reference ----------------
+    table = build_instance_table(circuit, plan, protocols, headline)
+    table.evaluate("serial")
+    for assignment in table.term_assignments():
+        memoized = table.term_probability_plus(assignment)
+        materialized = table.materialized_term_probability_plus(assignment, "serial")
+        assert memoized == materialized, (
+            f"term {assignment}: memoized p+ {memoized!r} != materialized {materialized!r}"
+        )
+
+    record = {
+        "benchmark": "dedup_reconstruction_vs_per_term",
+        "full_scale": full,
+        "circuit": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "num_cuts": plan.num_cuts,
+        "num_fragments": plan.num_fragments,
+        "num_terms": stats.num_terms,
+        "num_instances": stats.num_instances,
+        "num_references": stats.num_references,
+        "dedup_ratio": round(stats.dedup_ratio, 3),
+        "observables": observables,
+        "shots": SHOTS,
+        "seed": SEED,
+        "per_term_seconds": round(baseline_seconds, 4),
+        "dedup_seconds": round(dedup_seconds, 4),
+        "speedup": round(speedup, 2),
+        "contracted_exact": {
+            observable: dedup_values[observable][1] for observable in observables
+        },
+        "bitwise_identical_backends": ["serial", "vectorized", "process-pool"],
+    }
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_reconstruct.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\ndedup reconstruction: {speedup:.1f}x faster than the per-term path "
+        f"({stats.num_instances} unique instances for {stats.num_terms} terms, "
+        f"{stats.dedup_ratio:.1f}x fragment reuse) -> {out_path}"
+    )

@@ -175,6 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-store directory: persist every stage artifact and serve "
         "repeated identical runs from the store (resuming interrupted ones)",
     )
+    cut_run.add_argument(
+        "--dedup",
+        action="store_true",
+        help="evaluate each unique (fragment, basis-config) subcircuit instance "
+        "once and share it across all QPD terms (falls back to the per-term "
+        "path when the plan does not factorise; incompatible with --devices)",
+    )
 
     cut_demo = cut_commands.add_parser(
         "demo", help="cut a GHZ demo circuit and compare protocols"
@@ -305,6 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("uniform", "capacity", "fidelity"),
         default=None,
         help="override the fleet spec's shot-split policy (requires --devices)",
+    )
+    jobs_submit.add_argument(
+        "--dedup",
+        action="store_true",
+        help="request instance-dedup execution (shared subcircuit instances; "
+        "incompatible with --devices)",
     )
     jobs_submit.add_argument(
         "--wait", action="store_true", help="poll until the job finishes and print the result"
@@ -568,6 +581,9 @@ def _command_cut_run(args: argparse.Namespace) -> int:
     if args.split is not None and args.devices is None:
         print("--split requires --devices")
         return 1
+    if args.dedup and args.devices is not None:
+        print("--dedup requires an ideal simulator backend; drop --devices")
+        return 1
     if args.store is not None:
         return _cut_run_stored(args, circuit, observable, budget, mode_kwargs)
 
@@ -586,6 +602,7 @@ def _command_cut_run(args: argparse.Namespace) -> int:
             backend=backend,
             allocation=args.allocation or "proportional",
             max_cuts=args.max_cuts,
+            dedup="auto" if args.dedup else False,
         )
         plan_result = pipeline.plan(circuit)
     except CuttingError as error:
@@ -641,6 +658,15 @@ def _command_cut_run(args: argparse.Namespace) -> int:
         f"execute: {result.total_shots} shots over {len(execution.shots_per_term)} terms "
         f"on the {execution.backend_name} backend{adaptive_note}{pairs}"
     )
+    if execution.instance_stats is not None:
+        stats = execution.instance_stats
+        print(
+            f"dedup: {stats.num_instances} unique subcircuit instances served "
+            f"{stats.num_references} fragment evaluations "
+            f"({stats.dedup_ratio:.1f}x reuse across {stats.num_terms} terms)"
+        )
+    elif args.dedup:
+        print("dedup: requested but the plan does not factorise; per-term path used")
     print(
         f"reconstruct: <{observable}> = {result.value:.4f} ± {result.standard_error:.4f} "
         f"(exact {result.exact_value:.4f}, error {result.error:.4f})"
@@ -670,6 +696,7 @@ def _cut_run_stored(
             max_cuts=args.max_cuts,
             backend=args.backend,
             fleet=fleet,
+            dedup=args.dedup,
             **mode_kwargs,
         )
         outcome = run_job(spec, store=_open_store(args.store))
@@ -869,6 +896,7 @@ def _command_jobs_submit(args: argparse.Namespace) -> int:
             max_cuts=args.max_cuts,
             backend=args.backend,
             fleet=fleet,
+            dedup=args.dedup,
             **mode_kwargs,
         )
     except (CuttingError, DeviceError, ServiceError) as error:

@@ -24,6 +24,19 @@ from repro.cutting.executor import (
     cut_expectation_value,
     estimate_cut_expectation,
     exact_cut_expectation,
+    sampling_models_from_instances,
+)
+from repro.cutting.instances import (
+    FragmentInstance,
+    InstanceStats,
+    InstanceTable,
+    SplitGadget,
+    build_instance_table,
+    execute_instances,
+    execute_instances_adaptive,
+    instance_support_reason,
+    split_wire_cut_term,
+    supports_instance_dedup,
 )
 from repro.cutting.gate_cutting import (
     CZGateCut,
@@ -136,6 +149,18 @@ __all__ = [
     "execute_term_circuits_adaptive",
     "independent_cuts_decomposition",
     "measured_multi_cut_circuit",
+    # instance dedup
+    "SplitGadget",
+    "split_wire_cut_term",
+    "instance_support_reason",
+    "supports_instance_dedup",
+    "FragmentInstance",
+    "InstanceStats",
+    "InstanceTable",
+    "build_instance_table",
+    "execute_instances",
+    "execute_instances_adaptive",
+    "sampling_models_from_instances",
     # virtual distillation (Appendix B construction)
     "virtual_bell_decomposition",
     "DistilledTeleportWireCut",

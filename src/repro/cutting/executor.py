@@ -34,6 +34,13 @@ Two execution paths are provided:
   general path because each shot is an i.i.d. draw from the same exact
   distribution.
 
+Multi-cut plans get the same exact-distribution fast path through the
+instance-dedup layer (:mod:`repro.cutting.instances`): the unique
+(fragment, basis-config) subcircuit instances are simulated once, each
+product term's ``p₊`` is chained from the shared fragment tensors, and
+:func:`sampling_models_from_instances` bridges an evaluated table into the
+:class:`TermSamplingModel` machinery below.
+
 Both paths offer two execution modes: ``static`` (the whole budget
 allocated up front — the paper's procedure, unchanged bitwise) and
 ``adaptive`` (the round-structured engine of :mod:`repro.qpd.adaptive`,
@@ -79,6 +86,7 @@ __all__ = [
     "TermSamplingModel",
     "cut_expectation_value",
     "exact_cut_expectation",
+    "sampling_models_from_instances",
 ]
 
 
@@ -668,6 +676,43 @@ def build_sampling_model(
     distributions give the exact probability of a +1 signed outcome per term.
     """
     return build_sampling_models([circuit], location, protocol, observable, backend=backend)[0]
+
+
+def sampling_models_from_instances(table, backend=None) -> list[TermSamplingModel]:
+    """Bridge an instance table into the per-term sampling-model machinery.
+
+    The table (a :class:`repro.cutting.instances.InstanceTable`; accepted
+    structurally to keep this module import-light) is evaluated once through
+    ``backend``, then every QPD product term's exact ``p₊`` is chained from
+    the shared fragment tensors — so a full multi-cut term set becomes a
+    list of :class:`TermSamplingModel` objects without ever materialising
+    the monolithic term circuits.
+
+    Parameters
+    ----------
+    table:
+        An :class:`~repro.cutting.instances.InstanceTable` (evaluated or
+        not; evaluation is idempotent).
+    backend:
+        Execution backend (name or instance) for the instance evaluation;
+        ``None`` selects the serial backend.
+
+    Returns
+    -------
+    list[TermSamplingModel]
+        One exact sampling model per QPD product term, in the monolithic
+        product order.
+    """
+    table.evaluate(backend)
+    return [
+        TermSamplingModel(
+            coefficient=table.term_coefficient(assignment),
+            probability_plus=table.term_probability_plus(assignment),
+            label=table.term_label(assignment),
+            consumes_entangled_pair=table.term_entangled_pairs(assignment) > 0,
+        )
+        for assignment in table.term_assignments()
+    ]
 
 
 def exact_cut_expectation(

@@ -9,11 +9,13 @@ plus device constraints turns into an expectation-value estimate — with one
 wire cut or many, two fragments or a chain of them.
 """
 
-from repro.pipeline.pipeline import CutPipeline
+from repro.pipeline.pipeline import DEDUP_MODES, RECONSTRUCTION_METHODS, CutPipeline
 from repro.pipeline.stages import Decomposition, Execution, PipelineResult, PlanResult
 
 __all__ = [
     "CutPipeline",
+    "DEDUP_MODES",
+    "RECONSTRUCTION_METHODS",
     "PlanResult",
     "Decomposition",
     "Execution",

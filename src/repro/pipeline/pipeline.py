@@ -21,6 +21,14 @@ a cut-circuit expectation-value estimate:
 4. **reconstruct** — recombine the per-term means with the signed
    coefficient products (Eq. 12) and propagate the standard error.
 
+With ``dedup=True`` (or ``"auto"``) the execute stage routes full-slice
+plans through the instance-dedup layer of :mod:`repro.cutting.instances`:
+every unique (fragment, basis-config) subcircuit instance is simulated
+exactly once, the QPD product terms index into the shared table, and the
+execution artifact carries the dedup accounting.
+:meth:`CutPipeline.exact_reconstruction` can likewise fold the full κⁿ
+summation into one fragment-chain contraction (``method="contraction"``).
+
 Each stage returns a frozen artifact (:mod:`repro.pipeline.stages`), so the
 stages can be run separately for inspection, or all at once with
 :meth:`CutPipeline.run`.
@@ -40,7 +48,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.exceptions import CuttingError
-from repro.circuits.backends import SimulatorBackend, resolve_backend
+from repro.circuits.backends import BACKEND_NAMES, SimulatorBackend, resolve_backend
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.expectation import exact_expectation
 from repro.cutting.base import WireCutProtocol
@@ -52,6 +60,12 @@ from repro.cutting.cut_finding import (
 )
 from repro.cutting.cutter import CutLocation
 from repro.cutting.executor import ESTIMATION_MODES, _as_pauli, _probability_plus
+from repro.cutting.instances import (
+    build_instance_table,
+    execute_instances,
+    execute_instances_adaptive,
+    instance_support_reason,
+)
 from repro.cutting.multi_wire import (
     MultiCutTermCircuit,
     build_multi_cut_circuits,
@@ -68,7 +82,20 @@ from repro.qpd.estimator import combine_term_estimates
 from repro.quantum.paulis import PauliString
 from repro.utils.rng import SeedLike
 
-__all__ = ["CutPipeline"]
+__all__ = ["CutPipeline", "DEDUP_MODES", "RECONSTRUCTION_METHODS"]
+
+#: Accepted values of the pipeline's ``dedup`` configuration: ``False`` keeps
+#: the monolithic per-term path (bitwise identical to earlier releases),
+#: ``True`` requires the instance-dedup path (raising when the plan or
+#: protocols cannot be factorised), ``"auto"`` uses dedup whenever it is
+#: supported and silently falls back otherwise.
+DEDUP_MODES = (False, True, "auto")
+
+#: Accepted values of :meth:`CutPipeline.exact_reconstruction`'s ``method``:
+#: ``"summation"`` materialises every product term (the κⁿ reference),
+#: ``"contraction"`` folds the whole summation into one fragment-chain
+#: contraction through the instance table.
+RECONSTRUCTION_METHODS = ("summation", "contraction")
 
 
 class CutPipeline:
@@ -106,6 +133,13 @@ class CutPipeline:
         Optional planner bound on the total number of wire cuts.
     max_fragments:
         Optional planner bound on the number of fragments (devices).
+    dedup:
+        Instance-dedup execution (:mod:`repro.cutting.instances`):
+        ``False`` (default) keeps the monolithic per-term path, ``True``
+        requires the shared instance table (raising when the plan or
+        protocols cannot be factorised), ``"auto"`` uses it whenever
+        supported and falls back silently otherwise.  Per-call override via
+        :meth:`execute`'s ``dedup`` argument.
 
     Examples
     --------
@@ -132,9 +166,12 @@ class CutPipeline:
         allocation: str = "proportional",
         max_cuts: int | None = None,
         max_fragments: int | None = None,
+        dedup: bool | str = False,
     ):
         if max_fragment_width is not None and max_fragment_width < 1:
             raise CuttingError("max_fragment_width must be at least 1")
+        if dedup not in DEDUP_MODES:
+            raise CuttingError(f"unknown dedup mode {dedup!r}; expected one of {DEDUP_MODES}")
         self.max_fragment_width = max_fragment_width
         self.protocol = protocol
         self.entanglement_overlap = entanglement_overlap
@@ -142,6 +179,7 @@ class CutPipeline:
         self.allocation = allocation
         self.max_cuts = max_cuts
         self.max_fragments = max_fragments
+        self.dedup = dedup
 
     # -- stage 1: plan -----------------------------------------------------------------
 
@@ -282,6 +320,7 @@ class CutPipeline:
         planner: str | None = None,
         completed_rounds: Sequence[RoundRecord] = (),
         on_round=None,
+        dedup: bool | str | None = None,
     ) -> Execution:
         """Spend the shot budget on the term set through the execution backend.
 
@@ -329,16 +368,39 @@ class CutPipeline:
             Optional progress hook called after every live adaptive round
             with the :class:`~repro.qpd.adaptive.RoundRecord` and a
             progress summary dict.
+        dedup:
+            Per-call override of the pipeline's dedup configuration
+            (``False`` / ``True`` / ``"auto"``); ``None`` uses the
+            configured default.  When dedup engages, the unique fragment
+            instances are simulated once through the backend and every
+            term's outcomes are drawn from its chained exact distribution
+            — statistically identical to the monolithic path and bitwise
+            identical across backends — and the returned execution carries
+            the table's accounting in ``instance_stats``.
 
         Returns
         -------
         Execution
             Raw per-term empirical summaries (plus round records in
-            adaptive mode).
+            adaptive mode, plus dedup accounting when the instance table
+            served the execution).
         """
         if mode not in ESTIMATION_MODES:
             raise CuttingError(f"unknown mode {mode!r}; expected one of {ESTIMATION_MODES}")
         pauli = _as_pauli(observable, decomposition.circuit.num_qubits)
+        if self._dedup_engages(decomposition, dedup):
+            return self._execute_dedup(
+                decomposition,
+                pauli,
+                shots,
+                seed=seed,
+                mode=mode,
+                target_error=target_error,
+                rounds=rounds,
+                planner=planner,
+                completed_rounds=completed_rounds,
+                on_round=on_round,
+            )
         if mode == "adaptive":
             if target_error is None:
                 raise CuttingError("adaptive mode requires target_error")
@@ -387,6 +449,101 @@ class CutPipeline:
             shots_per_term=tuple(shots_per_term),
             backend_name=self.backend.name,
             allocation=self.allocation,
+        )
+
+    def _dedup_reason(self, decomposition: Decomposition) -> str | None:
+        """Explain why dedup cannot serve this decomposition, or ``None``."""
+        if self.backend.name not in BACKEND_NAMES:
+            return (
+                f"dedup requires an ideal simulator backend, got {self.backend.name!r}"
+            )
+        return instance_support_reason(
+            decomposition.circuit,
+            decomposition.plan_result.plan,
+            decomposition.protocols,
+        )
+
+    def _dedup_engages(self, decomposition: Decomposition, dedup: bool | str | None) -> bool:
+        """Resolve the effective dedup setting against the decomposition."""
+        requested = self.dedup if dedup is None else dedup
+        if requested not in DEDUP_MODES:
+            raise CuttingError(
+                f"unknown dedup mode {requested!r}; expected one of {DEDUP_MODES}"
+            )
+        if requested is False:
+            return False
+        reason = self._dedup_reason(decomposition)
+        if reason is None:
+            return True
+        if requested is True:
+            raise CuttingError(f"dedup execution unavailable: {reason}")
+        return False
+
+    def _execute_dedup(
+        self,
+        decomposition: Decomposition,
+        pauli: PauliString,
+        shots: int,
+        seed: SeedLike,
+        mode: str,
+        target_error: float | None,
+        rounds: int,
+        planner: str | None,
+        completed_rounds: Sequence[RoundRecord],
+        on_round,
+    ) -> Execution:
+        """Execute the term set through the shared instance table."""
+        table = build_instance_table(
+            decomposition.circuit,
+            decomposition.plan_result.plan,
+            decomposition.protocols,
+            pauli,
+        )
+        if mode == "adaptive":
+            if target_error is None:
+                raise CuttingError("adaptive mode requires target_error")
+            config = AdaptiveConfig(
+                target_error=target_error,
+                max_shots=int(shots),
+                max_rounds=rounds,
+                planner=planner,
+            )
+            term_estimates, shots_per_term, adaptive, stats = execute_instances_adaptive(
+                table,
+                config,
+                seed=seed,
+                backend=self.backend,
+                completed_rounds=completed_rounds,
+                on_round=on_round,
+            )
+            return Execution(
+                decomposition=decomposition,
+                observable=pauli,
+                term_estimates=tuple(term_estimates),
+                shots_per_term=tuple(shots_per_term),
+                backend_name=self.backend.name,
+                allocation=resolve_planner(planner).name,
+                mode="adaptive",
+                target_error=float(target_error),
+                converged=adaptive.converged,
+                rounds=adaptive.rounds,
+                instance_stats=stats,
+            )
+        term_estimates, shots_per_term, stats = execute_instances(
+            table,
+            shots,
+            allocation=self.allocation,
+            seed=seed,
+            backend=self.backend,
+        )
+        return Execution(
+            decomposition=decomposition,
+            observable=pauli,
+            term_estimates=tuple(term_estimates),
+            shots_per_term=tuple(shots_per_term),
+            backend_name=self.backend.name,
+            allocation=self.allocation,
+            instance_stats=stats,
         )
 
     # -- stage 4: reconstruct ----------------------------------------------------------
@@ -441,6 +598,7 @@ class CutPipeline:
         target_error: float | None = None,
         rounds: int = DEFAULT_MAX_ROUNDS,
         planner: str | None = None,
+        dedup: bool | str | None = None,
     ) -> PipelineResult:
         """Run all four stages and return the final estimate.
 
@@ -471,6 +629,9 @@ class CutPipeline:
             Adaptive round limit.
         planner:
             Adaptive per-round planner name.
+        dedup:
+            Per-call override of the pipeline's instance-dedup setting
+            (see :meth:`execute`).
 
         Returns
         -------
@@ -488,19 +649,30 @@ class CutPipeline:
             target_error=target_error,
             rounds=rounds,
             planner=planner,
+            dedup=dedup,
         )
         return self.reconstruct(execution, compute_exact=compute_exact)
 
     def exact_reconstruction(
-        self, decomposition: Decomposition, observable: str | PauliString
+        self,
+        decomposition: Decomposition,
+        observable: str | PauliString,
+        method: str = "summation",
     ) -> float:
         """Return the decomposition's exact (infinite-shot) reconstructed value.
 
-        Every term circuit's exact outcome distribution is computed through
-        the configured backend and recombined as ``Σ_i c_i (2 p⁺_i − 1)``.
-        For valid protocols this equals the uncut expectation value; tests
-        use the agreement of the two as the end-to-end unbiasedness check of
-        the multi-cut gadget chain.
+        With the default ``"summation"`` method every term circuit's exact
+        outcome distribution is computed through the configured backend and
+        recombined as ``Σ_i c_i (2 p⁺_i − 1)`` — the κⁿ reference, bitwise
+        identical to earlier releases.  With ``"contraction"`` the unique
+        fragment instances are simulated once and the whole summation is
+        folded into a single tensor-network-style chain contraction
+        (:meth:`repro.cutting.instances.InstanceTable.contract_exact_value`)
+        — linear in the number of fragments instead of exponential in the
+        number of cuts, and agreeing with the summation to float
+        round-off.  For valid protocols either value equals the uncut
+        expectation; tests use the agreement as the end-to-end
+        unbiasedness check of the multi-cut gadget chain.
 
         Parameters
         ----------
@@ -508,13 +680,39 @@ class CutPipeline:
             The decompose-stage artifact.
         observable:
             Pauli observable over the original circuit's logical qubits.
+        method:
+            ``"summation"`` (default) or ``"contraction"``.
 
         Returns
         -------
         float
             The exactly reconstructed expectation value.
+
+        Raises
+        ------
+        CuttingError
+            With ``method="contraction"`` when the plan or protocols cannot
+            be served by the instance table (the message names the
+            obstruction).
         """
+        if method not in RECONSTRUCTION_METHODS:
+            raise CuttingError(
+                f"unknown reconstruction method {method!r}; "
+                f"expected one of {RECONSTRUCTION_METHODS}"
+            )
         pauli = _as_pauli(observable, decomposition.circuit.num_qubits)
+        if method == "contraction":
+            reason = self._dedup_reason(decomposition)
+            if reason is not None:
+                raise CuttingError(f"contraction reconstruction unavailable: {reason}")
+            table = build_instance_table(
+                decomposition.circuit,
+                decomposition.plan_result.plan,
+                decomposition.protocols,
+                pauli,
+            )
+            table.evaluate(self.backend)
+            return table.contract_exact_value()
         measured = []
         selected_clbits = []
         for term_circuit in decomposition.term_circuits:

@@ -31,6 +31,7 @@ from repro.circuits.backends import circuit_fingerprint
 from repro.circuits.circuit import QuantumCircuit
 from repro.cutting.base import WireCutProtocol
 from repro.cutting.cut_finding import MultiCutPlan
+from repro.cutting.instances import InstanceStats
 from repro.cutting.multi_wire import MultiCutTermCircuit
 from repro.qpd.adaptive import RoundRecord
 from repro.qpd.estimator import TermEstimate
@@ -176,6 +177,11 @@ class Execution:
     rounds:
         Adaptive mode: the executed round records, in order (empty in
         static mode).
+    instance_stats:
+        Dedup accounting when the execution went through the shared
+        instance table of :mod:`repro.cutting.instances` (unique instances
+        simulated, per-term references served, distribution-cache deltas);
+        ``None`` when the monolithic per-term path ran.
     """
 
     decomposition: Decomposition
@@ -188,6 +194,7 @@ class Execution:
     target_error: float | None = None
     converged: bool | None = None
     rounds: tuple[RoundRecord, ...] = ()
+    instance_stats: InstanceStats | None = None
 
     @property
     def total_shots(self) -> int:
@@ -220,9 +227,11 @@ class Execution:
         resumed estimate bitwise identical to the uninterrupted one.
 
         Adaptive executions additionally record the mode, the target error,
-        convergence and every round's (allocation, means) record; static
-        payloads are byte-for-byte identical to the pre-adaptive layout, so
-        existing stored runs keep their fingerprints.
+        convergence and every round's (allocation, means) record; executions
+        that went through the instance-dedup table additionally record its
+        accounting.  Payloads without those features are byte-for-byte
+        identical to the earlier layouts, so existing stored runs keep
+        their fingerprints.
         """
         payload = {
             "observable": self.observable.labels,
@@ -254,11 +263,24 @@ class Execution:
             )
             payload["converged"] = self.converged
             payload["rounds"] = [record.to_payload() for record in self.rounds]
+        if self.instance_stats is not None:
+            payload["instance_stats"] = self.instance_stats.to_payload()
         return payload
 
     def fingerprint(self) -> str:
-        """Return a stable content hash of the execution-stage artifact."""
-        return payload_fingerprint(self.to_payload())
+        """Return a stable content hash of the execution-stage artifact.
+
+        The distribution-cache hit/miss deltas inside ``instance_stats``
+        depend on cache warmth rather than on the sampled result, so they
+        are excluded: two seeded dedup runs with identical statistics hash
+        identically whether or not the cache was already populated.
+        """
+        payload = self.to_payload()
+        stats = payload.get("instance_stats")
+        if stats is not None:
+            stats.pop("distribution_cache_hits", None)
+            stats.pop("distribution_cache_misses", None)
+        return payload_fingerprint(payload)
 
     @classmethod
     def from_payload(cls, decomposition: Decomposition, payload: dict) -> "Execution":
@@ -301,6 +323,11 @@ class Execution:
             converged=payload.get("converged"),
             rounds=tuple(
                 RoundRecord.from_payload(entry) for entry in payload.get("rounds", ())
+            ),
+            instance_stats=(
+                None
+                if payload.get("instance_stats") is None
+                else InstanceStats.from_payload(payload["instance_stats"])
             ),
         )
 

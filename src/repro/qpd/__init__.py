@@ -1,5 +1,11 @@
 """Quasiprobability-decomposition framework (Sections II-B/II-C of the paper)."""
 
+from repro.qpd.contraction import (
+    chain_probability_plus,
+    expectation_from_probability,
+    parity_transfer,
+    signed_transfer,
+)
 from repro.qpd.adaptive import (
     DEFAULT_MAX_ROUNDS,
     AdaptiveConfig,
@@ -56,4 +62,8 @@ __all__ = [
     "apply_superoperator",
     "superoperator_of_matrix_pair",
     "tensor_superoperators",
+    "parity_transfer",
+    "chain_probability_plus",
+    "signed_transfer",
+    "expectation_from_probability",
 ]

@@ -1,0 +1,140 @@
+"""Transfer-matrix contraction kernels for fragment-chain reconstruction.
+
+For a full-slice multi-cut plan the circuit factorises at every slice: the
+only coupling between consecutive fragments is the classical message bits a
+cut gadget's sender half writes and its receiver half conditions on.  The
+joint outcome distribution of one QPD product term therefore forms a Markov
+chain over the fragments, and the quantities the reconstructor needs reduce
+to small tensor contractions:
+
+* each fragment contributes a **conditional tensor** of shape
+  ``(num_in_configs, num_out_configs, 2)`` — the probability of emitting a
+  given outgoing message configuration with a given local outcome parity,
+  conditioned on each incoming message configuration;
+* the signed-outcome probability ``p₊`` of the whole term is recovered by
+  propagating a ``(configs, parity)`` state vector through the chain
+  (:func:`chain_probability_plus`) instead of simulating the monolithic
+  term circuit;
+* exact (infinite-shot) values only need the parity-signed reduction of
+  each tensor (:func:`signed_transfer`), which
+  :meth:`repro.cutting.instances.InstanceTable.contract_exact_value` folds
+  together with the QPD coefficients into a single chain contraction.
+
+The kernels are deliberately tiny and deterministic: the same tensors
+always produce bitwise-identical results, which is what lets the memoized
+instance table be validated against a per-term reference evaluation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import DecompositionError
+
+__all__ = [
+    "parity_transfer",
+    "chain_probability_plus",
+    "signed_transfer",
+    "expectation_from_probability",
+]
+
+
+def parity_transfer(state: np.ndarray, tensor: np.ndarray) -> np.ndarray:
+    """Advance a ``(configs, parity)`` chain state through one fragment tensor.
+
+    Parameters
+    ----------
+    state:
+        Array of shape ``(num_in_configs, 2)``; ``state[i, π]`` is the joint
+        probability that the chain so far produced incoming message
+        configuration ``i`` with accumulated outcome parity ``π``.
+    tensor:
+        Fragment conditional tensor of shape
+        ``(num_in_configs, num_out_configs, 2)``; ``tensor[i, o, π]`` is the
+        probability of emitting outgoing configuration ``o`` with local
+        parity ``π`` given incoming configuration ``i``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The advanced state of shape ``(num_out_configs, 2)``, with the local
+        parity XOR-folded into the accumulated parity.
+    """
+    state = np.asarray(state, dtype=float)
+    tensor = np.asarray(tensor, dtype=float)
+    if state.ndim != 2 or state.shape[1] != 2:
+        raise DecompositionError(f"chain state must have shape (configs, 2), got {state.shape}")
+    if tensor.ndim != 3 or tensor.shape[2] != 2:
+        raise DecompositionError(
+            f"fragment tensor must have shape (in, out, 2), got {tensor.shape}"
+        )
+    if tensor.shape[0] != state.shape[0]:
+        raise DecompositionError(
+            f"state has {state.shape[0]} configurations, tensor expects {tensor.shape[0]}"
+        )
+    even = state[:, 0] @ tensor[:, :, 0] + state[:, 1] @ tensor[:, :, 1]
+    odd = state[:, 0] @ tensor[:, :, 1] + state[:, 1] @ tensor[:, :, 0]
+    return np.stack([even, odd], axis=-1)
+
+
+def chain_probability_plus(tensors: Sequence[np.ndarray]) -> float:
+    """Return the exact ``p₊`` of one product term from its fragment chain.
+
+    The chain starts in the trivial state (one empty message configuration,
+    even parity) and is advanced through every fragment tensor in order;
+    the result is the total probability that the signed outcome — observable
+    parity times the gadget sign bits — over *all* fragments is ``+1``.
+
+    Parameters
+    ----------
+    tensors:
+        One conditional tensor per fragment, in fragment order; tensor ``k``'s
+        ``num_in_configs`` must equal tensor ``k−1``'s ``num_out_configs``.
+
+    Returns
+    -------
+    float
+        The probability of an even total parity, clipped to ``[0, 1]``.
+    """
+    if not tensors:
+        raise DecompositionError("at least one fragment tensor is required")
+    state = np.array([[1.0, 0.0]])
+    for tensor in tensors:
+        state = parity_transfer(state, tensor)
+    probability_plus = float(np.sum(state[:, 0]))
+    return min(max(probability_plus, 0.0), 1.0)
+
+
+def signed_transfer(tensor: np.ndarray) -> np.ndarray:
+    """Reduce a fragment tensor to its parity-signed transfer matrix.
+
+    ``signed[i, o] = tensor[i, o, 0] − tensor[i, o, 1]`` is the expected
+    ``(−1)^parity`` contribution of the fragment per (incoming, outgoing)
+    configuration pair; chaining these matrices yields the exact expectation
+    of the signed outcome, which is how
+    :meth:`~repro.cutting.instances.InstanceTable.contract_exact_value`
+    folds the κⁿ summation into a single pass.
+
+    Parameters
+    ----------
+    tensor:
+        Fragment conditional tensor of shape ``(in, out, 2)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(in, out)`` signed transfer matrix.
+    """
+    tensor = np.asarray(tensor, dtype=float)
+    if tensor.ndim != 3 or tensor.shape[2] != 2:
+        raise DecompositionError(
+            f"fragment tensor must have shape (in, out, 2), got {tensor.shape}"
+        )
+    return tensor[:, :, 0] - tensor[:, :, 1]
+
+
+def expectation_from_probability(probability_plus: float) -> float:
+    """Map a ±1 outcome's ``p₊`` to its expectation ``2 p₊ − 1``."""
+    return 2.0 * float(probability_plus) - 1.0

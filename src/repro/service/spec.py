@@ -80,6 +80,13 @@ class JobSpec:
         (required and strictly positive when ``mode="adaptive"``).
     rounds:
         Adaptive mode's round limit (strictly positive).
+    dedup:
+        Execute through the instance-dedup table
+        (:mod:`repro.cutting.instances`) when the plan supports it,
+        falling back to the monolithic per-term path otherwise.  Requires
+        an ideal simulator backend (no ``fleet``).  Becomes part of the
+        fingerprint only when enabled, so existing stored runs keep their
+        content addresses.
     """
 
     circuit: QuantumCircuit
@@ -98,6 +105,7 @@ class JobSpec:
     mode: str = "static"
     target_error: float | None = None
     rounds: int = DEFAULT_MAX_ROUNDS
+    dedup: bool = False
 
     def __post_init__(self) -> None:
         validate_positive_count(self.shots, name="shots")
@@ -148,6 +156,12 @@ class JobSpec:
             raise ServiceError(
                 f"fleet must be a spec document (JSON object), got {type(self.fleet).__name__}"
             )
+        if not isinstance(self.dedup, bool):
+            raise ServiceError(f"dedup must be a boolean, got {self.dedup!r}")
+        if self.dedup and self.fleet is not None:
+            raise ServiceError(
+                "dedup requires an ideal simulator backend; it cannot run on a noisy fleet"
+            )
         # Normalise tuple-valued fields so payloads and fingerprints are stable
         # regardless of whether lists or tuples were passed in.
         if self.positions is not None:
@@ -193,6 +207,8 @@ class JobSpec:
             payload["mode"] = self.mode
             payload["target_error"] = float(self.target_error)
             payload["rounds"] = int(self.rounds)
+        if self.dedup:
+            payload["dedup"] = True
         return payload
 
     @classmethod
@@ -247,6 +263,7 @@ class JobSpec:
                 mode=str(payload.get("mode", "static")),
                 target_error=payload.get("target_error"),
                 rounds=int(payload.get("rounds", DEFAULT_MAX_ROUNDS)),
+                dedup=bool(payload.get("dedup", False)),
             )
         except ServiceError:
             raise
@@ -286,6 +303,10 @@ class JobSpec:
             backend=backend,
             allocation=self.allocation,
             max_cuts=self.max_cuts,
+            # A job-level dedup request falls back gracefully when the chosen
+            # plan turns out not to factorise (the fingerprint still differs,
+            # because the request itself is part of the payload).
+            dedup="auto" if self.dedup else False,
         )
 
     def execute_arguments(self) -> dict:

@@ -1,0 +1,149 @@
+"""Tests for dedup execution and contraction reconstruction in the pipeline."""
+
+import json
+
+import pytest
+
+from repro.exceptions import CuttingError
+from repro.circuits.expectation import exact_expectation
+from repro.experiments import ghz_circuit
+from repro.pipeline import DEDUP_MODES, RECONSTRUCTION_METHODS, CutPipeline
+from repro.pipeline.stages import Execution
+from repro.quantum.paulis import PauliString
+
+
+@pytest.fixture(scope="module")
+def staged():
+    """A 2-cut GHZ plan with dedup enabled end to end."""
+    pipeline = CutPipeline(max_fragment_width=2, backend="vectorized", dedup=True)
+    plan_result = pipeline.plan(ghz_circuit(4))
+    decomposition = pipeline.decompose(plan_result)
+    execution = pipeline.execute(decomposition, "ZZZZ", shots=4000, seed=21)
+    return pipeline, decomposition, execution
+
+
+class TestModeValidation:
+    def test_mode_constants(self):
+        assert DEDUP_MODES == (False, True, "auto")
+        assert RECONSTRUCTION_METHODS == ("summation", "contraction")
+
+    def test_constructor_rejects_unknown_mode(self):
+        with pytest.raises(CuttingError, match="dedup"):
+            CutPipeline(max_fragment_width=2, dedup="always")
+
+    def test_execute_rejects_unknown_mode(self, staged):
+        pipeline, decomposition, _ = staged
+        with pytest.raises(CuttingError, match="dedup"):
+            pipeline.execute(decomposition, "ZZZZ", 100, seed=1, dedup="always")
+
+    def test_reconstruction_method_validated(self, staged):
+        pipeline, decomposition, _ = staged
+        with pytest.raises(CuttingError, match="method"):
+            pipeline.exact_reconstruction(decomposition, "ZZZZ", method="tensor")
+
+
+class TestDedupExecution:
+    def test_instance_stats_attached(self, staged):
+        _, _, execution = staged
+        stats = execution.instance_stats
+        assert stats is not None
+        assert stats.num_terms == len(execution.term_estimates) == 9
+        assert stats.num_instances <= stats.num_references
+
+    def test_monolithic_execution_has_no_stats(self, staged):
+        pipeline, decomposition, _ = staged
+        execution = pipeline.execute(decomposition, "ZZZZ", 1000, seed=3, dedup=False)
+        assert execution.instance_stats is None
+
+    def test_estimate_close_to_exact(self, staged):
+        pipeline, decomposition, execution = staged
+        result = pipeline.reconstruct(execution)
+        assert result.value == pytest.approx(1.0, abs=0.2)
+
+    def test_seeded_dedup_run_is_reproducible(self, staged):
+        pipeline, decomposition, execution = staged
+        again = pipeline.execute(decomposition, "ZZZZ", shots=4000, seed=21)
+        assert again.term_estimates == execution.term_estimates
+
+    def test_adaptive_dedup_execution(self, staged):
+        pipeline, decomposition, _ = staged
+        execution = pipeline.execute(
+            decomposition,
+            "ZZZZ",
+            shots=4000,
+            seed=9,
+            mode="adaptive",
+            target_error=0.05,
+            rounds=5,
+        )
+        assert execution.mode == "adaptive"
+        assert execution.instance_stats is not None
+        assert execution.converged is not None
+        assert 1 <= len(execution.rounds) <= 5
+
+    def test_dedup_true_raises_on_unsupported_protocol(self):
+        pipeline = CutPipeline(
+            max_fragment_width=2, entanglement_overlap=0.8, dedup=True
+        )
+        plan_result = pipeline.plan(ghz_circuit(4))
+        decomposition = pipeline.decompose(plan_result)
+        with pytest.raises(CuttingError, match="dedup execution unavailable"):
+            pipeline.execute(decomposition, "ZZZZ", 500, seed=1)
+
+    def test_dedup_auto_falls_back_on_unsupported_protocol(self):
+        auto = CutPipeline(max_fragment_width=2, entanglement_overlap=0.8, dedup="auto")
+        plain = CutPipeline(max_fragment_width=2, entanglement_overlap=0.8)
+        decomposition = auto.decompose(auto.plan(ghz_circuit(4)))
+        fallback = auto.execute(decomposition, "ZZZZ", 800, seed=5)
+        monolithic = plain.execute(decomposition, "ZZZZ", 800, seed=5)
+        assert fallback.instance_stats is None
+        # The fallback is the monolithic path, bit for bit.
+        assert fallback.term_estimates == monolithic.term_estimates
+
+    def test_dedup_rejected_on_fleet_backend(self):
+        from repro.devices import example_fleet_spec, fleet_from_spec
+
+        fleet = fleet_from_spec(example_fleet_spec())
+        pipeline = CutPipeline(max_fragment_width=2, backend=fleet, dedup=True)
+        decomposition = pipeline.decompose(pipeline.plan(ghz_circuit(4)))
+        with pytest.raises(CuttingError, match="ideal simulator backend"):
+            pipeline.execute(decomposition, "ZZZZ", 500, seed=1)
+
+
+class TestContractionReconstruction:
+    def test_matches_summation(self, staged):
+        pipeline, decomposition, _ = staged
+        summed = pipeline.exact_reconstruction(decomposition, "ZZZZ")
+        contracted = pipeline.exact_reconstruction(
+            decomposition, "ZZZZ", method="contraction"
+        )
+        truth = float(exact_expectation(ghz_circuit(4), PauliString("ZZZZ").to_matrix()))
+        assert contracted == pytest.approx(summed, abs=1e-9)
+        assert contracted == pytest.approx(truth, abs=1e-9)
+
+    def test_contraction_raises_on_unsupported_protocol(self):
+        pipeline = CutPipeline(max_fragment_width=2, entanglement_overlap=0.8)
+        decomposition = pipeline.decompose(pipeline.plan(ghz_circuit(4)))
+        with pytest.raises(CuttingError, match="contraction"):
+            pipeline.exact_reconstruction(decomposition, "ZZZZ", method="contraction")
+
+
+class TestInstanceStatsPayload:
+    def test_round_trip_preserves_stats(self, staged):
+        pipeline, decomposition, execution = staged
+        payload = json.loads(json.dumps(execution.to_payload()))
+        rebuilt = Execution.from_payload(decomposition, payload)
+        assert rebuilt.instance_stats == execution.instance_stats
+        assert rebuilt.term_estimates == execution.term_estimates
+
+    def test_monolithic_payload_has_no_stats_key(self, staged):
+        pipeline, decomposition, _ = staged
+        execution = pipeline.execute(decomposition, "ZZZZ", 1000, seed=3, dedup=False)
+        payload = execution.to_payload()
+        assert "instance_stats" not in payload
+
+    def test_stats_do_not_change_result_fingerprint_semantics(self, staged):
+        # Same seeds, same statistics: the dedup run's fingerprint is stable.
+        pipeline, decomposition, execution = staged
+        again = pipeline.execute(decomposition, "ZZZZ", shots=4000, seed=21)
+        assert execution.fingerprint() == again.fingerprint()

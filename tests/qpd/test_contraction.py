@@ -1,0 +1,135 @@
+"""Unit tests for the transfer-matrix contraction kernels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.qpd import (
+    chain_probability_plus,
+    expectation_from_probability,
+    parity_transfer,
+    signed_transfer,
+)
+
+
+def _random_tensor(rng, num_in, num_out):
+    """A valid conditional tensor: rows are distributions over (out, parity)."""
+    raw = rng.random((num_in, num_out, 2))
+    return raw / raw.sum(axis=(1, 2), keepdims=True)
+
+
+def _brute_force_probability_plus(tensors):
+    """Enumerate every chain path and sum the even-total-parity mass."""
+    states = [(0, 0, 1.0)]  # (config, accumulated parity, probability)
+    for tensor in tensors:
+        advanced = []
+        for config, parity, probability in states:
+            for out in range(tensor.shape[1]):
+                for local in (0, 1):
+                    advanced.append(
+                        (out, parity ^ local, probability * tensor[config, out, local])
+                    )
+        states = advanced
+    return sum(p for _, parity, p in states if parity == 0)
+
+
+class TestParityTransfer:
+    def test_manual_two_config_case(self):
+        state = np.array([[0.5, 0.1], [0.3, 0.1]])
+        tensor = np.zeros((2, 1, 2))
+        tensor[0, 0, 0] = 0.75
+        tensor[0, 0, 1] = 0.25
+        tensor[1, 0, 0] = 0.4
+        tensor[1, 0, 1] = 0.6
+        advanced = parity_transfer(state, tensor)
+        # even: 0.5*0.75 + 0.3*0.4 (even stays even) + 0.1*0.25 + 0.1*0.6 (odd flips back)
+        assert advanced[0, 0] == pytest.approx(0.5 * 0.75 + 0.3 * 0.4 + 0.1 * 0.25 + 0.1 * 0.6)
+        assert advanced[0, 1] == pytest.approx(0.5 * 0.25 + 0.3 * 0.6 + 0.1 * 0.75 + 0.1 * 0.4)
+        assert advanced.shape == (1, 2)
+
+    def test_probability_mass_is_preserved(self):
+        rng = np.random.default_rng(11)
+        state = np.array([[0.25, 0.25], [0.25, 0.25]])
+        tensor = _random_tensor(rng, 2, 3)
+        advanced = parity_transfer(state, tensor)
+        assert advanced.sum() == pytest.approx(state.sum())
+
+    def test_rejects_bad_state_shape(self):
+        tensor = np.zeros((1, 1, 2))
+        with pytest.raises(DecompositionError, match="chain state"):
+            parity_transfer(np.zeros(3), tensor)
+        with pytest.raises(DecompositionError, match="chain state"):
+            parity_transfer(np.zeros((2, 3)), tensor)
+
+    def test_rejects_bad_tensor_shape(self):
+        state = np.array([[1.0, 0.0]])
+        with pytest.raises(DecompositionError, match="fragment tensor"):
+            parity_transfer(state, np.zeros((1, 2)))
+        with pytest.raises(DecompositionError, match="fragment tensor"):
+            parity_transfer(state, np.zeros((1, 2, 3)))
+
+    def test_rejects_config_mismatch(self):
+        state = np.array([[1.0, 0.0]])
+        with pytest.raises(DecompositionError, match="configurations"):
+            parity_transfer(state, np.zeros((2, 2, 2)))
+
+
+class TestChainProbabilityPlus:
+    def test_single_fragment_chain(self):
+        tensor = np.zeros((1, 2, 2))
+        tensor[0, 0, 0] = 0.5
+        tensor[0, 1, 0] = 0.2
+        tensor[0, 0, 1] = 0.1
+        tensor[0, 1, 1] = 0.2
+        assert chain_probability_plus([tensor]) == pytest.approx(0.7)
+
+    def test_matches_brute_force_enumeration(self):
+        rng = np.random.default_rng(5)
+        tensors = [
+            _random_tensor(rng, 1, 4),
+            _random_tensor(rng, 4, 2),
+            _random_tensor(rng, 2, 1),
+        ]
+        assert chain_probability_plus(tensors) == pytest.approx(
+            _brute_force_probability_plus(tensors), abs=1e-12
+        )
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(DecompositionError, match="at least one"):
+            chain_probability_plus([])
+
+    def test_result_is_clipped_against_round_off(self):
+        tensor = np.zeros((1, 1, 2))
+        tensor[0, 0, 0] = 1.0 + 1e-15
+        assert chain_probability_plus([tensor]) == 1.0
+
+
+class TestSignedTransfer:
+    def test_values(self):
+        tensor = np.zeros((2, 2, 2))
+        tensor[0, 1, 0] = 0.8
+        tensor[0, 1, 1] = 0.2
+        tensor[1, 0, 1] = 1.0
+        signed = signed_transfer(tensor)
+        assert signed[0, 1] == pytest.approx(0.6)
+        assert signed[1, 0] == pytest.approx(-1.0)
+        assert signed.shape == (2, 2)
+
+    def test_chained_signed_matrices_equal_expectation(self):
+        rng = np.random.default_rng(9)
+        tensors = [_random_tensor(rng, 1, 3), _random_tensor(rng, 3, 1)]
+        signed = signed_transfer(tensors[0]) @ signed_transfer(tensors[1])
+        expected = expectation_from_probability(chain_probability_plus(tensors))
+        assert float(signed[0, 0]) == pytest.approx(expected, abs=1e-12)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(DecompositionError, match="fragment tensor"):
+            signed_transfer(np.zeros((2, 2)))
+
+
+class TestExpectationFromProbability:
+    @pytest.mark.parametrize(
+        ("probability", "expected"), [(0.0, -1.0), (0.5, 0.0), (1.0, 1.0), (0.75, 0.5)]
+    )
+    def test_mapping(self, probability, expected):
+        assert expectation_from_probability(probability) == pytest.approx(expected)

@@ -1,0 +1,64 @@
+"""Tests for dedup-enabled jobs: spec validation, fingerprints, store reuse."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import JobSpec, run_job
+
+
+class TestSpecValidation:
+    def test_non_boolean_dedup_rejected(self, ghz_spec):
+        with pytest.raises(ServiceError, match="dedup"):
+            ghz_spec(dedup=1)
+
+    def test_dedup_with_fleet_rejected(self, ghz_spec):
+        from repro.devices import example_fleet_spec
+
+        with pytest.raises(ServiceError, match="ideal simulator"):
+            ghz_spec(dedup=True, fleet=example_fleet_spec())
+
+
+class TestPayloadAndFingerprint:
+    def test_disabled_dedup_is_not_emitted(self, ghz_spec):
+        payload = ghz_spec().to_payload()
+        assert "dedup" not in payload
+
+    def test_enabled_dedup_round_trips(self, ghz_spec):
+        spec = ghz_spec(dedup=True)
+        payload = json.loads(json.dumps(spec.to_payload()))
+        assert payload["dedup"] is True
+        rebuilt = JobSpec.from_payload(payload)
+        assert rebuilt.dedup is True
+        assert rebuilt.fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_unchanged_when_disabled(self, ghz_spec):
+        # Pre-dedup payloads must keep their content addresses.
+        assert ghz_spec().fingerprint() == ghz_spec(dedup=False).fingerprint()
+
+    def test_fingerprint_differs_when_enabled(self, ghz_spec):
+        assert ghz_spec(dedup=True).fingerprint() != ghz_spec().fingerprint()
+
+
+class TestDedupJobs:
+    def test_dedup_job_runs_and_reuses_the_store(self, ghz_spec, store):
+        spec = ghz_spec(dedup=True)
+        first = run_job(spec, store=store)
+        second = run_job(spec, store=store)
+        assert not first.cached
+        assert first.value == pytest.approx(1.0, abs=0.2)
+        assert second.cached
+        assert second.value == first.value
+
+    def test_dedup_job_matches_monolithic_exact(self, ghz_spec):
+        dedup = run_job(ghz_spec(dedup=True))
+        plain = run_job(ghz_spec())
+        # Same plan, same exact uncut value; only the execution engine differs.
+        assert dedup.exact_value == pytest.approx(plain.exact_value)
+
+    def test_adaptive_dedup_job(self, ghz_spec):
+        outcome = run_job(
+            ghz_spec(dedup=True, mode="adaptive", target_error=0.05, rounds=5)
+        )
+        assert outcome.value == pytest.approx(1.0, abs=0.3)

@@ -166,6 +166,60 @@ class TestBoundaryValidation:
         assert "--workers must be a positive integer" in capsys.readouterr().out
 
 
+class TestDedupFlag:
+    def test_cut_run_dedup_reports_instance_accounting(self, capsys):
+        assert (
+            main(
+                [
+                    "cut", "run", "--qubits", "4", "--width", "2", "--shots", "800",
+                    "--seed", "2", "--dedup",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "unique subcircuit instances served" in out
+        assert "reconstruct:" in out
+
+    def test_cut_run_dedup_rejects_devices(self, capsys, tmp_path):
+        import json
+
+        from repro.devices import example_fleet_spec
+
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(example_fleet_spec()))
+        assert (
+            main(["cut", "run", "--dedup", "--devices", str(path)]) == 1
+        )
+        assert "--dedup requires an ideal simulator backend" in capsys.readouterr().out
+
+    def test_cut_run_dedup_falls_back_on_nme(self, capsys):
+        assert (
+            main(
+                [
+                    "cut", "run", "--qubits", "4", "--width", "2", "--shots", "400",
+                    "--seed", "2", "--overlap", "0.8", "--dedup",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "does not factorise" in out
+
+    def test_cut_run_dedup_with_store_round_trips(self, capsys, tmp_path):
+        command = [
+            "cut", "run", "--qubits", "4", "--width", "3", "--shots", "500",
+            "--seed", "3", "--dedup", "--store", str(tmp_path / "store"),
+        ]
+        assert main(command) == 0
+        first = capsys.readouterr().out
+        assert "fresh run" in first
+        assert main(command) == 0
+        second = capsys.readouterr().out
+        assert "cache hit (no re-execution)" in second
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+
 class TestServiceCommands:
     def test_parser_accepts_serve_and_jobs(self):
         parser = build_parser()
