@@ -1,0 +1,245 @@
+"""Benchmark: distributed round execution — scaling and work stealing.
+
+Run with ``pytest benchmarks/bench_distributed.py -q -s``.
+
+Two arms:
+
+* **Scaling** — the 3-cut chain workload runs through the full adaptive
+  pipeline with ``execution="distributed"`` at 1/2/4/8 worker processes.
+  Every worker count must produce an estimate **bitwise identical** to the
+  in-process run (the headline invariant of :mod:`repro.distributed`);
+  wall-clock per worker count is recorded for trend tracking.
+* **Work stealing** — a skewed fleet: four equal-weight devices, one of
+  them slow (simulated per-unit latency).  Static apportionment
+  (``steal="none"``) leaves the fast workers idle while the slow device
+  drains its fixed backlog; ``steal="max-backlog"`` lets them drain it.
+  The stealing run must beat static by at least :data:`STEAL_FLOOR` ×
+  wall-clock, with bitwise-identical unit results.
+
+``BENCH_distributed.json`` is written to the working directory
+(overridable via ``REPRO_BENCH_OUT``).  Set ``REPRO_BENCH_FULL=1`` for the
+larger sweep; the default smoke configuration keeps CI under a minute.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuits.backends import DistributionCache, VectorizedBackend
+from repro.circuits.circuit import QuantumCircuit
+from repro.cutting import HaradaWireCut, plan_from_positions
+from repro.distributed import RoundQueue, WorkStealingScheduler, WorkUnit, WorkerPool
+from repro.pipeline import CutPipeline
+
+#: Wall-clock floor of the stealing arm over static apportionment.
+STEAL_FLOOR = 1.3
+SHOTS = 6000
+TARGET_ERROR = 0.05
+SEED = 2024
+#: Worker counts of the scaling arm.
+WORKER_COUNTS = (1, 2, 4, 8)
+#: Simulated per-unit seconds of the skewed fleet (device → latency).
+SLOW_LATENCY = 0.06
+FAST_LATENCY = 0.005
+
+
+def chain_circuit(num_qubits: int) -> QuantumCircuit:
+    """The chain workload: entangling chain with per-wire rotations."""
+    circuit = QuantumCircuit(num_qubits, name=f"chain{num_qubits}")
+    circuit.gate("h", 0)
+    for qubit in range(num_qubits - 1):
+        circuit.gate("rz", qubit, (0.3 + 0.1 * qubit,))
+        circuit.gate("cx", (qubit, qubit + 1))
+        circuit.gate("rx", qubit + 1, (0.5 + 0.05 * qubit,))
+    return circuit
+
+
+def _configuration(full: bool):
+    """Return (circuit, slice positions, observable) for the selected scale."""
+    circuit = chain_circuit(5)
+    positions = (4, 7, 10) if full else (4, 7)
+    return circuit, positions, "ZZZZZ"
+
+
+def _adaptive_execute(pipeline, decomposition, observable, **overrides):
+    return pipeline.execute(
+        decomposition,
+        observable,
+        SHOTS,
+        seed=SEED,
+        mode="adaptive",
+        target_error=TARGET_ERROR,
+        rounds=4,
+        **overrides,
+    )
+
+
+def test_distributed_scaling_is_bitwise_identical():
+    """1/2/4/8-worker distributed runs reproduce the in-process estimate bitwise."""
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    circuit, positions, observable = _configuration(full)
+    plan = plan_from_positions(circuit, positions)
+    pipeline = CutPipeline(backend="vectorized", protocol=HaradaWireCut())
+    decomposition = pipeline.decompose(pipeline.plan(circuit, plan=plan))
+
+    def fresh_pipeline():
+        # Every configuration starts with a cold distribution cache so no
+        # arm inherits another's warmed backend state (worker processes
+        # receive a pickled copy of whatever cache the coordinator holds).
+        return CutPipeline(
+            backend=VectorizedBackend(cache=DistributionCache()),
+            protocol=HaradaWireCut(),
+        )
+
+    start = time.perf_counter()
+    baseline = fresh_pipeline()
+    reference = baseline.reconstruct(
+        _adaptive_execute(baseline, decomposition, observable), compute_exact=False
+    )
+    inprocess_seconds = time.perf_counter() - start
+
+    scaling = {}
+    for workers in WORKER_COUNTS:
+        arm = fresh_pipeline()
+        start = time.perf_counter()
+        execution = _adaptive_execute(
+            arm,
+            decomposition,
+            observable,
+            execution="distributed",
+            workers=workers,
+        )
+        estimate = arm.reconstruct(execution, compute_exact=False)
+        seconds = time.perf_counter() - start
+        assert estimate.value == reference.value, (
+            f"{workers}-worker distributed estimate diverged from in-process"
+        )
+        assert estimate.standard_error == reference.standard_error, workers
+        scaling[workers] = round(seconds, 4)
+
+    record = {
+        "benchmark": "distributed_scaling",
+        "full_scale": full,
+        "circuit": circuit.name,
+        "num_cuts": plan.num_cuts,
+        "num_terms": len(decomposition.term_circuits),
+        "observable": observable,
+        "shots": SHOTS,
+        "seed": SEED,
+        "estimate": reference.value,
+        "inprocess_seconds": round(inprocess_seconds, 4),
+        "distributed_seconds": {str(w): s for w, s in scaling.items()},
+        "bitwise_identical_worker_counts": list(WORKER_COUNTS),
+    }
+    _merge_record("scaling", record)
+    print(
+        f"\ndistributed scaling: in-process {inprocess_seconds:.3f}s, "
+        + ", ".join(f"{w}w {s:.3f}s" for w, s in scaling.items())
+    )
+
+
+def _latency_units(num_units: int):
+    """Synthetic unit batch: identical tiny circuits, per-unit seed stream."""
+    circuit = QuantumCircuit(1, 1, name="latency_probe")
+    circuit.gate("h", 0)
+    circuit.measure(0, 0)
+    circuits = [circuit] * num_units
+    selected = [[0]] * num_units
+    seed = np.random.SeedSequence(SEED)
+    units = [
+        WorkUnit(round_index=0, term_index=term, shots=64, seed=seed)
+        for term in range(num_units)
+    ]
+    return circuits, selected, units
+
+
+def _run_skewed_fleet(steal: str, num_units: int):
+    """Drain one skewed-fleet round; return (wall seconds, result summaries, steals)."""
+    devices = ("slow-qpu", "fast-0", "fast-1", "fast-2")
+    latencies = {
+        "slow-qpu": SLOW_LATENCY,
+        "fast-0": FAST_LATENCY,
+        "fast-1": FAST_LATENCY,
+        "fast-2": FAST_LATENCY,
+    }
+    circuits, selected, units = _latency_units(num_units)
+    scheduler = WorkStealingScheduler(devices, steal=steal)
+    queue = scheduler.build_queue(units)
+    pool = WorkerPool(
+        circuits,
+        selected,
+        backend="serial",
+        devices=devices,
+        workers=len(devices),
+        latencies=latencies,
+        poll_interval=0.01,
+    )
+    with pool:
+        start = time.perf_counter()
+        results = pool.run_round(queue)
+        seconds = time.perf_counter() - start
+    summaries = [(r.key, r.shots, r.mean) for r in results]
+    return seconds, summaries, queue.steals
+
+
+def test_work_stealing_beats_static_apportionment():
+    """On a skewed fleet, stealing wins ≥1.3× wall-clock over static queues."""
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    num_units = 48 if full else 24
+
+    static_seconds, static_results, static_steals = _run_skewed_fleet(
+        "none", num_units
+    )
+    stealing_seconds, stealing_results, steals = _run_skewed_fleet(
+        "max-backlog", num_units
+    )
+
+    assert static_steals == 0
+    assert steals > 0, "the skewed fleet never stole — the benchmark is mis-wired"
+    assert stealing_results == static_results, (
+        "work stealing changed the unit results; scheduling leaked into statistics"
+    )
+    ratio = static_seconds / stealing_seconds
+    assert ratio >= STEAL_FLOOR, (
+        f"stealing only {ratio:.2f}x faster than static apportionment "
+        f"({stealing_seconds:.3f}s vs {static_seconds:.3f}s); the floor is "
+        f"{STEAL_FLOOR}x"
+    )
+
+    record = {
+        "benchmark": "work_stealing_vs_static",
+        "full_scale": full,
+        "num_units": num_units,
+        "devices": 4,
+        "slow_latency_seconds": SLOW_LATENCY,
+        "fast_latency_seconds": FAST_LATENCY,
+        "static_seconds": round(static_seconds, 4),
+        "stealing_seconds": round(stealing_seconds, 4),
+        "speedup": round(ratio, 2),
+        "steals": steals,
+        "floor": STEAL_FLOOR,
+        "bitwise_identical": True,
+    }
+    _merge_record("work_stealing", record)
+    print(
+        f"\nwork stealing: static {static_seconds:.3f}s, stealing "
+        f"{stealing_seconds:.3f}s ({ratio:.2f}x, {steals} steals)"
+    )
+
+
+def _merge_record(key: str, record: dict) -> None:
+    """Fold one arm's record into ``BENCH_distributed.json`` (arms run separately)."""
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "BENCH_distributed.json"
+    merged = {}
+    if out_path.exists():
+        try:
+            merged = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            merged = {}
+    merged[key] = record
+    out_path.write_text(json.dumps(merged, indent=2) + "\n")

@@ -17,6 +17,10 @@ The package provides:
 * :mod:`repro.pipeline` — the :class:`~repro.pipeline.CutPipeline`
   orchestration layer running plan → decompose → execute → reconstruct for
   multi-cut workloads,
+* :mod:`repro.distributed` — distributed adaptive-round execution: a
+  work-unit queue, a multi-process work-stealing worker pool and a
+  coordinator merging mergeable per-term statistics, bitwise identical to
+  in-process execution,
 * :mod:`repro.experiments` — the workloads and sweeps regenerating the
   paper's evaluation (Figure 6 and the analytic overhead relations).
 

@@ -182,6 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
         "once and share it across all QPD terms (falls back to the per-term "
         "path when the plan does not factorise; incompatible with --devices)",
     )
+    cut_run.add_argument(
+        "--execution",
+        choices=("inprocess", "distributed"),
+        default="inprocess",
+        help="adaptive mode's round execution: in the CLI process, or fanned "
+        "out over the multi-process work-stealing pool (bitwise identical "
+        "results either way)",
+    )
+    cut_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-process count for --execution distributed (default 2)",
+    )
 
     cut_demo = cut_commands.add_parser(
         "demo", help="cut a GHZ demo circuit and compare protocols"
@@ -537,6 +551,8 @@ def _validate_mode_arguments(args: argparse.Namespace) -> tuple[int, dict]:
     from repro.qpd.adaptive import DEFAULT_MAX_ROUNDS
     from repro.utils.validation import validate_positive_count, validate_positive_float
 
+    execution = getattr(args, "execution", "inprocess")
+    workers = getattr(args, "workers", None)
     if args.mode == "adaptive":
         if args.target_error is None:
             raise CuttingError("--mode adaptive requires --target-error")
@@ -550,17 +566,34 @@ def _validate_mode_arguments(args: argparse.Namespace) -> tuple[int, dict]:
         validate_positive_count(rounds, name="--rounds")
         budget = args.shots if args.max_shots is None else args.max_shots
         validate_positive_count(budget, name="--max-shots")
-        return budget, {
+        mode_kwargs = {
             "mode": "adaptive",
             "target_error": args.target_error,
             "rounds": rounds,
         }
+        if execution == "distributed":
+            if getattr(args, "dedup", False):
+                raise CuttingError(
+                    "--dedup cannot distribute (the instance fast path draws "
+                    "terms from one sequential stream); drop one of the flags"
+                )
+            mode_kwargs["execution"] = "distributed"
+            if workers is not None:
+                validate_positive_count(workers, name="--workers")
+                mode_kwargs["workers"] = workers
+        elif workers is not None:
+            raise CuttingError("--workers requires --execution distributed")
+        return budget, mode_kwargs
     if args.target_error is not None:
         raise CuttingError("--target-error requires --mode adaptive")
     if args.max_shots is not None:
         raise CuttingError("--max-shots requires --mode adaptive")
     if args.rounds is not None:
         raise CuttingError("--rounds requires --mode adaptive")
+    if execution == "distributed":
+        raise CuttingError("--execution distributed requires --mode adaptive")
+    if workers is not None:
+        raise CuttingError("--workers requires --execution distributed")
     return args.shots, {}
 
 
@@ -654,6 +687,8 @@ def _command_cut_run(args: argparse.Namespace) -> int:
     if execution.mode == "adaptive":
         outcome = "converged" if execution.converged else "budget exhausted"
         adaptive_note = f" in {len(execution.rounds)} adaptive rounds ({outcome})"
+        if getattr(args, "execution", "inprocess") == "distributed":
+            adaptive_note += f", distributed over {args.workers or 2} workers"
     print(
         f"execute: {result.total_shots} shots over {len(execution.shots_per_term)} terms "
         f"on the {execution.backend_name} backend{adaptive_note}{pairs}"

@@ -77,6 +77,7 @@ from repro.utils.rng import SeedLike, as_generator
 ESTIMATION_MODES = ("static", "adaptive")
 
 __all__ = [
+    "BackendRoundExecutor",
     "CutExpectationResult",
     "ESTIMATION_MODES",
     "estimate_cut_expectation",
@@ -241,6 +242,8 @@ def estimate_cut_expectation(
     target_error: float | None = None,
     rounds: int = DEFAULT_MAX_ROUNDS,
     planner: str | None = None,
+    execution: str = "inprocess",
+    workers: int | None = None,
 ) -> CutExpectationResult:
     """Estimate ``⟨O⟩`` of ``circuit`` with the wire at ``location`` cut by ``protocol``.
 
@@ -283,9 +286,18 @@ def estimate_cut_expectation(
     planner:
         Adaptive mode's per-round :class:`~repro.qpd.allocation.ShotPlanner`
         name (``"neyman"`` by default).
+    execution:
+        Adaptive mode's round execution: ``"inprocess"`` (default) or
+        ``"distributed"`` (rounds fan out over the multi-process
+        work-stealing pool of :mod:`repro.distributed`; bitwise identical
+        to in-process for the same seed).
+    workers:
+        Distributed execution's worker-process count.
     """
     if mode not in ESTIMATION_MODES:
         raise CuttingError(f"unknown mode {mode!r}; expected one of {ESTIMATION_MODES}")
+    if execution != "inprocess" and mode != "adaptive":
+        raise CuttingError("distributed execution requires mode='adaptive'")
     pauli = _as_pauli(observable, circuit.num_qubits)
     decomposition = protocol.decomposition()
     term_circuits = build_cut_circuits(circuit, location, protocol)
@@ -312,6 +324,8 @@ def estimate_cut_expectation(
             config,
             seed=seed,
             labels=[term.term.label for term in term_circuits],
+            execution=execution,
+            workers=workers,
         )
         return CutExpectationResult.from_adaptive(adaptive, protocol.name, exact_value)
 
@@ -352,28 +366,42 @@ def estimate_cut_expectation(
     )
 
 
-def _backend_round_executor(
-    exec_backend: SimulatorBackend,
-    measured_circuits: list[QuantumCircuit],
-    selected_clbits: list[list[int]],
-):
-    """Return the adaptive engine's round hook over a simulator backend.
+class BackendRoundExecutor:
+    """The adaptive engine's round hook over a simulator backend.
 
     Each round submits the full measured-circuit batch with the round's
     per-term shot counts (zero-shot terms keep the per-circuit seed streams
     aligned) and reduces the counts to per-term signed means.  Terms with
     no measured bits are deterministic +1 and never pay simulator shots.
+
+    The executor also implements the engine's distribution hook:
+    :meth:`distribute` lifts it into a
+    :class:`~repro.distributed.DistributedRoundExecutor` over the same
+    batch and backend, which produces bitwise-identical rounds through the
+    multi-process work-stealing pool.
     """
 
-    def execute_round(index, round_shots, seed_sequence):
+    def __init__(
+        self,
+        exec_backend: SimulatorBackend,
+        measured_circuits: list[QuantumCircuit],
+        selected_clbits: list[list[int]],
+    ) -> None:
+        self.backend = exec_backend
+        self.measured_circuits = list(measured_circuits)
+        self.selected_clbits = [list(bits) for bits in selected_clbits]
+
+    def __call__(self, index, round_shots, seed_sequence):
         """Run one round's batch and reduce counts to per-term signed means."""
         submitted = [
             int(count) if selected else 0
-            for count, selected in zip(round_shots, selected_clbits)
+            for count, selected in zip(round_shots, self.selected_clbits)
         ]
-        counts_per_term = exec_backend.run_batch(measured_circuits, submitted, seed=seed_sequence)
+        counts_per_term = self.backend.run_batch(
+            self.measured_circuits, submitted, seed=seed_sequence
+        )
         means = []
-        for counts, selected, count in zip(counts_per_term, selected_clbits, round_shots):
+        for counts, selected, count in zip(counts_per_term, self.selected_clbits, round_shots):
             if count == 0:
                 means.append(0.0)
             elif selected:
@@ -382,7 +410,36 @@ def _backend_round_executor(
                 means.append(1.0)
         return means
 
-    return execute_round
+    def distribute(self, workers: int | None = None, **options):
+        """Return the distributed round executor over the same batch and backend.
+
+        Parameters
+        ----------
+        workers:
+            Worker-process count (the distributed default when ``None``).
+        options:
+            Forwarded to
+            :class:`~repro.distributed.DistributedRoundExecutor` (steal
+            policy, pool mode, simulated latencies, ...).
+        """
+        from repro.distributed import DistributedRoundExecutor
+
+        return DistributedRoundExecutor(
+            self.measured_circuits,
+            self.selected_clbits,
+            backend=self.backend,
+            workers=workers,
+            **options,
+        )
+
+
+def _backend_round_executor(
+    exec_backend: SimulatorBackend,
+    measured_circuits: list[QuantumCircuit],
+    selected_clbits: list[list[int]],
+) -> BackendRoundExecutor:
+    """Return the adaptive engine's round hook over a simulator backend."""
+    return BackendRoundExecutor(exec_backend, measured_circuits, selected_clbits)
 
 
 # ---------------------------------------------------------------------------

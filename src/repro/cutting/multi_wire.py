@@ -359,6 +359,8 @@ def execute_term_circuits_adaptive(
     method: str = "exact",
     completed_rounds: Sequence[RoundRecord] = (),
     on_round=None,
+    execution: str = "inprocess",
+    workers: int | None = None,
 ) -> tuple[list[TermEstimate], list[int], AdaptiveResult]:
     """Round-structured execution of a product term set with early stopping.
 
@@ -394,6 +396,13 @@ def execute_term_circuits_adaptive(
     on_round:
         Optional progress hook forwarded to the engine (called after every
         live round with the record and a progress summary).
+    execution:
+        ``"inprocess"`` (default) or ``"distributed"``: fan each round out
+        over the multi-process work-stealing pool of
+        :mod:`repro.distributed`.  Bitwise identical to in-process for the
+        same seed, whatever the worker count or steal order.
+    workers:
+        Distributed execution's worker-process count.
 
     Returns
     -------
@@ -417,6 +426,8 @@ def execute_term_circuits_adaptive(
         labels=[term.label for term in term_circuits],
         completed_rounds=completed_rounds,
         on_round=on_round,
+        execution=execution,
+        workers=workers,
     )
     term_estimates = list(adaptive.estimate.term_estimates)
     shots_per_term = [int(estimate.shots) for estimate in term_estimates]
@@ -438,6 +449,8 @@ def estimate_multi_cut_expectation(
     target_error: float | None = None,
     rounds: int = DEFAULT_MAX_ROUNDS,
     planner: str | None = None,
+    execution: str = "inprocess",
+    workers: int | None = None,
 ) -> CutExpectationResult:
     """Estimate a Pauli observable of a circuit with several wires cut.
 
@@ -485,6 +498,12 @@ def estimate_multi_cut_expectation(
         Adaptive mode's round limit.
     planner:
         Adaptive mode's per-round planner name (``"neyman"`` by default).
+    execution:
+        Adaptive mode's round execution: ``"inprocess"`` (default) or
+        ``"distributed"`` (the work-stealing pool of
+        :mod:`repro.distributed`; bitwise identical to in-process).
+    workers:
+        Distributed execution's worker-process count.
 
     Returns
     -------
@@ -493,6 +512,8 @@ def estimate_multi_cut_expectation(
     """
     if mode not in ESTIMATION_MODES:
         raise CuttingError(f"unknown mode {mode!r}; expected one of {ESTIMATION_MODES}")
+    if execution != "inprocess" and mode != "adaptive":
+        raise CuttingError("distributed execution requires mode='adaptive'")
     pauli = observable if isinstance(observable, PauliString) else PauliString(observable)
     if pauli.num_qubits != circuit.num_qubits:
         raise CuttingError(
@@ -508,7 +529,14 @@ def estimate_multi_cut_expectation(
             target_error=target_error, max_shots=int(shots), max_rounds=rounds, planner=planner
         )
         _, _, adaptive = execute_term_circuits_adaptive(
-            term_circuits, pauli, config, seed=seed, backend=backend, method=method
+            term_circuits,
+            pauli,
+            config,
+            seed=seed,
+            backend=backend,
+            method=method,
+            execution=execution,
+            workers=workers,
         )
         return CutExpectationResult.from_adaptive(adaptive, protocol_name, exact_value)
     term_estimates, shots_per_term = execute_term_circuits(

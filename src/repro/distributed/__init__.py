@@ -1,0 +1,40 @@
+"""Distributed round execution: queue, workers, work stealing, mergeable partials.
+
+The adaptive engine's round structure is the unit of distribution: each
+round becomes a set of :class:`WorkUnit` shot slices (one per QPD term,
+carrying the round's spawned seed stream), a
+:class:`WorkStealingScheduler` apportions them onto per-device queues
+(mirroring the fleet's ``plan_round_shares`` weights), a multi-process
+:class:`WorkerPool` drains the queues — fast devices steal from slow
+devices' backlogs — and the coordinator merges the
+:class:`~repro.qpd.adaptive.TermStatistics` partials with Chan's algorithm
+in sorted unit-key order.
+
+The headline invariant: **distributed results are bitwise identical to
+in-process results for the same seed**, regardless of worker count, steal
+order, merge arrival order, worker deaths or retries.  See
+:mod:`repro.distributed.engine` for the mechanism.
+
+Entry points: ``run_adaptive_rounds(..., execution="distributed",
+workers=N)``, ``CutPipeline.execute(..., execution="distributed")``,
+``JobSpec(execution="distributed", workers=N)`` and the CLI's
+``repro cut run --execution distributed --workers N``.
+"""
+
+from repro.distributed.engine import DistributedRoundExecutor
+from repro.distributed.pool import WORKER_MODES, WorkerPool, execute_unit
+from repro.distributed.queue import STEAL_POLICIES, RoundQueue
+from repro.distributed.scheduler import WorkStealingScheduler
+from repro.distributed.units import UnitResult, WorkUnit
+
+__all__ = [
+    "DistributedRoundExecutor",
+    "RoundQueue",
+    "STEAL_POLICIES",
+    "UnitResult",
+    "WORKER_MODES",
+    "WorkUnit",
+    "WorkerPool",
+    "WorkStealingScheduler",
+    "execute_unit",
+]

@@ -1,0 +1,244 @@
+"""The :class:`DistributedRoundExecutor`: adaptive rounds over a worker pool.
+
+This is the bridge between the streaming adaptive engine
+(:func:`repro.qpd.adaptive.run_adaptive_rounds`) and the distributed
+machinery: it is itself a
+:data:`~repro.qpd.adaptive.RoundExecutor` — ``(round_index,
+shots_per_term, seed_sequence) → per-term means`` — that turns every round
+into work units, schedules them onto per-device queues, drains the queues
+through the :class:`~repro.distributed.pool.WorkerPool` and assembles the
+per-term means in **sorted unit-key order**, never arrival order.
+
+Determinism invariant
+---------------------
+For the same master seed, a distributed run is bitwise identical to the
+in-process run — regardless of worker count, steal policy or order, merge
+arrival order, worker deaths or retries.  Three mechanisms carry it:
+
+1. every unit executes the full measured batch with a zero-padded shots
+   vector seeded by the round seed, so its counts equal the in-process
+   round's slice for that term (see
+   :func:`~repro.distributed.pool.execute_unit`);
+2. units are keyed by ``(round_index, term_index)`` and results are
+   de-duplicated and merged by sorted key;
+3. scheduling randomness (the ``"random"`` steal policy) draws from its
+   own RNG that never touches the statistics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import DistributedError
+from repro.circuits.backends import SimulatorBackend
+from repro.circuits.circuit import QuantumCircuit
+from repro.distributed.pool import WorkerPool
+from repro.distributed.scheduler import WorkStealingScheduler
+from repro.distributed.units import UnitResult, WorkUnit
+from repro.qpd.adaptive import TermStatistics
+from repro.utils.rng import SeedLike
+
+__all__ = ["DistributedRoundExecutor"]
+
+
+class DistributedRoundExecutor:
+    """Round executor distributing each adaptive round over a worker pool.
+
+    Parameters
+    ----------
+    circuits:
+        The measured term circuits of the estimation.
+    selected_clbits:
+        Per-term classical bits carrying the signed observable outcome.
+    backend:
+        Execution backend (name or instance, including a
+        :class:`~repro.devices.DeviceFleet`); ``None`` selects the serial
+        backend.  The backend also seeds the device layout: a fleet
+        contributes its device names and split weights to the scheduler, so
+        static assignment mirrors
+        :meth:`~repro.devices.DeviceFleet.plan_round_shares`.
+    workers:
+        Number of worker processes (default 2).
+    scheduler:
+        Optional pre-built :class:`~repro.distributed.scheduler.WorkStealingScheduler`;
+        overrides ``steal``/``steal_seed`` and the fleet-derived layout.
+    steal:
+        Steal policy for the per-round queues.
+    steal_seed:
+        Seed for the ``"random"`` steal policy's scheduling RNG.
+    mode:
+        Pool mode, ``"process"`` or ``"inline"``.
+    latencies:
+        Optional per-device simulated seconds-per-unit (benchmark knob).
+    max_retries:
+        Per-unit retry budget for backend faults.
+
+    Notes
+    -----
+    The executor keeps its own per-term :class:`~repro.qpd.adaptive.TermStatistics`,
+    merged from the unit partials with Chan's algorithm in sorted-key
+    order.  The adaptive engine maintains the identical state from the
+    returned round means; the duplication is deliberate — tests assert the
+    two ledgers agree bitwise, which pins the merge algebra the
+    distribution relies on.
+    """
+
+    def __init__(
+        self,
+        circuits: Sequence[QuantumCircuit],
+        selected_clbits: Sequence[Sequence[int]],
+        backend: SimulatorBackend | str | None = None,
+        workers: int | None = None,
+        scheduler: WorkStealingScheduler | None = None,
+        steal: str = "max-backlog",
+        steal_seed: SeedLike = None,
+        mode: str = "process",
+        latencies: Mapping[str, float] | None = None,
+        max_retries: int = 3,
+    ) -> None:
+        self._circuits = list(circuits)
+        self._selected_clbits = [list(bits) for bits in selected_clbits]
+        workers = 2 if workers is None else int(workers)
+        if workers < 1:
+            raise DistributedError(f"workers must be at least 1, got {workers}")
+        if scheduler is None:
+            if _is_fleet(backend):
+                scheduler = WorkStealingScheduler.from_fleet(
+                    backend, steal=steal, steal_seed=steal_seed
+                )
+            else:
+                scheduler = WorkStealingScheduler.for_workers(
+                    workers, steal=steal, steal_seed=steal_seed
+                )
+        self._scheduler = scheduler
+        self._pool = WorkerPool(
+            self._circuits,
+            self._selected_clbits,
+            backend=backend,
+            devices=scheduler.devices,
+            workers=workers,
+            mode=mode,
+            latencies=latencies,
+            max_retries=max_retries,
+        )
+        num_terms = len(self._circuits)
+        #: Per-term running statistics merged from unit partials (Chan).
+        self.term_statistics = [TermStatistics() for _ in range(num_terms)]
+        #: Rounds executed through this executor.
+        self.rounds_executed = 0
+        #: Work-steal count accumulated across rounds.
+        self.steals = 0
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The underlying worker pool (counters: requeues, retries, ...)."""
+        return self._pool
+
+    @property
+    def scheduler(self) -> WorkStealingScheduler:
+        """The unit-to-device scheduler."""
+        return self._scheduler
+
+    @property
+    def num_workers(self) -> int:
+        """Number of configured workers."""
+        return self._pool.num_workers
+
+    # -- RoundExecutor protocol --------------------------------------------------------
+
+    def __call__(
+        self,
+        round_index: int,
+        shots_per_term: Sequence[int],
+        seed_sequence: np.random.SeedSequence,
+    ) -> list[float]:
+        """Execute one adaptive round across the pool; return per-term means.
+
+        Builds one unit per (measured, non-zero-shot) term carrying the
+        round seed, schedules the units onto per-device queues, drains the
+        queues through the pool and assembles the means by term index —
+        bitwise what the in-process round executor would have returned.
+        """
+        if len(shots_per_term) != len(self._circuits):
+            raise DistributedError(
+                f"round {round_index}: got {len(shots_per_term)} allocations for "
+                f"{len(self._circuits)} terms"
+            )
+        units = [
+            WorkUnit(
+                round_index=int(round_index),
+                term_index=term_index,
+                shots=int(count),
+                seed=seed_sequence,
+            )
+            for term_index, count in enumerate(shots_per_term)
+            if int(count) > 0 and self._selected_clbits[term_index]
+        ]
+        results: list[UnitResult] = []
+        if units:
+            queue = self._scheduler.build_queue(units)
+            results = self._pool.run_round(queue)
+            self.steals += queue.steals
+        self.rounds_executed += 1
+
+        means = [0.0] * len(self._circuits)
+        for term_index, count in enumerate(shots_per_term):
+            if int(count) > 0 and not self._selected_clbits[term_index]:
+                # Terms without measured bits are deterministic +1; the
+                # in-process executor never pays simulator shots for them.
+                means[term_index] = 1.0
+        for result in results:  # already sorted by unit key
+            means[result.term_index] = result.mean
+            partial = TermStatistics()
+            partial.merge_round(result.mean, result.shots)
+            self.term_statistics[result.term_index] = _chan_merge(
+                self.term_statistics[result.term_index], partial
+            )
+        return means
+
+    # -- distribution hook -------------------------------------------------------------
+
+    def distribute(self, workers: int | None = None) -> "DistributedRoundExecutor":
+        """Return self (already distributed); ``workers`` must agree when given."""
+        if workers is not None and int(workers) != self.num_workers:
+            raise DistributedError(
+                f"executor already distributed over {self.num_workers} workers; "
+                f"cannot re-distribute over {workers}"
+            )
+        return self
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._pool.close()
+
+    def __enter__(self) -> "DistributedRoundExecutor":
+        """Start the pool on context entry."""
+        self._pool.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the pool on context exit."""
+        self.close()
+
+
+def _chan_merge(left: TermStatistics, right: TermStatistics) -> TermStatistics:
+    """Return the Chan merge of two term-statistics ledgers (non-mutating)."""
+    merged = TermStatistics(shots=left.shots, mean=left.mean, m2=left.m2)
+    merged.merge(right)
+    return merged
+
+
+def _is_fleet(backend) -> bool:
+    """Return True when ``backend`` looks like a :class:`~repro.devices.DeviceFleet`."""
+    return (
+        backend is not None
+        and not isinstance(backend, str)
+        and hasattr(backend, "devices")
+        and hasattr(backend, "split_policy")
+    )

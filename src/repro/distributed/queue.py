@@ -1,0 +1,180 @@
+"""The shared round queue: per-device backlogs with work stealing.
+
+A :class:`RoundQueue` holds one round's :class:`~repro.distributed.units.WorkUnit`
+backlog as one deque per device (the scheduler's apportionment).  Workers
+pull from their own device's queue first; when it runs dry they *steal* from
+another device's backlog according to the configured policy.  Stealing only
+changes **scheduling** — every unit carries its own seed stream, so the
+round's merged statistics are bitwise independent of who executed what.
+
+Steal policies
+--------------
+``"max-backlog"`` (default)
+    Steal from the device with the largest remaining backlog, ties broken
+    by device declaration order.  This is the policy that converts a skewed
+    fleet's idle time into throughput.
+``"round-robin"``
+    Cycle deterministically through victim devices.
+``"random"``
+    Pick a uniformly random non-empty victim from a dedicated scheduling
+    RNG (results are unaffected; only the steal pattern varies).
+``"none"``
+    Never steal — static apportionment, the baseline the work-stealing
+    benchmark measures against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import DeviceError
+from repro.distributed.units import WorkUnit
+from repro.utils.rng import SeedLike
+
+__all__ = ["RoundQueue", "STEAL_POLICIES"]
+
+#: Steal policies accepted by :class:`RoundQueue` and everything above it.
+STEAL_POLICIES = ("max-backlog", "round-robin", "random", "none")
+
+
+class RoundQueue:
+    """One round's work-unit backlog, partitioned per device.
+
+    Parameters
+    ----------
+    devices:
+        Device names, in declaration order (the order is the deterministic
+        tie-break for ``"max-backlog"`` stealing and the cycle order for
+        ``"round-robin"``).
+    steal:
+        Steal policy; one of :data:`STEAL_POLICIES`.
+    steal_seed:
+        Seed for the ``"random"`` policy's scheduling RNG.  Never touches
+        result statistics.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[str],
+        steal: str = "max-backlog",
+        steal_seed: SeedLike = None,
+    ) -> None:
+        if not devices:
+            raise DeviceError("a round queue needs at least one device")
+        if len(set(devices)) != len(devices):
+            raise DeviceError(f"duplicate device names in {list(devices)!r}")
+        if steal not in STEAL_POLICIES:
+            raise DeviceError(
+                f"unknown steal policy {steal!r}; expected one of {STEAL_POLICIES}"
+            )
+        self._devices = tuple(str(name) for name in devices)
+        self._queues: dict[str, deque[WorkUnit]] = {
+            name: deque() for name in self._devices
+        }
+        self._steal = steal
+        self._rng = np.random.default_rng(steal_seed)
+        self._cursor = 0
+        #: Number of units pulled from a foreign queue.
+        self.steals = 0
+        #: Steal history as ``(thief, victim, unit_key)`` tuples.
+        self.steal_log: list[tuple[str, str, tuple[int, int]]] = []
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def devices(self) -> tuple[str, ...]:
+        """The device names, in declaration order."""
+        return self._devices
+
+    @property
+    def steal_policy(self) -> str:
+        """The configured steal policy."""
+        return self._steal
+
+    def __len__(self) -> int:
+        """Total units currently queued across all devices."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def backlog(self, device: str) -> int:
+        """Return the number of units queued for ``device``."""
+        return len(self._queues[device])
+
+    def unit_keys(self) -> list[tuple[int, int]]:
+        """Return the keys of every queued unit (the coordinator's ledger seed)."""
+        return [
+            unit.key for queue in self._queues.values() for unit in queue
+        ]
+
+    # -- mutation ----------------------------------------------------------------------
+
+    def push(self, unit: WorkUnit) -> None:
+        """Append ``unit`` to the back of its home device's queue."""
+        if unit.device not in self._queues:
+            raise DeviceError(
+                f"unit {unit.key} is assigned to unknown device {unit.device!r}"
+            )
+        self._queues[unit.device].append(unit)
+
+    def requeue(self, unit: WorkUnit) -> None:
+        """Return a dispatched-but-unfinished unit to the *front* of its home queue.
+
+        Used by the coordinator when a worker dies mid-unit or a backend
+        fault is retried; front insertion keeps the recovered unit ahead of
+        untouched backlog so retries do not starve.
+        """
+        if unit.device not in self._queues:
+            raise DeviceError(
+                f"unit {unit.key} is assigned to unknown device {unit.device!r}"
+            )
+        self._queues[unit.device].appendleft(unit)
+
+    def next_unit(self, device: str) -> WorkUnit | None:
+        """Pop the next unit for ``device``: its own backlog first, then a steal.
+
+        Returns ``None`` when the device's queue is empty and no steal is
+        possible (policy ``"none"``, or every other queue is empty too).
+
+        Own-queue pulls pop from the *front* (FIFO); steals pop from the
+        *back* of the victim's queue, the classic work-stealing discipline
+        that minimises contention with the victim's own progress.
+        """
+        if device not in self._queues:
+            raise DeviceError(f"unknown device {device!r}")
+        own = self._queues[device]
+        if own:
+            return own.popleft()
+        if self._steal == "none":
+            return None
+        victim = self._pick_victim(device)
+        if victim is None:
+            return None
+        unit = self._queues[victim].pop()
+        self.steals += 1
+        self.steal_log.append((device, victim, unit.key))
+        return unit
+
+    def _pick_victim(self, thief: str) -> str | None:
+        """Return the device to steal from, or ``None`` when nothing is stealable."""
+        candidates = [
+            name
+            for name in self._devices
+            if name != thief and self._queues[name]
+        ]
+        if not candidates:
+            return None
+        if self._steal == "max-backlog":
+            return max(candidates, key=lambda name: len(self._queues[name]))
+        if self._steal == "round-robin":
+            # Advance a cursor over the declaration order until it lands on
+            # a non-empty foreign queue.
+            for _ in range(len(self._devices)):
+                name = self._devices[self._cursor % len(self._devices)]
+                self._cursor += 1
+                if name in candidates:
+                    return name
+            return candidates[0]
+        # "random": scheduling-only randomness from the dedicated RNG.
+        return candidates[int(self._rng.integers(len(candidates)))]

@@ -1,0 +1,156 @@
+"""The work-stealing scheduler: apportionment in, per-device queues out.
+
+The :class:`WorkStealingScheduler` converts the fleet's shot apportionment
+(the same capacity/fidelity weights behind
+:meth:`repro.devices.DeviceFleet.plan_round_shares`) into per-device work
+queues.  A round's work units are assigned to home devices by a
+deterministic largest-deficit rule — each unit goes to the device whose
+share of the round's shots is furthest from its weight target — and the
+resulting :class:`~repro.distributed.queue.RoundQueue` lets fast devices
+drain slow devices' backlogs at run time via stealing.
+
+Assignment is a pure function of the unit set and the weights: no clock, no
+RNG (the ``"random"`` steal policy's RNG lives in the queue and only affects
+scheduling).  Together with per-unit seed streams this keeps the merged
+round statistics bitwise independent of the device layout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import replace
+
+import numpy as np
+
+from repro.exceptions import DeviceError
+from repro.distributed.queue import STEAL_POLICIES, RoundQueue
+from repro.distributed.units import WorkUnit
+from repro.utils.rng import SeedLike
+
+__all__ = ["WorkStealingScheduler"]
+
+
+class WorkStealingScheduler:
+    """Assign work units to per-device queues by weighted largest deficit.
+
+    Parameters
+    ----------
+    devices:
+        Device names, in declaration order.
+    weights:
+        Per-device throughput weights (positive, same length as
+        ``devices``); ``None`` means equal weights.  These are the same
+        weights a :class:`~repro.devices.DeviceFleet` split policy
+        produces, so ``from_fleet`` builds a scheduler whose static
+        assignment mirrors the fleet's shot apportionment.
+    steal:
+        Steal policy for the queues this scheduler builds; one of
+        :data:`~repro.distributed.queue.STEAL_POLICIES`.
+    steal_seed:
+        Seed for the ``"random"`` policy's scheduling RNG.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[str],
+        weights: Sequence[float] | None = None,
+        steal: str = "max-backlog",
+        steal_seed: SeedLike = None,
+    ) -> None:
+        if not devices:
+            raise DeviceError("a scheduler needs at least one device")
+        if len(set(devices)) != len(devices):
+            raise DeviceError(f"duplicate device names in {list(devices)!r}")
+        if steal not in STEAL_POLICIES:
+            raise DeviceError(
+                f"unknown steal policy {steal!r}; expected one of {STEAL_POLICIES}"
+            )
+        self.devices = tuple(str(name) for name in devices)
+        if weights is None:
+            weights = [1.0] * len(self.devices)
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (len(self.devices),):
+            raise DeviceError(
+                f"got {len(self.devices)} devices but weights of shape {weights.shape}"
+            )
+        if np.any(weights <= 0.0) or weights.sum() <= 0.0:
+            raise DeviceError(f"weights must be strictly positive, got {weights.tolist()}")
+        self.weights = weights / weights.sum()
+        self.steal = steal
+        self._steal_seed = steal_seed
+
+    @classmethod
+    def for_workers(
+        cls, workers: int, steal: str = "max-backlog", steal_seed: SeedLike = None
+    ) -> "WorkStealingScheduler":
+        """Return an equal-weight scheduler with one synthetic device per worker."""
+        if workers < 1:
+            raise DeviceError(f"workers must be at least 1, got {workers}")
+        return cls(
+            [f"worker-{index}" for index in range(int(workers))],
+            steal=steal,
+            steal_seed=steal_seed,
+        )
+
+    @classmethod
+    def from_fleet(
+        cls, fleet, steal: str = "max-backlog", steal_seed: SeedLike = None
+    ) -> "WorkStealingScheduler":
+        """Build a scheduler whose targets mirror a fleet's split apportionment.
+
+        Parameters
+        ----------
+        fleet:
+            A :class:`~repro.devices.DeviceFleet` (accepted structurally:
+            anything with ``devices`` carrying ``.name`` and a
+            ``split_policy.weights`` hook).
+        steal:
+            Steal policy for the built queues.
+        steal_seed:
+            Seed for the ``"random"`` policy's scheduling RNG.
+        """
+        names = [device.name for device in fleet.devices]
+        weights = np.asarray(fleet.split_policy.weights(fleet.devices), dtype=float)
+        if weights.sum() <= 0.0:
+            raise DeviceError(
+                f"the {fleet.split_policy.name!r} split policy assigns zero total weight; "
+                "no work can be scheduled"
+            )
+        # Zero-weight devices cannot be queue homes, but largest-deficit
+        # assignment already routes nothing to them as long as the weight is
+        # merely tiny — clamp instead of dropping so worker affinity survives.
+        floor = float(weights[weights > 0.0].min()) * 1e-9
+        weights = np.maximum(weights, floor)
+        return cls(names, weights=weights, steal=steal, steal_seed=steal_seed)
+
+    # -- assignment --------------------------------------------------------------------
+
+    def assign(self, units: Sequence[WorkUnit]) -> list[WorkUnit]:
+        """Return the units with home devices set, by weighted largest deficit.
+
+        Units are visited largest-first (ties broken by unit key), and each
+        is homed on the device whose assigned shot total is furthest below
+        its weight target — the greedy analogue of the fleet's
+        largest-remainder shot apportionment.  The result is a pure
+        function of the unit set and the weights.
+        """
+        total_shots = float(sum(int(unit.shots) for unit in units))
+        targets = self.weights * total_shots
+        assigned_shots = np.zeros(len(self.devices))
+        ordered = sorted(units, key=lambda unit: (-int(unit.shots), unit.key))
+        assigned: list[WorkUnit] = []
+        for unit in ordered:
+            deficits = targets - assigned_shots
+            device_index = int(np.argmax(deficits))
+            assigned_shots[device_index] += int(unit.shots)
+            assigned.append(replace(unit, device=self.devices[device_index]))
+        # Preserve the caller's unit order (assignment visited largest-first).
+        assigned.sort(key=lambda unit: unit.key)
+        return assigned
+
+    def build_queue(self, units: Sequence[WorkUnit]) -> RoundQueue:
+        """Assign ``units`` to home devices and load them into a fresh queue."""
+        queue = RoundQueue(self.devices, steal=self.steal, steal_seed=self._steal_seed)
+        for unit in self.assign(units):
+            queue.push(unit)
+        return queue

@@ -1,0 +1,94 @@
+"""Work units and their results: the currency of distributed round execution.
+
+One :class:`WorkUnit` is a per-term shot slice of one adaptive round.  It
+carries the round's spawned :class:`numpy.random.SeedSequence`, so *any*
+worker executing the unit through the zero-padded batch submission (see
+:func:`repro.distributed.engine.execute_unit`) draws from exactly the
+per-circuit child stream the in-process executor would have used — which is
+what makes distributed execution bitwise identical to in-process execution
+regardless of which worker runs the unit, in what order, or how often it is
+retried after a fault.
+
+Units are keyed by ``(round_index, term_index)``.  The key is the unit's
+identity: the coordinator deduplicates duplicate results by key (a worker
+killed right after reporting may have had its unit re-queued) and merges
+results in sorted-key order, never arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WorkUnit", "UnitResult"]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One per-term shot slice of one adaptive round.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based adaptive round the unit belongs to.
+    term_index:
+        Index of the QPD term whose shots this unit carries.
+    shots:
+        Number of shots to execute (strictly positive; zero-shot terms
+        never become units).
+    seed:
+        The round's master :class:`numpy.random.SeedSequence`.  Workers
+        spawn the full per-circuit child set from it and sample only the
+        child at ``term_index``, so results do not depend on which worker
+        executes the unit.
+    device:
+        Name of the home device queue the scheduler assigned the unit to
+        (``""`` until assignment).
+    """
+
+    round_index: int
+    term_index: int
+    shots: int
+    seed: np.random.SeedSequence
+    device: str = ""
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The unit's identity ``(round_index, term_index)``."""
+        return (int(self.round_index), int(self.term_index))
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """The outcome of executing one :class:`WorkUnit`.
+
+    Attributes
+    ----------
+    round_index:
+        Round the unit belonged to.
+    term_index:
+        QPD term the unit belonged to.
+    shots:
+        Shots the unit executed.
+    mean:
+        Empirical mean of the unit's ±1-valued outcomes.  Together with
+        ``shots`` this is a lossless batch summary (the within-batch sum of
+        squared deviations of a ±1 sample is ``shots · (1 − mean²)``
+        exactly), so the coordinator can merge partials with Chan's
+        algorithm without shipping raw counts.
+    worker:
+        Identifier of the worker that produced the result (diagnostic
+        only; never feeds the merge).
+    """
+
+    round_index: int
+    term_index: int
+    shots: int
+    mean: float
+    worker: str = ""
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The producing unit's identity ``(round_index, term_index)``."""
+        return (int(self.round_index), int(self.term_index))

@@ -19,6 +19,7 @@ __all__ = [
     "DecompositionError",
     "CuttingError",
     "DeviceError",
+    "DistributedError",
     "ExperimentError",
     "ServiceError",
 ]
@@ -62,6 +63,10 @@ class CuttingError(ReproError):
 
 class DeviceError(ReproError):
     """A virtual-device or fleet specification is invalid or cannot serve a circuit."""
+
+
+class DistributedError(ReproError):
+    """Distributed round execution failed (worker pool died, retries exhausted, ...)."""
 
 
 class ExperimentError(ReproError):

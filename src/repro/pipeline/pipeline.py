@@ -76,7 +76,12 @@ from repro.cutting.multi_wire import (
 from repro.cutting.nme_cut import NMEWireCut
 from repro.cutting.standard_cut import HaradaWireCut
 from repro.pipeline.stages import Decomposition, Execution, PipelineResult, PlanResult
-from repro.qpd.adaptive import DEFAULT_MAX_ROUNDS, AdaptiveConfig, RoundRecord
+from repro.qpd.adaptive import (
+    DEFAULT_MAX_ROUNDS,
+    EXECUTION_MODES as ROUND_EXECUTION_MODES,
+    AdaptiveConfig,
+    RoundRecord,
+)
 from repro.qpd.allocation import resolve_planner
 from repro.qpd.estimator import combine_term_estimates
 from repro.quantum.paulis import PauliString
@@ -321,6 +326,8 @@ class CutPipeline:
         completed_rounds: Sequence[RoundRecord] = (),
         on_round=None,
         dedup: bool | str | None = None,
+        execution: str = "inprocess",
+        workers: int | None = None,
     ) -> Execution:
         """Spend the shot budget on the term set through the execution backend.
 
@@ -377,6 +384,18 @@ class CutPipeline:
             — statistically identical to the monolithic path and bitwise
             identical across backends — and the returned execution carries
             the table's accounting in ``instance_stats``.
+        execution:
+            Round execution: ``"inprocess"`` (default) or ``"distributed"``
+            (adaptive mode only; each round fans out over the
+            multi-process work-stealing pool of :mod:`repro.distributed`).
+            Distributed execution is bitwise identical to in-process for
+            the same seed, so the stage artifact does not record it — a
+            stored run resumes interchangeably under either.  The dedup
+            path consumes one sequential RNG across terms and therefore
+            cannot distribute: an explicit ``dedup=True`` conflicts, and
+            ``"auto"`` falls back to the monolithic term path.
+        workers:
+            Distributed execution's worker-process count.
 
         Returns
         -------
@@ -387,6 +406,21 @@ class CutPipeline:
         """
         if mode not in ESTIMATION_MODES:
             raise CuttingError(f"unknown mode {mode!r}; expected one of {ESTIMATION_MODES}")
+        if execution not in ROUND_EXECUTION_MODES:
+            raise CuttingError(
+                f"unknown execution {execution!r}; expected one of {ROUND_EXECUTION_MODES}"
+            )
+        if execution == "distributed":
+            if mode != "adaptive":
+                raise CuttingError("distributed execution requires mode='adaptive'")
+            requested_dedup = self.dedup if dedup is None else dedup
+            if requested_dedup is True:
+                raise CuttingError(
+                    "dedup execution cannot distribute (the instance fast path "
+                    "draws terms from one sequential stream); pass dedup=False"
+                )
+            # "auto" falls back to the distributable monolithic term path.
+            dedup = False
         pauli = _as_pauli(observable, decomposition.circuit.num_qubits)
         if self._dedup_engages(decomposition, dedup):
             return self._execute_dedup(
@@ -418,6 +452,8 @@ class CutPipeline:
                 backend=self.backend,
                 completed_rounds=completed_rounds,
                 on_round=on_round,
+                execution=execution,
+                workers=workers,
             )
             return Execution(
                 decomposition=decomposition,
@@ -599,6 +635,8 @@ class CutPipeline:
         rounds: int = DEFAULT_MAX_ROUNDS,
         planner: str | None = None,
         dedup: bool | str | None = None,
+        execution: str = "inprocess",
+        workers: int | None = None,
     ) -> PipelineResult:
         """Run all four stages and return the final estimate.
 
@@ -632,6 +670,11 @@ class CutPipeline:
         dedup:
             Per-call override of the pipeline's instance-dedup setting
             (see :meth:`execute`).
+        execution:
+            Round execution, ``"inprocess"`` or ``"distributed"`` (see
+            :meth:`execute`).
+        workers:
+            Distributed execution's worker-process count.
 
         Returns
         -------
@@ -640,7 +683,7 @@ class CutPipeline:
         """
         plan_result = self.plan(circuit, plan=plan, positions=positions, locations=locations)
         decomposition = self.decompose(plan_result)
-        execution = self.execute(
+        executed = self.execute(
             decomposition,
             observable,
             shots,
@@ -650,8 +693,10 @@ class CutPipeline:
             rounds=rounds,
             planner=planner,
             dedup=dedup,
+            execution=execution,
+            workers=workers,
         )
-        return self.reconstruct(execution, compute_exact=compute_exact)
+        return self.reconstruct(executed, compute_exact=compute_exact)
 
     def exact_reconstruction(
         self,

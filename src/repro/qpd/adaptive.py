@@ -37,6 +37,7 @@ from repro.utils.validation import validate_positive_count, validate_positive_fl
 __all__ = [
     "AdaptiveConfig",
     "DEFAULT_MAX_ROUNDS",
+    "EXECUTION_MODES",
     "TermStatistics",
     "RoundRecord",
     "AdaptiveResult",
@@ -46,6 +47,10 @@ __all__ = [
 #: Default round limit shared by every adaptive entry point (engine,
 #: executors, pipeline, job spec and CLI).
 DEFAULT_MAX_ROUNDS = 12
+
+#: Round-execution modes: in the calling process, or fanned out over the
+#: multi-process work-stealing pool of :mod:`repro.distributed`.
+EXECUTION_MODES = ("inprocess", "distributed")
 
 #: Type of the per-round execution hook: ``(round_index, shots_per_term,
 #: seed_sequence) -> per-term means`` (entries with zero shots are ignored).
@@ -105,6 +110,32 @@ class TermStatistics:
         delta = mean - self.mean
         self.mean = self.mean + delta * (shots / total)
         self.m2 = self.m2 + batch_m2 + delta * delta * self.shots * shots / total
+        self.shots = total
+
+    def merge(self, other: "TermStatistics") -> None:
+        """Merge another ledger into this one with Chan's parallel update.
+
+        This is the algebra the distributed coordinator leans on: partials
+        produced by independent workers merge into exactly the Welford
+        state of the pooled sample.  The operation is exact in real
+        arithmetic — commutative, associative, with the empty ledger as
+        identity — and accurate to rounding in floats, which is why the
+        distributed merge always folds partials in sorted unit-key order
+        (one canonical order ⇒ one bitwise result) rather than relying on
+        float commutativity.
+        """
+        shots = int(other.shots)
+        if shots <= 0:
+            return
+        if self.shots == 0:
+            self.shots = shots
+            self.mean = float(other.mean)
+            self.m2 = float(other.m2)
+            return
+        total = self.shots + shots
+        delta = float(other.mean) - self.mean
+        self.mean = self.mean + delta * (shots / total)
+        self.m2 = self.m2 + float(other.m2) + delta * delta * self.shots * shots / total
         self.shots = total
 
     def to_term_estimate(self, coefficient: float, label: str = "") -> TermEstimate:
@@ -294,6 +325,8 @@ def run_adaptive_rounds(
     labels: Sequence[str] | None = None,
     completed_rounds: Sequence[RoundRecord] = (),
     on_round: Callable[[RoundRecord, dict], None] | None = None,
+    execution: str = "inprocess",
+    workers: int | None = None,
 ) -> AdaptiveResult:
     """Drive the round loop: plan, execute, merge, check, repeat.
 
@@ -322,6 +355,16 @@ def run_adaptive_rounds(
         :class:`RoundRecord` and a progress summary dict
         (``rounds_completed`` / ``shots_spent`` / ``current_stderr`` /
         ``target_error`` / ``converged``).
+    execution:
+        ``"inprocess"`` (the default: rounds run through ``execute_round``
+        in the calling process) or ``"distributed"`` (rounds fan out over
+        the multi-process work-stealing pool of :mod:`repro.distributed`;
+        requires an ``execute_round`` exposing a ``distribute(workers)``
+        hook, such as the cut executor's backend round hook).  Both modes
+        produce bitwise-identical results for the same seed.
+    workers:
+        Distributed mode's worker-process count (default 2); rejected in
+        in-process mode.
 
     Returns
     -------
@@ -329,6 +372,50 @@ def run_adaptive_rounds(
         The recombined estimate, the full round history and convergence.
     """
     config.validate()
+    if execution not in EXECUTION_MODES:
+        raise DecompositionError(
+            f"unknown execution {execution!r}; expected one of {EXECUTION_MODES}"
+        )
+    owned_executor = None
+    if execution == "distributed":
+        distribute = getattr(execute_round, "distribute", None)
+        if distribute is None:
+            raise DecompositionError(
+                "distributed execution needs a round executor with a "
+                "distribute() hook (e.g. the cut executor's backend round "
+                f"hook); got {type(execute_round).__name__}"
+            )
+        distributed = distribute(workers)
+        if distributed is not execute_round:
+            owned_executor = distributed
+        execute_round = distributed
+    elif workers is not None:
+        raise DecompositionError("workers is only meaningful with execution='distributed'")
+    try:
+        return _run_adaptive_rounds(
+            coefficients,
+            execute_round,
+            config,
+            seed,
+            labels,
+            completed_rounds,
+            on_round,
+        )
+    finally:
+        if owned_executor is not None:
+            owned_executor.close()
+
+
+def _run_adaptive_rounds(
+    coefficients: Sequence[float] | np.ndarray,
+    execute_round: RoundExecutor,
+    config: AdaptiveConfig,
+    seed: SeedLike,
+    labels: Sequence[str] | None,
+    completed_rounds: Sequence[RoundRecord],
+    on_round: Callable[[RoundRecord, dict], None] | None,
+) -> AdaptiveResult:
+    """Run the (already execution-resolved) round loop."""
     coefficients = np.asarray(coefficients, dtype=float)
     if coefficients.ndim != 1 or coefficients.size == 0:
         raise DecompositionError("coefficients must be a non-empty 1-D array")

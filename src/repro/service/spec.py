@@ -19,7 +19,7 @@ from repro.circuits.backends import BACKEND_NAMES, circuit_fingerprint, resolve_
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.serialization import circuit_from_payload, circuit_to_payload
 from repro.cutting.executor import ESTIMATION_MODES
-from repro.qpd.adaptive import DEFAULT_MAX_ROUNDS
+from repro.qpd.adaptive import DEFAULT_MAX_ROUNDS, EXECUTION_MODES
 from repro.qpd.allocation import ALLOCATION_STRATEGIES
 from repro.quantum.paulis import PauliString
 from repro.utils.serialization import payload_fingerprint
@@ -87,6 +87,18 @@ class JobSpec:
         an ideal simulator backend (no ``fleet``).  Becomes part of the
         fingerprint only when enabled, so existing stored runs keep their
         content addresses.
+    execution:
+        Round execution of adaptive jobs: ``"inprocess"`` (default) or
+        ``"distributed"`` (each round fans out over the multi-process
+        work-stealing pool of :mod:`repro.distributed`).  Distributed
+        results are bitwise identical to in-process for the same seed, so
+        the field travels in the payload but is *excluded from the
+        fingerprint*: the two executions share one content address and a
+        stored run resumes interchangeably under either.
+    workers:
+        Distributed execution's worker-process count (``None`` uses the
+        distributed default); excluded from the fingerprint for the same
+        reason.
     """
 
     circuit: QuantumCircuit
@@ -106,6 +118,8 @@ class JobSpec:
     target_error: float | None = None
     rounds: int = DEFAULT_MAX_ROUNDS
     dedup: bool = False
+    execution: str = "inprocess"
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         validate_positive_count(self.shots, name="shots")
@@ -162,6 +176,24 @@ class JobSpec:
             raise ServiceError(
                 "dedup requires an ideal simulator backend; it cannot run on a noisy fleet"
             )
+        if self.execution not in EXECUTION_MODES:
+            raise ServiceError(
+                f"unknown execution {self.execution!r}; expected one of {EXECUTION_MODES}"
+            )
+        if self.execution == "distributed":
+            if self.mode != "adaptive":
+                raise ServiceError("distributed execution requires mode='adaptive'")
+            if self.dedup:
+                raise ServiceError(
+                    "dedup execution cannot distribute (the instance fast path draws "
+                    "terms from one sequential stream)"
+                )
+            if self.workers is not None:
+                validate_positive_count(self.workers, name="workers")
+        elif self.workers is not None:
+            raise ServiceError(
+                "workers is only meaningful with execution='distributed'"
+            )
         # Normalise tuple-valued fields so payloads and fingerprints are stable
         # regardless of whether lists or tuples were passed in.
         if self.positions is not None:
@@ -209,6 +241,10 @@ class JobSpec:
             payload["rounds"] = int(self.rounds)
         if self.dedup:
             payload["dedup"] = True
+        if self.execution != "inprocess":
+            payload["execution"] = self.execution
+            if self.workers is not None:
+                payload["workers"] = int(self.workers)
         return payload
 
     @classmethod
@@ -264,6 +300,8 @@ class JobSpec:
                 target_error=payload.get("target_error"),
                 rounds=int(payload.get("rounds", DEFAULT_MAX_ROUNDS)),
                 dedup=bool(payload.get("dedup", False)),
+                execution=str(payload.get("execution", "inprocess")),
+                workers=payload.get("workers"),
             )
         except ServiceError:
             raise
@@ -280,10 +318,16 @@ class JobSpec:
         names don't fragment the store), the cut plan or planner
         constraints, the backend / fleet spec, the shot budget, the
         allocation strategy and the seed — everything that determines the
-        result bit-for-bit.
+        result bit-for-bit.  ``execution``/``workers`` are deliberately
+        *not* covered: distributed rounds are bitwise identical to
+        in-process rounds, so an in-process job and its distributed twin
+        share one content address (and the store's cache/resume serves
+        either from the other's artifacts).
         """
         payload = self.to_payload()
         payload["circuit"] = circuit_fingerprint(self.circuit)
+        payload.pop("execution", None)
+        payload.pop("workers", None)
         return payload_fingerprint(payload)
 
     # -- execution helpers --------------------------------------------------------------
@@ -313,11 +357,16 @@ class JobSpec:
         """Return the mode keyword arguments for :meth:`CutPipeline.execute`."""
         if self.mode == "static":
             return {}
-        return {
+        arguments = {
             "mode": self.mode,
             "target_error": self.target_error,
             "rounds": self.rounds,
         }
+        if self.execution != "inprocess":
+            arguments["execution"] = self.execution
+            if self.workers is not None:
+                arguments["workers"] = self.workers
+        return arguments
 
     def plan_arguments(self) -> dict:
         """Return the keyword arguments for :meth:`CutPipeline.plan`."""

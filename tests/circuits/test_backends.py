@@ -19,6 +19,10 @@ from repro.circuits import (
     structure_signature,
 )
 
+# Fork-heavy suite (process-pool backends): keep on one xdist worker
+# under ``pytest -n auto --dist loadgroup``.
+pytestmark = pytest.mark.xdist_group("forkheavy")
+
 
 def _measured_rotation(theta: float) -> QuantumCircuit:
     circuit = QuantumCircuit(2, 2, name=f"rot_{theta}")

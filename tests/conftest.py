@@ -1,0 +1,38 @@
+"""Suite-wide fixtures: helper imports and the repo-root ``runs/`` guard."""
+
+import shutil
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the shared test doubles under tests/utils importable as
+# ``from utils.faulty_backend import FaultyBackend`` from any test module.
+_TESTS_DIR = Path(__file__).resolve().parent
+if str(_TESTS_DIR) not in sys.path:
+    sys.path.insert(0, str(_TESTS_DIR))
+
+_REPO_ROOT = _TESTS_DIR.parent
+_GUARDED = (_REPO_ROOT / "runs", _REPO_ROOT / "src" / "runs", _REPO_ROOT / "tests" / "runs")
+
+
+@pytest.fixture(autouse=True)
+def _guard_repo_root_runs():
+    """Fail any test that creates a ``runs/`` store in the repository tree.
+
+    Every store-touching test must route through a ``tmp_path``-scoped
+    :class:`~repro.service.store.RunStore`; a ``runs/`` directory appearing
+    in the repo root means a default store path leaked.  The stray
+    directory is removed so one offender cannot cascade into masking
+    failures (or green runs) of later tests.
+    """
+    existing = {path for path in _GUARDED if path.exists()}
+    yield
+    leaked = [path for path in _GUARDED if path.exists() and path not in existing]
+    for path in leaked:
+        shutil.rmtree(path, ignore_errors=True)
+    if leaked:
+        pytest.fail(
+            f"test created {', '.join(str(p) for p in leaked)} — run stores must "
+            "be tmp_path-scoped, never default to the repository tree"
+        )

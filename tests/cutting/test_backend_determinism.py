@@ -23,6 +23,10 @@ from repro.cutting.standard_cut import HaradaWireCut
 from repro.cutting.teleport_cut import TeleportationWireCut
 from repro.quantum.random import random_statevector
 
+# Fork-heavy suite (process-pool backends): keep on one xdist worker
+# under ``pytest -n auto --dist loadgroup``.
+pytestmark = pytest.mark.xdist_group("forkheavy")
+
 PROTOCOLS = [HaradaWireCut(), PengWireCut(), NMEWireCut(0.5), TeleportationWireCut()]
 
 

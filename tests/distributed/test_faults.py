@@ -1,0 +1,226 @@
+"""Fault injection: worker deaths, flaky backends and retry exhaustion.
+
+The recovery contract under test: any interleaving of worker crashes and
+backend faults either completes the round with bitwise-identical statistics
+(units are re-queued and retried) or raises ``DistributedError`` — never a
+silently wrong estimate.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuits.backends import resolve_backend
+from repro.distributed import (
+    DistributedRoundExecutor,
+    RoundQueue,
+    WorkUnit,
+    WorkerPool,
+    execute_unit,
+)
+from repro.exceptions import DistributedError
+from repro.qpd.adaptive import AdaptiveConfig, run_adaptive_rounds
+
+from utils.faulty_backend import FaultyBackend
+from utils.workloads import ghz_cut_workload
+
+pytestmark = pytest.mark.xdist_group("forkheavy")
+
+SEED = 424242
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ghz_cut_workload(num_qubits=3, overlap=0.8)
+
+
+def make_units(workload, shots=60):
+    seed = np.random.SeedSequence(SEED)
+    return [
+        WorkUnit(round_index=0, term_index=term, shots=shots, seed=seed, device="")
+        for term in range(len(workload.measured_circuits))
+        if workload.selected_clbits[term]
+    ]
+
+
+def loaded_queue(units, devices, steal="max-backlog"):
+    queue = RoundQueue(devices, steal=steal)
+    for index, unit in enumerate(units):
+        queue.push(
+            WorkUnit(
+                round_index=unit.round_index,
+                term_index=unit.term_index,
+                shots=unit.shots,
+                seed=unit.seed,
+                device=devices[index % len(devices)],
+            )
+        )
+    return queue
+
+
+def reference_results(workload, units):
+    backend = resolve_backend("serial")
+    return [
+        execute_unit(
+            backend, workload.measured_circuits, workload.selected_clbits, unit
+        )
+        for unit in sorted(units, key=lambda u: u.key)
+    ]
+
+
+def summaries(results):
+    return [(r.key, r.shots, r.mean) for r in results]
+
+
+class RoundThread(threading.Thread):
+    """Drive ``pool.run_round`` off the main thread, capturing the outcome."""
+
+    def __init__(self, pool, queue):
+        super().__init__(daemon=True)
+        self._pool = pool
+        self._queue = queue
+        self.results = None
+        self.error = None
+
+    def run(self):
+        try:
+            self.results = self._pool.run_round(self._queue)
+        except Exception as error:  # re-raised by the asserting test
+            self.error = error
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_unit_is_requeued_and_round_completes(self, workload):
+        units = make_units(workload)
+        devices = ("a", "b")
+        pool = WorkerPool(
+            workload.measured_circuits,
+            workload.selected_clbits,
+            backend="serial",
+            devices=devices,
+            workers=2,
+            latencies={"a": 0.3, "b": 0.3},
+            poll_interval=0.02,
+        )
+        with pool:
+            victim = pool._handles[0]
+            driver = RoundThread(pool, loaded_queue(units, devices))
+            driver.start()
+            # Let both workers pick up their first unit, then kill one
+            # mid-execution (inside its simulated latency sleep).
+            deadline = time.monotonic() + 5.0
+            while victim.in_flight is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert victim.in_flight is not None
+            os.kill(victim.process.pid, signal.SIGKILL)
+            driver.join(timeout=30.0)
+        assert driver.error is None
+        assert pool.requeues >= 1
+        assert summaries(driver.results) == summaries(reference_results(workload, units))
+
+    def test_all_workers_dead_raises_distributed_error(self, workload):
+        units = make_units(workload)
+        devices = ("a", "b")
+        pool = WorkerPool(
+            workload.measured_circuits,
+            workload.selected_clbits,
+            backend="serial",
+            devices=devices,
+            workers=2,
+            latencies={"a": 0.6, "b": 0.6},
+            poll_interval=0.02,
+        )
+        with pool:
+            driver = RoundThread(pool, loaded_queue(units, devices))
+            driver.start()
+            deadline = time.monotonic() + 5.0
+            while (
+                any(h.in_flight is None for h in pool._handles)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            for handle in pool._handles:
+                os.kill(handle.process.pid, signal.SIGKILL)
+            driver.join(timeout=30.0)
+        assert isinstance(driver.error, DistributedError)
+        assert "workers died" in str(driver.error)
+
+
+class TestFlakyBackend:
+    def test_inline_fault_is_retried_to_identical_results(self, workload):
+        units = make_units(workload)
+        pool = WorkerPool(
+            workload.measured_circuits,
+            workload.selected_clbits,
+            backend=FaultyBackend("serial", fail_on=(1,)),
+            devices=("a", "b"),
+            mode="inline",
+        )
+        results = pool.run_round(loaded_queue(units, ("a", "b")))
+        assert pool.retries == 1
+        assert summaries(results) == summaries(reference_results(workload, units))
+
+    def test_process_fault_per_worker_is_retried_to_identical_results(self, workload):
+        units = make_units(workload)
+        devices = ("a", "b")
+        pool = WorkerPool(
+            workload.measured_circuits,
+            workload.selected_clbits,
+            backend=FaultyBackend("serial", fail_on=(1,)),
+            devices=devices,
+            workers=2,
+            poll_interval=0.02,
+        )
+        with pool:
+            results = pool.run_round(loaded_queue(units, devices))
+        # Each worker process owns a pickled FaultyBackend copy, so every
+        # worker's first call fails and the coordinator absorbs the faults.
+        assert pool.retries >= 1
+        assert summaries(results) == summaries(reference_results(workload, units))
+
+    def test_retry_budget_exhaustion_raises(self, workload):
+        units = make_units(workload)
+        pool = WorkerPool(
+            workload.measured_circuits,
+            workload.selected_clbits,
+            backend=FaultyBackend("serial", fail_from=1),
+            devices=("a",),
+            mode="inline",
+            max_retries=2,
+        )
+        with pytest.raises(DistributedError, match="failed 3 times"):
+            pool.run_round(loaded_queue(units, ("a",)))
+
+    def test_adaptive_run_with_faults_stays_bitwise_identical(self, workload):
+        """A flaky backend's retries never perturb the adaptive estimate."""
+        config = AdaptiveConfig(target_error=0.05, max_shots=2000, max_rounds=3)
+
+        def run(backend):
+            executor = DistributedRoundExecutor(
+                workload.measured_circuits,
+                workload.selected_clbits,
+                backend=backend,
+                workers=2,
+                mode="inline",
+            )
+            with executor:
+                return run_adaptive_rounds(
+                    workload.coefficients,
+                    executor,
+                    config,
+                    seed=SEED,
+                    labels=workload.labels,
+                    execution="distributed",
+                )
+
+        clean = run("serial")
+        faulty = run(FaultyBackend("serial", fail_on=(1, 4)))
+        assert faulty.estimate.value == clean.estimate.value
+        assert faulty.estimate.standard_error == clean.estimate.standard_error
+        assert [r.to_payload() for r in faulty.rounds] == [
+            r.to_payload() for r in clean.rounds
+        ]

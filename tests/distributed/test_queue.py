@@ -1,0 +1,134 @@
+"""Unit tests of the RoundQueue's backlog and steal disciplines."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import STEAL_POLICIES, RoundQueue, WorkUnit
+from repro.exceptions import DeviceError
+
+
+def unit(term, shots=10, device="a", round_index=0):
+    return WorkUnit(
+        round_index=round_index,
+        term_index=term,
+        shots=shots,
+        seed=np.random.SeedSequence(0),
+        device=device,
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_devices(self):
+        with pytest.raises(DeviceError, match="at least one device"):
+            RoundQueue([])
+
+    def test_rejects_duplicate_devices(self):
+        with pytest.raises(DeviceError, match="duplicate"):
+            RoundQueue(["a", "b", "a"])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(DeviceError, match="steal policy"):
+            RoundQueue(["a"], steal="optimistic")
+
+    def test_exposes_devices_and_policy(self):
+        queue = RoundQueue(["a", "b"], steal="round-robin")
+        assert queue.devices == ("a", "b")
+        assert queue.steal_policy == "round-robin"
+        assert "round-robin" in STEAL_POLICIES
+
+
+class TestBacklog:
+    def test_push_and_len(self):
+        queue = RoundQueue(["a", "b"])
+        queue.push(unit(0, device="a"))
+        queue.push(unit(1, device="b"))
+        queue.push(unit(2, device="b"))
+        assert len(queue) == 3
+        assert queue.backlog("a") == 1
+        assert queue.backlog("b") == 2
+        assert sorted(queue.unit_keys()) == [(0, 0), (0, 1), (0, 2)]
+
+    def test_push_rejects_unknown_device(self):
+        queue = RoundQueue(["a"])
+        with pytest.raises(DeviceError, match="unknown device"):
+            queue.push(unit(0, device="ghost"))
+
+    def test_own_queue_is_fifo(self):
+        queue = RoundQueue(["a"])
+        queue.push(unit(0))
+        queue.push(unit(1))
+        assert queue.next_unit("a").term_index == 0
+        assert queue.next_unit("a").term_index == 1
+        assert queue.next_unit("a") is None
+
+    def test_requeue_puts_unit_at_front(self):
+        queue = RoundQueue(["a"])
+        queue.push(unit(0))
+        queue.push(unit(1))
+        recovered = queue.next_unit("a")
+        queue.requeue(recovered)
+        assert queue.next_unit("a").term_index == 0
+
+    def test_next_unit_rejects_unknown_device(self):
+        queue = RoundQueue(["a"])
+        with pytest.raises(DeviceError, match="unknown device"):
+            queue.next_unit("ghost")
+
+
+class TestStealing:
+    def test_none_policy_never_steals(self):
+        queue = RoundQueue(["a", "b"], steal="none")
+        queue.push(unit(0, device="b"))
+        assert queue.next_unit("a") is None
+        assert queue.steals == 0
+        assert queue.backlog("b") == 1
+
+    def test_steal_pops_from_victim_tail(self):
+        queue = RoundQueue(["a", "b"])
+        queue.push(unit(0, device="b"))
+        queue.push(unit(1, device="b"))
+        stolen = queue.next_unit("a")
+        assert stolen.term_index == 1  # victim's tail, not its head
+        assert queue.steals == 1
+        assert queue.steal_log == [("a", "b", (0, 1))]
+
+    def test_max_backlog_picks_longest_queue(self):
+        queue = RoundQueue(["a", "b", "c"])
+        queue.push(unit(0, device="b"))
+        for term in (1, 2, 3):
+            queue.push(unit(term, device="c"))
+        stolen = queue.next_unit("a")
+        assert stolen.device == "c"
+
+    def test_max_backlog_tie_breaks_by_declaration_order(self):
+        queue = RoundQueue(["a", "b", "c"])
+        queue.push(unit(0, device="c"))
+        queue.push(unit(1, device="b"))
+        stolen = queue.next_unit("a")
+        assert stolen.device == "b"  # b precedes c in declaration order
+
+    def test_round_robin_cycles_victims(self):
+        queue = RoundQueue(["a", "b", "c"], steal="round-robin")
+        for term in (0, 1):
+            queue.push(unit(term, device="b"))
+        for term in (2, 3):
+            queue.push(unit(term, device="c"))
+        victims = [queue.next_unit("a").device for _ in range(4)]
+        assert victims.count("b") == 2 and victims.count("c") == 2
+        assert victims != ["b", "b", "c", "c"]  # interleaved, not drained in order
+
+    def test_random_policy_is_reproducible_by_seed(self):
+        def steal_pattern(seed):
+            queue = RoundQueue(["a", "b", "c"], steal="random", steal_seed=seed)
+            for term in range(3):
+                queue.push(unit(term, device="b"))
+            for term in range(3, 6):
+                queue.push(unit(term, device="c"))
+            return [queue.next_unit("a").device for _ in range(6)]
+
+        assert steal_pattern(7) == steal_pattern(7)
+
+    def test_steal_returns_none_when_everything_is_empty(self):
+        queue = RoundQueue(["a", "b"])
+        assert queue.next_unit("a") is None
+        assert queue.steals == 0

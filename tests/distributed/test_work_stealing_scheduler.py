@@ -1,0 +1,112 @@
+"""Unit tests of the work-stealing scheduler's deterministic assignment."""
+
+import numpy as np
+import pytest
+
+from repro.devices import DeviceFleet, VirtualDevice
+from repro.distributed import WorkStealingScheduler, WorkUnit
+from repro.exceptions import DeviceError
+
+
+def units(shot_list, round_index=0):
+    return [
+        WorkUnit(
+            round_index=round_index,
+            term_index=term,
+            shots=shots,
+            seed=np.random.SeedSequence(0),
+        )
+        for term, shots in enumerate(shot_list)
+    ]
+
+
+class TestConstruction:
+    def test_rejects_empty_devices(self):
+        with pytest.raises(DeviceError, match="at least one device"):
+            WorkStealingScheduler([])
+
+    def test_rejects_duplicate_devices(self):
+        with pytest.raises(DeviceError, match="duplicate"):
+            WorkStealingScheduler(["a", "a"])
+
+    def test_rejects_non_positive_weights(self):
+        with pytest.raises(DeviceError, match="strictly positive"):
+            WorkStealingScheduler(["a", "b"], weights=[1.0, 0.0])
+
+    def test_rejects_mismatched_weight_shape(self):
+        with pytest.raises(DeviceError, match="shape"):
+            WorkStealingScheduler(["a", "b"], weights=[1.0])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(DeviceError, match="steal policy"):
+            WorkStealingScheduler(["a"], steal="greedy")
+
+    def test_weights_are_normalised(self):
+        scheduler = WorkStealingScheduler(["a", "b"], weights=[2.0, 6.0])
+        assert np.allclose(scheduler.weights, [0.25, 0.75])
+
+    def test_for_workers_builds_equal_weight_synthetic_devices(self):
+        scheduler = WorkStealingScheduler.for_workers(3)
+        assert scheduler.devices == ("worker-0", "worker-1", "worker-2")
+        assert np.allclose(scheduler.weights, [1 / 3] * 3)
+
+    def test_for_workers_rejects_non_positive_count(self):
+        with pytest.raises(DeviceError, match="at least 1"):
+            WorkStealingScheduler.for_workers(0)
+
+
+class TestAssignment:
+    def test_assignment_is_deterministic(self):
+        scheduler = WorkStealingScheduler(["a", "b"])
+        batch = units([100, 50, 25, 25, 10])
+        first = [u.device for u in scheduler.assign(batch)]
+        second = [u.device for u in scheduler.assign(batch)]
+        assert first == second
+
+    def test_assignment_preserves_unit_order_and_identity(self):
+        scheduler = WorkStealingScheduler(["a", "b"])
+        batch = units([10, 90, 40])
+        assigned = scheduler.assign(batch)
+        assert [u.key for u in assigned] == [(0, 0), (0, 1), (0, 2)]
+        assert [u.shots for u in assigned] == [10, 90, 40]
+        assert all(u.device in ("a", "b") for u in assigned)
+
+    def test_equal_weights_balance_shot_totals(self):
+        scheduler = WorkStealingScheduler(["a", "b"])
+        assigned = scheduler.assign(units([100, 100, 50, 50]))
+        totals = {"a": 0, "b": 0}
+        for u in assigned:
+            totals[u.device] += u.shots
+        assert totals["a"] == totals["b"] == 150
+
+    def test_skewed_weights_skew_shot_totals(self):
+        scheduler = WorkStealingScheduler(["fast", "slow"], weights=[3.0, 1.0])
+        assigned = scheduler.assign(units([40] * 8))
+        totals = {"fast": 0, "slow": 0}
+        for u in assigned:
+            totals[u.device] += u.shots
+        assert totals["fast"] == 240 and totals["slow"] == 80
+
+    def test_build_queue_loads_every_unit(self):
+        scheduler = WorkStealingScheduler(["a", "b"], steal="none")
+        batch = units([30, 20, 10])
+        queue = scheduler.build_queue(batch)
+        assert queue.steal_policy == "none"
+        assert len(queue) == 3
+        assert sorted(queue.unit_keys()) == [(0, 0), (0, 1), (0, 2)]
+
+
+class TestFromFleet:
+    def test_mirrors_fleet_names_and_split_weights(self):
+        fleet = DeviceFleet(
+            [VirtualDevice("big", capacity=3.0), VirtualDevice("small", capacity=1.0)],
+            split="capacity",
+        )
+        scheduler = WorkStealingScheduler.from_fleet(fleet)
+        assert scheduler.devices == ("big", "small")
+        assert np.allclose(scheduler.weights, [0.75, 0.25])
+
+    def test_uniform_fleet_gets_equal_weights(self):
+        fleet = DeviceFleet([VirtualDevice("a"), VirtualDevice("b")])
+        scheduler = WorkStealingScheduler.from_fleet(fleet)
+        assert np.allclose(scheduler.weights, [0.5, 0.5])

@@ -1,0 +1,125 @@
+"""Property tests of the ``TermStatistics`` merge algebra.
+
+The distributed coordinator folds per-unit partials into per-term ledgers
+with Chan's parallel update.  These properties pin the algebra it leans on:
+
+* the empty ledger is a (bitwise) identity,
+* merging is commutative and associative up to float rounding — which is
+  exactly why the coordinator merges in one canonical (sorted unit-key)
+  order instead of relying on float commutativity,
+* merging per-batch summaries reproduces the Welford statistics of the
+  pooled raw ±1 sequence, across adversarial shot splits,
+* ``merge`` of a one-round ledger is bitwise ``merge_round``.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qpd.adaptive import TermStatistics
+
+SETTINGS = settings(max_examples=120, deadline=None)
+
+# One batch of a ±1-valued observable: ``shots`` outcomes, ``successes`` of
+# them +1; the empirical mean 2k/n − 1 is the only mean a real batch can have.
+batches = st.integers(min_value=1, max_value=200).flatmap(
+    lambda shots: st.tuples(st.just(shots), st.integers(min_value=0, max_value=shots))
+)
+batch_lists = st.lists(batches, min_size=1, max_size=8)
+
+
+def batch_mean(shots, successes):
+    return 2.0 * successes / shots - 1.0
+
+
+def ledger_of(batch_list):
+    """Fold batches into a ledger with ``merge_round`` (the round-loop path)."""
+    ledger = TermStatistics()
+    for shots, successes in batch_list:
+        ledger.merge_round(batch_mean(shots, successes), shots)
+    return ledger
+
+
+def merged(left, right):
+    """Non-mutating ``merge`` (the distributed coordinator's path)."""
+    out = TermStatistics(shots=left.shots, mean=left.mean, m2=left.m2)
+    out.merge(right)
+    return out
+
+
+def assert_close(left, right):
+    assert left.shots == right.shots
+    assert math.isclose(left.mean, right.mean, rel_tol=1e-9, abs_tol=1e-12)
+    assert math.isclose(left.m2, right.m2, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestMergeAlgebra:
+    @SETTINGS
+    @given(batch_lists)
+    def test_empty_ledger_is_identity(self, batch_list):
+        ledger = ledger_of(batch_list)
+        assert merged(ledger, TermStatistics()) == ledger
+        assert merged(TermStatistics(), ledger) == ledger
+
+    @SETTINGS
+    @given(batch_lists, batch_lists)
+    def test_merge_is_commutative(self, left_batches, right_batches):
+        left, right = ledger_of(left_batches), ledger_of(right_batches)
+        assert_close(merged(left, right), merged(right, left))
+
+    @SETTINGS
+    @given(batch_lists, batch_lists, batch_lists)
+    def test_merge_is_associative(self, a_batches, b_batches, c_batches):
+        a, b, c = ledger_of(a_batches), ledger_of(b_batches), ledger_of(c_batches)
+        assert_close(merged(merged(a, b), c), merged(a, merged(b, c)))
+
+    @SETTINGS
+    @given(batches)
+    def test_merge_of_one_round_ledger_is_bitwise_merge_round(self, batch):
+        shots, successes = batch
+        mean = batch_mean(shots, successes)
+        via_round = TermStatistics()
+        via_round.merge_round(mean, shots)
+        partial = TermStatistics()
+        partial.merge_round(mean, shots)
+        base = ledger_of([(10, 7)])
+        via_merge = merged(base, partial)
+        reference = ledger_of([(10, 7)])
+        reference.merge_round(mean, shots)
+        assert via_merge.shots == reference.shots
+        assert via_merge.mean == reference.mean
+        assert via_merge.m2 == reference.m2
+
+    @SETTINGS
+    @given(batch_lists)
+    def test_merge_of_splits_equals_pooled_welford(self, batch_list):
+        """Any split of the raw ±1 sequence merges to the pooled statistics."""
+        outcomes = np.concatenate(
+            [
+                np.concatenate(
+                    [np.ones(successes), -np.ones(shots - successes)]
+                )
+                for shots, successes in batch_list
+            ]
+        )
+        pooled_mean = float(np.mean(outcomes))
+        pooled_m2 = float(np.sum((outcomes - pooled_mean) ** 2))
+
+        ledger = ledger_of(batch_list)
+        assert ledger.shots == len(outcomes)
+        assert math.isclose(ledger.mean, pooled_mean, rel_tol=1e-9, abs_tol=1e-12)
+        assert math.isclose(ledger.m2, pooled_m2, rel_tol=1e-9, abs_tol=1e-8)
+
+        # The same sequence split as distributed partials merges identically.
+        half = max(1, len(batch_list) // 2)
+        left, right = ledger_of(batch_list[:half]), ledger_of(batch_list[half:])
+        assert_close(merged(left, right), ledger)
+
+    @SETTINGS
+    @given(batch_lists)
+    def test_sample_variance_is_bounded_for_pm1_observables(self, batch_list):
+        ledger = ledger_of(batch_list)
+        # Unbiased ±1 variance is at most n/(n−1) ≤ 2 (attained by {+1, −1}).
+        assert 0.0 <= ledger.sample_variance <= 2.0 + 1e-9

@@ -1,0 +1,162 @@
+"""Distributed execution through the job service: specs, store and scheduler.
+
+The service-level contract: ``execution="distributed"`` is a *scheduling*
+choice, invisible to the content address — distributed and in-process twins
+share one fingerprint, serve each other's cache hits and resume each
+other's round logs bitwise.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import CuttingError, ServiceError
+from repro.experiments import ghz_circuit
+from repro.service import JobScheduler, JobSpec, RunStore, run_job
+
+from utils.faulty_backend import FaultyBackend
+
+pytestmark = pytest.mark.xdist_group("forkheavy")
+
+
+def distributed_spec(**overrides):
+    kwargs = {
+        "circuit": ghz_circuit(4),
+        "observable": "ZZZZ",
+        "shots": 4000,
+        "seed": 11,
+        "max_fragment_width": 3,
+        "mode": "adaptive",
+        "target_error": 0.05,
+        "rounds": 4,
+        "execution": "distributed",
+        "workers": 2,
+    }
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+class TestSpecValidation:
+    def test_distributed_requires_adaptive_mode(self):
+        with pytest.raises(ServiceError, match="adaptive"):
+            distributed_spec(mode="static", target_error=None)
+
+    def test_distributed_rejects_dedup(self):
+        with pytest.raises(ServiceError, match="dedup"):
+            distributed_spec(dedup=True)
+
+    def test_workers_require_distributed_execution(self):
+        with pytest.raises(ServiceError, match="workers"):
+            distributed_spec(execution="inprocess")
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(CuttingError, match="workers"):
+            distributed_spec(workers=0)
+
+    def test_unknown_execution_rejected(self):
+        with pytest.raises(ServiceError, match="execution"):
+            distributed_spec(execution="sideways")
+
+    def test_payload_round_trip(self):
+        spec = distributed_spec()
+        restored = JobSpec.from_payload(spec.to_payload())
+        assert restored.execution == "distributed"
+        assert restored.workers == 2
+
+    def test_inprocess_payload_omits_execution_keys(self):
+        spec = distributed_spec(execution="inprocess", workers=None)
+        payload = spec.to_payload()
+        assert "execution" not in payload and "workers" not in payload
+
+    def test_fingerprint_is_execution_invariant(self):
+        in_process = distributed_spec(execution="inprocess", workers=None)
+        assert distributed_spec().fingerprint() == in_process.fingerprint()
+        assert (
+            distributed_spec(workers=4).fingerprint() == in_process.fingerprint()
+        )
+
+
+class TestRunJob:
+    def test_distributed_job_matches_inprocess_bitwise(self, tmp_path):
+        distributed = run_job(
+            distributed_spec(), store=RunStore(tmp_path / "distributed")
+        )
+        in_process = run_job(
+            distributed_spec(execution="inprocess", workers=None),
+            store=RunStore(tmp_path / "inprocess"),
+        )
+        assert distributed.value == in_process.value
+        assert distributed.standard_error == in_process.standard_error
+        assert distributed.total_shots == in_process.total_shots
+        assert distributed.rounds_completed == in_process.rounds_completed
+
+    def test_modes_serve_each_others_cache_hits(self, tmp_path):
+        store = RunStore(tmp_path)
+        first = run_job(distributed_spec(), store=store)
+        twin = run_job(
+            distributed_spec(execution="inprocess", workers=None), store=store
+        )
+        assert not first.cached
+        assert twin.cached
+        assert twin.value == first.value
+
+    def test_crash_mid_rounds_resumes_bitwise(self, tmp_path):
+        store = RunStore(tmp_path)
+        spec = distributed_spec()
+        full = run_job(spec, store=store)
+        assert full.rounds_completed >= 2
+
+        # Crash after round one: truncate the persisted round log and drop
+        # the downstream artifacts, exactly like the in-process resume test.
+        run_dir = store.run_dir(spec.fingerprint())
+        rounds_payload = json.loads((run_dir / "rounds.json").read_text())
+        rounds_payload["rounds"] = rounds_payload["rounds"][:1]
+        (run_dir / "rounds.json").write_text(json.dumps(rounds_payload))
+        (run_dir / "execution.json").unlink()
+        (run_dir / "result.json").unlink()
+
+        resumed = run_job(spec, store=store)
+        assert resumed.resumed_from == "rounds"
+        assert resumed.value == full.value
+        assert resumed.standard_error == full.standard_error
+        assert resumed.total_shots == full.total_shots
+
+
+class TestScheduler:
+    def test_scheduler_runs_distributed_jobs(self, tmp_path):
+        spec = distributed_spec()
+        direct = run_job(distributed_spec(execution="inprocess", workers=None))
+        with JobScheduler(workers=2, store=RunStore(tmp_path)) as scheduler:
+            outcome = scheduler.result(scheduler.submit(spec), timeout=300)
+        assert outcome.value == direct.value
+        assert outcome.standard_error == direct.standard_error
+
+    def test_faulty_pipeline_surfaces_error_then_retry_succeeds(
+        self, tmp_path, monkeypatch
+    ):
+        """A backend fault fails the job; resubmission runs clean."""
+        spec = distributed_spec(execution="inprocess", workers=None)
+        reference = run_job(distributed_spec(execution="inprocess", workers=None))
+
+        build_pipeline = JobSpec.build_pipeline
+        faulty = FaultyBackend("vectorized", fail_from=1)
+
+        def faulty_build(self):
+            pipeline = build_pipeline(self)
+            pipeline.backend = faulty
+            return pipeline
+
+        monkeypatch.setattr(JobSpec, "build_pipeline", faulty_build)
+        store = RunStore(tmp_path)
+        with JobScheduler(workers=1, store=store) as scheduler:
+            job_id = scheduler.submit(spec)
+            with pytest.raises(Exception, match="injected fault"):
+                scheduler.result(job_id, timeout=120)
+            assert scheduler.status(job_id)["state"] == "failed"
+
+        # The fault cleared (fresh pipeline builder): a new scheduler
+        # resubmission completes and matches the clean reference.
+        monkeypatch.setattr(JobSpec, "build_pipeline", build_pipeline)
+        with JobScheduler(workers=1, store=store) as scheduler:
+            outcome = scheduler.result(scheduler.submit(spec), timeout=120)
+        assert outcome.value == reference.value

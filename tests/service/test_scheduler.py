@@ -5,6 +5,10 @@ import pytest
 from repro.exceptions import CuttingError, ServiceError
 from repro.service import JobScheduler, run_job
 
+# Fork-heavy suite (process-mode schedulers): keep on one xdist worker
+# under ``pytest -n auto --dist loadgroup``.
+pytestmark = pytest.mark.xdist_group("forkheavy")
+
 
 class TestValidation:
     @pytest.mark.parametrize("workers", [0, -1])

@@ -1,0 +1,80 @@
+"""CLI tests for distributed round execution (`cut run --execution distributed`)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.xdist_group("forkheavy")
+
+ADAPTIVE_ARGS = [
+    "cut",
+    "run",
+    "--qubits",
+    "4",
+    "--width",
+    "3",
+    "--mode",
+    "adaptive",
+    "--target-error",
+    "0.05",
+    "--max-shots",
+    "4000",
+    "--seed",
+    "11",
+]
+
+
+class TestParser:
+    def test_execution_and_workers_flags(self):
+        args = build_parser().parse_args(
+            ADAPTIVE_ARGS + ["--execution", "distributed", "--workers", "3"]
+        )
+        assert args.execution == "distributed"
+        assert args.workers == 3
+
+    def test_execution_defaults_to_inprocess(self):
+        args = build_parser().parse_args(["cut", "run"])
+        assert args.execution == "inprocess"
+        assert args.workers is None
+
+    def test_unknown_execution_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cut", "run", "--execution", "sideways"])
+
+
+class TestValidation:
+    def test_distributed_requires_adaptive_mode(self, capsys):
+        assert main(["cut", "run", "--execution", "distributed"]) == 1
+        assert "requires --mode adaptive" in capsys.readouterr().out
+
+    def test_workers_require_distributed_execution(self, capsys):
+        assert main(ADAPTIVE_ARGS + ["--workers", "2"]) == 1
+        assert "--workers requires --execution distributed" in capsys.readouterr().out
+
+    def test_workers_must_be_positive(self, capsys):
+        assert (
+            main(ADAPTIVE_ARGS + ["--execution", "distributed", "--workers", "0"]) == 1
+        )
+        assert "workers" in capsys.readouterr().out
+
+    def test_distributed_rejects_dedup(self, capsys):
+        assert (
+            main(ADAPTIVE_ARGS + ["--execution", "distributed", "--dedup"]) == 1
+        )
+        assert "dedup" in capsys.readouterr().out
+
+
+class TestCutRunDistributed:
+    def test_distributed_run_matches_inprocess_output(self, capsys):
+        assert main(ADAPTIVE_ARGS) == 0
+        in_process = capsys.readouterr().out
+
+        assert main(ADAPTIVE_ARGS + ["--execution", "distributed", "--workers", "2"]) == 0
+        distributed = capsys.readouterr().out
+
+        assert "distributed over 2 workers" in distributed
+
+        def estimate_line(out):
+            return next(line for line in out.splitlines() if "reconstruct:" in line)
+
+        assert estimate_line(distributed) == estimate_line(in_process)

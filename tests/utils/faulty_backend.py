@@ -1,0 +1,67 @@
+"""A fault-injecting simulator backend for resilience tests.
+
+``FaultyBackend`` wraps any real backend and raises on configurable
+``run_batch`` calls — the Nth call, a set of calls, or every call from the
+Nth on.  It is shared test infrastructure: the distributed suite uses it to
+exercise worker retry paths, and the service/scheduler suites use it (via
+``JobSpec.build_pipeline`` monkeypatching) to drive jobs into their failure
+and re-submission paths.
+
+The call counter is instance state, so each worker process in a distributed
+pool counts its *own* calls on its pickled copy — failing a worker's first
+call injects one fault per worker, which the coordinator's retry budget
+must absorb.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.circuits.backends import resolve_backend
+from repro.exceptions import SimulationError
+
+
+class FaultyBackend:
+    """A simulator backend that fails on chosen ``run_batch`` calls.
+
+    Parameters
+    ----------
+    inner:
+        The real backend (name or instance) serving non-failing calls;
+        ``None`` selects the serial backend.
+    fail_on:
+        1-based ``run_batch`` call numbers that raise.
+    fail_from:
+        When given, every call numbered ``>= fail_from`` raises (combined
+        with ``fail_on`` by union).
+    """
+
+    def __init__(
+        self,
+        inner=None,
+        fail_on: Iterable[int] = (1,),
+        fail_from: int | None = None,
+    ) -> None:
+        self._inner = resolve_backend(inner)
+        self._fail_on = {int(n) for n in fail_on}
+        self._fail_from = None if fail_from is None else int(fail_from)
+        self.calls = 0
+        self.name = f"faulty({self._inner.name})"
+
+    def _should_fail(self) -> bool:
+        if self.calls in self._fail_on:
+            return True
+        return self._fail_from is not None and self.calls >= self._fail_from
+
+    def run_batch(self, circuits, shots, seed=None):
+        """Delegate to the inner backend, raising on the configured calls."""
+        self.calls += 1
+        if self._should_fail():
+            raise SimulationError(
+                f"injected fault on run_batch call {self.calls} of {self.name}"
+            )
+        return self._inner.run_batch(circuits, shots, seed=seed)
+
+    def exact_distributions(self, circuits):
+        """Delegate exact distributions to the inner backend (never faulted)."""
+        return self._inner.exact_distributions(circuits)

@@ -1,0 +1,51 @@
+"""Shared cut workloads for the distributed and adaptive test suites.
+
+The distributed suite repeatedly needs the raw ingredients of an adaptive
+estimation — the measured term-circuit batch, the selected classical bits
+and the QPD coefficients — without going through the full pipeline.  This
+module builds them once, the same way ``estimate_cut_expectation`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cutting import CutLocation, NMEWireCut
+from repro.cutting.cutter import build_cut_circuits
+from repro.cutting.executor import _as_pauli, _measured_term_circuit
+from repro.experiments import ghz_circuit
+
+
+@dataclass(frozen=True)
+class CutWorkload:
+    """The executable ingredients of one single-cut adaptive estimation."""
+
+    measured_circuits: list
+    selected_clbits: list
+    coefficients: list
+    labels: list
+
+
+def ghz_cut_workload(num_qubits: int = 3, overlap: float = 0.8) -> CutWorkload:
+    """Build the measured batch of a GHZ(n) circuit cut once at qubit 1.
+
+    Returns the exact batch ``estimate_cut_expectation`` would execute, so
+    engine-level distributed tests exercise the real term structure (sign
+    bits, unmeasured identity terms and all).
+    """
+    circuit = ghz_circuit(num_qubits)
+    location = CutLocation(qubit=1, position=2)
+    protocol = NMEWireCut.from_overlap(overlap)
+    pauli = _as_pauli("Z" * num_qubits, num_qubits)
+    term_circuits = build_cut_circuits(circuit, location, protocol)
+    measured_circuits = []
+    selected_clbits = []
+    coefficients = []
+    labels = []
+    for term_circuit in term_circuits:
+        measured, observable_clbits = _measured_term_circuit(term_circuit, pauli)
+        measured_circuits.append(measured)
+        selected_clbits.append(list(observable_clbits) + list(term_circuit.sign_clbits))
+        coefficients.append(term_circuit.coefficient)
+        labels.append(term_circuit.term.label)
+    return CutWorkload(measured_circuits, selected_clbits, coefficients, labels)
