@@ -1,8 +1,11 @@
-"""Benchmark bootstrap: make ``src/`` importable without installation."""
+"""Benchmark bootstrap: make ``src/`` and ``tools/`` importable without installation."""
 
 import sys
 from pathlib import Path
 
-_SRC = Path(__file__).resolve().parent.parent / "src"
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+if str(_ROOT) not in sys.path:
+    sys.path.append(str(_ROOT))

@@ -262,6 +262,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="run-store directory for durable artifacts and result reuse",
     )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-tenant submission rate limit in jobs/second (default: unlimited)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="per-tenant burst capacity of the rate limiter (default: max(rate, 1))",
+    )
+    serve.add_argument(
+        "--max-active",
+        type=int,
+        default=None,
+        help="per-tenant cap on queued+running jobs (default: unlimited)",
+    )
 
     jobs = subparsers.add_parser(
         "jobs", help="submit and inspect jobs on a running `repro serve` endpoint"
@@ -339,6 +357,12 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_submit.add_argument(
         "--timeout", type=float, default=300.0, help="--wait polling timeout in seconds"
     )
+    jobs_submit.add_argument(
+        "--tenant",
+        type=str,
+        default=None,
+        help="tenant identity for per-tenant rate limits and quotas",
+    )
 
     jobs_status = jobs_commands.add_parser("status", help="print one job's state")
     jobs_status.add_argument("job_id", type=str)
@@ -351,8 +375,54 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_result.add_argument("--url", type=str, default="http://127.0.0.1:8765")
     jobs_result.add_argument("--timeout", type=float, default=300.0)
 
-    jobs_list = jobs_commands.add_parser("list", help="list every job the service knows about")
+    jobs_list = jobs_commands.add_parser("list", help="list jobs the service knows about")
     jobs_list.add_argument("--url", type=str, default="http://127.0.0.1:8765")
+    jobs_list.add_argument("--limit", type=int, default=None, help="page size (default: all)")
+    jobs_list.add_argument("--offset", type=int, default=0, help="rows to skip")
+    jobs_list.add_argument(
+        "--state",
+        choices=("queued", "running", "done", "failed"),
+        default=None,
+        help="only jobs in this state",
+    )
+
+    jobs_watch = jobs_commands.add_parser(
+        "watch", help="stream a job's adaptive rounds live (SSE) until it settles"
+    )
+    jobs_watch.add_argument("job_id", type=str)
+    jobs_watch.add_argument("--url", type=str, default="http://127.0.0.1:8765")
+    jobs_watch.add_argument(
+        "--after",
+        type=int,
+        default=-1,
+        help="resume past this round index (default: stream from the start)",
+    )
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect and migrate a run-store directory"
+    )
+    store_commands = store_parser.add_subparsers(dest="store_command", required=True)
+
+    store_list = store_commands.add_parser("list", help="list the runs persisted in a store")
+    store_list.add_argument("path", type=str, metavar="DIR")
+    store_list.add_argument("--limit", type=int, default=None, help="page size (default: all)")
+    store_list.add_argument("--offset", type=int, default=0, help="rows to skip")
+    store_list.add_argument(
+        "--stage",
+        choices=("plan", "rounds", "execution", "result"),
+        default=None,
+        help="only runs that completed this stage",
+    )
+
+    store_migrate = store_commands.add_parser(
+        "migrate", help="ingest a legacy per-file store layout into the SQLite index"
+    )
+    store_migrate.add_argument("path", type=str, metavar="DIR")
+    store_migrate.add_argument(
+        "--remove",
+        action="store_true",
+        help="delete the legacy files after a successful migration",
+    )
 
     return parser
 
@@ -846,7 +916,7 @@ def _command_devices_list(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    from repro.exceptions import CuttingError
+    from repro.exceptions import CuttingError, ServiceError
     from repro.service import serve
     from repro.utils.validation import validate_positive_count
 
@@ -856,17 +926,37 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"invalid arguments: {error}")
         return 1
     store_note = f", store {args.store}" if args.store else ", in-memory (no store)"
-    print(
-        f"repro serve listening on http://{args.host}:{args.port} "
-        f"({args.workers} {args.mode} workers{store_note}) — Ctrl-C to stop"
-    )
-    serve(
-        host=args.host,
-        port=args.port,
-        store=args.store,
-        workers=args.workers,
-        mode=args.mode,
-    )
+    limits = []
+    if args.rate is not None:
+        limits.append(f"rate {args.rate:g}/s")
+    if args.max_active is not None:
+        limits.append(f"max-active {args.max_active}")
+    limit_note = f", {', '.join(limits)}" if limits else ""
+
+    def ready(address) -> None:
+        """Print the banner once the socket is listening (reports port 0 binds)."""
+        host, port = address
+        print(
+            f"repro serve listening on http://{host}:{port} "
+            f"({args.workers} {args.mode} workers{store_note}{limit_note}) — Ctrl-C to stop",
+            flush=True,
+        )
+
+    try:
+        serve(
+            host=args.host,
+            port=args.port,
+            store=args.store,
+            workers=args.workers,
+            mode=args.mode,
+            rate=args.rate,
+            burst=args.burst,
+            max_active=args.max_active,
+            ready=ready,
+        )
+    except ServiceError as error:
+        print(f"invalid arguments: {error}")
+        return 1
     return 0
 
 
@@ -900,6 +990,8 @@ def _command_jobs(args: argparse.Namespace) -> int:
             return _command_jobs_status(args)
         if args.jobs_command == "result":
             return _command_jobs_result(args)
+        if args.jobs_command == "watch":
+            return _command_jobs_watch(args)
         return _command_jobs_list(args)
     except ServiceError as error:
         print(f"service error: {error}")
@@ -937,7 +1029,7 @@ def _command_jobs_submit(args: argparse.Namespace) -> int:
     except (CuttingError, DeviceError, ServiceError) as error:
         print(f"invalid job: {error}")
         return 1
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, tenant=args.tenant)
     row = client.submit(spec)
     print(f"submitted job {row['job_id']} ({row['state']})")
     if args.wait:
@@ -981,13 +1073,75 @@ def _command_jobs_result(args: argparse.Namespace) -> int:
 def _command_jobs_list(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient
 
-    rows = ServiceClient(args.url).jobs()
+    rows = ServiceClient(args.url).jobs(limit=args.limit, offset=args.offset, state=args.state)
     if not rows:
-        print("no jobs submitted")
+        print("no jobs matched")
         return 0
     for row in rows:
         _print_job_row(row)
     return 0
+
+
+def _command_jobs_watch(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    for event in client.events(args.job_id, after=args.after):
+        name = event.get("event")
+        data = event.get("data", {})
+        if name == "round":
+            payload = data.get("round", {})
+            progress = data.get("progress") or {}
+            stderr = progress.get("current_stderr")
+            stderr_text = "" if stderr is None else f"  stderr={stderr:.5f}"
+            print(
+                f"round {payload.get('index')}: "
+                f"{sum(payload.get('shots_per_term', ()))} shots{stderr_text}"
+            )
+        elif name == "result":
+            _print_result_payload(data)
+        elif name == "failed":
+            print(f"job failed: {data.get('error')}")
+            return 1
+        elif name == "end":
+            print("stream ended (job is not live on the server)")
+    return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    from repro.exceptions import ServiceError
+    from repro.service import RunStore
+
+    try:
+        store = RunStore(args.path)
+        if args.store_command == "migrate":
+            counters = store.migrate_legacy(remove=args.remove)
+            removed = " (legacy files removed)" if args.remove else ""
+            print(
+                f"migrated {counters['runs']} runs ({counters['stages']} stages, "
+                f"{counters['artifacts']} artifacts, {counters['skipped']} skipped)"
+                f"{removed}"
+            )
+            stats = store.stats()
+            print(
+                f"index: {stats['stage_rows']} stage rows over {stats['blobs']} blobs "
+                f"(dedup ratio {stats['dedup_ratio']:.2f})"
+            )
+            return 0
+        rows = store.list_runs(limit=args.limit, offset=args.offset, stage=args.stage)
+        total = store.count_runs(stage=args.stage)
+        if not rows:
+            print("no runs matched")
+            return 0
+        for row in rows:
+            stages = ",".join(row["stages"]) if row.get("stages") else "-"
+            print(f"{row['fingerprint']:<34}{stages}")
+        shown_from = args.offset + 1
+        print(f"({shown_from}..{args.offset + len(rows)} of {total} runs)")
+        return 0
+    except ServiceError as error:
+        print(f"store error: {error}")
+        return 1
 
 
 _COMMANDS = {
@@ -1000,6 +1154,7 @@ _COMMANDS = {
     "devices": _command_devices,
     "serve": _command_serve,
     "jobs": _command_jobs,
+    "store": _command_store,
 }
 
 

@@ -22,6 +22,7 @@ __all__ = [
     "DistributedError",
     "ExperimentError",
     "ServiceError",
+    "ServiceBusyError",
 ]
 
 
@@ -75,3 +76,22 @@ class ExperimentError(ReproError):
 
 class ServiceError(ReproError):
     """A job-service request failed (bad job spec, unknown job, store corruption, ...)."""
+
+
+class ServiceBusyError(ServiceError):
+    """The service temporarily refused a request (rate limit, quota, drain).
+
+    Attributes
+    ----------
+    retry_after:
+        Seconds the client should wait before retrying (the HTTP
+        ``Retry-After`` header value).
+    status:
+        The HTTP status to report: ``429`` for rate limits and quotas,
+        ``503`` while the service drains for shutdown.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0, status: int = 503):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+        self.status = int(status)

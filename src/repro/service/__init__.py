@@ -8,21 +8,28 @@ a *durable, concurrent* serving layer:
     job (circuit ⊕ cut plan ⊕ backend/fleet ⊕ shots ⊕ seed) with a stable
     content fingerprint that doubles as the job id.
 :class:`RunStore`
-    A content-addressed on-disk store persisting every pipeline stage
-    artifact under the job fingerprint, so identical requests are served
+    A SQLite-WAL indexed, content-addressed store persisting every pipeline
+    stage artifact under the job fingerprint — payloads are deduplicated
+    across jobs sharing identical stages — so identical requests are served
     from the store and interrupted runs resume from the last completed
-    stage.
+    stage.  Legacy per-file layouts are read through transparently and
+    migrated with :meth:`RunStore.migrate_legacy`.
 :func:`run_job`
     Execute (or resume, or serve from cache) a single job against a store.
 :class:`JobScheduler`
     A bounded worker pool executing jobs concurrently; per-job seed streams
-    make concurrent and serial submissions bitwise-identical.
-:mod:`repro.service.server` / :class:`ServiceClient`
-    A stdlib HTTP/JSON endpoint (``repro serve``) and the matching client
-    used by ``repro jobs submit|status|result|list``.
+    make concurrent and serial submissions bitwise-identical, and live round
+    events feed streaming consumers.
+:class:`AsyncJobServer` / :class:`ServiceClient`
+    The asyncio HTTP/JSON endpoint behind ``repro serve`` — SSE progress
+    streaming, per-tenant rate limits (:class:`TenantRateLimiter`),
+    pagination and graceful drain — and the matching stdlib client used by
+    ``repro jobs submit|status|watch|result|list``.
 """
 
+from repro.service.aserver import AsyncJobServer, ServerThread, serve_async
 from repro.service.client import ServiceClient
+from repro.service.ratelimit import TenantRateLimiter, TokenBucket
 from repro.service.runner import JobOutcome, run_job
 from repro.service.scheduler import JobScheduler
 from repro.service.server import RunService, make_server, serve
@@ -37,6 +44,11 @@ __all__ = [
     "JobScheduler",
     "RunService",
     "ServiceClient",
+    "AsyncJobServer",
+    "ServerThread",
+    "TenantRateLimiter",
+    "TokenBucket",
     "make_server",
     "serve",
+    "serve_async",
 ]

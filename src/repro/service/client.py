@@ -3,7 +3,15 @@
 :class:`ServiceClient` wraps :mod:`urllib.request` so neither the CLI nor
 tests need a third-party HTTP library.  All errors — connection refused,
 non-2xx responses, malformed bodies — surface as
-:class:`~repro.exceptions.ServiceError` with the server's message attached.
+:class:`~repro.exceptions.ServiceError` with the server's message attached;
+a 429/503 refusal surfaces as :class:`~repro.exceptions.ServiceBusyError`
+carrying the server's ``Retry-After`` hint.
+
+:meth:`ServiceClient.events` consumes the asyncio server's SSE stream
+(``GET /jobs/<id>/events``): it yields each event as a dict and transparently
+reconnects with ``Last-Event-ID`` when the connection drops mid-stream, so a
+consumer sees every round exactly once and in order even across a server
+restart.
 """
 
 from __future__ import annotations
@@ -11,13 +19,18 @@ from __future__ import annotations
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
+from collections.abc import Iterator
 
-from repro.exceptions import ServiceError
+from repro.exceptions import ServiceBusyError, ServiceError
 from repro.service.spec import JobSpec
 from repro.utils.serialization import canonical_json
 
 __all__ = ["ServiceClient"]
+
+#: Event names that terminate an SSE stream.
+_TERMINAL_EVENTS = ("result", "failed", "end")
 
 
 class ServiceClient:
@@ -29,6 +42,9 @@ class ServiceClient:
         Service root, e.g. ``"http://127.0.0.1:8765"``.
     timeout:
         Per-request socket timeout in seconds.
+    tenant:
+        Optional tenant identity sent as the ``X-Tenant`` header on every
+        submission (rate limits and quotas are accounted per tenant).
 
     Examples
     --------
@@ -37,9 +53,10 @@ class ServiceClient:
     >>> client.wait(job["job_id"])["value"]                  # doctest: +SKIP
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(self, base_url: str, timeout: float = 30.0, tenant: str | None = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.tenant = tenant
 
     # -- transport ---------------------------------------------------------------------
 
@@ -47,10 +64,15 @@ class ServiceClient:
         """Issue one JSON request; return ``(status, parsed_body)``."""
         url = f"{self.base_url}{path}"
         data = None if body is None else canonical_json(body).encode()
+        headers = {}
+        if data is not None:
+            headers["Content-Type"] = "application/json"
+            if self.tenant is not None:
+                headers["X-Tenant"] = self.tenant
         request = urllib.request.Request(
             url,
             data=data,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=headers,
             method="POST" if data is not None else "GET",
         )
         try:
@@ -63,6 +85,16 @@ class ServiceClient:
                 message = json.loads(detail).get("error", detail.decode(errors="replace"))
             except (json.JSONDecodeError, AttributeError):
                 message = detail.decode(errors="replace")
+            if error.code in (429, 503):
+                try:
+                    retry_after = float(error.headers.get("Retry-After", 1.0))
+                except (TypeError, ValueError):
+                    retry_after = 1.0
+                raise ServiceBusyError(
+                    f"{url} returned {error.code}: {message}",
+                    retry_after=retry_after,
+                    status=error.code,
+                ) from None
             raise ServiceError(f"{url} returned {error.code}: {message}") from None
         except (urllib.error.URLError, OSError) as error:
             raise ServiceError(f"cannot reach {url}: {error}") from error
@@ -72,6 +104,21 @@ class ServiceClient:
             raise ServiceError(f"{url} returned unexpected status {status}")
         return status, payload
 
+    @staticmethod
+    def _paged(path: str, limit: int | None, offset: int, **filters: str | None) -> str:
+        """Append pagination/filter query parameters to a path."""
+        params = {}
+        if limit is not None:
+            params["limit"] = str(limit)
+        if offset:
+            params["offset"] = str(offset)
+        for name, value in filters.items():
+            if value is not None:
+                params[name] = value
+        if not params:
+            return path
+        return f"{path}?{urllib.parse.urlencode(params)}"
+
     # -- endpoints ---------------------------------------------------------------------
 
     def health(self) -> dict:
@@ -79,7 +126,14 @@ class ServiceClient:
         return self._request("/healthz")[1]
 
     def submit(self, spec: JobSpec | dict) -> dict:
-        """Submit a job (spec instance or raw payload); return its status row."""
+        """Submit a job (spec instance or raw payload); return its status row.
+
+        Raises
+        ------
+        ServiceBusyError
+            When the service refused the submission (rate limit, quota, or
+            drain); ``retry_after`` carries the back-off hint.
+        """
         payload = spec.to_payload() if isinstance(spec, JobSpec) else spec
         return self._request("/jobs", body=payload, expect=(200, 201))[1]
 
@@ -87,13 +141,17 @@ class ServiceClient:
         """Return one job's status row."""
         return self._request(f"/jobs/{job_id}")[1]
 
-    def jobs(self) -> list[dict]:
-        """Return the status of every job the service knows about."""
-        return self._request("/jobs")[1]
+    def jobs(
+        self, limit: int | None = None, offset: int = 0, state: str | None = None
+    ) -> list[dict]:
+        """Return submitted-job statuses, paginated and state-filtered."""
+        return self._request(self._paged("/jobs", limit, offset, state=state))[1]
 
-    def runs(self) -> list[dict]:
-        """Return the runs persisted in the service's store."""
-        return self._request("/runs")[1]
+    def runs(
+        self, limit: int | None = None, offset: int = 0, stage: str | None = None
+    ) -> list[dict]:
+        """Return the runs persisted in the service's store, paginated."""
+        return self._request(self._paged("/runs", limit, offset, stage=stage))[1]
 
     def result(self, job_id: str) -> dict | None:
         """Return a job's outcome payload, or ``None`` while it is pending."""
@@ -116,3 +174,112 @@ class ServiceClient:
             if time.monotonic() >= deadline:
                 raise ServiceError(f"job {job_id!r} did not finish within {timeout}s")
             time.sleep(poll_interval)
+
+    # -- streaming ---------------------------------------------------------------------
+
+    def _open_stream(self, job_id: str, after: int):
+        """Open one SSE connection, resuming past round index ``after``."""
+        url = f"{self.base_url}/jobs/{job_id}/events"
+        if after >= 0:
+            url += f"?after={after}"
+        request = urllib.request.Request(
+            url,
+            headers={} if after < 0 else {"Last-Event-ID": str(after)},
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            detail = error.read()
+            try:
+                message = json.loads(detail).get("error", detail.decode(errors="replace"))
+            except (json.JSONDecodeError, AttributeError):
+                message = detail.decode(errors="replace")
+            raise ServiceError(f"{url} returned {error.code}: {message}") from None
+        except (urllib.error.URLError, OSError) as error:
+            raise ServiceError(f"cannot reach {url}: {error}") from error
+
+    @staticmethod
+    def _parse_sse(stream) -> Iterator[dict]:
+        """Yield ``{"event", "id", "data"}`` dicts from one SSE byte stream."""
+        event: dict = {}
+        for raw in stream:
+            line = raw.decode().rstrip("\n").rstrip("\r")
+            if not line:
+                if "data" in event:
+                    yield event
+                event = {}
+                continue
+            name, _, value = line.partition(":")
+            value = value.lstrip(" ")
+            if name == "event":
+                event["event"] = value
+            elif name == "id":
+                event["id"] = int(value)
+            elif name == "data":
+                event["data"] = json.loads(value)
+        if "data" in event:  # stream closed without a trailing blank line
+            yield event
+
+    def events(
+        self,
+        job_id: str,
+        after: int = -1,
+        reconnect: bool = True,
+        max_reconnects: int = 100,
+        reconnect_delay: float = 0.2,
+    ) -> Iterator[dict]:
+        """Stream a job's events: every round exactly once, in order.
+
+        Yields dicts shaped ``{"event": name, "id": index?, "data": {...}}``.
+        ``round`` events carry ``data["round"]`` (one
+        :class:`~repro.qpd.adaptive.RoundRecord` payload) and
+        ``data["progress"]``; the stream ends after a terminal ``result`` /
+        ``failed`` / ``end`` event.
+
+        Parameters
+        ----------
+        job_id:
+            The job fingerprint.
+        after:
+            Resume past this round index (``-1`` streams from the start).
+        reconnect:
+            Reconnect with ``Last-Event-ID`` when the connection drops
+            before a terminal event (e.g. across a server restart).
+        max_reconnects:
+            Reconnection budget before giving up.
+        reconnect_delay:
+            Seconds to wait before each reconnection attempt.
+        """
+        last_id = after
+        attempts = 0
+        while True:
+            try:
+                stream = self._open_stream(job_id, last_id)
+                with stream:
+                    for event in self._parse_sse(stream):
+                        if "id" in event:
+                            last_id = max(last_id, event["id"])
+                        yield event
+                        if event.get("event") in _TERMINAL_EVENTS:
+                            return
+            except (ServiceError, OSError):
+                if not reconnect:
+                    raise
+            # The stream ended without a terminal event: the server went
+            # away mid-run.  Resume from the last seen round index.
+            attempts += 1
+            if not reconnect or attempts > max_reconnects:
+                raise ServiceError(
+                    f"event stream for job {job_id!r} ended without a terminal event"
+                )
+            time.sleep(reconnect_delay)
+
+    def watch(self, job_id: str, after: int = -1) -> Iterator[dict]:
+        """Stream only the ``round`` payloads of :meth:`events`.
+
+        Yields each round's ``data`` dict (``{"round": ..., "progress": ...}``)
+        in index order; returns when the job settles.
+        """
+        for event in self.events(job_id, after=after):
+            if event.get("event") == "round":
+                yield event["data"]

@@ -1,0 +1,166 @@
+"""Per-tenant token-bucket rate limiting and quotas for the job service.
+
+The asyncio server admits each ``POST /jobs`` through a
+:class:`TenantRateLimiter`: one :class:`TokenBucket` per tenant (identified
+by the ``X-Tenant`` request header, ``"public"`` when absent) plus an
+active-job quota.  A refused request surfaces as
+:class:`~repro.exceptions.ServiceBusyError` carrying the HTTP status (429)
+and a ``Retry-After`` hint, so well-behaved clients back off instead of
+hammering the endpoint.
+
+The clock is injectable, which keeps the tests deterministic — no sleeping,
+no flaky timing assertions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.exceptions import ServiceBusyError, ServiceError
+
+__all__ = ["TokenBucket", "TenantRateLimiter"]
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    Parameters
+    ----------
+    rate:
+        Sustained refill rate in tokens per second (strictly positive).
+    burst:
+        Bucket capacity — the largest instantaneous burst admitted
+        (strictly positive).
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if not rate > 0:
+            raise ServiceError(f"rate must be strictly positive, got {rate!r}")
+        if not burst > 0:
+            raise ServiceError(f"burst must be strictly positive, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._updated) * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` from the bucket if available.
+
+        Returns
+        -------
+        float
+            ``0.0`` when the tokens were taken; otherwise the seconds until
+            enough tokens will have refilled (the ``Retry-After`` hint) and
+            the bucket is left untouched.
+        """
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def available(self) -> float:
+        """Current token count (after refilling to now)."""
+        self._refill()
+        return self._tokens
+
+
+class TenantRateLimiter:
+    """Admission control for job submissions: rate limits plus quotas.
+
+    Parameters
+    ----------
+    rate:
+        Per-tenant sustained submissions/second; ``None`` disables rate
+        limiting.
+    burst:
+        Per-tenant burst capacity (defaults to ``max(rate, 1)`` rounded up).
+    max_active:
+        Per-tenant cap on queued+running jobs; ``None`` disables the quota.
+    clock:
+        Monotonic time source shared by all buckets.
+
+    Examples
+    --------
+    >>> limiter = TenantRateLimiter(rate=100, burst=2)
+    >>> limiter.admit("alice")
+    >>> limiter.admit("alice")
+    >>> try:
+    ...     limiter.admit("alice")
+    ... except Exception as error:
+    ...     print(type(error).__name__)
+    ServiceBusyError
+    """
+
+    def __init__(
+        self,
+        rate: float | None = None,
+        burst: float | None = None,
+        max_active: int | None = None,
+        clock=time.monotonic,
+    ):
+        if rate is not None and not rate > 0:
+            raise ServiceError(f"rate must be strictly positive, got {rate!r}")
+        if burst is not None and not burst > 0:
+            raise ServiceError(f"burst must be strictly positive, got {burst!r}")
+        if max_active is not None and max_active < 1:
+            raise ServiceError(f"max_active must be strictly positive, got {max_active!r}")
+        self.rate = rate
+        self.burst = burst if burst is not None else (max(rate, 1.0) if rate else None)
+        self.max_active = max_active
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, active_jobs: int = 0) -> None:
+        """Admit one submission for ``tenant`` or raise.
+
+        Parameters
+        ----------
+        tenant:
+            The tenant identity (``X-Tenant`` header value).
+        active_jobs:
+            The tenant's current queued+running job count, checked against
+            ``max_active``.
+
+        Raises
+        ------
+        ServiceBusyError
+            With HTTP status 429 when the tenant exceeded its rate limit or
+            active-job quota; ``retry_after`` carries the back-off hint.
+        """
+        if self.max_active is not None and active_jobs >= self.max_active:
+            raise ServiceBusyError(
+                f"tenant {tenant!r} has {active_jobs} active jobs "
+                f"(quota {self.max_active}); retry when one finishes",
+                retry_after=1.0,
+                status=429,
+            )
+        if self.rate is None:
+            return
+        with self._lock:
+            wait = self._bucket(tenant).try_acquire()
+        if wait > 0:
+            raise ServiceBusyError(
+                f"tenant {tenant!r} exceeded {self.rate:g} submissions/s "
+                f"(burst {self.burst:g})",
+                retry_after=max(wait, 0.05),
+                status=429,
+            )

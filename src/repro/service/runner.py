@@ -202,7 +202,13 @@ def run_job(
         round_log = [record.to_payload() for record in completed_rounds]
 
         def on_round(record, summary: dict) -> None:
-            """Persist the round log atomically and forward live progress."""
+            """Persist the round log atomically and forward live progress.
+
+            The summary handed to ``progress`` is augmented with the round
+            record's payload under ``"round"`` so streaming consumers (the
+            SSE endpoint) see the exact :class:`RoundRecord`, not just the
+            aggregate counters.
+            """
             nonlocal progress_reported
             round_log.append(record.to_payload())
             if store is not None:
@@ -213,7 +219,7 @@ def run_job(
                 )
             if progress is not None:
                 progress_reported = True
-                progress(summary)
+                progress({**summary, "round": record.to_payload()})
 
         execution = pipeline.execute(
             decomposition,

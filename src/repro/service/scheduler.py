@@ -63,6 +63,8 @@ class _JobRecord:
     started: bool = False
     attempts: int = field(default=1)
     progress: dict | None = None
+    tenant: str | None = None
+    events: list = field(default_factory=list)
 
 
 class JobScheduler:
@@ -113,6 +115,42 @@ class JobScheduler:
         self._records: dict[str, _JobRecord] = {}
         self._order: list[str] = []
         self._lock = threading.Lock()
+        self._listeners: list = []
+
+    # -- event plumbing ----------------------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(job_id, event)`` for live job events.
+
+        Listeners are invoked from worker threads; each event is a dict with
+        a ``type`` key — ``"round"`` (carrying the round payload and live
+        progress counters) when an adaptive round lands, and ``"done"`` /
+        ``"failed"`` when a job reaches a terminal state.  Asyncio consumers
+        must bridge with ``loop.call_soon_threadsafe``.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Unregister a previously added listener (a no-op when unknown)."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    def _notify(self, job_id: str, event: dict) -> None:
+        """Invoke every listener, isolating the scheduler from their errors."""
+        with self._lock:
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(job_id, event)
+            except Exception:  # noqa: BLE001 - a bad listener must not kill a job
+                pass
+
+    def job_events(self, job_id: str) -> list[dict]:
+        """Return the in-memory round events of one job, in arrival order."""
+        record = self._record(job_id)
+        return list(record.events)
 
     # -- submission --------------------------------------------------------------------
 
@@ -126,17 +164,38 @@ class JobScheduler:
         record.started = True
 
         def progress(summary: dict) -> None:
-            """Record the runner's latest progress snapshot on the job record."""
-            record.progress = dict(summary)
+            """Record the runner's latest progress snapshot on the job record.
+
+            Round payloads (the ``"round"`` key the runner attaches on live
+            adaptive rounds) are split off into the record's event log and
+            published to listeners; the aggregate counters stay on
+            ``record.progress`` for ``status``.
+            """
+            round_payload = summary.get("round")
+            counters = {key: value for key, value in summary.items() if key != "round"}
+            record.progress = counters
+            if round_payload is not None:
+                event = {"type": "round", "round": round_payload, "progress": counters}
+                record.events.append(event)
+                self._notify(record.job_id, event)
 
         return run_job(record.spec, store=self.store, progress=progress).to_payload()
 
-    def submit(self, spec: JobSpec) -> str:
+    def _on_job_settled(self, job_id: str, future: Future) -> None:
+        """Future done-callback: publish the terminal event for one job."""
+        exception = future.exception()
+        if exception is not None:
+            self._notify(job_id, {"type": "failed", "error": str(exception)})
+        else:
+            self._notify(job_id, {"type": "done"})
+
+    def submit(self, spec: JobSpec, tenant: str | None = None) -> str:
         """Enqueue a job and return its id (the spec fingerprint).
 
         Re-submitting a spec that is already queued, running or finished
         returns the existing id without enqueueing a duplicate; a *failed*
-        job is retried.
+        job is retried.  ``tenant`` tags the job for per-tenant quota
+        accounting (see :meth:`active_jobs`).
         """
         job_id = spec.fingerprint()
         with self._lock:
@@ -145,10 +204,12 @@ class JobScheduler:
                 failed = record.future.done() and record.future.exception() is not None
                 if not failed:
                     return job_id
-                record = _JobRecord(job_id=job_id, spec=spec, attempts=record.attempts + 1)
+                record = _JobRecord(
+                    job_id=job_id, spec=spec, attempts=record.attempts + 1, tenant=tenant
+                )
                 self._records[job_id] = record
             elif record is None:
-                record = _JobRecord(job_id=job_id, spec=spec)
+                record = _JobRecord(job_id=job_id, spec=spec, tenant=tenant)
                 self._records[job_id] = record
                 self._order.append(job_id)
             if self.mode == "thread":
@@ -158,7 +219,25 @@ class JobScheduler:
                 record.future = self._executor.submit(
                     _process_run_job, spec.to_payload(), store_root
                 )
+            future = record.future
+        # Outside the lock: an already-settled future runs the callback
+        # inline, and _notify re-acquires the (non-reentrant) lock.
+        future.add_done_callback(
+            lambda future, job_id=job_id: self._on_job_settled(job_id, future)
+        )
         return job_id
+
+    def active_jobs(self, tenant: str | None = None) -> int:
+        """Return the number of queued/running jobs (optionally one tenant's)."""
+        with self._lock:
+            records = list(self._records.values())
+        count = 0
+        for record in records:
+            if tenant is not None and record.tenant != tenant:
+                continue
+            if record.future is not None and not record.future.done():
+                count += 1
+        return count
 
     # -- inspection --------------------------------------------------------------------
 
@@ -224,11 +303,45 @@ class JobScheduler:
             raise ServiceError(f"job {job_id!r} failed: {error}") from error
         return JobOutcome.from_payload(payload)
 
-    def list_jobs(self) -> list[dict]:
-        """Return the status of every submitted job, in submission order."""
+    def list_jobs(
+        self,
+        limit: int | None = None,
+        offset: int = 0,
+        state: str | None = None,
+    ) -> list[dict]:
+        """Return job statuses in submission order, paginated and filtered.
+
+        Parameters
+        ----------
+        limit:
+            Page size; ``None`` returns every row.
+        offset:
+            Rows to skip (after the state filter).
+        state:
+            Only rows in this state (``queued``/``running``/``done``/
+            ``failed``).
+        """
+        if offset < 0:
+            raise ServiceError(f"offset must be non-negative, got {offset}")
+        if limit is not None and limit < 0:
+            raise ServiceError(f"limit must be non-negative, got {limit}")
+        if state is not None and state not in ("queued", "running", "done", "failed"):
+            raise ServiceError(f"unknown state filter {state!r}")
         with self._lock:
             order = list(self._order)
-        return [self.status(job_id) for job_id in order]
+        rows = []
+        selected = 0
+        for job_id in order:
+            row = self.status(job_id)
+            if state is not None and row["state"] != state:
+                continue
+            selected += 1
+            if selected <= offset:
+                continue
+            if limit is not None and len(rows) >= limit:
+                break
+            rows.append(row)
+        return rows
 
     # -- lifecycle ---------------------------------------------------------------------
 

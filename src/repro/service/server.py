@@ -1,30 +1,34 @@
-"""The ``repro serve`` HTTP/JSON endpoint (stdlib only).
+"""The job-service facade and the legacy threaded HTTP endpoint.
 
-A thin :mod:`http.server` front-end over :class:`~repro.service.scheduler.JobScheduler`
-and :class:`~repro.service.store.RunStore`.  Routes:
+:class:`RunService` is the facade every front-end talks to — the asyncio
+server in :mod:`repro.service.aserver` (what ``repro serve`` runs), the
+threaded :class:`~http.server.ThreadingHTTPServer` kept here as the
+load-benchmark baseline, and the tests.  Routes served by both front-ends:
 
 ==============================  ==============================================
-``GET  /healthz``               liveness + job counters
+``GET  /healthz``               liveness + job counters + drain flag
 ``POST /jobs``                  submit a :class:`~repro.service.spec.JobSpec`
                                 payload; returns ``{"job_id", "state"}``
-``GET  /jobs``                  list every submitted job
+``GET  /jobs``                  list submitted jobs (asyncio adds
+                                ``limit``/``offset``/``state`` params)
 ``GET  /jobs/<id>``             one job's status
 ``GET  /jobs/<id>/result``      the outcome (``202`` while pending,
                                 ``500`` + error when the job failed)
 ``GET  /runs``                  runs persisted in the store
 ==============================  ==============================================
 
-The server is a :class:`~http.server.ThreadingHTTPServer`, so polling
-clients never block a running submission; all heavy work happens on the
-scheduler's bounded worker pool.
+The asyncio front-end additionally streams ``GET /jobs/<id>/events`` (SSE)
+and honours per-tenant rate limits; see :mod:`repro.service.aserver`.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
+import signal
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import ReproError, ServiceBusyError, ServiceError
 from repro.service.scheduler import JobScheduler
 from repro.service.spec import JobSpec
 from repro.service.store import RunStore
@@ -35,9 +39,15 @@ __all__ = ["RunService", "make_server", "serve"]
 #: Largest accepted request body (a guard against accidental huge uploads).
 MAX_BODY_BYTES = 32 * 1024 * 1024
 
+#: ``Retry-After`` seconds sent with 503 responses while draining.
+DRAIN_RETRY_AFTER = 2.0
+
+#: Tenant identity used when a submission carries no ``X-Tenant`` header.
+DEFAULT_TENANT = "public"
+
 
 class RunService:
-    """The service facade the HTTP handler (and tests) talk to.
+    """The service facade the HTTP front-ends (and tests) talk to.
 
     Parameters
     ----------
@@ -47,6 +57,9 @@ class RunService:
         Scheduler worker-pool size (validated strictly positive).
     mode:
         Scheduler pool mode (``"thread"`` or ``"process"``).
+    limiter:
+        Optional :class:`~repro.service.ratelimit.TenantRateLimiter`
+        admitting each submission; ``None`` admits everything.
     """
 
     def __init__(
@@ -54,14 +67,37 @@ class RunService:
         store: RunStore | None = None,
         workers: int = 2,
         mode: str = "thread",
+        limiter=None,
     ):
         self.store = store
+        self.limiter = limiter
+        self.draining = False
         self.scheduler = JobScheduler(store=store, workers=workers, mode=mode)
 
-    def submit_payload(self, payload: dict) -> dict:
-        """Validate and enqueue a job payload; return its initial status."""
+    def begin_drain(self) -> None:
+        """Refuse new submissions from now on (graceful-shutdown mode)."""
+        self.draining = True
+
+    def submit_payload(self, payload: dict, tenant: str | None = None) -> dict:
+        """Validate, admit and enqueue a job payload; return its initial status.
+
+        Raises
+        ------
+        ServiceBusyError
+            With status 503 while the service drains for shutdown, or 429
+            when the tenant exceeded its rate limit / active-job quota.
+        """
+        if self.draining:
+            raise ServiceBusyError(
+                "service is draining for shutdown; retry shortly",
+                retry_after=DRAIN_RETRY_AFTER,
+                status=503,
+            )
+        tenant_id = tenant or DEFAULT_TENANT
+        if self.limiter is not None:
+            self.limiter.admit(tenant_id, self.scheduler.active_jobs(tenant_id))
         spec = JobSpec.from_payload(payload)
-        job_id = self.scheduler.submit(spec)
+        job_id = self.scheduler.submit(spec, tenant=tenant_id)
         return self.scheduler.status(job_id)
 
     def status(self, job_id: str) -> dict:
@@ -75,15 +111,19 @@ class RunService:
             raise ServiceError(f"job {job_id!r} is {status['state']}, not done")
         return self.scheduler.result(job_id).to_payload()
 
-    def jobs(self) -> list[dict]:
-        """Return the status of every submitted job."""
-        return self.scheduler.list_jobs()
+    def jobs(
+        self, limit: int | None = None, offset: int = 0, state: str | None = None
+    ) -> list[dict]:
+        """Return submitted-job statuses, paginated and state-filtered."""
+        return self.scheduler.list_jobs(limit=limit, offset=offset, state=state)
 
-    def runs(self) -> list[dict]:
+    def runs(
+        self, limit: int | None = None, offset: int = 0, stage: str | None = None
+    ) -> list[dict]:
         """Return the runs persisted in the store (empty without a store)."""
         if self.store is None:
             return []
-        return self.store.list_runs()
+        return self.store.list_runs(limit=limit, offset=offset, stage=stage)
 
     def health(self) -> dict:
         """Return the liveness summary reported by ``GET /healthz``."""
@@ -92,7 +132,8 @@ class RunService:
         for job in jobs:
             states[job["state"]] = states.get(job["state"], 0) + 1
         return {
-            "status": "ok",
+            "status": "draining" if self.draining else "ok",
+            "draining": self.draining,
             "jobs": len(jobs),
             "states": states,
             "store": None if self.store is None else str(self.store.root),
@@ -120,11 +161,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         """Suppress per-request stderr logging (the CLI prints its own banner)."""
 
-    def _send_json(self, payload, status: int = 200) -> None:
+    def _send_json(self, payload, status: int = 200, headers: dict | None = None) -> None:
         body = canonical_json(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -184,7 +227,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return
         try:
             payload = self._read_body()
-            self._send_json(self.service.submit_payload(payload), status=201)
+            tenant = self.headers.get("X-Tenant")
+            self._send_json(self.service.submit_payload(payload, tenant=tenant), status=201)
+        except ServiceBusyError as error:
+            self._send_json(
+                {"error": str(error)},
+                status=error.status,
+                headers={"Retry-After": f"{error.retry_after:.3f}"},
+            )
         except ServiceError as error:
             self._send_error_json(str(error), 400)
         except ReproError as error:
@@ -224,15 +274,24 @@ def serve(
     store: RunStore | str | None = None,
     workers: int = 2,
     mode: str = "thread",
+    rate: float | None = None,
+    burst: float | None = None,
+    max_active: int | None = None,
+    ready=None,
 ) -> None:
-    """Run the job service until interrupted (the ``repro serve`` entry point).
+    """Run the asyncio job service until interrupted (``repro serve``).
+
+    ``SIGINT``/``SIGTERM`` trigger a graceful drain: new submissions get
+    503 + ``Retry-After`` while every in-flight job finishes, then the
+    server stops.
 
     Parameters
     ----------
     host:
         Interface to bind.
     port:
-        TCP port to listen on.
+        TCP port to listen on (``0`` picks a free port; pass ``ready`` to
+        learn which).
     store:
         Run store (instance or directory path); ``None`` serves from memory
         only.
@@ -240,15 +299,41 @@ def serve(
         Scheduler worker-pool size.
     mode:
         Scheduler pool mode.
+    rate / burst:
+        Per-tenant token-bucket rate limit (submissions/second and burst
+        capacity); ``None`` disables rate limiting.
+    max_active:
+        Per-tenant cap on queued+running jobs; ``None`` disables the quota.
+    ready:
+        Optional callback invoked with the bound ``(host, port)`` once the
+        socket is listening.
     """
+    # Imported here: aserver imports RunService from this module.
+    from repro.service.aserver import serve_async
+    from repro.service.ratelimit import TenantRateLimiter
+
     if isinstance(store, str):
         store = RunStore(store)
-    service = RunService(store=store, workers=workers, mode=mode)
-    server = make_server(host, port, service)
+    limiter = None
+    if rate is not None or max_active is not None:
+        limiter = TenantRateLimiter(rate=rate, burst=burst, max_active=max_active)
+    service = RunService(store=store, workers=workers, mode=mode, limiter=limiter)
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - non-posix
+                pass
+        await serve_async(service, host=host, port=port, shutdown=shutdown, ready=ready)
+
     try:
-        server.serve_forever()
+        asyncio.run(_main())
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
-        server.server_close()
         service.close()
+        if store is not None:
+            store.close()

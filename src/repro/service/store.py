@@ -1,30 +1,43 @@
 """The :class:`RunStore`: content-addressed, durable pipeline artifacts.
 
-Every :class:`~repro.pipeline.CutPipeline` stage artifact of a job is
-persisted under the job's content fingerprint::
+Since the service-hardening pass the store is backed by a **SQLite index in
+WAL mode** plus a **content-addressed blob table** instead of one JSON file
+per artifact::
 
-    <root>/runs/<fp[:2]>/<fp>/job.json        the JobSpec payload
-    <root>/runs/<fp[:2]>/<fp>/plan.json       plan-stage summary
-    <root>/runs/<fp[:2]>/<fp>/rounds.json     in-flight adaptive round records
-                                              (rewritten atomically per round)
-    <root>/runs/<fp[:2]>/<fp>/execution.json  per-term sampling statistics
-    <root>/runs/<fp[:2]>/<fp>/result.json     the final estimate
-    <root>/artifacts/<key>.json               free-form cached artifacts
-                                              (experiment tables, benchmarks)
+    <root>/index.sqlite3      WAL-mode SQLite database
+        blobs(key, payload)         canonical-JSON payloads keyed by their
+                                    BLAKE2b content fingerprint — two runs
+                                    whose plan (or execution, or result)
+                                    payloads are identical share ONE row
+        stages(fingerprint, stage, blob_key)
+                                    the run index: which blob holds which
+                                    stage of which job fingerprint
+        artifacts(key, blob_key)    free-form artifacts (experiment tables)
 
-Writes are atomic (temp file + ``os.replace``), so a crash mid-write never
-leaves a torn artifact: a stage file either exists completely or not at all.
-That is what makes crash-resume safe — re-submitting an interrupted job
-finds the last *completed* stage and continues from there, and because JSON
-floats round-trip exactly, the resumed estimate is bitwise identical to an
-uninterrupted run.
+Writes are transactional (``BEGIN IMMEDIATE`` + WAL), so a crash mid-write
+never leaves a torn artifact: a stage row either exists completely or not at
+all.  That is what makes crash-resume safe — re-submitting an interrupted
+job finds the last *completed* stage and continues from there, and because
+canonical JSON floats round-trip exactly, the resumed estimate is bitwise
+identical to an uninterrupted run.  WAL mode lets any number of readers
+proceed while one writer commits, and SQLite's file locking arbitrates
+writers from separate processes (``busy_timeout`` retries transparently).
+
+**Legacy layout.**  Stores written before the SQLite index used one JSON
+file per artifact under ``runs/<fp[:2]>/<fp>/<stage>.json``.  Every read
+falls through to that layout, so an old store keeps working unmodified;
+:meth:`RunStore.migrate_legacy` ingests the legacy files into the index in
+one shot (``repro store migrate``).  :meth:`RunStore.list_runs` always
+returns a single de-duplicated view across both layouts.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-import tempfile
+import sqlite3
+import threading
 from pathlib import Path
 
 from repro.exceptions import ServiceError
@@ -37,11 +50,39 @@ __all__ = ["RunStore", "STAGES"]
 #: progress of an adaptive execution and is superseded by ``execution``).
 STAGES = ("plan", "rounds", "execution", "result")
 
+#: Internal stage names: the job spec itself is stored as a pseudo-stage.
+_ALL_STAGES = ("job",) + STAGES
+
+#: SQLite schema version recorded in ``PRAGMA user_version``.
+_SCHEMA_VERSION = 1
+
+#: How long a writer waits on a locked database before failing (seconds).
+_BUSY_TIMEOUT = 30.0
+
 _FINGERPRINT_ALPHABET = set("0123456789abcdef")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS blobs (
+    key     TEXT PRIMARY KEY,
+    payload TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS stages (
+    fingerprint TEXT NOT NULL,
+    stage       TEXT NOT NULL,
+    blob_key    TEXT NOT NULL,
+    PRIMARY KEY (fingerprint, stage)
+);
+CREATE INDEX IF NOT EXISTS idx_stages_blob ON stages(blob_key);
+CREATE TABLE IF NOT EXISTS artifacts (
+    key      TEXT PRIMARY KEY,
+    blob_key TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_artifacts_blob ON artifacts(blob_key);
+"""
 
 
 def _check_fingerprint(fingerprint: str) -> str:
-    """Validate a fingerprint before using it as a path component."""
+    """Validate a fingerprint before using it as a key or path component."""
     if (
         not isinstance(fingerprint, str)
         or len(fingerprint) < 8
@@ -59,12 +100,14 @@ def _check_stage(stage: str) -> str:
 
 
 class RunStore:
-    """Content-addressed on-disk store of job artifacts.
+    """Content-addressed durable store of job artifacts (SQLite-WAL backed).
 
     Parameters
     ----------
     root:
-        Directory holding the store (created on first use).
+        Directory holding the store (created on first use).  The SQLite
+        index lives at ``<root>/index.sqlite3``; legacy per-file layouts
+        under ``<root>/runs/`` are read transparently.
 
     Examples
     --------
@@ -81,28 +124,118 @@ class RunStore:
 
     def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
+        self._local = threading.local()
 
-    # -- low-level IO ------------------------------------------------------------------
+    # -- connection management ----------------------------------------------------------
 
-    def _write_json_atomic(self, path: Path, payload) -> None:
-        """Write canonical JSON to ``path`` atomically (temp file + replace)."""
-        path.parent.mkdir(parents=True, exist_ok=True)
+    @property
+    def database_path(self) -> Path:
+        """Path of the SQLite index database."""
+        return self.root / "index.sqlite3"
+
+    def _connection(self) -> sqlite3.Connection:
+        """Return this thread's SQLite connection, creating it on first use."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                self.database_path, timeout=_BUSY_TIMEOUT, isolation_level=None
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(f"PRAGMA busy_timeout={int(_BUSY_TIMEOUT * 1000)}")
+            conn.executescript(_SCHEMA)
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            if version == 0:
+                conn.execute(f"PRAGMA user_version={_SCHEMA_VERSION}")
+            elif version != _SCHEMA_VERSION:
+                raise ServiceError(
+                    f"store {self.root} has schema version {version}; this build "
+                    f"speaks version {_SCHEMA_VERSION}"
+                )
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Close this thread's SQLite connection (a no-op when never opened)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    # -- low-level IO -------------------------------------------------------------------
+
+    def _put_blob(self, conn: sqlite3.Connection, payload) -> str:
+        """Insert a payload into the blob table; return its content key."""
         text = canonical_json(payload)
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=path.parent, prefix=f".{path.name}.", suffix=".tmp", delete=False
-        )
+        key = hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+        conn.execute("INSERT OR IGNORE INTO blobs(key, payload) VALUES(?, ?)", (key, text))
+        return key
+
+    def _get_blob(self, conn: sqlite3.Connection, key: str):
+        """Return the parsed payload of one blob, or ``None``."""
+        row = conn.execute("SELECT payload FROM blobs WHERE key = ?", (key,)).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0])
+
+    def _prune_blob(self, conn: sqlite3.Connection, key: str) -> None:
+        """Delete a blob when no stage or artifact references it any more."""
+        referenced = conn.execute(
+            "SELECT 1 FROM stages WHERE blob_key = ? LIMIT 1", (key,)
+        ).fetchone()
+        if referenced is None:
+            referenced = conn.execute(
+                "SELECT 1 FROM artifacts WHERE blob_key = ? LIMIT 1", (key,)
+            ).fetchone()
+        if referenced is None:
+            conn.execute("DELETE FROM blobs WHERE key = ?", (key,))
+
+    def _put_stage_row(self, fingerprint: str, stage: str, payload) -> None:
+        """Transactionally upsert one stage row (and prune the replaced blob)."""
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
         try:
-            with handle:
-                handle.write(text)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(handle.name, path)
+            previous = conn.execute(
+                "SELECT blob_key FROM stages WHERE fingerprint = ? AND stage = ?",
+                (fingerprint, stage),
+            ).fetchone()
+            key = self._put_blob(conn, payload)
+            conn.execute(
+                "INSERT OR REPLACE INTO stages(fingerprint, stage, blob_key) VALUES(?,?,?)",
+                (fingerprint, stage, key),
+            )
+            if previous is not None and previous[0] != key:
+                self._prune_blob(conn, previous[0])
+            conn.execute("COMMIT")
         except BaseException:
-            Path(handle.name).unlink(missing_ok=True)
+            conn.execute("ROLLBACK")
             raise
 
-    def _read_json(self, path: Path):
-        """Read a JSON artifact, translating corruption into ServiceError."""
+    def _get_stage_row(self, fingerprint: str, stage: str):
+        """Return one stage payload from the index, or ``None``."""
+        conn = self._connection()
+        row = conn.execute(
+            "SELECT blob_key FROM stages WHERE fingerprint = ? AND stage = ?",
+            (fingerprint, stage),
+        ).fetchone()
+        if row is None:
+            return None
+        return self._get_blob(conn, row[0])
+
+    # -- legacy per-file layout ---------------------------------------------------------
+
+    def run_dir(self, fingerprint: str) -> Path:
+        """Return the *legacy* directory of one run's per-file artifacts.
+
+        New writes go to the SQLite index; this path exists so old stores
+        keep being readable and :meth:`migrate_legacy` knows where to look.
+        """
+        fingerprint = _check_fingerprint(fingerprint)
+        return self.root / "runs" / fingerprint[:2] / fingerprint
+
+    def _read_legacy_json(self, path: Path):
+        """Read a legacy JSON artifact, translating corruption into ServiceError."""
         try:
             return json.loads(path.read_text())
         except FileNotFoundError:
@@ -110,21 +243,28 @@ class RunStore:
         except json.JSONDecodeError as error:
             raise ServiceError(f"corrupt store artifact {path}: {error}") from error
 
-    # -- run layout --------------------------------------------------------------------
+    def _legacy_stage(self, fingerprint: str, stage: str):
+        """Return a stage payload from the legacy layout, or ``None``."""
+        return self._read_legacy_json(self.run_dir(fingerprint) / f"{stage}.json")
 
-    def run_dir(self, fingerprint: str) -> Path:
-        """Return the directory holding one run's artifacts."""
-        fingerprint = _check_fingerprint(fingerprint)
-        return self.root / "runs" / fingerprint[:2] / fingerprint
+    def _legacy_fingerprints(self) -> set[str]:
+        """Return the fingerprints present in the legacy directory layout."""
+        runs_root = self.root / "runs"
+        found: set[str] = set()
+        if not runs_root.exists():
+            return found
+        for directory in runs_root.glob("*/*"):
+            if directory.is_dir():
+                found.add(directory.name)
+        return found
 
-    # -- jobs --------------------------------------------------------------------------
+    # -- jobs ---------------------------------------------------------------------------
 
     def put_job(self, spec: JobSpec) -> str:
         """Persist a job spec and return its fingerprint (idempotent)."""
         fingerprint = spec.fingerprint()
-        path = self.run_dir(fingerprint) / "job.json"
-        if not path.exists():
-            self._write_json_atomic(path, spec.to_payload())
+        if not self.has_job(fingerprint):
+            self._put_stage_row(fingerprint, "job", spec.to_payload())
         return fingerprint
 
     def load_job(self, fingerprint: str) -> JobSpec:
@@ -135,31 +275,78 @@ class RunStore:
         ServiceError
             When no job with that fingerprint is stored.
         """
-        payload = self._read_json(self.run_dir(fingerprint) / "job.json")
+        _check_fingerprint(fingerprint)
+        payload = self._get_stage_row(fingerprint, "job")
+        if payload is None:
+            payload = self._legacy_stage(fingerprint, "job")
         if payload is None:
             raise ServiceError(f"no stored job with fingerprint {fingerprint!r}")
         return JobSpec.from_payload(payload)
 
     def has_job(self, fingerprint: str) -> bool:
         """Return True when a job spec is stored under ``fingerprint``."""
+        _check_fingerprint(fingerprint)
+        if self._get_stage_row(fingerprint, "job") is not None:
+            return True
         return (self.run_dir(fingerprint) / "job.json").exists()
 
     # -- stage artifacts ----------------------------------------------------------------
 
     def put_stage(self, fingerprint: str, stage: str, payload: dict) -> None:
-        """Persist one stage artifact payload (atomic overwrite)."""
+        """Persist one stage artifact payload (transactional overwrite)."""
         _check_stage(stage)
-        self._write_json_atomic(self.run_dir(fingerprint) / f"{stage}.json", payload)
+        _check_fingerprint(fingerprint)
+        self._put_stage_row(fingerprint, stage, payload)
 
     def get_stage(self, fingerprint: str, stage: str) -> dict | None:
-        """Return a stage artifact payload, or ``None`` when not stored."""
+        """Return a stage artifact payload, or ``None`` when not stored.
+
+        The SQLite index is consulted first; a miss falls through to the
+        legacy per-file layout so pre-migration stores keep working.
+        """
         _check_stage(stage)
-        return self._read_json(self.run_dir(fingerprint) / f"{stage}.json")
+        _check_fingerprint(fingerprint)
+        payload = self._get_stage_row(fingerprint, stage)
+        if payload is None:
+            payload = self._legacy_stage(fingerprint, stage)
+        return payload
 
     def has_stage(self, fingerprint: str, stage: str) -> bool:
-        """Return True when the stage artifact exists."""
+        """Return True when the stage artifact exists (either layout)."""
         _check_stage(stage)
+        _check_fingerprint(fingerprint)
+        if self._get_stage_row(fingerprint, stage) is not None:
+            return True
         return (self.run_dir(fingerprint) / f"{stage}.json").exists()
+
+    def delete_stage(self, fingerprint: str, stage: str) -> bool:
+        """Delete one stage artifact from both layouts; True when anything was removed."""
+        _check_stage(stage)
+        _check_fingerprint(fingerprint)
+        removed = False
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = conn.execute(
+                "SELECT blob_key FROM stages WHERE fingerprint = ? AND stage = ?",
+                (fingerprint, stage),
+            ).fetchone()
+            if row is not None:
+                conn.execute(
+                    "DELETE FROM stages WHERE fingerprint = ? AND stage = ?",
+                    (fingerprint, stage),
+                )
+                self._prune_blob(conn, row[0])
+                removed = True
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        legacy = self.run_dir(fingerprint) / f"{stage}.json"
+        if legacy.exists():
+            legacy.unlink()
+            removed = True
+        return removed
 
     def completed_stages(self, fingerprint: str) -> tuple[str, ...]:
         """Return the stored stage names of a run, in pipeline order."""
@@ -167,33 +354,86 @@ class RunStore:
 
     def delete_run(self, fingerprint: str) -> bool:
         """Delete every artifact of one run; returns True when anything was removed."""
+        _check_fingerprint(fingerprint)
+        removed = False
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            rows = conn.execute(
+                "SELECT blob_key FROM stages WHERE fingerprint = ?", (fingerprint,)
+            ).fetchall()
+            if rows:
+                conn.execute("DELETE FROM stages WHERE fingerprint = ?", (fingerprint,))
+                for (key,) in rows:
+                    self._prune_blob(conn, key)
+                removed = True
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
         directory = self.run_dir(fingerprint)
-        if not directory.exists():
-            return False
-        for path in directory.iterdir():
-            path.unlink()
-        directory.rmdir()
-        return True
+        if directory.exists():
+            for path in directory.iterdir():
+                path.unlink()
+            directory.rmdir()
+            removed = True
+        return removed
 
-    def list_runs(self) -> list[dict]:
-        """Return one summary row per stored run (sorted by fingerprint).
+    # -- listing ------------------------------------------------------------------------
 
-        Each row carries the fingerprint, the completed stages, and — when
-        the job spec is stored — the headline job parameters.
+    def _indexed_fingerprints(self) -> set[str]:
+        """Return the fingerprints present in the SQLite index."""
+        conn = self._connection()
+        rows = conn.execute("SELECT DISTINCT fingerprint FROM stages").fetchall()
+        return {fp for (fp,) in rows}
+
+    def list_runs(
+        self,
+        limit: int | None = None,
+        offset: int = 0,
+        stage: str | None = None,
+    ) -> list[dict]:
+        """Return one summary row per stored run, de-duplicated across layouts.
+
+        Parameters
+        ----------
+        limit:
+            Page size; ``None`` returns every row.
+        offset:
+            Number of rows to skip (after sorting and filtering).
+        stage:
+            Only return runs whose ``stage`` artifact is stored (e.g.
+            ``"result"`` for finished runs).
+
+        Returns
+        -------
+        list of dict
+            Rows sorted by fingerprint.  A run that exists in both the
+            SQLite index and the legacy directory layout appears exactly
+            once, its ``stages`` being the union of both layouts.
         """
-        runs_root = self.root / "runs"
+        if stage is not None:
+            _check_stage(stage)
+        if offset < 0:
+            raise ServiceError(f"offset must be non-negative, got {offset}")
+        if limit is not None and limit < 0:
+            raise ServiceError(f"limit must be non-negative, got {limit}")
+        fingerprints = sorted(self._indexed_fingerprints() | self._legacy_fingerprints())
         rows: list[dict] = []
-        if not runs_root.exists():
-            return rows
-        for directory in sorted(runs_root.glob("*/*")):
-            if not directory.is_dir():
+        selected = 0
+        for fingerprint in fingerprints:
+            stages = self.completed_stages(fingerprint)
+            if stage is not None and stage not in stages:
                 continue
-            fingerprint = directory.name
-            row: dict = {
-                "fingerprint": fingerprint,
-                "stages": list(self.completed_stages(fingerprint)),
-            }
-            job = self._read_json(directory / "job.json")
+            selected += 1
+            if selected <= offset:
+                continue
+            if limit is not None and len(rows) >= limit:
+                break
+            row: dict = {"fingerprint": fingerprint, "stages": list(stages)}
+            job = self._get_stage_row(fingerprint, "job")
+            if job is None:
+                job = self._legacy_stage(fingerprint, "job")
             if job is not None:
                 row["shots"] = job.get("shots")
                 row["seed"] = job.get("seed")
@@ -205,7 +445,18 @@ class RunStore:
             rows.append(row)
         return rows
 
-    # -- free-form artifacts -------------------------------------------------------------
+    def count_runs(self, stage: str | None = None) -> int:
+        """Return the number of stored runs (optionally with a stage filter)."""
+        if stage is None:
+            return len(self._indexed_fingerprints() | self._legacy_fingerprints())
+        _check_stage(stage)
+        return sum(
+            1
+            for fingerprint in self._indexed_fingerprints() | self._legacy_fingerprints()
+            if stage in self.completed_stages(fingerprint)
+        )
+
+    # -- free-form artifacts ------------------------------------------------------------
 
     def put_artifact(self, key: str, payload) -> None:
         """Persist a free-form JSON artifact under ``key``.
@@ -214,9 +465,110 @@ class RunStore:
         fingerprint (the CLI's ``--store`` flag on ``figure6``/``ablations``).
         """
         _check_fingerprint(key)
-        self._write_json_atomic(self.root / "artifacts" / f"{key}.json", payload)
+        conn = self._connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            previous = conn.execute(
+                "SELECT blob_key FROM artifacts WHERE key = ?", (key,)
+            ).fetchone()
+            blob_key = self._put_blob(conn, payload)
+            conn.execute(
+                "INSERT OR REPLACE INTO artifacts(key, blob_key) VALUES(?, ?)",
+                (key, blob_key),
+            )
+            if previous is not None and previous[0] != blob_key:
+                self._prune_blob(conn, previous[0])
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
 
     def get_artifact(self, key: str):
         """Return the artifact stored under ``key``, or ``None``."""
         _check_fingerprint(key)
-        return self._read_json(self.root / "artifacts" / f"{key}.json")
+        conn = self._connection()
+        row = conn.execute("SELECT blob_key FROM artifacts WHERE key = ?", (key,)).fetchone()
+        if row is not None:
+            return self._get_blob(conn, row[0])
+        return self._read_legacy_json(self.root / "artifacts" / f"{key}.json")
+
+    # -- migration + accounting ---------------------------------------------------------
+
+    def migrate_legacy(self, remove: bool = False) -> dict:
+        """Ingest every legacy per-file artifact into the SQLite index.
+
+        Parameters
+        ----------
+        remove:
+            Delete the legacy files after a successful ingest (the default
+            keeps them, so the migration is reversible by deleting
+            ``index.sqlite3``).
+
+        Returns
+        -------
+        dict
+            Counters: ``runs`` and ``stages`` ingested, ``artifacts``
+            ingested, and ``skipped`` stage files whose fingerprint+stage
+            was already indexed (the index wins — it is newer).
+        """
+        counters = {"runs": 0, "stages": 0, "artifacts": 0, "skipped": 0}
+        for fingerprint in sorted(self._legacy_fingerprints()):
+            directory = self.run_dir(fingerprint)
+            migrated_any = False
+            for stage in _ALL_STAGES:
+                path = directory / f"{stage}.json"
+                if not path.exists():
+                    continue
+                if self._get_stage_row(fingerprint, stage) is not None:
+                    counters["skipped"] += 1
+                else:
+                    payload = self._read_legacy_json(path)
+                    if payload is None:  # pragma: no cover - racing deletion
+                        continue
+                    self._put_stage_row(fingerprint, stage, payload)
+                    counters["stages"] += 1
+                    migrated_any = True
+                if remove:
+                    path.unlink()
+            if migrated_any:
+                counters["runs"] += 1
+            if remove and directory.exists() and not any(directory.iterdir()):
+                directory.rmdir()
+        artifacts_root = self.root / "artifacts"
+        if artifacts_root.exists():
+            conn = self._connection()
+            for path in sorted(artifacts_root.glob("*.json")):
+                key = path.stem
+                row = conn.execute(
+                    "SELECT 1 FROM artifacts WHERE key = ?", (key,)
+                ).fetchone()
+                if row is None:
+                    payload = self._read_legacy_json(path)
+                    if payload is None:  # pragma: no cover - racing deletion
+                        continue
+                    self.put_artifact(key, payload)
+                    counters["artifacts"] += 1
+                else:
+                    counters["skipped"] += 1
+                if remove:
+                    path.unlink()
+        return counters
+
+    def stats(self) -> dict:
+        """Return store accounting: row counts and the blob dedup ratio.
+
+        ``dedup_ratio`` is references-per-blob: how many stage/artifact rows
+        each stored payload serves on average (1.0 means no sharing).
+        """
+        conn = self._connection()
+        blobs = conn.execute("SELECT COUNT(*) FROM blobs").fetchone()[0]
+        stage_rows = conn.execute("SELECT COUNT(*) FROM stages").fetchone()[0]
+        artifact_rows = conn.execute("SELECT COUNT(*) FROM artifacts").fetchone()[0]
+        references = stage_rows + artifact_rows
+        return {
+            "blobs": blobs,
+            "stage_rows": stage_rows,
+            "artifact_rows": artifact_rows,
+            "legacy_runs": len(self._legacy_fingerprints()),
+            "dedup_ratio": round(references / blobs, 4) if blobs else 1.0,
+        }

@@ -98,12 +98,11 @@ class TestRunJob:
         # Simulate a crash after the first round: truncate the round log and
         # drop the downstream artifacts.
         fingerprint = spec.fingerprint()
-        run_dir = store.run_dir(fingerprint)
-        rounds_payload = json.loads((run_dir / "rounds.json").read_text())
+        rounds_payload = store.get_stage(fingerprint, "rounds")
         rounds_payload["rounds"] = rounds_payload["rounds"][:1]
-        (run_dir / "rounds.json").write_text(json.dumps(rounds_payload))
-        (run_dir / "execution.json").unlink()
-        (run_dir / "result.json").unlink()
+        store.put_stage(fingerprint, "rounds", rounds_payload)
+        store.delete_stage(fingerprint, "execution")
+        store.delete_stage(fingerprint, "result")
 
         resumed = run_job(spec, store=store)
         assert resumed.resumed_from == "rounds"
@@ -132,9 +131,8 @@ class TestRunJob:
         store = RunStore(tmp_path)
         spec = adaptive_spec()
         full = run_job(spec, store=store)
-        run_dir = store.run_dir(spec.fingerprint())
-        (run_dir / "execution.json").unlink()
-        (run_dir / "result.json").unlink()
+        store.delete_stage(spec.fingerprint(), "execution")
+        store.delete_stage(spec.fingerprint(), "result")
         summaries = []
         resumed = run_job(spec, store=store, progress=summaries.append)
         assert resumed.resumed_from == "rounds"

@@ -108,12 +108,12 @@ class TestRunJob:
 
         # Crash after round one: truncate the persisted round log and drop
         # the downstream artifacts, exactly like the in-process resume test.
-        run_dir = store.run_dir(spec.fingerprint())
-        rounds_payload = json.loads((run_dir / "rounds.json").read_text())
+        fingerprint = spec.fingerprint()
+        rounds_payload = store.get_stage(fingerprint, "rounds")
         rounds_payload["rounds"] = rounds_payload["rounds"][:1]
-        (run_dir / "rounds.json").write_text(json.dumps(rounds_payload))
-        (run_dir / "execution.json").unlink()
-        (run_dir / "result.json").unlink()
+        store.put_stage(fingerprint, "rounds", rounds_payload)
+        store.delete_stage(fingerprint, "execution")
+        store.delete_stage(fingerprint, "result")
 
         resumed = run_job(spec, store=store)
         assert resumed.resumed_from == "rounds"

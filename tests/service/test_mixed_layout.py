@@ -1,0 +1,132 @@
+"""Regression tests of the mixed store layout (legacy JSON dirs + SQLite rows).
+
+A store upgraded in place can hold runs in three shapes at once: legacy
+per-file directories only, SQLite index rows only, and runs present in both
+(a legacy run whose later stages were written after the upgrade).  The
+listing API must present a **single deduplicated paginated view** across all
+three, and ``repro store migrate`` must fold the legacy side in without
+touching indexed rows.
+"""
+
+import pytest
+
+from repro.service import RunService, RunStore, ServerThread, ServiceClient
+from repro.utils.serialization import canonical_json
+
+pytestmark = pytest.mark.integration
+
+
+def _write_legacy_run(root, fingerprint: str, stages: dict) -> None:
+    """Write one run in the legacy ``runs/<fp[:2]>/<fp>/<stage>.json`` layout."""
+    run_dir = root / "runs" / fingerprint[:2] / fingerprint
+    run_dir.mkdir(parents=True, exist_ok=True)
+    for stage, payload in stages.items():
+        (run_dir / f"{stage}.json").write_text(canonical_json(payload))
+
+
+@pytest.fixture
+def mixed_store(tmp_path):
+    """A store holding legacy-only, index-only and dual-layout runs.
+
+    Fingerprints sort as: aa... (legacy), bb... (both), cc... (index),
+    dd... (legacy), ee... (index).
+    """
+    root = tmp_path / "store"
+    _write_legacy_run(
+        root, "aa11111111", {"plan": {"cuts": 1}, "result": {"value": 0.25}}
+    )
+    _write_legacy_run(root, "bb22222222", {"plan": {"cuts": 2}})
+    _write_legacy_run(root, "dd44444444", {"plan": {"cuts": 4}})
+
+    store = RunStore(root)
+    # bb also gains an indexed result (the "upgraded mid-run" shape).
+    store.put_stage("bb22222222", "result", {"value": 0.5})
+    store.put_stage("cc33333333", "plan", {"cuts": 3})
+    store.put_stage("cc33333333", "result", {"value": 0.75})
+    store.put_stage("ee55555555", "plan", {"cuts": 5})
+    yield store
+    store.close()
+
+
+class TestMixedListing:
+    def test_single_deduplicated_view(self, mixed_store):
+        rows = mixed_store.list_runs()
+        fingerprints = [row["fingerprint"] for row in rows]
+        # Every run appears exactly once, sorted, regardless of layout.
+        assert fingerprints == [
+            "aa11111111",
+            "bb22222222",
+            "cc33333333",
+            "dd44444444",
+            "ee55555555",
+        ]
+        assert mixed_store.count_runs() == 5
+
+    def test_dual_layout_run_unions_stages(self, mixed_store):
+        (row,) = [r for r in mixed_store.list_runs() if r["fingerprint"] == "bb22222222"]
+        assert set(row["stages"]) == {"plan", "result"}
+
+    def test_pagination_spans_both_layouts(self, mixed_store):
+        first = mixed_store.list_runs(limit=2)
+        second = mixed_store.list_runs(limit=2, offset=2)
+        third = mixed_store.list_runs(limit=2, offset=4)
+        fingerprints = [r["fingerprint"] for r in first + second + third]
+        assert fingerprints == [r["fingerprint"] for r in mixed_store.list_runs()]
+        assert len(first) == 2 and len(second) == 2 and len(third) == 1
+
+    def test_stage_filter_spans_both_layouts(self, mixed_store):
+        finished = mixed_store.list_runs(stage="result")
+        assert [r["fingerprint"] for r in finished] == [
+            "aa11111111",  # legacy result
+            "bb22222222",  # indexed result over a legacy plan
+            "cc33333333",  # indexed result
+        ]
+        assert mixed_store.count_runs(stage="result") == 3
+
+    def test_http_runs_view_matches_store(self, mixed_store):
+        service = RunService(store=mixed_store, workers=1)
+        server = ServerThread(service)
+        client = ServiceClient(server.start())
+        try:
+            rows = client.runs()
+            assert [r["fingerprint"] for r in rows] == [
+                r["fingerprint"] for r in mixed_store.list_runs()
+            ]
+            page = client.runs(limit=2, offset=1)
+            assert [r["fingerprint"] for r in page] == ["bb22222222", "cc33333333"]
+            finished = client.runs(stage="result")
+            assert len(finished) == 3
+        finally:
+            server.stop()
+            service.close()
+
+
+class TestMigration:
+    def test_migrate_folds_legacy_into_index(self, mixed_store):
+        before = [r["fingerprint"] for r in mixed_store.list_runs()]
+        counters = mixed_store.migrate_legacy(remove=True)
+        assert counters["runs"] == 3  # aa, bb, dd had legacy files
+        assert mixed_store.stats()["legacy_runs"] == 0
+        # The view is unchanged by migration — same runs, same stages.
+        assert [r["fingerprint"] for r in mixed_store.list_runs()] == before
+        assert canonical_json(mixed_store.get_stage("aa11111111", "result")) == canonical_json(
+            {"value": 0.25}
+        )
+
+    def test_migrate_keeps_indexed_rows_authoritative(self, mixed_store):
+        # bb's result exists only in the index; its legacy plan must migrate
+        # without overwriting the indexed result.
+        mixed_store.migrate_legacy(remove=False)
+        assert mixed_store.get_stage("bb22222222", "result") == {"value": 0.5}
+        assert mixed_store.get_stage("bb22222222", "plan") == {"cuts": 2}
+
+    def test_migrate_is_idempotent(self, mixed_store):
+        first = mixed_store.migrate_legacy(remove=False)
+        second = mixed_store.migrate_legacy(remove=False)
+        assert first["runs"] == 3
+        # A second pass ingests nothing new: every legacy stage file is
+        # already indexed and counts as skipped.
+        assert second["runs"] == 0
+        assert second["stages"] == 0
+        assert second["skipped"] == first["stages"] + first["skipped"]
+        assert mixed_store.count_runs() == 5

@@ -1,0 +1,116 @@
+"""Unit tests of the token-bucket rate limiter (deterministic fake clock)."""
+
+import pytest
+
+from repro.exceptions import ServiceBusyError, ServiceError
+from repro.service.ratelimit import TenantRateLimiter, TokenBucket
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_bucket_admits_burst_then_refuses():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    wait = bucket.try_acquire()
+    assert wait == pytest.approx(1.0)
+
+
+def test_bucket_refills_at_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+    bucket.try_acquire()
+    bucket.try_acquire()
+    assert bucket.try_acquire() > 0.0
+    clock.advance(0.5)  # refills one token at 2/s
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() > 0.0
+
+
+def test_bucket_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+    clock.advance(100.0)
+    assert bucket.available == pytest.approx(2.0)
+
+
+def test_bucket_failed_acquire_takes_nothing():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    before = bucket.available
+    assert bucket.try_acquire() > 0.0
+    assert bucket.available == before
+
+
+def test_bucket_validates_parameters():
+    with pytest.raises(ServiceError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ServiceError):
+        TokenBucket(rate=1.0, burst=0.0)
+
+
+def test_limiter_isolates_tenants():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(rate=1.0, burst=1.0, clock=clock)
+    limiter.admit("alice")
+    with pytest.raises(ServiceBusyError):
+        limiter.admit("alice")
+    limiter.admit("bob")  # a different tenant has its own bucket
+
+
+def test_limiter_retry_after_matches_refill():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(rate=0.5, burst=1.0, clock=clock)
+    limiter.admit("alice")
+    with pytest.raises(ServiceBusyError) as info:
+        limiter.admit("alice")
+    assert info.value.status == 429
+    assert info.value.retry_after == pytest.approx(2.0)
+    clock.advance(2.0)
+    limiter.admit("alice")
+
+
+def test_limiter_quota_refuses_at_max_active():
+    limiter = TenantRateLimiter(max_active=2)
+    limiter.admit("alice", active_jobs=1)
+    with pytest.raises(ServiceBusyError) as info:
+        limiter.admit("alice", active_jobs=2)
+    assert info.value.status == 429
+    assert "quota" in str(info.value)
+
+
+def test_limiter_without_limits_admits_everything():
+    limiter = TenantRateLimiter()
+    for _ in range(100):
+        limiter.admit("anyone", active_jobs=10_000)
+
+
+def test_limiter_default_burst_is_at_least_one():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(rate=0.1, clock=clock)
+    limiter.admit("alice")  # burst defaults to max(rate, 1) = 1
+    with pytest.raises(ServiceBusyError):
+        limiter.admit("alice")
+
+
+def test_limiter_validates_parameters():
+    with pytest.raises(ServiceError):
+        TenantRateLimiter(rate=-1.0)
+    with pytest.raises(ServiceError):
+        TenantRateLimiter(rate=1.0, burst=-1.0)
+    with pytest.raises(ServiceError):
+        TenantRateLimiter(max_active=0)

@@ -47,17 +47,28 @@ class TestStageArtifacts:
             with pytest.raises(ServiceError, match="fingerprint"):
                 store.run_dir(bad)
 
-    def test_atomic_write_leaves_no_temp_files(self, store, ghz_spec):
+    def test_writes_go_to_the_index_not_legacy_files(self, store, ghz_spec):
         fingerprint = store.put_job(ghz_spec())
         store.put_stage(fingerprint, "result", {"value": 1.0})
-        leftovers = [p for p in store.run_dir(fingerprint).iterdir() if p.suffix == ".tmp"]
-        assert leftovers == []
+        # New writes land in the SQLite index; the legacy per-file layout is
+        # read-only compatibility surface.
+        assert not store.run_dir(fingerprint).exists()
+        assert store.database_path.exists()
 
-    def test_corrupt_artifact_raises(self, store, ghz_spec):
-        fingerprint = store.put_job(ghz_spec())
-        (store.run_dir(fingerprint) / "result.json").write_text("{not json")
+    def test_corrupt_legacy_artifact_raises(self, store, ghz_spec):
+        fingerprint = ghz_spec().fingerprint()
+        legacy = store.run_dir(fingerprint) / "result.json"
+        legacy.parent.mkdir(parents=True)
+        legacy.write_text("{not json")
         with pytest.raises(ServiceError, match="corrupt"):
             store.get_stage(fingerprint, "result")
+
+    def test_delete_stage(self, store, ghz_spec):
+        fingerprint = store.put_job(ghz_spec())
+        store.put_stage(fingerprint, "result", {"value": 1.0})
+        assert store.delete_stage(fingerprint, "result")
+        assert store.get_stage(fingerprint, "result") is None
+        assert not store.delete_stage(fingerprint, "result")
 
     def test_stage_order_matches_pipeline(self):
         assert STAGES == ("plan", "rounds", "execution", "result")
@@ -99,7 +110,14 @@ class TestArtifacts:
             store.put_artifact("../escape", {})
 
     def test_artifact_json_canonical(self, store):
+        import sqlite3
+
         key = "ef" * 8
         store.put_artifact(key, {"b": 1, "a": 2})
-        text = (store.root / "artifacts" / f"{key}.json").read_text()
+        with sqlite3.connect(store.database_path) as conn:
+            (text,) = conn.execute(
+                "SELECT payload FROM blobs JOIN artifacts ON blobs.key = artifacts.blob_key "
+                "WHERE artifacts.key = ?",
+                (key,),
+            ).fetchone()
         assert text == json.dumps({"a": 2, "b": 1}, sort_keys=True, separators=(",", ":"))

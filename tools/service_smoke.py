@@ -1,31 +1,33 @@
-"""CI smoke test of the job service over real HTTP.
+"""CI smoke test of the job service over real HTTP (asyncio server).
 
-Starts ``repro serve`` machinery in-process on a free port, submits a 2-cut
-GHZ job through the HTTP client, polls it to completion, verifies the
-estimate against the exact value, then re-submits the identical job against
-a *fresh* service sharing the same store and asserts it is served from the
-store without re-execution.  A third round submits an **adaptive** job and
-polls the live progress fields (shots spent / current standard error /
-rounds) that ``repro jobs status`` surfaces.  Exits non-zero on any
-failure.
+Starts the asyncio ``repro serve`` engine in-process on a free port, submits
+a 2-cut GHZ job through the HTTP client, polls it to completion, verifies
+the estimate against the exact value, then re-submits the identical job
+against a *fresh* service sharing the same store and asserts it is served
+from the store without re-execution.  A third round submits an **adaptive**
+job and consumes its **SSE event stream**, checking every round arrives
+exactly once and in order, that a replay with ``after=`` resumes past seen
+rounds, and that the live progress fields surface through job status.  A
+final round checks per-tenant rate limiting (429 + ``Retry-After``) and
+graceful drain (503 for new work, in-flight jobs finish).  Exits non-zero
+on any failure.
 
 Usage: ``PYTHONPATH=src python tools/service_smoke.py [store_dir]``
 """
 
 import sys
 import tempfile
-import threading
 
+from repro.exceptions import ServiceBusyError
+from repro.service import (
+    JobSpec,
+    RunService,
+    RunStore,
+    ServerThread,
+    ServiceClient,
+    TenantRateLimiter,
+)
 from repro.experiments import ghz_circuit
-from repro.service import JobSpec, RunService, RunStore, ServiceClient, make_server
-
-
-def _start(service: RunService) -> tuple:
-    server = make_server(host="127.0.0.1", port=0, service=service)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    host, port = server.server_address
-    return server, ServiceClient(f"http://{host}:{port}")
 
 
 def main() -> int:
@@ -41,10 +43,12 @@ def main() -> int:
 
     # Round 1: fresh service, job runs for real.
     service = RunService(store=RunStore(store_dir), workers=2)
-    server, client = _start(service)
+    server = ServerThread(service)
+    client = ServiceClient(server.start())
     try:
         health = client.health()
         assert health["status"] == "ok", health
+        assert health["draining"] is False, health
         row = client.submit(spec)
         print(f"submitted 2-cut GHZ job {row['job_id']} ({row['state']})")
         outcome = client.wait(row["job_id"], timeout=300)
@@ -57,23 +61,23 @@ def main() -> int:
             f"(exact {outcome['exact_value']:.4f})"
         )
     finally:
-        server.shutdown()
-        server.server_close()
+        server.stop()
         service.close()
 
     # Round 2: a restarted service on the same store serves the job from disk.
     service = RunService(store=RunStore(store_dir), workers=2)
-    server, client = _start(service)
+    server = ServerThread(service)
+    client = ServiceClient(server.start())
     try:
         row = client.submit(spec)
         cached = client.wait(row["job_id"], timeout=60)
         assert cached["cached"], "re-submission after restart must hit the run store"
         assert cached["value"] == outcome["value"], (cached, outcome)
-        runs = client.runs()
+        runs = client.runs(limit=10)
         assert any(r["fingerprint"] == spec.fingerprint() for r in runs), runs
         print(f"store hit confirmed after restart (value {cached['value']:.4f}, no re-execution)")
 
-        # Round 3: an adaptive job reports live progress through job status.
+        # Round 3: an adaptive job streams its rounds over SSE.
         adaptive_spec = JobSpec(
             circuit=ghz_circuit(4),
             observable="ZZZZ",
@@ -84,26 +88,57 @@ def main() -> int:
             target_error=0.04,
         )
         adaptive_row = client.submit(adaptive_spec)
-        adaptive_outcome = client.wait(adaptive_row["job_id"], timeout=300)
+        events = list(client.events(adaptive_row["job_id"]))
+        round_ids = [event["id"] for event in events if event["event"] == "round"]
+        assert round_ids == sorted(set(round_ids)), f"rounds not exactly-once: {round_ids}"
+        assert round_ids and round_ids[0] == 0, round_ids
+        assert events[-1]["event"] == "result", events[-1]
+        adaptive_outcome = events[-1]["data"]
         assert adaptive_outcome["mode"] == "adaptive", adaptive_outcome
         assert adaptive_outcome["converged"], adaptive_outcome
-        assert adaptive_outcome["rounds_completed"] >= 1, adaptive_outcome
+        assert adaptive_outcome["rounds_completed"] == len(round_ids), adaptive_outcome
         assert adaptive_outcome["standard_error"] <= 0.04, adaptive_outcome
-        assert adaptive_outcome["total_shots"] < 100_000, adaptive_outcome
+        replay = [e["id"] for e in client.events(adaptive_row["job_id"], after=round_ids[0])
+                  if e["event"] == "round"]
+        assert replay == round_ids[1:], (replay, round_ids)
         status = client.status(adaptive_row["job_id"])
         progress = status.get("progress")
         assert progress is not None, status
-        assert progress["shots_spent"] == adaptive_outcome["total_shots"], (progress, adaptive_outcome)
-        assert progress["current_stderr"] is not None, progress
-        assert progress["target_error"] == 0.04, progress
+        assert progress["shots_spent"] == adaptive_outcome["total_shots"], (
+            progress,
+            adaptive_outcome,
+        )
         print(
-            f"adaptive progress confirmed: {progress['rounds_completed']} rounds, "
-            f"{progress['shots_spent']} shots, stderr {progress['current_stderr']:.4f} "
-            f"(target {progress['target_error']})"
+            f"SSE streaming confirmed: {len(round_ids)} rounds exactly-once, "
+            f"stderr {adaptive_outcome['standard_error']:.4f} (target 0.04)"
         )
     finally:
-        server.shutdown()
-        server.server_close()
+        server.stop()
+        service.close()
+
+    # Round 4: rate limiting and graceful drain.
+    service = RunService(workers=2, limiter=TenantRateLimiter(rate=0.001, burst=1.0))
+    server = ServerThread(service)
+    client = ServiceClient(server.start(), tenant="smoke")
+    try:
+        client.submit(spec)
+        try:
+            client.submit(JobSpec(ghz_circuit(4), "ZZZZ", shots=500, seed=1,
+                                  max_fragment_width=2))
+            raise AssertionError("rate limiter admitted a second burst submission")
+        except ServiceBusyError as error:
+            assert error.status == 429 and error.retry_after > 0, error
+        service.begin_drain()
+        try:
+            client.submit(JobSpec(ghz_circuit(4), "ZZZZ", shots=500, seed=2,
+                                  max_fragment_width=2))
+            raise AssertionError("draining service admitted a submission")
+        except ServiceBusyError as error:
+            assert error.status == 503, error
+        assert client.health()["draining"] is True
+        print("rate limit (429) and drain (503) confirmed")
+    finally:
+        server.stop(drain=True)
         service.close()
 
     print("service smoke OK")
