@@ -27,9 +27,7 @@ via ``REPRO_BENCH_OUT``) so CI can archive the savings trajectory.  Set
 default smoke configuration keeps CI under a few seconds.
 """
 
-import json
 import os
-from pathlib import Path
 
 import numpy as np
 
@@ -43,7 +41,7 @@ SAVINGS_FLOOR = 0.20
 MEASURED_ERROR_TOLERANCE = 1.25
 
 
-def test_adaptive_beats_static_on_figure6_nme_sweep():
+def test_adaptive_beats_static_on_figure6_nme_sweep(bench_artifact):
     """Adaptive reaches the shared target error with ≥20% fewer total shots."""
     full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
     config = AdaptiveSweepConfig(
@@ -103,10 +101,7 @@ def test_adaptive_beats_static_on_figure6_nme_sweep():
             for index in range(len(table.columns["overlap_f"]))
         ],
     }
-    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / "BENCH_adaptive.json"
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    out_path = bench_artifact("BENCH_adaptive.json", record)
     print(
         f"\nadaptive vs static on the Figure-6 NME sweep: {savings:.1%} fewer shots "
         f"({metadata['total_adaptive_shots']} vs {metadata['total_static_shots']}) "

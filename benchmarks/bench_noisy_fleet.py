@@ -23,10 +23,7 @@ and seed must produce bitwise-identical counts and estimates whether the
 devices wrap the serial or the vectorized inner backend.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 from repro.experiments import (
     fleet_bias_vs_bound,
@@ -84,7 +81,7 @@ def test_benchmark_noisy_fleet_sweep(benchmark):
     assert table.num_rows == 2 * len(NOISE_SCALES) * len(SPLIT_POLICIES)
 
 
-def test_noisy_fleet_writes_artifact():
+def test_noisy_fleet_writes_artifact(bench_artifact):
     """Run both sweeps and archive BENCH_noisy_fleet.json for CI."""
     start = time.perf_counter()
     bias_table = fleet_bias_vs_bound(k=K, noise_levels=NOISE_LEVELS, num_states=5)
@@ -118,10 +115,7 @@ def test_noisy_fleet_writes_artifact():
             "metadata": dict(robustness_table.metadata or {}),
         },
     }
-    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / "BENCH_noisy_fleet.json"
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    out_path = bench_artifact("BENCH_noisy_fleet.json", record)
     print(f"\n{bias_table.to_text()}")
     print(f"\n{robustness_table.to_text()}")
     print(f"\nwrote {out_path}")

@@ -22,15 +22,14 @@ records it without asserting, so one noisy shared-runner sample cannot fail
 the build).
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 from repro.circuits import DistributionCache, VectorizedBackend
 from repro.cutting import CutLocation
 from repro.experiments import ghz_circuit, random_layered_circuit
 from repro.pipeline import CutPipeline
+from repro.telemetry.tracing import Tracer, activate
 
 #: Entanglement levels f(Φ_k) swept per workload; None is the κ=3 free cut.
 OVERLAPS = (None, 0.9)
@@ -121,21 +120,26 @@ def test_benchmark_pipeline_vectorized_sweep(benchmark):
     assert len(records) == len(_workloads()) * len(OVERLAPS) * len(SEEDS)
 
 
-def test_pipeline_backend_speedup():
+def test_pipeline_backend_speedup(bench_artifact):
     """Vectorized beats serial on the repeated 2-cut sweep, with identical results.
 
     With ``REPRO_BENCH_FULL=1`` a 1.5× floor is enforced; the default smoke
     run keeps the result-identity checks hard but only records the measured
-    speedup.  ``BENCH_pipeline.json`` carries the numbers either way.
+    speedup.  ``BENCH_pipeline.json`` carries the numbers either way, plus
+    the per-stage wall breakdown of the vectorized arm (both arms run under
+    a tracer so the comparison stays symmetric).
     """
     full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
     start = time.perf_counter()
-    serial_records = _run_sweep("serial")
+    with activate(Tracer()):
+        serial_records = _run_sweep("serial")
     serial_seconds = time.perf_counter() - start
 
+    vectorized_tracer = Tracer()
     start = time.perf_counter()
-    vectorized_records = _run_sweep("vectorized")
+    with activate(vectorized_tracer):
+        vectorized_records = _run_sweep("vectorized")
     vectorized_seconds = time.perf_counter() - start
 
     assert len(serial_records) == len(vectorized_records)
@@ -162,10 +166,7 @@ def test_pipeline_backend_speedup():
         "speedup": round(speedup, 2),
         "identical_results": True,
     }
-    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / "BENCH_pipeline.json"
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    out_path = bench_artifact("BENCH_pipeline.json", record, tracer=vectorized_tracer)
     print(
         f"\npipeline 2-cut sweep speedup: {speedup:.1f}x "
         f"(serial {serial_seconds:.2f}s, vectorized {vectorized_seconds:.2f}s) -> {out_path}"

@@ -33,10 +33,8 @@ Asserted invariants (deterministic under the pinned seeds):
 larger sweep; the default smoke configuration keeps CI under a minute.
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 from repro.circuits.backends import DistributionCache, VectorizedBackend
 from repro.circuits.circuit import QuantumCircuit
@@ -87,7 +85,7 @@ def _fresh_backend() -> VectorizedBackend:
     return VectorizedBackend(cache=DistributionCache())
 
 
-def test_dedup_reconstruction_speedup_and_identity():
+def test_dedup_reconstruction_speedup_and_identity(bench_artifact):
     """Dedup + contraction beats the per-term path ≥5× and stays bitwise stable."""
     full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
     circuit, positions, observables = _configuration(full)
@@ -193,10 +191,7 @@ def test_dedup_reconstruction_speedup_and_identity():
         },
         "bitwise_identical_backends": ["serial", "vectorized", "process-pool"],
     }
-    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / "BENCH_reconstruct.json"
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    out_path = bench_artifact("BENCH_reconstruct.json", record)
     print(
         f"\ndedup reconstruction: {speedup:.1f}x faster than the per-term path "
         f"({stats.num_instances} unique instances for {stats.num_terms} terms, "

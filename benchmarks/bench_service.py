@@ -19,10 +19,8 @@ records without asserting so one noisy shared-runner sample cannot fail the
 build.
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 from repro.experiments import random_layered_circuit
 from repro.service import JobScheduler, JobSpec, RunStore, run_job
@@ -68,7 +66,7 @@ def _run_concurrent(specs):
         return [scheduler.result(job_id, timeout=600) for job_id in job_ids]
 
 
-def test_service_concurrent_vs_serial_throughput(tmp_path):
+def test_service_concurrent_vs_serial_throughput(tmp_path, bench_artifact):
     """Concurrent submissions are bitwise-identical to serial, and faster.
 
     With ``REPRO_BENCH_FULL=1`` a 1.3× floor is enforced; the smoke run
@@ -123,10 +121,7 @@ def test_service_concurrent_vs_serial_throughput(tmp_path):
         "cache_hit_seconds": round(cache_hit_seconds, 5),
         "bitwise_identical": True,
     }
-    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / "BENCH_service.json"
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    out_path = bench_artifact("BENCH_service.json", record)
     print(
         f"\nservice throughput: {speedup:.1f}x with {WORKERS} workers "
         f"(serial {serial_seconds:.2f}s, concurrent {concurrent_seconds:.2f}s, "

@@ -22,11 +22,9 @@ smoke run records without asserting so one noisy shared-runner sample
 cannot fail the build.
 """
 
-import json
 import os
 import threading
 import time
-from pathlib import Path
 
 from repro.experiments import ghz_circuit
 from repro.service import JobSpec, RunService, ServerThread, make_server
@@ -86,7 +84,7 @@ def _measure_threaded(payload: dict):
         service.close()
 
 
-def test_asyncio_server_outpaces_threaded_baseline():
+def test_asyncio_server_outpaces_threaded_baseline(bench_artifact):
     """The asyncio server sustains >= 3x the threaded submissions/sec.
 
     With ``REPRO_BENCH_FULL=1`` the 3x floor (at no-worse p99 status
@@ -116,10 +114,7 @@ def test_asyncio_server_outpaces_threaded_baseline():
         "throughput_ratio": round(ratio, 2),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
-    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / "BENCH_service_load.json"
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    out_path = bench_artifact("BENCH_service_load.json", record)
     print(
         f"\nservice load: asyncio {asyncio_result.submissions_per_second:.0f} sub/s "
         f"(p99 status {asyncio_result.status_p99_ms:.1f}ms) vs threaded "

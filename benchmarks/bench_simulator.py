@@ -15,10 +15,8 @@ full Figure-6 scale (1000 input states × 6 entanglement levels); the default
 is a reduced sweep sized for CI smoke runs.
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -127,7 +125,7 @@ def test_benchmark_backend_vectorized_sweep(benchmark):
     assert len(models) == 2 and len(models[0]) == 40
 
 
-def test_backend_speedup_figure6_sweep():
+def test_backend_speedup_figure6_sweep(bench_artifact):
     """Vectorized ≥ 3× faster than serial on a Figure-6-sized sweep, same results.
 
     With ``REPRO_BENCH_FULL=1`` the sweep is the paper's full configuration
@@ -175,10 +173,7 @@ def test_backend_speedup_figure6_sweep():
         "speedup": round(speedup, 2),
         "identical_results": True,
     }
-    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / "BENCH_backend_speedup.json"
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    out_path = bench_artifact("BENCH_backend_speedup.json", record)
     print(f"\nbackend speedup: {speedup:.1f}x (serial {serial_seconds:.2f}s, "
           f"vectorized {vectorized_seconds:.2f}s) -> {out_path}")
 

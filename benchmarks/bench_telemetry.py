@@ -1,0 +1,138 @@
+"""Telemetry overhead guard: tracing the 2-cut GHZ pipeline costs ≤ 5%.
+
+Run with ``pytest benchmarks/bench_telemetry.py -q -s``.
+
+The workload is the headline 2-cut GHZ pipeline (plan → decompose →
+execute → reconstruct on the vectorized backend, cold distribution cache
+every run so each arm does identical work).  Shared runners have noisy
+multi-second phases that dwarf the true instrumentation cost (a handful of
+span allocations per run), so the measurement is **paired**: every round
+times one untraced and one traced run back to back — alternating which
+goes first to cancel drift — and the asserted overhead is the *median* of
+the per-round traced/untraced ratios.  A single noisy round cannot move
+the median; a whole attempt landing in a noisy phase is re-measured (at
+most three attempts) because a genuine regression fails every attempt.
+Two contracts are enforced on every run, including the CI bench-smoke
+pass:
+
+* traced and untraced results are **bitwise identical** (values, errors,
+  per-term shot vectors), and
+* the paired-median tracing overhead stays at or under
+  :data:`OVERHEAD_CAP` (5 %).
+
+``BENCH_telemetry.json`` records the per-round ratios, the secondary
+estimators (best-of and trimmed-mean), and — via the shared
+``bench_artifact`` writer — the per-stage wall breakdown from the last
+traced round.
+"""
+
+import statistics
+import time
+
+from repro.circuits import DistributionCache, VectorizedBackend
+from repro.experiments import ghz_circuit
+from repro.pipeline import CutPipeline
+from repro.telemetry.tracing import Tracer, activate
+
+#: Paired (untraced, traced) measurement rounds; the median ratio is asserted.
+ROUNDS = 13
+SEEDS = (11, 12, 13)
+SHOTS = 2000
+MAX_FRAGMENT_WIDTH = 2
+#: Maximum tolerated fractional slowdown from tracing.
+OVERHEAD_CAP = 0.05
+
+
+def _run_pipeline():
+    """One cold-cache 2-cut GHZ sweep; returns the comparable result tuples."""
+    backend = VectorizedBackend(cache=DistributionCache())
+    pipeline = CutPipeline(max_fragment_width=MAX_FRAGMENT_WIDTH, backend=backend)
+    plan_result = pipeline.plan(ghz_circuit(4))
+    assert plan_result.num_cuts == 2, "expected the 2-cut GHZ plan"
+    decomposition = pipeline.decompose(plan_result)
+    records = []
+    for seed in SEEDS:
+        execution = pipeline.execute(decomposition, "ZZZZ", SHOTS, seed=seed)
+        result = pipeline.reconstruct(execution)
+        records.append((result.value, result.error, tuple(execution.shots_per_term)))
+    return records
+
+
+def _timed(tracer):
+    """Run the sweep under ``tracer`` (or untraced); return (seconds, records)."""
+    start = time.perf_counter()
+    with activate(tracer):
+        records = _run_pipeline()
+    return time.perf_counter() - start, records
+
+
+def _trimmed_mean(samples, drop=2):
+    """Mean with the ``drop`` slowest samples removed (timing noise is one-sided)."""
+    kept = sorted(samples)[: len(samples) - drop]
+    return sum(kept) / len(kept)
+
+
+def _measure():
+    """One full paired measurement; returns (off_times, on_times, ratios, tracer)."""
+    off_times, on_times, ratios = [], [], []
+    tracer = None
+    for index in range(ROUNDS):
+        tracer = Tracer()
+        if index % 2 == 0:
+            off_seconds, off_records = _timed(None)
+            on_seconds, on_records = _timed(tracer)
+        else:
+            on_seconds, on_records = _timed(tracer)
+            off_seconds, off_records = _timed(None)
+        assert on_records == off_records, "telemetry must be bitwise invisible"
+        off_times.append(off_seconds)
+        on_times.append(on_seconds)
+        ratios.append(on_seconds / off_seconds)
+    return off_times, on_times, ratios, tracer
+
+
+def test_tracing_overhead_within_cap(bench_artifact):
+    """Tracing the 2-cut GHZ pipeline changes nothing and costs ≤ 5 %."""
+    # A shared runner can spend several seconds in a noisy phase that taints
+    # a whole measurement, so a failing attempt is re-measured (the true
+    # instrumentation cost is microseconds; a real regression fails every
+    # attempt).  The bitwise-identity contract stays hard on every round.
+    attempts = []
+    for _ in range(3):
+        off_times, on_times, ratios, tracer = _measure()
+        overhead = statistics.median(ratios) - 1.0
+        attempts.append(round(overhead, 4))
+        if overhead <= OVERHEAD_CAP:
+            break
+
+    span_names = [span_record.name for span_record in tracer.spans]
+    assert span_names.count("execute") == len(SEEDS)
+    assert "plan" in span_names and "decompose" in span_names and "reconstruct" in span_names
+    record = {
+        "benchmark": "telemetry_tracing_overhead",
+        "rounds": ROUNDS,
+        "seeds_per_round": len(SEEDS),
+        "shots": SHOTS,
+        "untraced_seconds_best": round(min(off_times), 5),
+        "traced_seconds_best": round(min(on_times), 5),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_best_of": round(min(on_times) / min(off_times) - 1.0, 4),
+        "overhead_trimmed_mean": round(
+            _trimmed_mean(on_times) / _trimmed_mean(off_times) - 1.0, 4
+        ),
+        "paired_ratios": [round(ratio, 4) for ratio in ratios],
+        "attempt_overheads": attempts,
+        "overhead_cap": OVERHEAD_CAP,
+        "identical_results": True,
+    }
+    out_path = bench_artifact("BENCH_telemetry.json", record, tracer=tracer)
+    print(
+        f"\ntracing overhead: {overhead:+.2%} (paired median of {ROUNDS} rounds, "
+        f"best untraced {min(off_times) * 1000:.1f}ms, "
+        f"best traced {min(on_times) * 1000:.1f}ms) -> {out_path}"
+    )
+
+    assert overhead <= OVERHEAD_CAP, (
+        f"paired-median tracing overhead {overhead:.2%} exceeds the {OVERHEAD_CAP:.0%} cap "
+        f"(per-round ratios {[f'{ratio - 1:+.1%}' for ratio in ratios]})"
+    )

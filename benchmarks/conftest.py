@@ -1,7 +1,18 @@
-"""Benchmark bootstrap: make ``src/`` and ``tools/`` importable without installation."""
+"""Benchmark bootstrap: ``src/``/``tools/`` importability and the shared artifact writer.
 
+Every benchmark writes its ``BENCH_*.json`` through the :func:`bench_artifact`
+fixture so the output directory handling lives in one place and any benchmark
+that ran under a :class:`repro.telemetry.tracing.Tracer` gets its per-stage
+wall times stamped into the artifact (``"stage_seconds"``) alongside the
+headline numbers.
+"""
+
+import json
+import os
 import sys
 from pathlib import Path
+
+import pytest
 
 _ROOT = Path(__file__).resolve().parent.parent
 _SRC = _ROOT / "src"
@@ -9,3 +20,38 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 if str(_ROOT) not in sys.path:
     sys.path.append(str(_ROOT))
+
+
+def stage_wall_seconds(tracer):
+    """Aggregate one tracer's finished spans into ``{span name: wall seconds}``."""
+    totals = {}
+    for span_record in tracer.spans:
+        if span_record.end is None:
+            continue
+        totals[span_record.name] = totals.get(span_record.name, 0.0) + (
+            span_record.end - span_record.start
+        )
+    return {name: round(seconds, 6) for name, seconds in sorted(totals.items())}
+
+
+@pytest.fixture
+def bench_artifact():
+    """Writer for ``BENCH_*.json`` artifacts: ``bench_artifact(filename, record, tracer=None)``.
+
+    Writes to ``REPRO_BENCH_OUT`` (default: the working directory) and returns
+    the path.  When ``tracer`` is given, the per-stage wall times of its spans
+    are stamped into ``record["stage_seconds"]`` first.
+    """
+
+    def write(filename, record, tracer=None):
+        if tracer is not None:
+            stages = stage_wall_seconds(tracer)
+            if stages:
+                record = {**record, "stage_seconds": stages}
+        out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / filename
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        return path
+
+    return write

@@ -56,6 +56,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.telemetry.metrics import REGISTRY
 from repro.circuits.batched_simulator import BatchedDensityMatrixSimulator, structure_signature
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.counts import Counts
@@ -77,6 +78,18 @@ __all__ = [
 
 #: Backend names accepted by :func:`resolve_backend` (and the CLI ``--backend`` flag).
 BACKEND_NAMES = ("serial", "vectorized", "process-pool")
+
+#: Process-wide cache hit/miss counters (additive observability — every
+#: in-process :class:`DistributionCache` reports here regardless of which
+#: backend owns it, so sweeps see uniform accounting on ``GET /metrics``).
+_CACHE_HITS = REGISTRY.counter(
+    "repro_distribution_cache_hits_total",
+    "Exact-distribution cache hits across all in-process caches.",
+)
+_CACHE_MISSES = REGISTRY.counter(
+    "repro_distribution_cache_misses_total",
+    "Exact-distribution cache misses across all in-process caches.",
+)
 
 
 def circuit_fingerprint(circuit: QuantumCircuit) -> str:
@@ -131,9 +144,11 @@ class DistributionCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            _CACHE_MISSES.inc()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        _CACHE_HITS.inc()
         return entry
 
     def put(self, key: str, distribution: dict[str, float]) -> None:
@@ -146,7 +161,12 @@ class DistributionCache:
             self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
+        """Drop all entries and reset the hit/miss counters.
+
+        Only the *instance* counters reset; the process-wide metrics
+        counters on :data:`repro.telemetry.metrics.REGISTRY` are cumulative,
+        so sweep accounting survives cache resets and backend reuse.
+        """
         self._entries.clear()
         self.hits = 0
         self.misses = 0
@@ -340,6 +360,15 @@ class ProcessPoolBackend:
     the chunking or worker count.  Worth it for wide sweeps whose batch
     splits into many structure groups; for small batches the fork/pickle
     overhead dominates and :class:`VectorizedBackend` is the better choice.
+
+    The backend owns a persistent :class:`DistributionCache` used whenever a
+    batch is small enough to run in-process (the single-chunk fast path), so
+    repeated sweep points reuse distributions *and* the ``cache.hits`` /
+    ``cache.misses`` accounting survives across calls — previously every
+    call built a throwaway cache and the stats were lost.  Multi-chunk
+    batches still use worker-local caches (worker processes cannot share
+    the parent's), whose stats only surface through the process-wide
+    metrics counters of each worker.
     """
 
     name = "process-pool"
@@ -351,6 +380,9 @@ class ProcessPoolBackend:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        #: Persistent cache of the in-process (single-chunk) path; stats
+        #: accumulate across sweep points instead of resetting per call.
+        self.cache = DistributionCache()
 
     def _chunks(self, total: int) -> list[range]:
         if total == 0:
@@ -375,8 +407,11 @@ class ProcessPoolBackend:
             # spawned above — the generator passed as `seed` has been
             # consumed, so re-deriving children from it would break the
             # cross-backend determinism contract.
-            return _pool_worker_run(
-                (list(circuits), [int(s) for s in shots], children)
+            return _sample_batch(
+                VectorizedBackend(cache=self.cache),
+                list(circuits),
+                [int(s) for s in shots],
+                children,
             )
         payloads = [
             (
@@ -398,7 +433,7 @@ class ProcessPoolBackend:
     ) -> list[dict[str, float]]:
         chunks = self._chunks(len(circuits))
         if len(chunks) <= 1:
-            return VectorizedBackend(cache=DistributionCache()).exact_distributions(circuits)
+            return VectorizedBackend(cache=self.cache).exact_distributions(circuits)
         payloads = [[circuits[i] for i in chunk] for chunk in chunks]
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             chunk_results = list(pool.map(_pool_worker_distributions, payloads))

@@ -20,6 +20,11 @@ Exposes the experiment harness without writing any Python:
 * ``serve`` — run the HTTP/JSON job service (:mod:`repro.service.server`).
 * ``jobs submit|status|result|list`` — fire-and-forget job submission against
   a running ``repro serve`` endpoint.
+* ``trace show`` — render a stored run's span tree (and, with ``--profile``,
+  its per-stage cProfile summary) from a run-store directory.
+
+Global flags: ``--log-level`` / ``--json-logs`` configure the shared
+``repro`` logger (progress goes to stderr; data output stays on stdout).
 """
 
 from __future__ import annotations
@@ -28,7 +33,12 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.utils.logging import LOG_LEVELS, configure_logging, get_logger
+
 __all__ = ["main", "build_parser"]
+
+#: Progress/diagnostic channel for every CLI command (stderr, never stdout).
+_LOG = get_logger("cli")
 
 #: Names accepted by ``--backend`` (kept in sync with repro.circuits.backends).
 _BACKEND_CHOICES = ("serial", "vectorized", "process-pool")
@@ -39,6 +49,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction toolkit for 'Cutting a Wire with Non-Maximally Entangled States'",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="verbosity of the progress/diagnostic log on stderr",
+    )
+    parser.add_argument(
+        "--json-logs",
+        action="store_true",
+        help="emit one JSON object per log record instead of human-readable lines",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -195,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker-process count for --execution distributed (default 2)",
+    )
+    cut_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="capture a per-stage cProfile summary and print it after the run "
+        "(with --store: also persisted as a telemetry artifact next to the trace)",
     )
 
     cut_demo = cut_commands.add_parser(
@@ -424,6 +451,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="delete the legacy files after a successful migration",
     )
 
+    trace = subparsers.add_parser(
+        "trace", help="inspect telemetry persisted in a run store"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_show = trace_commands.add_parser(
+        "show", help="render one run's span tree with per-span wall and self times"
+    )
+    trace_show.add_argument(
+        "fingerprint",
+        type=str,
+        help="run fingerprint (or job ID, for traces persisted by the service scheduler)",
+    )
+    trace_show.add_argument(
+        "--store", type=str, required=True, metavar="DIR", help="run-store directory"
+    )
+    trace_show.add_argument(
+        "--profile",
+        action="store_true",
+        help="also render the stored per-stage cProfile summary, when present",
+    )
+
     return parser
 
 
@@ -460,7 +508,7 @@ def _command_figure6(args: argparse.Namespace) -> int:
         cached = store.get_artifact(config.fingerprint())
         if cached is not None:
             table = table_from_payload(cached)
-            print(f"(served from store {args.store}, key {config.fingerprint()})")
+            _LOG.info("served from store %s, key %s", args.store, config.fingerprint())
     if table is None:
         result = run_figure6(config)
         table = result.to_table()
@@ -668,8 +716,7 @@ def _validate_mode_arguments(args: argparse.Namespace) -> tuple[int, dict]:
 
 
 def _command_cut_run(args: argparse.Namespace) -> int:
-    from repro.exceptions import CuttingError, DeviceError
-    from repro.pipeline import CutPipeline
+    from repro.exceptions import CuttingError
     from repro.utils.validation import validate_positive_count
 
     try:
@@ -689,6 +736,23 @@ def _command_cut_run(args: argparse.Namespace) -> int:
         return 1
     if args.store is not None:
         return _cut_run_stored(args, circuit, observable, budget, mode_kwargs)
+
+    from repro.telemetry.profiling import StageProfiler, activate_profiler
+
+    profiler = StageProfiler() if args.profile else None
+    with activate_profiler(profiler):
+        code = _cut_run_pipeline(args, circuit, observable, budget, mode_kwargs)
+    if code == 0 and profiler is not None:
+        print(profiler.render())
+    return code
+
+
+def _cut_run_pipeline(
+    args: argparse.Namespace, circuit, observable: str, budget: int, mode_kwargs: dict
+) -> int:
+    """``cut run`` without a store: drive the pipeline stage by stage."""
+    from repro.exceptions import CuttingError, DeviceError
+    from repro.pipeline import CutPipeline
 
     backend = args.backend
     if args.devices is not None:
@@ -730,10 +794,13 @@ def _command_cut_run(args: argparse.Namespace) -> int:
     def on_round(record, summary) -> None:
         stderr = summary.get("current_stderr")
         stderr_text = "inf" if stderr is None else f"{stderr:.4f}"
-        print(
-            f"  round {record.index + 1}: +{record.total_shots} shots "
-            f"(total {summary['shots_spent']}), stderr {stderr_text} "
-            f"(target {summary['target_error']:.4f})"
+        _LOG.info(
+            "round %d: +%d shots (total %d), stderr %s (target %.4f)",
+            record.index + 1,
+            record.total_shots,
+            summary["shots_spent"],
+            stderr_text,
+            summary["target_error"],
         )
 
     try:
@@ -804,7 +871,8 @@ def _cut_run_stored(
             dedup=args.dedup,
             **mode_kwargs,
         )
-        outcome = run_job(spec, store=_open_store(args.store))
+        store = _open_store(args.store)
+        outcome = run_job(spec, store=store, profile=args.profile)
     except ReproError as error:
         print(f"stored run failed: {error}")
         return 1
@@ -814,6 +882,17 @@ def _cut_run_stored(
         else "fresh run (artifacts persisted)"
     )
     print(f"run {outcome.fingerprint} in store {args.store}: {provenance}")
+    _LOG.info(
+        "trace persisted: repro trace show %s --store %s", outcome.fingerprint, args.store
+    )
+    if args.profile:
+        from repro.telemetry.profiling import render_profile
+
+        profile_payload = store.get_profile(outcome.fingerprint)
+        if profile_payload is None:
+            _LOG.warning("no stored profile for this run (cache hits never re-profile)")
+        else:
+            print(render_profile(profile_payload))
     adaptive_note = ""
     if outcome.mode == "adaptive":
         state = "converged" if outcome.converged else "budget exhausted"
@@ -1144,6 +1223,36 @@ def _command_store(args: argparse.Namespace) -> int:
         return 1
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    return _command_trace_show(args)
+
+
+def _command_trace_show(args: argparse.Namespace) -> int:
+    from repro.exceptions import ServiceError
+    from repro.service import RunStore
+    from repro.telemetry.profiling import render_profile
+    from repro.telemetry.tracing import render_trace
+
+    try:
+        store = RunStore(args.store)
+        trace_payload = store.get_trace(args.fingerprint)
+    except ServiceError as error:
+        print(f"store error: {error}")
+        return 1
+    if trace_payload is None:
+        print(f"no trace stored for {args.fingerprint!r} in {args.store}")
+        return 1
+    print(render_trace(trace_payload))
+    if args.profile:
+        profile_payload = store.get_profile(args.fingerprint)
+        if profile_payload is None:
+            print("(no profile stored for this run; execute it with --profile)")
+        else:
+            print()
+            print(render_profile(profile_payload))
+    return 0
+
+
 _COMMANDS = {
     "figure6": _command_figure6,
     "overhead": _command_overhead,
@@ -1155,6 +1264,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "jobs": _command_jobs,
     "store": _command_store,
+    "trace": _command_trace,
 }
 
 
@@ -1162,6 +1272,7 @@ def main(argv: list[str] | None = None) -> int:
     """Run the CLI and return the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, json_logs=args.json_logs)
     return _COMMANDS[args.command](args)
 
 

@@ -31,6 +31,7 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.exceptions import DistributedError
 from repro.circuits.backends import SimulatorBackend
 from repro.circuits.circuit import QuantumCircuit
@@ -38,9 +39,16 @@ from repro.distributed.pool import WorkerPool
 from repro.distributed.scheduler import WorkStealingScheduler
 from repro.distributed.units import UnitResult, WorkUnit
 from repro.qpd.adaptive import TermStatistics
+from repro.telemetry.metrics import REGISTRY
 from repro.utils.rng import SeedLike
 
 __all__ = ["DistributedRoundExecutor"]
+
+#: Units stolen across device queues (cumulative across executors).
+_STEALS = REGISTRY.counter(
+    "repro_distributed_steals_total",
+    "Distributed work units stolen across device queues.",
+)
 
 
 class DistributedRoundExecutor:
@@ -168,12 +176,16 @@ class DistributedRoundExecutor:
                 f"round {round_index}: got {len(shots_per_term)} allocations for "
                 f"{len(self._circuits)} terms"
             )
+        # Stamp the ambient span context (the adaptive round span) into the
+        # units, so worker results attach to the submitting job's trace.
+        trace = telemetry.current_context_tuple()
         units = [
             WorkUnit(
                 round_index=int(round_index),
                 term_index=term_index,
                 shots=int(count),
                 seed=seed_sequence,
+                trace=trace,
             )
             for term_index, count in enumerate(shots_per_term)
             if int(count) > 0 and self._selected_clbits[term_index]
@@ -183,6 +195,7 @@ class DistributedRoundExecutor:
             queue = self._scheduler.build_queue(units)
             results = self._pool.run_round(queue)
             self.steals += queue.steals
+            _STEALS.inc(float(queue.steals))
         self.rounds_executed += 1
 
         means = [0.0] * len(self._circuits)

@@ -42,6 +42,8 @@ from repro.circuits.backends import SimulatorBackend, resolve_backend
 from repro.circuits.circuit import QuantumCircuit
 from repro.distributed.queue import RoundQueue
 from repro.distributed.units import UnitResult, WorkUnit
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.tracing import record_span
 
 __all__ = ["WorkerPool", "execute_unit", "WORKER_MODES"]
 
@@ -50,6 +52,22 @@ WORKER_MODES = ("process", "inline")
 
 #: Default per-unit retry budget for backend faults.
 DEFAULT_MAX_RETRIES = 3
+
+#: Coordinator-side pool counters (cumulative across pools in the process;
+#: the per-pool attributes ``requeues``/``retries``/``units_completed`` stay
+#: the per-instance view).
+_UNITS_COMPLETED = REGISTRY.counter(
+    "repro_distributed_units_completed_total",
+    "Distributed work units completed (first result per unit key).",
+)
+_UNIT_RETRIES = REGISTRY.counter(
+    "repro_distributed_unit_retries_total",
+    "Distributed unit retries after backend faults.",
+)
+_UNIT_REQUEUES = REGISTRY.counter(
+    "repro_distributed_unit_requeues_total",
+    "Distributed units re-queued after a worker death.",
+)
 
 
 def _pristine_seed(seed):
@@ -105,6 +123,7 @@ def execute_unit(
     UnitResult
         The term's batch summary ``(mean, shots)`` for this round slice.
     """
+    start = time.monotonic()
     term = int(unit.term_index)
     selected = list(selected_clbits[term])
     # Mirror the in-process executor exactly: terms without measured bits
@@ -120,6 +139,8 @@ def execute_unit(
         shots=int(unit.shots),
         mean=float(mean),
         worker=worker,
+        trace=unit.trace,
+        elapsed=float(time.monotonic() - start),
     )
 
 
@@ -378,6 +399,8 @@ class WorkerPool:
                     remaining.discard(result.key)
                     results[result.key] = result
                     self.units_completed += 1
+                    _UNITS_COMPLETED.inc()
+                    self._record_unit_span(result, retries.get(result.key, 0))
             if not progressed and remaining:  # pragma: no cover - defensive
                 raise DistributedError(
                     f"round queue drained with {len(remaining)} units outstanding"
@@ -392,17 +415,20 @@ class WorkerPool:
         results: dict[tuple[int, int], UnitResult] = {}
         remaining = set(round_queue.unit_keys())
         retries: dict[tuple[int, int], int] = {}
+        requeued: dict[tuple[int, int], int] = {}
         self._fill_idle(round_queue)
         while remaining:
             message = self._poll_message(self.poll_interval)
             if message is not None:
-                self._handle_message(message, round_queue, remaining, results, retries)
+                self._handle_message(
+                    message, round_queue, remaining, results, retries, requeued
+                )
                 self._fill_idle(round_queue)
                 continue
             # Timed out: sweep for dead workers, recover their units, retry
             # dispatch (a requeue may have made work available to idle
             # survivors).
-            self._reap_dead(round_queue)
+            self._reap_dead(round_queue, requeued)
             self._fill_idle(round_queue)
             if not self._live_handles():
                 # Drain any results that were already in the pipe before the
@@ -412,7 +438,7 @@ class WorkerPool:
                     if message is None:
                         break
                     self._handle_message(
-                        message, round_queue, remaining, results, retries
+                        message, round_queue, remaining, results, retries, requeued
                     )
                 if remaining:
                     raise DistributedError(
@@ -435,8 +461,10 @@ class WorkerPool:
         remaining: set,
         results: dict,
         retries: dict,
+        requeued: dict | None = None,
     ) -> None:
         """Fold one worker message into the coordinator's ledger."""
+        requeued = {} if requeued is None else requeued
         kind, worker_name, *payload = message
         handle = next(h for h in self._handles if h.name == worker_name)
         if kind == "ok":
@@ -449,6 +477,9 @@ class WorkerPool:
                 remaining.discard(result.key)
                 results[result.key] = result
                 self.units_completed += 1
+                _UNITS_COMPLETED.inc()
+                attempts = retries.get(result.key, 0) + requeued.get(result.key, 0)
+                self._record_unit_span(result, attempts)
             return
         key, detail = payload
         unit = handle.in_flight
@@ -462,6 +493,7 @@ class WorkerPool:
         """Bump a unit's retry counter, failing the round when exhausted."""
         retries[unit.key] = retries.get(unit.key, 0) + 1
         self.retries += 1
+        _UNIT_RETRIES.inc()
         if retries[unit.key] > self.max_retries:
             raise DistributedError(
                 f"unit {unit.key} failed {retries[unit.key]} times "
@@ -478,7 +510,7 @@ class WorkerPool:
             and handle.process.is_alive()
         ]
 
-    def _reap_dead(self, round_queue: RoundQueue) -> None:
+    def _reap_dead(self, round_queue: RoundQueue, requeued: dict | None = None) -> None:
         """Mark newly dead workers and re-queue their in-flight units."""
         for handle in self._handles:
             if handle.dead or handle.process is None or handle.process.is_alive():
@@ -486,8 +518,36 @@ class WorkerPool:
             handle.dead = True
             if handle.in_flight is not None:
                 round_queue.requeue(handle.in_flight)
+                if requeued is not None:
+                    key = handle.in_flight.key
+                    requeued[key] = requeued.get(key, 0) + 1
                 handle.in_flight = None
                 self.requeues += 1
+                _UNIT_REQUEUES.inc()
+
+    @staticmethod
+    def _record_unit_span(result: UnitResult, attempts: int) -> None:
+        """Synthesise a ``unit`` span from a completed result's telemetry.
+
+        Worker monotonic clocks are not comparable across processes, so the
+        span is placed on the coordinator's clock with the worker's measured
+        duration: durations are exact, placement is approximate.  ``retry``
+        counts every extra attempt the unit needed (backend faults plus
+        worker-death requeues); a no-op when no tracer is active or the
+        unit carried no trace context.
+        """
+        if result.trace is None:
+            return
+        record_span(
+            "unit",
+            duration=float(result.elapsed),
+            parent=result.trace,
+            worker=str(result.worker),
+            round=int(result.round_index),
+            term=int(result.term_index),
+            shots=int(result.shots),
+            retry=int(attempts),
+        )
 
     def _fill_idle(self, round_queue: RoundQueue) -> None:
         """Mail one unit to every idle live worker (own queue first, then steal)."""

@@ -45,6 +45,11 @@ class WorkUnit:
     device:
         Name of the home device queue the scheduler assigned the unit to
         (``""`` until assignment).
+    trace:
+        Optional picklable span context ``(trace_id, span_id)`` stamped by
+        the coordinator, so the unit's execution can be attached to the
+        round span of the submitting job's trace.  Telemetry-only: never
+        read by the execution path.
     """
 
     round_index: int
@@ -52,6 +57,7 @@ class WorkUnit:
     shots: int
     seed: np.random.SeedSequence
     device: str = ""
+    trace: tuple[str, str] | None = None
 
     @property
     def key(self) -> tuple[int, int]:
@@ -80,6 +86,14 @@ class UnitResult:
     worker:
         Identifier of the worker that produced the result (diagnostic
         only; never feeds the merge).
+    trace:
+        The producing unit's span context, echoed back so the coordinator
+        can synthesise a ``unit`` span under the right round (telemetry
+        only; never feeds the merge).
+    elapsed:
+        Wall-clock seconds the worker spent executing the unit, measured on
+        the worker's monotonic clock (telemetry only; never feeds the
+        merge).
     """
 
     round_index: int
@@ -87,6 +101,8 @@ class UnitResult:
     shots: int
     mean: float
     worker: str = ""
+    trace: tuple[str, str] | None = None
+    elapsed: float = 0.0
 
     @property
     def key(self) -> tuple[int, int]:

@@ -47,7 +47,9 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import repro.telemetry as telemetry
 from repro.exceptions import CuttingError
+from repro.telemetry.metrics import REGISTRY
 from repro.circuits.backends import BACKEND_NAMES, SimulatorBackend, resolve_backend
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.expectation import exact_expectation
@@ -101,6 +103,19 @@ DEDUP_MODES = (False, True, "auto")
 #: ``"contraction"`` folds the whole summation into one fragment-chain
 #: contraction through the instance table.
 RECONSTRUCTION_METHODS = ("summation", "contraction")
+
+#: κ and κ² of every decomposition built, the paper's central cost quantity
+#: (conf_ipps_BechtoldBLM24): κⁿ total sampling overhead per plan.
+_KAPPA_HISTOGRAM = REGISTRY.histogram(
+    "repro_plan_kappa",
+    "Total kappa (QPD 1-norm) of each built decomposition.",
+    buckets=(1.0, 2.0, 3.0, 4.0, 6.0, 9.0, 16.0, 27.0, 81.0, 243.0),
+)
+_OVERHEAD_HISTOGRAM = REGISTRY.histogram(
+    "repro_plan_sampling_overhead",
+    "Sampling overhead kappa^2 of each built decomposition.",
+    buckets=(1.0, 4.0, 9.0, 16.0, 36.0, 81.0, 256.0, 729.0, 6561.0, 59049.0),
+)
 
 
 class CutPipeline:
@@ -223,6 +238,19 @@ class CutPipeline:
             is given, when no constraint is available to search with, or
             when no valid plan exists under the constraints.
         """
+        with telemetry.stage("plan", circuit=str(circuit.name)) as span_record:
+            result = self._plan_impl(circuit, plan, positions, locations)
+            span_record.set(num_cuts=result.plan.num_cuts)
+            return result
+
+    def _plan_impl(
+        self,
+        circuit: QuantumCircuit,
+        plan: MultiCutPlan | None,
+        positions: Sequence[int] | None,
+        locations: Sequence[CutLocation] | None,
+    ) -> PlanResult:
+        """Stage body of :meth:`plan` (runs inside the stage span)."""
         explicit_args = [arg for arg in (plan, positions, locations) if arg is not None]
         if len(explicit_args) > 1:
             raise CuttingError(
@@ -286,6 +314,16 @@ class CutPipeline:
         Decomposition
             The executable term circuits with coefficients and κ.
         """
+        with telemetry.stage("decompose") as span_record:
+            decomposition = self._decompose_impl(plan_result)
+            kappa = float(decomposition.kappa)
+            _KAPPA_HISTOGRAM.observe(kappa)
+            _OVERHEAD_HISTOGRAM.observe(kappa * kappa)
+            span_record.set(kappa=kappa, num_terms=len(decomposition.term_circuits))
+            return decomposition
+
+    def _decompose_impl(self, plan_result: PlanResult) -> Decomposition:
+        """Stage body of :meth:`decompose` (runs inside the stage span)."""
         protocols = self._protocols_for(plan_result.plan)
         if plan_result.plan.num_cuts == 0:
             circuit = plan_result.circuit
@@ -404,6 +442,51 @@ class CutPipeline:
             adaptive mode, plus dedup accounting when the instance table
             served the execution).
         """
+        with telemetry.stage(
+            "execute",
+            mode=str(mode),
+            backend=str(self.backend.name),
+            execution=str(execution),
+            shots=int(shots),
+        ) as span_record:
+            result = self._execute_impl(
+                decomposition,
+                observable,
+                shots,
+                seed=seed,
+                mode=mode,
+                target_error=target_error,
+                rounds=rounds,
+                planner=planner,
+                completed_rounds=completed_rounds,
+                on_round=on_round,
+                dedup=dedup,
+                execution=execution,
+                workers=workers,
+            )
+            span_record.set(
+                num_terms=len(result.term_estimates),
+                total_shots=int(sum(result.shots_per_term)),
+            )
+            return result
+
+    def _execute_impl(
+        self,
+        decomposition: Decomposition,
+        observable: str | PauliString,
+        shots: int,
+        seed: SeedLike,
+        mode: str,
+        target_error: float | None,
+        rounds: int,
+        planner: str | None,
+        completed_rounds: Sequence[RoundRecord],
+        on_round,
+        dedup: bool | str | None,
+        execution: str,
+        workers: int | None,
+    ) -> Execution:
+        """Stage body of :meth:`execute` (runs inside the stage span)."""
         if mode not in ESTIMATION_MODES:
             raise CuttingError(f"unknown mode {mode!r}; expected one of {ESTIMATION_MODES}")
         if execution not in ROUND_EXECUTION_MODES:
@@ -601,6 +684,13 @@ class CutPipeline:
             The estimate with propagated standard error and links to all
             upstream artifacts.
         """
+        with telemetry.stage("reconstruct", exact=bool(compute_exact)) as span_record:
+            result = self._reconstruct_impl(execution, compute_exact)
+            span_record.set(total_shots=int(result.total_shots))
+            return result
+
+    def _reconstruct_impl(self, execution: Execution, compute_exact: bool) -> PipelineResult:
+        """Stage body of :meth:`reconstruct` (runs inside the stage span)."""
         estimate = combine_term_estimates(list(execution.term_estimates))
         exact_value = None
         if compute_exact:

@@ -28,8 +28,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.exceptions import DecompositionError
 from repro.qpd.allocation import ShotPlanner, resolve_planner
+from repro.telemetry.metrics import REGISTRY
 from repro.qpd.estimator import QPDEstimate, TermEstimate, combine_term_estimates
 from repro.utils.rng import SeedLike, spawn_seed_sequences
 from repro.utils.validation import validate_positive_count, validate_positive_float
@@ -55,6 +57,13 @@ EXECUTION_MODES = ("inprocess", "distributed")
 #: Type of the per-round execution hook: ``(round_index, shots_per_term,
 #: seed_sequence) -> per-term means`` (entries with zero shots are ignored).
 RoundExecutor = Callable[[int, Sequence[int], np.random.SeedSequence], Sequence[float]]
+
+#: Shots spent per *live* adaptive round (replayed rounds are not re-observed).
+_ROUND_SHOTS_HISTOGRAM = REGISTRY.histogram(
+    "repro_adaptive_round_shots",
+    "Shots spent per live adaptive round.",
+    buckets=(10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0),
+)
 
 
 @dataclass
@@ -483,7 +492,10 @@ def _run_adaptive_rounds(
                 f"for a round budget of {budget}"
             )
         index = len(rounds)
-        means = execute_round(index, [int(count) for count in allocation], round_seeds[index])
+        with telemetry.span("round", index=int(index), budget=int(budget)) as round_span:
+            means = execute_round(
+                index, [int(count) for count in allocation], round_seeds[index]
+            )
         record = RoundRecord(
             index=index,
             shots_per_term=tuple(int(count) for count in allocation),
@@ -494,8 +506,13 @@ def _run_adaptive_rounds(
         )
         merge(record)
         rounds.append(record)
+        _ROUND_SHOTS_HISTOGRAM.observe(float(record.total_shots))
         stderr = _pooled_standard_error(coefficients, statistics)
         converged = stderr <= config.target_error
+        round_span.set(
+            total_shots=int(record.total_shots),
+            stderr=None if math.isinf(stderr) else float(stderr),
+        )
         if on_round is not None:
             on_round(
                 record,

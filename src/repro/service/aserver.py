@@ -19,6 +19,8 @@ on the scheduler's bounded worker pool.
 ``GET  /jobs/<id>/events``          **SSE stream** of the job's adaptive
                                     rounds and terminal result
 ``GET  /runs?limit=&offset=&stage=``  paginated store listing
+``GET  /metrics``                   Prometheus text exposition of the
+                                    process-global metrics registry
 ==================================  ==========================================
 
 **The SSE protocol.**  Every event is ``event:`` / ``id:`` / ``data:`` lines
@@ -40,15 +42,67 @@ deploy never loses accepted work.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
+import time
 import urllib.parse
 
 from repro.exceptions import ReproError, ServiceBusyError, ServiceError
 from repro.service.server import MAX_BODY_BYTES, RunService
+from repro.telemetry.metrics import REGISTRY
 from repro.utils.serialization import canonical_json
 
 __all__ = ["AsyncJobServer", "ServerThread", "serve_async"]
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Request accounting scraped at ``GET /metrics``.  Paths are normalised
+#: (``/jobs/{id}``) to bound the label cardinality.
+_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by normalised path and status.",
+    labelnames=("path", "status"),
+)
+_REQUEST_LATENCY = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "HTTP request latency in seconds, by normalised path and status.",
+    labelnames=("path", "status"),
+)
+_SSE_SUBSCRIBERS = REGISTRY.gauge(
+    "repro_sse_subscribers",
+    "Currently connected SSE event-stream subscribers.",
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_scheduler_queue_depth",
+    "Queued plus running jobs on the scheduler (sampled at scrape).",
+)
+_DEDUP_RATIO = REGISTRY.gauge(
+    "repro_store_blob_dedup_ratio",
+    "RunStore references-per-blob dedup ratio (sampled at scrape).",
+)
+
+#: Status of the response written by the current task's request handler.
+#: Safe because each connection is one task serving requests sequentially.
+_RESPONSE_STATUS: contextvars.ContextVar[int] = contextvars.ContextVar(
+    "repro_response_status", default=0
+)
+
+
+def _metric_path(path: str) -> str:
+    """Normalise a request path to a bounded-cardinality metric label."""
+    if path in ("", "/healthz"):
+        return "/healthz"
+    if path in ("/jobs", "/runs", "/metrics"):
+        return path
+    if path.startswith("/jobs/"):
+        if path.endswith("/events"):
+            return "/jobs/{id}/events"
+        if path.endswith("/result"):
+            return "/jobs/{id}/result"
+        return "/jobs/{id}"
+    return "other"
 
 #: States in which a job has settled and its SSE stream can terminate.
 _TERMINAL_STATES = ("done", "failed")
@@ -184,12 +238,14 @@ class AsyncJobServer:
     def _subscribe(self, job_id: str) -> asyncio.Queue:
         queue: asyncio.Queue = asyncio.Queue()
         self._subscribers.setdefault(job_id, set()).add(queue)
+        _SSE_SUBSCRIBERS.inc()
         return queue
 
     def _unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
         queues = self._subscribers.get(job_id)
-        if queues is not None:
+        if queues is not None and queue in queues:
             queues.discard(queue)
+            _SSE_SUBSCRIBERS.dec()
             if not queues:
                 self._subscribers.pop(job_id, None)
 
@@ -270,6 +326,30 @@ class AsyncJobServer:
         for name, value in (headers or {}).items():
             lines.append(f"{name}: {value}")
         writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        _RESPONSE_STATUS.set(status)
+        await writer.drain()
+
+    async def _send_text(
+        self,
+        writer: asyncio.StreamWriter,
+        body: str,
+        status: int = 200,
+        content_type: str = "text/plain; charset=utf-8",
+        keep_alive: bool = True,
+    ) -> None:
+        """Write one plain-text response (the ``/metrics`` exposition)."""
+        data = body.encode()
+        reason = _REASONS.get(status, "OK")
+        head = "\r\n".join(
+            [
+                f"HTTP/1.1 {status} {reason}",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(data)}",
+                f"Connection: {'keep-alive' if keep_alive else 'close'}",
+            ]
+        )
+        writer.write((head + "\r\n\r\n").encode() + data)
+        _RESPONSE_STATUS.set(status)
         await writer.drain()
 
     async def _send_error(
@@ -283,6 +363,19 @@ class AsyncJobServer:
     # -- routing ------------------------------------------------------------------------
 
     async def _route(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
+        """Dispatch one request, stamping latency/count metrics around it."""
+        start = time.monotonic()
+        token = _RESPONSE_STATUS.set(0)
+        try:
+            return await self._route_inner(request, writer)
+        finally:
+            status = _RESPONSE_STATUS.get()
+            _RESPONSE_STATUS.reset(token)
+            labels = {"path": _metric_path(request.path), "status": str(status or 0)}
+            _REQUESTS.inc(**labels)
+            _REQUEST_LATENCY.observe(time.monotonic() - start, **labels)
+
+    async def _route_inner(self, request: _Request, writer: asyncio.StreamWriter) -> bool:
         """Dispatch one request; return False to close the connection."""
         keep_alive = request.header("connection", "keep-alive") != "close"
         try:
@@ -318,6 +411,14 @@ class AsyncJobServer:
         path = request.path
         if path in ("", "/healthz"):
             await self._send_json(writer, self.service.health(), keep_alive=keep_alive)
+        elif path == "/metrics":
+            self._refresh_gauges()
+            await self._send_text(
+                writer,
+                REGISTRY.render(),
+                content_type=METRICS_CONTENT_TYPE,
+                keep_alive=keep_alive,
+            )
         elif path == "/jobs":
             rows = self.service.jobs(
                 limit=request.query_int("limit"),
@@ -355,6 +456,12 @@ class AsyncJobServer:
         else:
             await self._send_error(writer, f"unknown path {path!r}", 404, keep_alive=keep_alive)
         return keep_alive
+
+    def _refresh_gauges(self) -> None:
+        """Sample the point-in-time gauges right before a ``/metrics`` scrape."""
+        _QUEUE_DEPTH.set(float(self.service.scheduler.active_jobs()))
+        if self.service.store is not None:
+            _DEDUP_RATIO.set(float(self.service.store.stats()["dedup_ratio"]))
 
     async def _route_post(
         self, request: _Request, writer: asyncio.StreamWriter, keep_alive: bool
@@ -438,6 +545,7 @@ class AsyncJobServer:
                 ]
             )
             writer.write((head + "\r\n\r\n").encode())
+            _RESPONSE_STATUS.set(200)
             await writer.drain()
 
             emitted = after

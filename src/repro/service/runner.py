@@ -31,10 +31,14 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+import repro.telemetry as telemetry
 from repro.pipeline.stages import Execution
 from repro.qpd.adaptive import RoundRecord
 from repro.service.spec import JobSpec
 from repro.service.store import RunStore
+from repro.telemetry import tracing
+from repro.telemetry.profiling import StageProfiler, activate_profiler
+from repro.telemetry.tracing import Tracer
 
 __all__ = ["JobOutcome", "run_job"]
 
@@ -141,6 +145,8 @@ def run_job(
     spec: JobSpec,
     store: RunStore | None = None,
     progress: Callable[[dict], None] | None = None,
+    tracer: Tracer | None = None,
+    profile: bool = False,
 ) -> JobOutcome:
     """Run (or resume, or serve from cache) one job.
 
@@ -158,6 +164,16 @@ def run_job(
         round with ``rounds_completed`` / ``shots_spent`` /
         ``current_stderr`` / ``target_error`` / ``converged``; static jobs
         invoke it once when execution completes.
+    tracer:
+        Optional externally-owned :class:`~repro.telemetry.tracing.Tracer`
+        (the scheduler passes the one carrying its ``submit`` span).  When
+        ``None``, ``run_job`` creates a tracer whose trace ID is the job
+        fingerprint and persists its span tree in the store after a run
+        that actually executed (cache hits never overwrite the original
+        execution's trace).  An external tracer is the caller's to persist.
+    profile:
+        Capture an opt-in per-stage :mod:`cProfile` summary and persist it
+        as a store artifact next to the trace.
 
     Returns
     -------
@@ -165,10 +181,37 @@ def run_job(
         The estimate plus provenance flags (``cached`` / ``resumed_from``).
     """
     fingerprint = spec.fingerprint()
+    owns_tracer = tracer is None
+    if owns_tracer:
+        tracer = Tracer(trace_id=fingerprint)
+    profiler = StageProfiler() if profile else None
+    # The job span parents under the caller's ambient context (the
+    # scheduler's submit span), or roots the trace when there is none.
+    with tracing.activate(tracer, tracing.current_context()):
+        with telemetry.span("job", fingerprint=fingerprint, mode=str(spec.mode)) as job_span:
+            with activate_profiler(profiler):
+                outcome = _run_job_impl(spec, store, progress, fingerprint, job_span)
+    if store is not None and not outcome.cached:
+        if owns_tracer:
+            store.put_trace(fingerprint, tracer.to_payload())
+        if profiler is not None:
+            store.put_profile(fingerprint, profiler.to_payload())
+    return outcome
+
+
+def _run_job_impl(
+    spec: JobSpec,
+    store: RunStore | None,
+    progress: Callable[[dict], None] | None,
+    fingerprint: str,
+    job_span,
+) -> JobOutcome:
+    """Body of :func:`run_job` (runs inside the job span)."""
     if store is not None:
         store.put_job(spec)
         result_payload = store.get_stage(fingerprint, "result")
         if result_payload is not None:
+            job_span.set(cached=True)
             return _outcome_from_result(
                 fingerprint, result_payload, cached=True, resumed_from=None
             )
@@ -251,6 +294,7 @@ def run_job(
     result_payload = result.to_payload()
     if store is not None:
         store.put_stage(fingerprint, "result", result_payload)
+    job_span.set(cached=False, resumed_from=resumed_from)
     return _outcome_from_result(
         fingerprint, result_payload, cached=False, resumed_from=resumed_from
     )

@@ -38,6 +38,8 @@ from repro.exceptions import ReproError, ServiceError
 from repro.service.runner import JobOutcome, run_job
 from repro.service.spec import JobSpec
 from repro.service.store import RunStore
+from repro.telemetry import tracing
+from repro.telemetry.tracing import TraceContext, Tracer
 from repro.utils.validation import validate_positive_count
 
 __all__ = ["JobScheduler"]
@@ -46,11 +48,17 @@ __all__ = ["JobScheduler"]
 SCHEDULER_MODES = ("thread", "process")
 
 
-def _process_run_job(payload: dict, store_root: str | None) -> dict:
-    """Worker-process entry point: run one job from its payload form."""
+def _process_run_job(payload: dict, store_root: str | None, profile: bool = False) -> dict:
+    """Worker-process entry point: run one job from its payload form.
+
+    The worker runs in its own interpreter, so the runner creates (and,
+    with a store, persists) the job's own tracer there; process-mode traces
+    therefore root at the ``job`` span without the coordinator's ``submit``
+    span.
+    """
     spec = JobSpec.from_payload(payload)
     store = None if store_root is None else RunStore(store_root)
-    return run_job(spec, store=store).to_payload()
+    return run_job(spec, store=store, profile=profile).to_payload()
 
 
 @dataclass
@@ -65,6 +73,8 @@ class _JobRecord:
     progress: dict | None = None
     tenant: str | None = None
     events: list = field(default_factory=list)
+    tracer: Tracer | None = None
+    submit_span: object | None = None
 
 
 class JobScheduler:
@@ -82,6 +92,10 @@ class JobScheduler:
         ``"thread"`` (default; shares the in-process distribution cache) or
         ``"process"`` (one interpreter per worker, for CPU-bound
         throughput).
+    profile:
+        Run every job with opt-in per-stage :mod:`cProfile` capture,
+        persisted as a store artifact next to the trace (see
+        :func:`~repro.service.runner.run_job`).
 
     Examples
     --------
@@ -100,12 +114,14 @@ class JobScheduler:
         store: RunStore | None = None,
         workers: int = 2,
         mode: str = "thread",
+        profile: bool = False,
     ):
         self.workers = validate_positive_count(workers, name="workers")
         if mode not in SCHEDULER_MODES:
             raise ServiceError(f"unknown scheduler mode {mode!r}; expected one of {SCHEDULER_MODES}")
         self.store = store
         self.mode = mode
+        self.profile = bool(profile)
         if mode == "thread":
             self._executor = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-job"
@@ -179,7 +195,28 @@ class JobScheduler:
                 record.events.append(event)
                 self._notify(record.job_id, event)
 
-        return run_job(record.spec, store=self.store, progress=progress).to_payload()
+        tracer = record.tracer
+        if tracer is None:  # pragma: no cover - defensive
+            return run_job(record.spec, store=self.store, progress=progress).to_payload()
+        # Re-enter the trace captured at submission: the worker thread
+        # activates the tracer with the submit span as parent context, so
+        # the job span (and everything under it) nests under ``submit``.
+        context = TraceContext(tracer.trace_id, record.submit_span.span_id)
+        with tracing.activate(tracer, context):
+            payload = run_job(
+                record.spec,
+                store=self.store,
+                progress=progress,
+                tracer=tracer,
+                profile=self.profile,
+            ).to_payload()
+        tracer.end_span(record.submit_span)
+        # The scheduler owns this tracer (it carries the submit span), so it
+        # persists the tree — but never on a cache hit, which would
+        # overwrite the original execution's trace with a trivial one.
+        if self.store is not None and not payload.get("cached"):
+            self.store.put_trace(record.job_id, tracer.to_payload())
+        return payload
 
     def _on_job_settled(self, job_id: str, future: Future) -> None:
         """Future done-callback: publish the terminal event for one job."""
@@ -213,11 +250,18 @@ class JobScheduler:
                 self._records[job_id] = record
                 self._order.append(job_id)
             if self.mode == "thread":
+                if record.tracer is None:
+                    # The submit span opens *now* so the trace includes
+                    # queueing delay; the worker thread closes it.
+                    record.tracer = Tracer(trace_id=job_id)
+                    record.submit_span = record.tracer.start_span(
+                        "submit", attributes={"tenant": tenant or ""}
+                    )
                 record.future = self._executor.submit(self._run_in_thread, record)
             else:
                 store_root = None if self.store is None else str(self.store.root)
                 record.future = self._executor.submit(
-                    _process_run_job, spec.to_payload(), store_root
+                    _process_run_job, spec.to_payload(), store_root, self.profile
                 )
             future = record.future
         # Outside the lock: an already-settled future runs the callback

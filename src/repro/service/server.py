@@ -32,6 +32,7 @@ from repro.exceptions import ReproError, ServiceBusyError, ServiceError
 from repro.service.scheduler import JobScheduler
 from repro.service.spec import JobSpec
 from repro.service.store import RunStore
+from repro.telemetry.metrics import REGISTRY
 from repro.utils.serialization import canonical_json
 
 __all__ = ["RunService", "make_server", "serve"]
@@ -44,6 +45,22 @@ DRAIN_RETRY_AFTER = 2.0
 
 #: Tenant identity used when a submission carries no ``X-Tenant`` header.
 DEFAULT_TENANT = "public"
+
+#: Per-tenant submission accounting, scraped at ``GET /metrics``.
+_SUBMISSIONS = REGISTRY.counter(
+    "repro_submissions_total",
+    "Job submissions accepted, by tenant.",
+    labelnames=("tenant",),
+)
+_RATE_LIMITED = REGISTRY.counter(
+    "repro_rate_limited_total",
+    "Job submissions rejected with 429 by the tenant rate limiter.",
+    labelnames=("tenant",),
+)
+_DRAIN_REJECTED = REGISTRY.counter(
+    "repro_drain_rejected_total",
+    "Job submissions rejected with 503 while the service drained.",
+)
 
 
 class RunService:
@@ -88,6 +105,7 @@ class RunService:
             when the tenant exceeded its rate limit / active-job quota.
         """
         if self.draining:
+            _DRAIN_REJECTED.inc()
             raise ServiceBusyError(
                 "service is draining for shutdown; retry shortly",
                 retry_after=DRAIN_RETRY_AFTER,
@@ -95,9 +113,14 @@ class RunService:
             )
         tenant_id = tenant or DEFAULT_TENANT
         if self.limiter is not None:
-            self.limiter.admit(tenant_id, self.scheduler.active_jobs(tenant_id))
+            try:
+                self.limiter.admit(tenant_id, self.scheduler.active_jobs(tenant_id))
+            except ServiceBusyError:
+                _RATE_LIMITED.inc(tenant=tenant_id)
+                raise
         spec = JobSpec.from_payload(payload)
         job_id = self.scheduler.submit(spec, tenant=tenant_id)
+        _SUBMISSIONS.inc(tenant=tenant_id)
         return self.scheduler.status(job_id)
 
     def status(self, job_id: str) -> dict:

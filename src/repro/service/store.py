@@ -492,6 +492,38 @@ class RunStore:
             return self._get_blob(conn, row[0])
         return self._read_legacy_json(self.root / "artifacts" / f"{key}.json")
 
+    # -- telemetry artifacts --------------------------------------------------------------
+
+    @staticmethod
+    def artifact_key(fingerprint: str, kind: str) -> str:
+        """Return the derived artifact key of one telemetry ``kind`` of a run.
+
+        The key is a fingerprint-shaped BLAKE2b digest of
+        ``"<fingerprint>:<kind>"``, so telemetry artifacts share the
+        free-form artifact table without colliding with run fingerprints or
+        each other.
+        """
+        _check_fingerprint(fingerprint)
+        return hashlib.blake2b(
+            f"{fingerprint}:{kind}".encode(), digest_size=16
+        ).hexdigest()
+
+    def put_trace(self, fingerprint: str, payload: dict) -> None:
+        """Persist a run's span-tree payload (:meth:`.Tracer.to_payload`)."""
+        self.put_artifact(self.artifact_key(fingerprint, "trace"), payload)
+
+    def get_trace(self, fingerprint: str) -> dict | None:
+        """Return a run's persisted span tree, or ``None``."""
+        return self.get_artifact(self.artifact_key(fingerprint, "trace"))
+
+    def put_profile(self, fingerprint: str, payload: dict) -> None:
+        """Persist a run's per-stage profile (:meth:`.StageProfiler.to_payload`)."""
+        self.put_artifact(self.artifact_key(fingerprint, "profile"), payload)
+
+    def get_profile(self, fingerprint: str) -> dict | None:
+        """Return a run's persisted per-stage profile, or ``None``."""
+        return self.get_artifact(self.artifact_key(fingerprint, "profile"))
+
     # -- migration + accounting ---------------------------------------------------------
 
     def migrate_legacy(self, remove: bool = False) -> dict:

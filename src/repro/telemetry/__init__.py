@@ -1,0 +1,93 @@
+"""End-to-end telemetry: span tracing, metrics, and profiling hooks.
+
+This package is the observability layer that cuts across the whole stack —
+pipeline stages, adaptive rounds, distributed work units, and the HTTP
+service:
+
+:mod:`repro.telemetry.tracing`
+    Span-based tracer with trace/span IDs, monotonic timings and structured
+    attributes.  Context propagates through :mod:`contextvars` within a
+    thread, explicitly (:func:`~repro.telemetry.tracing.activate`) across
+    scheduler threads, and as a picklable ``(trace_id, span_id)`` tuple
+    inside :class:`~repro.distributed.units.WorkUnit`, so one job yields a
+    single connected span tree — submit → plan → decompose → execute →
+    rounds → units → reconstruct — persisted as a RunStore artifact and
+    rendered by ``repro trace show <fingerprint>``.
+:mod:`repro.telemetry.metrics`
+    Counters, gauges and fixed-bucket histograms on a process-global
+    registry, exposed in Prometheus text format at ``GET /metrics``.
+:mod:`repro.telemetry.profiling`
+    Opt-in per-stage :mod:`cProfile` capture (``--profile``), persisted as
+    a RunStore artifact.
+
+**The hard invariant**: telemetry on vs. off is bitwise identical in every
+result and fingerprint.  Spans, metrics and profiles only *observe* — they
+never consume RNG state, reorder work, or enter any stage payload.
+:func:`stage` combines a span and a profile capture for the pipeline's
+stage boundaries.
+"""
+
+from contextlib import contextmanager
+
+from repro.telemetry.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.profiling import (
+    StageProfiler,
+    activate_profiler,
+    current_profiler,
+    profile_stage,
+)
+from repro.telemetry.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    activate,
+    current_context,
+    current_context_tuple,
+    current_tracer,
+    find_orphans,
+    record_span,
+    render_trace,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "StageProfiler",
+    "TraceContext",
+    "Tracer",
+    "activate",
+    "activate_profiler",
+    "current_context",
+    "current_context_tuple",
+    "current_profiler",
+    "current_tracer",
+    "find_orphans",
+    "profile_stage",
+    "record_span",
+    "render_trace",
+    "span",
+    "stage",
+]
+
+
+@contextmanager
+def stage(name: str, **attributes):
+    """Mark one pipeline-stage boundary: a span plus a profile capture.
+
+    Both layers are ambient no-ops when inactive, so instrumented stages
+    cost two context-variable reads in the telemetry-off path.
+    """
+    with span(name, **attributes) as span_record:
+        with profile_stage(name):
+            yield span_record

@@ -1,0 +1,159 @@
+"""Opt-in cProfile capture per pipeline stage.
+
+A :class:`StageProfiler` wraps each pipeline stage in a
+:class:`cProfile.Profile` and condenses the result into a small
+JSON-serializable payload (top functions by cumulative time), which the job
+runner persists as a RunStore artifact next to the trace.  Profiling is
+strictly opt-in (``--profile``) because the interpreter-level tracing
+overhead is far larger than span tracing; like every telemetry layer it
+never touches payloads or fingerprints.
+
+The ambient-activation pattern mirrors :mod:`repro.telemetry.tracing`:
+instrumented code calls :func:`profile_stage`, which is a no-op unless a
+profiler was activated with :func:`activate_profiler`.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import contextvars
+import pstats
+import threading
+from contextlib import contextmanager
+
+__all__ = [
+    "StageProfiler",
+    "activate_profiler",
+    "current_profiler",
+    "profile_stage",
+    "render_profile",
+]
+
+#: Functions kept per stage in the condensed payload.
+DEFAULT_TOP = 20
+
+
+class StageProfiler:
+    """Collects per-stage cProfile captures into one condensed payload.
+
+    Parameters
+    ----------
+    top:
+        Number of functions (by cumulative time) kept per stage.
+    """
+
+    def __init__(self, top: int = DEFAULT_TOP):
+        self.top = int(top)
+        self._lock = threading.Lock()
+        self._stages: dict[str, dict] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        """Profile one stage; repeated stages accumulate under one key."""
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+            self._ingest(str(name), profile)
+
+    def _ingest(self, name: str, profile: cProfile.Profile) -> None:
+        stats = pstats.Stats(profile)
+        rows = []
+        for (filename, lineno, function), (
+            primitive_calls,
+            total_calls,
+            tottime,
+            cumtime,
+            _callers,
+        ) in stats.stats.items():  # type: ignore[attr-defined]
+            rows.append(
+                {
+                    "function": f"{filename}:{lineno}({function})",
+                    "calls": int(total_calls),
+                    "primitive_calls": int(primitive_calls),
+                    "tottime": float(tottime),
+                    "cumtime": float(cumtime),
+                }
+            )
+        rows.sort(key=lambda row: row["cumtime"], reverse=True)
+        condensed = {
+            "total_calls": sum(row["calls"] for row in rows),
+            "total_time": float(stats.total_tt),  # type: ignore[attr-defined]
+            "top": rows[: self.top],
+        }
+        with self._lock:
+            existing = self._stages.get(name)
+            if existing is None:
+                self._stages[name] = condensed
+            else:
+                existing["total_calls"] += condensed["total_calls"]
+                existing["total_time"] += condensed["total_time"]
+                merged = {row["function"]: row for row in existing["top"]}
+                for row in condensed["top"]:
+                    slot = merged.get(row["function"])
+                    if slot is None:
+                        merged[row["function"]] = dict(row)
+                    else:
+                        for key in ("calls", "primitive_calls", "tottime", "cumtime"):
+                            slot[key] += row[key]
+                existing["top"] = sorted(
+                    merged.values(), key=lambda row: row["cumtime"], reverse=True
+                )[: self.top]
+
+    def to_payload(self) -> dict:
+        """Return the JSON-serializable per-stage profile summary."""
+        with self._lock:
+            return {"stages": {name: dict(stage) for name, stage in self._stages.items()}}
+
+    def render(self, lines_per_stage: int = 5) -> str:
+        """Return a short human-readable summary (the CLI ``--profile`` output)."""
+        return render_profile(self.to_payload(), lines_per_stage=lines_per_stage)
+
+
+def render_profile(payload: dict, lines_per_stage: int = 5) -> str:
+    """Render a stored profile payload (``repro trace show --profile``)."""
+    out = []
+    for name, stage in payload.get("stages", {}).items():
+        out.append(
+            f"stage {name}: {stage['total_time']:.4f}s cpu, "
+            f"{stage['total_calls']} calls"
+        )
+        for row in stage["top"][:lines_per_stage]:
+            out.append(
+                f"  {row['cumtime']:.4f}s cum  {row['tottime']:.4f}s tot  "
+                f"{row['calls']:>6}x  {row['function']}"
+            )
+    return "\n".join(out)
+
+
+_ACTIVE_PROFILER: contextvars.ContextVar[StageProfiler | None] = contextvars.ContextVar(
+    "repro_active_profiler", default=None
+)
+
+
+def current_profiler() -> StageProfiler | None:
+    """Return the ambient profiler, or ``None``."""
+    return _ACTIVE_PROFILER.get()
+
+
+@contextmanager
+def activate_profiler(profiler: StageProfiler | None):
+    """Make ``profiler`` ambient inside the block (``None`` deactivates)."""
+    token = _ACTIVE_PROFILER.set(profiler)
+    try:
+        yield profiler
+    finally:
+        _ACTIVE_PROFILER.reset(token)
+
+
+@contextmanager
+def profile_stage(name: str):
+    """Profile a stage on the ambient profiler; no-op when none is active."""
+    profiler = _ACTIVE_PROFILER.get()
+    if profiler is None:
+        yield
+        return
+    with profiler.stage(name):
+        yield

@@ -1,0 +1,403 @@
+"""Span-based tracing: trace/span IDs, monotonic timings, context propagation.
+
+A :class:`Tracer` collects :class:`Span` records for one logical operation
+(typically one job).  Spans carry a trace ID shared by the whole tree, a
+per-span ID, the parent span ID and structured attributes; timings come from
+:func:`time.monotonic` and **never** enter any stage payload or fingerprint —
+telemetry on and telemetry off are bitwise identical in every result (the
+library's hard invariant, asserted in ``tests/telemetry``).
+
+Context propagation
+-------------------
+The active tracer and the current span travel in :mod:`contextvars`, so
+nested :func:`span` calls parent correctly within a thread or asyncio task.
+Crossing an explicit boundary is always *explicit*:
+
+* scheduler worker threads re-enter with :func:`activate` using the
+  ``(tracer, context)`` captured at submission,
+* :class:`~repro.distributed.units.WorkUnit` carries the current context as
+  a picklable ``(trace_id, span_id)`` tuple (see
+  :func:`current_context_tuple`), so a unit executed by *any* worker
+  process reports back under the submitting trace — even after a SIGKILL
+  retry on a different worker,
+* synthesized spans (e.g. a unit completion observed by the coordinator)
+  are recorded with :func:`record_span` against such a tuple.
+
+When no tracer is active every helper is a cheap no-op, so instrumented
+library code pays almost nothing in the telemetry-off path.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "activate",
+    "current_context",
+    "current_context_tuple",
+    "current_tracer",
+    "record_span",
+    "render_trace",
+    "span",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The picklable position inside one trace: ``(trace_id, span_id)``."""
+
+    trace_id: str
+    span_id: str
+
+    def as_tuple(self) -> tuple[str, str]:
+        """Return the plain-tuple form (what work units pickle)."""
+        return (self.trace_id, self.span_id)
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace.
+
+    Attributes
+    ----------
+    trace_id:
+        Identifier shared by every span of the tree.
+    span_id:
+        This span's identifier (unique within the trace).
+    parent_id:
+        The enclosing span's ID, or ``None`` for the root.
+    name:
+        Operation name (``"plan"``, ``"round"``, ``"unit"``, ...).
+    start / end:
+        :func:`time.monotonic` readings relative to the tracer's origin;
+        ``end`` is ``None`` while the span is open.
+    attributes:
+        Structured JSON-serializable annotations (never timings-derived
+        payload data).
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start: float
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (``0.0`` while the span is open)."""
+        if self.end is None:
+            return 0.0
+        return max(0.0, self.end - self.start)
+
+    def set(self, **attributes) -> "Span":
+        """Merge attributes into the span; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_payload(self) -> dict:
+        """Return the JSON-serializable form."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": float(self.start),
+            "end": None if self.end is None else float(self.end),
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Span":
+        """Rebuild a span from its payload form."""
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            name=str(payload["name"]),
+            start=float(payload["start"]),
+            end=None if payload.get("end") is None else float(payload["end"]),
+            attributes=dict(payload.get("attributes", {})),
+        )
+
+
+class _NullSpan:
+    """The no-op span yielded when no tracer is active."""
+
+    __slots__ = ()
+
+    attributes: dict = {}
+
+    def set(self, **attributes) -> "_NullSpan":
+        """Ignore the attributes (telemetry is off)."""
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects the spans of one trace; thread-safe.
+
+    Parameters
+    ----------
+    trace_id:
+        Identifier shared by every span; a job's content fingerprint when
+        traced by the service (so ``repro trace show <fingerprint>`` finds
+        it), a random UUID otherwise.
+    """
+
+    def __init__(self, trace_id: str | None = None):
+        self.trace_id = trace_id if trace_id else uuid.uuid4().hex
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -- span lifecycle ----------------------------------------------------------------
+
+    def _new_span_id(self) -> str:
+        with self._lock:
+            self._next_id += 1
+            return f"s{self._next_id:04d}"
+
+    def start_span(
+        self,
+        name: str,
+        parent: TraceContext | tuple[str, str] | None = None,
+        attributes: dict | None = None,
+    ) -> Span:
+        """Open a span under ``parent`` (or the root when ``None``)."""
+        parent_id = None
+        if parent is not None:
+            parent_id = parent.span_id if isinstance(parent, TraceContext) else str(parent[1])
+        span_record = Span(
+            trace_id=self.trace_id,
+            span_id=self._new_span_id(),
+            parent_id=parent_id,
+            name=str(name),
+            start=time.monotonic(),
+            attributes=dict(attributes or {}),
+        )
+        with self._lock:
+            self._spans.append(span_record)
+        return span_record
+
+    def end_span(self, span_record: Span) -> None:
+        """Close a span (idempotent)."""
+        if span_record.end is None:
+            span_record.end = time.monotonic()
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        parent: TraceContext | tuple[str, str] | None = None,
+        attributes: dict | None = None,
+    ) -> Span:
+        """Record an already-finished span of known ``duration`` seconds.
+
+        Used for operations measured elsewhere (a worker process timing its
+        own unit execution) and reported after the fact: the span is placed
+        ending *now*, starting ``duration`` seconds earlier.  Cross-process
+        monotonic clocks are not comparable, so the placement is
+        approximate; the duration itself is exact.
+        """
+        end = time.monotonic()
+        span_record = self.start_span(name, parent=parent, attributes=attributes)
+        span_record.start = end - max(0.0, float(duration))
+        span_record.end = end
+        return span_record
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: TraceContext | None = None,
+        attributes: dict | None = None,
+    ):
+        """Open a span, activate it as the current context, close on exit."""
+        span_record = self.start_span(
+            name, parent=parent if parent is not None else current_context(), attributes=attributes
+        )
+        context = TraceContext(self.trace_id, span_record.span_id)
+        token = _ACTIVE_CONTEXT.set(context)
+        try:
+            yield span_record
+        finally:
+            _ACTIVE_CONTEXT.reset(token)
+            self.end_span(span_record)
+
+    # -- export ------------------------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """A snapshot of the recorded spans, in creation order."""
+        with self._lock:
+            return list(self._spans)
+
+    def to_payload(self) -> dict:
+        """Return the JSON-serializable trace (what the RunStore persists)."""
+        return {
+            "trace_id": self.trace_id,
+            "spans": [span_record.to_payload() for span_record in self.spans],
+        }
+
+    def export_jsonl(self) -> str:
+        """Return the trace as JSON-lines text, one span per line."""
+        return "\n".join(
+            json.dumps(span_record.to_payload(), sort_keys=True) for span_record in self.spans
+        )
+
+    def is_connected(self) -> bool:
+        """True when every non-root span's parent exists (no orphan spans)."""
+        return not find_orphans(self.to_payload())
+
+
+# -- ambient context --------------------------------------------------------------------
+
+_ACTIVE_TRACER: contextvars.ContextVar[Tracer | None] = contextvars.ContextVar(
+    "repro_active_tracer", default=None
+)
+_ACTIVE_CONTEXT: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_active_trace_context", default=None
+)
+
+
+def current_tracer() -> Tracer | None:
+    """Return the tracer active in this thread/task, or ``None``."""
+    return _ACTIVE_TRACER.get()
+
+
+def current_context() -> TraceContext | None:
+    """Return the current span position, or ``None`` outside any span."""
+    return _ACTIVE_CONTEXT.get()
+
+
+def current_context_tuple() -> tuple[str, str] | None:
+    """Return the current position as a picklable tuple (for work units)."""
+    context = _ACTIVE_CONTEXT.get()
+    return None if context is None else context.as_tuple()
+
+
+@contextmanager
+def activate(tracer: Tracer | None, context: TraceContext | None = None):
+    """Make ``tracer`` (and optionally a parent ``context``) ambient.
+
+    The entry point for every explicit boundary crossing: scheduler worker
+    threads, process-mode job workers, and tests.  ``None`` deactivates
+    tracing inside the block.
+    """
+    tracer_token = _ACTIVE_TRACER.set(tracer)
+    context_token = _ACTIVE_CONTEXT.set(context)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_CONTEXT.reset(context_token)
+        _ACTIVE_TRACER.reset(tracer_token)
+
+
+@contextmanager
+def span(name: str, **attributes):
+    """Open a span on the ambient tracer; a cheap no-op when none is active."""
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is None:
+        yield _NULL_SPAN
+        return
+    with tracer.span(name, attributes=attributes or None) as span_record:
+        yield span_record
+
+
+def record_span(
+    name: str,
+    duration: float,
+    parent: tuple[str, str] | TraceContext | None = None,
+    **attributes,
+) -> None:
+    """Record a finished span on the ambient tracer; no-op when none is active.
+
+    ``parent`` may be the picklable ``(trace_id, span_id)`` tuple a work
+    unit carried across process boundaries; ``None`` parents the span under
+    the current context.
+    """
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is None:
+        return
+    if parent is None:
+        parent = current_context()
+    tracer.record_span(name, duration, parent=parent, attributes=attributes or None)
+
+
+# -- tree rendering ---------------------------------------------------------------------
+
+
+def find_orphans(payload: dict) -> list[dict]:
+    """Return the span payloads whose parent ID is missing from the trace."""
+    spans = list(payload.get("spans", ()))
+    known = {entry["span_id"] for entry in spans}
+    return [
+        entry
+        for entry in spans
+        if entry.get("parent_id") is not None and entry["parent_id"] not in known
+    ]
+
+
+def render_trace(payload: dict) -> str:
+    """Render a persisted trace payload as an indented tree with self-times.
+
+    Each line shows the span name, its wall time, its *self* time (wall time
+    minus the wall time of its direct children) and the attributes.  Orphan
+    spans — parents missing from the trace — are listed under a separate
+    heading so a disconnected tree is immediately visible.
+    """
+    spans = [dict(entry) for entry in payload.get("spans", ())]
+    known = {entry["span_id"] for entry in spans}
+    children: dict[str | None, list[dict]] = {}
+    for entry in spans:
+        parent = entry.get("parent_id")
+        key = parent if parent in known else None if parent is None else "__orphan__"
+        children.setdefault(key, []).append(entry)
+    for siblings in children.values():
+        siblings.sort(key=lambda entry: entry["start"])
+
+    def wall(entry: dict) -> float:
+        if entry.get("end") is None:
+            return 0.0
+        return max(0.0, entry["end"] - entry["start"])
+
+    def self_time(entry: dict) -> float:
+        direct = children.get(entry["span_id"], ())
+        return max(0.0, wall(entry) - sum(wall(child) for child in direct))
+
+    lines = [f"trace {payload.get('trace_id', '?')}"]
+
+    def emit(entry: dict, depth: int) -> None:
+        attributes = entry.get("attributes") or {}
+        suffix = ""
+        if attributes:
+            rendered = ", ".join(f"{key}={value}" for key, value in sorted(attributes.items()))
+            suffix = f"  [{rendered}]"
+        lines.append(
+            f"{'  ' * depth}{entry['name']}  "
+            f"wall={wall(entry) * 1e3:.1f}ms self={self_time(entry) * 1e3:.1f}ms{suffix}"
+        )
+        for child in children.get(entry["span_id"], ()):
+            emit(child, depth + 1)
+
+    for root in children.get(None, ()):
+        emit(root, 1)
+    orphans = children.get("__orphan__", ())
+    if orphans:
+        lines.append("  (orphan spans — parent missing from trace)")
+        for entry in orphans:
+            emit(entry, 2)
+    return "\n".join(lines)

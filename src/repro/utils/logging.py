@@ -1,0 +1,107 @@
+"""Shared logging setup for the CLI, tools and service front-ends.
+
+Everything user-facing that is *progress*, not *output*, goes through one
+``repro`` logger hierarchy configured here, so diagnostics interleave
+cleanly with span traces and can be switched to structured JSON for log
+aggregation (``--json-logs``).  Data output — result tables, JSON payloads
+— stays on stdout.
+
+``configure_logging`` is idempotent per process: repeated calls reconfigure
+the handler in place (the CLI calls it once per invocation), and libraries
+calling :func:`get_logger` before configuration inherit the standard
+``lastResort`` behaviour instead of crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+__all__ = ["configure_logging", "get_logger", "LOG_LEVELS"]
+
+#: Accepted ``--log-level`` values, mapped onto the stdlib levels.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_HANDLER_NAME = "repro-cli"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render the record as a single-line JSON object."""
+        entry = {
+            "ts": self.formatTime(record, datefmt="%Y-%m-%dT%H:%M:%S%z"),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            entry["exception"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True)
+
+
+def configure_logging(
+    level: str = "info",
+    json_logs: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy; return its root.
+
+    Parameters
+    ----------
+    level:
+        One of :data:`LOG_LEVELS` (case-insensitive).
+    json_logs:
+        Emit one JSON object per record instead of the human-readable line
+        format.
+    stream:
+        Output stream; defaults to ``sys.stderr`` so logs never mix with
+        data output on stdout.
+
+    Raises
+    ------
+    ValueError
+        For an unknown ``level``.
+    """
+    name = str(level).lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LOG_LEVELS}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, name.upper()))
+    handler = None
+    for existing in logger.handlers:
+        if existing.get_name() == _HANDLER_NAME:
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.set_name(_HANDLER_NAME)
+        logger.addHandler(handler)
+    else:
+        # Rebind on every call so a reconfiguration after the interpreter's
+        # stderr was replaced (pytest's capsys, IDE consoles) writes to the
+        # *current* stream instead of a stale capture buffer.
+        target = stream if stream is not None else sys.stderr
+        try:
+            handler.setStream(target)  # type: ignore[attr-defined]
+        except ValueError:
+            # setStream flushes the old stream first; a closed capture
+            # buffer raises, in which case we swap the stream directly.
+            handler.stream = target  # type: ignore[attr-defined]
+    if json_logs:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s"))
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the shared ``repro`` hierarchy."""
+    if not name:
+        return logging.getLogger("repro")
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

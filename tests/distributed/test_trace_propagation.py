@@ -1,0 +1,173 @@
+"""Trace-context propagation through the distributed machinery, under faults.
+
+The contract: with a tracer active on the coordinator, every completed work
+unit lands as a ``unit`` span inside the submitting trace — pickled across
+real worker processes as a ``(trace_id, span_id)`` tuple — exactly once per
+unit, with a ``retry`` attribute counting backend retries and SIGKILL
+requeues.  The span tree stays connected through any fault interleaving.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    DistributedRoundExecutor,
+    RoundQueue,
+    WorkUnit,
+    WorkerPool,
+)
+from repro.qpd.adaptive import AdaptiveConfig, run_adaptive_rounds
+from repro.telemetry import tracing
+from repro.telemetry.tracing import TraceContext, Tracer
+
+from utils.faulty_backend import FaultyBackend
+from utils.workloads import ghz_cut_workload
+
+pytestmark = pytest.mark.xdist_group("forkheavy")
+
+SEED = 515151
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ghz_cut_workload(num_qubits=3, overlap=0.8)
+
+
+def traced_queue(workload, devices, context, shots=60):
+    """A loaded round queue whose units carry ``context`` as their trace."""
+    seed = np.random.SeedSequence(SEED)
+    queue = RoundQueue(devices)
+    index = 0
+    for term, bits in enumerate(workload.selected_clbits):
+        if not bits:
+            continue
+        queue.push(
+            WorkUnit(
+                round_index=0,
+                term_index=term,
+                shots=shots,
+                seed=seed,
+                device=devices[index % len(devices)],
+                trace=context.as_tuple(),
+            )
+        )
+        index += 1
+    return queue
+
+
+def unit_spans(tracer):
+    return [s for s in tracer.spans if s.name == "unit"]
+
+
+class TestInlineRetries:
+    def test_retried_unit_lands_once_with_retry_attribute(self, workload):
+        tracer = Tracer(trace_id="inline-faults")
+        root = tracer.start_span("execute")
+        context = TraceContext(tracer.trace_id, root.span_id)
+        pool = WorkerPool(
+            workload.measured_circuits,
+            workload.selected_clbits,
+            backend=FaultyBackend("serial", fail_on=(1,)),
+            devices=("a", "b"),
+            mode="inline",
+        )
+        with tracing.activate(tracer, context):
+            results = pool.run_round(traced_queue(workload, ("a", "b"), context))
+        tracer.end_span(root)
+
+        assert pool.retries == 1
+        spans = unit_spans(tracer)
+        # Exactly one span per completed unit — the retried unit is not doubled.
+        assert len(spans) == len(results)
+        assert all(s.trace_id == "inline-faults" for s in spans)
+        assert all(s.parent_id == root.span_id for s in spans)
+        retries = [s.attributes["retry"] for s in spans]
+        assert retries.count(1) == 1 and retries.count(0) == len(spans) - 1
+        assert tracer.is_connected()
+
+
+class TestWorkerDeathTracing:
+    def test_sigkilled_unit_retries_under_the_same_trace(self, workload):
+        tracer = Tracer(trace_id="sigkill-trace")
+        root = tracer.start_span("execute")
+        context = TraceContext(tracer.trace_id, root.span_id)
+        devices = ("a", "b")
+        pool = WorkerPool(
+            workload.measured_circuits,
+            workload.selected_clbits,
+            backend="serial",
+            devices=devices,
+            workers=2,
+            latencies={"a": 0.3, "b": 0.3},
+            poll_interval=0.02,
+        )
+        outcome = {}
+
+        def drive():
+            with tracing.activate(tracer, context):
+                try:
+                    outcome["results"] = pool.run_round(
+                        traced_queue(workload, devices, context)
+                    )
+                except Exception as error:  # pragma: no cover - asserted below
+                    outcome["error"] = error
+
+        with pool:
+            victim = pool._handles[0]
+            driver = threading.Thread(target=drive, daemon=True)
+            driver.start()
+            deadline = time.monotonic() + 5.0
+            while victim.in_flight is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert victim.in_flight is not None
+            os.kill(victim.process.pid, signal.SIGKILL)
+            driver.join(timeout=30.0)
+        tracer.end_span(root)
+
+        assert "error" not in outcome
+        assert pool.requeues >= 1
+        spans = unit_spans(tracer)
+        # One span per unit despite the kill: the requeued unit reports once,
+        # under the same trace ID, with its requeue counted as a retry.
+        assert len(spans) == len(outcome["results"])
+        assert all(s.trace_id == "sigkill-trace" for s in spans)
+        assert max(s.attributes["retry"] for s in spans) >= 1
+        assert all(s.duration >= 0.0 for s in spans)
+        assert tracer.is_connected()
+
+
+class TestAdaptiveEngineTracing:
+    def test_rounds_and_units_form_one_connected_tree(self, workload):
+        tracer = Tracer(trace_id="adaptive-engine")
+        config = AdaptiveConfig(target_error=0.05, max_shots=2000, max_rounds=3)
+        executor = DistributedRoundExecutor(
+            workload.measured_circuits,
+            workload.selected_clbits,
+            backend="serial",
+            workers=2,
+            mode="inline",
+        )
+        with tracing.activate(tracer):
+            with executor:
+                result = run_adaptive_rounds(
+                    workload.coefficients,
+                    executor,
+                    config,
+                    seed=SEED,
+                    labels=workload.labels,
+                    execution="distributed",
+                )
+        rounds = [s for s in tracer.spans if s.name == "round"]
+        units = unit_spans(tracer)
+        assert len(rounds) == len(result.rounds)
+        # Every unit span parents under one of the round spans.
+        round_ids = {s.span_id for s in rounds}
+        assert units and all(s.parent_id in round_ids for s in units)
+        assert tracer.is_connected()
+        # Round spans carry the adaptive engine's structured attributes.
+        assert all({"index", "budget", "total_shots"} <= set(s.attributes) for s in rounds)

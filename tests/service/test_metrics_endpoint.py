@@ -1,0 +1,114 @@
+"""``GET /metrics`` on the asyncio server, and scheduler-side trace persistence."""
+
+import re
+import threading
+import urllib.request
+
+import pytest
+
+from repro.service import RunService, RunStore, ServerThread, ServiceClient
+from repro.service.aserver import METRICS_CONTENT_TYPE
+from repro.telemetry.tracing import find_orphans
+
+pytestmark = [pytest.mark.integration, pytest.mark.xdist_group("forkheavy")]
+
+
+@pytest.fixture
+def live(tmp_path):
+    """A live asyncio service; yields (client, url, store)."""
+    store = RunStore(tmp_path / "store")
+    run_service = RunService(store=store, workers=2)
+    server = ServerThread(run_service)
+    url = server.start()
+    try:
+        yield ServiceClient(url), url, store
+    finally:
+        server.stop()
+        run_service.close()
+
+
+def scrape(url):
+    with urllib.request.urlopen(f"{url}/metrics", timeout=10) as response:
+        assert response.status == 200
+        return response.headers["Content-Type"], response.read().decode()
+
+
+def sample(text, series):
+    """Return the value of one exact series line, or ``None``."""
+    match = re.search(rf"^{re.escape(series)} ([0-9.e+-]+)$", text, flags=re.M)
+    return None if match is None else float(match.group(1))
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_content_type_and_core_series(self, live):
+        client, url, _ = live
+        client.health()
+        content_type, text = scrape(url)
+        assert content_type == METRICS_CONTENT_TYPE
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert "# TYPE repro_scheduler_queue_depth gauge" in text
+        assert "# TYPE repro_sse_subscribers gauge" in text
+        assert "# TYPE repro_store_blob_dedup_ratio gauge" in text
+        assert sample(text, 'repro_http_requests_total{path="/healthz",status="200"}') >= 1
+
+    def test_request_counter_is_monotone_across_scrapes(self, live):
+        client, url, _ = live
+        client.health()
+        _, first = scrape(url)
+        before = sample(first, 'repro_http_requests_total{path="/healthz",status="200"}')
+        client.health()
+        client.health()
+        _, second = scrape(url)
+        after = sample(second, 'repro_http_requests_total{path="/healthz",status="200"}')
+        assert after >= before + 2
+        # The /metrics scrape itself is measured too.
+        assert sample(second, 'repro_http_requests_total{path="/metrics",status="200"}') >= 1
+
+    def test_submission_counts_by_tenant_and_latency_histogram_fills(self, live, ghz_spec):
+        client, url, _ = live
+        tenant_client = ServiceClient(url, tenant="metrics-tenant")
+        row = tenant_client.submit(ghz_spec(shots=500))
+        tenant_client.wait(row["job_id"], timeout=120)
+        _, text = scrape(url)
+        assert sample(text, 'repro_submissions_total{tenant="metrics-tenant"}') >= 1
+        assert (
+            sample(text, 'repro_http_request_seconds_count{path="/jobs",status="201"}') >= 1
+        )
+
+    def test_concurrent_scrapes_under_load_all_succeed(self, live):
+        client, url, _ = live
+        errors = []
+
+        def hammer(target):
+            try:
+                for _ in range(5):
+                    target()
+            except Exception as error:  # pragma: no cover - asserted below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(client.health,)) for _ in range(3)]
+        threads += [threading.Thread(target=hammer, args=(lambda: scrape(url),)) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        _, text = scrape(url)
+        assert sample(text, 'repro_http_requests_total{path="/metrics",status="200"}') >= 15
+
+
+class TestSchedulerTracePersistence:
+    def test_submitted_job_persists_submit_rooted_trace(self, live, ghz_spec):
+        client, _, store = live
+        row = client.submit(ghz_spec(shots=500, seed=23))
+        client.wait(row["job_id"], timeout=120)
+        trace = store.get_trace(row["job_id"])
+        assert trace is not None
+        assert find_orphans(trace) == []
+        spans = trace["spans"]
+        by_name = {entry["name"]: entry for entry in spans}
+        assert by_name["submit"]["parent_id"] is None
+        assert by_name["job"]["parent_id"] == by_name["submit"]["span_id"]
+        stage_names = {entry["name"] for entry in spans}
+        assert {"plan", "decompose", "execute", "reconstruct"} <= stage_names

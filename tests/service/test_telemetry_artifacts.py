@@ -1,0 +1,62 @@
+"""Telemetry artifacts in the run store: traces and profiles per fingerprint."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import RunStore, run_job
+from repro.telemetry.tracing import find_orphans
+
+
+class TestArtifactKeys:
+    def test_keys_are_fingerprint_shaped_and_kind_disjoint(self):
+        trace_key = RunStore.artifact_key("a" * 32, "trace")
+        profile_key = RunStore.artifact_key("a" * 32, "profile")
+        assert trace_key != profile_key
+        assert trace_key == RunStore.artifact_key("a" * 32, "trace")
+        for key in (trace_key, profile_key):
+            assert len(key) == 32 and all(c in "0123456789abcdef" for c in key)
+
+    def test_invalid_fingerprint_is_rejected(self):
+        with pytest.raises(ServiceError):
+            RunStore.artifact_key("not hex!", "trace")
+
+
+class TestTraceRoundtrip:
+    def test_put_get_trace_and_profile_are_independent(self, store):
+        fingerprint = "b" * 32
+        assert store.get_trace(fingerprint) is None
+        assert store.get_profile(fingerprint) is None
+        trace = {"trace_id": fingerprint, "spans": []}
+        profile = {"stages": {"plan": {"total_calls": 1, "total_time": 0.0, "top": []}}}
+        store.put_trace(fingerprint, trace)
+        store.put_profile(fingerprint, profile)
+        assert store.get_trace(fingerprint) == trace
+        assert store.get_profile(fingerprint) == profile
+
+
+class TestRunJobPersistence:
+    def test_run_job_persists_a_connected_trace_and_profile(self, store, ghz_spec):
+        spec = ghz_spec()
+        outcome = run_job(spec, store=store, profile=True)
+        assert not outcome.cached
+        trace = store.get_trace(outcome.fingerprint)
+        assert trace is not None
+        assert trace["trace_id"] == outcome.fingerprint
+        names = [entry["name"] for entry in trace["spans"]]
+        assert {"job", "plan", "decompose", "execute", "reconstruct"} <= set(names)
+        assert find_orphans(trace) == []
+        profile = store.get_profile(outcome.fingerprint)
+        assert profile is not None and "execute" in profile["stages"]
+
+    def test_cache_hit_never_overwrites_the_original_trace(self, store, ghz_spec):
+        spec = ghz_spec()
+        first = run_job(spec, store=store)
+        original = store.get_trace(first.fingerprint)
+        second = run_job(spec, store=store)
+        assert second.cached
+        assert store.get_trace(first.fingerprint) == original
+
+    def test_profile_off_leaves_no_profile_artifact(self, store, ghz_spec):
+        outcome = run_job(ghz_spec(), store=store)
+        assert store.get_profile(outcome.fingerprint) is None
+        assert store.get_trace(outcome.fingerprint) is not None

@@ -1,0 +1,80 @@
+"""The telemetry hard invariant: tracing/metrics/profiling never change results.
+
+Every stage payload (and therefore every fingerprint) must be bitwise
+identical with telemetry fully on (active tracer + profiler + metrics) and
+fully off, across every execution path: serial, vectorized, process-pool,
+and the distributed adaptive engine.
+"""
+
+import pytest
+
+from repro.experiments import ghz_circuit
+from repro.pipeline import CutPipeline
+from repro.telemetry import tracing
+from repro.telemetry.profiling import StageProfiler, activate_profiler
+from repro.telemetry.tracing import Tracer
+
+SEED = 20240807
+
+
+def _run_stages(backend, telemetry_on, **execute_kwargs):
+    """One full pipeline pass; returns the three stage payloads."""
+    circuit = ghz_circuit(4)
+    pipeline = CutPipeline(max_fragment_width=3, backend=backend)
+
+    def go():
+        plan_result = pipeline.plan(circuit)
+        decomposition = pipeline.decompose(plan_result)
+        execution = pipeline.execute(
+            decomposition, "ZZZZ", shots=800, seed=SEED, **execute_kwargs
+        )
+        result = pipeline.reconstruct(execution)
+        return (
+            plan_result.to_payload(),
+            execution.to_payload(),
+            result.to_payload(),
+        )
+
+    if not telemetry_on:
+        return go()
+    tracer = Tracer(trace_id="invariance")
+    profiler = StageProfiler()
+    with tracing.activate(tracer):
+        with activate_profiler(profiler):
+            payloads = go()
+    # Telemetry actually ran: the stages were traced and profiled.
+    assert {s.name for s in tracer.spans} >= {"plan", "decompose", "execute", "reconstruct"}
+    assert set(profiler.to_payload()["stages"]) >= {"plan", "execute"}
+    return payloads
+
+
+class TestStaticInvariance:
+    @pytest.mark.parametrize("backend", ["serial", "vectorized", "process-pool"])
+    def test_static_run_is_bitwise_identical_with_telemetry(self, backend):
+        off = _run_stages(backend, telemetry_on=False)
+        on = _run_stages(backend, telemetry_on=True)
+        assert on == off
+
+
+class TestAdaptiveInvariance:
+    def test_adaptive_run_is_bitwise_identical_with_telemetry(self):
+        kwargs = {"mode": "adaptive", "target_error": 0.05, "rounds": 4}
+        off = _run_stages("vectorized", telemetry_on=False, **kwargs)
+        on = _run_stages("vectorized", telemetry_on=True, **kwargs)
+        assert on == off
+
+
+@pytest.mark.integration
+@pytest.mark.xdist_group("forkheavy")
+class TestDistributedInvariance:
+    def test_distributed_round_execution_is_bitwise_identical_with_telemetry(self):
+        kwargs = {
+            "mode": "adaptive",
+            "target_error": 0.05,
+            "rounds": 3,
+            "execution": "distributed",
+            "workers": 2,
+        }
+        off = _run_stages("serial", telemetry_on=False, **kwargs)
+        on = _run_stages("serial", telemetry_on=True, **kwargs)
+        assert on == off

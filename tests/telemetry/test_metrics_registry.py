@@ -1,0 +1,148 @@
+"""Unit tests of the metrics registry and its Prometheus text rendering."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.telemetry.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_decrements(self, registry):
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        with pytest.raises(ReproError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_labeled_counter_tracks_samples_independently(self, registry):
+        counter = registry.counter("req_total", "help", labelnames=("tenant",))
+        counter.inc(tenant="alice")
+        counter.inc(tenant="alice")
+        counter.inc(tenant="bob")
+        assert counter.value(tenant="alice") == 2
+        assert counter.value(tenant="bob") == 1
+        assert counter.value(tenant="nobody") == 0
+
+    def test_wrong_labels_raise(self, registry):
+        counter = registry.counter("l_total", "help", labelnames=("path",))
+        with pytest.raises(ReproError, match="takes labels"):
+            counter.inc(status="200")
+        with pytest.raises(ReproError, match="takes labels"):
+            counter.inc()
+
+    def test_gauge_moves_both_ways(self, registry):
+        gauge = registry.gauge("depth", "help")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 3
+
+    def test_histogram_buckets_count_and_sum(self, registry):
+        histogram = registry.histogram("lat", "help", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(5.55)
+        text = histogram.render()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_histogram_rejects_unsorted_buckets(self, registry):
+        with pytest.raises(ReproError, match="sorted"):
+            registry.histogram("bad", "help", buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_registration_is_idempotent_per_name(self, registry):
+        first = registry.counter("x_total", "help")
+        again = registry.counter("x_total", "other help ignored")
+        assert again is first
+
+    def test_type_or_label_mismatch_raises(self, registry):
+        registry.counter("y_total", "help")
+        with pytest.raises(ReproError, match="already registered"):
+            registry.gauge("y_total", "help")
+        with pytest.raises(ReproError, match="already registered"):
+            registry.counter("y_total", "help", labelnames=("tenant",))
+
+    def test_render_is_sorted_with_help_and_type_headers(self, registry):
+        registry.counter("b_total", "B things.").inc()
+        registry.gauge("a_depth", "A depth.").set(2)
+        text = registry.render()
+        assert text.index("a_depth") < text.index("b_total")
+        assert "# HELP a_depth A depth." in text
+        assert "# TYPE a_depth gauge" in text
+        assert "# TYPE b_total counter" in text
+        assert text.endswith("\n")
+
+    def test_unlabeled_instruments_render_a_zero_sample(self, registry):
+        registry.counter("quiet_total", "Never incremented.")
+        assert "quiet_total 0" in registry.render()
+
+    def test_label_values_are_escaped(self, registry):
+        counter = registry.counter("esc_total", "help", labelnames=("path",))
+        counter.inc(path='a"b\\c\nd')
+        assert 'esc_total{path="a\\"b\\\\c\\nd"} 1' in registry.render()
+
+    def test_reset_clears_samples_but_keeps_registrations(self, registry):
+        counter = registry.counter("r_total", "help")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value() == 0
+        # The module-level handle is still the registered instrument.
+        assert registry.counter("r_total", "help") is counter
+        counter.inc()
+        assert counter.value() == 1
+
+    def test_concurrent_increments_do_not_lose_updates(self, registry):
+        counter = registry.counter("race_total", "help")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 4000
+
+
+class TestGlobalRegistry:
+    def test_library_instruments_are_registered_at_import(self):
+        # Importing the instrumented modules registers their instruments.
+        import repro.pipeline.pipeline  # noqa: F401
+        import repro.qpd.adaptive  # noqa: F401
+        import repro.distributed.pool  # noqa: F401
+        import repro.service.server  # noqa: F401
+
+        for name in (
+            "repro_plan_kappa",
+            "repro_adaptive_round_shots",
+            "repro_distributed_unit_retries_total",
+            "repro_submissions_total",
+        ):
+            assert REGISTRY.get(name) is not None, name
+
+    def test_isinstance_contract_of_registration_helpers(self):
+        scratch = MetricsRegistry()
+        assert isinstance(scratch.counter("i_total", "h"), Counter)
+        assert isinstance(scratch.gauge("i_depth", "h"), Gauge)
+        assert isinstance(scratch.histogram("i_lat", "h"), Histogram)

@@ -1,0 +1,80 @@
+"""Unit tests of the opt-in per-stage cProfile capture."""
+
+from repro.telemetry.profiling import (
+    StageProfiler,
+    activate_profiler,
+    current_profiler,
+    profile_stage,
+    render_profile,
+)
+
+
+def _busy(n=2000):
+    return sum(i * i for i in range(n))
+
+
+class TestStageProfiler:
+    def test_stage_capture_produces_a_condensed_payload(self):
+        profiler = StageProfiler(top=5)
+        with profiler.stage("plan"):
+            _busy()
+        payload = profiler.to_payload()
+        stage = payload["stages"]["plan"]
+        assert stage["total_calls"] > 0
+        assert stage["total_time"] >= 0.0
+        assert 0 < len(stage["top"]) <= 5
+        row = stage["top"][0]
+        assert set(row) == {"function", "calls", "primitive_calls", "tottime", "cumtime"}
+        # Rows are sorted by cumulative time, descending.
+        cumtimes = [entry["cumtime"] for entry in stage["top"]]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+    def test_repeated_stages_accumulate_under_one_key(self):
+        profiler = StageProfiler()
+        with profiler.stage("round"):
+            _busy()
+        once = profiler.to_payload()["stages"]["round"]["total_calls"]
+        with profiler.stage("round"):
+            _busy()
+        twice = profiler.to_payload()["stages"]["round"]["total_calls"]
+        assert twice > once
+        assert list(profiler.to_payload()["stages"]) == ["round"]
+
+    def test_render_matches_render_profile_of_the_payload(self):
+        profiler = StageProfiler()
+        with profiler.stage("execute"):
+            _busy()
+        assert profiler.render() == render_profile(profiler.to_payload())
+        text = profiler.render(lines_per_stage=2)
+        assert text.startswith("stage execute:")
+        # Header plus at most two function rows.
+        assert len(text.splitlines()) <= 3
+
+    def test_render_profile_of_an_empty_payload_is_empty(self):
+        assert render_profile({"stages": {}}) == ""
+        assert render_profile({}) == ""
+
+
+class TestAmbientActivation:
+    def test_profile_stage_is_a_noop_without_an_active_profiler(self):
+        assert current_profiler() is None
+        with profile_stage("ignored"):
+            _busy(100)
+        assert current_profiler() is None
+
+    def test_activate_routes_profile_stage_to_the_profiler(self):
+        profiler = StageProfiler()
+        with activate_profiler(profiler):
+            assert current_profiler() is profiler
+            with profile_stage("stage_a"):
+                _busy(100)
+        assert current_profiler() is None
+        assert "stage_a" in profiler.to_payload()["stages"]
+
+    def test_activating_none_suppresses_an_outer_profiler(self):
+        outer = StageProfiler()
+        with activate_profiler(outer):
+            with activate_profiler(None):
+                with profile_stage("hidden"):
+                    _busy(100)
+        assert outer.to_payload()["stages"] == {}

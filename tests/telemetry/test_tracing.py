@@ -1,0 +1,166 @@
+"""Unit tests of the span tracer: parenting, propagation, rendering."""
+
+import json
+import threading
+
+from repro.telemetry import tracing
+from repro.telemetry.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    find_orphans,
+    render_trace,
+)
+
+
+class TestSpanLifecycle:
+    def test_nested_spans_parent_under_the_enclosing_span(self):
+        tracer = Tracer(trace_id="t1")
+        with tracing.activate(tracer):
+            with tracing.span("outer") as outer:
+                with tracing.span("inner") as inner:
+                    pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id == "t1"
+        assert tracer.is_connected()
+
+    def test_span_ids_are_unique_and_ordered(self):
+        tracer = Tracer()
+        ids = [tracer.start_span(f"s{i}").span_id for i in range(5)]
+        assert len(set(ids)) == 5
+        assert ids == sorted(ids)
+
+    def test_end_span_is_idempotent(self):
+        tracer = Tracer()
+        record = tracer.start_span("work")
+        tracer.end_span(record)
+        first_end = record.end
+        tracer.end_span(record)
+        assert record.end == first_end
+        assert record.duration >= 0.0
+
+    def test_set_merges_attributes_after_the_span_closed(self):
+        tracer = Tracer()
+        with tracing.activate(tracer):
+            with tracing.span("stage", kind="demo") as record:
+                pass
+        record.set(extra=1)
+        assert record.attributes == {"kind": "demo", "extra": 1}
+
+    def test_without_active_tracer_everything_is_a_noop(self):
+        assert tracing.current_tracer() is None
+        with tracing.span("ignored") as record:
+            record.set(anything=True)
+        tracing.record_span("ignored", duration=1.0)
+        assert tracing.current_context() is None
+        assert tracing.current_context_tuple() is None
+
+
+class TestExplicitPropagation:
+    def test_activate_carries_the_context_into_a_thread(self):
+        tracer = Tracer(trace_id="t2")
+        root = tracer.start_span("submit")
+        context = TraceContext("t2", root.span_id)
+        seen = {}
+
+        def worker():
+            with tracing.activate(tracer, context):
+                with tracing.span("job") as record:
+                    seen["parent"] = record.parent_id
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        tracer.end_span(root)
+        assert seen["parent"] == root.span_id
+        assert tracer.is_connected()
+
+    def test_record_span_accepts_a_pickled_tuple_parent(self):
+        tracer = Tracer(trace_id="t3")
+        root = tracer.start_span("execute")
+        carried = TraceContext("t3", root.span_id).as_tuple()
+        assert carried == ("t3", root.span_id)
+        with tracing.activate(tracer):
+            tracing.record_span("unit", duration=0.25, parent=carried, worker="w0", retry=0)
+        tracer.end_span(root)
+        unit = [s for s in tracer.spans if s.name == "unit"][0]
+        assert unit.parent_id == root.span_id
+        assert abs(unit.duration - 0.25) < 1e-6
+        assert unit.attributes == {"worker": "w0", "retry": 0}
+
+    def test_record_span_defaults_to_the_current_context(self):
+        tracer = Tracer()
+        with tracing.activate(tracer):
+            with tracing.span("round") as round_span:
+                tracing.record_span("unit", duration=0.01)
+        unit = [s for s in tracer.spans if s.name == "unit"][0]
+        assert unit.parent_id == round_span.span_id
+
+
+class TestExport:
+    def test_payload_roundtrip_preserves_every_field(self):
+        tracer = Tracer(trace_id="t4")
+        with tracing.activate(tracer):
+            with tracing.span("job", mode="static"):
+                with tracing.span("plan"):
+                    pass
+        payload = tracer.to_payload()
+        rebuilt = [Span.from_payload(entry) for entry in payload["spans"]]
+        assert [s.to_payload() for s in rebuilt] == payload["spans"]
+        assert payload["trace_id"] == "t4"
+
+    def test_export_jsonl_is_one_valid_object_per_span(self):
+        tracer = Tracer()
+        tracer.end_span(tracer.start_span("a"))
+        tracer.end_span(tracer.start_span("b"))
+        lines = tracer.export_jsonl().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_find_orphans_flags_missing_parents(self):
+        payload = {
+            "trace_id": "t",
+            "spans": [
+                {"span_id": "s1", "parent_id": None, "name": "root", "start": 0.0, "end": 1.0},
+                {"span_id": "s2", "parent_id": "gone", "name": "lost", "start": 0.0, "end": 1.0},
+            ],
+        }
+        orphans = find_orphans(payload)
+        assert [entry["span_id"] for entry in orphans] == ["s2"]
+
+    def test_render_trace_shows_tree_self_times_and_orphans(self):
+        payload = {
+            "trace_id": "demo",
+            "spans": [
+                {
+                    "span_id": "s1",
+                    "parent_id": None,
+                    "name": "job",
+                    "start": 0.0,
+                    "end": 1.0,
+                    "attributes": {"mode": "static"},
+                },
+                {
+                    "span_id": "s2",
+                    "parent_id": "s1",
+                    "name": "plan",
+                    "start": 0.1,
+                    "end": 0.4,
+                    "attributes": {},
+                },
+                {
+                    "span_id": "s3",
+                    "parent_id": "missing",
+                    "name": "stray",
+                    "start": 0.0,
+                    "end": 0.1,
+                    "attributes": {},
+                },
+            ],
+        }
+        text = render_trace(payload)
+        assert "trace demo" in text
+        assert "job  wall=1000.0ms self=700.0ms  [mode=static]" in text
+        assert "    plan  wall=300.0ms" in text
+        assert "orphan spans" in text and "stray" in text

@@ -300,7 +300,8 @@ class TestStoreFlags:
         assert main(command) == 0
         first = capsys.readouterr().out
         assert main(command) == 0
-        second = capsys.readouterr().out
-        assert "served from store" in second
+        captured = capsys.readouterr()
+        # Cache provenance is progress, logged to stderr; the table stays on stdout.
+        assert "served from store" in captured.err
         # Identical table contents (order included) after the cache round trip.
-        assert first.strip() in second
+        assert first.strip() in captured.out

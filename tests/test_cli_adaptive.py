@@ -52,11 +52,12 @@ class TestCutRunAdaptive:
                 "7",
             ]
         )
-        out = capsys.readouterr().out
+        captured = capsys.readouterr()
         assert code == 0
-        assert "round 1:" in out
-        assert "adaptive rounds (converged)" in out
-        assert "reconstruct:" in out
+        # Round-by-round progress goes to the stderr log; data stays on stdout.
+        assert "round 1:" in captured.err
+        assert "adaptive rounds (converged)" in captured.out
+        assert "reconstruct:" in captured.out
 
     def test_target_error_requires_adaptive_mode(self, capsys):
         assert main(["cut", "run", "--target-error", "0.1"]) == 1

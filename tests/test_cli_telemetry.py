@@ -1,0 +1,141 @@
+"""CLI telemetry surfaces: ``trace show``, ``cut run --profile``, log flags."""
+
+import json
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_global_log_flags_parse_before_the_command(self):
+        args = build_parser().parse_args(["--log-level", "debug", "--json-logs", "protocols"])
+        assert args.log_level == "debug" and args.json_logs
+
+    def test_trace_show_requires_a_store(self, capsys):
+        try:
+            build_parser().parse_args(["trace", "show", "abc123"])
+        except SystemExit as error:
+            assert error.code == 2
+        else:  # pragma: no cover - argparse must reject
+            raise AssertionError("--store must be required")
+
+
+class TestTraceShow:
+    def _stored_run(self, tmp_path, extra=()):
+        store_dir = str(tmp_path / "store")
+        assert (
+            main(
+                [
+                    "cut",
+                    "run",
+                    "--qubits",
+                    "3",
+                    "--width",
+                    "2",
+                    "--shots",
+                    "400",
+                    "--seed",
+                    "5",
+                    "--store",
+                    store_dir,
+                    *extra,
+                ]
+            )
+            == 0
+        )
+        return store_dir
+
+    def test_trace_show_renders_the_stored_tree(self, capsys, tmp_path):
+        store_dir = self._stored_run(tmp_path)
+        out = capsys.readouterr().out
+        fingerprint = out.split()[1]
+        assert main(["trace", "show", fingerprint, "--store", store_dir]) == 0
+        rendered = capsys.readouterr().out
+        assert f"trace {fingerprint}" in rendered
+        for stage in ("job", "plan", "decompose", "execute", "reconstruct"):
+            assert stage in rendered
+        assert "wall=" in rendered and "self=" in rendered
+        assert "orphan" not in rendered
+
+    def test_trace_show_with_profile_renders_both(self, capsys, tmp_path):
+        store_dir = self._stored_run(tmp_path, extra=["--profile"])
+        out = capsys.readouterr().out
+        fingerprint = out.split()[1]
+        # The stored run itself printed the profile summary.
+        assert "stage execute:" in out
+        assert main(["trace", "show", fingerprint, "--store", store_dir, "--profile"]) == 0
+        rendered = capsys.readouterr().out
+        assert f"trace {fingerprint}" in rendered
+        assert "stage execute:" in rendered
+
+    def test_missing_trace_fails_cleanly(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "empty")
+        assert main(["trace", "show", "deadbeef", "--store", store_dir]) == 1
+        assert "no trace stored" in capsys.readouterr().out
+
+
+class TestProfileFlag:
+    def test_unstored_cut_run_profile_prints_stage_summaries(self, capsys):
+        assert (
+            main(["cut", "run", "--qubits", "3", "--width", "2", "--shots", "300", "--profile"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reconstruct: <ZZZ>" in out
+        for stage in ("stage plan:", "stage decompose:", "stage execute:", "stage reconstruct:"):
+            assert stage in out
+
+
+class TestLogFlags:
+    def test_json_logs_make_progress_machine_readable(self, capsys):
+        code = main(
+            [
+                "--json-logs",
+                "cut",
+                "run",
+                "--qubits",
+                "4",
+                "--width",
+                "3",
+                "--mode",
+                "adaptive",
+                "--target-error",
+                "0.08",
+                "--max-shots",
+                "50000",
+                "--seed",
+                "7",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        round_lines = [
+            json.loads(line) for line in captured.err.splitlines() if '"round 1:' in line
+        ]
+        assert round_lines and round_lines[0]["logger"] == "repro.cli"
+        assert round_lines[0]["level"] == "info"
+
+    def test_log_level_error_silences_round_progress(self, capsys):
+        code = main(
+            [
+                "--log-level",
+                "error",
+                "cut",
+                "run",
+                "--qubits",
+                "4",
+                "--width",
+                "3",
+                "--mode",
+                "adaptive",
+                "--target-error",
+                "0.08",
+                "--max-shots",
+                "50000",
+                "--seed",
+                "7",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "round 1:" not in captured.err
+        assert "adaptive rounds" in captured.out

@@ -1,0 +1,66 @@
+"""Tests of the shared CLI/tools logging setup."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.utils.logging import LOG_LEVELS, configure_logging, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    """Leave the shared ``repro`` logger as this test found it."""
+    logger = logging.getLogger("repro")
+    state = (logger.level, list(logger.handlers), logger.propagate)
+    yield
+    logger.level, logger.handlers[:], logger.propagate = state
+
+
+class TestConfigureLogging:
+    def test_human_format_writes_level_and_logger_name(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        get_logger("cli").info("hello %s", "world")
+        line = stream.getvalue()
+        assert "INFO" in line and "repro.cli" in line and "hello world" in line
+
+    def test_json_logs_emit_one_object_per_record(self):
+        stream = io.StringIO()
+        configure_logging(level="debug", json_logs=True, stream=stream)
+        get_logger("svc").warning("shots=%d", 7)
+        entry = json.loads(stream.getvalue())
+        assert entry["level"] == "warning"
+        assert entry["logger"] == "repro.svc"
+        assert entry["message"] == "shots=7"
+        assert "ts" in entry
+
+    def test_level_filters_lower_severities(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", stream=stream)
+        get_logger().info("dropped")
+        get_logger().warning("kept")
+        assert "dropped" not in stream.getvalue()
+        assert "kept" in stream.getvalue()
+
+    def test_reconfiguration_reuses_the_handler(self):
+        logger = configure_logging(level="info", stream=io.StringIO())
+        count = len(logger.handlers)
+        rebound = io.StringIO()
+        configure_logging(level="debug", json_logs=True, stream=rebound)
+        assert len(logger.handlers) == count
+        get_logger().debug("after rebind")
+        assert "after rebind" in rebound.getvalue()
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="loud")
+        assert "info" in LOG_LEVELS
+
+
+class TestGetLogger:
+    def test_names_are_rooted_under_repro(self):
+        assert get_logger().name == "repro"
+        assert get_logger("cli").name == "repro.cli"
+        assert get_logger("repro.service").name == "repro.service"

@@ -28,10 +28,14 @@ from repro.service import (
     TenantRateLimiter,
 )
 from repro.experiments import ghz_circuit
+from repro.utils.logging import configure_logging, get_logger
+
+_LOG = get_logger("tools.service_smoke")
 
 
 def main() -> int:
     """Run the smoke scenario; return a process exit code."""
+    configure_logging(level="info")
     store_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="repro-smoke-")
     spec = JobSpec(
         circuit=ghz_circuit(4),
@@ -50,15 +54,17 @@ def main() -> int:
         assert health["status"] == "ok", health
         assert health["draining"] is False, health
         row = client.submit(spec)
-        print(f"submitted 2-cut GHZ job {row['job_id']} ({row['state']})")
+        _LOG.info("submitted 2-cut GHZ job %s (%s)", row["job_id"], row["state"])
         outcome = client.wait(row["job_id"], timeout=300)
         assert outcome["fingerprint"] == spec.fingerprint(), outcome
         assert outcome["total_shots"] == 2000, outcome
         assert abs(outcome["value"] - outcome["exact_value"]) < 0.5, outcome
         assert not outcome["cached"], "first run must not be a cache hit"
-        print(
-            f"completed: value={outcome['value']:.4f} ± {outcome['standard_error']:.4f} "
-            f"(exact {outcome['exact_value']:.4f})"
+        _LOG.info(
+            "completed: value=%.4f ± %.4f (exact %.4f)",
+            outcome["value"],
+            outcome["standard_error"],
+            outcome["exact_value"],
         )
     finally:
         server.stop()
@@ -75,7 +81,9 @@ def main() -> int:
         assert cached["value"] == outcome["value"], (cached, outcome)
         runs = client.runs(limit=10)
         assert any(r["fingerprint"] == spec.fingerprint() for r in runs), runs
-        print(f"store hit confirmed after restart (value {cached['value']:.4f}, no re-execution)")
+        _LOG.info(
+            "store hit confirmed after restart (value %.4f, no re-execution)", cached["value"]
+        )
 
         # Round 3: an adaptive job streams its rounds over SSE.
         adaptive_spec = JobSpec(
@@ -108,9 +116,10 @@ def main() -> int:
             progress,
             adaptive_outcome,
         )
-        print(
-            f"SSE streaming confirmed: {len(round_ids)} rounds exactly-once, "
-            f"stderr {adaptive_outcome['standard_error']:.4f} (target 0.04)"
+        _LOG.info(
+            "SSE streaming confirmed: %d rounds exactly-once, stderr %.4f (target 0.04)",
+            len(round_ids),
+            adaptive_outcome["standard_error"],
         )
     finally:
         server.stop()
@@ -136,11 +145,12 @@ def main() -> int:
         except ServiceBusyError as error:
             assert error.status == 503, error
         assert client.health()["draining"] is True
-        print("rate limit (429) and drain (503) confirmed")
+        _LOG.info("rate limit (429) and drain (503) confirmed")
     finally:
         server.stop(drain=True)
         service.close()
 
+    _LOG.info("service smoke OK")
     print("service smoke OK")
     return 0
 
