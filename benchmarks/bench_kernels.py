@@ -1,0 +1,234 @@
+"""Benchmark: axis-local einsum kernels vs the dense full-space reference.
+
+Run with ``pytest benchmarks/bench_kernels.py -q -s``.
+
+Two paired workloads time identical circuits under ``kernel="einsum"`` (the
+axis-local contraction kernels of :mod:`repro.circuits.kernels`) and
+``kernel="dense"`` (the legacy path that expands every operator to
+``2^n × 2^n``):
+
+* a **density-matrix chain** — H/CX/T ladder with terminal measurements —
+  through :class:`~repro.circuits.density_matrix_simulator.DensityMatrixSimulator`;
+* a **statevector chain** — H/RZ/CX ladder — through
+  :class:`~repro.circuits.statevector_simulator.StatevectorSimulator`.
+
+Asserted invariants (deterministic under the pinned seeds):
+
+* paired median wall times give einsum **≥ 5×** over dense on the
+  density-matrix workload and **≥ 10×** on the statevector workload;
+* the exact classical distribution of the density-matrix workload and the
+  final statevector are **bitwise identical** between kernels (the
+  workload's gate entries make the contraction arithmetic exact, and
+  measurement/reset kernels are bitwise by construction);
+* a backend grid — serial / vectorized / process-pool / the distributed
+  ``execute_unit`` path — returns **bitwise-identical** exact distributions
+  and sampled counts for the same seed, for each kernel and *between*
+  kernels;
+* the prepared-operator LRU served repeat gate applications (hits observed).
+
+``BENCH_kernels.json`` is written through the shared ``bench_artifact``
+writer (``REPRO_BENCH_OUT`` overrides the directory).  The default smoke
+configuration (9-qubit density matrix, 12-qubit statevector) keeps CI to
+tens of seconds; set ``REPRO_BENCH_FULL=1`` for the headline scales
+(12-qubit density matrix, 14-qubit statevector — several minutes, dominated
+by the dense reference arm).
+"""
+
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.circuits.backends import (
+    DistributionCache,
+    ProcessPoolBackend,
+    SerialBackend,
+    VectorizedBackend,
+)
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.density_matrix_simulator import DensityMatrixSimulator
+from repro.circuits.kernels import KERNEL_NAMES, clear_prepared_cache, prepared_cache_info
+from repro.circuits.statevector_simulator import StatevectorSimulator
+from repro.distributed import WorkUnit, execute_unit
+
+#: Speedup floors (paired medians, dense over einsum).
+SPEEDUP_FLOOR_DM = 5.0
+SPEEDUP_FLOOR_SV = 10.0
+#: Seed of every sampled arm (the grid asserts bitwise identity under it).
+SEED = 777
+#: Shots per circuit in the backend grid.
+SHOTS = 512
+#: Scale of the cross-backend identity grid (kept small: identity is
+#: scale-independent, and the grid re-simulates the dense arm per backend).
+GRID_QUBITS = 6
+
+
+def density_chain(num_qubits: int) -> QuantumCircuit:
+    """H/CX/T ladder with the end qubits measured.
+
+    The gate entries (0, ±1, 1/√2, e^{iπ/4}) keep the axis-local contraction
+    bitwise identical to the dense sandwich on this workload, which is what
+    lets the benchmark assert exact distribution identity between kernels.
+    """
+    circuit = QuantumCircuit(num_qubits, 2, name=f"dm-chain{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    for qubit in range(0, num_qubits, 3):
+        circuit.t(qubit)
+    circuit.h(num_qubits - 1)
+    circuit.measure(0, 0)
+    circuit.measure(num_qubits - 1, 1)
+    return circuit
+
+
+def statevector_chain(num_qubits: int, links: int) -> QuantumCircuit:
+    """H/RZ/CX ladder over the first ``links`` wires of the register."""
+    circuit = QuantumCircuit(num_qubits, 0, name=f"sv-chain{num_qubits}")
+    circuit.h(0)
+    for qubit in range(links):
+        circuit.rz(0.3 + 0.1 * qubit, qubit)
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def _configuration(full: bool) -> dict:
+    if full:
+        return {"mode": "full", "dm_qubits": 12, "sv_qubits": 14, "sv_links": 5, "repeats": 1}
+    return {"mode": "smoke", "dm_qubits": 9, "sv_qubits": 12, "sv_links": 5, "repeats": 3}
+
+
+def _median_seconds(run, repeats: int) -> tuple[float, object]:
+    """Return (median wall seconds, last result) of ``repeats`` runs."""
+    samples = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples), result
+
+
+def _grid_results(kernel: str, circuits, shots):
+    """Exact distributions + sampled counts from every in-process backend."""
+    backends = {
+        "serial": SerialBackend(kernel=kernel),
+        "vectorized": VectorizedBackend(cache=DistributionCache(), kernel=kernel),
+        "process-pool": ProcessPoolBackend(kernel=kernel),
+    }
+    results = {}
+    for name, backend in backends.items():
+        distributions = backend.exact_distributions(circuits)
+        counts = [dict(c) for c in backend.run_batch(circuits, shots, seed=SEED)]
+        results[name] = (distributions, counts)
+    return results
+
+
+def test_kernel_speedup_and_bitwise_identity(bench_artifact):
+    """einsum beats dense ≥5×/≥10× with bitwise-identical results everywhere."""
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    config = _configuration(full)
+    repeats = config["repeats"]
+
+    # -- density-matrix arm -------------------------------------------------------
+    dm_circuit = density_chain(config["dm_qubits"])
+    clear_prepared_cache()
+    einsum_dm_seconds, einsum_dm_result = _median_seconds(
+        lambda: DensityMatrixSimulator(kernel="einsum").run(dm_circuit), repeats
+    )
+    cache_info = prepared_cache_info()
+    dense_dm_seconds, dense_dm_result = _median_seconds(
+        lambda: DensityMatrixSimulator(kernel="dense").run(dm_circuit), repeats
+    )
+    dm_speedup = dense_dm_seconds / einsum_dm_seconds
+    einsum_distribution = einsum_dm_result.classical_distribution()
+    dense_distribution = dense_dm_result.classical_distribution()
+    assert einsum_distribution == dense_distribution, (
+        "density-matrix distributions differ between kernels"
+    )
+    assert dm_speedup >= SPEEDUP_FLOOR_DM, (
+        f"einsum {einsum_dm_seconds:.3f}s vs dense {dense_dm_seconds:.3f}s: "
+        f"{dm_speedup:.1f}x < {SPEEDUP_FLOOR_DM}x on {config['dm_qubits']}-qubit density matrix"
+    )
+    # Repeated gates (CX appears once per link) were served from the LRU.
+    assert cache_info["hits"] > 0, cache_info
+
+    # -- statevector arm ----------------------------------------------------------
+    sv_circuit = statevector_chain(config["sv_qubits"], config["sv_links"])
+    einsum_sv_seconds, einsum_sv_state = _median_seconds(
+        lambda: StatevectorSimulator(kernel="einsum").run(sv_circuit), repeats
+    )
+    dense_sv_seconds, dense_sv_state = _median_seconds(
+        lambda: StatevectorSimulator(kernel="dense").run(sv_circuit), repeats
+    )
+    sv_speedup = dense_sv_seconds / einsum_sv_seconds
+    assert np.array_equal(einsum_sv_state.data, dense_sv_state.data), (
+        "statevectors differ between kernels"
+    )
+    assert sv_speedup >= SPEEDUP_FLOOR_SV, (
+        f"einsum {einsum_sv_seconds:.3f}s vs dense {dense_sv_seconds:.3f}s: "
+        f"{sv_speedup:.1f}x < {SPEEDUP_FLOOR_SV}x on {config['sv_qubits']}-qubit statevector"
+    )
+
+    # -- backend grid: bitwise identity across backends and kernels ---------------
+    grid_circuit = density_chain(GRID_QUBITS)
+    grid_circuits = [grid_circuit, grid_circuit.copy()]
+    grid_shots = [SHOTS, SHOTS // 2]
+    grids = {kernel: _grid_results(kernel, grid_circuits, grid_shots) for kernel in KERNEL_NAMES}
+    reference = grids["einsum"]["serial"]
+    for kernel, grid in grids.items():
+        for backend_name, got in grid.items():
+            assert got == reference, (
+                f"{backend_name}/{kernel} diverged from serial/einsum"
+            )
+
+    # Distributed seam: execute_unit (what every pool worker runs) agrees
+    # between kernels and with the in-process grid for the same round seed.
+    unit = WorkUnit(round_index=0, term_index=0, shots=SHOTS, seed=np.random.SeedSequence(SEED))
+    selected = [[0, 1], [0, 1]]
+    distributed_means = {
+        kernel: execute_unit(
+            VectorizedBackend(cache=DistributionCache(), kernel=kernel),
+            grid_circuits,
+            selected,
+            unit,
+        ).mean
+        for kernel in KERNEL_NAMES
+    }
+    assert distributed_means["einsum"] == distributed_means["dense"]
+
+    record = {
+        "config": config,
+        "density_matrix": {
+            "qubits": config["dm_qubits"],
+            "einsum_median_seconds": round(einsum_dm_seconds, 6),
+            "dense_median_seconds": round(dense_dm_seconds, 6),
+            "speedup": round(dm_speedup, 2),
+            "floor": SPEEDUP_FLOOR_DM,
+            "distribution_bitwise_identical": True,
+        },
+        "statevector": {
+            "qubits": config["sv_qubits"],
+            "einsum_median_seconds": round(einsum_sv_seconds, 6),
+            "dense_median_seconds": round(dense_sv_seconds, 6),
+            "speedup": round(sv_speedup, 2),
+            "floor": SPEEDUP_FLOOR_SV,
+            "state_bitwise_identical": True,
+        },
+        "backend_grid": {
+            "qubits": GRID_QUBITS,
+            "backends": ["serial", "vectorized", "process-pool", "distributed-unit"],
+            "kernels": list(KERNEL_NAMES),
+            "bitwise_identical": True,
+            "distributed_mean": distributed_means["einsum"],
+        },
+        "prepared_operator_cache": cache_info,
+    }
+    path = bench_artifact("BENCH_kernels.json", record)
+    print(
+        f"\nkernels [{config['mode']}]: "
+        f"DM {config['dm_qubits']}q {dm_speedup:.1f}x (floor {SPEEDUP_FLOOR_DM}x), "
+        f"SV {config['sv_qubits']}q {sv_speedup:.1f}x (floor {SPEEDUP_FLOOR_SV}x), "
+        f"bitwise identity OK -> {path}"
+    )

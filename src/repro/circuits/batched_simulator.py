@@ -11,21 +11,42 @@ every linear-algebra step broadcast over the batch axis.
 
 The per-slice arithmetic is kept operation-for-operation identical to
 :class:`~repro.circuits.density_matrix_simulator.DensityMatrixSimulator`
-(same expanded operators, same Kraus accumulation order, same trace and
-pruning thresholds), so the classical distributions produced for a batch of
-size 1 match the serial simulator bitwise; this is what lets the vectorized
-execution backend guarantee seed-identical results to the serial one.
+*under the same kernel* (same operators, same Kraus accumulation order, same
+trace and pruning thresholds; the axis-local kernels are shared functions
+that broadcast over an optional batch axis), so the classical distributions
+produced for a batch of size 1 match the serial simulator bitwise; this is
+what lets the vectorized execution backend guarantee seed-identical results
+to the serial one.
+
+Like the serial simulator, the batched one accepts ``kernel="einsum"``
+(axis-local contraction, default) or ``kernel="dense"`` (legacy full-space
+operators) — see :mod:`repro.circuits.kernels`.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.density_matrix_simulator import (
+    _local_initialize_kraus,
+    expanded_projectors,
+    expanded_reset_kraus,
+)
 from repro.circuits.instruction import BARRIER, GATE, INITIALIZE, MEASURE, RESET, Instruction
+from repro.circuits.kernels import (
+    apply_initialize,
+    apply_reset,
+    apply_unitary,
+    prepare_operator,
+    project_qubit,
+    record_gate_application,
+    resolve_kernel,
+)
 from repro.utils.linalg import expand_operator
 
 __all__ = ["BatchedDensityMatrixSimulator", "structure_signature"]
@@ -102,7 +123,16 @@ class BatchedDensityMatrixSimulator:
     All circuits handed to :meth:`run_group` must share the same
     :func:`structure_signature`; callers group arbitrary circuit batches with
     that key (see :class:`~repro.circuits.backends.VectorizedBackend`).
+
+    Parameters
+    ----------
+    kernel:
+        Gate-application kernel: ``"einsum"`` (axis-local, default) or
+        ``"dense"`` (legacy full-space operators).
     """
+
+    def __init__(self, kernel: str | None = None):
+        self.kernel = resolve_kernel(kernel)
 
     def run_group(self, circuits: Sequence[QuantumCircuit]) -> list[dict[str, float]]:
         """Execute structurally identical ``circuits`` and return per-circuit
@@ -144,43 +174,63 @@ class BatchedDensityMatrixSimulator:
 
     # -- instruction handlers ---------------------------------------------------
 
-    @staticmethod
     def _apply_gate(
+        self,
         branches: dict[tuple[int, ...], np.ndarray],
         template: Instruction,
         matrices: list[np.ndarray],
         num_qubits: int,
     ) -> dict[tuple[int, ...], np.ndarray]:
-        if _all_equal(matrices):
-            unitary = expand_operator(matrices[0], list(template.qubits), num_qubits)
+        qubits = list(template.qubits)
+        shared = _all_equal(matrices)
+        if self.kernel == "einsum":
+            if shared:
+                operator = prepare_operator(matrices[0])
+            else:
+                operator = np.ascontiguousarray(matrices, dtype=complex)
+        elif shared:
+            unitary = expand_operator(matrices[0], qubits, num_qubits)
             unitary_dag = unitary.conj().T
         else:
-            unitary = _stack_expand(matrices, template.qubits, num_qubits)
+            unitary = _stack_expand(matrices, qubits, num_qubits)
             unitary_dag = unitary.conj().transpose(0, 2, 1)
         updated: dict[tuple[int, ...], np.ndarray] = {}
+        applications = 0
+        start = time.perf_counter()
         for clbits, stack in branches.items():
             if template.condition is not None:
                 clbit, value = template.condition
                 if clbits[clbit] != value:
                     updated[clbits] = stack
                     continue
-            updated[clbits] = unitary @ stack @ unitary_dag
+            if self.kernel == "einsum":
+                updated[clbits] = apply_unitary(stack, operator, qubits, num_qubits)
+            else:
+                updated[clbits] = unitary @ stack @ unitary_dag
+            applications += stack.shape[0]
+        if applications:
+            record_gate_application(
+                self.kernel, len(qubits), time.perf_counter() - start, count=applications
+            )
         return updated
 
-    @staticmethod
     def _apply_measure(
+        self,
         branches: dict[tuple[int, ...], np.ndarray],
         template: Instruction,
         num_qubits: int,
     ) -> dict[tuple[int, ...], np.ndarray]:
         qubit = template.qubits[0]
         clbit = template.clbits[0]
-        p0 = expand_operator(np.diag([1.0, 0.0]).astype(complex), [qubit], num_qubits)
-        p1 = expand_operator(np.diag([0.0, 1.0]).astype(complex), [qubit], num_qubits)
+        if self.kernel == "dense":
+            p0, p1 = expanded_projectors(qubit, num_qubits)
         updated: dict[tuple[int, ...], np.ndarray] = {}
         for clbits, stack in branches.items():
-            for outcome, projector in ((0, p0), (1, p1)):
-                piece = projector @ stack @ projector
+            if self.kernel == "einsum":
+                pieces = project_qubit(stack, qubit, num_qubits)
+            else:
+                pieces = (p0 @ stack @ p0, p1 @ stack @ p1)
+            for outcome, piece in enumerate(pieces):
                 traces = np.trace(piece, axis1=1, axis2=2).real
                 dead = traces <= _PRUNE_MEASURE
                 if np.all(dead):
@@ -200,15 +250,19 @@ class BatchedDensityMatrixSimulator:
                     updated[key] = piece
         return updated
 
-    @staticmethod
     def _apply_reset(
+        self,
         branches: dict[tuple[int, ...], np.ndarray],
         template: Instruction,
         num_qubits: int,
     ) -> dict[tuple[int, ...], np.ndarray]:
         qubit = template.qubits[0]
-        k0 = expand_operator(np.array([[1, 0], [0, 0]], dtype=complex), [qubit], num_qubits)
-        k1 = expand_operator(np.array([[0, 1], [0, 0]], dtype=complex), [qubit], num_qubits)
+        if self.kernel == "einsum":
+            return {
+                clbits: apply_reset(stack, qubit, num_qubits)
+                for clbits, stack in branches.items()
+            }
+        k0, k1 = expanded_reset_kraus(qubit, num_qubits)
         k0_dag = k0.conj().T
         k1_dag = k1.conj().T
         return {
@@ -216,27 +270,37 @@ class BatchedDensityMatrixSimulator:
             for clbits, stack in branches.items()
         }
 
-    @staticmethod
     def _apply_initialize(
+        self,
         branches: dict[tuple[int, ...], np.ndarray],
         template: Instruction,
         matrices: list[np.ndarray],
         num_qubits: int,
     ) -> dict[tuple[int, ...], np.ndarray]:
         qubits = list(template.qubits)
-        dim_sub = 2 ** len(qubits)
         targets = [np.asarray(matrix, dtype=complex).ravel() for matrix in matrices]
         shared = _all_equal(targets)
-        basis = np.eye(dim_sub)
+        if self.kernel == "einsum":
+            # A shared target broadcasts; distinct targets stack along the
+            # batch axis.  Either way the block arithmetic matches the serial
+            # kernel slice for slice.
+            payload = targets[0] if shared else np.ascontiguousarray(targets)
+            return {
+                clbits: apply_initialize(stack, payload, qubits, num_qubits)
+                for clbits, stack in branches.items()
+            }
+        dim_sub = 2 ** len(qubits)
         # One Kraus operator |target><j| per subsystem basis state j, expanded
         # and accumulated in the same order as the serial simulator.
+        local_families = [
+            _local_initialize_kraus(target) for target in (targets[:1] if shared else targets)
+        ]
         kraus: list[np.ndarray] = []
         for j in range(dim_sub):
-            locals_j = [np.outer(target, basis[j]) for target in (targets[:1] if shared else targets)]
             if shared:
-                kraus.append(expand_operator(locals_j[0], qubits, num_qubits))
+                kraus.append(expand_operator(local_families[0][j], qubits, num_qubits))
             else:
-                kraus.append(_stack_expand(locals_j, qubits, num_qubits))
+                kraus.append(_stack_expand([family[j] for family in local_families], qubits, num_qubits))
         updated: dict[tuple[int, ...], np.ndarray] = {}
         for clbits, stack in branches.items():
             total = None

@@ -1,27 +1,59 @@
 """Exact statevector simulation of measurement-free circuits.
 
 The statevector simulator evolves an initial state through every gate of a
-unitary circuit using tensor-reshape contractions (no full ``2^n × 2^n``
-matrices are built).  Circuits containing measurement, reset or initialize
+unitary circuit.  Circuits containing measurement, reset or initialize
 instructions must use the density-matrix or shot simulators instead — except
 that *trailing* measurements are tolerated and simply ignored, which lets a
 single circuit be reused for exact and sampled evaluation.
+
+Two gate-application kernels are available (see
+:mod:`repro.circuits.kernels`):
+
+``einsum`` (default)
+    Axis-local tensor contraction: the statevector is viewed as a rank-``n``
+    tensor and each k-qubit gate is one ``(2^k × 2^k) @ (2^k × 2^{n-k})``
+    matmul on its target axes — O(2^n · 2^k) per gate.  Gate matrices are
+    memoised through the shared prepared-operator LRU.
+
+``dense``
+    The legacy full-space path: each gate is embedded into ``2^n × 2^n`` with
+    :func:`~repro.utils.linalg.expand_operator` and applied as a full
+    matrix-vector product.  Kept as the reference implementation.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.instruction import BARRIER, GATE, MEASURE
+from repro.circuits.kernels import (
+    apply_unitary_statevector,
+    prepare_operator,
+    record_gate_application,
+    resolve_kernel,
+)
 from repro.quantum.states import Statevector
+from repro.utils.linalg import expand_operator
 
 __all__ = ["StatevectorSimulator", "simulate_statevector"]
 
 
 class StatevectorSimulator:
-    """Exact simulator for unitary circuits."""
+    """Exact simulator for unitary circuits.
+
+    Parameters
+    ----------
+    kernel:
+        Gate-application kernel: ``"einsum"`` (axis-local contraction, the
+        default) or ``"dense"`` (legacy full-space operators).
+    """
+
+    def __init__(self, kernel: str | None = None):
+        self.kernel = resolve_kernel(kernel)
 
     def run(
         self,
@@ -38,7 +70,8 @@ class StatevectorSimulator:
         initial_state:
             Optional initial state; defaults to ``|0...0⟩``.
         """
-        state = self._initial_state(circuit, initial_state)
+        num_qubits = circuit.num_qubits
+        state = self._initial_state(circuit, initial_state).data
         seen_measurement = False
         for instruction in circuit.instructions:
             if instruction.kind == BARRIER:
@@ -61,8 +94,18 @@ class StatevectorSimulator:
                     "classically conditioned gates require ShotSimulator or "
                     "DensityMatrixSimulator"
                 )
-            state = state.evolve(instruction.matrix, instruction.qubits)
-        return state
+            qubits = list(instruction.qubits)
+            start = time.perf_counter()
+            if self.kernel == "einsum":
+                prepared = prepare_operator(instruction.matrix)
+                state = apply_unitary_statevector(state, prepared, qubits, num_qubits)
+            else:
+                full = expand_operator(
+                    np.asarray(instruction.matrix, dtype=complex), qubits, num_qubits
+                )
+                state = full @ state
+            record_gate_application(self.kernel, len(qubits), time.perf_counter() - start)
+        return Statevector(state, validate=False)
 
     @staticmethod
     def _initial_state(
@@ -79,7 +122,9 @@ class StatevectorSimulator:
 
 
 def simulate_statevector(
-    circuit: QuantumCircuit, initial_state: Statevector | np.ndarray | None = None
+    circuit: QuantumCircuit,
+    initial_state: Statevector | np.ndarray | None = None,
+    kernel: str | None = None,
 ) -> Statevector:
     """Convenience wrapper: run :class:`StatevectorSimulator` on ``circuit``."""
-    return StatevectorSimulator().run(circuit, initial_state)
+    return StatevectorSimulator(kernel=kernel).run(circuit, initial_state)

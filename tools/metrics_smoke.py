@@ -34,6 +34,8 @@ CORE_SERIES = (
     "repro_submissions_total",
     "repro_scheduler_queue_depth",
     "repro_plan_kappa",
+    "repro_kernel_gate_applications_total",
+    "repro_kernel_gate_seconds",
 )
 #: Submitting threads × jobs per thread.
 THREADS = 3
@@ -119,6 +121,21 @@ def main() -> int:
                 or 0.0) >= 2
         _LOG.info(
             "monotone counters confirmed across %d concurrent submissions", total_jobs
+        )
+
+        # The jobs simulated circuits in-process, so the kernel dispatch
+        # counter and the per-gate latency histogram must carry samples for
+        # the default kernel (labelled by kernel and gate arity).
+        assert re.search(
+            r'^repro_kernel_gate_applications_total\{kernel="einsum",arity="\d+"\} [1-9]',
+            settled,
+            flags=re.M,
+        ), "no einsum gate applications recorded during load"
+        gate_observations = _sample(settled, 'repro_kernel_gate_seconds_count{kernel="einsum"}')
+        assert gate_observations is not None and gate_observations >= 1.0, gate_observations
+        _LOG.info(
+            "kernel dispatch telemetry present: %s gate-latency observations",
+            gate_observations,
         )
 
         trace = store.get_trace(job_ids[0])
